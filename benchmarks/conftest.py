@@ -1,0 +1,130 @@
+"""Shared benchmark fixtures: the calibrated world and pre-fitted models.
+
+Every bench regenerates one of the paper's tables/figures at laptop scale
+(see DESIGN.md §4 and EXPERIMENTS.md).  Expensive artefacts — the world,
+the reference COLD fit, the retweet cascades — are session-scoped so the
+whole suite shares them.
+
+Scale note: the paper trains C = K = 100 models on millions of posts for
+hours; the benches use the calibrated ``benchmark_world`` (100 users, ~2.5K
+posts) with C = 4, K = 8 so the full suite runs in minutes.  The assertions
+check the paper's *shapes* (who wins, monotonicity, crossovers), never its
+absolute numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimates import ParameterEstimates
+from repro.core.model import COLDModel
+from repro.datasets.cascades import RetweetTuple, generate_retweet_tuples, split_tuples
+from repro.datasets.corpus import SocialCorpus
+from repro.datasets.synthetic import GroundTruth, benchmark_world
+
+#: Latent dimensions used across the benches (truth has C=4, K=8).
+BENCH_C = 4
+BENCH_K = 8
+#: Gibbs sweeps for reference-quality fits vs quick sweep fits.
+FULL_ITERS = 100
+SWEEP_ITERS = 40
+
+
+@pytest.fixture(scope="session")
+def world() -> tuple[SocialCorpus, GroundTruth]:
+    return benchmark_world(seed=3)
+
+
+@pytest.fixture(scope="session")
+def corpus(world) -> SocialCorpus:
+    return world[0]
+
+
+@pytest.fixture(scope="session")
+def truth(world) -> GroundTruth:
+    return world[1]
+
+
+@pytest.fixture(scope="session")
+def cold_model(corpus) -> COLDModel:
+    """The reference COLD fit shared by the analysis benches."""
+    model = COLDModel(BENCH_C, BENCH_K, prior="scaled", seed=0)
+    return model.fit(corpus, num_iterations=FULL_ITERS)
+
+
+@pytest.fixture(scope="session")
+def estimates(cold_model) -> ParameterEstimates:
+    assert cold_model.estimates_ is not None
+    return cold_model.estimates_
+
+
+@pytest.fixture(scope="session")
+def oracle(truth) -> ParameterEstimates:
+    return ParameterEstimates(
+        pi=truth.pi, theta=truth.theta, phi=truth.phi, psi=truth.psi, eta=truth.eta
+    )
+
+
+@pytest.fixture(scope="session")
+def cascade_tuples(corpus, truth) -> list[RetweetTuple]:
+    return generate_retweet_tuples(
+        corpus, truth, exposure_rate=0.6, seed=5
+    )
+
+
+@pytest.fixture(scope="session")
+def cascade_split(cascade_tuples) -> tuple[list[RetweetTuple], list[RetweetTuple]]:
+    return split_tuples(cascade_tuples, test_fraction=0.2, seed=1)
+
+
+@pytest.fixture(scope="session")
+def sensitivity_grid(corpus, truth):
+    """Shared (C, K) sweep behind the appendix sensitivity figures 17-19.
+
+    For every grid cell two COLD fits are made: one on the post-split train
+    set (scoring held-out perplexity and diffusion AUC) and one on the
+    link-split train set (scoring held-out link AUC).
+    """
+    from repro.core.model import COLDModel
+    from repro.core.prediction import DiffusionPredictor, link_probability
+    from repro.datasets.splits import link_splits, post_splits
+    from repro.eval.auc import averaged_diffusion_auc, link_prediction_auc
+    from repro.eval.perplexity import cold_perplexity
+
+    grid_c = (2, 4, 8)
+    grid_k = (2, 8)
+    post_split = post_splits(corpus, num_folds=5, seed=0)[0]
+    link_split = link_splits(corpus, num_folds=5, negative_fraction=0.05, seed=0)[0]
+    tuples = generate_retweet_tuples(corpus, truth, exposure_rate=0.6, seed=5)
+    _train_tuples, test_tuples = split_tuples(tuples, test_fraction=0.2, seed=1)
+
+    results: dict[tuple[int, int], dict[str, float]] = {}
+    for C in grid_c:
+        for K in grid_k:
+            text_fit = COLDModel(C, K, prior="scaled", seed=0).fit(
+                post_split.train, num_iterations=SWEEP_ITERS
+            )
+            link_fit = COLDModel(C, K, prior="scaled", seed=0).fit(
+                link_split.train, num_iterations=SWEEP_ITERS
+            )
+            predictor = DiffusionPredictor(text_fit.estimates_)
+            results[(C, K)] = {
+                "perplexity": cold_perplexity(text_fit.estimates_, post_split.test),
+                "link_auc": link_prediction_auc(
+                    lambda s, d: link_probability(link_fit.estimates_, s, d),
+                    link_split.held_out_links,
+                    link_split.negative_links,
+                ),
+                "diffusion_auc": averaged_diffusion_auc(
+                    predictor.score_candidates, test_tuples, corpus
+                ),
+            }
+    return results
+
+
+def print_series(title: str, rows: list[tuple]) -> None:
+    """Uniform bench output: a titled, aligned table of result rows."""
+    print(f"\n== {title} ==")
+    for row in rows:
+        print("  " + "  ".join(str(cell) for cell in row))

@@ -1,0 +1,69 @@
+"""Figure 8: word clouds of extracted topics.
+
+Renders the top words of every extracted topic and checks the figure's
+implicit claim — topics are *meaningful subjects*, i.e. coherent groups of
+co-occurring words.  With planted ground truth we can assert coherence
+exactly: the top words of each fitted topic should concentrate in one
+planted anchor block rather than spread across blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.patterns import all_word_clouds, top_words
+from repro.viz import word_cloud
+
+
+def _anchor_block(word_id: int, anchors_per_topic: int, num_topics: int) -> int:
+    """Which planted topic's anchor block a word id belongs to (-1: none)."""
+    block = word_id // anchors_per_topic
+    return block if block < num_topics else -1
+
+
+def test_fig08_topic_word_clouds(benchmark, estimates, corpus, truth):
+    clouds = benchmark.pedantic(
+        lambda: all_word_clouds(estimates, corpus.vocabulary, size=12),
+        rounds=3,
+        iterations=1,
+    )
+    anchors_per_topic = 120  # benchmark_world setting
+    K = truth.num_topics
+
+    print()
+    coherent_topics = 0
+    for k in range(K):
+        ranked = top_words(estimates, k, size=12)
+        ids = [int(token[1:]) for token, _ in ranked]
+        blocks = [
+            _anchor_block(i, anchors_per_topic, K) for i in ids
+        ]
+        in_block = [b for b in blocks if b >= 0]
+        dominant = max(set(in_block), key=in_block.count) if in_block else -1
+        purity = in_block.count(dominant) / len(ids) if in_block else 0.0
+        if purity >= 0.5:
+            coherent_topics += 1
+        print(f"-- topic {k} (anchor purity {purity:.2f}) --")
+        print(word_cloud(clouds[k][:8], columns=4))
+
+    # Shape 1: every cloud is sorted by weight and weights are positive.
+    for cloud in clouds:
+        weights = [w for _, w in cloud]
+        assert weights == sorted(weights, reverse=True)
+        assert min(weights) > 0
+
+    # Shape 2 (the figure's 'meaningful subjects'): a clear majority of
+    # fitted topics align with a single planted anchor block.
+    assert coherent_topics >= K // 2 + 1
+
+    # Shape 3: distinct topics surface distinct vocabulary — pairwise top
+    # word overlap stays small.
+    top_sets = [
+        {token for token, _ in top_words(estimates, k, size=12)} for k in range(K)
+    ]
+    overlaps = [
+        len(top_sets[a] & top_sets[b])
+        for a in range(K)
+        for b in range(a + 1, K)
+    ]
+    assert np.mean(overlaps) < 4

@@ -1,0 +1,66 @@
+"""Figure 9: held-out perplexity versus number of topics.
+
+The paper compares COLD, EUTB and PMTLM under 5-fold CV for K in
+{20..150}: COLD is best, EUTB close behind, and PMTLM far worse because its
+single latent factor tangles topics with communities.  The bench runs one
+fold of the same protocol over a scaled-down K sweep and asserts the same
+ordering and the decreasing-in-K trend for COLD.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import COLDModel
+from repro.baselines.eutb import EUTBModel
+from repro.baselines.pmtlm import PMTLMModel
+from repro.datasets.splits import post_splits
+from repro.eval.perplexity import cold_perplexity, perplexity
+from benchmarks.conftest import BENCH_C, SWEEP_ITERS, print_series
+
+K_SWEEP = (2, 4, 8)
+
+
+def _sweep(corpus):
+    split = post_splits(corpus, num_folds=5, seed=0)[0]
+    results: dict[str, list[float]] = {"COLD": [], "EUTB": [], "PMTLM": []}
+    for K in K_SWEEP:
+        cold = COLDModel(BENCH_C, K, prior="scaled", seed=0).fit(
+            split.train, num_iterations=SWEEP_ITERS
+        )
+        results["COLD"].append(cold_perplexity(cold.estimates_, split.test))
+
+        eutb = EUTBModel(K, alpha=0.5, seed=0).fit(
+            split.train, num_iterations=SWEEP_ITERS
+        )
+        results["EUTB"].append(perplexity(eutb.log_post_probability, split.test))
+
+        pmtlm = PMTLMModel(K, rho=0.5, seed=0).fit(
+            split.train, num_iterations=SWEEP_ITERS // 2
+        )
+        results["PMTLM"].append(perplexity(pmtlm.log_post_probability, split.test))
+    return results
+
+
+def test_fig09_perplexity_vs_num_topics(benchmark, corpus):
+    results = benchmark.pedantic(lambda: _sweep(corpus), rounds=1, iterations=1)
+
+    rows = [("K",) + tuple(results)]
+    for idx, K in enumerate(K_SWEEP):
+        rows.append(
+            (K,) + tuple(f"{results[name][idx]:.1f}" for name in results)
+        )
+    print_series("Fig 9: perplexity vs K (lower is better)", rows)
+
+    best_k = len(K_SWEEP) - 1  # largest K, closest to the paper's regime
+    cold, eutb, pmtlm = (
+        results["COLD"][best_k],
+        results["EUTB"][best_k],
+        results["PMTLM"][best_k],
+    )
+    # Paper shape 1: the Fig.-9 ordering COLD < EUTB < PMTLM at the
+    # operating K.  (Our COLD-EUTB gap is wider than the paper's because
+    # the planted world's posts are strictly single-topic, which COLD's
+    # per-post topic exploits and EUTB's per-word mixture cannot; see
+    # EXPERIMENTS.md.)
+    assert cold < eutb < pmtlm
+    # Paper shape 2: more topics help COLD (perplexity decreasing in K).
+    assert results["COLD"][-1] < results["COLD"][0]

@@ -1,0 +1,70 @@
+"""Figure 10: link prediction AUC of COLD, PMTLM and MMSB.
+
+Protocol (§6.2): hold out 20% of positive links per fold, pair them with a
+random sample of negative links, rank by each model's ``P(i -> i')``, and
+report AUC.  Paper shape: COLD > PMTLM > MMSB — incorporating content helps
+network modelling, and COLD's decoupled factors edge out PMTLM's single
+tangled factor.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.mmsb import MMSBModel
+from repro.baselines.pmtlm import PMTLMModel
+from repro.core.model import COLDModel
+from repro.core.prediction import link_probability
+from repro.datasets.splits import link_splits
+from repro.eval.auc import link_prediction_auc
+from benchmarks.conftest import BENCH_C, BENCH_K, SWEEP_ITERS, print_series
+
+
+def _evaluate(corpus) -> dict[str, float]:
+    split = link_splits(corpus, num_folds=5, negative_fraction=0.05, seed=0)[0]
+    train = split.train
+
+    cold = COLDModel(BENCH_C, BENCH_K, prior="scaled", seed=0).fit(
+        train, num_iterations=SWEEP_ITERS
+    )
+    pmtlm = PMTLMModel(BENCH_K, rho=0.5, seed=0).fit(
+        train, num_iterations=SWEEP_ITERS // 2
+    )
+    mmsb = MMSBModel(
+        BENCH_C, rho=0.1, negative_ratio=2.0, num_restarts=3, seed=0
+    ).fit(train, num_iterations=SWEEP_ITERS)
+
+    return {
+        "COLD": link_prediction_auc(
+            lambda s, d: link_probability(cold.estimates_, s, d),
+            split.held_out_links,
+            split.negative_links,
+        ),
+        "PMTLM": link_prediction_auc(
+            pmtlm.link_score, split.held_out_links, split.negative_links
+        ),
+        "MMSB": link_prediction_auc(
+            mmsb.link_score, split.held_out_links, split.negative_links
+        ),
+    }
+
+
+def test_fig10_link_prediction_auc(benchmark, corpus):
+    results = benchmark.pedantic(lambda: _evaluate(corpus), rounds=1, iterations=1)
+    print_series(
+        "Fig 10: link prediction AUC (higher is better)",
+        [(name, f"{value:.3f}") for name, value in results.items()],
+    )
+
+    # Paper shape 1: every model beats chance.
+    for name, value in results.items():
+        assert value > 0.5, f"{name} failed to beat chance"
+
+    # Paper shape 2: content helps network modelling — both text+link
+    # models beat network-only MMSB.
+    assert results["COLD"] > results["MMSB"]
+    assert results["PMTLM"] > results["MMSB"]
+
+    # Paper shape 3: COLD and PMTLM are the close pair (the paper reports
+    # a slight COLD edge; at laptop scale the two trade places within
+    # noise — see EXPERIMENTS.md).
+    assert abs(results["COLD"] - results["PMTLM"]) < 0.05
+    assert min(results["COLD"], results["PMTLM"]) - results["MMSB"] > 0.02

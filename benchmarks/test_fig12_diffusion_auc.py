@@ -1,0 +1,61 @@
+"""Figure 12: diffusion (retweet) prediction, averaged AUC.
+
+Protocol (§6.3): for each held-out tuple (author, post, retweeters,
+ignorers), rank the author's exposed followers by predicted retweet
+probability and average the per-tuple AUCs.  Paper shape: COLD's
+community-level two-stage method beats both individual-level baselines
+(TI and WTM).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.ti import TIModel
+from repro.baselines.wtm import WTMModel
+from repro.core.model import COLDModel
+from repro.core.prediction import DiffusionPredictor
+from repro.eval.auc import averaged_diffusion_auc
+from benchmarks.conftest import BENCH_C, BENCH_K, FULL_ITERS, print_series
+
+
+def _evaluate(corpus, cascade_split) -> dict[str, float]:
+    train_tuples, test_tuples = cascade_split
+
+    cold = COLDModel(BENCH_C, BENCH_K, prior="scaled", seed=0).fit(
+        corpus, num_iterations=FULL_ITERS
+    )
+    predictor = DiffusionPredictor(cold.estimates_)
+    ti = TIModel(BENCH_K, backoff=0.3, seed=0).fit(
+        corpus, train_tuples, lda_iterations=30
+    )
+    wtm = WTMModel(seed=0).fit(corpus, train_tuples)
+
+    return {
+        "COLD": averaged_diffusion_auc(
+            predictor.score_candidates, test_tuples, corpus
+        ),
+        "TI": averaged_diffusion_auc(ti.score_candidates, test_tuples, corpus),
+        "WTM": averaged_diffusion_auc(wtm.score_candidates, test_tuples, corpus),
+    }
+
+
+def test_fig12_diffusion_prediction_auc(benchmark, corpus, cascade_split):
+    results = benchmark.pedantic(
+        lambda: _evaluate(corpus, cascade_split), rounds=1, iterations=1
+    )
+    print_series(
+        "Fig 12: diffusion prediction averaged AUC (higher is better)",
+        [(name, f"{value:.3f}") for name, value in results.items()],
+    )
+
+    # Paper shape 1: every method beats chance (all model *some* signal).
+    for name, value in results.items():
+        assert value > 0.55, f"{name} failed to beat chance"
+
+    # Paper shape 2 (the headline): community-level COLD beats both
+    # individual-level methods.
+    assert results["COLD"] > results["TI"]
+    assert results["COLD"] > results["WTM"]
+
+    # Note: the paper's internal ordering is TI > WTM; in our synthetic
+    # world the two are close and may swap (see EXPERIMENTS.md) — we only
+    # pin COLD's superiority, the figure's claim.

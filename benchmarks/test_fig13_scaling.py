@@ -1,0 +1,95 @@
+"""Figure 13: training time of parallel COLD on the simulated cluster.
+
+(a) three nested data subsets on a fixed 4-node cluster — time grows
+    linearly with data size (the §4.2 linear-complexity claim);
+(b) the whole dataset on 1, 2, 4, 8 nodes — time drops with node count
+    (the §4.3 parallel-scaling claim).
+
+The simulated cluster measures real per-shard wall time and reports
+``max(shard times) + merge`` per superstep — what a synchronous cluster
+would spend (see repro.parallel.engine).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.sampler import ParallelCOLDSampler
+from benchmarks.conftest import BENCH_C, BENCH_K, print_series
+
+SCALING_ITERS = 10
+
+
+def _subset_fractions_time(corpus) -> list[tuple[float, int, float]]:
+    rows = []
+    rng = np.random.default_rng(0)
+    for fraction in (0.25, 0.5, 1.0):
+        keep_posts = rng.choice(
+            corpus.num_posts, size=int(fraction * corpus.num_posts), replace=False
+        )
+        subset = corpus.subset_posts(sorted(int(i) for i in keep_posts))
+        keep_links = rng.choice(
+            corpus.num_links, size=int(fraction * corpus.num_links), replace=False
+        )
+        subset = subset.subset_links(sorted(int(i) for i in keep_links))
+        sampler = ParallelCOLDSampler(
+            BENCH_C, BENCH_K, num_nodes=4, prior="scaled", seed=0
+        ).fit(subset, num_iterations=SCALING_ITERS)
+        work = subset.num_words + subset.num_links
+        rows.append((fraction, work, sampler.training_seconds()))
+    return rows
+
+
+def _node_sweep_time(corpus) -> list[tuple[int, float, float]]:
+    rows = []
+    for num_nodes in (1, 2, 4, 8):
+        sampler = ParallelCOLDSampler(
+            BENCH_C, BENCH_K, num_nodes=num_nodes, prior="scaled", seed=0
+        ).fit(corpus, num_iterations=SCALING_ITERS)
+        rows.append((num_nodes, sampler.training_seconds(), sampler.speedup()))
+    return rows
+
+
+def test_fig13a_linear_scaling_with_data_size(benchmark, corpus):
+    rows = benchmark.pedantic(
+        lambda: _subset_fractions_time(corpus), rounds=1, iterations=1
+    )
+    print_series(
+        "Fig 13a: training time vs data size (4 simulated nodes)",
+        [
+            (f"{fraction:.2f}x data", f"work={work}", f"{seconds:.2f}s")
+            for fraction, work, seconds in rows
+        ],
+    )
+    times = [seconds for _, _, seconds in rows]
+    works = [work for _, work, _ in rows]
+
+    # Shape 1: time increases with data size.
+    assert times[0] < times[1] < times[2]
+
+    # Shape 2: growth is linear, not quadratic — time per work unit stays
+    # within 2x across a 4x data range.
+    per_unit = [t / w for t, w in zip(times, works)]
+    assert max(per_unit) / min(per_unit) < 2.0
+
+
+def test_fig13b_speedup_with_cluster_nodes(benchmark, corpus):
+    rows = benchmark.pedantic(lambda: _node_sweep_time(corpus), rounds=1, iterations=1)
+    print_series(
+        "Fig 13b: training time vs #nodes (whole dataset)",
+        [
+            (f"{nodes} nodes", f"{seconds:.2f}s", f"speedup {speedup:.2f}x")
+            for nodes, seconds, speedup in rows
+        ],
+    )
+    times = {nodes: seconds for nodes, seconds, _ in rows}
+    speedups = {nodes: speedup for nodes, _, speedup in rows}
+
+    # Shape 1: cluster time decreases monotonically with node count.
+    assert times[1] > times[2] > times[4] > times[8]
+
+    # Shape 2: speedup grows with nodes and reaches a substantial fraction
+    # of ideal (LPT balance keeps the simulated cluster efficient).
+    assert speedups[2] > 1.5
+    assert speedups[4] > 2.5
+    assert speedups[8] > 4.0

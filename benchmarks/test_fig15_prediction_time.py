@@ -1,0 +1,74 @@
+"""Figure 15: online diffusion-prediction time of COLD, TI and WTM.
+
+After training, each method scores a batch of (author, candidates, post)
+queries.  Paper shape: COLD is the cheapest online — its offline-built
+compact community profiles reduce a query to an ``O(K |w_d|)`` combination
+— while TI walks multi-hop influence neighbourhoods and WTM recomputes
+O(V) content features per candidate.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.ti import TIModel
+from repro.baselines.wtm import WTMModel
+from repro.core.model import COLDModel
+from repro.core.prediction import DiffusionPredictor
+from repro.eval.timing import TimingTable, time_callable
+from benchmarks.conftest import BENCH_C, BENCH_K, SWEEP_ITERS
+
+NUM_QUERIES = 100
+
+
+def _prepare(corpus, cascade_split):
+    train_tuples, test_tuples = cascade_split
+    cold = COLDModel(BENCH_C, BENCH_K, prior="scaled", seed=0).fit(
+        corpus, num_iterations=SWEEP_ITERS
+    )
+    predictor = DiffusionPredictor(cold.estimates_)
+    ti = TIModel(BENCH_K, backoff=0.3, seed=0).fit(
+        corpus, train_tuples, lda_iterations=20
+    )
+    wtm = WTMModel(seed=0).fit(corpus, train_tuples)
+
+    queries = []
+    for t in test_tuples[:NUM_QUERIES]:
+        candidates = list(t.retweeters) + list(t.ignorers)
+        queries.append((t.author, candidates, corpus.posts[t.post_index].words))
+    return predictor, ti, wtm, queries
+
+
+def test_fig15_online_prediction_time(benchmark, corpus, cascade_split):
+    predictor, ti, wtm, queries = benchmark.pedantic(
+        lambda: _prepare(corpus, cascade_split), rounds=1, iterations=1
+    )
+
+    def run_cold() -> None:
+        for author, candidates, words in queries:
+            predictor.score_candidates(author, candidates, words)
+
+    def run_ti() -> None:
+        for author, candidates, words in queries:
+            ti.score_candidates(author, candidates, words)
+
+    def run_wtm() -> None:
+        for author, candidates, words in queries:
+            wtm.score_candidates(author, candidates, words)
+
+    times = {
+        "COLD": time_callable(run_cold, repeats=3, warmup=1),
+        "TI": time_callable(run_ti, repeats=3, warmup=1),
+        "WTM": time_callable(run_wtm, repeats=3, warmup=1),
+    }
+    table = TimingTable(
+        f"Fig 15: online prediction time for {len(queries)} queries"
+    )
+    for name, seconds in sorted(times.items(), key=lambda kv: kv[1]):
+        table.add(name, seconds)
+    print()
+    print(table.render())
+
+    # Paper shape: COLD's compact offline profiles make it the cheapest
+    # online predictor.
+    assert table.fastest() == "COLD"
+    assert times["COLD"] < times["TI"]
+    assert times["COLD"] < times["WTM"]

@@ -1,0 +1,68 @@
+"""Figure 16: most influential communities on a topic (pentagon layout).
+
+Regenerates the §6.6 application: per-community influence degrees from
+single-seed Independent Cascade on the zeta-weighted community graph, user
+influence scores, and the pentagon embedding (top-4 communities + "other").
+Paper shapes: most users sit near corners/edges (few memberships each), and
+the most influential users belong to the top influential communities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.influence import (
+    community_influence,
+    pentagon_embedding,
+    user_influence,
+)
+from repro.viz import pentagon_summary
+from benchmarks.conftest import print_series
+
+
+def test_fig16_influential_communities(benchmark, estimates):
+    topic = int(estimates.theta.max(axis=0).argmax())
+
+    def build():
+        influence = community_influence(
+            estimates, topic, num_simulations=300, seed=0
+        )
+        embedding = pentagon_embedding(estimates, influence, top_users=50)
+        return influence, embedding
+
+    influence, embedding = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(pentagon_summary(embedding, top_users=8))
+    print_series(
+        f"Fig 16: community influence degrees at topic {topic}",
+        [
+            (f"C{c}", f"degree={influence.degree[c]:.2f}")
+            for c in influence.ranking()
+        ],
+    )
+
+    # Shape 1: influence degrees are valid IC spreads (>= 1 community, <= C).
+    C = estimates.num_communities
+    assert ((influence.degree >= 1.0) & (influence.degree <= C)).all()
+    assert influence.degree.max() > influence.degree.min()
+
+    # Shape 2: the top influential community is among the topic's most
+    # interested (Fig. 5 + Fig. 16: interest drives influence).
+    interest_rank = np.argsort(estimates.theta[:, topic])[::-1]
+    assert influence.top(1)[0] in interest_rank[:2]
+
+    # Shape 3: most displayed (top-influence) users concentrate their
+    # membership on the four named corners rather than "other".
+    corner_mass = embedding.weights[:, :4].sum(axis=1)
+    assert (corner_mass > 0.5).mean() > 0.7
+
+    # Shape 4: the paper observes most users have a dominant community —
+    # points cluster at corners, i.e. max membership weight is large.
+    assert np.median(embedding.weights.max(axis=1)) > 0.5
+
+    # Shape 5: user influence = pi-weighted community influence.
+    scores = user_influence(estimates, influence)
+    order = np.argsort(scores)[::-1][: len(embedding.user_scores)]
+    np.testing.assert_allclose(
+        np.sort(embedding.user_scores)[::-1], scores[order], atol=1e-12
+    )

@@ -1,0 +1,40 @@
+"""Figure 17 (appendix): impact of C and K on topic extraction.
+
+Paper shapes: held-out perplexity decreases as K grows (text is generated
+by the topic mixture, so K directly governs text capacity) and is nearly
+flat in C (communities influence text only indirectly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+
+GRID_C = (2, 4, 8)
+GRID_K = (2, 8)
+
+
+def test_fig17_topic_sensitivity(benchmark, sensitivity_grid):
+    grid = benchmark.pedantic(lambda: sensitivity_grid, rounds=1, iterations=1)
+
+    rows = [("", *[f"K={k}" for k in GRID_K])]
+    for C in GRID_C:
+        rows.append(
+            (f"C={C}", *[f"{grid[(C, K)]['perplexity']:.1f}" for K in GRID_K])
+        )
+    print_series("Fig 17: perplexity over the (C, K) grid", rows)
+
+    # Shape 1: for every C, more topics lower the perplexity.
+    for C in GRID_C:
+        assert grid[(C, 8)]["perplexity"] < grid[(C, 2)]["perplexity"]
+
+    # Shape 2: K moves perplexity far more than C — the spread across K at
+    # fixed C dwarfs the spread across C at fixed K.
+    k_effect = np.mean(
+        [grid[(C, 2)]["perplexity"] - grid[(C, 8)]["perplexity"] for C in GRID_C]
+    )
+    for K in GRID_K:
+        values = [grid[(C, K)]["perplexity"] for C in GRID_C]
+        c_effect = max(values) - min(values)
+        assert c_effect < k_effect

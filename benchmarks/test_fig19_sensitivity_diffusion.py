@@ -1,0 +1,40 @@
+"""Figure 19 (appendix): joint impact of C and K on diffusion prediction.
+
+Paper shape: diffusion AUC improves as *both* C and K grow toward their
+operating values — communities and topics are both critical factors of the
+diffusion process, and starving either dimension costs accuracy.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_series
+
+GRID_C = (2, 4, 8)
+GRID_K = (2, 8)
+
+
+def test_fig19_diffusion_sensitivity(benchmark, sensitivity_grid):
+    grid = benchmark.pedantic(lambda: sensitivity_grid, rounds=1, iterations=1)
+
+    rows = [("", *[f"K={k}" for k in GRID_K])]
+    for C in GRID_C:
+        rows.append(
+            (f"C={C}", *[f"{grid[(C, K)]['diffusion_auc']:.3f}" for K in GRID_K])
+        )
+    print_series("Fig 19: diffusion AUC over the (C, K) grid", rows)
+
+    operating = grid[(4, 8)]["diffusion_auc"]
+    starved = grid[(2, 2)]["diffusion_auc"]
+
+    # Shape 1: the operating point beats the starved corner decisively.
+    assert operating > starved
+
+    # Shape 2: each dimension contributes — dropping either C or K from
+    # the operating point costs accuracy (up to small noise).
+    assert operating >= grid[(2, 8)]["diffusion_auc"] - 0.02
+    assert operating >= grid[(4, 2)]["diffusion_auc"] - 0.02
+
+    # Shape 3: every cell beats chance (the model always captures *some*
+    # community/topic signal).
+    for (C, K), cell in grid.items():
+        assert cell["diffusion_auc"] > 0.5, f"(C={C}, K={K}) at chance"

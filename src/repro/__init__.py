@@ -1,0 +1,78 @@
+"""repro: reproduction of "Community Level Diffusion Extraction" (SIGMOD'15).
+
+Public API highlights::
+
+    from repro import COLDModel, DiffusionPredictor, generate_corpus
+
+    corpus, truth = generate_corpus()
+    model = COLDModel(num_communities=4, num_topics=6, seed=0).fit(corpus)
+    predictor = DiffusionPredictor(model.estimates_)
+
+Subpackages: ``repro.datasets`` (corpora + synthetic generation),
+``repro.core`` (the COLD model and analyses), ``repro.parallel`` (the
+GraphLab-substitute GAS engine), ``repro.baselines`` (comparison systems),
+``repro.eval`` (metrics and protocols).
+"""
+
+from .core import (
+    COLDModel,
+    CommunityDiffusionGraph,
+    DiffusionPredictor,
+    Hyperparameters,
+    ParameterEstimates,
+    community_influence,
+    extract_diffusion_graph,
+    fluctuation_analysis,
+    link_probability,
+    pentagon_embedding,
+    predict_timestamp,
+    time_lag_analysis,
+    top_words,
+    zeta,
+)
+from .datasets import (
+    GroundTruth,
+    Post,
+    RetweetTuple,
+    SocialCorpus,
+    SyntheticConfig,
+    Vocabulary,
+    benchmark_world,
+    dataset1,
+    dataset2,
+    generate_corpus,
+    generate_retweet_tuples,
+)
+from .parallel import ParallelCOLDSampler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COLDModel",
+    "CommunityDiffusionGraph",
+    "DiffusionPredictor",
+    "GroundTruth",
+    "Hyperparameters",
+    "ParallelCOLDSampler",
+    "ParameterEstimates",
+    "Post",
+    "RetweetTuple",
+    "SocialCorpus",
+    "SyntheticConfig",
+    "Vocabulary",
+    "__version__",
+    "benchmark_world",
+    "community_influence",
+    "dataset1",
+    "dataset2",
+    "extract_diffusion_graph",
+    "fluctuation_analysis",
+    "generate_corpus",
+    "generate_retweet_tuples",
+    "link_probability",
+    "pentagon_embedding",
+    "predict_timestamp",
+    "time_lag_analysis",
+    "top_words",
+    "zeta",
+]

@@ -1,0 +1,53 @@
+"""Comparison systems (paper §6.1, Table 2), implemented from scratch.
+
+Every baseline the paper compares against: PMTLM, MMSB, EUTB, COLD-NoLink,
+Pipeline (MMSB + TOT), WTM and TI, plus LDA and TOT as shared building
+blocks, and the Table-2 capability matrix.
+"""
+
+from .capabilities import (
+    CAPABILITIES,
+    FEATURES,
+    TASKS,
+    MethodCapabilities,
+    capability_table,
+    find_method,
+)
+from .cold_nolink import COLDNoLinkModel
+from .eutb import EUTBError, EUTBModel
+from .lda import LDAError, LDAModel
+from .mmsb import MMSBError, MMSBModel
+from .pipeline import PipelineError, PipelineModel
+from .pmtlm import PMTLMError, PMTLMModel
+from .ti import TIError, TIModel
+from .tot import TOTError, TOTModel, moment_match_beta, normalise_timestamp
+from .wtm import LogisticRegression, WTMError, WTMModel
+
+__all__ = [
+    "CAPABILITIES",
+    "COLDNoLinkModel",
+    "EUTBError",
+    "EUTBModel",
+    "FEATURES",
+    "LDAError",
+    "LDAModel",
+    "LogisticRegression",
+    "MMSBError",
+    "MMSBModel",
+    "MethodCapabilities",
+    "PMTLMError",
+    "PMTLMModel",
+    "PipelineError",
+    "PipelineModel",
+    "TASKS",
+    "TIError",
+    "TIModel",
+    "TOTError",
+    "TOTModel",
+    "WTMError",
+    "WTMModel",
+    "capability_table",
+    "find_method",
+    "moment_match_beta",
+    "normalise_timestamp",
+]

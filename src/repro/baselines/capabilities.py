@@ -1,0 +1,119 @@
+"""Method capability matrix (paper Table 2).
+
+Table 2 compares the input features each method consumes (text, social
+network, time) and the tasks it supports (topic extraction, community
+detection, temporal modelling, diffusion prediction).  The matrix below is
+the machine-readable equivalent, with each row backed by the implementation
+in this package; the Table-2 bench renders and cross-checks it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Canonical column names, in the paper's order.
+FEATURES = ("text", "social", "time")
+TASKS = ("topic_extraction", "community_detection", "temporal_modeling", "diffusion_prediction")
+
+
+@dataclass(frozen=True)
+class MethodCapabilities:
+    """One Table-2 row: which features a method uses, which tasks it serves."""
+
+    name: str
+    features: frozenset[str]
+    tasks: frozenset[str]
+    module: str
+
+    def uses(self, feature: str) -> bool:
+        if feature not in FEATURES:
+            raise ValueError(f"unknown feature {feature!r}")
+        return feature in self.features
+
+    def supports(self, task: str) -> bool:
+        if task not in TASKS:
+            raise ValueError(f"unknown task {task!r}")
+        return task in self.tasks
+
+
+def _row(name: str, features: tuple[str, ...], tasks: tuple[str, ...], module: str) -> MethodCapabilities:
+    return MethodCapabilities(
+        name=name, features=frozenset(features), tasks=frozenset(tasks), module=module
+    )
+
+
+#: The Table-2 matrix, one entry per compared method.
+CAPABILITIES: tuple[MethodCapabilities, ...] = (
+    _row(
+        "PMTLM",
+        ("text", "social"),
+        ("topic_extraction", "community_detection"),
+        "repro.baselines.pmtlm",
+    ),
+    _row(
+        "MMSB",
+        ("social",),
+        ("community_detection",),
+        "repro.baselines.mmsb",
+    ),
+    _row(
+        "EUTB",
+        ("text", "social", "time"),
+        ("topic_extraction", "temporal_modeling"),
+        "repro.baselines.eutb",
+    ),
+    _row(
+        "Pipeline",
+        ("text", "social", "time"),
+        ("topic_extraction", "community_detection", "temporal_modeling"),
+        "repro.baselines.pipeline",
+    ),
+    _row(
+        "WTM",
+        ("text", "social"),
+        ("diffusion_prediction",),
+        "repro.baselines.wtm",
+    ),
+    _row(
+        "TI",
+        ("text", "social"),
+        ("topic_extraction", "diffusion_prediction"),
+        "repro.baselines.ti",
+    ),
+    _row(
+        "COLD",
+        ("text", "social", "time"),
+        (
+            "topic_extraction",
+            "community_detection",
+            "temporal_modeling",
+            "diffusion_prediction",
+        ),
+        "repro.core.model",
+    ),
+)
+
+
+def capability_table() -> str:
+    """Render Table 2 as aligned ASCII (the bench prints this)."""
+    header = ["method"] + [f"f:{f}" for f in FEATURES] + [f"t:{t[:9]}" for t in TASKS]
+    rows = [header]
+    for method in CAPABILITIES:
+        rows.append(
+            [method.name]
+            + ["x" if method.uses(f) else "" for f in FEATURES]
+            + ["x" if method.supports(t) else "" for t in TASKS]
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def find_method(name: str) -> MethodCapabilities:
+    """Look up one Table-2 row by method name (case-insensitive)."""
+    for method in CAPABILITIES:
+        if method.name.lower() == name.lower():
+            return method
+    raise KeyError(f"unknown method {name!r}")

@@ -1,0 +1,40 @@
+"""COLD without the network component (paper §6.1, baseline 4).
+
+A thin, explicit wrapper over :class:`~repro.core.model.COLDModel` with
+``include_network=False``: the link variables (and ``eta``) are never
+sampled, isolating the contribution of the network feature in the
+time-stamp prediction study (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from ..core.model import COLDModel
+from ..core.params import Hyperparameters
+
+
+class COLDNoLinkModel(COLDModel):
+    """COLD-NoLink: identical inference, network component disabled."""
+
+    def __init__(
+        self,
+        num_communities: int = 20,
+        num_topics: int = 20,
+        hyperparameters: Hyperparameters | None = None,
+        prior: str = "paper",
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            num_communities=num_communities,
+            num_topics=num_topics,
+            hyperparameters=hyperparameters,
+            include_network=False,
+            prior=prior,
+            seed=seed,
+        )
+
+    def __repr__(self) -> str:
+        status = "fitted" if self.fitted else "unfitted"
+        return (
+            f"COLDNoLinkModel(C={self.num_communities}, "
+            f"K={self.num_topics}, {status})"
+        )

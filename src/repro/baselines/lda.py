@@ -1,0 +1,162 @@
+"""Latent Dirichlet Allocation via collapsed Gibbs sampling.
+
+LDA [Blei et al. 2003; Griffiths & Steyvers 2004] is the shared building
+block of several baselines in the paper's comparison: TOT extends it with a
+time density, PMTLM couples it with links, TI uses its topics to condition
+user-to-user influence.  Documents are individual posts and — unlike COLD —
+every *word* carries its own topic assignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.corpus import Post, SocialCorpus
+
+
+class LDAError(RuntimeError):
+    """Raised on invalid LDA usage."""
+
+
+class LDAModel:
+    """Collapsed-Gibbs LDA over posts.
+
+    Parameters
+    ----------
+    num_topics:
+        Number of topics ``K``.
+    alpha, beta:
+        Dirichlet priors on document-topic and topic-word distributions;
+        ``alpha`` defaults to the common ``50 / K`` rule.
+    """
+
+    def __init__(
+        self,
+        num_topics: int = 20,
+        alpha: float | None = None,
+        beta: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        if num_topics <= 0:
+            raise LDAError("num_topics must be positive")
+        self.num_topics = num_topics
+        self.alpha = 50.0 / num_topics if alpha is None else alpha
+        self.beta = beta
+        if self.alpha <= 0 or self.beta <= 0:
+            raise LDAError("alpha and beta must be positive")
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.phi_: np.ndarray | None = None
+        self.doc_topic_: np.ndarray | None = None
+        self.corpus_: SocialCorpus | None = None
+
+    # -- fitting -----------------------------------------------------------------
+
+    def fit(self, corpus: SocialCorpus, num_iterations: int = 100) -> "LDAModel":
+        """Run ``num_iterations`` collapsed Gibbs sweeps."""
+        if num_iterations <= 0:
+            raise LDAError("num_iterations must be positive")
+        K, V = self.num_topics, corpus.vocab_size
+        D = corpus.num_posts
+
+        # Flatten tokens: doc_of[j], word_of[j] for token j; z[j] assignment.
+        doc_of = np.concatenate(
+            [np.full(len(post), d, dtype=np.int64) for d, post in enumerate(corpus.posts)]
+        ) if D else np.zeros(0, np.int64)
+        word_of = np.concatenate(
+            [np.asarray(post.words, dtype=np.int64) for post in corpus.posts]
+        ) if D else np.zeros(0, np.int64)
+        num_tokens = len(word_of)
+        z = self._rng.integers(K, size=num_tokens)
+
+        n_doc_topic = np.zeros((D, K), dtype=np.int64)
+        n_topic_word = np.zeros((K, V), dtype=np.int64)
+        n_topic = np.zeros(K, dtype=np.int64)
+        np.add.at(n_doc_topic, (doc_of, z), 1)
+        np.add.at(n_topic_word, (z, word_of), 1)
+        np.add.at(n_topic, z, 1)
+
+        for _ in range(num_iterations):
+            order = self._rng.permutation(num_tokens)
+            for j in order:
+                d, v, k = doc_of[j], word_of[j], z[j]
+                n_doc_topic[d, k] -= 1
+                n_topic_word[k, v] -= 1
+                n_topic[k] -= 1
+                weights = (
+                    (n_doc_topic[d] + self.alpha)
+                    * (n_topic_word[:, v] + self.beta)
+                    / (n_topic + V * self.beta)
+                )
+                k = int(
+                    np.searchsorted(
+                        np.cumsum(weights), self._rng.random() * weights.sum()
+                    )
+                )
+                k = min(k, K - 1)
+                z[j] = k
+                n_doc_topic[d, k] += 1
+                n_topic_word[k, v] += 1
+                n_topic[k] += 1
+
+        self.phi_ = (n_topic_word + self.beta) / (
+            n_topic[:, None] + V * self.beta
+        )
+        self.doc_topic_ = (n_doc_topic + self.alpha) / (
+            n_doc_topic.sum(axis=1, keepdims=True) + K * self.alpha
+        )
+        self.corpus_ = corpus
+        return self
+
+    def _require_fit(self) -> np.ndarray:
+        if self.phi_ is None:
+            raise LDAError("model is not fitted; call fit() first")
+        return self.phi_
+
+    # -- derived quantities --------------------------------------------------------
+
+    def user_topic_distribution(self) -> np.ndarray:
+        """Per-user topic interest: membership-weighted average of the
+        user's post-topic mixtures, ``(U, K)`` rows summing to 1."""
+        self._require_fit()
+        assert self.corpus_ is not None and self.doc_topic_ is not None
+        U, K = self.corpus_.num_users, self.num_topics
+        totals = np.zeros((U, K))
+        counts = np.zeros(U)
+        for d, post in enumerate(self.corpus_.posts):
+            totals[post.author] += self.doc_topic_[d]
+            counts[post.author] += 1
+        counts = np.maximum(counts, 1.0)
+        result = totals / counts[:, None]
+        zero_rows = result.sum(axis=1) == 0
+        result[zero_rows] = 1.0 / K
+        return result / result.sum(axis=1, keepdims=True)
+
+    def topic_posterior(self, words: tuple[int, ...] | list[int]) -> np.ndarray:
+        """Fold-in topic posterior of an unseen bag of words:
+        ``P(k | w) ∝ prod_l phi_k,w_l`` under a uniform topic prior."""
+        phi = self._require_fit()
+        if not words:
+            raise LDAError("need at least one word")
+        log_like = np.log(phi[:, list(words)] + 1e-300).sum(axis=1)
+        log_like -= log_like.max()
+        weights = np.exp(log_like)
+        return weights / weights.sum()
+
+    def log_post_probability(
+        self, words: tuple[int, ...] | list[int], author: int
+    ) -> float:
+        """Held-out ``log p(w_d)`` for perplexity, mixing over the author's
+        inferred topic interest (the LDA analogue of the §6.2 formula)."""
+        phi = self._require_fit()
+        prior = self.user_topic_distribution()[author]
+        log_word = np.log(phi[:, list(words)] + 1e-300)
+        # Per-word mixture (proper LDA predictive treats words independently
+        # given the document mixture).
+        per_word = prior @ np.exp(log_word - log_word.max(axis=0, keepdims=True))
+        shift = log_word.max(axis=0)
+        return float((np.log(np.maximum(per_word, 1e-300)) + shift).sum())
+
+    def dominant_topic(self, post: Post) -> int:
+        """Most likely topic of a post under the fold-in posterior."""
+        return int(self.topic_posterior(post.words).argmax())

@@ -1,0 +1,144 @@
+"""Pipelined community-level temporal dynamics (paper §6.1, baseline 5).
+
+The paper's strawman for *decoupled* extraction: first run MMSB on the
+network to assign each user to their two most probable communities, then
+run Topics-over-Time on each community's post collection separately.  The
+two stages never exchange information, so the interdependence between
+network and content — which COLD models jointly — is lost; §6.3 shows this
+costs substantial time-stamp prediction accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.corpus import Post, SocialCorpus
+from .mmsb import MMSBModel
+from .tot import TOTModel
+
+
+class PipelineError(RuntimeError):
+    """Raised on invalid Pipeline usage."""
+
+
+class PipelineModel:
+    """MMSB -> per-community TOT pipeline.
+
+    After :meth:`fit`:
+
+    * ``mmsb_`` — the fitted network stage;
+    * ``community_models_`` — one fitted :class:`TOTModel` per community
+      that received posts (``None`` for empty communities);
+    * ``user_communities_`` — each user's top-2 community assignment.
+    """
+
+    def __init__(
+        self,
+        num_communities: int = 10,
+        num_topics: int = 10,
+        communities_per_user: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if num_communities <= 0 or num_topics <= 0:
+            raise PipelineError("num_communities and num_topics must be positive")
+        if communities_per_user <= 0:
+            raise PipelineError("communities_per_user must be positive")
+        self.num_communities = num_communities
+        self.num_topics = num_topics
+        self.communities_per_user = communities_per_user
+        self.seed = seed
+        self.mmsb_: MMSBModel | None = None
+        self.community_models_: list[TOTModel | None] | None = None
+        self.user_communities_: list[list[int]] | None = None
+
+    def fit(
+        self,
+        corpus: SocialCorpus,
+        network_iterations: int = 50,
+        text_iterations: int = 50,
+    ) -> "PipelineModel":
+        mmsb = MMSBModel(self.num_communities, seed=self.seed).fit(
+            corpus, num_iterations=network_iterations
+        )
+        user_communities = [
+            mmsb.top_communities(user, self.communities_per_user)
+            for user in range(corpus.num_users)
+        ]
+
+        members: list[list[int]] = [[] for _ in range(self.num_communities)]
+        for user, communities in enumerate(user_communities):
+            for c in communities:
+                members[c].append(user)
+        member_sets = [set(m) for m in members]
+
+        community_models: list[TOTModel | None] = []
+        for c in range(self.num_communities):
+            post_indices = [
+                idx
+                for idx, post in enumerate(corpus.posts)
+                if post.author in member_sets[c]
+            ]
+            if len(post_indices) < self.num_topics:
+                community_models.append(None)
+                continue
+            sub_corpus = corpus.subset_posts(post_indices)
+            model = TOTModel(self.num_topics, seed=self.seed + c + 1).fit(
+                sub_corpus, num_iterations=text_iterations
+            )
+            community_models.append(model)
+
+        if all(model is None for model in community_models):
+            raise PipelineError("no community received enough posts to fit TOT")
+        self.mmsb_ = mmsb
+        self.community_models_ = community_models
+        self.user_communities_ = user_communities
+        return self
+
+    def _require_fit(self) -> None:
+        if self.community_models_ is None:
+            raise PipelineError("model is not fitted; call fit() first")
+
+    # -- predictions ---------------------------------------------------------------
+
+    def timestamp_scores(self, post: Post) -> np.ndarray:
+        """Mixture of the author's communities' TOT slice likelihoods:
+
+        ``score(t) = sum_{c in top2(i)} pi_ic sum_k P_c(k) psi^c_k[t]
+        prod_l phi^c_k,w_l``.
+        """
+        self._require_fit()
+        assert (
+            self.mmsb_ is not None
+            and self.mmsb_.pi_ is not None
+            and self.community_models_ is not None
+            and self.user_communities_ is not None
+        )
+        scores: np.ndarray | None = None
+        total_weight = 0.0
+        for c in self.user_communities_[post.author]:
+            model = self.community_models_[c]
+            if model is None:
+                continue
+            weight = float(self.mmsb_.pi_[post.author, c])
+            contribution = weight * model.timestamp_scores(post)
+            scores = contribution if scores is None else scores + contribution
+            total_weight += weight
+        if scores is None:
+            # Author's communities have no text model: fall back to any
+            # fitted community (uninformed but well-defined).
+            fallback = next(m for m in self.community_models_ if m is not None)
+            return fallback.timestamp_scores(post)
+        return scores
+
+    def predict_timestamp(self, post: Post) -> int:
+        return int(self.timestamp_scores(post).argmax())
+
+    def community_temporal_distribution(self, community: int) -> np.ndarray | None:
+        """Community's per-topic temporal curves (``(K, T)``), or ``None``
+        when that community had too few posts to fit."""
+        self._require_fit()
+        assert self.community_models_ is not None
+        if not 0 <= community < self.num_communities:
+            raise PipelineError(f"community {community} out of range")
+        model = self.community_models_[community]
+        return None if model is None else model.temporal_distribution()

@@ -1,0 +1,193 @@
+"""Topics over Time (TOT) [Wang & McCallum 2006].
+
+A non-Markov continuous-time topic model: LDA plus a per-topic Beta density
+over (normalised) document timestamps.  Each word's Gibbs weight carries the
+Beta likelihood of its document's time, and the Beta parameters are updated
+by moment matching after every sweep — the original paper's procedure.
+
+COLD's §3.3 contrasts its multinomial ``psi`` with TOT's *unimodal* Beta:
+TOT cannot represent topics that rise and fall repeatedly.  The baseline is
+used directly (temporal modelling comparison) and inside the Pipeline
+baseline (MMSB -> per-community TOT).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import beta as beta_dist
+
+from ..datasets.corpus import Post, SocialCorpus
+
+
+class TOTError(RuntimeError):
+    """Raised on invalid TOT usage."""
+
+
+def normalise_timestamp(timestamp: int, num_time_slices: int) -> float:
+    """Map a discrete slice to the open unit interval (Beta support)."""
+    return (timestamp + 0.5) / num_time_slices
+
+
+def moment_match_beta(samples: np.ndarray) -> tuple[float, float]:
+    """Beta(a, b) parameters matching the sample mean/variance.
+
+    Falls back to the uniform Beta(1, 1) for degenerate samples (empty, or
+    zero variance), keeping the sampler numerically safe early in a run.
+    """
+    if samples.size == 0:
+        return 1.0, 1.0
+    mean = float(samples.mean())
+    var = float(samples.var())
+    mean = min(max(mean, 1e-4), 1 - 1e-4)
+    if var <= 1e-8:
+        var = 1e-8
+    common = mean * (1 - mean) / var - 1
+    if common <= 0:
+        return 1.0, 1.0
+    a = max(mean * common, 1e-2)
+    b = max((1 - mean) * common, 1e-2)
+    # Cap to avoid numerically spiky densities on tiny clusters.
+    return min(a, 1e3), min(b, 1e3)
+
+
+class TOTModel:
+    """Collapsed-Gibbs Topics-over-Time.
+
+    After :meth:`fit`: ``phi_`` (topic-word), ``doc_topic_`` (per-post
+    mixture), ``beta_params_`` (per-topic Beta over time).
+    """
+
+    def __init__(
+        self,
+        num_topics: int = 20,
+        alpha: float | None = None,
+        beta: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        if num_topics <= 0:
+            raise TOTError("num_topics must be positive")
+        self.num_topics = num_topics
+        self.alpha = 50.0 / num_topics if alpha is None else alpha
+        self.beta = beta
+        if self.alpha <= 0 or self.beta <= 0:
+            raise TOTError("alpha and beta must be positive")
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.phi_: np.ndarray | None = None
+        self.doc_topic_: np.ndarray | None = None
+        self.beta_params_: np.ndarray | None = None  # (K, 2)
+        self.num_time_slices_: int | None = None
+
+    def fit(self, corpus: SocialCorpus, num_iterations: int = 100) -> "TOTModel":
+        """Gibbs sweeps with per-sweep Beta moment matching."""
+        if num_iterations <= 0:
+            raise TOTError("num_iterations must be positive")
+        K, V, D = self.num_topics, corpus.vocab_size, corpus.num_posts
+        if D == 0:
+            raise TOTError("corpus has no posts")
+        self.num_time_slices_ = corpus.num_time_slices
+
+        doc_of = np.concatenate(
+            [np.full(len(post), d, dtype=np.int64) for d, post in enumerate(corpus.posts)]
+        )
+        word_of = np.concatenate(
+            [np.asarray(post.words, dtype=np.int64) for post in corpus.posts]
+        )
+        doc_time = np.asarray(
+            [
+                normalise_timestamp(post.timestamp, corpus.num_time_slices)
+                for post in corpus.posts
+            ]
+        )
+        num_tokens = len(word_of)
+        z = self._rng.integers(K, size=num_tokens)
+
+        n_doc_topic = np.zeros((D, K), dtype=np.int64)
+        n_topic_word = np.zeros((K, V), dtype=np.int64)
+        n_topic = np.zeros(K, dtype=np.int64)
+        np.add.at(n_doc_topic, (doc_of, z), 1)
+        np.add.at(n_topic_word, (z, word_of), 1)
+        np.add.at(n_topic, z, 1)
+
+        beta_params = np.ones((K, 2))
+        for _ in range(num_iterations):
+            # Cache the Beta densities at each token's document time.
+            densities = np.empty((K, num_tokens))
+            for k in range(K):
+                densities[k] = beta_dist.pdf(
+                    doc_time[doc_of], beta_params[k, 0], beta_params[k, 1]
+                )
+            densities = np.maximum(densities, 1e-12)
+
+            order = self._rng.permutation(num_tokens)
+            for j in order:
+                d, v, k = doc_of[j], word_of[j], z[j]
+                n_doc_topic[d, k] -= 1
+                n_topic_word[k, v] -= 1
+                n_topic[k] -= 1
+                weights = (
+                    (n_doc_topic[d] + self.alpha)
+                    * (n_topic_word[:, v] + self.beta)
+                    / (n_topic + V * self.beta)
+                    * densities[:, j]
+                )
+                k = int(
+                    np.searchsorted(
+                        np.cumsum(weights), self._rng.random() * weights.sum()
+                    )
+                )
+                k = min(k, K - 1)
+                z[j] = k
+                n_doc_topic[d, k] += 1
+                n_topic_word[k, v] += 1
+                n_topic[k] += 1
+
+            token_time = doc_time[doc_of]
+            for k in range(K):
+                beta_params[k] = moment_match_beta(token_time[z == k])
+
+        self.phi_ = (n_topic_word + self.beta) / (n_topic[:, None] + V * self.beta)
+        self.doc_topic_ = (n_doc_topic + self.alpha) / (
+            n_doc_topic.sum(axis=1, keepdims=True) + K * self.alpha
+        )
+        self.beta_params_ = beta_params
+        return self
+
+    def _require_fit(self) -> np.ndarray:
+        if self.phi_ is None:
+            raise TOTError("model is not fitted; call fit() first")
+        return self.phi_
+
+    # -- derived -------------------------------------------------------------------
+
+    def topic_proportions(self) -> np.ndarray:
+        """Corpus-level topic weights (mean of post mixtures)."""
+        self._require_fit()
+        assert self.doc_topic_ is not None
+        return self.doc_topic_.mean(axis=0)
+
+    def temporal_distribution(self) -> np.ndarray:
+        """Per-topic Beta densities discretised over the ``T`` slices,
+        normalised — the TOT analogue of COLD's ``psi_k`` (``(K, T)``)."""
+        self._require_fit()
+        assert self.beta_params_ is not None and self.num_time_slices_ is not None
+        T = self.num_time_slices_
+        centers = (np.arange(T) + 0.5) / T
+        psi = np.empty((self.num_topics, T))
+        for k in range(self.num_topics):
+            psi[k] = beta_dist.pdf(centers, *self.beta_params_[k])
+        psi = np.maximum(psi, 1e-12)
+        return psi / psi.sum(axis=1, keepdims=True)
+
+    def timestamp_scores(self, post: Post) -> np.ndarray:
+        """Per-slice likelihood for time-stamp prediction:
+        ``score(t) = sum_k P(k) psi_k[t] prod_l phi_k,w_l``."""
+        phi = self._require_fit()
+        log_word = np.log(phi[:, list(post.words)] + 1e-300).sum(axis=1)
+        word_like = np.exp(log_word - log_word.max())
+        weights = self.topic_proportions() * word_like  # (K,)
+        return weights @ self.temporal_distribution()  # (T,)
+
+    def predict_timestamp(self, post: Post) -> int:
+        """Maximum-likelihood time slice of an unseen post."""
+        return int(self.timestamp_scores(post).argmax())

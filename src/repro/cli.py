@@ -1,0 +1,223 @@
+"""Command-line interface: ``cold <subcommand>``.
+
+Subcommands mirror the lifecycle of a COLD study:
+
+* ``generate``  — synthesise a Weibo-like corpus to JSONL;
+* ``train``     — fit COLD (serial or parallel) and save estimates;
+* ``analyze``   — print word clouds, a topic's diffusion graph, and the
+  influential-community summary for a trained model;
+* ``report``    — the full analysis report (all Fig. 5-16 analyses);
+* ``predict``   — time-stamp prediction accuracy of a trained model on a
+  held-out corpus slice.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.diffusion import extract_diffusion_graph
+from .core.influence import community_influence, pentagon_embedding
+from .core.model import COLDModel
+from .core.patterns import top_words
+from .core.prediction import predict_timestamp
+from .datasets.io import load_corpus, save_corpus
+from .datasets.splits import post_splits
+from .datasets.synthetic import SyntheticConfig, generate_corpus
+from .eval.timestamp import accuracy_curve
+from .parallel.sampler import ParallelCOLDSampler
+from .viz import diffusion_graph_summary, pentagon_summary, word_cloud
+
+
+def _add_generate(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser("generate", help="synthesise a corpus")
+    parser.add_argument("output", type=Path, help="output JSONL path")
+    parser.add_argument("--users", type=int, default=60)
+    parser.add_argument("--communities", type=int, default=4)
+    parser.add_argument("--topics", type=int, default=6)
+    parser.add_argument("--time-slices", type=int, default=24)
+    parser.add_argument("--vocab", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--themed", action="store_true", help="readable tokens")
+
+
+def _add_train(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser("train", help="fit COLD on a corpus")
+    parser.add_argument("corpus", type=Path, help="JSONL corpus path")
+    parser.add_argument("model", type=Path, help="output model path (no suffix)")
+    parser.add_argument("--communities", type=int, default=10)
+    parser.add_argument("--topics", type=int, default=10)
+    parser.add_argument("--iterations", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-network", action="store_true")
+    parser.add_argument(
+        "--nodes", type=int, default=1,
+        help="simulated cluster nodes (>1 uses the parallel sampler)",
+    )
+
+
+def _add_analyze(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser("analyze", help="explore a trained model")
+    parser.add_argument("model", type=Path, help="model path (no suffix)")
+    parser.add_argument("corpus", type=Path, help="JSONL corpus path")
+    parser.add_argument("--topic", type=int, default=0)
+    parser.add_argument("--top-words", type=int, default=12)
+
+
+def _add_report(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "report", help="full analysis report for a trained model"
+    )
+    parser.add_argument("model", type=Path, help="model path (no suffix)")
+    parser.add_argument("corpus", type=Path, help="JSONL corpus path")
+    parser.add_argument("--topic", type=int, default=None)
+    parser.add_argument("--output", type=Path, default=None, help="write to file")
+
+
+def _add_predict(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "predict", help="time-stamp prediction accuracy on a holdout"
+    )
+    parser.add_argument("model", type=Path)
+    parser.add_argument("corpus", type=Path)
+    parser.add_argument("--folds", type=int, default=5)
+    parser.add_argument("--tolerances", type=int, nargs="+", default=[0, 1, 2, 4])
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cold",
+        description="COLD: Community Level Diffusion Extraction (SIGMOD'15)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_generate(subparsers)
+    _add_train(subparsers)
+    _add_analyze(subparsers)
+    _add_report(subparsers)
+    _add_predict(subparsers)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = SyntheticConfig(
+        num_users=args.users,
+        num_communities=args.communities,
+        num_topics=args.topics,
+        num_time_slices=args.time_slices,
+        vocab_size=args.vocab,
+        themed=args.themed,
+        seed=args.seed,
+    )
+    corpus, _truth = generate_corpus(config)
+    save_corpus(corpus, args.output)
+    print(f"wrote {corpus} -> {args.output}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    corpus = load_corpus(args.corpus)
+    print(f"training on {corpus}")
+    if args.nodes > 1:
+        sampler = ParallelCOLDSampler(
+            num_communities=args.communities,
+            num_topics=args.topics,
+            num_nodes=args.nodes,
+            include_network=not args.no_network,
+            seed=args.seed,
+        ).fit(corpus, num_iterations=args.iterations)
+        model = COLDModel(
+            num_communities=args.communities,
+            num_topics=args.topics,
+            include_network=not args.no_network,
+            seed=args.seed,
+        )
+        model.estimates_ = sampler.estimates_
+        model.hyperparameters = sampler.hyperparameters
+        print(
+            f"parallel fit on {args.nodes} nodes: "
+            f"{sampler.training_seconds():.2f}s cluster time, "
+            f"speedup {sampler.speedup():.2f}x"
+        )
+    else:
+        model = COLDModel(
+            num_communities=args.communities,
+            num_topics=args.topics,
+            include_network=not args.no_network,
+            seed=args.seed,
+        ).fit(corpus, num_iterations=args.iterations)
+    model.save(args.model)
+    print(f"saved model -> {args.model}.json / .npz")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    model = COLDModel.load(args.model)
+    corpus = load_corpus(args.corpus)
+    estimates = model.estimates_
+    assert estimates is not None
+    print(f"== word cloud of topic {args.topic} ==")
+    print(
+        word_cloud(
+            top_words(estimates, args.topic, corpus.vocabulary, size=args.top_words)
+        )
+    )
+    print(f"\n== diffusion graph of topic {args.topic} ==")
+    graph = extract_diffusion_graph(estimates, args.topic)
+    print(diffusion_graph_summary(graph))
+    print(f"\n== influential communities at topic {args.topic} ==")
+    influence = community_influence(estimates, args.topic, num_simulations=100)
+    print(pentagon_summary(pentagon_embedding(estimates, influence)))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    model = COLDModel.load(args.model)
+    corpus = load_corpus(args.corpus)
+    estimates = model.estimates_
+    assert estimates is not None
+    split = post_splits(corpus, num_folds=args.folds, seed=args.seed)[0]
+    curve = accuracy_curve(
+        lambda post: predict_timestamp(estimates, post),
+        split.test,
+        args.tolerances,
+    )
+    for tolerance, accuracy in zip(args.tolerances, curve):
+        print(f"tolerance {tolerance:>3}: accuracy {accuracy:.3f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .report import build_report
+
+    model = COLDModel.load(args.model)
+    corpus = load_corpus(args.corpus)
+    assert model.estimates_ is not None
+    report = build_report(model.estimates_, corpus, topic=args.topic)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(report)
+        print(f"wrote report -> {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "train": _cmd_train,
+    "analyze": _cmd_analyze,
+    "report": _cmd_report,
+    "predict": _cmd_predict,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

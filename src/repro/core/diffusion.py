@@ -1,0 +1,148 @@
+"""Community-level diffusion extraction (paper §5.1, Figure 5).
+
+From the fitted intermediate factors, the topic-sensitive influence between
+communities is the two-stage combination of Eq. (4)::
+
+    zeta_kcc' = theta_ck * theta_c'k * eta_cc'
+
+which reduces the parameter count from C*C*K free parameters to C*(C+K)
+while keeping the predictive power the paper demonstrates (§3.5).
+
+:class:`CommunityDiffusionGraph` packages one topic's diffusion view — the
+data behind Figure 5: per-community interest pies, community-specific
+temporal curves (``psi``), and influence-weighted edges (``zeta``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .estimates import ParameterEstimates
+
+
+class DiffusionError(ValueError):
+    """Raised for invalid diffusion-extraction requests."""
+
+
+def zeta(estimates: ParameterEstimates) -> np.ndarray:
+    """All topic-sensitive influence strengths, shape ``(K, C, C)``.
+
+    ``zeta[k, c, c']`` is community c's influence on c' at topic k (Eq. 4).
+    """
+    theta_kc = estimates.theta.T  # (K, C)
+    return theta_kc[:, :, None] * theta_kc[:, None, :] * estimates.eta[None, :, :]
+
+
+def zeta_for_topic(estimates: ParameterEstimates, topic: int) -> np.ndarray:
+    """One topic's ``(C, C)`` influence matrix (Eq. 4)."""
+    K = estimates.num_topics
+    if not 0 <= topic < K:
+        raise DiffusionError(f"topic {topic} out of range [0, {K})")
+    interest = estimates.theta[:, topic]  # (C,)
+    return np.outer(interest, interest) * estimates.eta
+
+
+@dataclass(frozen=True)
+class DiffusionEdge:
+    """One influence edge of the Figure-5 graph."""
+
+    source: int
+    target: int
+    strength: float
+
+
+@dataclass
+class CommunityDiffusionGraph:
+    """The Figure-5 data structure for a single topic.
+
+    Attributes
+    ----------
+    topic:
+        The topic index ``k``.
+    communities:
+        Community indices included (the ``max_communities`` most interested).
+    interest:
+        ``theta_ck`` for each included community — the pie-chart weights.
+    top_topics:
+        Per community, its top-5 interests ``[(topic, weight), ...]`` — the
+        pie slices of Figure 5's nodes.
+    timelines:
+        ``psi_kc`` rows for each included community — the per-node curves.
+    edges:
+        Influence edges with ``zeta_kcc'`` strengths, strongest first,
+        truncated to ``max_edges``.
+    """
+
+    topic: int
+    communities: list[int]
+    interest: np.ndarray
+    top_topics: list[list[tuple[int, float]]]
+    timelines: np.ndarray
+    edges: list[DiffusionEdge]
+
+    def peak_times(self) -> np.ndarray:
+        """Per included community, the time slice where the topic peaks."""
+        return self.timelines.argmax(axis=1)
+
+    def strongest_community(self) -> int:
+        """The included community with the largest total outgoing influence
+        at this topic — Figure 5's 'most influential on Journey West'."""
+        outgoing = np.zeros(len(self.communities))
+        index_of = {c: i for i, c in enumerate(self.communities)}
+        for edge in self.edges:
+            outgoing[index_of[edge.source]] += edge.strength
+        return self.communities[int(outgoing.argmax())]
+
+
+def extract_diffusion_graph(
+    estimates: ParameterEstimates,
+    topic: int,
+    max_communities: int = 8,
+    max_edges: int = 20,
+    top_topics_per_community: int = 5,
+) -> CommunityDiffusionGraph:
+    """Build the Figure-5 view of ``topic``'s community-level diffusion.
+
+    Communities are ranked by interest ``theta_ck``; the ``max_communities``
+    most interested are included, their pairwise ``zeta`` edges ranked by
+    strength and truncated to ``max_edges``.
+    """
+    K = estimates.num_topics
+    if not 0 <= topic < K:
+        raise DiffusionError(f"topic {topic} out of range [0, {K})")
+    if max_communities < 2:
+        raise DiffusionError("need at least 2 communities for a diffusion graph")
+
+    interest_all = estimates.theta[:, topic]
+    order = np.argsort(interest_all)[::-1]
+    included = [int(c) for c in order[: min(max_communities, len(order))]]
+
+    influence = zeta_for_topic(estimates, topic)
+    edges: list[DiffusionEdge] = []
+    for c in included:
+        for c_prime in included:
+            if c == c_prime:
+                continue
+            edges.append(
+                DiffusionEdge(
+                    source=c, target=c_prime, strength=float(influence[c, c_prime])
+                )
+            )
+    edges.sort(key=lambda e: e.strength, reverse=True)
+    edges = edges[:max_edges]
+
+    top_topics: list[list[tuple[int, float]]] = []
+    for c in included:
+        ranked = np.argsort(estimates.theta[c])[::-1][:top_topics_per_community]
+        top_topics.append([(int(k), float(estimates.theta[c, k])) for k in ranked])
+
+    return CommunityDiffusionGraph(
+        topic=topic,
+        communities=included,
+        interest=interest_all[included].copy(),
+        top_topics=top_topics,
+        timelines=estimates.psi[topic, included, :].copy(),
+        edges=edges,
+    )

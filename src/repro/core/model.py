@@ -1,0 +1,255 @@
+"""The COLD model facade: configure, fit, estimate, persist.
+
+:class:`COLDModel` wires together the count state, the collapsed Gibbs
+kernels, the convergence monitor, and Appendix-A estimation into one
+sklearn-style object::
+
+    model = COLDModel(num_communities=10, num_topics=20, seed=0)
+    model.fit(corpus, num_iterations=150)
+    model.theta_        # community interests
+    model.estimates_    # all five distributions
+
+``include_network=False`` yields the paper's COLD-NoLink ablation (§6.1
+baseline 4): the network component is simply never sampled.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable
+from pathlib import Path
+
+import numpy as np
+
+from ..datasets.corpus import SocialCorpus
+from .estimates import ParameterEstimates, average_estimates, estimate_from_state
+from .gibbs import sweep
+from .likelihood import ConvergenceMonitor, joint_log_likelihood
+from .params import Hyperparameters
+from .state import CountState
+
+
+class ModelError(RuntimeError):
+    """Raised on invalid model usage (e.g. estimates before fit)."""
+
+
+class COLDModel:
+    """COmmunity Level Diffusion model (paper §3) with Gibbs inference (§4).
+
+    Parameters
+    ----------
+    num_communities, num_topics:
+        Latent dimensions ``C`` and ``K``.  The paper's sensitivity study
+        (Appendix B) finds ``C = K = 100`` best at Weibo scale; scale them
+        with your data.
+    hyperparameters:
+        Prior strengths; by default the paper's §6.5 rules are applied when
+        :meth:`fit` sees the corpus (they depend on ``C``, ``K``, ``n_neg``).
+    include_network:
+        When false, the link component is skipped entirely (COLD-NoLink).
+    kappa:
+        Weight of the implicit-negative-link prior (§3.3).
+    prior:
+        ``"paper"`` applies the paper's §6.5 hyper-parameter rules
+        (calibrated for Weibo scale); ``"scaled"`` applies
+        :meth:`Hyperparameters.scaled`, the laptop-scale operating values —
+        use it for corpora with tens of posts per user.  Ignored when
+        explicit ``hyperparameters`` are given.
+    seed:
+        Seed of the sampler's RNG; fits are reproducible given a seed.
+    """
+
+    def __init__(
+        self,
+        num_communities: int = 20,
+        num_topics: int = 20,
+        hyperparameters: Hyperparameters | None = None,
+        include_network: bool = True,
+        kappa: float = 1.0,
+        prior: str = "paper",
+        seed: int = 0,
+    ) -> None:
+        if num_communities <= 0 or num_topics <= 0:
+            raise ModelError("num_communities and num_topics must be positive")
+        if prior not in ("paper", "scaled"):
+            raise ModelError(f"prior must be 'paper' or 'scaled', got {prior!r}")
+        self.num_communities = num_communities
+        self.num_topics = num_topics
+        self.hyperparameters = hyperparameters
+        self.include_network = include_network
+        self.kappa = kappa
+        self.prior = prior
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.state_: CountState | None = None
+        self.estimates_: ParameterEstimates | None = None
+        self.monitor_: ConvergenceMonitor | None = None
+        self.corpus_: SocialCorpus | None = None
+
+    # -- fitting ---------------------------------------------------------------
+
+    def fit(
+        self,
+        corpus: SocialCorpus,
+        num_iterations: int = 100,
+        burn_in: int | None = None,
+        sample_interval: int = 5,
+        likelihood_interval: int = 10,
+        callback: Callable[[int, "COLDModel"], None] | None = None,
+        check_invariants: bool = False,
+    ) -> "COLDModel":
+        """Run the collapsed Gibbs sampler and store averaged estimates.
+
+        Parameters
+        ----------
+        num_iterations:
+            Total Gibbs sweeps.
+        burn_in:
+            Sweeps to discard before collecting samples; defaults to half of
+            ``num_iterations``.
+        sample_interval:
+            Collect a point-estimate sample every this many post-burn-in
+            sweeps (thinning); samples are averaged into ``estimates_``.
+        likelihood_interval:
+            Record the joint likelihood every this many sweeps (the paper's
+            periodic convergence monitoring); 0 disables monitoring.
+        callback:
+            Called as ``callback(iteration, model)`` after every sweep.
+        check_invariants:
+            Recount all Gibbs counters after every sweep (slow; for tests).
+        """
+        if num_iterations <= 0:
+            raise ModelError("num_iterations must be positive")
+        if burn_in is None:
+            burn_in = num_iterations // 2
+        if not 0 <= burn_in < num_iterations:
+            raise ModelError("burn_in must lie in [0, num_iterations)")
+        if sample_interval <= 0:
+            raise ModelError("sample_interval must be positive")
+
+        hp = self._resolve_hyperparameters(corpus)
+        state = CountState.initialize(
+            corpus,
+            self.num_communities,
+            self.num_topics,
+            self._rng,
+            include_network=self.include_network,
+        )
+        monitor = ConvergenceMonitor()
+        samples: list[ParameterEstimates] = []
+
+        for iteration in range(1, num_iterations + 1):
+            sweep(state, hp, self._rng)
+            if check_invariants:
+                state.check_invariants()
+            if likelihood_interval and iteration % likelihood_interval == 0:
+                monitor.record(joint_log_likelihood(state, hp))
+            if iteration > burn_in and (iteration - burn_in) % sample_interval == 0:
+                samples.append(estimate_from_state(state, hp))
+            if callback is not None:
+                callback(iteration, self)
+
+        if not samples:
+            samples.append(estimate_from_state(state, hp))
+        self.state_ = state
+        self.monitor_ = monitor
+        self.corpus_ = corpus
+        self.hyperparameters = hp
+        self.estimates_ = average_estimates(samples)
+        return self
+
+    def _resolve_hyperparameters(self, corpus: SocialCorpus) -> Hyperparameters:
+        if self.hyperparameters is not None:
+            return self.hyperparameters
+        network_corpus = corpus if self.include_network else None
+        if self.prior == "scaled":
+            return Hyperparameters.scaled(
+                self.num_communities, self.num_topics, network_corpus
+            )
+        return Hyperparameters.default(
+            self.num_communities, self.num_topics, network_corpus, kappa=self.kappa
+        )
+
+    # -- estimated distributions -------------------------------------------------
+
+    def _require_fit(self) -> ParameterEstimates:
+        if self.estimates_ is None:
+            raise ModelError("model is not fitted; call fit() first")
+        return self.estimates_
+
+    @property
+    def pi_(self) -> np.ndarray:
+        """User community memberships, ``(U, C)``."""
+        return self._require_fit().pi
+
+    @property
+    def theta_(self) -> np.ndarray:
+        """Community topic interests, ``(C, K)``."""
+        return self._require_fit().theta
+
+    @property
+    def phi_(self) -> np.ndarray:
+        """Topic word distributions, ``(K, V)``."""
+        return self._require_fit().phi
+
+    @property
+    def psi_(self) -> np.ndarray:
+        """Community-specific temporal distributions, ``(K, C, T)``."""
+        return self._require_fit().psi
+
+    @property
+    def eta_(self) -> np.ndarray:
+        """Inter-community influence strengths, ``(C, C)``."""
+        return self._require_fit().eta
+
+    @property
+    def fitted(self) -> bool:
+        return self.estimates_ is not None
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist configuration + estimates (two files: .json and .npz)."""
+        estimates = self._require_fit()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        hp = self.hyperparameters
+        config = {
+            "num_communities": self.num_communities,
+            "num_topics": self.num_topics,
+            "include_network": self.include_network,
+            "kappa": self.kappa,
+            "prior": self.prior,
+            "seed": self.seed,
+            "hyperparameters": None
+            if hp is None
+            else {
+                "rho": hp.rho,
+                "alpha": hp.alpha,
+                "beta": hp.beta,
+                "epsilon": hp.epsilon,
+                "lambda0": hp.lambda0,
+                "lambda1": hp.lambda1,
+            },
+        }
+        path.with_suffix(".json").write_text(json.dumps(config, indent=2))
+        estimates.save(path.with_suffix(".npz"))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "COLDModel":
+        """Load a model written by :meth:`save` (fitted, ready to predict)."""
+        path = Path(path)
+        config = json.loads(path.with_suffix(".json").read_text())
+        hp_dict = config.pop("hyperparameters")
+        hyperparameters = None if hp_dict is None else Hyperparameters(**hp_dict)
+        model = cls(hyperparameters=hyperparameters, **config)
+        model.estimates_ = ParameterEstimates.load(path.with_suffix(".npz"))
+        return model
+
+    def __repr__(self) -> str:
+        status = "fitted" if self.fitted else "unfitted"
+        network = "network" if self.include_network else "no-link"
+        return (
+            f"COLDModel(C={self.num_communities}, K={self.num_topics}, "
+            f"{network}, {status})"
+        )

@@ -1,0 +1,214 @@
+"""Diffusion-pattern analyses (paper §5.3, Figures 6–8).
+
+Three analyses over the fitted estimates:
+
+* **Fluctuation vs. interest** (Fig. 6): the variance of a topic's
+  community-specific temporal distribution ``psi_kc`` against the
+  community's interest ``theta_ck``; the paper finds fluctuation peaks in
+  *medium*-interested communities (interest between ~0.01% and ~1%).
+* **Popularity time lag** (Fig. 7): peak-aligned median popularity curves
+  of highly- vs. medium-interested communities; highly-interested ones rise
+  earlier and stay popular longer.
+* **Top words** (Fig. 8): per-topic word clouds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.vocabulary import Vocabulary
+from .estimates import ParameterEstimates
+
+
+class PatternError(ValueError):
+    """Raised for invalid pattern-analysis requests."""
+
+
+# -- Figure 6: fluctuation vs interest ----------------------------------------
+
+
+def temporal_variance(psi_row: np.ndarray) -> float:
+    """Variance of the time index under the distribution ``psi_kc``.
+
+    The paper "uses the variance of topic's community-specific temporal
+    distribution psi_kc to measure the fluctuation intensity".
+    """
+    grid = np.arange(len(psi_row), dtype=np.float64)
+    mean = float(psi_row @ grid)
+    return float(psi_row @ (grid - mean) ** 2)
+
+
+@dataclass
+class FluctuationAnalysis:
+    """The Figure-6 scatter data plus its interest-bucketed summary.
+
+    ``interest`` / ``variance`` are flat arrays over all (k, c) pairs.
+    ``bucket_edges`` / ``bucket_mean_variance`` summarise variance within
+    log-spaced interest buckets (the shape assertion of Fig. 6: the middle
+    buckets dominate).
+    """
+
+    interest: np.ndarray
+    variance: np.ndarray
+    bucket_edges: np.ndarray
+    bucket_mean_variance: np.ndarray
+
+    def interest_cdf(self, grid: np.ndarray) -> np.ndarray:
+        """Cumulative distribution of interest strengths over ``grid``."""
+        sorted_interest = np.sort(self.interest)
+        return np.searchsorted(sorted_interest, grid, side="right") / len(
+            sorted_interest
+        )
+
+    def peak_bucket(self) -> int:
+        """Index of the interest bucket with maximal mean variance."""
+        valid = np.where(np.isfinite(self.bucket_mean_variance))[0]
+        if valid.size == 0:
+            raise PatternError("no populated interest buckets")
+        return int(valid[self.bucket_mean_variance[valid].argmax()])
+
+
+def fluctuation_analysis(
+    estimates: ParameterEstimates, num_buckets: int = 12
+) -> FluctuationAnalysis:
+    """Compute the Fig.-6 relation between ``theta_ck`` and var(``psi_kc``)."""
+    if num_buckets < 3:
+        raise PatternError("need at least 3 interest buckets")
+    C, K = estimates.theta.shape
+    interest = estimates.theta.T.ravel()  # (K*C,) aligned with psi below
+    variance = np.array(
+        [
+            temporal_variance(estimates.psi[k, c])
+            for k in range(K)
+            for c in range(C)
+        ]
+    )
+    low = max(interest.min(), 1e-6)
+    high = max(interest.max(), low * 10)
+    edges = np.logspace(np.log10(low), np.log10(high), num_buckets + 1)
+    bucket_means = np.full(num_buckets, np.nan)
+    which = np.clip(np.searchsorted(edges, interest, side="right") - 1, 0, num_buckets - 1)
+    for b in range(num_buckets):
+        mask = which == b
+        if mask.any():
+            bucket_means[b] = float(variance[mask].mean())
+    return FluctuationAnalysis(
+        interest=interest,
+        variance=variance,
+        bucket_edges=edges,
+        bucket_mean_variance=bucket_means,
+    )
+
+
+# -- Figure 7: popularity time lag ---------------------------------------------
+
+
+@dataclass
+class TimeLagAnalysis:
+    """The Figure-7 peak-aligned median curves for one topic.
+
+    Curves are normalised so each community's peak popularity equals 1,
+    then the median is taken per time slice across each community group.
+    """
+
+    topic: int
+    high_communities: list[int]
+    medium_communities: list[int]
+    high_curve: np.ndarray
+    medium_curve: np.ndarray
+
+    def peak_lag(self) -> int:
+        """(medium peak time) - (high peak time); positive = medium lags."""
+        return int(self.medium_curve.argmax()) - int(self.high_curve.argmax())
+
+    def durability(self, level: float = 0.5) -> tuple[int, int]:
+        """Number of slices each curve stays above ``level`` of its peak —
+        the paper's 'durable popularity' observation."""
+        high = int((self.high_curve >= level * self.high_curve.max()).sum())
+        medium = int((self.medium_curve >= level * self.medium_curve.max()).sum())
+        return high, medium
+
+
+def _median_peak_aligned(curves: np.ndarray) -> np.ndarray:
+    """Normalise each row to peak 1, then take the per-slice median."""
+    peaks = curves.max(axis=1, keepdims=True)
+    normalised = curves / np.maximum(peaks, 1e-300)
+    return np.median(normalised, axis=0)
+
+
+def time_lag_analysis(
+    estimates: ParameterEstimates,
+    topic: int,
+    num_high: int = 10,
+    low_threshold: float = 1e-4,
+) -> TimeLagAnalysis:
+    """Split communities into highly- vs medium-interested and build Fig. 7.
+
+    Following §5.3: the ``num_high`` communities with the largest
+    ``theta_ck`` are "highly interested"; the rest are "medium" unless their
+    interest falls below ``low_threshold`` (the paper's 0.01%), in which
+    case they are dropped.
+    """
+    K = estimates.num_topics
+    if not 0 <= topic < K:
+        raise PatternError(f"topic {topic} out of range [0, {K})")
+    interest = estimates.theta[:, topic]
+    order = np.argsort(interest)[::-1]
+    num_high = min(num_high, max(1, len(order) // 2))
+    high = [int(c) for c in order[:num_high]]
+    medium = [
+        int(c) for c in order[num_high:] if interest[c] >= low_threshold
+    ]
+    if not medium:
+        raise PatternError(
+            "no medium-interested communities above the threshold; "
+            "lower low_threshold or num_high"
+        )
+    return TimeLagAnalysis(
+        topic=topic,
+        high_communities=high,
+        medium_communities=medium,
+        high_curve=_median_peak_aligned(estimates.psi[topic, high, :]),
+        medium_curve=_median_peak_aligned(estimates.psi[topic, medium, :]),
+    )
+
+
+# -- Figure 8: word clouds ------------------------------------------------------
+
+
+def top_words(
+    estimates: ParameterEstimates,
+    topic: int,
+    vocabulary: Vocabulary | None = None,
+    size: int = 20,
+) -> list[tuple[str, float]]:
+    """The ``size`` highest-probability words of ``topic`` with weights.
+
+    Without a vocabulary, ids are rendered as ``"w<id>"``.
+    """
+    K = estimates.num_topics
+    if not 0 <= topic < K:
+        raise PatternError(f"topic {topic} out of range [0, {K})")
+    if size <= 0:
+        raise PatternError("size must be positive")
+    row = estimates.phi[topic]
+    order = np.argsort(row)[::-1][: min(size, len(row))]
+    result = []
+    for v in order:
+        token = vocabulary.token_of(int(v)) if vocabulary is not None else f"w{int(v)}"
+        result.append((token, float(row[v])))
+    return result
+
+
+def all_word_clouds(
+    estimates: ParameterEstimates,
+    vocabulary: Vocabulary | None = None,
+    size: int = 20,
+) -> list[list[tuple[str, float]]]:
+    """Top words for every topic — the full Figure-8 payload."""
+    return [
+        top_words(estimates, k, vocabulary, size)
+        for k in range(estimates.num_topics)
+    ]

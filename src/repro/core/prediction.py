@@ -1,0 +1,217 @@
+"""Prediction methods built on the extracted community-level patterns.
+
+Implements the paper's three prediction tasks:
+
+* **Diffusion prediction** (§5.2, Eqs. 5–7): will user ``i'`` retweet post
+  ``d`` from user ``i``?  Two-stage: community-level diffusion probability
+  (Eq. 4) combined with the users' community memberships, restricted to each
+  user's ``TopComm`` (top-5 communities), with offline precomputation so the
+  online cost is ``O(K |w_d|)``.
+* **Time-stamp prediction** (§6.3): maximum-likelihood time slice of an
+  unseen post.
+* **Link prediction** (§6.2): ``P(i -> i') = sum_{s,s'} pi_is pi_i's' eta_ss'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.corpus import Post
+from .diffusion import zeta
+from .estimates import ParameterEstimates
+
+
+class PredictionError(ValueError):
+    """Raised for invalid prediction requests."""
+
+
+def top_communities(pi_row: np.ndarray, size: int) -> np.ndarray:
+    """``TopComm(i)``: indices of the user's ``size`` strongest memberships.
+
+    The paper fixes ``size = 5``, citing that users are typically active in
+    a handful of communities [34].
+    """
+    if size <= 0:
+        raise PredictionError(f"TopComm size must be positive, got {size}")
+    size = min(size, len(pi_row))
+    return np.argpartition(pi_row, -size)[-size:]
+
+
+@dataclass
+class _UserProfile:
+    """Offline-precomputed per-user representation (§5.2 'offline filtering').
+
+    ``communities`` is the user's TopComm; ``memberships`` the matching
+    ``pi_ic`` weights; ``topic_preference`` is ``P(k | i)`` of Eq. (5)
+    restricted to TopComm.
+    """
+
+    communities: np.ndarray
+    memberships: np.ndarray
+    topic_preference: np.ndarray
+
+
+class DiffusionPredictor:
+    """The §5.2 two-stage diffusion prediction method.
+
+    Parameters
+    ----------
+    estimates:
+        Fitted COLD parameter estimates.
+    top_comm_size:
+        ``|TopComm|`` truncation (paper uses 5).
+    """
+
+    def __init__(self, estimates: ParameterEstimates, top_comm_size: int = 5) -> None:
+        estimates.validate()
+        self.estimates = estimates
+        self.top_comm_size = top_comm_size
+        self._zeta = zeta(estimates)  # (K, C, C)
+        self._log_phi = np.log(estimates.phi + 1e-300)
+        self._profiles = [
+            self._build_profile(i) for i in range(estimates.num_users)
+        ]
+        # Stacked TopComm tables for the vectorised online path (§5.2's
+        # offline filtering): communities (U, S) and memberships (U, S).
+        size = min(top_comm_size, estimates.num_communities)
+        self._top_communities = np.stack(
+            [p.communities[:size] for p in self._profiles]
+        )
+        self._top_memberships = np.stack(
+            [p.memberships[:size] for p in self._profiles]
+        )
+
+    def _build_profile(self, user: int) -> _UserProfile:
+        pi_row = self.estimates.pi[user]
+        communities = top_communities(pi_row, self.top_comm_size)
+        memberships = pi_row[communities]
+        # P(k | i) ∝ sum_{c in TopComm} pi_ic theta_ck   (Eq. 5's prior part)
+        preference = memberships @ self.estimates.theta[communities]
+        total = preference.sum()
+        if total > 0:
+            preference = preference / total
+        return _UserProfile(
+            communities=communities,
+            memberships=memberships,
+            topic_preference=preference,
+        )
+
+    # -- Eq. (5): topic posterior of a post ------------------------------------
+
+    def topic_posterior(self, words: tuple[int, ...] | list[int], author: int) -> np.ndarray:
+        """``P(k | d, i) ∝ prod_l phi_k,w_l * P(k | i)`` (Eq. 5), normalised."""
+        if not words:
+            raise PredictionError("post must contain at least one word")
+        if not 0 <= author < self.estimates.num_users:
+            raise PredictionError(f"author {author} out of range")
+        log_like = self._log_phi[:, list(words)].sum(axis=1)
+        prior = self._profiles[author].topic_preference
+        log_post = log_like + np.log(prior + 1e-300)
+        log_post -= log_post.max()
+        weights = np.exp(log_post)
+        return weights / weights.sum()
+
+    # -- Eq. (6): per-topic user-to-user influence ------------------------------
+
+    def topic_influence(self, source: int, target: int) -> np.ndarray:
+        """``P(i, i' | k)`` for all topics, via TopComm-restricted Eq. (6)."""
+        src = self._profiles[source]
+        dst = self._profiles[target]
+        # zeta restricted to the two TopComm sets: (K, |src|, |dst|)
+        restricted = self._zeta[:, src.communities[:, None], dst.communities[None, :]]
+        weights = np.outer(src.memberships, dst.memberships)  # (|src|, |dst|)
+        return np.einsum("kab,ab->k", restricted, weights)
+
+    # -- Eq. (7): final diffusion probability -----------------------------------
+
+    def diffusion_probability(
+        self, source: int, target: int, words: tuple[int, ...] | list[int]
+    ) -> float:
+        """``P(i, i', d) = sum_k P(k | d, i) P(i, i' | k)`` (Eq. 7)."""
+        posterior = self.topic_posterior(words, source)
+        influence = self.topic_influence(source, target)
+        return float(posterior @ influence)
+
+    def score_candidates(
+        self, source: int, candidates: list[int], words: tuple[int, ...] | list[int]
+    ) -> np.ndarray:
+        """Diffusion scores of one post against many candidate retweeters.
+
+        The online path whose cost Figure 15 measures: the Eq. (5)
+        posterior is computed once, the source's community profile is
+        folded into zeta once, and every candidate reduces to a gather plus
+        a weighted linear combination — ``O(K |w_d| + N K S)`` total.
+        """
+        posterior = self.topic_posterior(words, source)
+        src = self._profiles[source]
+        # source_fold[k, c'] = sum_{c in TopComm(i)} pi_ic zeta_kcc'
+        source_fold = np.einsum(
+            "a,kad->kd", src.memberships, self._zeta[:, src.communities, :]
+        )
+        targets = np.asarray(candidates, dtype=np.int64)
+        dst_comms = self._top_communities[targets]  # (N, S)
+        dst_weights = self._top_memberships[targets]  # (N, S)
+        # influence[n, k] = sum_b dst_weights[n, b] source_fold[k, dst_comms[n, b]]
+        gathered = source_fold[:, dst_comms]  # (K, N, S)
+        influence = np.einsum("kns,ns->nk", gathered, dst_weights)
+        return influence @ posterior
+
+
+def link_probability(
+    estimates: ParameterEstimates,
+    source: int | np.ndarray,
+    target: int | np.ndarray,
+) -> np.ndarray:
+    """Link prediction ``P(i -> i') = sum_{s,s'} pi_is pi_i's' eta_ss'`` (§6.2).
+
+    Accepts scalars or equal-length index arrays; returns an array of
+    probabilities (scalar inputs give a 0-d array).
+    """
+    source = np.atleast_1d(np.asarray(source, dtype=np.int64))
+    target = np.atleast_1d(np.asarray(target, dtype=np.int64))
+    if source.shape != target.shape:
+        raise PredictionError("source and target index arrays must match")
+    weighted = estimates.pi[source] @ estimates.eta  # (N, C)
+    return np.einsum("nc,nc->n", weighted, estimates.pi[target])
+
+
+def predict_timestamp(
+    estimates: ParameterEstimates, post: Post
+) -> int:
+    """Maximum-likelihood time slice of an unseen post (§6.3).
+
+    ``t_hat = argmax_t sum_c pi_ic sum_k theta_ck psi_kct prod_l phi_k,w_l``.
+    """
+    scores = timestamp_scores(estimates, post)
+    return int(scores.argmax())
+
+
+def timestamp_scores(estimates: ParameterEstimates, post: Post) -> np.ndarray:
+    """Unnormalised per-slice likelihoods behind :func:`predict_timestamp`."""
+    log_word = np.log(estimates.phi[:, list(post.words)] + 1e-300).sum(axis=1)
+    word_like = np.exp(log_word - log_word.max())  # (K,)
+    pi_row = estimates.pi[post.author]  # (C,)
+    # mixture[c, k] = pi_ic * theta_ck * word_like_k
+    mixture = pi_row[:, None] * estimates.theta * word_like[None, :]
+    # scores[t] = sum_{c,k} mixture[c, k] * psi[k, c, t]
+    return np.einsum("ck,kct->t", mixture, estimates.psi)
+
+
+def post_probability(
+    estimates: ParameterEstimates, words: tuple[int, ...] | list[int], author: int
+) -> float:
+    """Held-out word probability used by perplexity (§6.2):
+
+    ``p(w_d) = sum_c pi_ic sum_k theta_ck prod_l phi_k,w_l``.
+
+    Returned in natural-log space to avoid underflow on long posts.
+    """
+    if not words:
+        raise PredictionError("post must contain at least one word")
+    log_word = np.log(estimates.phi[:, list(words)] + 1e-300).sum(axis=1)  # (K,)
+    max_log = log_word.max()
+    word_like = np.exp(log_word - max_log)
+    mixture = float(estimates.pi[author] @ estimates.theta @ word_like)
+    return max_log + float(np.log(max(mixture, 1e-300)))

@@ -1,0 +1,261 @@
+"""Count state of the collapsed Gibbs sampler.
+
+Collapsed Gibbs sampling never stores ``pi/theta/phi/psi/eta`` directly;
+everything is expressed through sufficient-statistic counters (paper Eqs.
+1–3).  :class:`CountState` owns those counters plus the current latent
+assignments, and knows how to add/remove one post or link in O(post length)
+— the property that makes each Gibbs sweep linear in the data size (§4.2).
+
+Counter glossary (paper notation -> attribute):
+
+* ``n_i^(c)``    -> ``n_user_comm[i, c]``   posts *and* link endpoints of
+  user ``i`` assigned to community ``c`` (both are draws from ``pi_i``);
+* ``n_c^(k)``    -> ``n_comm_topic[c, k]``  posts in community ``c`` with
+  topic ``k``;
+* ``n_ck^(t)``   -> ``n_comm_topic_time[c, k, t]`` time stamps;
+* ``n_k^(v)``    -> ``n_topic_word[k, v]``  word tokens;
+* ``n_k^(.)``    -> ``n_topic_total[k]``;
+* ``n_cc'``      -> ``n_link_comm[c, c']``  positive links labelled (c, c').
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.corpus import SocialCorpus
+
+
+class StateError(ValueError):
+    """Raised when the count state is used inconsistently."""
+
+
+@dataclass
+class PostTable:
+    """Struct-of-arrays view of the corpus posts, built once per fit.
+
+    ``unique_words`` / ``unique_counts`` are CSR-style flattened per-post
+    multisets (``offsets[p]:offsets[p+1]`` is post ``p``'s slice); they feed
+    the Eq. (3) word term without per-iteration dictionary work.
+    """
+
+    authors: np.ndarray
+    times: np.ndarray
+    lengths: np.ndarray
+    offsets: np.ndarray
+    unique_words: np.ndarray
+    unique_counts: np.ndarray
+
+    @classmethod
+    def from_corpus(cls, corpus: SocialCorpus) -> "PostTable":
+        authors = np.empty(corpus.num_posts, dtype=np.int64)
+        times = np.empty(corpus.num_posts, dtype=np.int64)
+        lengths = np.empty(corpus.num_posts, dtype=np.int64)
+        offsets = np.zeros(corpus.num_posts + 1, dtype=np.int64)
+        words_flat: list[int] = []
+        counts_flat: list[int] = []
+        for p, post in enumerate(corpus.posts):
+            authors[p] = post.author
+            times[p] = post.timestamp
+            lengths[p] = len(post)
+            counts = post.word_counts()
+            for v, m in counts.items():
+                words_flat.append(v)
+                counts_flat.append(m)
+            offsets[p + 1] = offsets[p] + len(counts)
+        return cls(
+            authors=authors,
+            times=times,
+            lengths=lengths,
+            offsets=offsets,
+            unique_words=np.asarray(words_flat, dtype=np.int64),
+            unique_counts=np.asarray(counts_flat, dtype=np.int64),
+        )
+
+    def __len__(self) -> int:
+        return len(self.authors)
+
+    def words_of(self, post: int) -> tuple[np.ndarray, np.ndarray]:
+        """Unique word ids and their multiplicities for one post."""
+        lo, hi = self.offsets[post], self.offsets[post + 1]
+        return self.unique_words[lo:hi], self.unique_counts[lo:hi]
+
+
+@dataclass
+class CountState:
+    """All Gibbs counters plus current latent assignments.
+
+    Shapes: ``U`` users, ``C`` communities, ``K`` topics, ``T`` time slices,
+    ``V`` vocabulary terms, ``D`` posts, ``E`` positive links.
+    """
+
+    num_communities: int
+    num_topics: int
+    posts: PostTable
+    links: np.ndarray  # (E, 2)
+    n_user_comm: np.ndarray  # (U, C)
+    n_comm_topic: np.ndarray  # (C, K)
+    n_comm_topic_time: np.ndarray  # (C, K, T)
+    n_topic_word: np.ndarray  # (K, V)
+    n_topic_total: np.ndarray  # (K,)
+    n_link_comm: np.ndarray  # (C, C)
+    post_comm: np.ndarray  # (D,)
+    post_topic: np.ndarray  # (D,)
+    link_src_comm: np.ndarray  # (E,)
+    link_dst_comm: np.ndarray  # (E,)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def initialize(
+        cls,
+        corpus: SocialCorpus,
+        num_communities: int,
+        num_topics: int,
+        rng: np.random.Generator,
+        include_network: bool = True,
+    ) -> "CountState":
+        """Random initial assignments with counters built to match."""
+        if num_communities <= 0 or num_topics <= 0:
+            raise StateError("num_communities and num_topics must be positive")
+        posts = PostTable.from_corpus(corpus)
+        links = corpus.link_array() if include_network else np.zeros((0, 2), np.int64)
+        D, E = len(posts), len(links)
+        state = cls(
+            num_communities=num_communities,
+            num_topics=num_topics,
+            posts=posts,
+            links=links,
+            n_user_comm=np.zeros((corpus.num_users, num_communities), np.int64),
+            n_comm_topic=np.zeros((num_communities, num_topics), np.int64),
+            n_comm_topic_time=np.zeros(
+                (num_communities, num_topics, corpus.num_time_slices), np.int64
+            ),
+            n_topic_word=np.zeros((num_topics, corpus.vocab_size), np.int64),
+            n_topic_total=np.zeros(num_topics, np.int64),
+            n_link_comm=np.zeros((num_communities, num_communities), np.int64),
+            post_comm=rng.integers(num_communities, size=D),
+            post_topic=rng.integers(num_topics, size=D),
+            link_src_comm=rng.integers(num_communities, size=E),
+            link_dst_comm=rng.integers(num_communities, size=E),
+        )
+        for p in range(D):
+            state.add_post(p, int(state.post_comm[p]), int(state.post_topic[p]))
+        for e in range(E):
+            state.add_link(e, int(state.link_src_comm[e]), int(state.link_dst_comm[e]))
+        return state
+
+    # -- post bookkeeping -----------------------------------------------------
+
+    def remove_post(self, post: int) -> tuple[int, int]:
+        """Subtract post ``post``'s contribution; returns its (c, z)."""
+        c = int(self.post_comm[post])
+        k = int(self.post_topic[post])
+        author = self.posts.authors[post]
+        t = self.posts.times[post]
+        self.n_user_comm[author, c] -= 1
+        self.n_comm_topic[c, k] -= 1
+        self.n_comm_topic_time[c, k, t] -= 1
+        words, counts = self.posts.words_of(post)
+        np.subtract.at(self.n_topic_word[k], words, counts)
+        self.n_topic_total[k] -= self.posts.lengths[post]
+        return c, k
+
+    def add_post(self, post: int, c: int, k: int) -> None:
+        """Add post ``post`` with assignment (c, z=k)."""
+        author = self.posts.authors[post]
+        t = self.posts.times[post]
+        self.post_comm[post] = c
+        self.post_topic[post] = k
+        self.n_user_comm[author, c] += 1
+        self.n_comm_topic[c, k] += 1
+        self.n_comm_topic_time[c, k, t] += 1
+        words, counts = self.posts.words_of(post)
+        np.add.at(self.n_topic_word[k], words, counts)
+        self.n_topic_total[k] += self.posts.lengths[post]
+
+    # -- link bookkeeping -----------------------------------------------------
+
+    def remove_link(self, link: int) -> tuple[int, int]:
+        """Subtract link ``link``'s contribution; returns its (s, s')."""
+        src, dst = self.links[link]
+        c = int(self.link_src_comm[link])
+        c_prime = int(self.link_dst_comm[link])
+        self.n_user_comm[src, c] -= 1
+        self.n_user_comm[dst, c_prime] -= 1
+        self.n_link_comm[c, c_prime] -= 1
+        return c, c_prime
+
+    def add_link(self, link: int, c: int, c_prime: int) -> None:
+        """Add link ``link`` with community labels (s=c, s'=c_prime)."""
+        src, dst = self.links[link]
+        self.link_src_comm[link] = c
+        self.link_dst_comm[link] = c_prime
+        self.n_user_comm[src, c] += 1
+        self.n_user_comm[dst, c_prime] += 1
+        self.n_link_comm[c, c_prime] += 1
+
+    # -- invariants -----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify every counter against a from-scratch recount.
+
+        O(data); used by tests and available under a debug flag.  Raises
+        :class:`StateError` on the first mismatch.
+        """
+        recount = self._recount()
+        for name in (
+            "n_user_comm",
+            "n_comm_topic",
+            "n_comm_topic_time",
+            "n_topic_word",
+            "n_topic_total",
+            "n_link_comm",
+        ):
+            mine = getattr(self, name)
+            theirs = recount[name]
+            if not np.array_equal(mine, theirs):
+                raise StateError(f"counter {name} inconsistent with assignments")
+        if (self.n_user_comm < 0).any() or (self.n_link_comm < 0).any():
+            raise StateError("negative counts detected")
+
+    def _recount(self) -> dict[str, np.ndarray]:
+        n_user_comm = np.zeros_like(self.n_user_comm)
+        n_comm_topic = np.zeros_like(self.n_comm_topic)
+        n_comm_topic_time = np.zeros_like(self.n_comm_topic_time)
+        n_topic_word = np.zeros_like(self.n_topic_word)
+        n_topic_total = np.zeros_like(self.n_topic_total)
+        n_link_comm = np.zeros_like(self.n_link_comm)
+        for p in range(len(self.posts)):
+            c, k = int(self.post_comm[p]), int(self.post_topic[p])
+            n_user_comm[self.posts.authors[p], c] += 1
+            n_comm_topic[c, k] += 1
+            n_comm_topic_time[c, k, self.posts.times[p]] += 1
+            words, counts = self.posts.words_of(p)
+            np.add.at(n_topic_word[k], words, counts)
+            n_topic_total[k] += self.posts.lengths[p]
+        for e in range(len(self.links)):
+            src, dst = self.links[e]
+            c, c_prime = int(self.link_src_comm[e]), int(self.link_dst_comm[e])
+            n_user_comm[src, c] += 1
+            n_user_comm[dst, c_prime] += 1
+            n_link_comm[c, c_prime] += 1
+        return {
+            "n_user_comm": n_user_comm,
+            "n_comm_topic": n_comm_topic,
+            "n_comm_topic_time": n_comm_topic_time,
+            "n_topic_word": n_topic_word,
+            "n_topic_total": n_topic_total,
+            "n_link_comm": n_link_comm,
+        }
+
+    # -- sizes ----------------------------------------------------------------
+
+    @property
+    def num_posts(self) -> int:
+        return len(self.posts)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.links)

@@ -1,0 +1,82 @@
+"""Data substrate: corpora, vocabularies, synthetic generation, splits, I/O.
+
+This package replaces the paper's proprietary Sina Weibo crawls with a
+planted-parameter generator (see DESIGN.md §2 for the substitution
+rationale) and provides the containers and splitting protocols every model
+and benchmark in the repository consumes.
+"""
+
+from .cascades import (
+    CascadeError,
+    RetweetTuple,
+    generate_retweet_tuples,
+    retweet_training_events,
+    split_tuples,
+)
+from .corpus import CorpusError, Post, SocialCorpus
+from .io import (
+    CorpusIOError,
+    load_corpus,
+    load_retweet_tuples,
+    save_corpus,
+    save_retweet_tuples,
+)
+from .splits import (
+    LinkSplit,
+    PostSplit,
+    SplitError,
+    link_splits,
+    post_splits,
+    sample_negative_links,
+)
+from .stream import CorpusStreamBuilder, LinkEvent, PostEvent, StreamError
+from .synthetic import (
+    THEMED_WORDS,
+    GroundTruth,
+    SyntheticConfig,
+    SyntheticError,
+    benchmark_world,
+    dataset1,
+    dataset2,
+    generate_corpus,
+    plant_parameters,
+)
+from .vocabulary import Vocabulary, VocabularyError, build_vocabulary
+
+__all__ = [
+    "CascadeError",
+    "CorpusError",
+    "CorpusIOError",
+    "CorpusStreamBuilder",
+    "GroundTruth",
+    "LinkEvent",
+    "LinkSplit",
+    "Post",
+    "PostEvent",
+    "PostSplit",
+    "RetweetTuple",
+    "SocialCorpus",
+    "SplitError",
+    "StreamError",
+    "SyntheticConfig",
+    "SyntheticError",
+    "THEMED_WORDS",
+    "Vocabulary",
+    "VocabularyError",
+    "benchmark_world",
+    "build_vocabulary",
+    "dataset1",
+    "dataset2",
+    "generate_corpus",
+    "generate_retweet_tuples",
+    "link_splits",
+    "load_corpus",
+    "load_retweet_tuples",
+    "plant_parameters",
+    "post_splits",
+    "retweet_training_events",
+    "sample_negative_links",
+    "save_corpus",
+    "save_retweet_tuples",
+    "split_tuples",
+]

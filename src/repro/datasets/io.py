@@ -1,0 +1,143 @@
+"""JSONL persistence for corpora and retweet tuples.
+
+A corpus is stored as one JSON-lines file with typed records::
+
+    {"type": "header", "num_users": ..., "num_time_slices": ..., "vocab_size": ...}
+    {"type": "vocab", "tokens": [...]}            # optional
+    {"type": "post", "author": ..., "words": [...], "timestamp": ...}
+    {"type": "link", "src": ..., "dst": ...}
+
+The format is line-appendable and streams well, which is how real crawl
+pipelines (the paper's Weibo streaming-API sampler) persist data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .cascades import RetweetTuple
+from .corpus import CorpusError, Post, SocialCorpus
+from .vocabulary import Vocabulary
+
+
+class CorpusIOError(ValueError):
+    """Raised when a corpus file is malformed."""
+
+
+def save_corpus(corpus: SocialCorpus, path: str | Path) -> None:
+    """Write ``corpus`` to ``path`` in the JSONL format above."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "type": "header",
+            "num_users": corpus.num_users,
+            "num_time_slices": corpus.num_time_slices,
+            "vocab_size": corpus.vocab_size,
+        }
+        handle.write(json.dumps(header) + "\n")
+        if corpus.vocabulary is not None:
+            record = {"type": "vocab", "tokens": corpus.vocabulary.to_list()}
+            handle.write(json.dumps(record) + "\n")
+        for post in corpus.posts:
+            record = {
+                "type": "post",
+                "author": post.author,
+                "words": list(post.words),
+                "timestamp": post.timestamp,
+            }
+            handle.write(json.dumps(record) + "\n")
+        for src, dst in corpus.links:
+            handle.write(json.dumps({"type": "link", "src": src, "dst": dst}) + "\n")
+
+
+def load_corpus(path: str | Path) -> SocialCorpus:
+    """Read a corpus written by :func:`save_corpus`."""
+    path = Path(path)
+    header: dict | None = None
+    vocabulary: Vocabulary | None = None
+    posts: list[Post] = []
+    links: list[tuple[int, int]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise CorpusIOError(f"{path}:{line_number}: invalid JSON") from exc
+            kind = record.get("type")
+            if kind == "header":
+                if header is not None:
+                    raise CorpusIOError(f"{path}:{line_number}: duplicate header")
+                header = record
+            elif kind == "vocab":
+                vocabulary = Vocabulary.from_list(record["tokens"])
+            elif kind == "post":
+                posts.append(
+                    Post(
+                        author=int(record["author"]),
+                        words=tuple(int(w) for w in record["words"]),
+                        timestamp=int(record["timestamp"]),
+                    )
+                )
+            elif kind == "link":
+                links.append((int(record["src"]), int(record["dst"])))
+            else:
+                raise CorpusIOError(
+                    f"{path}:{line_number}: unknown record type {kind!r}"
+                )
+    if header is None:
+        raise CorpusIOError(f"{path}: missing header record")
+    try:
+        return SocialCorpus(
+            num_users=int(header["num_users"]),
+            num_time_slices=int(header["num_time_slices"]),
+            posts=posts,
+            links=links,
+            vocabulary=vocabulary,
+            vocab_size=int(header.get("vocab_size", 0)),
+        )
+    except (KeyError, CorpusError) as exc:
+        raise CorpusIOError(f"{path}: invalid corpus: {exc}") from exc
+
+
+def save_retweet_tuples(tuples: list[RetweetTuple], path: str | Path) -> None:
+    """Write retweet tuples as JSONL."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for t in tuples:
+            record = {
+                "author": t.author,
+                "post_index": t.post_index,
+                "retweeters": list(t.retweeters),
+                "ignorers": list(t.ignorers),
+            }
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_retweet_tuples(path: str | Path) -> list[RetweetTuple]:
+    """Read retweet tuples written by :func:`save_retweet_tuples`."""
+    path = Path(path)
+    tuples: list[RetweetTuple] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise CorpusIOError(f"{path}:{line_number}: invalid JSON") from exc
+            tuples.append(
+                RetweetTuple(
+                    author=int(record["author"]),
+                    post_index=int(record["post_index"]),
+                    retweeters=tuple(int(u) for u in record["retweeters"]),
+                    ignorers=tuple(int(u) for u in record["ignorers"]),
+                )
+            )
+    return tuples

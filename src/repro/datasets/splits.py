@@ -1,0 +1,169 @@
+"""Train/test splitting utilities for the paper's cross-validation protocols.
+
+Two protocols appear in §6:
+
+* **Post splits** (perplexity, time-stamp prediction): "at each time
+  interval, 80% of the posts as the train set, while the remaining 20% posts
+  and all links as test set" — i.e. the split is stratified by time slice so
+  every slice keeps training mass.
+* **Link splits** (link prediction): 20% of positive links held out per
+  fold, evaluated against a random 1% sample of negative links; models train
+  on the remaining links and all posts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .corpus import SocialCorpus
+
+
+class SplitError(ValueError):
+    """Raised for invalid split parameters."""
+
+
+@dataclass(frozen=True)
+class PostSplit:
+    """One fold of a post-level split: corpora sharing users/links/vocab."""
+
+    train: SocialCorpus
+    test: SocialCorpus
+
+
+@dataclass(frozen=True)
+class LinkSplit:
+    """One fold of a link-level split.
+
+    ``train`` keeps all posts and the training links.  ``held_out_links``
+    are the positive test links; ``negative_links`` is the random sample of
+    non-links used as negatives in the AUC.
+    """
+
+    train: SocialCorpus
+    held_out_links: list[tuple[int, int]]
+    negative_links: list[tuple[int, int]]
+
+
+def _fold_bounds(num_items: int, num_folds: int) -> list[np.ndarray]:
+    """Indices 0..num_items-1 partitioned into num_folds near-equal chunks."""
+    return [chunk for chunk in np.array_split(np.arange(num_items), num_folds)]
+
+
+def post_splits(
+    corpus: SocialCorpus, num_folds: int = 5, seed: int = 0
+) -> list[PostSplit]:
+    """K-fold post splits stratified by time slice.
+
+    Within every time slice, posts are shuffled once and dealt into
+    ``num_folds`` test chunks, so each fold tests on ~1/num_folds of each
+    slice's posts and trains on the rest (plus all links).
+    """
+    if num_folds < 2:
+        raise SplitError(f"num_folds must be >= 2, got {num_folds}")
+    rng = np.random.default_rng(seed)
+    by_slice: dict[int, list[int]] = {}
+    for idx, post in enumerate(corpus.posts):
+        by_slice.setdefault(post.timestamp, []).append(idx)
+
+    fold_test: list[list[int]] = [[] for _ in range(num_folds)]
+    for slice_posts in by_slice.values():
+        order = rng.permutation(len(slice_posts))
+        shuffled = [slice_posts[int(i)] for i in order]
+        for fold, chunk in enumerate(_fold_bounds(len(shuffled), num_folds)):
+            fold_test[fold].extend(shuffled[int(i)] for i in chunk)
+
+    splits: list[PostSplit] = []
+    all_posts = set(range(corpus.num_posts))
+    for test_indices in fold_test:
+        test_set = set(test_indices)
+        train_indices = sorted(all_posts - test_set)
+        if not train_indices or not test_indices:
+            raise SplitError(
+                "a fold ended up empty; corpus too small for this many folds"
+            )
+        splits.append(
+            PostSplit(
+                train=corpus.subset_posts(train_indices),
+                test=corpus.subset_posts(sorted(test_indices)),
+            )
+        )
+    return splits
+
+
+def sample_negative_links(
+    corpus: SocialCorpus,
+    num_samples: int,
+    rng: np.random.Generator,
+    max_attempts_factor: int = 50,
+) -> list[tuple[int, int]]:
+    """Uniformly sample ordered user pairs that are not positive links.
+
+    Rejection sampling; raises if the graph is so dense that the requested
+    count cannot plausibly be found.
+    """
+    if num_samples <= 0:
+        return []
+    if corpus.num_negative_links < num_samples:
+        raise SplitError(
+            f"requested {num_samples} negatives but only "
+            f"{corpus.num_negative_links} exist"
+        )
+    positives = corpus.link_set()
+    found: set[tuple[int, int]] = set()
+    attempts = 0
+    max_attempts = max_attempts_factor * num_samples
+    while len(found) < num_samples and attempts < max_attempts:
+        attempts += 1
+        src = int(rng.integers(corpus.num_users))
+        dst = int(rng.integers(corpus.num_users))
+        if src == dst:
+            continue
+        pair = (src, dst)
+        if pair in positives or pair in found:
+            continue
+        found.add(pair)
+    if len(found) < num_samples:
+        raise SplitError("could not sample enough negative links")
+    return sorted(found)
+
+
+def link_splits(
+    corpus: SocialCorpus,
+    num_folds: int = 5,
+    negative_fraction: float = 0.01,
+    seed: int = 0,
+) -> list[LinkSplit]:
+    """K-fold link splits following the §6.2 link-prediction protocol.
+
+    Each fold holds out ~1/num_folds of positive links and pairs them with a
+    ``negative_fraction`` sample of the non-links (the paper uses 1%, we use
+    the same fraction subject to a floor of the positive count so AUC stays
+    well-conditioned on tiny graphs).
+    """
+    if num_folds < 2:
+        raise SplitError(f"num_folds must be >= 2, got {num_folds}")
+    if corpus.num_links < num_folds:
+        raise SplitError("fewer links than folds")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(corpus.num_links)
+    splits: list[LinkSplit] = []
+    for chunk in _fold_bounds(corpus.num_links, num_folds):
+        held_idx = set(int(order[int(i)]) for i in chunk)
+        train_idx = [i for i in range(corpus.num_links) if i not in held_idx]
+        held_links = [corpus.links[i] for i in sorted(held_idx)]
+        num_negatives = max(
+            len(held_links),
+            int(round(negative_fraction * corpus.num_negative_links)),
+        )
+        num_negatives = min(num_negatives, corpus.num_negative_links)
+        negatives = sample_negative_links(corpus, num_negatives, rng)
+        splits.append(
+            LinkSplit(
+                train=corpus.subset_links(train_idx),
+                held_out_links=held_links,
+                negative_links=negatives,
+            )
+        )
+    return splits

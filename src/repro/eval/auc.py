@@ -1,0 +1,100 @@
+"""ROC-AUC metrics (paper §6.2 link prediction, §6.3 diffusion prediction).
+
+Two protocols:
+
+* plain ROC-AUC over a pooled score set (link prediction, Fig. 10) —
+  computed rank-based with midrank tie handling, equivalent to the
+  Mann–Whitney U statistic;
+* **averaged AUC** over retweet tuples (diffusion prediction, Fig. 12,
+  following Dietz et al. [6]): one AUC per tuple ``(i, d, U_id, Ubar_id)``
+  treating retweeters as positives and ignorers as negatives, averaged over
+  tuples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..datasets.cascades import RetweetTuple
+from ..datasets.corpus import SocialCorpus
+
+
+class AUCError(ValueError):
+    """Raised for degenerate AUC inputs."""
+
+
+def roc_auc(positive_scores: np.ndarray, negative_scores: np.ndarray) -> float:
+    """Probability a random positive outranks a random negative.
+
+    Midranks handle ties, so a constant scorer gets exactly 0.5.
+    """
+    positive_scores = np.asarray(positive_scores, dtype=np.float64)
+    negative_scores = np.asarray(negative_scores, dtype=np.float64)
+    if positive_scores.size == 0 or negative_scores.size == 0:
+        raise AUCError("need at least one positive and one negative score")
+    combined = np.concatenate([positive_scores, negative_scores])
+    order = np.argsort(combined, kind="mergesort")
+    ranks = np.empty(len(combined), dtype=np.float64)
+    sorted_scores = combined[order]
+    # Midranks: average rank within each tie group.
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    num_pos = positive_scores.size
+    num_neg = negative_scores.size
+    rank_sum = ranks[:num_pos].sum()
+    u_statistic = rank_sum - num_pos * (num_pos + 1) / 2.0
+    return float(u_statistic / (num_pos * num_neg))
+
+
+def link_prediction_auc(
+    score_links: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    positives: list[tuple[int, int]],
+    negatives: list[tuple[int, int]],
+) -> float:
+    """AUC of a link scorer over held-out positive / sampled negative links.
+
+    ``score_links(src_array, dst_array)`` must return one score per pair —
+    the signature of :func:`repro.core.prediction.link_probability` and of
+    the baselines' ``link_score``.
+    """
+    if not positives or not negatives:
+        raise AUCError("need non-empty positive and negative link sets")
+    pos = np.asarray(positives, dtype=np.int64)
+    neg = np.asarray(negatives, dtype=np.int64)
+    pos_scores = np.asarray(score_links(pos[:, 0], pos[:, 1]), dtype=np.float64)
+    neg_scores = np.asarray(score_links(neg[:, 0], neg[:, 1]), dtype=np.float64)
+    return roc_auc(pos_scores, neg_scores)
+
+
+def averaged_diffusion_auc(
+    score_candidates: Callable[[int, list[int], tuple[int, ...]], np.ndarray],
+    tuples: list[RetweetTuple],
+    corpus: SocialCorpus,
+) -> float:
+    """The §6.3 averaged AUC over retweet tuples.
+
+    ``score_candidates(author, candidates, words)`` must return one score
+    per candidate — the shared signature of
+    :meth:`repro.core.prediction.DiffusionPredictor.score_candidates` and of
+    the WTM/TI baselines.
+    """
+    if not tuples:
+        raise AUCError("need at least one retweet tuple")
+    values = []
+    for t in tuples:
+        words = corpus.posts[t.post_index].words
+        candidates = list(t.retweeters) + list(t.ignorers)
+        scores = np.asarray(
+            score_candidates(t.author, candidates, words), dtype=np.float64
+        )
+        pos = scores[: len(t.retweeters)]
+        neg = scores[len(t.retweeters):]
+        values.append(roc_auc(pos, neg))
+    return float(np.mean(values))

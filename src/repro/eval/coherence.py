@@ -1,0 +1,117 @@
+"""UMass topic coherence — a ground-truth-free topic quality metric.
+
+Figure 8's qualitative claim ("meaningful subjects can be observed") has a
+standard quantitative counterpart in the topic-modelling literature: UMass
+coherence [Mimno et al. 2011], the average log co-occurrence lift of a
+topic's top words::
+
+    coherence(k) = mean over top-word pairs (v_i, v_j), i > j of
+                   log[ (D(v_i, v_j) + eps) / D(v_j) ]
+
+where ``D(v)`` counts documents containing ``v`` and ``D(v_i, v_j)`` counts
+co-occurrences.  Higher (closer to zero) is better.  Coherent topics put
+words together that genuinely co-occur in posts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..datasets.corpus import SocialCorpus
+
+
+class CoherenceError(ValueError):
+    """Raised for invalid coherence computations."""
+
+
+class CooccurrenceIndex:
+    """Document-frequency and pairwise co-occurrence counts over a corpus.
+
+    Built once (O(total unique-word pairs per post)), then shared across
+    topic evaluations.
+    """
+
+    def __init__(self, corpus: SocialCorpus) -> None:
+        if corpus.num_posts == 0:
+            raise CoherenceError("corpus has no posts")
+        self.num_documents = corpus.num_posts
+        self._doc_freq: dict[int, int] = {}
+        self._pair_freq: dict[tuple[int, int], int] = {}
+        for post in corpus.posts:
+            unique = sorted(set(post.words))
+            for v in unique:
+                self._doc_freq[v] = self._doc_freq.get(v, 0) + 1
+            for i in range(len(unique)):
+                for j in range(i + 1, len(unique)):
+                    pair = (unique[i], unique[j])
+                    self._pair_freq[pair] = self._pair_freq.get(pair, 0) + 1
+
+    def document_frequency(self, word: int) -> int:
+        """Number of posts containing ``word``."""
+        return self._doc_freq.get(word, 0)
+
+    def co_document_frequency(self, word_a: int, word_b: int) -> int:
+        """Number of posts containing both words (order-free)."""
+        if word_a == word_b:
+            return self.document_frequency(word_a)
+        pair = (word_a, word_b) if word_a < word_b else (word_b, word_a)
+        return self._pair_freq.get(pair, 0)
+
+
+def umass_coherence(
+    index: CooccurrenceIndex,
+    top_word_ids: list[int],
+    epsilon: float = 1.0,
+) -> float:
+    """UMass coherence of one topic's ranked top words.
+
+    ``top_word_ids`` must be ranked by topic weight (descending); the
+    conditioning word of each pair is the higher-ranked one, per the
+    original formulation.
+    """
+    if len(top_word_ids) < 2:
+        raise CoherenceError("need at least two top words")
+    if epsilon <= 0:
+        raise CoherenceError("epsilon must be positive")
+    total = 0.0
+    pairs = 0
+    for i in range(1, len(top_word_ids)):
+        for j in range(i):
+            v_i, v_j = top_word_ids[i], top_word_ids[j]
+            denominator = index.document_frequency(v_j)
+            if denominator == 0:
+                continue
+            numerator = index.co_document_frequency(v_i, v_j) + epsilon
+            total += math.log(numerator / denominator)
+            pairs += 1
+    if pairs == 0:
+        raise CoherenceError("no scorable word pairs (all unseen words)")
+    return total / pairs
+
+
+def topic_coherences(
+    phi: np.ndarray,
+    corpus: SocialCorpus,
+    top_n: int = 10,
+    epsilon: float = 1.0,
+) -> np.ndarray:
+    """UMass coherence of every topic in a fitted ``phi`` matrix."""
+    if top_n < 2:
+        raise CoherenceError("top_n must be >= 2")
+    if phi.ndim != 2 or phi.shape[1] != corpus.vocab_size:
+        raise CoherenceError("phi shape does not match the corpus vocabulary")
+    index = CooccurrenceIndex(corpus)
+    scores = np.empty(phi.shape[0])
+    for k in range(phi.shape[0]):
+        ranked = np.argsort(phi[k])[::-1][:top_n]
+        scores[k] = umass_coherence(index, [int(v) for v in ranked], epsilon)
+    return scores
+
+
+def mean_coherence(
+    phi: np.ndarray, corpus: SocialCorpus, top_n: int = 10
+) -> float:
+    """Convenience: mean UMass coherence across topics (higher is better)."""
+    return float(topic_coherences(phi, corpus, top_n).mean())

@@ -1,0 +1,57 @@
+"""Held-out perplexity (paper §6.2, Fig. 9).
+
+For a test set of M posts::
+
+    perplexity = exp( - sum_d log p(w_d) / sum_d N_d )
+
+where ``N_d`` is the post length.  Lower is better.  For COLD the post
+probability is ``p(w_d) = sum_c pi_ic sum_k theta_ck prod_l phi_k,w_l``
+(implemented in :func:`repro.core.prediction.post_probability`); baselines
+plug in through the shared ``log p(w_d)`` callable signature.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..core.estimates import ParameterEstimates
+from ..core.prediction import post_probability
+from ..datasets.corpus import SocialCorpus
+
+
+class PerplexityError(ValueError):
+    """Raised for degenerate perplexity inputs."""
+
+
+#: Signature every model's held-out scorer shares:
+#: ``log_prob(words, author) -> float`` in natural-log space.
+LogPostProbability = Callable[[tuple[int, ...], int], float]
+
+
+def perplexity(
+    log_post_probability: LogPostProbability, test_corpus: SocialCorpus
+) -> float:
+    """Perplexity of ``test_corpus`` under a model's log-probability fn."""
+    if test_corpus.num_posts == 0:
+        raise PerplexityError("test corpus has no posts")
+    total_log_prob = 0.0
+    total_words = 0
+    for post in test_corpus.posts:
+        total_log_prob += log_post_probability(post.words, post.author)
+        total_words += len(post)
+    if total_words == 0:
+        raise PerplexityError("test corpus has no words")
+    import math
+
+    return math.exp(-total_log_prob / total_words)
+
+
+def cold_perplexity(
+    estimates: ParameterEstimates, test_corpus: SocialCorpus
+) -> float:
+    """Perplexity of a fitted COLD model (the §6.2 formula)."""
+
+    def log_prob(words: tuple[int, ...], author: int) -> float:
+        return post_probability(estimates, words, author)
+
+    return perplexity(log_prob, test_corpus)

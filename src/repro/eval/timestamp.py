@@ -1,0 +1,62 @@
+"""Time-stamp prediction accuracy (paper §6.3, Fig. 11).
+
+A previously unseen post's time slice is predicted by maximum likelihood;
+accuracy is reported as a function of the **tolerance range** — the maximum
+allowed |real - predicted| difference in slices.  Accuracy at tolerance 0 is
+exact-slice accuracy; Fig. 11 sweeps the tolerance and compares models.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..datasets.corpus import Post, SocialCorpus
+
+
+class TimestampError(ValueError):
+    """Raised for degenerate time-stamp evaluation inputs."""
+
+
+#: Every model's time-stamp predictor shares this signature.
+TimestampPredictor = Callable[[Post], int]
+
+
+def prediction_errors(
+    predict: TimestampPredictor, test_corpus: SocialCorpus
+) -> np.ndarray:
+    """|real - predicted| per test post."""
+    if test_corpus.num_posts == 0:
+        raise TimestampError("test corpus has no posts")
+    errors = np.empty(test_corpus.num_posts, dtype=np.int64)
+    for idx, post in enumerate(test_corpus.posts):
+        predicted = int(predict(post))
+        if not 0 <= predicted < test_corpus.num_time_slices:
+            raise TimestampError(
+                f"prediction {predicted} outside the time grid "
+                f"[0, {test_corpus.num_time_slices})"
+            )
+        errors[idx] = abs(predicted - post.timestamp)
+    return errors
+
+
+def accuracy_at_tolerance(errors: np.ndarray, tolerance: int) -> float:
+    """Fraction of predictions with error <= ``tolerance``."""
+    if tolerance < 0:
+        raise TimestampError(f"tolerance must be >= 0, got {tolerance}")
+    if errors.size == 0:
+        raise TimestampError("no errors supplied")
+    return float((errors <= tolerance).mean())
+
+
+def accuracy_curve(
+    predict: TimestampPredictor,
+    test_corpus: SocialCorpus,
+    tolerances: list[int] | np.ndarray,
+) -> np.ndarray:
+    """Accuracy at each tolerance — one Fig.-11 series."""
+    errors = prediction_errors(predict, test_corpus)
+    return np.asarray(
+        [accuracy_at_tolerance(errors, int(tol)) for tol in tolerances]
+    )

@@ -1,0 +1,83 @@
+"""Wall-clock measurement helpers (paper §6.4, Figs. 13–15).
+
+Small, dependency-free timers used by the efficiency benches: a stopwatch
+context manager, repeated-call timing with warmup, and a record type for
+labelled measurements that the benches print as the paper's bar charts.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+class TimingError(ValueError):
+    """Raised for invalid timing requests."""
+
+
+class Stopwatch:
+    """Context-manager stopwatch: ``with Stopwatch() as sw: ...; sw.seconds``."""
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.seconds: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is None:
+            raise TimingError("stopwatch exited without entering")
+        self.seconds = time.perf_counter() - self._start
+
+
+def time_callable(
+    fn: Callable[[], object], repeats: int = 3, warmup: int = 1
+) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` after ``warmup`` calls.
+
+    Best-of is the standard microbenchmark reduction: the minimum is the
+    least noise-contaminated estimate of the true cost.
+    """
+    if repeats <= 0 or warmup < 0:
+        raise TimingError("repeats must be positive and warmup >= 0")
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@dataclass
+class TimingTable:
+    """Labelled timing records, rendered like the paper's Figs. 14–15 bars."""
+
+    title: str
+    rows: list[tuple[str, float]] = field(default_factory=list)
+
+    def add(self, label: str, seconds: float) -> None:
+        if seconds < 0:
+            raise TimingError(f"negative time for {label!r}")
+        self.rows.append((label, seconds))
+
+    def fastest(self) -> str:
+        if not self.rows:
+            raise TimingError("no rows recorded")
+        return min(self.rows, key=lambda row: row[1])[0]
+
+    def render(self) -> str:
+        """ASCII table with proportional bars."""
+        if not self.rows:
+            return f"{self.title}: (empty)"
+        label_width = max(len(label) for label, _ in self.rows)
+        peak = max(seconds for _, seconds in self.rows) or 1.0
+        lines = [self.title]
+        for label, seconds in self.rows:
+            bar = "#" * max(1, int(round(30 * seconds / peak)))
+            lines.append(f"  {label.ljust(label_width)}  {seconds:>10.4f}s  {bar}")
+        return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""GraphLab substitute: vertex-centric GAS engine + parallel COLD sampler.
+
+See DESIGN.md §2 for why a simulated synchronous cluster preserves the
+paper's scalability claims (Figs. 13–14) at laptop scale.
+"""
+
+from .engine import (
+    ClusterReport,
+    EngineError,
+    NodeTiming,
+    SimulatedCluster,
+    SuperstepReport,
+)
+from .graph import ComputationGraph, GraphError, UserTimeEdge, UserUserEdge
+from .partition import PartitionError, PartitionStats, Shard, partition_graph
+from .sampler import ParallelCOLDSampler
+
+__all__ = [
+    "ClusterReport",
+    "ComputationGraph",
+    "EngineError",
+    "GraphError",
+    "NodeTiming",
+    "ParallelCOLDSampler",
+    "PartitionError",
+    "PartitionStats",
+    "Shard",
+    "SimulatedCluster",
+    "SuperstepReport",
+    "UserTimeEdge",
+    "UserUserEdge",
+    "partition_graph",
+]

@@ -1,0 +1,145 @@
+"""A GraphLab-style gather-apply-scatter engine, simulated at laptop scale.
+
+The paper runs its parallel sampler on a distributed GraphLab cluster.  We
+substitute a single-machine engine that preserves the *algorithmic* shape:
+
+* each superstep, every node processes its shard against a snapshot of the
+  shared counters (GraphLab's gather/apply made explicit as snapshot/merge);
+* node deltas are merged at the barrier (scatter's global effect);
+* per-node wall time is measured while the shards execute, and the
+  *simulated cluster time* of a superstep is ``max(node times) + merge``,
+  exactly what a real synchronous cluster would spend.
+
+Because every post/link lives on exactly one shard, the merged counters are
+identical to a from-scratch recount of the new assignments; the only
+approximation relative to the serial sampler is counter staleness *within*
+a superstep — the standard approximate-parallel-Gibbs (AD-LDA-style)
+trade-off that the GraphLab implementation also makes.
+
+An optional thread-pool executor runs shards concurrently for real; on
+CPython the GIL limits its gains, so the simulated mode is the default for
+the scalability benches (and is documented as such in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+
+class EngineError(ValueError):
+    """Raised for invalid engine configurations."""
+
+
+@dataclass(frozen=True)
+class NodeTiming:
+    """Wall time one simulated node spent on its shard in one superstep."""
+
+    node_id: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class SuperstepReport:
+    """Timing of one superstep across all nodes."""
+
+    node_timings: tuple[NodeTiming, ...]
+    merge_seconds: float
+
+    @property
+    def cluster_seconds(self) -> float:
+        """Simulated synchronous-cluster time: slowest node + merge."""
+        slowest = max((t.seconds for t in self.node_timings), default=0.0)
+        return slowest + self.merge_seconds
+
+    @property
+    def serial_seconds(self) -> float:
+        """Total work time (what one node would have spent)."""
+        return sum(t.seconds for t in self.node_timings) + self.merge_seconds
+
+
+@dataclass
+class ClusterReport:
+    """Accumulated timings over a whole run."""
+
+    supersteps: list[SuperstepReport]
+
+    @property
+    def cluster_seconds(self) -> float:
+        return sum(s.cluster_seconds for s in self.supersteps)
+
+    @property
+    def serial_seconds(self) -> float:
+        return sum(s.serial_seconds for s in self.supersteps)
+
+    @property
+    def speedup(self) -> float:
+        """Serial-work / simulated-cluster time; ~num_nodes when balanced."""
+        if self.cluster_seconds == 0:
+            return 1.0
+        return self.serial_seconds / self.cluster_seconds
+
+
+class SimulatedCluster:
+    """Runs node tasks and reports simulated synchronous-cluster timing.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of simulated nodes; each superstep must supply exactly this
+        many tasks (one per shard).
+    executor:
+        ``"simulated"`` runs tasks sequentially and *reports* parallel time
+        (deterministic, GIL-free measurement); ``"threads"`` actually runs
+        them on a thread pool.
+    """
+
+    def __init__(self, num_nodes: int, executor: str = "simulated") -> None:
+        if num_nodes <= 0:
+            raise EngineError(f"num_nodes must be positive, got {num_nodes}")
+        if executor not in ("simulated", "threads"):
+            raise EngineError(f"unknown executor {executor!r}")
+        self.num_nodes = num_nodes
+        self.executor = executor
+
+    def superstep(
+        self,
+        node_tasks: Sequence[Callable[[], None]],
+        merge: Callable[[], None] | None = None,
+    ) -> SuperstepReport:
+        """Run one barrier-synchronised superstep and time it.
+
+        ``node_tasks[n]`` is node ``n``'s shard work; ``merge`` runs once at
+        the barrier (delta application).
+        """
+        if len(node_tasks) != self.num_nodes:
+            raise EngineError(
+                f"expected {self.num_nodes} node tasks, got {len(node_tasks)}"
+            )
+        timings: list[NodeTiming] = []
+        if self.executor == "threads" and self.num_nodes > 1:
+            def timed(node_id: int, task: Callable[[], None]) -> NodeTiming:
+                start = time.perf_counter()
+                task()
+                return NodeTiming(node_id, time.perf_counter() - start)
+
+            with ThreadPoolExecutor(max_workers=self.num_nodes) as pool:
+                futures = [
+                    pool.submit(timed, n, task) for n, task in enumerate(node_tasks)
+                ]
+                timings = [f.result() for f in futures]
+        else:
+            for node_id, task in enumerate(node_tasks):
+                start = time.perf_counter()
+                task()
+                timings.append(NodeTiming(node_id, time.perf_counter() - start))
+
+        merge_start = time.perf_counter()
+        if merge is not None:
+            merge()
+        merge_seconds = time.perf_counter() - merge_start
+        return SuperstepReport(
+            node_timings=tuple(timings), merge_seconds=merge_seconds
+        )

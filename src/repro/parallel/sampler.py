@@ -1,0 +1,225 @@
+"""Parallel COLD inference on the simulated GAS engine (paper §4.3, Alg. 2).
+
+Each superstep is one Gibbs sweep executed shard-by-shard:
+
+1. **snapshot** — the global counters are frozen (GraphLab's gather/apply
+   phases materialise exactly this per-vertex view);
+2. **scatter** — every node resamples the posts and links on its shard with
+   the serial kernels of :mod:`repro.core.gibbs`, against its private copy
+   of the snapshot (assignments are shared: shards own disjoint posts/links);
+3. **merge** — node counter deltas are summed into the new global state.
+
+Because shards partition the posts and links exactly, the merged counters
+equal a from-scratch recount of the new assignments; staleness only affects
+*which* conditional each draw used, the standard approximate-parallel-Gibbs
+trade-off (the GraphLab implementation shares it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.estimates import ParameterEstimates, average_estimates, estimate_from_state
+from ..core.gibbs import sweep
+from ..core.likelihood import ConvergenceMonitor, joint_log_likelihood
+from ..core.params import Hyperparameters
+from ..core.state import CountState
+from ..datasets.corpus import SocialCorpus
+from .engine import ClusterReport, EngineError, SimulatedCluster
+from .graph import ComputationGraph
+from .partition import PartitionStats, Shard, partition_graph
+
+#: Counter array attributes that are snapshotted/merged each superstep.
+_COUNTER_FIELDS = (
+    "n_user_comm",
+    "n_comm_topic",
+    "n_comm_topic_time",
+    "n_topic_word",
+    "n_topic_total",
+    "n_link_comm",
+)
+
+
+@dataclass
+class _Snapshot:
+    """Frozen copies of the global counters at a superstep boundary."""
+
+    arrays: dict[str, np.ndarray]
+
+    @classmethod
+    def of(cls, state: CountState) -> "_Snapshot":
+        return cls({name: getattr(state, name).copy() for name in _COUNTER_FIELDS})
+
+    def local_state(self, state: CountState) -> CountState:
+        """A node-private state: copied counters, shared data/assignments."""
+        return replace(
+            state, **{name: array.copy() for name, array in self.arrays.items()}
+        )
+
+    def merge_into(self, state: CountState, locals_: list[CountState]) -> None:
+        """``global = snapshot + sum_n (local_n - snapshot)`` per counter."""
+        for name in _COUNTER_FIELDS:
+            base = self.arrays[name]
+            merged = base.copy()
+            for local in locals_:
+                merged += getattr(local, name) - base
+            getattr(state, name)[...] = merged
+
+
+class ParallelCOLDSampler:
+    """COLD inference over ``num_nodes`` simulated cluster nodes.
+
+    Mirrors :class:`~repro.core.model.COLDModel`'s interface; after
+    :meth:`fit`, ``estimates_`` holds the averaged parameter estimates and
+    ``report_`` the per-superstep cluster timings that Figures 13–14 use.
+    """
+
+    def __init__(
+        self,
+        num_communities: int = 20,
+        num_topics: int = 20,
+        num_nodes: int = 4,
+        executor: str = "simulated",
+        hyperparameters: Hyperparameters | None = None,
+        include_network: bool = True,
+        kappa: float = 1.0,
+        prior: str = "paper",
+        seed: int = 0,
+    ) -> None:
+        if num_communities <= 0 or num_topics <= 0:
+            raise EngineError("num_communities and num_topics must be positive")
+        if prior not in ("paper", "scaled"):
+            raise EngineError(f"prior must be 'paper' or 'scaled', got {prior!r}")
+        self.num_communities = num_communities
+        self.num_topics = num_topics
+        self.num_nodes = num_nodes
+        self.executor = executor
+        self.hyperparameters = hyperparameters
+        self.include_network = include_network
+        self.kappa = kappa
+        self.prior = prior
+        self.seed = seed
+        self.state_: CountState | None = None
+        self.estimates_: ParameterEstimates | None = None
+        self.report_: ClusterReport | None = None
+        self.partition_stats_: PartitionStats | None = None
+        self.monitor_: ConvergenceMonitor | None = None
+
+    def fit(
+        self,
+        corpus: SocialCorpus,
+        num_iterations: int = 100,
+        burn_in: int | None = None,
+        sample_interval: int = 5,
+        likelihood_interval: int = 0,
+    ) -> "ParallelCOLDSampler":
+        """Run ``num_iterations`` parallel sweeps and store estimates."""
+        if num_iterations <= 0:
+            raise EngineError("num_iterations must be positive")
+        if burn_in is None:
+            burn_in = num_iterations // 2
+        if not 0 <= burn_in < num_iterations:
+            raise EngineError("burn_in must lie in [0, num_iterations)")
+
+        hp = self._resolve_hyperparameters(corpus)
+        seed_seq = np.random.SeedSequence(self.seed)
+        init_rng = np.random.default_rng(seed_seq.spawn(1)[0])
+        state = CountState.initialize(
+            corpus,
+            self.num_communities,
+            self.num_topics,
+            init_rng,
+            include_network=self.include_network,
+        )
+
+        graph = ComputationGraph.from_corpus(corpus)
+        if not self.include_network:
+            graph.user_user_edges = []
+        shards, stats = partition_graph(graph, self.num_nodes)
+        cluster = SimulatedCluster(self.num_nodes, executor=self.executor)
+        node_rngs = [
+            np.random.default_rng(child) for child in seed_seq.spawn(self.num_nodes)
+        ]
+
+        monitor = ConvergenceMonitor()
+        samples: list[ParameterEstimates] = []
+        supersteps = []
+        for iteration in range(1, num_iterations + 1):
+            report = self._superstep(state, hp, shards, cluster, node_rngs)
+            supersteps.append(report)
+            if likelihood_interval and iteration % likelihood_interval == 0:
+                monitor.record(joint_log_likelihood(state, hp))
+            if iteration > burn_in and (iteration - burn_in) % sample_interval == 0:
+                samples.append(estimate_from_state(state, hp))
+
+        if not samples:
+            samples.append(estimate_from_state(state, hp))
+        self.state_ = state
+        self.estimates_ = average_estimates(samples)
+        self.report_ = ClusterReport(supersteps=supersteps)
+        self.partition_stats_ = stats
+        self.monitor_ = monitor
+        self.hyperparameters = hp
+        return self
+
+    def _superstep(
+        self,
+        state: CountState,
+        hp: Hyperparameters,
+        shards: list[Shard],
+        cluster: SimulatedCluster,
+        node_rngs: list[np.random.Generator],
+    ):
+        snapshot = _Snapshot.of(state)
+        locals_ = [snapshot.local_state(state) for _ in shards]
+
+        def make_task(node: int):
+            shard = shards[node]
+            local = locals_[node]
+            rng = node_rngs[node]
+
+            def task() -> None:
+                sweep(
+                    local,
+                    hp,
+                    rng,
+                    post_order=shard.post_order(),
+                    link_order=shard.link_order(),
+                )
+
+            return task
+
+        tasks = [make_task(n) for n in range(len(shards))]
+        return cluster.superstep(tasks, merge=lambda: snapshot.merge_into(state, locals_))
+
+    def _resolve_hyperparameters(self, corpus: SocialCorpus) -> Hyperparameters:
+        if self.hyperparameters is not None:
+            return self.hyperparameters
+        network_corpus = corpus if self.include_network else None
+        if self.prior == "scaled":
+            return Hyperparameters.scaled(
+                self.num_communities, self.num_topics, network_corpus
+            )
+        return Hyperparameters.default(
+            self.num_communities, self.num_topics, network_corpus, kappa=self.kappa
+        )
+
+    # -- results ----------------------------------------------------------------
+
+    @property
+    def fitted(self) -> bool:
+        return self.estimates_ is not None
+
+    def training_seconds(self) -> float:
+        """Total simulated-cluster training time (Fig. 13/14 metric)."""
+        if self.report_ is None:
+            raise EngineError("sampler is not fitted; call fit() first")
+        return self.report_.cluster_seconds
+
+    def speedup(self) -> float:
+        """Serial-work / cluster-time ratio achieved by the partitioning."""
+        if self.report_ is None:
+            raise EngineError("sampler is not fitted; call fit() first")
+        return self.report_.speedup

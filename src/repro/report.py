@@ -1,0 +1,151 @@
+"""Full-text analysis report over a fitted COLD model.
+
+``build_report`` walks every analysis the paper derives from the fitted
+parameters — corpus statistics, topic word clouds (Fig. 8), community
+profiles, the strongest topic's diffusion graph (Fig. 5), fluctuation
+vs. interest (Fig. 6), popularity time lag (Fig. 7), and influential
+communities (Fig. 16) — and renders one plain-text report.  The CLI exposes
+it as ``cold report``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core.diffusion import extract_diffusion_graph
+from .core.estimates import ParameterEstimates
+from .core.influence import community_influence, pentagon_embedding
+from .core.patterns import (
+    PatternError,
+    fluctuation_analysis,
+    time_lag_analysis,
+    top_words,
+)
+from .datasets.corpus import SocialCorpus
+from .viz import diffusion_graph_summary, pentagon_summary, sparkline, word_cloud
+
+
+class ReportError(ValueError):
+    """Raised for invalid report requests."""
+
+
+def _header(title: str) -> list[str]:
+    bar = "=" * len(title)
+    return ["", title, bar]
+
+
+def _corpus_section(corpus: SocialCorpus) -> list[str]:
+    lines = _header("Corpus")
+    for key, value in corpus.describe().items():
+        lines.append(f"  {key:<12} {value}")
+    return lines
+
+
+def _topic_section(
+    estimates: ParameterEstimates, corpus: SocialCorpus, words_per_topic: int
+) -> list[str]:
+    lines = _header("Topics (Fig. 8)")
+    for k in range(estimates.num_topics):
+        ranked = top_words(estimates, k, corpus.vocabulary, size=words_per_topic)
+        weight = float(estimates.theta[:, k].mean())
+        lines.append(f"-- topic {k} (mean community interest {weight:.3f}) --")
+        lines.append(word_cloud(ranked, columns=4))
+    return lines
+
+
+def _community_section(estimates: ParameterEstimates) -> list[str]:
+    lines = _header("Communities")
+    sizes = estimates.pi.sum(axis=0)
+    for c in range(estimates.num_communities):
+        interests = np.argsort(estimates.theta[c])[::-1][:3]
+        pie = ", ".join(
+            f"k{int(k)}:{estimates.theta[c, int(k)]:.2f}" for k in interests
+        )
+        lines.append(
+            f"  C{c}: membership mass {sizes[c]:.1f}, top interests [{pie}]"
+        )
+    return lines
+
+
+def _diffusion_section(estimates: ParameterEstimates, topic: int) -> list[str]:
+    lines = _header(f"Community-level diffusion of topic {topic} (Fig. 5)")
+    graph = extract_diffusion_graph(estimates, topic, max_communities=5)
+    lines.append(diffusion_graph_summary(graph))
+    return lines
+
+
+def _fluctuation_section(estimates: ParameterEstimates) -> list[str]:
+    lines = _header("Fluctuation vs interest (Fig. 6)")
+    analysis = fluctuation_analysis(estimates, num_buckets=8)
+    for b in range(8):
+        value = analysis.bucket_mean_variance[b]
+        if not np.isfinite(value):
+            continue
+        lo, hi = analysis.bucket_edges[b], analysis.bucket_edges[b + 1]
+        lines.append(
+            f"  interest {lo:9.2e} .. {hi:9.2e}  mean var(psi) {value:7.2f}"
+        )
+    return lines
+
+
+def _time_lag_section(estimates: ParameterEstimates, topic: int) -> list[str]:
+    lines = _header(f"Popularity time lag, topic {topic} (Fig. 7)")
+    try:
+        analysis = time_lag_analysis(estimates, topic, num_high=2)
+    except PatternError as exc:
+        lines.append(f"  (not applicable: {exc})")
+        return lines
+    lines.append(f"  high   |{sparkline(analysis.high_curve)}|")
+    lines.append(f"  medium |{sparkline(analysis.medium_curve)}|")
+    lines.append(
+        f"  medium group lags by {analysis.peak_lag()} slices; "
+        f"durability (high, medium) = {analysis.durability()}"
+    )
+    return lines
+
+
+def _influence_section(
+    estimates: ParameterEstimates, topic: int, num_simulations: int
+) -> list[str]:
+    lines = _header(f"Influential communities, topic {topic} (Fig. 16)")
+    influence = community_influence(
+        estimates, topic, num_simulations=num_simulations, seed=0
+    )
+    embedding = pentagon_embedding(estimates, influence, top_users=20)
+    lines.append(pentagon_summary(embedding, top_users=5))
+    return lines
+
+
+def build_report(
+    estimates: ParameterEstimates,
+    corpus: SocialCorpus,
+    topic: int | None = None,
+    words_per_topic: int = 8,
+    num_simulations: int = 150,
+) -> str:
+    """Render the full analysis report as one string.
+
+    ``topic`` selects the focus topic for the diffusion/lag/influence
+    sections; by default the topic with the sharpest community interest.
+    """
+    estimates.validate()
+    if estimates.vocab_size != corpus.vocab_size:
+        raise ReportError("estimates and corpus disagree on vocabulary size")
+    if topic is None:
+        topic = int(estimates.theta.max(axis=0).argmax())
+    if not 0 <= topic < estimates.num_topics:
+        raise ReportError(f"topic {topic} out of range")
+    if words_per_topic <= 0:
+        raise ReportError("words_per_topic must be positive")
+
+    sections = [
+        ["COLD analysis report", "===================="],
+        _corpus_section(corpus),
+        _topic_section(estimates, corpus, words_per_topic),
+        _community_section(estimates),
+        _diffusion_section(estimates, topic),
+        _fluctuation_section(estimates),
+        _time_lag_section(estimates, topic),
+        _influence_section(estimates, topic, num_simulations),
+    ]
+    return "\n".join(line for section in sections for line in section)

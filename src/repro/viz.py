@@ -1,0 +1,156 @@
+"""Terminal renderings of the paper's figures (word clouds, curves, graphs).
+
+Everything here is plain-text: the repository is meant to run headless, so
+the figures are rendered as ASCII (sparklines, proportional bars, aligned
+tables).  Benches and examples use these to print the same *content* the
+paper's figures display.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core.diffusion import CommunityDiffusionGraph
+from .core.influence import PentagonEmbedding
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+class VizError(ValueError):
+    """Raised for invalid rendering inputs."""
+
+
+def sparkline(values: np.ndarray | list[float], width: int | None = None) -> str:
+    """Render a series as a one-line density sparkline.
+
+    ``width`` resamples the series by block-averaging; ``None`` keeps one
+    character per value.
+    """
+    series = np.asarray(values, dtype=np.float64)
+    if series.size == 0:
+        raise VizError("cannot sparkline an empty series")
+    if width is not None:
+        if width <= 0:
+            raise VizError("width must be positive")
+        chunks = np.array_split(series, min(width, series.size))
+        series = np.asarray([chunk.mean() for chunk in chunks])
+    low, high = series.min(), series.max()
+    span = high - low
+    if span == 0:
+        return _SPARK_LEVELS[0] * series.size
+    levels = ((series - low) / span * (len(_SPARK_LEVELS) - 1)).round().astype(int)
+    return "".join(_SPARK_LEVELS[level] for level in levels)
+
+
+def word_cloud(words: list[tuple[str, float]], columns: int = 4) -> str:
+    """Render a Fig.-8 style word cloud: weight-scaled uppercase emphasis.
+
+    The heaviest words are rendered in UPPERCASE with a weight marker;
+    lighter words in lowercase — a text stand-in for font size.
+    """
+    if not words:
+        raise VizError("cannot render an empty word cloud")
+    if columns <= 0:
+        raise VizError("columns must be positive")
+    peak = max(weight for _, weight in words) or 1.0
+    cells = []
+    for token, weight in words:
+        ratio = weight / peak
+        if ratio > 0.66:
+            cells.append(f"[{token.upper()}]")
+        elif ratio > 0.33:
+            cells.append(f" {token.capitalize()} ")
+        else:
+            cells.append(f"  {token.lower()}  ")
+    width = max(len(cell) for cell in cells)
+    lines = []
+    for start in range(0, len(cells), columns):
+        row = cells[start : start + columns]
+        lines.append(" ".join(cell.ljust(width) for cell in row))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: list[str], values: np.ndarray | list[float], width: int = 40
+) -> str:
+    """Horizontal proportional bar chart with value annotations."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(labels) != len(values):
+        raise VizError("labels and values must have equal length")
+    if len(labels) == 0:
+        raise VizError("cannot render an empty bar chart")
+    peak = values.max() if values.max() > 0 else 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def diffusion_graph_summary(
+    graph: CommunityDiffusionGraph, topic_label: str | None = None
+) -> str:
+    """Fig.-5 text rendering: pie-node interests, timelines, top edges."""
+    label = topic_label or f"topic {graph.topic}"
+    lines = [f"Community-level diffusion of {label}"]
+    for position, community in enumerate(graph.communities):
+        pie = ", ".join(
+            f"k{topic}:{weight:.3f}" for topic, weight in graph.top_topics[position]
+        )
+        timeline = sparkline(graph.timelines[position])
+        lines.append(
+            f"  C{community:<3} interest={graph.interest[position]:.4f}  "
+            f"pie[{pie}]"
+        )
+        lines.append(f"       timeline |{timeline}|")
+    lines.append("  strongest influence edges:")
+    for edge in graph.edges[:8]:
+        lines.append(
+            f"    C{edge.source} -> C{edge.target}  zeta={edge.strength:.3e}"
+        )
+    return "\n".join(lines)
+
+
+def pentagon_summary(embedding: PentagonEmbedding, top_users: int = 10) -> str:
+    """Fig.-16 text rendering: corner communities + most influential users."""
+    lines = [
+        f"Influential communities at topic {embedding.topic}: "
+        + ", ".join(f"C{c}" for c in embedding.corner_communities)
+        + " (+ other)"
+    ]
+    order = np.argsort(embedding.user_scores)[::-1][:top_users]
+    for rank, user_index in enumerate(order, start=1):
+        x, y = embedding.positions[user_index]
+        corner = int(embedding.weights[user_index].argmax())
+        corner_name = (
+            f"C{embedding.corner_communities[corner]}" if corner < 4 else "other"
+        )
+        lines.append(
+            f"  #{rank:<2} user@({x:+.2f},{y:+.2f}) "
+            f"score={embedding.user_scores[user_index]:.3f} main={corner_name}"
+        )
+    return "\n".join(lines)
+
+
+def curve_table(
+    x_values: list[int] | np.ndarray,
+    series: dict[str, np.ndarray],
+    x_label: str = "x",
+) -> str:
+    """Aligned multi-series table (the text form of Figs. 7, 9, 11...)."""
+    if not series:
+        raise VizError("need at least one series")
+    x_values = list(x_values)
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise VizError(f"series {name!r} length mismatch")
+    names = list(series)
+    header = [x_label] + names
+    rows = [header]
+    for idx, x in enumerate(x_values):
+        rows.append([str(x)] + [f"{series[name][idx]:.4f}" for name in names])
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    return "\n".join(
+        "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)) for row in rows
+    )

@@ -1,0 +1,119 @@
+"""Shared fixtures: a small synthetic world and fitted models.
+
+Session-scoped fixtures cache the expensive artefacts (corpus generation,
+Gibbs fits) so the suite stays fast while many tests share one well-mixed
+model.  Tests that need different shapes build their own tiny corpora.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimates import ParameterEstimates
+from repro.core.model import COLDModel
+from repro.datasets.cascades import RetweetTuple, generate_retweet_tuples
+from repro.datasets.corpus import Post, SocialCorpus
+from repro.datasets.synthetic import GroundTruth, SyntheticConfig, generate_corpus
+
+
+TINY_CONFIG = SyntheticConfig(
+    num_users=30,
+    num_communities=3,
+    num_topics=4,
+    num_time_slices=8,
+    vocab_size=120,
+    anchors_per_topic=12,
+    mean_posts_per_user=10.0,
+    mean_words_per_post=7.0,
+    mean_links_per_user=6.0,
+    membership_concentration=0.1,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_world() -> tuple[SocialCorpus, GroundTruth]:
+    """A 30-user corpus with planted ground truth."""
+    return generate_corpus(TINY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus(tiny_world) -> SocialCorpus:
+    return tiny_world[0]
+
+
+@pytest.fixture(scope="session")
+def tiny_truth(tiny_world) -> GroundTruth:
+    return tiny_world[1]
+
+
+@pytest.fixture(scope="session")
+def fitted_model(tiny_corpus) -> COLDModel:
+    """A COLD model fitted on the tiny corpus (shared, do not mutate)."""
+    model = COLDModel(
+        num_communities=3, num_topics=4, prior="scaled", seed=0
+    )
+    return model.fit(tiny_corpus, num_iterations=40, likelihood_interval=10)
+
+
+@pytest.fixture(scope="session")
+def estimates(fitted_model) -> ParameterEstimates:
+    assert fitted_model.estimates_ is not None
+    return fitted_model.estimates_
+
+
+@pytest.fixture(scope="session")
+def oracle_estimates(tiny_truth) -> ParameterEstimates:
+    """The planted parameters wrapped as estimates (an 'oracle' model)."""
+    return ParameterEstimates(
+        pi=tiny_truth.pi,
+        theta=tiny_truth.theta,
+        phi=tiny_truth.phi,
+        psi=tiny_truth.psi,
+        eta=tiny_truth.eta,
+    )
+
+
+@pytest.fixture(scope="session")
+def retweet_tuples(tiny_corpus, tiny_truth) -> list[RetweetTuple]:
+    return generate_retweet_tuples(
+        tiny_corpus, tiny_truth, exposure_rate=0.8, seed=11
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)
+
+
+def make_corpus(
+    posts: list[Post],
+    links: list[tuple[int, int]],
+    num_users: int = 5,
+    num_time_slices: int = 4,
+    vocab_size: int = 10,
+) -> SocialCorpus:
+    """Hand-rolled corpus helper for unit tests needing exact contents."""
+    return SocialCorpus(
+        num_users=num_users,
+        num_time_slices=num_time_slices,
+        posts=posts,
+        links=links,
+        vocab_size=vocab_size,
+    )
+
+
+@pytest.fixture()
+def hand_corpus() -> SocialCorpus:
+    """A five-user corpus with fully known contents for exact assertions."""
+    posts = [
+        Post(author=0, words=(0, 1, 1), timestamp=0),
+        Post(author=0, words=(2,), timestamp=1),
+        Post(author=1, words=(3, 4), timestamp=2),
+        Post(author=2, words=(5, 5, 5), timestamp=3),
+        Post(author=3, words=(6, 7), timestamp=0),
+        Post(author=4, words=(8, 9, 0), timestamp=2),
+    ]
+    links = [(0, 1), (1, 2), (2, 0), (3, 4)]
+    return make_corpus(posts, links)

@@ -1,0 +1,72 @@
+"""API-surface tests: __all__ consistency, import hygiene, version."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.datasets",
+    "repro.core",
+    "repro.parallel",
+    "repro.baselines",
+    "repro.eval",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+class TestAllExports:
+    def test_every_all_entry_exists(self, package_name):
+        module = importlib.import_module(package_name)
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package_name}.{name} missing"
+
+    def test_all_is_sorted(self, package_name):
+        module = importlib.import_module(package_name)
+        assert list(module.__all__) == sorted(module.__all__), (
+            f"{package_name}.__all__ is not sorted"
+        )
+
+    def test_all_has_no_duplicates(self, package_name):
+        module = importlib.import_module(package_name)
+        assert len(set(module.__all__)) == len(module.__all__)
+
+
+class TestTopLevelAPI:
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_headline_classes_importable_from_top_level(self):
+        from repro import (
+            COLDModel,
+            DiffusionPredictor,
+            ParallelCOLDSampler,
+            SocialCorpus,
+            generate_corpus,
+        )
+
+        assert COLDModel and DiffusionPredictor and ParallelCOLDSampler
+        assert SocialCorpus and generate_corpus
+
+    def test_every_module_has_a_docstring(self):
+        import pkgutil
+
+        import repro
+
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            assert module.__doc__, f"{info.name} lacks a module docstring"
+
+    def test_public_classes_have_docstrings(self):
+        import inspect
+
+        for package_name in PACKAGES:
+            module = importlib.import_module(package_name)
+            for name in module.__all__:
+                obj = getattr(module, name)
+                if inspect.isclass(obj):
+                    assert obj.__doc__, f"{package_name}.{name} lacks a docstring"

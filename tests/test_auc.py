@@ -1,0 +1,131 @@
+"""Unit tests for repro.eval.auc."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cascades import RetweetTuple
+from repro.eval.auc import (
+    AUCError,
+    averaged_diffusion_auc,
+    link_prediction_auc,
+    roc_auc,
+)
+
+
+class TestROCAuc:
+    def test_perfect_separation(self):
+        assert roc_auc(np.array([3.0, 4.0]), np.array([1.0, 2.0])) == 1.0
+
+    def test_perfectly_wrong(self):
+        assert roc_auc(np.array([1.0, 2.0]), np.array([3.0, 4.0])) == 0.0
+
+    def test_constant_scores_give_half(self):
+        assert roc_auc(np.ones(5), np.ones(7)) == pytest.approx(0.5)
+
+    def test_ties_handled_with_midranks(self):
+        # positives: [2, 1], negatives: [1, 0].  Pairs: (2>1), (2>0), (1=1
+        # counts 0.5), (1>0) -> AUC = 3.5/4.
+        value = roc_auc(np.array([2.0, 1.0]), np.array([1.0, 0.0]))
+        assert value == pytest.approx(3.5 / 4)
+
+    def test_matches_naive_pair_counting(self, rng):
+        positives = rng.normal(1.0, 1.0, size=30)
+        negatives = rng.normal(0.0, 1.0, size=40)
+        fast = roc_auc(positives, negatives)
+        wins = sum(
+            1.0 if p > n else 0.5 if p == n else 0.0
+            for p in positives
+            for n in negatives
+        )
+        assert fast == pytest.approx(wins / (30 * 40))
+
+    def test_antisymmetry(self, rng):
+        positives = rng.normal(1.0, 1.0, size=20)
+        negatives = rng.normal(0.0, 1.0, size=25)
+        assert roc_auc(positives, negatives) == pytest.approx(
+            1.0 - roc_auc(negatives, positives)
+        )
+
+    def test_invariant_to_monotone_transform(self, rng):
+        positives = rng.uniform(0.1, 2.0, size=15)
+        negatives = rng.uniform(0.1, 2.0, size=15)
+        assert roc_auc(positives, negatives) == pytest.approx(
+            roc_auc(np.log(positives), np.log(negatives))
+        )
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(AUCError):
+            roc_auc(np.array([]), np.array([1.0]))
+        with pytest.raises(AUCError):
+            roc_auc(np.array([1.0]), np.array([]))
+
+
+class TestLinkPredictionAUC:
+    def test_oracle_scorer_gets_high_auc(self):
+        positives = [(0, 1), (2, 3)]
+        negatives = [(1, 0), (3, 2)]
+        scores = {(0, 1): 0.9, (2, 3): 0.8, (1, 0): 0.1, (3, 2): 0.2}
+
+        def scorer(src, dst):
+            return np.array([scores[(int(s), int(d))] for s, d in zip(src, dst)])
+
+        assert link_prediction_auc(scorer, positives, negatives) == 1.0
+
+    def test_empty_sets_raise(self):
+        scorer = lambda s, d: np.zeros(len(s))
+        with pytest.raises(AUCError):
+            link_prediction_auc(scorer, [], [(0, 1)])
+        with pytest.raises(AUCError):
+            link_prediction_auc(scorer, [(0, 1)], [])
+
+
+class TestAveragedDiffusionAUC:
+    def _tuples(self):
+        return [
+            RetweetTuple(author=0, post_index=0, retweeters=(1, 2), ignorers=(3,)),
+            RetweetTuple(author=0, post_index=1, retweeters=(3,), ignorers=(1, 2)),
+        ]
+
+    def test_per_tuple_average(self, hand_corpus):
+        """A scorer perfect on tuple 1 and perfectly wrong on tuple 2
+        averages to 0.5."""
+
+        def scorer(author, candidates, words):
+            # High scores for users 1, 2; low for 3 -> perfect for tuple 1,
+            # exactly wrong for tuple 2.
+            return np.array([1.0 if c in (1, 2) else 0.0 for c in candidates])
+
+        value = averaged_diffusion_auc(scorer, self._tuples(), hand_corpus)
+        assert value == pytest.approx(0.5)
+
+    def test_constant_scorer_gives_half(self, hand_corpus):
+        scorer = lambda a, cands, w: np.zeros(len(cands))
+        value = averaged_diffusion_auc(scorer, self._tuples(), hand_corpus)
+        assert value == pytest.approx(0.5)
+
+    def test_empty_tuples_raise(self, hand_corpus):
+        scorer = lambda a, cands, w: np.zeros(len(cands))
+        with pytest.raises(AUCError):
+            averaged_diffusion_auc(scorer, [], hand_corpus)
+
+    def test_scorer_receives_post_words(self, hand_corpus):
+        received = []
+
+        def scorer(author, candidates, words):
+            received.append(tuple(words))
+            return np.arange(len(candidates), dtype=float)
+
+        averaged_diffusion_auc(scorer, self._tuples(), hand_corpus)
+        assert received[0] == hand_corpus.posts[0].words
+        assert received[1] == hand_corpus.posts[1].words
+
+    def test_oracle_predictor_beats_chance_on_planted_tuples(
+        self, oracle_estimates, retweet_tuples, tiny_corpus
+    ):
+        from repro.core.prediction import DiffusionPredictor
+
+        predictor = DiffusionPredictor(oracle_estimates)
+        value = averaged_diffusion_auc(
+            predictor.score_candidates, retweet_tuples, tiny_corpus
+        )
+        assert value > 0.6

@@ -1,0 +1,92 @@
+"""Unit tests for the Table-2 capability matrix."""
+
+import importlib
+
+import pytest
+
+from repro.baselines.capabilities import (
+    CAPABILITIES,
+    FEATURES,
+    TASKS,
+    capability_table,
+    find_method,
+)
+
+
+class TestMatrixContents:
+    def test_all_seven_methods_present(self):
+        names = {method.name for method in CAPABILITIES}
+        assert names == {"PMTLM", "MMSB", "EUTB", "Pipeline", "WTM", "TI", "COLD"}
+
+    def test_cold_supports_everything(self):
+        cold = find_method("COLD")
+        assert all(cold.uses(f) for f in FEATURES)
+        assert all(cold.supports(t) for t in TASKS)
+
+    def test_cold_strictly_dominates_every_baseline(self):
+        cold = find_method("COLD")
+        for method in CAPABILITIES:
+            if method.name == "COLD":
+                continue
+            assert method.features <= cold.features
+            assert method.tasks < cold.tasks
+
+    def test_mmsb_is_network_only(self):
+        mmsb = find_method("MMSB")
+        assert mmsb.features == frozenset({"social"})
+        assert mmsb.tasks == frozenset({"community_detection"})
+
+    def test_paper_rows_match(self):
+        """Spot-check rows against Table 2 of the paper."""
+        pmtlm = find_method("PMTLM")
+        assert pmtlm.uses("text") and pmtlm.uses("social") and not pmtlm.uses("time")
+        assert pmtlm.supports("topic_extraction")
+        assert pmtlm.supports("community_detection")
+        assert not pmtlm.supports("diffusion_prediction")
+
+        eutb = find_method("EUTB")
+        assert eutb.uses("time") and eutb.supports("temporal_modeling")
+        assert not eutb.supports("community_detection")
+
+        wtm = find_method("WTM")
+        assert wtm.supports("diffusion_prediction")
+        assert not wtm.supports("topic_extraction")
+
+        ti = find_method("TI")
+        assert ti.supports("diffusion_prediction")
+        assert ti.supports("topic_extraction")
+
+    def test_only_diffusion_predictors_are_wtm_ti_cold(self):
+        predictors = {
+            m.name for m in CAPABILITIES if m.supports("diffusion_prediction")
+        }
+        assert predictors == {"WTM", "TI", "COLD"}
+
+    def test_unknown_feature_or_task_raise(self):
+        cold = find_method("COLD")
+        with pytest.raises(ValueError):
+            cold.uses("telepathy")
+        with pytest.raises(ValueError):
+            cold.supports("levitation")
+
+
+class TestModulePointers:
+    def test_every_module_imports(self):
+        for method in CAPABILITIES:
+            importlib.import_module(method.module)
+
+
+class TestRendering:
+    def test_table_has_row_per_method_plus_header(self):
+        lines = capability_table().splitlines()
+        assert len(lines) == len(CAPABILITIES) + 1
+
+    def test_cold_row_fully_marked(self):
+        lines = capability_table().splitlines()
+        cold_line = next(line for line in lines if line.startswith("COLD"))
+        assert cold_line.count("x") == len(FEATURES) + len(TASKS)
+
+    def test_find_method_case_insensitive(self):
+        assert find_method("cold").name == "COLD"
+        with pytest.raises(KeyError):
+            find_method("nonexistent")

@@ -1,0 +1,167 @@
+"""Unit tests for repro.datasets.cascades."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cascades import (
+    CascadeError,
+    RetweetTuple,
+    generate_retweet_tuples,
+    planted_diffusion_probability,
+    retweet_training_events,
+    split_tuples,
+    topic_posterior_for_post,
+)
+
+
+class TestRetweetTuple:
+    def test_rejects_overlapping_label_sets(self):
+        with pytest.raises(CascadeError):
+            RetweetTuple(author=0, post_index=0, retweeters=(1, 2), ignorers=(2,))
+
+    def test_num_exposed(self):
+        t = RetweetTuple(author=0, post_index=0, retweeters=(1,), ignorers=(2, 3))
+        assert t.num_exposed == 3
+
+
+class TestTopicPosterior:
+    def test_posterior_is_distribution(self, tiny_corpus, tiny_truth):
+        posterior = topic_posterior_for_post(tiny_truth, tiny_corpus, 0)
+        assert posterior.shape == (tiny_truth.num_topics,)
+        assert posterior.min() >= 0
+        np.testing.assert_allclose(posterior.sum(), 1.0, atol=1e-9)
+
+    def test_posterior_peaks_at_planted_topic_for_most_posts(
+        self, tiny_corpus, tiny_truth
+    ):
+        hits = 0
+        n = min(100, tiny_corpus.num_posts)
+        for idx in range(n):
+            posterior = topic_posterior_for_post(tiny_truth, tiny_corpus, idx)
+            if posterior.argmax() == tiny_truth.post_topics[idx]:
+                hits += 1
+        assert hits / n > 0.5  # far above the 1/K = 0.25 chance level
+
+
+class TestPlantedProbability:
+    def test_shapes_and_range(self, tiny_corpus, tiny_truth):
+        followers = np.asarray(tiny_corpus.out_links()[0] or [1, 2])
+        posterior = topic_posterior_for_post(tiny_truth, tiny_corpus, 0)
+        probs = planted_diffusion_probability(tiny_truth, 0, followers, posterior)
+        assert probs.shape == (len(followers),)
+        assert (probs >= 0).all()
+
+    def test_matches_naive_triple_sum(self, tiny_truth):
+        """The einsum path must equal the direct Eq.-7 triple sum."""
+        author, follower = 0, 1
+        K = tiny_truth.num_topics
+        posterior = np.full(K, 1.0 / K)
+        fast = planted_diffusion_probability(
+            tiny_truth, author, np.asarray([follower]), posterior
+        )[0]
+        zeta = tiny_truth.zeta()
+        slow = sum(
+            posterior[k]
+            * tiny_truth.pi[author, c]
+            * tiny_truth.pi[follower, c2]
+            * zeta[k, c, c2]
+            for k in range(K)
+            for c in range(tiny_truth.num_communities)
+            for c2 in range(tiny_truth.num_communities)
+        )
+        np.testing.assert_allclose(fast, slow, rtol=1e-10)
+
+
+class TestGenerateRetweetTuples:
+    def test_tuples_have_both_labels(self, retweet_tuples):
+        assert retweet_tuples
+        for t in retweet_tuples:
+            assert t.retweeters and t.ignorers
+
+    def test_candidates_are_followers(self, retweet_tuples, tiny_corpus):
+        followers_of = tiny_corpus.out_links()
+        for t in retweet_tuples[:50]:
+            candidates = set(t.retweeters) | set(t.ignorers)
+            assert candidates <= set(followers_of[t.author])
+
+    def test_author_matches_post(self, retweet_tuples, tiny_corpus):
+        for t in retweet_tuples:
+            assert tiny_corpus.posts[t.post_index].author == t.author
+
+    def test_deterministic_given_seed(self, tiny_corpus, tiny_truth):
+        a = generate_retweet_tuples(tiny_corpus, tiny_truth, seed=3)
+        b = generate_retweet_tuples(tiny_corpus, tiny_truth, seed=3)
+        assert a == b
+
+    def test_base_rate_controls_positive_fraction(self, tiny_corpus, tiny_truth):
+        low = generate_retweet_tuples(tiny_corpus, tiny_truth, base_rate=0.1, seed=3)
+        high = generate_retweet_tuples(tiny_corpus, tiny_truth, base_rate=0.7, seed=3)
+
+        def positive_fraction(tuples):
+            pos = sum(len(t.retweeters) for t in tuples)
+            total = sum(t.num_exposed for t in tuples)
+            return pos / total
+
+        assert positive_fraction(low) < positive_fraction(high)
+
+    def test_exposure_rate_shrinks_candidate_sets(self, tiny_corpus, tiny_truth):
+        full = generate_retweet_tuples(tiny_corpus, tiny_truth, seed=3)
+        sparse = generate_retweet_tuples(
+            tiny_corpus, tiny_truth, exposure_rate=0.3, seed=3
+        )
+        assert sum(t.num_exposed for t in sparse) < sum(t.num_exposed for t in full)
+
+    def test_max_tuples_cap(self, tiny_corpus, tiny_truth):
+        capped = generate_retweet_tuples(tiny_corpus, tiny_truth, max_tuples=5, seed=3)
+        assert len(capped) <= 5
+
+    def test_invalid_base_rate_raises(self, tiny_corpus, tiny_truth):
+        with pytest.raises(CascadeError):
+            generate_retweet_tuples(tiny_corpus, tiny_truth, base_rate=0.0)
+
+    def test_invalid_exposure_rate_raises(self, tiny_corpus, tiny_truth):
+        with pytest.raises(CascadeError):
+            generate_retweet_tuples(tiny_corpus, tiny_truth, exposure_rate=0.0)
+
+    def test_labels_follow_planted_signal(self, tiny_corpus, tiny_truth):
+        """Retweeters should have higher planted probability than ignorers
+        on average — the signal predictors are asked to recover."""
+        tuples = generate_retweet_tuples(tiny_corpus, tiny_truth, seed=3)
+        margin_sum, count = 0.0, 0
+        for t in tuples:
+            posterior = topic_posterior_for_post(tiny_truth, tiny_corpus, t.post_index)
+            pos = planted_diffusion_probability(
+                tiny_truth, t.author, np.asarray(t.retweeters), posterior
+            ).mean()
+            neg = planted_diffusion_probability(
+                tiny_truth, t.author, np.asarray(t.ignorers), posterior
+            ).mean()
+            margin_sum += pos - neg
+            count += 1
+        assert margin_sum / count > 0
+
+
+class TestSplitTuples:
+    def test_partition_is_exact(self, retweet_tuples):
+        train, test = split_tuples(retweet_tuples, 0.25, seed=0)
+        assert len(train) + len(test) == len(retweet_tuples)
+        assert not (set(id(t) for t in train) & set(id(t) for t in test))
+
+    def test_fraction_respected(self, retweet_tuples):
+        _train, test = split_tuples(retweet_tuples, 0.2, seed=0)
+        expected = round(0.2 * len(retweet_tuples))
+        assert abs(len(test) - expected) <= 1
+
+    def test_invalid_fraction_raises(self, retweet_tuples):
+        with pytest.raises(CascadeError):
+            split_tuples(retweet_tuples, 1.0)
+
+
+class TestTrainingEvents:
+    def test_flattens_positive_events_only(self, retweet_tuples):
+        events = retweet_training_events(retweet_tuples)
+        assert len(events) == sum(len(t.retweeters) for t in retweet_tuples)
+        author, retweeter, post_index = events[0]
+        assert retweeter in retweet_tuples[0].retweeters
+        assert author == retweet_tuples[0].author
+        assert post_index == retweet_tuples[0].post_index

@@ -1,0 +1,135 @@
+"""End-to-end tests for the `cold` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def corpus_path(tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    code = main(
+        [
+            "generate",
+            str(path),
+            "--users", "25",
+            "--communities", "3",
+            "--topics", "4",
+            "--time-slices", "6",
+            "--vocab", "100",
+            "--seed", "5",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture()
+def model_path(tmp_path, corpus_path):
+    path = tmp_path / "model"
+    code = main(
+        [
+            "train",
+            str(corpus_path),
+            str(path),
+            "--communities", "3",
+            "--topics", "4",
+            "--iterations", "12",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestGenerate:
+    def test_writes_loadable_corpus(self, corpus_path):
+        from repro.datasets.io import load_corpus
+
+        corpus = load_corpus(corpus_path)
+        assert corpus.num_users == 25
+        assert corpus.num_time_slices == 6
+
+    def test_themed_flag(self, tmp_path):
+        path = tmp_path / "themed.jsonl"
+        assert main(["generate", str(path), "--themed", "--users", "20"]) == 0
+        from repro.datasets.io import load_corpus
+
+        corpus = load_corpus(path)
+        assert corpus.vocabulary is not None
+        assert not corpus.vocabulary.token_of(0).startswith("term")
+
+
+class TestTrain:
+    def test_writes_model_files(self, model_path):
+        assert model_path.with_suffix(".json").exists()
+        assert model_path.with_suffix(".npz").exists()
+
+    def test_loaded_model_valid(self, model_path):
+        from repro.core.model import COLDModel
+
+        model = COLDModel.load(model_path)
+        assert model.estimates_ is not None
+        model.estimates_.validate()
+
+    def test_parallel_training(self, tmp_path, corpus_path, capsys):
+        path = tmp_path / "par_model"
+        code = main(
+            [
+                "train",
+                str(corpus_path),
+                str(path),
+                "--communities", "3",
+                "--topics", "4",
+                "--iterations", "6",
+                "--nodes", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert path.with_suffix(".npz").exists()
+
+    def test_no_network_flag(self, tmp_path, corpus_path):
+        path = tmp_path / "nolink"
+        code = main(
+            [
+                "train", str(corpus_path), str(path),
+                "--communities", "3", "--topics", "4",
+                "--iterations", "6", "--no-network",
+            ]
+        )
+        assert code == 0
+
+
+class TestAnalyze:
+    def test_prints_all_sections(self, model_path, corpus_path, capsys):
+        code = main(["analyze", str(model_path), str(corpus_path), "--topic", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "word cloud" in out
+        assert "diffusion graph" in out
+        assert "influential communities" in out
+
+
+class TestPredict:
+    def test_prints_accuracy_per_tolerance(self, model_path, corpus_path, capsys):
+        code = main(
+            [
+                "predict", str(model_path), str(corpus_path),
+                "--tolerances", "0", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tolerance" in out
+        assert out.count("accuracy") == 2

@@ -1,0 +1,135 @@
+"""Unit tests for repro.eval.clustering (NMI, matching accuracy, alignment)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.clustering import (
+    ClusteringError,
+    best_matching_accuracy,
+    community_recovery_report,
+    contingency_table,
+    membership_alignment,
+    normalized_mutual_information,
+)
+
+
+class TestContingencyTable:
+    def test_counts(self):
+        predicted = np.array([0, 0, 1, 1, 2])
+        truth = np.array([0, 1, 1, 1, 0])
+        table = contingency_table(predicted, truth)
+        assert table.shape == (3, 2)
+        assert table[0, 0] == 1 and table[0, 1] == 1
+        assert table[1, 1] == 2
+        assert table.sum() == 5
+
+    def test_validation(self):
+        with pytest.raises(ClusteringError):
+            contingency_table(np.array([0, 1]), np.array([0]))
+        with pytest.raises(ClusteringError):
+            contingency_table(np.array([]), np.array([]))
+        with pytest.raises(ClusteringError):
+            contingency_table(np.array([-1]), np.array([0]))
+
+
+class TestNMI:
+    def test_identical_partitions_score_one(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_relabelled_partition_scores_one(self):
+        truth = np.array([0, 0, 1, 1, 2, 2])
+        relabelled = np.array([2, 2, 0, 0, 1, 1])
+        assert normalized_mutual_information(relabelled, truth) == pytest.approx(1.0)
+
+    def test_independent_partitions_score_near_zero(self):
+        rng = np.random.default_rng(0)
+        predicted = rng.integers(4, size=5000)
+        truth = rng.integers(4, size=5000)
+        assert normalized_mutual_information(predicted, truth) < 0.01
+
+    def test_single_cluster_vs_varied_truth_scores_zero(self):
+        predicted = np.zeros(6, dtype=int)
+        truth = np.array([0, 0, 1, 1, 2, 2])
+        assert normalized_mutual_information(predicted, truth) == 0.0
+
+    def test_both_single_cluster_scores_one(self):
+        labels = np.zeros(5, dtype=int)
+        assert normalized_mutual_information(labels, labels) == 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(3, size=200)
+        b = (a + rng.integers(2, size=200)) % 3  # correlated
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+    def test_partial_agreement_between_zero_and_one(self):
+        truth = np.array([0] * 50 + [1] * 50)
+        predicted = truth.copy()
+        predicted[:10] = 1 - predicted[:10]  # 10% noise
+        value = normalized_mutual_information(predicted, truth)
+        assert 0.2 < value < 1.0
+
+
+class TestBestMatchingAccuracy:
+    def test_perfect_after_relabelling(self):
+        truth = np.array([0, 0, 1, 1])
+        predicted = np.array([1, 1, 0, 0])
+        assert best_matching_accuracy(predicted, truth) == 1.0
+
+    def test_counts_mismatches(self):
+        truth = np.array([0, 0, 0, 1, 1, 1])
+        predicted = np.array([0, 0, 1, 1, 1, 1])
+        assert best_matching_accuracy(predicted, truth) == pytest.approx(5 / 6)
+
+    def test_different_cluster_counts(self):
+        truth = np.array([0, 1, 2, 0, 1, 2])
+        predicted = np.array([0, 1, 0, 0, 1, 0])  # merged clusters 0 and 2
+        value = best_matching_accuracy(predicted, truth)
+        assert value == pytest.approx(4 / 6)
+
+    def test_lower_bounded_by_largest_cluster_share(self):
+        truth = np.array([0] * 8 + [1] * 2)
+        predicted = np.zeros(10, dtype=int)
+        assert best_matching_accuracy(predicted, truth) == pytest.approx(0.8)
+
+
+class TestMembershipAlignment:
+    def test_identity_alignment(self):
+        rng = np.random.default_rng(0)
+        pi = rng.dirichlet(np.ones(3), size=40)
+        permutation, correlations = membership_alignment(pi, pi)
+        np.testing.assert_array_equal(permutation, [0, 1, 2])
+        np.testing.assert_allclose(correlations, 1.0, atol=1e-12)
+
+    def test_recovers_column_permutation(self):
+        rng = np.random.default_rng(1)
+        pi = rng.dirichlet(np.ones(3), size=40)
+        shuffled = pi[:, [2, 0, 1]]
+        permutation, correlations = membership_alignment(shuffled, pi)
+        np.testing.assert_array_equal(permutation, [2, 0, 1])
+        np.testing.assert_allclose(correlations, 1.0, atol=1e-12)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ClusteringError):
+            membership_alignment(np.ones((3, 2)), np.ones((3, 3)))
+
+
+class TestRecoveryReport:
+    def test_perfect_recovery(self):
+        rng = np.random.default_rng(2)
+        pi = rng.dirichlet(np.full(4, 0.2), size=50)
+        report = community_recovery_report(pi, pi)
+        assert report["nmi"] == pytest.approx(1.0)
+        assert report["accuracy"] == pytest.approx(1.0)
+        assert report["mean_membership_correlation"] == pytest.approx(1.0)
+
+    def test_fitted_model_recovery_beats_noise(self, estimates, tiny_truth):
+        fitted = community_recovery_report(estimates.pi, tiny_truth.pi)
+        rng = np.random.default_rng(3)
+        noise_pi = rng.dirichlet(np.ones(3), size=len(tiny_truth.pi))
+        noise = community_recovery_report(noise_pi, tiny_truth.pi)
+        assert fitted["nmi"] > noise["nmi"]
+        assert fitted["accuracy"] >= noise["accuracy"]

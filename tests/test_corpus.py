@@ -1,0 +1,175 @@
+"""Unit tests for repro.datasets.corpus."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.corpus import CorpusError, Post, SocialCorpus
+from repro.datasets.vocabulary import Vocabulary
+
+
+class TestPost:
+    def test_valid_post(self):
+        post = Post(author=1, words=(0, 2, 2), timestamp=3)
+        assert len(post) == 3
+
+    def test_word_counts_multiset(self):
+        post = Post(author=0, words=(4, 4, 1), timestamp=0)
+        assert post.word_counts() == {4: 2, 1: 1}
+
+    def test_rejects_empty_posts(self):
+        with pytest.raises(CorpusError):
+            Post(author=0, words=(), timestamp=0)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(CorpusError):
+            Post(author=-1, words=(0,), timestamp=0)
+        with pytest.raises(CorpusError):
+            Post(author=0, words=(-1,), timestamp=0)
+        with pytest.raises(CorpusError):
+            Post(author=0, words=(0,), timestamp=-1)
+
+    def test_posts_are_immutable(self):
+        post = Post(author=0, words=(1,), timestamp=0)
+        with pytest.raises(AttributeError):
+            post.author = 5  # type: ignore[misc]
+
+
+class TestSocialCorpusValidation:
+    def test_rejects_out_of_range_author(self):
+        with pytest.raises(CorpusError):
+            SocialCorpus(
+                num_users=2,
+                num_time_slices=4,
+                posts=[Post(author=2, words=(0,), timestamp=0)],
+            )
+
+    def test_rejects_out_of_range_timestamp(self):
+        with pytest.raises(CorpusError):
+            SocialCorpus(
+                num_users=2,
+                num_time_slices=2,
+                posts=[Post(author=0, words=(0,), timestamp=2)],
+            )
+
+    def test_rejects_out_of_range_word_when_vocab_size_given(self):
+        with pytest.raises(CorpusError):
+            SocialCorpus(
+                num_users=1,
+                num_time_slices=1,
+                posts=[Post(author=0, words=(5,), timestamp=0)],
+                vocab_size=3,
+            )
+
+    def test_rejects_self_links(self):
+        with pytest.raises(CorpusError):
+            SocialCorpus(num_users=3, num_time_slices=1, links=[(1, 1)])
+
+    def test_rejects_out_of_range_links(self):
+        with pytest.raises(CorpusError):
+            SocialCorpus(num_users=3, num_time_slices=1, links=[(0, 3)])
+
+    def test_deduplicates_links_preserving_order(self):
+        corpus = SocialCorpus(
+            num_users=3, num_time_slices=1, links=[(0, 1), (1, 2), (0, 1)]
+        )
+        assert corpus.links == [(0, 1), (1, 2)]
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(CorpusError):
+            SocialCorpus(num_users=0, num_time_slices=1)
+        with pytest.raises(CorpusError):
+            SocialCorpus(num_users=1, num_time_slices=0)
+
+    def test_infers_vocab_size_from_posts(self):
+        corpus = SocialCorpus(
+            num_users=1,
+            num_time_slices=1,
+            posts=[Post(author=0, words=(7,), timestamp=0)],
+        )
+        assert corpus.vocab_size == 8
+
+    def test_vocabulary_fixes_vocab_size(self):
+        vocab = Vocabulary(["a", "b", "c"]).freeze()
+        corpus = SocialCorpus(num_users=1, num_time_slices=1, vocabulary=vocab)
+        assert corpus.vocab_size == 3
+
+    def test_vocab_size_conflict_with_vocabulary_raises(self):
+        vocab = Vocabulary(["a", "b"]).freeze()
+        with pytest.raises(CorpusError):
+            SocialCorpus(
+                num_users=1, num_time_slices=1, vocabulary=vocab, vocab_size=5
+            )
+
+
+class TestSocialCorpusViews:
+    def test_size_properties(self, hand_corpus):
+        assert hand_corpus.num_posts == 6
+        assert hand_corpus.num_links == 4
+        assert hand_corpus.num_words == 3 + 1 + 2 + 3 + 2 + 3
+
+    def test_negative_link_count(self, hand_corpus):
+        assert hand_corpus.num_negative_links == 5 * 4 - 4
+
+    def test_posts_by_user_grouping(self, hand_corpus):
+        grouped = hand_corpus.posts_by_user()
+        assert grouped[0] == [0, 1]
+        assert grouped[1] == [2]
+        assert all(
+            hand_corpus.posts[idx].author == user
+            for user, indices in enumerate(grouped)
+            for idx in indices
+        )
+
+    def test_out_links_and_in_links_are_transposes(self, hand_corpus):
+        outgoing = hand_corpus.out_links()
+        incoming = hand_corpus.in_links()
+        for src, targets in enumerate(outgoing):
+            for dst in targets:
+                assert src in incoming[dst]
+
+    def test_link_array_shape_and_dtype(self, hand_corpus):
+        array = hand_corpus.link_array()
+        assert array.shape == (4, 2)
+        assert array.dtype == np.int64
+
+    def test_link_array_empty(self):
+        corpus = SocialCorpus(num_users=2, num_time_slices=1)
+        assert corpus.link_array().shape == (0, 2)
+
+    def test_word_count_matrix_totals(self, hand_corpus):
+        matrix = hand_corpus.word_count_matrix()
+        assert matrix.shape == (5, 10)
+        assert matrix.sum() == hand_corpus.num_words
+        assert matrix[0, 1] == 2  # author 0 used word 1 twice
+
+    def test_timestamps_array(self, hand_corpus):
+        assert hand_corpus.timestamps().tolist() == [0, 1, 2, 3, 0, 2]
+
+    def test_describe_keys(self, hand_corpus):
+        stats = hand_corpus.describe()
+        assert stats["users"] == 5
+        assert stats["posts"] == 6
+        assert "links" in stats and "vocab" in stats
+
+
+class TestSubsets:
+    def test_subset_posts_keeps_links(self, hand_corpus):
+        subset = hand_corpus.subset_posts([0, 3])
+        assert subset.num_posts == 2
+        assert subset.links == hand_corpus.links
+        assert subset.posts[1] == hand_corpus.posts[3]
+
+    def test_subset_links_keeps_posts(self, hand_corpus):
+        subset = hand_corpus.subset_links([1, 2])
+        assert subset.num_links == 2
+        assert subset.num_posts == hand_corpus.num_posts
+        assert subset.links == [hand_corpus.links[1], hand_corpus.links[2]]
+
+    def test_subset_preserves_vocab_size(self, hand_corpus):
+        subset = hand_corpus.subset_posts([0])
+        assert subset.vocab_size == hand_corpus.vocab_size
+
+    def test_subsets_do_not_alias_originals(self, hand_corpus):
+        subset = hand_corpus.subset_links([0])
+        subset.links.append((4, 0))
+        assert hand_corpus.num_links == 4

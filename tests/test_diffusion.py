@@ -1,0 +1,137 @@
+"""Unit tests for repro.core.diffusion (Eq. 4 and the Fig.-5 graph)."""
+
+import numpy as np
+import pytest
+
+from repro.core.diffusion import (
+    DiffusionError,
+    extract_diffusion_graph,
+    zeta,
+    zeta_for_topic,
+)
+
+
+class TestZeta:
+    def test_shape(self, estimates):
+        z = zeta(estimates)
+        K, C = estimates.num_topics, estimates.num_communities
+        assert z.shape == (K, C, C)
+
+    def test_equation_four(self, estimates):
+        z = zeta(estimates)
+        k, c, c2 = 1, 0, 2
+        expected = (
+            estimates.theta[c, k] * estimates.theta[c2, k] * estimates.eta[c, c2]
+        )
+        assert z[k, c, c2] == pytest.approx(expected)
+
+    def test_topic_slice_matches_full_tensor(self, estimates):
+        z = zeta(estimates)
+        for k in range(estimates.num_topics):
+            np.testing.assert_allclose(zeta_for_topic(estimates, k), z[k])
+
+    def test_nonnegative(self, estimates):
+        assert (zeta(estimates) >= 0).all()
+
+    def test_out_of_range_topic_raises(self, estimates):
+        with pytest.raises(DiffusionError):
+            zeta_for_topic(estimates, estimates.num_topics)
+        with pytest.raises(DiffusionError):
+            zeta_for_topic(estimates, -1)
+
+    def test_symmetric_interest_asymmetric_eta(self, estimates):
+        """zeta inherits its asymmetry from eta only: the theta factors are
+        symmetric in (c, c')."""
+        z = zeta_for_topic(estimates, 0)
+        ratio = z / z.T
+        eta_ratio = estimates.eta / estimates.eta.T
+        np.testing.assert_allclose(ratio, eta_ratio, rtol=1e-9)
+
+
+class TestDiffusionGraph:
+    def test_structure(self, estimates):
+        graph = extract_diffusion_graph(estimates, topic=0, max_communities=3)
+        assert graph.topic == 0
+        assert len(graph.communities) == 3
+        assert graph.interest.shape == (3,)
+        assert graph.timelines.shape == (3, estimates.num_time_slices)
+        assert len(graph.top_topics) == 3
+
+    def test_communities_ranked_by_interest(self, estimates):
+        graph = extract_diffusion_graph(estimates, topic=1, max_communities=3)
+        interest = estimates.theta[:, 1]
+        assert list(graph.interest) == sorted(interest, reverse=True)[:3]
+        assert graph.communities[0] == int(interest.argmax())
+
+    def test_edges_sorted_and_truncated(self, estimates):
+        graph = extract_diffusion_graph(estimates, topic=0, max_edges=4)
+        strengths = [edge.strength for edge in graph.edges]
+        assert strengths == sorted(strengths, reverse=True)
+        assert len(graph.edges) <= 4
+
+    def test_edges_connect_included_communities_only(self, estimates):
+        graph = extract_diffusion_graph(estimates, topic=0, max_communities=2)
+        included = set(graph.communities)
+        for edge in graph.edges:
+            assert edge.source in included
+            assert edge.target in included
+            assert edge.source != edge.target
+
+    def test_edge_strengths_match_zeta(self, estimates):
+        graph = extract_diffusion_graph(estimates, topic=2)
+        influence = zeta_for_topic(estimates, 2)
+        for edge in graph.edges:
+            assert edge.strength == pytest.approx(influence[edge.source, edge.target])
+
+    def test_top_topics_are_each_communitys_best(self, estimates):
+        graph = extract_diffusion_graph(
+            estimates, topic=0, top_topics_per_community=2
+        )
+        for position, community in enumerate(graph.communities):
+            pie = graph.top_topics[position]
+            assert len(pie) == 2
+            best_topic, best_weight = pie[0]
+            assert best_weight == pytest.approx(estimates.theta[community].max())
+            assert best_topic == int(estimates.theta[community].argmax())
+
+    def test_timelines_are_psi_rows(self, estimates):
+        graph = extract_diffusion_graph(estimates, topic=3)
+        for position, community in enumerate(graph.communities):
+            np.testing.assert_allclose(
+                graph.timelines[position], estimates.psi[3, community]
+            )
+
+    def test_peak_times(self, estimates):
+        graph = extract_diffusion_graph(estimates, topic=0)
+        peaks = graph.peak_times()
+        for position in range(len(graph.communities)):
+            assert peaks[position] == graph.timelines[position].argmax()
+
+    def test_strongest_community_has_max_outgoing(self, estimates):
+        graph = extract_diffusion_graph(estimates, topic=0)
+        winner = graph.strongest_community()
+        outgoing: dict[int, float] = {c: 0.0 for c in graph.communities}
+        for edge in graph.edges:
+            outgoing[edge.source] += edge.strength
+        assert outgoing[winner] == pytest.approx(max(outgoing.values()))
+
+    def test_invalid_arguments(self, estimates):
+        with pytest.raises(DiffusionError):
+            extract_diffusion_graph(estimates, topic=99)
+        with pytest.raises(DiffusionError):
+            extract_diffusion_graph(estimates, topic=0, max_communities=1)
+
+
+class TestOracleZeta:
+    def test_planted_vs_estimated_zeta_correlate(self, estimates, oracle_estimates):
+        """A fitted model's zeta should correlate positively with the
+        planted zeta after greedy community alignment — the recovery claim
+        behind Fig. 5's meaningfulness."""
+        from scipy.optimize import linear_sum_assignment
+
+        corr = np.corrcoef(estimates.pi.T, oracle_estimates.pi.T)[
+            :3, 3:
+        ]
+        rows, cols = linear_sum_assignment(-corr)
+        # At least the matched memberships correlate positively on average.
+        assert corr[rows, cols].mean() > 0.2

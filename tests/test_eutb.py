@@ -1,0 +1,118 @@
+"""Unit tests for repro.baselines.eutb."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.eutb import EUTBError, EUTBModel
+from repro.datasets.corpus import Post, SocialCorpus
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    from repro.datasets.synthetic import generate_corpus
+    from tests.conftest import TINY_CONFIG
+
+    corpus, _ = generate_corpus(TINY_CONFIG)
+    model = EUTBModel(num_topics=4, seed=0).fit(corpus, num_iterations=15)
+    return model, corpus
+
+
+class TestFit:
+    def test_distribution_shapes(self, fitted):
+        model, corpus = fitted
+        assert model.user_topic_.shape == (corpus.num_users, 4)
+        assert model.time_topic_.shape == (corpus.num_time_slices, 4)
+        assert model.phi_.shape == (4, corpus.vocab_size)
+        np.testing.assert_allclose(model.user_topic_.sum(axis=1), 1.0, atol=1e-9)
+        np.testing.assert_allclose(model.time_topic_.sum(axis=1), 1.0, atol=1e-9)
+        np.testing.assert_allclose(model.phi_.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_switch_probabilities_in_unit_interval(self, fitted):
+        model, corpus = fitted
+        assert model.switch_.shape == (corpus.num_users,)
+        assert ((model.switch_ > 0) & (model.switch_ < 1)).all()
+
+    def test_deterministic_given_seed(self, tiny_corpus):
+        a = EUTBModel(3, seed=4).fit(tiny_corpus, 4)
+        b = EUTBModel(3, seed=4).fit(tiny_corpus, 4)
+        np.testing.assert_allclose(a.phi_, b.phi_)
+        np.testing.assert_allclose(a.time_topic_, b.time_topic_)
+
+    def test_temporal_topics_land_on_their_slices(self):
+        """Words that only occur in late slices should dominate the late
+        time-topic distributions."""
+        posts = []
+        for i in range(60):
+            if i % 2 == 0:
+                posts.append(Post(author=i % 3, words=(0, 1), timestamp=0))
+            else:
+                posts.append(Post(author=i % 3, words=(5, 6), timestamp=7))
+        corpus = SocialCorpus(
+            num_users=3, num_time_slices=8, posts=posts, vocab_size=7
+        )
+        model = EUTBModel(2, alpha=0.1, smoothing=0.0, seed=0).fit(corpus, 30)
+        early_topic = int(model.phi_[:, 0].argmax())
+        late_topic = 1 - early_topic
+        assert model.time_topic_[0, early_topic] > model.time_topic_[0, late_topic]
+        assert model.time_topic_[7, late_topic] > model.time_topic_[7, early_topic]
+
+    def test_errors(self, tiny_corpus):
+        with pytest.raises(EUTBError):
+            EUTBModel(0)
+        with pytest.raises(EUTBError):
+            EUTBModel(3, smoothing=1.5)
+        with pytest.raises(EUTBError):
+            EUTBModel(3).fit(tiny_corpus, num_iterations=0)
+        with pytest.raises(EUTBError):
+            EUTBModel(3).predict_timestamp(tiny_corpus.posts[0])
+
+
+class TestBurstSmoothing:
+    def test_smoothing_zero_is_identity(self, tiny_corpus):
+        model = EUTBModel(3, smoothing=0.0, seed=0)
+        time_topic = np.random.default_rng(0).dirichlet(np.ones(3), size=5)
+        volumes = np.array([1, 10, 1, 10, 1])
+        smoothed = model._burst_weighted_smoothing(time_topic, volumes)
+        np.testing.assert_allclose(smoothed, time_topic)
+
+    def test_quiet_slices_move_toward_neighbours(self):
+        model = EUTBModel(2, smoothing=0.8, seed=0)
+        time_topic = np.array(
+            [[0.9, 0.1], [0.1, 0.9], [0.9, 0.1]]
+        )
+        volumes = np.array([100, 0, 100])  # middle slice is quiet
+        smoothed = model._burst_weighted_smoothing(time_topic, volumes)
+        # The quiet middle slice moves toward its neighbours' (0.9, 0.1).
+        assert smoothed[1, 0] > time_topic[1, 0]
+        # Bursty outer slices barely move.
+        np.testing.assert_allclose(smoothed[0], time_topic[0], atol=0.1)
+
+    def test_rows_remain_distributions(self):
+        model = EUTBModel(2, smoothing=0.5, seed=0)
+        time_topic = np.random.default_rng(1).dirichlet(np.ones(4), size=6)
+        volumes = np.random.default_rng(2).integers(0, 20, size=6)
+        smoothed = model._burst_weighted_smoothing(time_topic, volumes)
+        np.testing.assert_allclose(smoothed.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestPrediction:
+    def test_timestamp_scores_shape(self, fitted):
+        model, corpus = fitted
+        scores = model.timestamp_scores(corpus.posts[0])
+        assert scores.shape == (corpus.num_time_slices,)
+        assert (scores >= 0).all()
+
+    def test_predict_timestamp_is_argmax(self, fitted):
+        model, corpus = fitted
+        post = corpus.posts[3]
+        assert model.predict_timestamp(post) == int(
+            model.timestamp_scores(post).argmax()
+        )
+
+    def test_log_post_probability(self, fitted):
+        model, corpus = fitted
+        post = corpus.posts[0]
+        value = model.log_post_probability(post.words, post.author)
+        assert np.isfinite(value) and value < 0
+        with pytest.raises(EUTBError):
+            model.log_post_probability([], 0)

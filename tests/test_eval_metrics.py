@@ -1,0 +1,182 @@
+"""Unit tests for repro.eval.perplexity, .timestamp, .crossval, .timing."""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets.corpus import Post, SocialCorpus
+from repro.eval.crossval import (
+    CrossValError,
+    CVResult,
+    cross_validate_links,
+    cross_validate_posts,
+)
+from repro.eval.perplexity import PerplexityError, cold_perplexity, perplexity
+from repro.eval.timestamp import (
+    TimestampError,
+    accuracy_at_tolerance,
+    accuracy_curve,
+    prediction_errors,
+)
+from repro.eval.timing import Stopwatch, TimingError, TimingTable, time_callable
+
+
+class TestPerplexity:
+    def test_uniform_model_perplexity_equals_vocab_size(self, hand_corpus):
+        V = hand_corpus.vocab_size
+
+        def uniform_log_prob(words, author):
+            return len(words) * math.log(1.0 / V)
+
+        assert perplexity(uniform_log_prob, hand_corpus) == pytest.approx(V)
+
+    def test_better_model_has_lower_perplexity(self, hand_corpus):
+        V = hand_corpus.vocab_size
+
+        def uniform(words, author):
+            return len(words) * math.log(1.0 / V)
+
+        def sharp(words, author):
+            return len(words) * math.log(0.5)  # assigns 1/2 per word
+
+        assert perplexity(sharp, hand_corpus) < perplexity(uniform, hand_corpus)
+
+    def test_cold_perplexity_bounded_by_vocab_for_fitted_model(
+        self, estimates, tiny_corpus
+    ):
+        """A fitted model must beat the uniform bound (= vocab size)."""
+        value = cold_perplexity(estimates, tiny_corpus)
+        assert 1.0 < value < tiny_corpus.vocab_size
+
+    def test_oracle_beats_fitted(self, estimates, oracle_estimates, tiny_corpus):
+        fitted_value = cold_perplexity(estimates, tiny_corpus)
+        oracle_value = cold_perplexity(oracle_estimates, tiny_corpus)
+        assert oracle_value < fitted_value * 1.1  # oracle no worse (10% slack)
+
+    def test_empty_corpus_raises(self):
+        corpus = SocialCorpus(num_users=1, num_time_slices=1)
+        with pytest.raises(PerplexityError):
+            perplexity(lambda w, a: 0.0, corpus)
+
+
+class TestTimestampMetrics:
+    def test_prediction_errors_absolute(self, hand_corpus):
+        predict = lambda post: 0
+        errors = prediction_errors(predict, hand_corpus)
+        assert errors.tolist() == [0, 1, 2, 3, 0, 2]
+
+    def test_out_of_grid_prediction_raises(self, hand_corpus):
+        with pytest.raises(TimestampError):
+            prediction_errors(lambda post: 99, hand_corpus)
+
+    def test_accuracy_at_tolerance(self):
+        errors = np.array([0, 1, 2, 3])
+        assert accuracy_at_tolerance(errors, 0) == 0.25
+        assert accuracy_at_tolerance(errors, 1) == 0.5
+        assert accuracy_at_tolerance(errors, 3) == 1.0
+
+    def test_accuracy_curve_monotone(self, hand_corpus):
+        curve = accuracy_curve(lambda post: 1, hand_corpus, [0, 1, 2, 3])
+        assert (np.diff(curve) >= 0).all()
+
+    def test_perfect_predictor_curve_is_all_ones(self, hand_corpus):
+        lookup = {id(p): p.timestamp for p in hand_corpus.posts}
+        curve = accuracy_curve(
+            lambda post: post.timestamp, hand_corpus, [0, 1]
+        )
+        np.testing.assert_allclose(curve, 1.0)
+
+    def test_negative_tolerance_raises(self):
+        with pytest.raises(TimestampError):
+            accuracy_at_tolerance(np.array([1]), -1)
+
+
+class TestCrossValidation:
+    def test_cv_result_statistics(self):
+        result = CVResult(scores=(0.5, 0.7, 0.6))
+        assert result.mean == pytest.approx(0.6)
+        assert result.num_folds == 3
+        assert result.std == pytest.approx(np.std([0.5, 0.7, 0.6]))
+
+    def test_posts_driver_passes_splits(self, tiny_corpus):
+        seen = []
+
+        def score(split):
+            seen.append((split.train.num_posts, split.test.num_posts))
+            return split.test.num_posts
+
+        result = cross_validate_posts(tiny_corpus, score, num_folds=5, seed=0)
+        assert result.num_folds == 5
+        assert sum(s[1] for s in seen) == tiny_corpus.num_posts
+
+    def test_max_folds_limits_evaluations(self, tiny_corpus):
+        calls = []
+        cross_validate_posts(
+            tiny_corpus, lambda s: calls.append(1) or 1.0, num_folds=5, max_folds=2
+        )
+        assert len(calls) == 2
+
+    def test_links_driver(self, tiny_corpus):
+        def score(split):
+            return len(split.held_out_links) / max(1, split.train.num_links)
+
+        result = cross_validate_links(tiny_corpus, score, num_folds=4, seed=0)
+        assert result.num_folds == 4
+        assert result.mean > 0
+
+    def test_non_finite_score_raises(self, tiny_corpus):
+        with pytest.raises(CrossValError):
+            cross_validate_posts(
+                tiny_corpus, lambda s: float("nan"), num_folds=3
+            )
+
+    def test_invalid_max_folds_raises(self, tiny_corpus):
+        with pytest.raises(CrossValError):
+            cross_validate_posts(tiny_corpus, lambda s: 1.0, max_folds=0)
+
+
+class TestTiming:
+    def test_stopwatch_measures_elapsed(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert sw.seconds >= 0.009
+
+    def test_time_callable_returns_minimum(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+
+        value = time_callable(fn, repeats=3, warmup=2)
+        assert value >= 0
+        assert len(calls) == 5
+
+    def test_time_callable_validation(self):
+        with pytest.raises(TimingError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_timing_table_fastest(self):
+        table = TimingTable("demo")
+        table.add("slow", 2.0)
+        table.add("fast", 0.5)
+        assert table.fastest() == "fast"
+
+    def test_timing_table_render_contains_rows(self):
+        table = TimingTable("demo")
+        table.add("a", 1.0)
+        table.add("b", 0.25)
+        rendered = table.render()
+        assert "demo" in rendered and "a" in rendered and "b" in rendered
+        assert "#" in rendered
+
+    def test_timing_table_rejects_negative(self):
+        with pytest.raises(TimingError):
+            TimingTable("x").add("bad", -1.0)
+
+    def test_empty_table(self):
+        table = TimingTable("empty")
+        assert "empty" in table.render()
+        with pytest.raises(TimingError):
+            table.fastest()

@@ -1,0 +1,59 @@
+"""Structural tests for the examples: importable, documented, runnable
+signature.  (Full runs live outside the test suite — each example fits a
+model for a few minutes.)"""
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)  # imports only; main() is not called
+    return module
+
+
+class TestExampleInventory:
+    def test_at_least_three_examples_plus_quickstart(self):
+        names = {path.stem for path in EXAMPLE_FILES}
+        assert "quickstart" in names
+        assert len(names) >= 4
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_has_docstring_and_main(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+        functions = {
+            node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in functions, f"{path.name} lacks a main() entry point"
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_guards_main(self, path):
+        assert 'if __name__ == "__main__":' in path.read_text()
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_imports_cleanly(self, path):
+        module = _load(path)
+        assert callable(module.main)
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_uses_only_public_api(self, path):
+        """Examples should read like user code: imports come from the
+        ``repro`` package (one documented private exception in
+        viral_marketing for the IC activation matrix)."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".")[0]
+                assert root in ("repro", "__future__"), (
+                    f"{path.name} imports from {node.module}"
+                )

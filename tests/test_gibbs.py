@@ -1,0 +1,231 @@
+"""Unit tests for repro.core.gibbs (the Eq. 1–3 sampling kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gibbs import (
+    categorical,
+    link_weights,
+    post_community_weights,
+    post_topic_log_weights,
+    resample_link,
+    resample_post,
+    sweep,
+)
+from repro.core.params import Hyperparameters
+from repro.core.state import CountState
+
+
+@pytest.fixture()
+def hp() -> Hyperparameters:
+    return Hyperparameters(
+        rho=0.5, alpha=0.5, beta=0.01, epsilon=0.01, lambda0=2.0, lambda1=0.1
+    )
+
+
+@pytest.fixture()
+def state(hand_corpus, rng) -> CountState:
+    return CountState.initialize(hand_corpus, num_communities=3, num_topics=2, rng=rng)
+
+
+class TestCategorical:
+    def test_deterministic_for_point_mass(self, rng):
+        weights = np.array([0.0, 5.0, 0.0])
+        assert all(categorical(weights, rng) == 1 for _ in range(20))
+
+    def test_respects_proportions(self):
+        rng = np.random.default_rng(0)
+        weights = np.array([1.0, 3.0])
+        draws = [categorical(weights, rng) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(0.75, abs=0.03)
+
+    def test_zero_weights_fall_back_to_uniform(self, rng):
+        weights = np.zeros(4)
+        draws = {categorical(weights, rng) for _ in range(100)}
+        assert draws <= {0, 1, 2, 3}
+        assert len(draws) > 1
+
+    def test_unnormalised_scale_invariance(self):
+        rng1, rng2 = np.random.default_rng(5), np.random.default_rng(5)
+        weights = np.array([0.2, 0.5, 0.3])
+        a = [categorical(weights, rng1) for _ in range(50)]
+        b = [categorical(weights * 1e6, rng2) for _ in range(50)]
+        assert a == b
+
+
+class TestEquationOne:
+    def test_matches_manual_formula(self, state, hp):
+        """Eq. (1) computed by hand from the counters must match."""
+        post = 0
+        state.remove_post(post)
+        k = int(state.post_topic[post])
+        weights = post_community_weights(state, hp, post, k)
+
+        author = state.posts.authors[post]
+        t = state.posts.times[post]
+        K = state.num_topics
+        T = state.n_comm_topic_time.shape[2]
+        for c in range(state.num_communities):
+            expected = (
+                (state.n_user_comm[author, c] + hp.rho)
+                * (state.n_comm_topic[c, k] + hp.alpha)
+                / (state.n_comm_topic[c].sum() + K * hp.alpha)
+                * (state.n_comm_topic_time[c, k, t] + hp.epsilon)
+                / (state.n_comm_topic_time[c, k].sum() + T * hp.epsilon)
+            )
+            assert weights[c] == pytest.approx(expected)
+        state.add_post(post, 0, k)
+
+    def test_all_weights_positive(self, state, hp):
+        state.remove_post(1)
+        weights = post_community_weights(state, hp, 1, 0)
+        assert (weights > 0).all()
+        state.add_post(1, 0, 0)
+
+
+class TestEquationThree:
+    def test_matches_manual_polya_formula(self, state, hp):
+        """Eq. (3) with repeated words: post 3 has words (5, 5, 5)."""
+        post = 3
+        c, _k = state.remove_post(post)
+        log_weights = post_topic_log_weights(state, hp, post, c)
+
+        V = state.n_topic_word.shape[1]
+        T = state.n_comm_topic_time.shape[2]
+        t = state.posts.times[post]
+        for k in range(state.num_topics):
+            numerator = 1.0
+            for q in range(3):  # word 5 appears 3 times
+                numerator *= state.n_topic_word[k, 5] + q + hp.beta
+            denominator = 1.0
+            for q in range(3):
+                denominator *= state.n_topic_total[k] + q + V * hp.beta
+            expected = (
+                (state.n_comm_topic[c, k] + hp.alpha)
+                * (state.n_comm_topic_time[c, k, t] + hp.epsilon)
+                / (state.n_comm_topic_time[c, k].sum() + T * hp.epsilon)
+                * numerator
+                / denominator
+            )
+            assert np.exp(log_weights[k]) == pytest.approx(expected, rel=1e-9)
+        state.add_post(post, c, 0)
+
+    def test_distinct_words_fast_path_matches_slow_path(self, state, hp):
+        """Posts without repeats use the vectorised branch; verify against
+        the generic Polya product."""
+        post = 4  # words (6, 7), all distinct
+        c, _ = state.remove_post(post)
+        log_weights = post_topic_log_weights(state, hp, post, c)
+        V = state.n_topic_word.shape[1]
+        T = state.n_comm_topic_time.shape[2]
+        t = state.posts.times[post]
+        for k in range(state.num_topics):
+            expected = (
+                (state.n_comm_topic[c, k] + hp.alpha)
+                * (state.n_comm_topic_time[c, k, t] + hp.epsilon)
+                / (state.n_comm_topic_time[c, k].sum() + T * hp.epsilon)
+                * (state.n_topic_word[k, 6] + hp.beta)
+                * (state.n_topic_word[k, 7] + hp.beta)
+                / (
+                    (state.n_topic_total[k] + V * hp.beta)
+                    * (state.n_topic_total[k] + 1 + V * hp.beta)
+                )
+            )
+            assert np.exp(log_weights[k]) == pytest.approx(expected, rel=1e-9)
+        state.add_post(post, c, 0)
+
+
+class TestEquationTwo:
+    def test_matches_manual_formula(self, state, hp):
+        link = 0
+        state.remove_link(link)
+        weights = link_weights(state, hp, link)
+        src, dst = state.links[link]
+        for c in range(3):
+            for c2 in range(3):
+                expected = (
+                    (state.n_user_comm[src, c] + hp.rho)
+                    * (state.n_user_comm[dst, c2] + hp.rho)
+                    * (state.n_link_comm[c, c2] + hp.lambda1)
+                    / (state.n_link_comm[c, c2] + hp.lambda0 + hp.lambda1)
+                )
+                assert weights[c, c2] == pytest.approx(expected)
+        state.add_link(link, 0, 0)
+
+    def test_shape(self, state, hp):
+        state.remove_link(1)
+        assert link_weights(state, hp, 1).shape == (3, 3)
+        state.add_link(1, 0, 0)
+
+
+class TestResampling:
+    def test_resample_post_keeps_invariants(self, state, hp, rng):
+        for post in range(state.num_posts):
+            resample_post(state, hp, post, rng)
+        state.check_invariants()
+
+    def test_resample_link_keeps_invariants(self, state, hp, rng):
+        for link in range(state.num_links):
+            resample_link(state, hp, link, rng)
+        state.check_invariants()
+
+    def test_resample_returns_recorded_assignment(self, state, hp, rng):
+        c, k = resample_post(state, hp, 0, rng)
+        assert state.post_comm[0] == c
+        assert state.post_topic[0] == k
+
+    def test_sweep_full_pass_keeps_invariants(self, state, hp, rng):
+        for _ in range(5):
+            sweep(state, hp, rng)
+        state.check_invariants()
+
+    def test_sweep_respects_explicit_orders(self, state, hp, rng):
+        sweep(
+            state,
+            hp,
+            rng,
+            post_order=np.arange(state.num_posts),
+            link_order=np.arange(state.num_links),
+        )
+        state.check_invariants()
+
+    def test_deterministic_given_seed(self, hand_corpus, hp):
+        def run(seed):
+            rng = np.random.default_rng(seed)
+            state = CountState.initialize(hand_corpus, 3, 2, rng)
+            for _ in range(3):
+                sweep(state, hp, rng)
+            return state.post_comm.copy(), state.post_topic.copy()
+
+        a_c, a_k = run(42)
+        b_c, b_k = run(42)
+        np.testing.assert_array_equal(a_c, b_c)
+        np.testing.assert_array_equal(a_k, b_k)
+
+
+class TestStationarySanity:
+    def test_single_community_sampler_concentrates_topics_by_words(self):
+        """With one community and two well-separated word blocks, the
+        sampler must split posts into two coherent topics (a minimal
+        correctness check of the text component)."""
+        from repro.datasets.corpus import Post, SocialCorpus
+
+        posts = []
+        for i in range(30):
+            words = (0, 1, 2) if i % 2 == 0 else (7, 8, 9)
+            posts.append(Post(author=i % 3, words=words, timestamp=0))
+        corpus = SocialCorpus(
+            num_users=3, num_time_slices=1, posts=posts, vocab_size=10
+        )
+        hp = Hyperparameters(
+            rho=0.5, alpha=0.1, beta=0.01, epsilon=0.01, lambda0=1.0, lambda1=0.1
+        )
+        rng = np.random.default_rng(0)
+        state = CountState.initialize(corpus, 1, 2, rng)
+        for _ in range(60):
+            sweep(state, hp, rng)
+        topics_even = {int(state.post_topic[i]) for i in range(0, 30, 2)}
+        topics_odd = {int(state.post_topic[i]) for i in range(1, 30, 2)}
+        assert len(topics_even) == 1
+        assert len(topics_odd) == 1
+        assert topics_even != topics_odd

@@ -1,0 +1,104 @@
+"""Unit tests for repro.core.hyperopt (Minka fixed-point estimation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hyperopt import (
+    HyperoptError,
+    optimize_hyperparameters,
+    symmetric_dirichlet_mle,
+)
+from repro.core.params import Hyperparameters
+from repro.core.state import CountState
+
+
+class TestSymmetricDirichletMLE:
+    def _sample_counts(
+        self, concentration: float, groups: int, categories: int,
+        draws: int, seed: int,
+    ) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        thetas = rng.dirichlet(np.full(categories, concentration), size=groups)
+        counts = np.zeros((groups, categories), dtype=np.int64)
+        for g in range(groups):
+            counts[g] = rng.multinomial(draws, thetas[g])
+        return counts
+
+    @pytest.mark.parametrize("true_concentration", [0.2, 1.0, 5.0])
+    def test_recovers_planted_concentration(self, true_concentration):
+        counts = self._sample_counts(
+            true_concentration, groups=400, categories=6, draws=60, seed=3
+        )
+        estimate = symmetric_dirichlet_mle(counts, initial=1.0)
+        assert estimate == pytest.approx(true_concentration, rel=0.35)
+
+    def test_sparse_counts_give_small_concentration(self):
+        # Rows concentrated on one category -> small alpha.
+        counts = np.zeros((50, 5), dtype=np.int64)
+        counts[:, 0] = 40
+        estimate = symmetric_dirichlet_mle(counts)
+        assert estimate < 0.1
+
+    def test_uniform_counts_give_large_concentration(self):
+        counts = np.full((50, 5), 20, dtype=np.int64)
+        estimate = symmetric_dirichlet_mle(counts)
+        assert estimate > 10.0
+
+    def test_empty_rows_are_ignored(self):
+        counts = np.zeros((10, 4), dtype=np.int64)
+        counts[0] = [5, 5, 5, 5]
+        value = symmetric_dirichlet_mle(counts)
+        assert value > 0
+
+    def test_validation(self):
+        with pytest.raises(HyperoptError):
+            symmetric_dirichlet_mle(np.zeros((3, 4)))
+        with pytest.raises(HyperoptError):
+            symmetric_dirichlet_mle(np.full((2, 2), -1.0))
+        with pytest.raises(HyperoptError):
+            symmetric_dirichlet_mle(np.ones((2, 2)), initial=0.0)
+        with pytest.raises(HyperoptError):
+            symmetric_dirichlet_mle(np.ones(4))  # 1-D
+
+    def test_result_respects_bounds(self):
+        counts = np.full((5, 3), 1000, dtype=np.int64)
+        value = symmetric_dirichlet_mle(counts, ceiling=50.0)
+        assert value <= 50.0
+
+
+class TestOptimizeHyperparameters:
+    def test_returns_valid_hyperparameters(self, tiny_corpus, rng):
+        state = CountState.initialize(tiny_corpus, 3, 4, rng)
+        current = Hyperparameters(
+            rho=0.5, alpha=0.5, beta=0.01, epsilon=0.01, lambda0=2.0, lambda1=0.1
+        )
+        optimised = optimize_hyperparameters(state, current)
+        for field in ("rho", "alpha", "beta", "epsilon"):
+            assert getattr(optimised, field) > 0
+
+    def test_network_priors_untouched(self, tiny_corpus, rng):
+        state = CountState.initialize(tiny_corpus, 3, 4, rng)
+        current = Hyperparameters(
+            rho=0.5, alpha=0.5, beta=0.01, epsilon=0.01, lambda0=7.0, lambda1=0.3
+        )
+        optimised = optimize_hyperparameters(state, current)
+        assert optimised.lambda0 == 7.0
+        assert optimised.lambda1 == 0.3
+
+    def test_improves_or_maintains_likelihood_after_burn_in(self, tiny_corpus):
+        """Empirical-Bayes update should not hurt the joint likelihood
+        evaluated at the re-estimated priors (it maximises it per block)."""
+        from repro.core.gibbs import sweep
+        from repro.core.likelihood import joint_log_likelihood
+
+        rng = np.random.default_rng(0)
+        state = CountState.initialize(tiny_corpus, 3, 4, rng)
+        current = Hyperparameters(
+            rho=0.5, alpha=0.5, beta=0.01, epsilon=0.01, lambda0=2.0, lambda1=0.1
+        )
+        for _ in range(10):
+            sweep(state, current, rng)
+        before = joint_log_likelihood(state, current)
+        optimised = optimize_hyperparameters(state, current)
+        after = joint_log_likelihood(state, optimised)
+        assert after >= before - 1e-6

@@ -1,0 +1,83 @@
+"""Unit tests for greedy influence maximisation (core.influence extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.influence import (
+    InfluenceError,
+    expected_spread,
+    greedy_seed_selection,
+)
+
+
+def star_graph(hub_probability: float = 1.0, num_leaves: int = 5) -> np.ndarray:
+    """Node 0 activates every leaf with the given probability."""
+    n = num_leaves + 1
+    probs = np.zeros((n, n))
+    probs[0, 1:] = hub_probability
+    return probs
+
+
+class TestGreedySeedSelection:
+    def test_picks_the_hub_first(self):
+        probs = star_graph()
+        seeds, spreads = greedy_seed_selection(probs, num_seeds=1, num_simulations=50)
+        assert seeds == [0]
+        assert spreads[0] == pytest.approx(6.0)
+
+    def test_spreads_monotone_in_seed_count(self):
+        rng = np.random.default_rng(0)
+        probs = rng.uniform(0, 0.3, size=(8, 8))
+        np.fill_diagonal(probs, 0.0)
+        _seeds, spreads = greedy_seed_selection(probs, num_seeds=4, num_simulations=80)
+        assert all(b >= a - 0.3 for a, b in zip(spreads, spreads[1:]))
+
+    def test_seeds_are_distinct(self):
+        rng = np.random.default_rng(1)
+        probs = rng.uniform(0, 0.2, size=(10, 10))
+        np.fill_diagonal(probs, 0.0)
+        seeds, _ = greedy_seed_selection(probs, num_seeds=5, num_simulations=40)
+        assert len(set(seeds)) == 5
+
+    def test_two_components_covered_by_two_seeds(self):
+        """Two disjoint deterministic chains: greedy must seed both."""
+        probs = np.zeros((6, 6))
+        probs[0, 1] = probs[1, 2] = 1.0  # component A
+        probs[3, 4] = probs[4, 5] = 1.0  # component B
+        seeds, spreads = greedy_seed_selection(probs, num_seeds=2, num_simulations=30)
+        assert set(seeds) == {0, 3}
+        assert spreads[-1] == pytest.approx(6.0)
+
+    def test_matches_exhaustive_on_tiny_graph(self):
+        """Greedy's first seed equals the argmax single-seed spread."""
+        rng = np.random.default_rng(2)
+        probs = rng.uniform(0, 0.5, size=(5, 5))
+        np.fill_diagonal(probs, 0.0)
+        seeds, _ = greedy_seed_selection(
+            probs, num_seeds=1, num_simulations=600, seed=0
+        )
+        exhaustive = [
+            expected_spread(probs, [v], 600, np.random.default_rng(7))
+            for v in range(5)
+        ]
+        best = int(np.argmax(exhaustive))
+        # Allow a tie within Monte-Carlo noise.
+        assert exhaustive[seeds[0]] >= exhaustive[best] - 0.15
+
+    def test_validation(self):
+        probs = np.zeros((3, 3))
+        with pytest.raises(InfluenceError):
+            greedy_seed_selection(probs, num_seeds=0)
+        with pytest.raises(InfluenceError):
+            greedy_seed_selection(probs, num_seeds=4)
+        with pytest.raises(InfluenceError):
+            greedy_seed_selection(np.zeros((2, 3)), num_seeds=1)
+
+    def test_on_fitted_community_graph(self, estimates):
+        from repro.core.influence import _activation_matrix
+
+        probs = _activation_matrix(estimates, topic=0)
+        seeds, spreads = greedy_seed_selection(probs, num_seeds=2, num_simulations=60)
+        assert len(seeds) == 2
+        assert spreads[1] >= spreads[0]
+        assert spreads[1] <= estimates.num_communities

@@ -1,0 +1,169 @@
+"""Integration tests: full train -> predict -> analyze pipelines, recovery
+of planted structure, and cross-module consistency."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linear_sum_assignment
+
+from repro import (
+    COLDModel,
+    DiffusionPredictor,
+    ParallelCOLDSampler,
+    community_influence,
+    extract_diffusion_graph,
+    fluctuation_analysis,
+    link_probability,
+    pentagon_embedding,
+    predict_timestamp,
+    time_lag_analysis,
+    top_words,
+)
+from repro.datasets import (
+    generate_retweet_tuples,
+    link_splits,
+    post_splits,
+    split_tuples,
+)
+from repro.eval import (
+    averaged_diffusion_auc,
+    cold_perplexity,
+    link_prediction_auc,
+    prediction_errors,
+)
+
+
+class TestEndToEndPipeline:
+    def test_full_lifecycle(self, tiny_corpus, tiny_truth, tmp_path):
+        """Generate -> split -> fit -> all predictions -> all analyses ->
+        persist -> reload -> predict again."""
+        split = post_splits(tiny_corpus, num_folds=5, seed=0)[0]
+        model = COLDModel(3, 4, prior="scaled", seed=0).fit(
+            split.train, num_iterations=30
+        )
+        estimates = model.estimates_
+        assert estimates is not None
+
+        # Perplexity on held-out posts is sane.
+        perp = cold_perplexity(estimates, split.test)
+        assert 1 < perp < tiny_corpus.vocab_size
+
+        # Time-stamp prediction runs over the holdout.
+        errors = prediction_errors(
+            lambda post: predict_timestamp(estimates, post), split.test
+        )
+        assert errors.shape == (split.test.num_posts,)
+
+        # Diffusion prediction over cascades.
+        tuples = generate_retweet_tuples(
+            tiny_corpus, tiny_truth, exposure_rate=0.8, seed=1
+        )
+        _train_t, test_t = split_tuples(tuples, 0.3, seed=2)
+        predictor = DiffusionPredictor(estimates)
+        auc = averaged_diffusion_auc(
+            predictor.score_candidates, test_t, tiny_corpus
+        )
+        assert 0 <= auc <= 1
+
+        # Analyses all run on the fitted estimates.
+        graph = extract_diffusion_graph(estimates, topic=0)
+        assert graph.communities
+        fluctuation = fluctuation_analysis(estimates)
+        assert fluctuation.interest.size == 12
+        lag = time_lag_analysis(estimates, topic=0, num_high=1)
+        assert lag.high_curve.shape == (tiny_corpus.num_time_slices,)
+        words = top_words(estimates, 0, tiny_corpus.vocabulary, size=5)
+        assert len(words) == 5
+        influence = community_influence(estimates, 0, num_simulations=20)
+        embedding = pentagon_embedding(estimates, influence)
+        assert embedding.positions.shape == (tiny_corpus.num_users, 2)
+
+        # Persist + reload keeps predictions identical.
+        model.save(tmp_path / "model")
+        reloaded = COLDModel.load(tmp_path / "model")
+        loaded_predictor = DiffusionPredictor(reloaded.estimates_)
+        post = tiny_corpus.posts[0]
+        assert loaded_predictor.diffusion_probability(
+            post.author, 1, post.words
+        ) == pytest.approx(
+            predictor.diffusion_probability(post.author, 1, post.words)
+        )
+
+
+class TestRecovery:
+    """Planted-structure recovery: the pay-off of having ground truth."""
+
+    @pytest.fixture(scope="class")
+    def recovered(self):
+        from repro.datasets import benchmark_world
+
+        corpus, truth = benchmark_world(seed=3, num_users=60, vocab_size=1500,
+                                        anchors_per_topic=60)
+        model = COLDModel(4, 8, prior="scaled", seed=0).fit(
+            corpus, num_iterations=80
+        )
+        return corpus, truth, model
+
+    def test_community_memberships_recovered(self, recovered):
+        _corpus, truth, model = recovered
+        corr = np.corrcoef(model.pi_.T, truth.pi.T)[:4, 4:]
+        rows, cols = linear_sum_assignment(-corr)
+        assert corr[rows, cols].mean() > 0.6
+
+    def test_topics_recovered(self, recovered):
+        _corpus, truth, model = recovered
+        # Cosine similarity between fitted and planted topic-word rows.
+        fitted = model.phi_ / np.linalg.norm(model.phi_, axis=1, keepdims=True)
+        planted = truth.phi / np.linalg.norm(truth.phi, axis=1, keepdims=True)
+        sim = fitted @ planted.T
+        rows, cols = linear_sum_assignment(-sim)
+        assert sim[rows, cols].mean() > 0.6
+
+    def test_post_community_assignments_beat_chance(self, recovered):
+        _corpus, truth, model = recovered
+        assert model.state_ is not None
+        fitted = model.state_.post_comm
+        # Align fitted community labels to truth via the pi correlation.
+        corr = np.corrcoef(model.pi_.T, truth.pi.T)[:4, 4:]
+        rows, cols = linear_sum_assignment(-corr)
+        mapping = {int(r): int(c) for r, c in zip(rows, cols)}
+        mapped = np.asarray([mapping[int(c)] for c in fitted])
+        accuracy = (mapped == truth.post_communities).mean()
+        assert accuracy > 0.5  # chance is 0.25
+
+    def test_link_prediction_beats_chance(self, recovered):
+        corpus, _truth, model = recovered
+        split = link_splits(corpus, num_folds=5, seed=0)[0]
+        refit = COLDModel(4, 8, prior="scaled", seed=0).fit(
+            split.train, num_iterations=40
+        )
+        auc = link_prediction_auc(
+            lambda s, d: link_probability(refit.estimates_, s, d),
+            split.held_out_links,
+            split.negative_links,
+        )
+        assert auc > 0.6
+
+
+class TestSerialVsParallel:
+    def test_parallel_estimates_close_to_serial_in_quality(self, tiny_corpus):
+        """Perplexity of parallel-fit estimates within 15% of serial."""
+        serial = COLDModel(3, 4, prior="scaled", seed=0).fit(
+            tiny_corpus, num_iterations=25
+        )
+        parallel = ParallelCOLDSampler(
+            3, 4, num_nodes=4, prior="scaled", seed=0
+        ).fit(tiny_corpus, num_iterations=25)
+        serial_perp = cold_perplexity(serial.estimates_, tiny_corpus)
+        parallel_perp = cold_perplexity(parallel.estimates_, tiny_corpus)
+        assert abs(serial_perp - parallel_perp) / serial_perp < 0.15
+
+
+class TestNoLinkAblation:
+    def test_network_component_changes_memberships(self, tiny_corpus):
+        full = COLDModel(3, 4, prior="scaled", seed=0).fit(
+            tiny_corpus, num_iterations=20
+        )
+        nolink = COLDModel(
+            3, 4, prior="scaled", include_network=False, seed=0
+        ).fit(tiny_corpus, num_iterations=20)
+        assert not np.allclose(full.pi_, nolink.pi_)

@@ -1,0 +1,108 @@
+"""Unit tests for repro.datasets.io (JSONL persistence)."""
+
+import json
+
+import pytest
+
+from repro.datasets.cascades import RetweetTuple
+from repro.datasets.io import (
+    CorpusIOError,
+    load_corpus,
+    load_retweet_tuples,
+    save_corpus,
+    save_retweet_tuples,
+)
+
+
+class TestCorpusRoundTrip:
+    def test_roundtrip_preserves_everything(self, tiny_corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(tiny_corpus, path)
+        loaded = load_corpus(path)
+        assert loaded.num_users == tiny_corpus.num_users
+        assert loaded.num_time_slices == tiny_corpus.num_time_slices
+        assert loaded.vocab_size == tiny_corpus.vocab_size
+        assert loaded.posts == tiny_corpus.posts
+        assert loaded.links == tiny_corpus.links
+        assert loaded.vocabulary == tiny_corpus.vocabulary
+
+    def test_roundtrip_without_vocabulary(self, hand_corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(hand_corpus, path)
+        loaded = load_corpus(path)
+        assert loaded.vocabulary is None
+        assert loaded.posts == hand_corpus.posts
+
+    def test_creates_parent_directories(self, hand_corpus, tmp_path):
+        path = tmp_path / "deep" / "nested" / "corpus.jsonl"
+        save_corpus(hand_corpus, path)
+        assert path.exists()
+
+    def test_blank_lines_are_ignored(self, hand_corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(hand_corpus, path)
+        content = path.read_text()
+        path.write_text("\n" + content + "\n\n")
+        assert load_corpus(path).posts == hand_corpus.posts
+
+
+class TestCorpusErrors:
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"type": "link", "src": 0, "dst": 1}) + "\n")
+        with pytest.raises(CorpusIOError, match="header"):
+            load_corpus(path)
+
+    def test_duplicate_header_raises(self, hand_corpus, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        save_corpus(hand_corpus, path)
+        header_line = path.read_text().splitlines()[0]
+        path.write_text(path.read_text() + header_line + "\n")
+        with pytest.raises(CorpusIOError, match="duplicate"):
+            load_corpus(path)
+
+    def test_invalid_json_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "header", "num_users": 1, "num_time_slices": 1}\nnot json\n')
+        with pytest.raises(CorpusIOError, match=":2"):
+            load_corpus(path)
+
+    def test_unknown_record_type_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type": "header", "num_users": 1, "num_time_slices": 1}\n'
+            '{"type": "mystery"}\n'
+        )
+        with pytest.raises(CorpusIOError, match="mystery"):
+            load_corpus(path)
+
+    def test_structurally_invalid_corpus_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type": "header", "num_users": 1, "num_time_slices": 1}\n'
+            '{"type": "post", "author": 5, "words": [0], "timestamp": 0}\n'
+        )
+        with pytest.raises(CorpusIOError, match="invalid corpus"):
+            load_corpus(path)
+
+
+class TestRetweetTupleRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        tuples = [
+            RetweetTuple(author=0, post_index=3, retweeters=(1, 2), ignorers=(4,)),
+            RetweetTuple(author=2, post_index=7, retweeters=(0,), ignorers=(1, 3)),
+        ]
+        path = tmp_path / "tuples.jsonl"
+        save_retweet_tuples(tuples, path)
+        assert load_retweet_tuples(path) == tuples
+
+    def test_empty_list_roundtrip(self, tmp_path):
+        path = tmp_path / "tuples.jsonl"
+        save_retweet_tuples([], path)
+        assert load_retweet_tuples(path) == []
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "tuples.jsonl"
+        path.write_text("garbage\n")
+        with pytest.raises(CorpusIOError):
+            load_retweet_tuples(path)

@@ -1,0 +1,105 @@
+"""Unit tests for repro.baselines.lda."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lda import LDAError, LDAModel
+from repro.datasets.corpus import Post, SocialCorpus
+
+
+@pytest.fixture(scope="module")
+def fitted_lda():
+    from repro.datasets.synthetic import generate_corpus
+    from tests.conftest import TINY_CONFIG
+
+    corpus, _ = generate_corpus(TINY_CONFIG)
+    model = LDAModel(num_topics=4, seed=0).fit(corpus, num_iterations=25)
+    return model, corpus
+
+
+class TestConstruction:
+    def test_alpha_default_rule(self):
+        assert LDAModel(num_topics=25).alpha == pytest.approx(2.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(LDAError):
+            LDAModel(num_topics=0)
+        with pytest.raises(LDAError):
+            LDAModel(num_topics=5, alpha=-1.0)
+        with pytest.raises(LDAError):
+            LDAModel(num_topics=5, beta=0.0)
+
+    def test_unfitted_usage_raises(self):
+        model = LDAModel(4)
+        with pytest.raises(LDAError):
+            model.topic_posterior([0])
+
+
+class TestFit:
+    def test_phi_rows_are_distributions(self, fitted_lda):
+        model, _ = fitted_lda
+        np.testing.assert_allclose(model.phi_.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_doc_topic_rows_are_distributions(self, fitted_lda):
+        model, corpus = fitted_lda
+        assert model.doc_topic_.shape == (corpus.num_posts, 4)
+        np.testing.assert_allclose(model.doc_topic_.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_deterministic_given_seed(self):
+        posts = [Post(author=0, words=(i % 5, (i + 1) % 5), timestamp=0) for i in range(20)]
+        corpus = SocialCorpus(num_users=1, num_time_slices=1, posts=posts, vocab_size=5)
+        a = LDAModel(2, seed=3).fit(corpus, 10)
+        b = LDAModel(2, seed=3).fit(corpus, 10)
+        np.testing.assert_allclose(a.phi_, b.phi_)
+
+    def test_separates_disjoint_word_blocks(self):
+        """Classic LDA sanity: two disjoint word blocks -> two topics."""
+        posts = []
+        for i in range(40):
+            words = (0, 1, 2, 0) if i % 2 == 0 else (5, 6, 7, 6)
+            posts.append(Post(author=0, words=words, timestamp=0))
+        corpus = SocialCorpus(num_users=1, num_time_slices=1, posts=posts, vocab_size=8)
+        model = LDAModel(2, alpha=0.1, seed=0).fit(corpus, 40)
+        block_a = model.phi_[:, :3].sum(axis=1)
+        # One topic owns block A, the other owns block B.
+        assert block_a.max() > 0.9
+        assert block_a.min() < 0.1
+
+    def test_rejects_bad_iterations(self, tiny_corpus):
+        with pytest.raises(LDAError):
+            LDAModel(2).fit(tiny_corpus, num_iterations=0)
+
+
+class TestDerived:
+    def test_user_topic_distribution_shape(self, fitted_lda):
+        model, corpus = fitted_lda
+        dist = model.user_topic_distribution()
+        assert dist.shape == (corpus.num_users, 4)
+        np.testing.assert_allclose(dist.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_silent_users_get_uniform_interest(self):
+        posts = [Post(author=0, words=(0, 1), timestamp=0)]
+        corpus = SocialCorpus(num_users=3, num_time_slices=1, posts=posts, vocab_size=4)
+        model = LDAModel(2, seed=0).fit(corpus, 5)
+        dist = model.user_topic_distribution()
+        np.testing.assert_allclose(dist[1], [0.5, 0.5])
+
+    def test_topic_posterior_is_distribution(self, fitted_lda):
+        model, corpus = fitted_lda
+        posterior = model.topic_posterior(corpus.posts[0].words)
+        np.testing.assert_allclose(posterior.sum(), 1.0, atol=1e-9)
+
+    def test_topic_posterior_rejects_empty(self, fitted_lda):
+        model, _ = fitted_lda
+        with pytest.raises(LDAError):
+            model.topic_posterior([])
+
+    def test_log_post_probability_finite_negative(self, fitted_lda):
+        model, corpus = fitted_lda
+        value = model.log_post_probability(corpus.posts[0].words, corpus.posts[0].author)
+        assert np.isfinite(value) and value < 0
+
+    def test_dominant_topic_in_range(self, fitted_lda):
+        model, corpus = fitted_lda
+        k = model.dominant_topic(corpus.posts[0])
+        assert 0 <= k < 4

@@ -1,0 +1,133 @@
+"""Unit tests for repro.core.likelihood (collapsed joint LL + monitor)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.gibbs import sweep
+from repro.core.likelihood import (
+    ConvergenceMonitor,
+    _dirichlet_multinomial_block,
+    joint_log_likelihood,
+)
+from repro.core.params import Hyperparameters
+from repro.core.state import CountState
+
+
+@pytest.fixture()
+def hp() -> Hyperparameters:
+    return Hyperparameters(
+        rho=0.5, alpha=0.5, beta=0.01, epsilon=0.01, lambda0=2.0, lambda1=0.1
+    )
+
+
+class TestDirichletMultinomialBlock:
+    def test_empty_counts_contribute_zero(self):
+        counts = np.zeros((3, 4))
+        assert _dirichlet_multinomial_block(counts, 0.5) == pytest.approx(0.0)
+
+    def test_single_observation_value(self):
+        """One draw from a symmetric Dirichlet-multinomial has probability
+        conc / (dim * conc) = 1/dim."""
+        counts = np.zeros((1, 4))
+        counts[0, 2] = 1
+        value = _dirichlet_multinomial_block(counts, 0.5)
+        assert value == pytest.approx(math.log(1 / 4))
+
+    def test_two_same_category_observations(self):
+        """P(x1=j, x2=j) = (c/(4c)) * ((c+1)/(4c+1)) for conc c."""
+        counts = np.zeros((1, 4))
+        counts[0, 1] = 2
+        c = 0.5
+        expected = math.log(c / (4 * c)) + math.log((c + 1) / (4 * c + 1))
+        assert _dirichlet_multinomial_block(counts, c) == pytest.approx(expected)
+
+    def test_sums_over_leading_axes(self):
+        counts = np.zeros((2, 3))
+        counts[0, 0] = 1
+        counts[1, 1] = 1
+        single = _dirichlet_multinomial_block(counts[:1], 1.0)
+        total = _dirichlet_multinomial_block(counts, 1.0)
+        assert total == pytest.approx(2 * single)
+
+
+class TestJointLogLikelihood:
+    def test_finite_and_negative(self, hand_corpus, hp, rng):
+        state = CountState.initialize(hand_corpus, 3, 2, rng)
+        value = joint_log_likelihood(state, hp)
+        assert math.isfinite(value)
+        assert value < 0
+
+    def test_increases_during_burn_in_on_structured_data(self, tiny_corpus):
+        """The Gibbs chain should (stochastically) improve the likelihood;
+        compare start vs end averages to tolerate local noise."""
+        hp = Hyperparameters(
+            rho=0.5, alpha=0.5, beta=0.01, epsilon=0.01, lambda0=5.0, lambda1=0.1
+        )
+        rng = np.random.default_rng(1)
+        state = CountState.initialize(tiny_corpus, 3, 4, rng)
+        trace = [joint_log_likelihood(state, hp)]
+        for _ in range(15):
+            sweep(state, hp, rng)
+            trace.append(joint_log_likelihood(state, hp))
+        assert np.mean(trace[-3:]) > np.mean(trace[:3])
+
+    def test_depends_on_assignment_quality(self, tiny_corpus, tiny_truth, hp, rng):
+        """Truth-aligned assignments must beat random ones."""
+        random_state = CountState.initialize(tiny_corpus, 3, 4, rng)
+        random_ll = joint_log_likelihood(random_state, hp)
+
+        truth_state = CountState.initialize(tiny_corpus, 3, 4, rng)
+        for p in range(truth_state.num_posts):
+            truth_state.remove_post(p)
+            truth_state.add_post(
+                p,
+                int(tiny_truth.post_communities[p]),
+                int(tiny_truth.post_topics[p]),
+            )
+        truth_ll = joint_log_likelihood(truth_state, hp)
+        assert truth_ll > random_ll
+
+    def test_no_link_state_has_no_network_term(self, hand_corpus, hp, rng):
+        with_links = CountState.initialize(hand_corpus, 3, 2, rng)
+        without = CountState.initialize(
+            hand_corpus, 3, 2, rng, include_network=False
+        )
+        # Both are finite; the no-link value excludes the Beta-Bernoulli term.
+        assert math.isfinite(joint_log_likelihood(without, hp))
+        assert math.isfinite(joint_log_likelihood(with_links, hp))
+
+
+class TestConvergenceMonitor:
+    def test_not_converged_before_window_filled(self):
+        monitor = ConvergenceMonitor(window=3)
+        for value in (-100.0, -99.0, -98.5):
+            monitor.record(value)
+        assert not monitor.converged
+
+    def test_converged_on_flat_trace(self):
+        monitor = ConvergenceMonitor(window=3, tolerance=1e-3)
+        for value in [-100.0] * 6:
+            monitor.record(value)
+        assert monitor.converged
+
+    def test_not_converged_on_improving_trace(self):
+        monitor = ConvergenceMonitor(window=3, tolerance=1e-6)
+        for value in (-100.0, -90.0, -80.0, -70.0, -60.0, -50.0):
+            monitor.record(value)
+        assert not monitor.converged
+
+    def test_best_tracks_maximum(self):
+        monitor = ConvergenceMonitor()
+        for value in (-5.0, -2.0, -3.0):
+            monitor.record(value)
+        assert monitor.best == -2.0
+
+    def test_best_requires_records(self):
+        with pytest.raises(ValueError):
+            ConvergenceMonitor().best
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            ConvergenceMonitor().record(float("nan"))

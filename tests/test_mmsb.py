@@ -1,0 +1,129 @@
+"""Unit tests for repro.baselines.mmsb."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mmsb import MMSBError, MMSBModel
+from repro.datasets.corpus import Post, SocialCorpus
+
+
+def block_corpus(num_users: int = 30, seed: int = 0) -> SocialCorpus:
+    """Two planted blocks with dense within-block links."""
+    rng = np.random.default_rng(seed)
+    half = num_users // 2
+    links = set()
+    for _ in range(num_users * 6):
+        block = rng.integers(2)
+        lo, hi = (0, half) if block == 0 else (half, num_users)
+        src, dst = rng.integers(lo, hi, size=2)
+        if src != dst:
+            links.add((int(src), int(dst)))
+    # A few cross links keep the graph connected.
+    links.add((0, half))
+    links.add((half, 0))
+    posts = [Post(author=0, words=(0,), timestamp=0)]
+    return SocialCorpus(
+        num_users=num_users,
+        num_time_slices=1,
+        posts=posts,
+        links=sorted(links),
+        vocab_size=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted() -> tuple[MMSBModel, SocialCorpus]:
+    corpus = block_corpus()
+    model = MMSBModel(
+        num_communities=2, rho=0.1, negative_ratio=2.0, num_restarts=4, seed=0
+    ).fit(corpus, num_iterations=50)
+    return model, corpus
+
+
+class TestFit:
+    def test_pi_rows_are_distributions(self, fitted):
+        model, corpus = fitted
+        assert model.pi_.shape == (corpus.num_users, 2)
+        np.testing.assert_allclose(model.pi_.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_eta_in_unit_interval(self, fitted):
+        model, _ = fitted
+        assert ((model.eta_ >= 0) & (model.eta_ <= 1)).all()
+
+    def test_recovers_planted_blocks(self, fitted):
+        model, corpus = fitted
+        half = corpus.num_users // 2
+        main = model.pi_.argmax(axis=1)
+        first = main[:half]
+        second = main[half:]
+        # Majority of each block shares a label, and the labels differ.
+        label_a = np.bincount(first, minlength=2).argmax()
+        label_b = np.bincount(second, minlength=2).argmax()
+        assert label_a != label_b
+        assert (first == label_a).mean() > 0.7
+        assert (second == label_b).mean() > 0.7
+
+    def test_within_block_eta_stronger(self, fitted):
+        model, _ = fitted
+        off_diag = model.eta_[~np.eye(2, dtype=bool)]
+        assert np.diag(model.eta_).mean() > off_diag.mean()
+
+    def test_deterministic_given_seed(self):
+        corpus = block_corpus()
+        a = MMSBModel(2, seed=1).fit(corpus, 10)
+        b = MMSBModel(2, seed=1).fit(corpus, 10)
+        np.testing.assert_allclose(a.pi_, b.pi_)
+
+    def test_errors(self):
+        corpus = block_corpus()
+        with pytest.raises(MMSBError):
+            MMSBModel(0)
+        with pytest.raises(MMSBError):
+            MMSBModel(2).fit(corpus, num_iterations=0)
+        empty = SocialCorpus(
+            num_users=2,
+            num_time_slices=1,
+            posts=[Post(author=0, words=(0,), timestamp=0)],
+        )
+        with pytest.raises(MMSBError):
+            MMSBModel(2).fit(empty, num_iterations=5)
+
+
+class TestLinkScore:
+    def test_within_block_pairs_score_higher_on_average(self, fitted):
+        model, corpus = fitted
+        half = corpus.num_users // 2
+        rng = np.random.default_rng(0)
+        within_pairs = rng.integers(0, half, size=(100, 2))
+        across_src = rng.integers(0, half, size=100)
+        across_dst = rng.integers(half, corpus.num_users, size=100)
+        within = model.link_score(within_pairs[:, 0], within_pairs[:, 1]).mean()
+        across = model.link_score(across_src, across_dst).mean()
+        assert within > across
+
+    def test_vectorised(self, fitted):
+        model, _ = fitted
+        scores = model.link_score(np.array([0, 1]), np.array([2, 3]))
+        assert scores.shape == (2,)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(MMSBError):
+            MMSBModel(2).link_score(0, 1)
+
+
+class TestTopCommunities:
+    def test_returns_requested_count(self, fitted):
+        model, _ = fitted
+        assert len(model.top_communities(0, size=2)) == 2
+
+    def test_ordered_by_membership(self, fitted):
+        model, _ = fitted
+        top = model.top_communities(3, size=2)
+        assert model.pi_[3, top[0]] >= model.pi_[3, top[1]]
+
+    def test_errors(self, fitted):
+        model, _ = fitted
+        with pytest.raises(MMSBError):
+            model.top_communities(999)
+        with pytest.raises(MMSBError):
+            model.top_communities(0, size=0)

@@ -1,0 +1,143 @@
+"""Unit tests for repro.core.model (the COLDModel facade)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import COLDModel, ModelError
+from repro.core.params import Hyperparameters
+
+
+class TestConstruction:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ModelError):
+            COLDModel(num_communities=0)
+        with pytest.raises(ModelError):
+            COLDModel(num_topics=-1)
+
+    def test_rejects_unknown_prior(self):
+        with pytest.raises(ModelError):
+            COLDModel(prior="weird")
+
+    def test_repr_reflects_state(self, fitted_model):
+        assert "fitted" in repr(fitted_model)
+        assert "unfitted" in repr(COLDModel())
+        assert "no-link" in repr(COLDModel(include_network=False))
+
+
+class TestFitValidation:
+    def test_rejects_bad_iteration_counts(self, tiny_corpus):
+        model = COLDModel(3, 4)
+        with pytest.raises(ModelError):
+            model.fit(tiny_corpus, num_iterations=0)
+        with pytest.raises(ModelError):
+            model.fit(tiny_corpus, num_iterations=10, burn_in=10)
+        with pytest.raises(ModelError):
+            model.fit(tiny_corpus, num_iterations=10, sample_interval=0)
+
+    def test_estimates_before_fit_raise(self):
+        model = COLDModel()
+        with pytest.raises(ModelError):
+            _ = model.pi_
+        with pytest.raises(ModelError):
+            model.save("/tmp/nope")
+
+
+class TestFitResults:
+    def test_fit_returns_self(self, tiny_corpus):
+        model = COLDModel(2, 2, prior="scaled", seed=1)
+        assert model.fit(tiny_corpus, num_iterations=4) is model
+
+    def test_estimate_shapes(self, fitted_model, tiny_corpus):
+        assert fitted_model.pi_.shape == (tiny_corpus.num_users, 3)
+        assert fitted_model.theta_.shape == (3, 4)
+        assert fitted_model.phi_.shape == (4, tiny_corpus.vocab_size)
+        assert fitted_model.psi_.shape == (4, 3, tiny_corpus.num_time_slices)
+        assert fitted_model.eta_.shape == (3, 3)
+
+    def test_estimates_are_valid_distributions(self, estimates):
+        estimates.validate()
+
+    def test_final_state_invariants(self, fitted_model):
+        assert fitted_model.state_ is not None
+        fitted_model.state_.check_invariants()
+
+    def test_monitor_recorded_likelihoods(self, fitted_model):
+        assert fitted_model.monitor_ is not None
+        assert len(fitted_model.monitor_.trace) == 4  # 40 iters / every 10
+
+    def test_hyperparameters_resolved_at_fit(self, fitted_model):
+        hp = fitted_model.hyperparameters
+        assert isinstance(hp, Hyperparameters)
+        assert hp.rho == 0.5  # scaled prior
+
+    def test_deterministic_given_seed(self, tiny_corpus):
+        a = COLDModel(3, 4, prior="scaled", seed=9).fit(tiny_corpus, 6)
+        b = COLDModel(3, 4, prior="scaled", seed=9).fit(tiny_corpus, 6)
+        np.testing.assert_allclose(a.pi_, b.pi_)
+        np.testing.assert_allclose(a.phi_, b.phi_)
+
+    def test_different_seeds_differ(self, tiny_corpus):
+        a = COLDModel(3, 4, prior="scaled", seed=1).fit(tiny_corpus, 6)
+        b = COLDModel(3, 4, prior="scaled", seed=2).fit(tiny_corpus, 6)
+        assert not np.allclose(a.pi_, b.pi_)
+
+    def test_callback_invoked_every_iteration(self, tiny_corpus):
+        calls = []
+        COLDModel(2, 2, prior="scaled").fit(
+            tiny_corpus,
+            num_iterations=5,
+            callback=lambda it, model: calls.append(it),
+        )
+        assert calls == [1, 2, 3, 4, 5]
+
+    def test_check_invariants_mode(self, tiny_corpus):
+        model = COLDModel(2, 2, prior="scaled")
+        model.fit(tiny_corpus, num_iterations=2, check_invariants=True)
+        assert model.fitted
+
+    def test_explicit_hyperparameters_are_used(self, tiny_corpus):
+        hp = Hyperparameters(
+            rho=0.3, alpha=0.3, beta=0.02, epsilon=0.02, lambda0=4.0, lambda1=0.2
+        )
+        model = COLDModel(2, 2, hyperparameters=hp).fit(tiny_corpus, 3)
+        assert model.hyperparameters is hp
+
+
+class TestNoLinkVariant:
+    def test_no_link_fit_ignores_network(self, tiny_corpus):
+        model = COLDModel(3, 4, include_network=False, prior="scaled", seed=0)
+        model.fit(tiny_corpus, num_iterations=5)
+        assert model.state_ is not None
+        assert model.state_.num_links == 0
+        # eta collapses to the prior mean everywhere.
+        hp = model.hyperparameters
+        prior_mean = hp.lambda1 / (hp.lambda0 + hp.lambda1)
+        np.testing.assert_allclose(model.eta_, prior_mean)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, fitted_model, tmp_path):
+        path = tmp_path / "model"
+        fitted_model.save(path)
+        loaded = COLDModel.load(path)
+        assert loaded.num_communities == fitted_model.num_communities
+        assert loaded.num_topics == fitted_model.num_topics
+        assert loaded.prior == fitted_model.prior
+        np.testing.assert_allclose(loaded.pi_, fitted_model.pi_)
+        np.testing.assert_allclose(loaded.eta_, fitted_model.eta_)
+
+    def test_loaded_model_is_usable_for_prediction(self, fitted_model, tmp_path):
+        from repro.core.prediction import link_probability
+
+        path = tmp_path / "model"
+        fitted_model.save(path)
+        loaded = COLDModel.load(path)
+        assert loaded.estimates_ is not None
+        scores = link_probability(loaded.estimates_, [0, 1], [2, 3])
+        assert scores.shape == (2,)
+
+    def test_save_writes_two_files(self, fitted_model, tmp_path):
+        path = tmp_path / "model"
+        fitted_model.save(path)
+        assert (tmp_path / "model.json").exists()
+        assert (tmp_path / "model.npz").exists()

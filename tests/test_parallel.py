@@ -1,0 +1,229 @@
+"""Unit tests for repro.parallel (graph, partition, engine, sampler)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.engine import (
+    EngineError,
+    NodeTiming,
+    SimulatedCluster,
+    SuperstepReport,
+)
+from repro.parallel.graph import ComputationGraph, GraphError
+from repro.parallel.partition import PartitionError, partition_graph
+from repro.parallel.sampler import ParallelCOLDSampler
+
+
+class TestComputationGraph:
+    def test_from_corpus_covers_everything(self, tiny_corpus):
+        graph = ComputationGraph.from_corpus(tiny_corpus)
+        graph.check_covers(tiny_corpus)
+
+    def test_user_time_edges_group_posts(self, hand_corpus):
+        graph = ComputationGraph.from_corpus(hand_corpus)
+        for edge in graph.user_time_edges:
+            for pid in edge.post_ids:
+                post = hand_corpus.posts[pid]
+                assert post.author == edge.user
+                assert post.timestamp == edge.time
+
+    def test_vertex_and_edge_counts(self, hand_corpus):
+        graph = ComputationGraph.from_corpus(hand_corpus)
+        assert graph.num_vertices == 5 + 4
+        # every hand-corpus post has a distinct (author, time) pair
+        assert len(graph.user_time_edges) == 6
+        assert len(graph.user_user_edges) == 4
+
+    def test_total_work(self, hand_corpus):
+        graph = ComputationGraph.from_corpus(hand_corpus)
+        assert graph.total_work == hand_corpus.num_posts + hand_corpus.num_links
+
+    def test_degree_of_user(self, hand_corpus):
+        graph = ComputationGraph.from_corpus(hand_corpus)
+        # user 0: two (author,time) edges + links (0,1) and (2,0)
+        assert graph.degree_of_user(0) == 2 + 2
+        with pytest.raises(GraphError):
+            graph.degree_of_user(99)
+
+    def test_check_covers_detects_missing_posts(self, hand_corpus):
+        graph = ComputationGraph.from_corpus(hand_corpus)
+        graph.user_time_edges.pop()
+        with pytest.raises(GraphError):
+            graph.check_covers(hand_corpus)
+
+
+class TestPartition:
+    def test_shards_partition_work_exactly(self, tiny_corpus):
+        graph = ComputationGraph.from_corpus(tiny_corpus)
+        shards, stats = partition_graph(graph, 4)
+        assert len(shards) == 4
+        all_posts = np.concatenate([s.post_order() for s in shards])
+        assert sorted(all_posts.tolist()) == list(range(tiny_corpus.num_posts))
+        all_links = np.concatenate([s.link_order() for s in shards])
+        assert sorted(all_links.tolist()) == list(range(tiny_corpus.num_links))
+        assert stats.total_work == graph.total_work
+
+    def test_balanced_load(self, tiny_corpus):
+        graph = ComputationGraph.from_corpus(tiny_corpus)
+        _shards, stats = partition_graph(graph, 4)
+        assert stats.imbalance < 1.2
+
+    def test_single_node_gets_everything(self, tiny_corpus):
+        graph = ComputationGraph.from_corpus(tiny_corpus)
+        shards, stats = partition_graph(graph, 1)
+        assert shards[0].work == graph.total_work
+        assert stats.imbalance == pytest.approx(1.0)
+
+    def test_more_nodes_than_edges(self, hand_corpus):
+        graph = ComputationGraph.from_corpus(hand_corpus)
+        shards, _stats = partition_graph(graph, 50)
+        total = sum(s.work for s in shards)
+        assert total == graph.total_work
+
+    def test_deterministic(self, tiny_corpus):
+        graph = ComputationGraph.from_corpus(tiny_corpus)
+        a, _ = partition_graph(graph, 3)
+        b, _ = partition_graph(graph, 3)
+        for sa, sb in zip(a, b):
+            np.testing.assert_array_equal(sa.post_order(), sb.post_order())
+
+    def test_rejects_nonpositive_nodes(self, tiny_corpus):
+        graph = ComputationGraph.from_corpus(tiny_corpus)
+        with pytest.raises(PartitionError):
+            partition_graph(graph, 0)
+
+
+class TestSimulatedCluster:
+    def test_superstep_runs_all_tasks(self):
+        cluster = SimulatedCluster(3)
+        hits = []
+        report = cluster.superstep([lambda i=i: hits.append(i) for i in range(3)])
+        assert sorted(hits) == [0, 1, 2]
+        assert len(report.node_timings) == 3
+
+    def test_cluster_time_is_max_plus_merge(self):
+        report = SuperstepReport(
+            node_timings=(
+                NodeTiming(0, 0.2),
+                NodeTiming(1, 0.5),
+                NodeTiming(2, 0.1),
+            ),
+            merge_seconds=0.05,
+        )
+        assert report.cluster_seconds == pytest.approx(0.55)
+        assert report.serial_seconds == pytest.approx(0.85)
+
+    def test_merge_callback_runs_after_tasks(self):
+        order = []
+        cluster = SimulatedCluster(2)
+        cluster.superstep(
+            [lambda: order.append("a"), lambda: order.append("b")],
+            merge=lambda: order.append("merge"),
+        )
+        assert order[-1] == "merge"
+
+    def test_task_count_must_match_nodes(self):
+        cluster = SimulatedCluster(2)
+        with pytest.raises(EngineError):
+            cluster.superstep([lambda: None])
+
+    def test_threads_executor_runs_tasks(self):
+        cluster = SimulatedCluster(2, executor="threads")
+        hits = []
+        cluster.superstep([lambda: hits.append(1), lambda: hits.append(2)])
+        assert sorted(hits) == [1, 2]
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(EngineError):
+            SimulatedCluster(2, executor="mpi")
+
+    def test_rejects_nonpositive_nodes(self):
+        with pytest.raises(EngineError):
+            SimulatedCluster(0)
+
+
+class TestParallelSampler:
+    def test_fit_produces_valid_estimates(self, tiny_corpus):
+        sampler = ParallelCOLDSampler(3, 4, num_nodes=3, prior="scaled", seed=0)
+        sampler.fit(tiny_corpus, num_iterations=8)
+        assert sampler.fitted
+        assert sampler.estimates_ is not None
+        sampler.estimates_.validate()
+
+    def test_merged_counters_are_exact(self, tiny_corpus):
+        """After every superstep merge, the global counters must equal a
+        from-scratch recount of the shared assignments."""
+        sampler = ParallelCOLDSampler(3, 4, num_nodes=4, prior="scaled", seed=1)
+        sampler.fit(tiny_corpus, num_iterations=5)
+        assert sampler.state_ is not None
+        sampler.state_.check_invariants()
+
+    def test_single_node_keeps_invariants(self, tiny_corpus):
+        sampler = ParallelCOLDSampler(3, 4, num_nodes=1, prior="scaled", seed=0)
+        sampler.fit(tiny_corpus, num_iterations=4)
+        sampler.state_.check_invariants()
+
+    def test_timing_report_populated(self, tiny_corpus):
+        sampler = ParallelCOLDSampler(3, 4, num_nodes=2, prior="scaled", seed=0)
+        sampler.fit(tiny_corpus, num_iterations=6)
+        assert sampler.report_ is not None
+        assert len(sampler.report_.supersteps) == 6
+        assert sampler.training_seconds() > 0
+        assert sampler.speedup() >= 1.0
+
+    def test_speedup_grows_with_nodes(self, tiny_corpus):
+        slow = ParallelCOLDSampler(3, 4, num_nodes=1, prior="scaled", seed=0)
+        slow.fit(tiny_corpus, num_iterations=4)
+        fast = ParallelCOLDSampler(3, 4, num_nodes=4, prior="scaled", seed=0)
+        fast.fit(tiny_corpus, num_iterations=4)
+        assert fast.speedup() > slow.speedup()
+
+    def test_partition_stats_exposed(self, tiny_corpus):
+        sampler = ParallelCOLDSampler(3, 4, num_nodes=3, prior="scaled", seed=0)
+        sampler.fit(tiny_corpus, num_iterations=3)
+        assert sampler.partition_stats_ is not None
+        assert sampler.partition_stats_.imbalance < 1.5
+
+    def test_no_network_mode(self, tiny_corpus):
+        sampler = ParallelCOLDSampler(
+            3, 4, num_nodes=2, include_network=False, prior="scaled", seed=0
+        )
+        sampler.fit(tiny_corpus, num_iterations=4)
+        assert sampler.state_ is not None
+        assert sampler.state_.num_links == 0
+
+    def test_parallel_quality_close_to_serial(self, tiny_corpus):
+        """Approximate parallel Gibbs must reach likelihoods comparable to
+        the serial sampler (the AD-LDA claim the paper relies on)."""
+        from repro.core.likelihood import joint_log_likelihood
+        from repro.core.model import COLDModel
+
+        serial = COLDModel(3, 4, prior="scaled", seed=0).fit(
+            tiny_corpus, num_iterations=25
+        )
+        parallel = ParallelCOLDSampler(3, 4, num_nodes=4, prior="scaled", seed=0)
+        parallel.fit(tiny_corpus, num_iterations=25)
+        ll_serial = joint_log_likelihood(serial.state_, serial.hyperparameters)
+        ll_parallel = joint_log_likelihood(
+            parallel.state_, parallel.hyperparameters
+        )
+        # Within 5% of each other in log-likelihood (staleness noise).
+        assert abs(ll_serial - ll_parallel) / abs(ll_serial) < 0.05
+
+    def test_errors(self, tiny_corpus):
+        with pytest.raises(EngineError):
+            ParallelCOLDSampler(0, 4)
+        with pytest.raises(EngineError):
+            ParallelCOLDSampler(3, 4, prior="bogus")
+        sampler = ParallelCOLDSampler(3, 4, prior="scaled")
+        with pytest.raises(EngineError):
+            sampler.fit(tiny_corpus, num_iterations=0)
+        with pytest.raises(EngineError):
+            sampler.training_seconds()
+
+    def test_deterministic_given_seed(self, tiny_corpus):
+        a = ParallelCOLDSampler(3, 4, num_nodes=2, prior="scaled", seed=5)
+        a.fit(tiny_corpus, num_iterations=5)
+        b = ParallelCOLDSampler(3, 4, num_nodes=2, prior="scaled", seed=5)
+        b.fit(tiny_corpus, num_iterations=5)
+        np.testing.assert_allclose(a.estimates_.pi, b.estimates_.pi)

@@ -1,0 +1,214 @@
+"""Unit tests for repro.core.patterns (Figs. 6–8 analyses)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimates import ParameterEstimates
+from repro.core.patterns import (
+    PatternError,
+    all_word_clouds,
+    fluctuation_analysis,
+    temporal_variance,
+    time_lag_analysis,
+    top_words,
+)
+
+
+class TestTemporalVariance:
+    def test_point_mass_has_zero_variance(self):
+        psi = np.zeros(10)
+        psi[4] = 1.0
+        assert temporal_variance(psi) == pytest.approx(0.0)
+
+    def test_uniform_distribution_variance(self):
+        T = 12
+        psi = np.full(T, 1.0 / T)
+        grid = np.arange(T)
+        expected = grid.var()
+        assert temporal_variance(psi) == pytest.approx(expected)
+
+    def test_bimodal_beats_unimodal(self):
+        T = 20
+        unimodal = np.zeros(T)
+        unimodal[9:12] = 1 / 3
+        bimodal = np.zeros(T)
+        bimodal[[0, 19]] = 0.5
+        assert temporal_variance(bimodal) > temporal_variance(unimodal)
+
+
+class TestFluctuationAnalysis:
+    def test_shapes(self, estimates):
+        analysis = fluctuation_analysis(estimates, num_buckets=8)
+        n = estimates.num_topics * estimates.num_communities
+        assert analysis.interest.shape == (n,)
+        assert analysis.variance.shape == (n,)
+        assert analysis.bucket_edges.shape == (9,)
+        assert analysis.bucket_mean_variance.shape == (8,)
+
+    def test_interest_aligned_with_psi_indexing(self, estimates):
+        """Element (k*C + c) must pair theta_ck with var(psi_kc)."""
+        analysis = fluctuation_analysis(estimates)
+        C = estimates.num_communities
+        k, c = 2, 1
+        idx = k * C + c
+        assert analysis.interest[idx] == pytest.approx(estimates.theta[c, k])
+        assert analysis.variance[idx] == pytest.approx(
+            temporal_variance(estimates.psi[k, c])
+        )
+
+    def test_cdf_monotone_and_bounded(self, estimates):
+        analysis = fluctuation_analysis(estimates)
+        grid = np.logspace(-6, 0, 30)
+        cdf = analysis.interest_cdf(grid)
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[0] >= 0 and cdf[-1] <= 1
+
+    def test_peak_bucket_is_valid_index(self, estimates):
+        analysis = fluctuation_analysis(estimates, num_buckets=6)
+        peak = analysis.peak_bucket()
+        assert 0 <= peak < 6
+        assert np.isfinite(analysis.bucket_mean_variance[peak])
+
+    def test_medium_interest_fluctuates_most_on_constructed_estimates(self):
+        """Construct estimates realising the paper's Fig.-6 claim and check
+        the analysis surfaces it: medium-interest pairs get spread-out
+        (high-variance) psi rows, extreme pairs get peaked rows."""
+        C, K, T = 4, 5, 20
+        rng = np.random.default_rng(0)
+        theta = np.zeros((C, K))
+        psi = np.zeros((K, C, T))
+        for c in range(C):
+            weights = np.array([0.9, 0.05, 0.03, 0.015, 0.005])
+            theta[c] = np.roll(weights, c % K)
+        for k in range(K):
+            for c in range(C):
+                if 0.01 <= theta[c, k] <= 0.06:  # medium interest
+                    psi[k, c] = np.full(T, 1.0 / T)  # maximal spread
+                else:
+                    row = np.zeros(T)
+                    row[int(rng.integers(T))] = 1.0
+                    psi[k, c] = row
+        estimates = ParameterEstimates(
+            pi=np.full((3, C), 1.0 / C),
+            theta=theta,
+            phi=np.full((K, 7), 1.0 / 7),
+            psi=psi,
+            eta=np.full((C, C), 0.5),
+        )
+        analysis = fluctuation_analysis(estimates, num_buckets=10)
+        peak_interest = np.sqrt(
+            analysis.bucket_edges[analysis.peak_bucket()]
+            * analysis.bucket_edges[analysis.peak_bucket() + 1]
+        )
+        assert 0.005 <= peak_interest <= 0.1
+
+    def test_rejects_too_few_buckets(self, estimates):
+        with pytest.raises(PatternError):
+            fluctuation_analysis(estimates, num_buckets=2)
+
+
+class TestTimeLagAnalysis:
+    def test_groups_are_disjoint_and_ordered_by_interest(self, estimates):
+        analysis = time_lag_analysis(estimates, topic=0, num_high=1)
+        assert not (set(analysis.high_communities) & set(analysis.medium_communities))
+        interest = estimates.theta[:, 0]
+        min_high = min(interest[c] for c in analysis.high_communities)
+        max_medium = max(interest[c] for c in analysis.medium_communities)
+        assert min_high >= max_medium
+
+    def test_curves_normalised_to_peak_one(self, estimates):
+        analysis = time_lag_analysis(estimates, topic=1, num_high=1)
+        assert analysis.high_curve.max() <= 1.0 + 1e-9
+        assert analysis.medium_curve.max() <= 1.0 + 1e-9
+
+    def test_peak_lag_on_constructed_estimates(self):
+        """Plant an early-peaking high community and late-peaking medium
+        communities; the analysis must report a positive lag and the
+        high group's longer durability."""
+        C, K, T = 5, 2, 30
+        theta = np.full((C, K), 0.5)
+        theta[:, 0] = [0.9, 0.4, 0.05, 0.04, 0.03]
+        theta[:, 1] = 1 - theta[:, 0]
+        grid = np.arange(T)
+
+        def bump(center, width):
+            density = np.exp(-0.5 * ((grid - center) / width) ** 2)
+            return density / density.sum()
+
+        psi = np.zeros((K, C, T))
+        psi[0, 0] = bump(5, 4.0)   # high community: early, broad
+        psi[0, 1] = bump(6, 4.0)
+        for c in (2, 3, 4):        # medium: late, narrow
+            psi[0, c] = bump(20, 1.5)
+        psi[1] = np.full((C, T), 1.0 / T)
+        estimates = ParameterEstimates(
+            pi=np.full((3, C), 1.0 / C),
+            theta=theta / theta.sum(axis=1, keepdims=True),
+            phi=np.full((K, 7), 1.0 / 7),
+            psi=psi,
+            eta=np.full((C, C), 0.5),
+        )
+        analysis = time_lag_analysis(estimates, topic=0, num_high=2)
+        assert analysis.peak_lag() > 0
+        high_dur, medium_dur = analysis.durability()
+        assert high_dur > medium_dur
+
+    def test_low_interest_communities_excluded(self, estimates):
+        analysis = time_lag_analysis(
+            estimates, topic=0, num_high=1, low_threshold=0.0
+        )
+        strict = time_lag_analysis(
+            estimates, topic=0, num_high=1, low_threshold=1e-12
+        )
+        assert len(strict.medium_communities) <= len(analysis.medium_communities)
+
+    def test_invalid_topic_raises(self, estimates):
+        with pytest.raises(PatternError):
+            time_lag_analysis(estimates, topic=99)
+
+    def test_impossible_threshold_raises(self, estimates):
+        with pytest.raises(PatternError):
+            time_lag_analysis(estimates, topic=0, num_high=1, low_threshold=2.0)
+
+
+class TestTopWords:
+    def test_returns_descending_weights(self, estimates):
+        words = top_words(estimates, topic=0, size=10)
+        weights = [w for _, w in words]
+        assert weights == sorted(weights, reverse=True)
+        assert len(words) == 10
+
+    def test_weights_match_phi(self, estimates):
+        words = top_words(estimates, topic=1, size=1)
+        token, weight = words[0]
+        assert weight == pytest.approx(estimates.phi[1].max())
+
+    def test_vocabulary_renders_tokens(self, estimates, tiny_corpus):
+        words = top_words(estimates, topic=0, vocabulary=tiny_corpus.vocabulary)
+        assert all(isinstance(token, str) and token for token, _ in words)
+        # Generic vocabulary tokens look like term00042.
+        assert words[0][0].startswith("term")
+
+    def test_without_vocabulary_uses_ids(self, estimates):
+        words = top_words(estimates, topic=0, size=3)
+        assert all(token.startswith("w") for token, _ in words)
+
+    def test_oracle_topics_surface_anchor_words(self, oracle_estimates):
+        anchors_per_topic = 12  # TINY_CONFIG
+        for k in range(oracle_estimates.num_topics):
+            words = top_words(oracle_estimates, topic=k, size=5)
+            ids = [int(token[1:]) for token, _ in words]
+            block = range(k * anchors_per_topic, (k + 1) * anchors_per_topic)
+            overlap = sum(1 for i in ids if i in block)
+            assert overlap >= 3
+
+    def test_all_word_clouds_covers_topics(self, estimates):
+        clouds = all_word_clouds(estimates, size=5)
+        assert len(clouds) == estimates.num_topics
+        assert all(len(cloud) == 5 for cloud in clouds)
+
+    def test_invalid_arguments(self, estimates):
+        with pytest.raises(PatternError):
+            top_words(estimates, topic=99)
+        with pytest.raises(PatternError):
+            top_words(estimates, topic=0, size=0)

@@ -1,0 +1,120 @@
+"""Unit tests for repro.core.perword (the per-word-topic ablation model)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import ModelError
+from repro.core.perword import COLDPerWordModel
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    from repro.datasets.synthetic import generate_corpus
+    from tests.conftest import TINY_CONFIG
+
+    corpus, _ = generate_corpus(TINY_CONFIG)
+    model = COLDPerWordModel(3, 4, prior="scaled", seed=0).fit(
+        corpus, num_iterations=20
+    )
+    return model, corpus
+
+
+class TestConstruction:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ModelError):
+            COLDPerWordModel(0, 4)
+        with pytest.raises(ModelError):
+            COLDPerWordModel(3, 4, prior="weird")
+
+    def test_repr(self, fitted):
+        model, _ = fitted
+        assert "fitted" in repr(model)
+        assert "unfitted" in repr(COLDPerWordModel())
+
+
+class TestFit:
+    def test_estimates_validate(self, fitted):
+        model, _ = fitted
+        model.estimates_.validate()
+
+    def test_estimate_shapes(self, fitted):
+        model, corpus = fitted
+        e = model.estimates_
+        assert e.pi.shape == (corpus.num_users, 3)
+        assert e.theta.shape == (3, 4)
+        assert e.phi.shape == (4, corpus.vocab_size)
+        assert e.psi.shape == (4, 3, corpus.num_time_slices)
+        assert e.eta.shape == (3, 3)
+
+    def test_deterministic_given_seed(self, tiny_corpus):
+        a = COLDPerWordModel(2, 3, prior="scaled", seed=7).fit(tiny_corpus, 4)
+        b = COLDPerWordModel(2, 3, prior="scaled", seed=7).fit(tiny_corpus, 4)
+        np.testing.assert_allclose(a.estimates_.pi, b.estimates_.pi)
+        np.testing.assert_allclose(a.estimates_.phi, b.estimates_.phi)
+
+    def test_fit_validation(self, tiny_corpus):
+        model = COLDPerWordModel(2, 2, prior="scaled")
+        with pytest.raises(ModelError):
+            model.fit(tiny_corpus, num_iterations=0)
+        with pytest.raises(ModelError):
+            model.fit(tiny_corpus, num_iterations=4, burn_in=4)
+
+    def test_no_network_mode(self, tiny_corpus):
+        model = COLDPerWordModel(
+            2, 3, include_network=False, prior="scaled", seed=0
+        ).fit(tiny_corpus, num_iterations=4)
+        hp = model.hyperparameters
+        prior_mean = hp.lambda1 / (hp.lambda0 + hp.lambda1)
+        np.testing.assert_allclose(model.estimates_.eta, prior_mean)
+
+    def test_per_post_variant_separates_blocks_better(self):
+        """The paper's §3.5 claim, in miniature: on strictly single-topic
+        short posts, per-post COLD cleanly separates the two word blocks
+        while the per-word variant — whose topic mixture lives at the
+        community level, providing no within-post coupling — mixes them."""
+        from repro.core.model import COLDModel
+        from repro.datasets.corpus import Post, SocialCorpus
+
+        posts = []
+        for i in range(40):
+            words = (0, 1, 2) if i % 2 == 0 else (6, 7, 8)
+            posts.append(Post(author=i % 4, words=words, timestamp=0))
+        corpus = SocialCorpus(
+            num_users=4, num_time_slices=1, posts=posts,
+            links=[(0, 1), (2, 3)], vocab_size=9,
+        )
+
+        def block_purity(phi) -> float:
+            """1.0 when each topic owns one block exclusively."""
+            block_mass = phi[:, :3].sum(axis=1)
+            return float(max(block_mass.max(), 1 - block_mass.min()))
+
+        per_post = COLDModel(1, 2, prior="scaled", seed=0).fit(
+            corpus, num_iterations=40
+        )
+        per_word = COLDPerWordModel(1, 2, prior="scaled", seed=0).fit(
+            corpus, num_iterations=40
+        )
+        assert block_purity(per_post.estimates_.phi) > 0.9
+        assert block_purity(per_post.estimates_.phi) >= block_purity(
+            per_word.estimates_.phi
+        )
+
+
+class TestCompatibility:
+    def test_estimates_drive_the_standard_predictor(self, fitted):
+        from repro.core.prediction import DiffusionPredictor
+
+        model, corpus = fitted
+        predictor = DiffusionPredictor(model.estimates_)
+        post = corpus.posts[0]
+        scores = predictor.score_candidates(post.author, [1, 2], post.words)
+        assert scores.shape == (2,)
+        assert (scores >= 0).all()
+
+    def test_estimates_drive_perplexity(self, fitted):
+        from repro.eval.perplexity import cold_perplexity
+
+        model, corpus = fitted
+        value = cold_perplexity(model.estimates_, corpus)
+        assert 1 < value < corpus.vocab_size

@@ -1,0 +1,95 @@
+"""Unit tests for repro.baselines.pipeline (MMSB -> per-community TOT)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pipeline import PipelineError, PipelineModel
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    from repro.datasets.synthetic import generate_corpus
+    from tests.conftest import TINY_CONFIG
+
+    corpus, _ = generate_corpus(TINY_CONFIG)
+    model = PipelineModel(num_communities=3, num_topics=3, seed=0).fit(
+        corpus, network_iterations=25, text_iterations=12
+    )
+    return model, corpus
+
+
+class TestFit:
+    def test_stages_populated(self, fitted):
+        model, corpus = fitted
+        assert model.mmsb_ is not None
+        assert model.community_models_ is not None
+        assert len(model.community_models_) == 3
+        assert model.user_communities_ is not None
+        assert len(model.user_communities_) == corpus.num_users
+
+    def test_each_user_assigned_top2(self, fitted):
+        model, _ = fitted
+        for communities in model.user_communities_:
+            assert len(communities) == 2
+            assert len(set(communities)) == 2
+
+    def test_assignments_match_mmsb_memberships(self, fitted):
+        model, _ = fitted
+        pi = model.mmsb_.pi_
+        for user, communities in enumerate(model.user_communities_):
+            ranked = np.argsort(pi[user])[::-1][:2].tolist()
+            assert set(communities) == set(int(c) for c in ranked)
+
+    def test_at_least_one_community_model_fitted(self, fitted):
+        model, _ = fitted
+        assert any(m is not None for m in model.community_models_)
+
+    def test_errors(self, tiny_corpus):
+        with pytest.raises(PipelineError):
+            PipelineModel(0, 3)
+        with pytest.raises(PipelineError):
+            PipelineModel(3, 3, communities_per_user=0)
+        with pytest.raises(PipelineError):
+            PipelineModel(3, 3).predict_timestamp(tiny_corpus.posts[0])
+
+
+class TestPrediction:
+    def test_timestamp_scores_shape(self, fitted):
+        model, corpus = fitted
+        scores = model.timestamp_scores(corpus.posts[0])
+        assert scores.shape == (corpus.num_time_slices,)
+
+    def test_predict_timestamp_in_range(self, fitted):
+        model, corpus = fitted
+        for post in corpus.posts[:20]:
+            prediction = model.predict_timestamp(post)
+            assert 0 <= prediction < corpus.num_time_slices
+
+    def test_community_temporal_distribution(self, fitted):
+        model, corpus = fitted
+        found = False
+        for c in range(3):
+            psi = model.community_temporal_distribution(c)
+            if psi is not None:
+                found = True
+                assert psi.shape == (3, corpus.num_time_slices)
+                np.testing.assert_allclose(psi.sum(axis=1), 1.0, atol=1e-9)
+        assert found
+
+    def test_community_temporal_distribution_range_check(self, fitted):
+        model, _ = fitted
+        with pytest.raises(PipelineError):
+            model.community_temporal_distribution(99)
+
+
+class TestDecoupling:
+    def test_stages_do_not_feed_back(self, tiny_corpus):
+        """The defining pipeline property: the MMSB stage is identical with
+        or without the text stage (no interdependence, §6.3's criticism)."""
+        from repro.baselines.mmsb import MMSBModel
+
+        pipeline = PipelineModel(3, 3, seed=0).fit(
+            tiny_corpus, network_iterations=10, text_iterations=5
+        )
+        standalone = MMSBModel(3, seed=0).fit(tiny_corpus, num_iterations=10)
+        np.testing.assert_allclose(pipeline.mmsb_.pi_, standalone.pi_)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.baselines.pmtlm."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pmtlm import PMTLMError, PMTLMModel
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    from repro.datasets.synthetic import generate_corpus
+    from tests.conftest import TINY_CONFIG
+
+    corpus, _ = generate_corpus(TINY_CONFIG)
+    model = PMTLMModel(num_factors=4, rho=0.5, kappa=5.0, seed=0).fit(
+        corpus, num_iterations=20
+    )
+    return model, corpus
+
+
+class TestFit:
+    def test_factor_mixtures_are_distributions(self, fitted):
+        model, corpus = fitted
+        assert model.pi_.shape == (corpus.num_users, 4)
+        np.testing.assert_allclose(model.pi_.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_phi_rows_are_distributions(self, fitted):
+        model, corpus = fitted
+        assert model.phi_.shape == (4, corpus.vocab_size)
+        np.testing.assert_allclose(model.phi_.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_eta_per_factor_in_unit_interval(self, fitted):
+        model, _ = fitted
+        assert model.eta_.shape == (4,)
+        assert ((model.eta_ >= 0) & (model.eta_ <= 1)).all()
+
+    def test_deterministic_given_seed(self, tiny_corpus):
+        a = PMTLMModel(3, seed=2).fit(tiny_corpus, 5)
+        b = PMTLMModel(3, seed=2).fit(tiny_corpus, 5)
+        np.testing.assert_allclose(a.pi_, b.pi_)
+        np.testing.assert_allclose(a.eta_, b.eta_)
+
+    def test_single_factor_space_couples_text_and_links(self, tiny_corpus):
+        """The defining PMTLM property: removing the links changes the
+        *text-side* factor mixtures too, because they share counters."""
+        with_links = PMTLMModel(3, seed=0).fit(tiny_corpus, 8)
+        no_links = tiny_corpus.subset_links([0])  # nearly no links
+        mostly_text = PMTLMModel(3, seed=0).fit(no_links, 8)
+        assert not np.allclose(with_links.pi_, mostly_text.pi_)
+
+    def test_errors(self, tiny_corpus):
+        with pytest.raises(PMTLMError):
+            PMTLMModel(0)
+        with pytest.raises(PMTLMError):
+            PMTLMModel(3, rho=-1.0)
+        with pytest.raises(PMTLMError):
+            PMTLMModel(3).fit(tiny_corpus, num_iterations=0)
+        with pytest.raises(PMTLMError):
+            PMTLMModel(3).link_score(0, 1)
+
+
+class TestScores:
+    def test_log_post_probability_finite_negative(self, fitted):
+        model, corpus = fitted
+        post = corpus.posts[0]
+        value = model.log_post_probability(post.words, post.author)
+        assert np.isfinite(value) and value < 0
+
+    def test_log_post_probability_rejects_empty(self, fitted):
+        model, _ = fitted
+        with pytest.raises(PMTLMError):
+            model.log_post_probability([], 0)
+
+    def test_link_score_assortative_formula(self, fitted):
+        model, _ = fitted
+        value = model.link_score(0, 1)[0]
+        expected = float((model.pi_[0] * model.pi_[1] * model.eta_).sum())
+        assert value == pytest.approx(expected)
+
+    def test_link_score_vectorised(self, fitted):
+        model, _ = fitted
+        scores = model.link_score(np.array([0, 1, 2]), np.array([3, 4, 5]))
+        assert scores.shape == (3,)
+        assert ((scores >= 0) & (scores <= 1)).all()

@@ -1,0 +1,223 @@
+"""Unit tests for repro.core.prediction (Eqs. 5–7 + time-stamp/link tasks)."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import (
+    DiffusionPredictor,
+    PredictionError,
+    link_probability,
+    post_probability,
+    predict_timestamp,
+    timestamp_scores,
+    top_communities,
+)
+from repro.datasets.corpus import Post
+
+
+class TestTopCommunities:
+    def test_selects_largest_memberships(self):
+        pi_row = np.array([0.1, 0.5, 0.05, 0.3, 0.05])
+        top = set(top_communities(pi_row, 2).tolist())
+        assert top == {1, 3}
+
+    def test_size_clamped_to_dimension(self):
+        pi_row = np.array([0.6, 0.4])
+        assert len(top_communities(pi_row, 10)) == 2
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(PredictionError):
+            top_communities(np.array([1.0]), 0)
+
+
+class TestTopicPosterior:
+    @pytest.fixture()
+    def predictor(self, estimates) -> DiffusionPredictor:
+        return DiffusionPredictor(estimates)
+
+    def test_posterior_is_distribution(self, predictor, tiny_corpus):
+        post = tiny_corpus.posts[0]
+        posterior = predictor.topic_posterior(post.words, post.author)
+        np.testing.assert_allclose(posterior.sum(), 1.0, atol=1e-9)
+        assert (posterior >= 0).all()
+
+    def test_rejects_empty_words(self, predictor):
+        with pytest.raises(PredictionError):
+            predictor.topic_posterior([], author=0)
+
+    def test_rejects_bad_author(self, predictor):
+        with pytest.raises(PredictionError):
+            predictor.topic_posterior([0], author=10_000)
+
+    def test_anchor_words_select_their_topic(self, oracle_estimates, tiny_corpus):
+        """With oracle parameters, a post of pure topic-k anchors must get
+        posterior mass concentrated on topic k."""
+        predictor = DiffusionPredictor(oracle_estimates)
+        anchors_per_topic = 12  # TINY_CONFIG setting
+        for k in range(oracle_estimates.num_topics):
+            words = tuple(range(k * anchors_per_topic, k * anchors_per_topic + 4))
+            posterior = predictor.topic_posterior(words, author=0)
+            assert posterior.argmax() == k
+
+
+class TestDiffusionProbability:
+    @pytest.fixture()
+    def predictor(self, oracle_estimates) -> DiffusionPredictor:
+        return DiffusionPredictor(oracle_estimates)
+
+    def test_probability_nonnegative(self, predictor, tiny_corpus):
+        post = tiny_corpus.posts[0]
+        value = predictor.diffusion_probability(post.author, 1, post.words)
+        assert value >= 0
+
+    def test_equation_seven_composition(self, predictor, tiny_corpus):
+        """diffusion_probability must equal posterior . topic_influence."""
+        post = tiny_corpus.posts[0]
+        source, target = post.author, (post.author + 1) % tiny_corpus.num_users
+        posterior = predictor.topic_posterior(post.words, source)
+        influence = predictor.topic_influence(source, target)
+        expected = float(posterior @ influence)
+        assert predictor.diffusion_probability(
+            source, target, post.words
+        ) == pytest.approx(expected)
+
+    def test_topic_influence_matches_truncated_eq6(self, oracle_estimates):
+        """Eq. (6) restricted to TopComm, computed naively."""
+        predictor = DiffusionPredictor(oracle_estimates, top_comm_size=2)
+        source, target = 0, 1
+        influence = predictor.topic_influence(source, target)
+
+        pi = oracle_estimates.pi
+        src_top = set(top_communities(pi[source], 2).tolist())
+        dst_top = set(top_communities(pi[target], 2).tolist())
+        from repro.core.diffusion import zeta
+
+        z = zeta(oracle_estimates)
+        for k in range(oracle_estimates.num_topics):
+            expected = sum(
+                pi[source, c] * pi[target, c2] * z[k, c, c2]
+                for c in src_top
+                for c2 in dst_top
+            )
+            assert influence[k] == pytest.approx(expected, rel=1e-9)
+
+    def test_score_candidates_matches_pointwise(self, predictor, tiny_corpus):
+        post = tiny_corpus.posts[0]
+        candidates = [1, 2, 3]
+        batch = predictor.score_candidates(post.author, candidates, post.words)
+        for score, candidate in zip(batch, candidates):
+            assert score == pytest.approx(
+                predictor.diffusion_probability(post.author, candidate, post.words)
+            )
+
+    def test_same_community_pairs_score_higher(self, oracle_estimates, tiny_truth):
+        """With assortative planted eta, pairs sharing a dominant community
+        should on average outscore cross-community pairs."""
+        predictor = DiffusionPredictor(oracle_estimates)
+        main = tiny_truth.pi.argmax(axis=1)
+        words = (0, 1, 2)
+        same, cross = [], []
+        for source in range(0, 15):
+            for target in range(15, 30):
+                score = predictor.diffusion_probability(source, target, words)
+                (same if main[source] == main[target] else cross).append(score)
+        assert np.mean(same) > np.mean(cross)
+
+    def test_top_comm_size_affects_profiles(self, oracle_estimates):
+        full = DiffusionPredictor(oracle_estimates, top_comm_size=3)
+        narrow = DiffusionPredictor(oracle_estimates, top_comm_size=1)
+        diff = 0.0
+        for source, target in [(0, 1), (2, 3), (4, 5)]:
+            diff += abs(
+                full.topic_influence(source, target).sum()
+                - narrow.topic_influence(source, target).sum()
+            )
+        assert diff > 0
+
+
+class TestLinkProbability:
+    def test_formula(self, estimates):
+        value = link_probability(estimates, 0, 1)[0]
+        expected = float(estimates.pi[0] @ estimates.eta @ estimates.pi[1])
+        assert value == pytest.approx(expected)
+
+    def test_vectorised_matches_scalar(self, estimates):
+        sources = np.array([0, 1, 2])
+        targets = np.array([3, 4, 5])
+        batch = link_probability(estimates, sources, targets)
+        for idx in range(3):
+            single = link_probability(estimates, sources[idx], targets[idx])[0]
+            assert batch[idx] == pytest.approx(single)
+
+    def test_mismatched_shapes_raise(self, estimates):
+        with pytest.raises(PredictionError):
+            link_probability(estimates, np.array([0, 1]), np.array([2]))
+
+    def test_probabilities_in_unit_interval(self, estimates):
+        values = link_probability(
+            estimates, np.arange(10), np.arange(10, 20)
+        )
+        assert ((values >= 0) & (values <= 1)).all()
+
+    def test_oracle_separates_linked_pairs(self, oracle_estimates, tiny_corpus):
+        links = tiny_corpus.link_array()
+        positives = link_probability(
+            oracle_estimates, links[:, 0], links[:, 1]
+        ).mean()
+        rng = np.random.default_rng(0)
+        neg_src = rng.integers(tiny_corpus.num_users, size=200)
+        neg_dst = rng.integers(tiny_corpus.num_users, size=200)
+        negatives = link_probability(oracle_estimates, neg_src, neg_dst).mean()
+        assert positives > negatives
+
+
+class TestTimestampPrediction:
+    def test_scores_cover_grid(self, estimates, tiny_corpus):
+        post = tiny_corpus.posts[0]
+        scores = timestamp_scores(estimates, post)
+        assert scores.shape == (tiny_corpus.num_time_slices,)
+        assert (scores >= 0).all()
+
+    def test_prediction_is_argmax(self, estimates, tiny_corpus):
+        post = tiny_corpus.posts[5]
+        assert predict_timestamp(estimates, post) == int(
+            timestamp_scores(estimates, post).argmax()
+        )
+
+    def test_oracle_beats_chance(self, oracle_estimates, tiny_corpus):
+        hits = 0
+        n = min(100, tiny_corpus.num_posts)
+        for post in tiny_corpus.posts[:n]:
+            if abs(predict_timestamp(oracle_estimates, post) - post.timestamp) <= 1:
+                hits += 1
+        chance = 3 / tiny_corpus.num_time_slices  # +-1 tolerance window
+        assert hits / n > chance
+
+
+class TestPostProbability:
+    def test_log_space_value_is_finite_negative(self, estimates, tiny_corpus):
+        post = tiny_corpus.posts[0]
+        value = post_probability(estimates, post.words, post.author)
+        assert np.isfinite(value)
+        assert value < 0
+
+    def test_monotone_in_post_length(self, estimates):
+        """Longer posts (more factors < 1) have lower log probability."""
+        short = post_probability(estimates, (0,), 0)
+        long = post_probability(estimates, (0, 1, 2, 3, 4), 0)
+        assert long < short
+
+    def test_empty_post_raises(self, estimates):
+        with pytest.raises(PredictionError):
+            post_probability(estimates, [], 0)
+
+    def test_matches_direct_mixture_computation(self, oracle_estimates):
+        words = [0, 5, 9]
+        value = post_probability(oracle_estimates, words, 2)
+        direct = 0.0
+        e = oracle_estimates
+        for c in range(e.num_communities):
+            for k in range(e.num_topics):
+                prod = np.prod([e.phi[k, w] for w in words])
+                direct += e.pi[2, c] * e.theta[c, k] * prod
+        assert value == pytest.approx(np.log(direct), rel=1e-9)

@@ -1,0 +1,108 @@
+"""Additional property-based tests: estimates, predictions, metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimates import ParameterEstimates, estimate_from_state
+from repro.core.params import Hyperparameters
+from repro.core.prediction import link_probability, top_communities
+from repro.core.state import CountState
+from repro.core.diffusion import zeta
+from repro.eval.clustering import (
+    best_matching_accuracy,
+    normalized_mutual_information,
+)
+from tests.test_properties import corpora
+
+
+@st.composite
+def random_estimates(draw) -> ParameterEstimates:
+    """Valid random ParameterEstimates of small dimensions."""
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=10_000)))
+    U = draw(st.integers(min_value=2, max_value=6))
+    C = draw(st.integers(min_value=1, max_value=4))
+    K = draw(st.integers(min_value=1, max_value=4))
+    T = draw(st.integers(min_value=1, max_value=5))
+    V = draw(st.integers(min_value=2, max_value=8))
+    return ParameterEstimates(
+        pi=rng.dirichlet(np.ones(C), size=U),
+        theta=rng.dirichlet(np.ones(K), size=C),
+        phi=rng.dirichlet(np.ones(V), size=K),
+        psi=rng.dirichlet(np.ones(T), size=(K, C)),
+        eta=rng.uniform(0, 1, size=(C, C)),
+    )
+
+
+@given(random_estimates())
+@settings(max_examples=40, deadline=None)
+def test_random_estimates_validate(estimates):
+    estimates.validate()
+
+
+@given(random_estimates())
+@settings(max_examples=40, deadline=None)
+def test_zeta_bounded_by_eta(estimates):
+    """zeta = theta * theta * eta with theta in [0,1] => zeta <= eta."""
+    tensor = zeta(estimates)
+    assert (tensor >= 0).all()
+    assert (tensor <= estimates.eta[None, :, :] + 1e-12).all()
+
+
+@given(random_estimates())
+@settings(max_examples=40, deadline=None)
+def test_link_probability_is_convex_combination_of_eta(estimates):
+    """P(i->i') is a pi-weighted average of eta entries, hence bounded by
+    eta's extremes."""
+    U = estimates.num_users
+    sources = np.arange(U)
+    targets = (sources + 1) % U
+    values = link_probability(estimates, sources, targets)
+    assert (values >= estimates.eta.min() - 1e-12).all()
+    assert (values <= estimates.eta.max() + 1e-12).all()
+
+
+@given(random_estimates(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_top_communities_contains_argmax(estimates, size):
+    for user in range(estimates.num_users):
+        top = top_communities(estimates.pi[user], size)
+        assert int(estimates.pi[user].argmax()) in set(int(c) for c in top)
+
+
+@given(corpora(), st.integers(min_value=1, max_value=3), st.integers(min_value=1, max_value=3))
+@settings(max_examples=20, deadline=None)
+def test_estimate_from_any_state_validates(corpus, C, K):
+    rng = np.random.default_rng(0)
+    state = CountState.initialize(corpus, C, K, rng)
+    hp = Hyperparameters(
+        rho=0.5, alpha=0.5, beta=0.01, epsilon=0.01, lambda0=1.0, lambda1=0.1
+    )
+    estimate_from_state(state, hp).validate()
+
+
+labels = st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=60)
+
+
+@given(labels)
+def test_nmi_reflexive(label_list):
+    array = np.asarray(label_list)
+    assert abs(normalized_mutual_information(array, array) - 1.0) < 1e-9
+
+
+@given(labels, st.permutations(list(range(5))))
+def test_nmi_invariant_under_relabelling(label_list, permutation):
+    array = np.asarray(label_list)
+    relabelled = np.asarray([permutation[v] for v in label_list])
+    assert abs(normalized_mutual_information(relabelled, array) - 1.0) < 1e-9
+
+
+@given(labels, labels)
+def test_matching_accuracy_bounds(a, b):
+    n = min(len(a), len(b))
+    x = np.asarray(a[:n])
+    y = np.asarray(b[:n])
+    value = best_matching_accuracy(x, y)
+    assert 0.0 < value <= 1.0
+    # Reflexivity: a partition matched against itself is perfect.
+    assert best_matching_accuracy(y, y) == 1.0

@@ -1,0 +1,86 @@
+"""Unit tests for repro.report and the `cold report` CLI subcommand."""
+
+import pytest
+
+from repro.report import ReportError, build_report
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report(self, estimates, tiny_corpus):
+        # class-scoped fixtures cannot depend on session-scoped model
+        # directly through pytest's cache here, so rebuild lazily.
+        return build_report(estimates, tiny_corpus, num_simulations=30)
+
+    def test_contains_every_section(self, report):
+        for section in (
+            "COLD analysis report",
+            "Corpus",
+            "Topics (Fig. 8)",
+            "Communities",
+            "Community-level diffusion",
+            "Fluctuation vs interest",
+            "Popularity time lag",
+            "Influential communities",
+        ):
+            assert section in report, f"missing section {section!r}"
+
+    def test_mentions_every_topic_and_community(self, report, estimates):
+        for k in range(estimates.num_topics):
+            assert f"topic {k}" in report
+        for c in range(estimates.num_communities):
+            assert f"C{c}" in report
+
+    def test_corpus_statistics_present(self, report, tiny_corpus):
+        assert str(tiny_corpus.num_posts) in report
+        assert str(tiny_corpus.num_users) in report
+
+    def test_explicit_topic_focus(self, estimates, tiny_corpus):
+        report = build_report(estimates, tiny_corpus, topic=1, num_simulations=20)
+        assert "diffusion of topic 1" in report
+
+    def test_invalid_arguments(self, estimates, tiny_corpus):
+        with pytest.raises(ReportError):
+            build_report(estimates, tiny_corpus, topic=99)
+        with pytest.raises(ReportError):
+            build_report(estimates, tiny_corpus, words_per_topic=0)
+
+    def test_vocab_mismatch_rejected(self, estimates, hand_corpus):
+        with pytest.raises(ReportError):
+            build_report(estimates, hand_corpus)
+
+
+class TestReportCLI:
+    @pytest.fixture()
+    def trained(self, tmp_path):
+        from repro.cli import main
+
+        corpus_path = tmp_path / "c.jsonl"
+        model_path = tmp_path / "m"
+        assert main(
+            ["generate", str(corpus_path), "--users", "25", "--communities",
+             "3", "--topics", "4", "--time-slices", "6", "--vocab", "100"]
+        ) == 0
+        assert main(
+            ["train", str(corpus_path), str(model_path), "--communities",
+             "3", "--topics", "4", "--iterations", "10"]
+        ) == 0
+        return corpus_path, model_path
+
+    def test_report_to_stdout(self, trained, capsys):
+        from repro.cli import main
+
+        corpus_path, model_path = trained
+        assert main(["report", str(model_path), str(corpus_path)]) == 0
+        out = capsys.readouterr().out
+        assert "COLD analysis report" in out
+
+    def test_report_to_file(self, trained, tmp_path):
+        from repro.cli import main
+
+        corpus_path, model_path = trained
+        output = tmp_path / "out" / "report.txt"
+        assert main(
+            ["report", str(model_path), str(corpus_path), "--output", str(output)]
+        ) == 0
+        assert "Influential communities" in output.read_text()

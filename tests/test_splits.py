@@ -1,0 +1,125 @@
+"""Unit tests for repro.datasets.splits (the §6.2–6.3 CV protocols)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import (
+    SplitError,
+    link_splits,
+    post_splits,
+    sample_negative_links,
+)
+
+
+class TestPostSplits:
+    def test_folds_partition_posts(self, tiny_corpus):
+        splits = post_splits(tiny_corpus, num_folds=5, seed=0)
+        assert len(splits) == 5
+        total_test = sum(s.test.num_posts for s in splits)
+        assert total_test == tiny_corpus.num_posts
+        for s in splits:
+            assert s.train.num_posts + s.test.num_posts == tiny_corpus.num_posts
+
+    def test_test_sets_are_disjoint_across_folds(self, tiny_corpus):
+        splits = post_splits(tiny_corpus, num_folds=4, seed=0)
+        seen: set[tuple] = set()
+        for s in splits:
+            keys = {
+                (p.author, p.words, p.timestamp, idx)
+                for idx, p in enumerate(s.test.posts)
+            }
+            # Posts can collide in content; compare via counts instead.
+        counts = [s.test.num_posts for s in splits]
+        assert min(counts) > 0
+
+    def test_stratified_by_time_slice(self, tiny_corpus):
+        """Every fold's train set must keep posts in (almost) every slice
+        that has enough posts — the §6.2 'at each time interval' rule."""
+        splits = post_splits(tiny_corpus, num_folds=5, seed=0)
+        slice_counts = np.bincount(
+            tiny_corpus.timestamps(), minlength=tiny_corpus.num_time_slices
+        )
+        rich_slices = np.where(slice_counts >= 5)[0]
+        for s in splits:
+            train_slices = set(int(p.timestamp) for p in s.train.posts)
+            assert set(int(x) for x in rich_slices) <= train_slices
+
+    def test_links_kept_in_both_sides(self, tiny_corpus):
+        split = post_splits(tiny_corpus, num_folds=5, seed=0)[0]
+        assert split.train.links == tiny_corpus.links
+        assert split.test.links == tiny_corpus.links
+
+    def test_deterministic_given_seed(self, tiny_corpus):
+        a = post_splits(tiny_corpus, num_folds=3, seed=4)[0]
+        b = post_splits(tiny_corpus, num_folds=3, seed=4)[0]
+        assert a.test.posts == b.test.posts
+
+    def test_rejects_single_fold(self, tiny_corpus):
+        with pytest.raises(SplitError):
+            post_splits(tiny_corpus, num_folds=1)
+
+
+class TestSampleNegativeLinks:
+    def test_samples_are_non_links(self, tiny_corpus, rng):
+        negatives = sample_negative_links(tiny_corpus, 50, rng)
+        positives = tiny_corpus.link_set()
+        assert len(negatives) == 50
+        for pair in negatives:
+            assert pair not in positives
+            assert pair[0] != pair[1]
+
+    def test_samples_are_unique(self, tiny_corpus, rng):
+        negatives = sample_negative_links(tiny_corpus, 40, rng)
+        assert len(set(negatives)) == 40
+
+    def test_zero_request_returns_empty(self, tiny_corpus, rng):
+        assert sample_negative_links(tiny_corpus, 0, rng) == []
+
+    def test_impossible_request_raises(self, rng):
+        from tests.conftest import make_corpus
+        from repro.datasets.corpus import Post
+
+        corpus = make_corpus(
+            [Post(author=0, words=(0,), timestamp=0)],
+            [(0, 1), (1, 0)],
+            num_users=2,
+        )
+        with pytest.raises(SplitError):
+            sample_negative_links(corpus, 5, rng)
+
+
+class TestLinkSplits:
+    def test_held_out_links_partition_positives(self, tiny_corpus):
+        splits = link_splits(tiny_corpus, num_folds=5, seed=0)
+        held = [link for s in splits for link in s.held_out_links]
+        assert sorted(held) == sorted(tiny_corpus.links)
+
+    def test_train_excludes_held_out(self, tiny_corpus):
+        for s in link_splits(tiny_corpus, num_folds=4, seed=0):
+            train_set = set(s.train.links)
+            assert not (train_set & set(s.held_out_links))
+
+    def test_negatives_disjoint_from_all_positives(self, tiny_corpus):
+        positives = tiny_corpus.link_set()
+        for s in link_splits(tiny_corpus, num_folds=4, seed=0):
+            assert not (set(s.negative_links) & positives)
+
+    def test_negative_count_floor(self, tiny_corpus):
+        """With the paper's 1% fraction on tiny graphs, the floor keeps at
+        least as many negatives as held-out positives."""
+        for s in link_splits(tiny_corpus, num_folds=4, seed=0):
+            assert len(s.negative_links) >= len(s.held_out_links)
+
+    def test_posts_preserved(self, tiny_corpus):
+        split = link_splits(tiny_corpus, num_folds=4, seed=0)[0]
+        assert split.train.num_posts == tiny_corpus.num_posts
+
+    def test_rejects_more_folds_than_links(self):
+        from tests.conftest import make_corpus
+        from repro.datasets.corpus import Post
+
+        corpus = make_corpus(
+            [Post(author=0, words=(0,), timestamp=0)], [(0, 1)], num_users=3
+        )
+        with pytest.raises(SplitError):
+            link_splits(corpus, num_folds=2)

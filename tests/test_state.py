@@ -1,0 +1,116 @@
+"""Unit tests for repro.core.state (Gibbs counters and bookkeeping)."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import CountState, PostTable, StateError
+
+
+@pytest.fixture()
+def state(hand_corpus, rng) -> CountState:
+    return CountState.initialize(hand_corpus, num_communities=3, num_topics=2, rng=rng)
+
+
+class TestPostTable:
+    def test_struct_of_arrays_shapes(self, hand_corpus):
+        table = PostTable.from_corpus(hand_corpus)
+        assert len(table) == hand_corpus.num_posts
+        assert table.lengths.sum() == hand_corpus.num_words
+
+    def test_words_of_reconstructs_multiset(self, hand_corpus):
+        table = PostTable.from_corpus(hand_corpus)
+        for p, post in enumerate(hand_corpus.posts):
+            words, counts = table.words_of(p)
+            assert dict(zip(words.tolist(), counts.tolist())) == post.word_counts()
+
+    def test_authors_and_times(self, hand_corpus):
+        table = PostTable.from_corpus(hand_corpus)
+        assert table.authors.tolist() == [p.author for p in hand_corpus.posts]
+        assert table.times.tolist() == [p.timestamp for p in hand_corpus.posts]
+
+
+class TestInitialize:
+    def test_counters_match_recount_after_init(self, state):
+        state.check_invariants()
+
+    def test_count_totals(self, state, hand_corpus):
+        assert state.n_comm_topic.sum() == hand_corpus.num_posts
+        assert state.n_topic_total.sum() == hand_corpus.num_words
+        assert state.n_link_comm.sum() == hand_corpus.num_links
+        # posts + 2 endpoints per link
+        assert state.n_user_comm.sum() == hand_corpus.num_posts + 2 * hand_corpus.num_links
+
+    def test_without_network(self, hand_corpus, rng):
+        state = CountState.initialize(
+            hand_corpus, 3, 2, rng, include_network=False
+        )
+        assert state.num_links == 0
+        assert state.n_link_comm.sum() == 0
+        state.check_invariants()
+
+    def test_rejects_bad_dimensions(self, hand_corpus, rng):
+        with pytest.raises(StateError):
+            CountState.initialize(hand_corpus, 0, 2, rng)
+
+
+class TestPostBookkeeping:
+    def test_remove_then_add_restores_state(self, state):
+        before = {
+            name: getattr(state, name).copy()
+            for name in ("n_user_comm", "n_comm_topic", "n_comm_topic_time",
+                         "n_topic_word", "n_topic_total")
+        }
+        c, k = state.remove_post(0)
+        state.add_post(0, c, k)
+        for name, expected in before.items():
+            np.testing.assert_array_equal(getattr(state, name), expected)
+
+    def test_remove_returns_current_assignment(self, state):
+        expected = (int(state.post_comm[2]), int(state.post_topic[2]))
+        assert state.remove_post(2) == expected
+        state.add_post(2, *expected)
+
+    def test_reassignment_moves_counts(self, state):
+        c, k = state.remove_post(1)
+        new_c, new_k = (c + 1) % 3, (k + 1) % 2
+        state.add_post(1, new_c, new_k)
+        state.check_invariants()
+        assert state.post_comm[1] == new_c
+        assert state.post_topic[1] == new_k
+
+    def test_word_counts_follow_topic(self, state, hand_corpus):
+        post = 3  # words (5, 5, 5)
+        c, k = state.remove_post(post)
+        other = (k + 1) % 2
+        before = state.n_topic_word[other, 5]
+        state.add_post(post, c, other)
+        assert state.n_topic_word[other, 5] == before + 3
+
+
+class TestLinkBookkeeping:
+    def test_remove_then_add_restores_state(self, state):
+        before_user = state.n_user_comm.copy()
+        before_link = state.n_link_comm.copy()
+        c, c2 = state.remove_link(0)
+        state.add_link(0, c, c2)
+        np.testing.assert_array_equal(state.n_user_comm, before_user)
+        np.testing.assert_array_equal(state.n_link_comm, before_link)
+
+    def test_reassignment_updates_both_endpoints(self, state):
+        c, c2 = state.remove_link(1)
+        state.add_link(1, (c + 1) % 3, (c2 + 2) % 3)
+        state.check_invariants()
+
+
+class TestInvariantChecking:
+    def test_detects_corrupted_counter(self, state):
+        state.n_comm_topic[0, 0] += 1
+        with pytest.raises(StateError, match="n_comm_topic"):
+            state.check_invariants()
+
+    def test_detects_negative_counts(self, state):
+        # Remove the same post twice -> negative counters somewhere.
+        state.remove_post(0)
+        state.post_comm[0] = state.post_comm[0]  # assignment unchanged
+        with pytest.raises(StateError):
+            state.check_invariants()

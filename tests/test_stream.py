@@ -1,0 +1,108 @@
+"""Unit tests for repro.datasets.stream (streaming corpus ingestion)."""
+
+import pytest
+
+from repro.datasets.stream import CorpusStreamBuilder, StreamError
+
+
+@pytest.fixture()
+def builder() -> CorpusStreamBuilder:
+    return CorpusStreamBuilder(num_time_slices=4)
+
+
+class TestIngestion:
+    def test_counts_events(self, builder):
+        builder.add_post("alice", ["hello", "world"], time=0.0)
+        builder.add_link("alice", "bob", time=1.0)
+        assert builder.num_events == 2
+
+    def test_stopwords_removed(self):
+        builder = CorpusStreamBuilder(stopwords=["the"])
+        builder.add_post("alice", ["the", "game"], time=0.0)
+        corpus = builder.build()
+        assert corpus.vocabulary is not None
+        assert "the" not in corpus.vocabulary
+        assert "game" in corpus.vocabulary
+
+    def test_empty_after_stopwords_post_dropped(self):
+        builder = CorpusStreamBuilder(stopwords=["the"])
+        builder.add_post("alice", ["the"], time=0.0)
+        builder.add_post("alice", ["game"], time=0.0)
+        assert builder.build().num_posts == 1
+
+    def test_self_links_dropped(self, builder):
+        builder.add_post("alice", ["x"], time=0.0)
+        builder.add_link("alice", "alice", time=0.0)
+        assert builder.build().num_links == 0
+
+    def test_invalid_events_raise(self, builder):
+        with pytest.raises(StreamError):
+            builder.add_post("", ["x"], time=0.0)
+        with pytest.raises(StreamError):
+            builder.add_link("", "bob", time=0.0)
+
+
+class TestBuild:
+    def test_user_interning_first_activity_order(self, builder):
+        builder.add_post("carol", ["a"], time=0.0)
+        builder.add_post("alice", ["b"], time=1.0)
+        corpus = builder.build()
+        # carol posted first -> user 0; alice -> user 1.
+        assert corpus.posts[0].author == 0
+        assert corpus.posts[1].author == 1
+
+    def test_time_discretisation_spans_grid(self, builder):
+        builder.add_post("u", ["a"], time=100.0)
+        builder.add_post("u", ["b"], time=101.0)
+        builder.add_post("u", ["c"], time=103.9)
+        corpus = builder.build()
+        stamps = [p.timestamp for p in corpus.posts]
+        assert min(stamps) == 0
+        assert max(stamps) == corpus.num_time_slices - 1
+
+    def test_single_time_point_is_valid(self, builder):
+        builder.add_post("u", ["a"], time=5.0)
+        corpus = builder.build()
+        assert corpus.posts[0].timestamp == 0
+
+    def test_low_activity_filter_removes_users_posts_and_links(self):
+        builder = CorpusStreamBuilder(num_time_slices=2, min_posts_per_user=2)
+        builder.add_post("active", ["a"], time=0.0)
+        builder.add_post("active", ["b"], time=1.0)
+        builder.add_post("lurker", ["c"], time=0.5)
+        builder.add_link("active", "lurker", time=0.5)
+        corpus = builder.build()
+        assert corpus.num_users == 1
+        assert corpus.num_posts == 2
+        assert corpus.num_links == 0
+
+    def test_filter_everything_raises(self):
+        builder = CorpusStreamBuilder(min_posts_per_user=5)
+        builder.add_post("u", ["a"], time=0.0)
+        with pytest.raises(StreamError):
+            builder.build()
+
+    def test_empty_stream_raises(self, builder):
+        with pytest.raises(StreamError):
+            builder.build()
+
+    def test_built_corpus_is_trainable(self, builder):
+        """End-to-end: a streamed corpus feeds straight into COLD."""
+        from repro.core.model import COLDModel
+
+        words = ["alpha", "beta", "gamma", "delta"]
+        for i in range(30):
+            builder.add_post(f"user{i % 5}", [words[i % 4], words[(i + 1) % 4]], time=float(i))
+        builder.add_link("user0", "user1", time=3.0)
+        builder.add_link("user1", "user2", time=4.0)
+        corpus = builder.build()
+        model = COLDModel(2, 2, prior="scaled", seed=0).fit(
+            corpus, num_iterations=5
+        )
+        assert model.fitted
+
+    def test_validation_of_builder_settings(self):
+        with pytest.raises(StreamError):
+            CorpusStreamBuilder(num_time_slices=0)
+        with pytest.raises(StreamError):
+            CorpusStreamBuilder(min_posts_per_user=0)

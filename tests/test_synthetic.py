@@ -1,0 +1,180 @@
+"""Unit tests for repro.datasets.synthetic (the planted COLD generator)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    GroundTruth,
+    SyntheticConfig,
+    SyntheticError,
+    benchmark_world,
+    dataset1,
+    dataset2,
+    generate_corpus,
+    plant_parameters,
+)
+
+
+class TestConfigValidation:
+    def test_default_config_is_valid(self):
+        SyntheticConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_users", 0),
+            ("num_communities", 0),
+            ("num_topics", -1),
+            ("num_time_slices", 0),
+            ("vocab_size", 0),
+            ("mean_posts_per_user", 0.0),
+            ("membership_concentration", -0.1),
+            ("temporal_width", 0.0),
+        ],
+    )
+    def test_rejects_nonpositive_fields(self, field, value):
+        from dataclasses import replace
+
+        config = replace(SyntheticConfig(), **{field: value})
+        with pytest.raises(SyntheticError):
+            config.validate()
+
+    def test_rejects_anchor_overflow(self):
+        config = SyntheticConfig(vocab_size=10, num_topics=4, anchors_per_topic=5)
+        with pytest.raises(SyntheticError):
+            config.validate()
+
+    def test_rejects_bad_eta_ranges(self):
+        config = SyntheticConfig(eta_within=1.5)
+        with pytest.raises(SyntheticError):
+            config.validate()
+
+
+class TestPlantedParameters:
+    @pytest.fixture()
+    def truth(self) -> GroundTruth:
+        config = SyntheticConfig(seed=5)
+        return plant_parameters(config, np.random.default_rng(5))
+
+    def test_pi_rows_are_distributions(self, truth):
+        np.testing.assert_allclose(truth.pi.sum(axis=1), 1.0, atol=1e-9)
+        assert (truth.pi >= 0).all()
+
+    def test_theta_rows_are_distributions(self, truth):
+        np.testing.assert_allclose(truth.theta.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_phi_rows_are_distributions(self, truth):
+        np.testing.assert_allclose(truth.phi.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_psi_rows_are_distributions(self, truth):
+        np.testing.assert_allclose(truth.psi.sum(axis=2), 1.0, atol=1e-9)
+
+    def test_eta_in_unit_interval_and_assortative(self, truth):
+        assert ((truth.eta > 0) & (truth.eta <= 1)).all()
+        off_diag = truth.eta[~np.eye(truth.eta.shape[0], dtype=bool)]
+        assert np.diag(truth.eta).min() > off_diag.max()
+
+    def test_anchor_words_dominate_their_topic(self, truth):
+        config = SyntheticConfig(seed=5)
+        anchors = config.anchors_per_topic
+        for k in range(config.num_topics):
+            block = truth.phi[k, k * anchors : (k + 1) * anchors].sum()
+            assert block > 0.4  # anchor_strength mass stays in the block
+
+    def test_zeta_shape_and_formula(self, truth):
+        zeta = truth.zeta()
+        K, C = truth.num_topics, truth.num_communities
+        assert zeta.shape == (K, C, C)
+        np.testing.assert_allclose(
+            zeta[1, 0, 2], truth.theta[0, 1] * truth.theta[2, 1] * truth.eta[0, 2]
+        )
+
+
+class TestGenerateCorpus:
+    def test_deterministic_given_seed(self):
+        c1, t1 = generate_corpus(SyntheticConfig(seed=9))
+        c2, t2 = generate_corpus(SyntheticConfig(seed=9))
+        assert c1.posts == c2.posts
+        assert c1.links == c2.links
+        np.testing.assert_array_equal(t1.pi, t2.pi)
+
+    def test_seed_override_changes_output(self):
+        c1, _ = generate_corpus(SyntheticConfig(seed=1))
+        c2, _ = generate_corpus(SyntheticConfig(seed=1), seed=2)
+        assert c1.posts != c2.posts
+
+    def test_every_user_has_at_least_one_post(self, tiny_corpus):
+        authored = {post.author for post in tiny_corpus.posts}
+        assert authored == set(range(tiny_corpus.num_users))
+
+    def test_post_latents_recorded_and_aligned(self, tiny_corpus, tiny_truth):
+        assert len(tiny_truth.post_communities) == tiny_corpus.num_posts
+        assert len(tiny_truth.post_topics) == tiny_corpus.num_posts
+        assert tiny_truth.post_communities.max() < tiny_truth.num_communities
+        assert tiny_truth.post_topics.max() < tiny_truth.num_topics
+
+    def test_links_are_valid_and_sparse(self, tiny_corpus):
+        assert tiny_corpus.num_links > 0
+        assert tiny_corpus.num_links < tiny_corpus.num_users * (
+            tiny_corpus.num_users - 1
+        )
+
+    def test_links_respect_block_structure(self):
+        """Within-community links should dominate under assortative eta."""
+        config = SyntheticConfig(
+            num_users=120, mean_links_per_user=8, membership_concentration=0.05,
+            seed=13,
+        )
+        corpus, truth = generate_corpus(config)
+        main = truth.pi.argmax(axis=1)
+        within = sum(1 for s, d in corpus.links if main[s] == main[d])
+        assert within / corpus.num_links > 0.5
+
+    def test_timestamps_follow_planted_psi(self):
+        """Posts of a (k, c) pair should concentrate where psi_kc does."""
+        config = SyntheticConfig(seed=21, max_temporal_modes=1, temporal_floor=0.01)
+        corpus, truth = generate_corpus(config)
+        times = corpus.timestamps()
+        for k in range(truth.num_topics):
+            for c in range(truth.num_communities):
+                mask = (truth.post_topics == k) & (truth.post_communities == c)
+                if mask.sum() < 10:
+                    continue
+                peak = truth.psi[k, c].argmax()
+                spread = np.abs(times[mask] - peak).mean()
+                assert spread < corpus.num_time_slices / 2
+
+    def test_themed_vocabulary_has_readable_anchor_tokens(self):
+        config = SyntheticConfig(themed=True, seed=2)
+        corpus, _ = generate_corpus(config)
+        assert corpus.vocabulary is not None
+        first_anchor = corpus.vocabulary.token_of(0)
+        assert not first_anchor.startswith("term")
+
+    def test_generic_vocabulary_tokens(self):
+        corpus, _ = generate_corpus(SyntheticConfig(seed=2))
+        assert corpus.vocabulary is not None
+        assert corpus.vocabulary.token_of(0) == "term00000"
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(SyntheticError):
+            generate_corpus(SyntheticConfig(num_users=1))
+
+
+class TestPresets:
+    def test_dataset1_statistics(self):
+        corpus, truth = dataset1(scale=0.3)
+        assert corpus.num_users >= 20
+        assert corpus.num_posts > corpus.num_users  # many posts per user
+        assert truth.num_communities == 6
+
+    def test_dataset2_is_sparser_than_dataset1(self):
+        c1, _ = dataset1(scale=0.3)
+        c2, _ = dataset2(scale=0.3)
+        assert c2.num_users > c1.num_users
+        assert c2.num_posts / c2.num_users < c1.num_posts / c1.num_users
+
+    def test_benchmark_world_overrides(self):
+        corpus, truth = benchmark_world(seed=1, num_users=40)
+        assert corpus.num_users == 40
+        assert truth.num_communities == 4

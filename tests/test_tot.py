@@ -1,0 +1,125 @@
+"""Unit tests for repro.baselines.tot (Topics over Time)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tot import (
+    TOTError,
+    TOTModel,
+    moment_match_beta,
+    normalise_timestamp,
+)
+from repro.datasets.corpus import Post, SocialCorpus
+
+
+class TestNormaliseTimestamp:
+    def test_maps_into_open_unit_interval(self):
+        assert 0 < normalise_timestamp(0, 10) < 1
+        assert 0 < normalise_timestamp(9, 10) < 1
+
+    def test_midpoints(self):
+        assert normalise_timestamp(0, 2) == pytest.approx(0.25)
+        assert normalise_timestamp(1, 2) == pytest.approx(0.75)
+
+    def test_monotone(self):
+        values = [normalise_timestamp(t, 8) for t in range(8)]
+        assert values == sorted(values)
+
+
+class TestMomentMatchBeta:
+    def test_recovers_symmetric_beta(self):
+        rng = np.random.default_rng(0)
+        samples = rng.beta(5.0, 5.0, size=20_000)
+        a, b = moment_match_beta(samples)
+        assert a == pytest.approx(5.0, rel=0.15)
+        assert b == pytest.approx(5.0, rel=0.15)
+
+    def test_recovers_skewed_beta(self):
+        rng = np.random.default_rng(1)
+        samples = rng.beta(2.0, 8.0, size=20_000)
+        a, b = moment_match_beta(samples)
+        assert a / (a + b) == pytest.approx(0.2, abs=0.02)
+
+    def test_empty_samples_fall_back_to_uniform(self):
+        assert moment_match_beta(np.array([])) == (1.0, 1.0)
+
+    def test_degenerate_samples_do_not_crash(self):
+        a, b = moment_match_beta(np.full(10, 0.5))
+        assert a > 0 and b > 0
+
+    def test_parameters_capped(self):
+        samples = np.array([0.5, 0.5000001, 0.4999999] * 100)
+        a, b = moment_match_beta(samples)
+        assert a <= 1e3 and b <= 1e3
+
+
+class TestTOTFit:
+    @pytest.fixture(scope="class")
+    def temporal_corpus(self) -> SocialCorpus:
+        """Two topics with disjoint words AND disjoint time ranges."""
+        posts = []
+        for i in range(60):
+            if i % 2 == 0:
+                posts.append(Post(author=0, words=(0, 1, 2), timestamp=i % 5))
+            else:
+                posts.append(Post(author=0, words=(6, 7, 8), timestamp=15 + i % 5))
+        return SocialCorpus(
+            num_users=1, num_time_slices=20, posts=posts, vocab_size=9
+        )
+
+    @pytest.fixture(scope="class")
+    def fitted(self, temporal_corpus) -> TOTModel:
+        return TOTModel(num_topics=2, alpha=0.1, seed=0).fit(
+            temporal_corpus, num_iterations=30
+        )
+
+    def test_phi_distributions(self, fitted):
+        np.testing.assert_allclose(fitted.phi_.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_separates_temporal_word_blocks(self, fitted):
+        block_early = fitted.phi_[:, :3].sum(axis=1)
+        assert block_early.max() > 0.9
+        assert block_early.min() < 0.1
+
+    def test_beta_densities_reflect_time_ranges(self, fitted):
+        psi = fitted.temporal_distribution()
+        assert psi.shape == (2, 20)
+        np.testing.assert_allclose(psi.sum(axis=1), 1.0, atol=1e-9)
+        early_topic = int(fitted.phi_[:, 0].argmax())
+        late_topic = 1 - early_topic
+        assert psi[early_topic, :8].sum() > 0.8
+        assert psi[late_topic, 12:].sum() > 0.8
+
+    def test_timestamp_prediction_uses_time_structure(self, fitted, temporal_corpus):
+        early_post = Post(author=0, words=(0, 1, 2), timestamp=0)
+        late_post = Post(author=0, words=(6, 7, 8), timestamp=19)
+        assert fitted.predict_timestamp(early_post) < 10
+        assert fitted.predict_timestamp(late_post) >= 10
+
+    def test_timestamp_scores_cover_grid(self, fitted, temporal_corpus):
+        scores = fitted.timestamp_scores(temporal_corpus.posts[0])
+        assert scores.shape == (20,)
+        assert (scores >= 0).all()
+
+    def test_topic_proportions_sum_to_one(self, fitted):
+        np.testing.assert_allclose(fitted.topic_proportions().sum(), 1.0, atol=1e-9)
+
+    def test_unimodality_limitation(self, fitted):
+        """TOT's Beta density is unimodal (the §3.3 criticism): its
+        discretised psi has a single interior local maximum region."""
+        psi = fitted.temporal_distribution()
+        for k in range(2):
+            row = psi[k]
+            rises = np.flatnonzero(np.diff(row) > 1e-12)
+            falls = np.flatnonzero(np.diff(row) < -1e-12)
+            # All rises happen before all falls for a unimodal curve.
+            if rises.size and falls.size:
+                assert rises.max() <= falls.min() or rises.min() >= falls.max()
+
+    def test_errors(self, temporal_corpus):
+        with pytest.raises(TOTError):
+            TOTModel(0)
+        with pytest.raises(TOTError):
+            TOTModel(2).fit(temporal_corpus, num_iterations=0)
+        with pytest.raises(TOTError):
+            TOTModel(2).predict_timestamp(temporal_corpus.posts[0])

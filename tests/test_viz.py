@@ -1,0 +1,112 @@
+"""Unit tests for repro.viz (ASCII figure renderings)."""
+
+import numpy as np
+import pytest
+
+from repro.core.diffusion import extract_diffusion_graph
+from repro.core.influence import community_influence, pentagon_embedding
+from repro.viz import (
+    VizError,
+    bar_chart,
+    curve_table,
+    diffusion_graph_summary,
+    pentagon_summary,
+    sparkline,
+    word_cloud,
+)
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_constant_series_is_flat(self):
+        line = sparkline([5.0] * 6)
+        assert len(set(line)) == 1
+
+    def test_peak_gets_highest_glyph(self):
+        line = sparkline([0, 0, 10, 0])
+        assert line[2] == "@"
+
+    def test_width_resampling(self):
+        line = sparkline(np.arange(100), width=10)
+        assert len(line) == 10
+
+    def test_monotone_series_has_monotone_glyphs(self):
+        levels = " .:-=+*#%@"
+        line = sparkline(np.arange(10))
+        indices = [levels.index(ch) for ch in line]
+        assert indices == sorted(indices)
+
+    def test_errors(self):
+        with pytest.raises(VizError):
+            sparkline([])
+        with pytest.raises(VizError):
+            sparkline([1, 2], width=0)
+
+
+class TestWordCloud:
+    def test_heavy_words_uppercased(self):
+        cloud = word_cloud([("dominant", 1.0), ("minor", 0.01)])
+        assert "[DOMINANT]" in cloud
+        assert "minor" in cloud
+
+    def test_column_layout(self):
+        words = [(f"w{i}", 1.0 / (i + 1)) for i in range(8)]
+        cloud = word_cloud(words, columns=4)
+        assert len(cloud.splitlines()) == 2
+
+    def test_errors(self):
+        with pytest.raises(VizError):
+            word_cloud([])
+        with pytest.raises(VizError):
+            word_cloud([("a", 1.0)], columns=0)
+
+
+class TestBarChart:
+    def test_rows_and_values_rendered(self):
+        chart = bar_chart(["alpha", "beta"], [2.0, 1.0])
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("alpha")
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_errors(self):
+        with pytest.raises(VizError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(VizError):
+            bar_chart([], [])
+
+
+class TestCurveTable:
+    def test_header_and_rows(self):
+        table = curve_table(
+            [0, 1], {"cold": np.array([0.5, 0.6]), "eutb": np.array([0.4, 0.5])},
+            x_label="tol",
+        )
+        lines = table.splitlines()
+        assert "tol" in lines[0] and "cold" in lines[0]
+        assert len(lines) == 3
+
+    def test_errors(self):
+        with pytest.raises(VizError):
+            curve_table([0, 1], {})
+        with pytest.raises(VizError):
+            curve_table([0, 1], {"x": np.array([1.0])})
+
+
+class TestFigureSummaries:
+    def test_diffusion_graph_summary_mentions_communities(self, estimates):
+        graph = extract_diffusion_graph(estimates, topic=0, max_communities=3)
+        text = diffusion_graph_summary(graph, topic_label="demo-topic")
+        assert "demo-topic" in text
+        for community in graph.communities:
+            assert f"C{community}" in text
+        assert "timeline" in text
+
+    def test_pentagon_summary_lists_top_users(self, estimates):
+        influence = community_influence(estimates, topic=0, num_simulations=10)
+        embedding = pentagon_embedding(estimates, influence)
+        text = pentagon_summary(embedding, top_users=3)
+        assert text.count("#") >= 3
+        assert "Influential communities" in text

@@ -1,0 +1,114 @@
+"""Unit tests for repro.baselines.wtm (feature ranker + logistic regression)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.wtm import LogisticRegression, WTMError, WTMModel
+from repro.datasets.cascades import split_tuples
+
+
+class TestLogisticRegression:
+    def test_learns_linearly_separable_data(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(200, 2))
+        labels = (features[:, 0] + features[:, 1] > 0).astype(float)
+        model = LogisticRegression().fit(features, labels)
+        decisions = model.decision(features)
+        accuracy = ((decisions > 0) == labels).mean()
+        assert accuracy > 0.95
+
+    def test_weights_point_along_separating_direction(self):
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(300, 2))
+        labels = (features[:, 0] > 0).astype(float)
+        model = LogisticRegression().fit(features, labels)
+        assert model.weights_[0] > abs(model.weights_[1])
+
+    def test_decision_before_fit_raises(self):
+        with pytest.raises(WTMError):
+            LogisticRegression().decision(np.zeros((1, 2)))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(WTMError):
+            LogisticRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_invalid_settings_raise(self):
+        with pytest.raises(WTMError):
+            LogisticRegression(learning_rate=0)
+        with pytest.raises(WTMError):
+            LogisticRegression(num_epochs=0)
+        with pytest.raises(WTMError):
+            LogisticRegression(l2=-1.0)
+
+    def test_l2_shrinks_weights(self):
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(100, 2))
+        labels = (features[:, 0] > 0).astype(float)
+        loose = LogisticRegression(l2=1e-6).fit(features, labels)
+        tight = LogisticRegression(l2=1.0).fit(features, labels)
+        assert np.linalg.norm(tight.weights_) < np.linalg.norm(loose.weights_)
+
+
+@pytest.fixture(scope="module")
+def fitted_wtm():
+    from repro.datasets.synthetic import generate_corpus
+    from tests.conftest import TINY_CONFIG
+    from repro.datasets.cascades import generate_retweet_tuples as gen
+
+    corpus, truth = generate_corpus(TINY_CONFIG)
+    tuples = gen(corpus, truth, exposure_rate=0.8, seed=11)
+    train, test = split_tuples(tuples, 0.25, seed=0)
+    model = WTMModel(seed=0).fit(corpus, train)
+    return model, corpus, train, test
+
+
+class TestWTMModel:
+    def test_fit_requires_training_tuples(self, tiny_corpus):
+        with pytest.raises(WTMError):
+            WTMModel().fit(tiny_corpus, [])
+
+    def test_scores_have_candidate_shape(self, fitted_wtm):
+        model, corpus, _train, test = fitted_wtm
+        t = test[0]
+        candidates = list(t.retweeters) + list(t.ignorers)
+        scores = model.score_candidates(
+            t.author, candidates, corpus.posts[t.post_index].words
+        )
+        assert scores.shape == (len(candidates),)
+
+    def test_diffusion_score_matches_batch(self, fitted_wtm):
+        model, corpus, _train, test = fitted_wtm
+        t = test[0]
+        words = corpus.posts[t.post_index].words
+        single = model.diffusion_score(t.author, t.retweeters[0], words)
+        batch = model.score_candidates(t.author, [t.retweeters[0]], words)[0]
+        assert single == pytest.approx(batch)
+
+    def test_score_before_fit_raises(self, tiny_corpus):
+        with pytest.raises(WTMError):
+            WTMModel().score_candidates(0, [1], (0,))
+
+    def test_beats_chance_on_heldout_tuples(self, fitted_wtm):
+        from repro.eval.auc import averaged_diffusion_auc
+
+        model, corpus, _train, test = fitted_wtm
+        auc = averaged_diffusion_auc(model.score_candidates, test, corpus)
+        assert auc > 0.55
+
+    def test_feature_vector_dimension(self, fitted_wtm):
+        model, corpus, _train, _test = fitted_wtm
+        post_vector = model._post_vector(corpus.posts[0].words)
+        features = model._features(0, 1, post_vector)
+        assert features.shape == (WTMModel.NUM_FEATURES,)
+
+    def test_interest_match_feature_reflects_overlap(self, fitted_wtm):
+        """A post using exactly the candidate's vocabulary must yield a
+        higher interest-match feature than a disjoint post."""
+        model, corpus, _train, _test = fitted_wtm
+        candidate = 0
+        profile = model._user_words[candidate]
+        used = np.flatnonzero(profile)[:3]
+        unused = np.flatnonzero(profile == 0)[:3]
+        overlap = model._features(1, candidate, model._post_vector(tuple(used)))
+        disjoint = model._features(1, candidate, model._post_vector(tuple(unused)))
+        assert overlap[0] > disjoint[0]
