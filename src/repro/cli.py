@@ -18,16 +18,39 @@ import sys
 from pathlib import Path
 
 from .core.diffusion import extract_diffusion_graph
+from .core.estimates import EstimateError
 from .core.influence import community_influence, pentagon_embedding
-from .core.model import COLDModel
+from .core.model import COLDModel, ModelError
 from .core.patterns import top_words
 from .core.prediction import predict_timestamp
-from .datasets.io import load_corpus, save_corpus
+from .core.state import StateError
+from .datasets.corpus import CorpusError
+from .datasets.io import CorpusIOError, load_corpus, save_corpus
 from .datasets.splits import post_splits
 from .datasets.synthetic import SyntheticConfig, generate_corpus
 from .eval.timestamp import accuracy_curve
+from .parallel.engine import EngineError
 from .parallel.sampler import ParallelCOLDSampler
+from .resilience.checkpoint import CheckpointError
+from .resilience.retry import RetryError
 from .viz import diffusion_graph_summary, pentagon_summary, word_cloud
+
+#: Typed failures the CLI converts into a one-line message + exit code 2
+#: (missing/corrupt inputs, invalid configs) instead of a traceback.
+_CLI_ERRORS = (
+    CorpusError,
+    CorpusIOError,
+    CheckpointError,
+    ModelError,
+    EstimateError,
+    EngineError,
+    StateError,
+    RetryError,
+    FileNotFoundError,
+    IsADirectoryError,
+    NotADirectoryError,
+    PermissionError,
+)
 
 
 def _add_generate(subparsers: argparse._SubParsersAction) -> None:
@@ -54,6 +77,20 @@ def _add_train(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument(
         "--nodes", type=int, default=1,
         help="simulated cluster nodes (>1 uses the parallel sampler)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="write an atomic checkpoint every N sweeps (serial fits only)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", type=Path, default=None,
+        help="directory for checkpoints (defaults to MODEL.ckpt)",
+    )
+    parser.add_argument(
+        "--resume", type=Path, default=None, metavar="CHECKPOINT",
+        help="resume a killed fit from a checkpoint file or directory "
+        "(falls back to the newest valid checkpoint; ignores --iterations "
+        "etc., which are restored from the checkpoint)",
     )
 
 
@@ -117,8 +154,27 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    if args.resume is not None:
+        if args.nodes > 1:
+            raise EngineError("--resume only supports serial fits (--nodes 1)")
+        corpus = load_corpus(args.corpus)
+        print(f"resuming from {args.resume}")
+        model = COLDModel.resume(args.resume, corpus=corpus)
+        _report_degeneracy(model)
+        model.save(args.model)
+        print(f"saved model -> {args.model}.json / .npz")
+        return 0
+
     corpus = load_corpus(args.corpus)
     print(f"training on {corpus}")
+    checkpoint_every = args.checkpoint_every
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_every is not None and checkpoint_dir is None:
+        checkpoint_dir = args.model.with_suffix(".ckpt")
+    if checkpoint_every is not None and args.nodes > 1:
+        raise EngineError(
+            "--checkpoint-every only supports serial fits (--nodes 1)"
+        )
     if args.nodes > 1:
         sampler = ParallelCOLDSampler(
             num_communities=args.communities,
@@ -140,16 +196,37 @@ def _cmd_train(args: argparse.Namespace) -> int:
             f"{sampler.training_seconds():.2f}s cluster time, "
             f"speedup {sampler.speedup():.2f}x"
         )
+        model.monitor_ = sampler.monitor_
+        _report_degeneracy(model)
     else:
         model = COLDModel(
             num_communities=args.communities,
             num_topics=args.topics,
             include_network=not args.no_network,
             seed=args.seed,
-        ).fit(corpus, num_iterations=args.iterations)
+        ).fit(
+            corpus,
+            num_iterations=args.iterations,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+        )
+        if checkpoint_every is not None:
+            print(f"checkpoints every {checkpoint_every} sweeps -> {checkpoint_dir}")
+        _report_degeneracy(model)
     model.save(args.model)
     print(f"saved model -> {args.model}.json / .npz")
     return 0
+
+
+def _report_degeneracy(model: COLDModel) -> None:
+    """Surface the uniform-fallback tally so numerical collapse is visible."""
+    monitor = model.monitor_
+    if monitor is not None and monitor.degenerate_draws:
+        print(
+            f"warning: {monitor.degenerate_draws} degenerate categorical "
+            "draws fell back to uniform (numerical underflow); inspect "
+            "hyperparameters if this number is large"
+        )
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -214,9 +291,19 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Typed failures (missing/corrupt inputs, invalid checkpoints, bad
+    configs) print a one-line ``error: <Type>: <message>`` to stderr and
+    exit with code 2 instead of dumping a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except _CLI_ERRORS as exc:
+        message = " ".join(str(exc).split())
+        print(f"error: {type(exc).__name__}: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

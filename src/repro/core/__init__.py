@@ -27,6 +27,7 @@ from .estimates import (
 )
 from .gibbs import (
     categorical,
+    categorical_checked,
     link_weights,
     post_community_weights,
     post_topic_log_weights,
@@ -98,6 +99,7 @@ __all__ = [
     "all_word_clouds",
     "average_estimates",
     "categorical",
+    "categorical_checked",
     "community_influence",
     "estimate_from_state",
     "expected_spread",

@@ -15,6 +15,7 @@ samples, as the paper prescribes ("integrating across the samples").
 
 from __future__ import annotations
 
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -92,22 +93,42 @@ class ParameterEstimates:
     # -- persistence ---------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Persist all five arrays to a ``.npz`` file."""
+        """Atomically persist all five arrays to a ``.npz`` file.
+
+        Written via temp-file + ``os.replace`` so a crash mid-save never
+        leaves a truncated archive behind.
+        """
+        from ..resilience.checkpoint import atomic_write
+
         path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        np.savez_compressed(
-            path, pi=self.pi, theta=self.theta, phi=self.phi, psi=self.psi,
-            eta=self.eta,
-        )
+        with atomic_write(path) as tmp:
+            with tmp.open("wb") as handle:
+                np.savez_compressed(
+                    handle, pi=self.pi, theta=self.theta, phi=self.phi,
+                    psi=self.psi, eta=self.eta,
+                )
 
     @classmethod
     def load(cls, path: str | Path) -> "ParameterEstimates":
-        """Load estimates written by :meth:`save`."""
-        with np.load(Path(path)) as data:
-            estimates = cls(
-                pi=data["pi"], theta=data["theta"], phi=data["phi"],
-                psi=data["psi"], eta=data["eta"],
-            )
+        """Load estimates written by :meth:`save`.
+
+        Raises :class:`EstimateError` (never a bare ``KeyError``/zip error)
+        on missing arrays or corrupted archives; missing files surface as
+        ``FileNotFoundError``.
+        """
+        path = Path(path)
+        if not path.is_file():
+            raise FileNotFoundError(f"no estimates file at {path}")
+        try:
+            with np.load(path) as data:
+                estimates = cls(
+                    pi=data["pi"], theta=data["theta"], phi=data["phi"],
+                    psi=data["psi"], eta=data["eta"],
+                )
+        except KeyError as exc:
+            raise EstimateError(f"{path}: missing estimate array {exc}") from exc
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            raise EstimateError(f"{path}: corrupted estimates file: {exc}") from exc
         estimates.validate()
         return estimates
 

@@ -27,15 +27,33 @@ from .state import CountState
 _WEIGHT_FLOOR = 1e-300
 
 
-def categorical(weights: np.ndarray, rng: np.random.Generator) -> int:
-    """Draw an index proportionally to non-negative ``weights``."""
+def categorical_checked(
+    weights: np.ndarray, rng: np.random.Generator
+) -> tuple[int, bool]:
+    """Draw an index proportionally to non-negative ``weights``.
+
+    Returns ``(index, degenerate)`` where ``degenerate`` flags an all-zero
+    or non-finite weight vector that forced a uniform fallback.  The Gibbs
+    kernels tally these on ``CountState.degenerate_draws`` so numerical
+    collapse surfaces in the fit log instead of being silently masked.
+    """
     total = weights.sum()
     if not np.isfinite(total) or total <= 0:
         # All-zero (or degenerate) weights: fall back to uniform.  This can
         # only happen through extreme underflow; uniform keeps the chain
         # irreducible instead of crashing mid-run.
-        return int(rng.integers(len(weights)))
-    return int(np.searchsorted(np.cumsum(weights), rng.random() * total, side="right"))
+        return int(rng.integers(len(weights))), True
+    index = int(
+        np.searchsorted(np.cumsum(weights), rng.random() * total, side="right")
+    )
+    # With denormal totals, rng.random() * total can round up to exactly
+    # total, pushing searchsorted one past the last cell; clamp back in.
+    return min(index, len(weights) - 1), False
+
+
+def categorical(weights: np.ndarray, rng: np.random.Generator) -> int:
+    """Draw an index proportionally to non-negative ``weights``."""
+    return categorical_checked(weights, rng)[0]
 
 
 def post_community_weights(
@@ -130,11 +148,16 @@ def resample_post(
     _old_c, old_k = state.remove_post(post)
 
     community_weights = post_community_weights(state, hp, post, old_k)
-    new_c = categorical(np.maximum(community_weights, _WEIGHT_FLOOR), rng)
+    new_c, degenerate_c = categorical_checked(
+        np.maximum(community_weights, _WEIGHT_FLOOR), rng
+    )
 
     log_weights = post_topic_log_weights(state, hp, post, new_c)
     log_weights -= log_weights.max()
-    new_k = categorical(np.maximum(np.exp(log_weights), _WEIGHT_FLOOR), rng)
+    new_k, degenerate_k = categorical_checked(
+        np.maximum(np.exp(log_weights), _WEIGHT_FLOOR), rng
+    )
+    state.degenerate_draws += int(degenerate_c) + int(degenerate_k)
 
     state.add_post(post, new_c, new_k)
     return new_c, new_k
@@ -146,7 +169,10 @@ def resample_link(
     """One joint Gibbs update of (s_ii', s'_ii') for ``link`` (Eq. 2)."""
     state.remove_link(link)
     weights = link_weights(state, hp, link)
-    flat_index = categorical(np.maximum(weights.ravel(), _WEIGHT_FLOOR), rng)
+    flat_index, degenerate = categorical_checked(
+        np.maximum(weights.ravel(), _WEIGHT_FLOOR), rng
+    )
+    state.degenerate_draws += int(degenerate)
     C = state.num_communities
     new_c, new_c_prime = divmod(flat_index, C)
     state.add_link(link, int(new_c), int(new_c_prime))

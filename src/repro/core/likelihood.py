@@ -84,11 +84,24 @@ class ConvergenceMonitor:
     window: int = 5
     tolerance: float = 1e-4
     trace: list[float] = field(default_factory=list)
+    #: Degenerate (uniform-fallback) categorical draws observed so far; the
+    #: fit loop mirrors ``CountState.degenerate_draws`` here so numerical
+    #: collapse is visible in the convergence report, not just the state.
+    degenerate_draws: int = 0
 
     def record(self, value: float) -> None:
         if not np.isfinite(value):
             raise ValueError(f"non-finite likelihood {value}")
         self.trace.append(float(value))
+
+    def summary(self) -> dict[str, float | int | bool]:
+        """Convergence report: trace length, best value, degeneracy tally."""
+        return {
+            "recorded": len(self.trace),
+            "best": max(self.trace) if self.trace else float("nan"),
+            "converged": self.converged,
+            "degenerate_draws": self.degenerate_draws,
+        }
 
     @property
     def converged(self) -> bool:

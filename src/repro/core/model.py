@@ -22,11 +22,17 @@ from pathlib import Path
 import numpy as np
 
 from ..datasets.corpus import SocialCorpus
+from ..resilience.checkpoint import (
+    CheckpointError,
+    atomic_write_text,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .estimates import ParameterEstimates, average_estimates, estimate_from_state
 from .gibbs import sweep
 from .likelihood import ConvergenceMonitor, joint_log_likelihood
 from .params import Hyperparameters
-from .state import CountState
+from .state import CountState, StateError
 
 
 class ModelError(RuntimeError):
@@ -97,6 +103,8 @@ class COLDModel:
         likelihood_interval: int = 10,
         callback: Callable[[int, "COLDModel"], None] | None = None,
         check_invariants: bool = False,
+        checkpoint_every: int | None = None,
+        checkpoint_dir: str | Path | None = None,
     ) -> "COLDModel":
         """Run the collapsed Gibbs sampler and store averaged estimates.
 
@@ -117,6 +125,14 @@ class COLDModel:
             Called as ``callback(iteration, model)`` after every sweep.
         check_invariants:
             Recount all Gibbs counters after every sweep (slow; for tests).
+        checkpoint_every:
+            Write an atomic, checksummed checkpoint to ``checkpoint_dir``
+            every this many sweeps.  A fit killed at any point can be
+            continued with :meth:`resume` and produces *bit-identical*
+            estimates to an uninterrupted run with the same seed.
+        checkpoint_dir:
+            Directory for checkpoints; required iff ``checkpoint_every``
+            is set.
         """
         if num_iterations <= 0:
             raise ModelError("num_iterations must be positive")
@@ -126,6 +142,12 @@ class COLDModel:
             raise ModelError("burn_in must lie in [0, num_iterations)")
         if sample_interval <= 0:
             raise ModelError("sample_interval must be positive")
+        if (checkpoint_every is None) != (checkpoint_dir is None):
+            raise ModelError(
+                "checkpoint_every and checkpoint_dir must be given together"
+            )
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ModelError("checkpoint_every must be positive")
 
         hp = self._resolve_hyperparameters(corpus)
         state = CountState.initialize(
@@ -135,10 +157,48 @@ class COLDModel:
             self._rng,
             include_network=self.include_network,
         )
-        monitor = ConvergenceMonitor()
-        samples: list[ParameterEstimates] = []
+        self._fit_loop(
+            state=state,
+            hp=hp,
+            monitor=ConvergenceMonitor(),
+            samples=[],
+            start_iteration=0,
+            num_iterations=num_iterations,
+            burn_in=burn_in,
+            sample_interval=sample_interval,
+            likelihood_interval=likelihood_interval,
+            callback=callback,
+            check_invariants=check_invariants,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+        )
+        self.corpus_ = corpus
+        return self
 
-        for iteration in range(1, num_iterations + 1):
+    def _fit_loop(
+        self,
+        state: CountState,
+        hp: Hyperparameters,
+        monitor: ConvergenceMonitor,
+        samples: list[ParameterEstimates],
+        start_iteration: int,
+        num_iterations: int,
+        burn_in: int,
+        sample_interval: int,
+        likelihood_interval: int,
+        callback: Callable[[int, "COLDModel"], None] | None,
+        check_invariants: bool,
+        checkpoint_every: int | None,
+        checkpoint_dir: str | Path | None,
+    ) -> None:
+        """Sweeps ``start_iteration+1 .. num_iterations`` plus finalisation.
+
+        Shared by :meth:`fit` (``start_iteration=0``) and :meth:`resume`;
+        checkpoints are written *after* all per-iteration bookkeeping, so a
+        resumed chain replays the exact remaining suffix of an
+        uninterrupted run.
+        """
+        for iteration in range(start_iteration + 1, num_iterations + 1):
             sweep(state, hp, self._rng)
             if check_invariants:
                 state.check_invariants()
@@ -148,15 +208,185 @@ class COLDModel:
                 samples.append(estimate_from_state(state, hp))
             if callback is not None:
                 callback(iteration, self)
+            if checkpoint_every is not None and iteration % checkpoint_every == 0:
+                assert checkpoint_dir is not None
+                self._write_checkpoint(
+                    checkpoint_dir,
+                    iteration,
+                    state,
+                    hp,
+                    monitor,
+                    samples,
+                    fit_settings={
+                        "num_iterations": num_iterations,
+                        "burn_in": burn_in,
+                        "sample_interval": sample_interval,
+                        "likelihood_interval": likelihood_interval,
+                        "checkpoint_every": checkpoint_every,
+                    },
+                )
 
         if not samples:
             samples.append(estimate_from_state(state, hp))
+        monitor.degenerate_draws = state.degenerate_draws
         self.state_ = state
         self.monitor_ = monitor
-        self.corpus_ = corpus
         self.hyperparameters = hp
         self.estimates_ = average_estimates(samples)
-        return self
+
+    # -- checkpoint/resume -----------------------------------------------------
+
+    def _write_checkpoint(
+        self,
+        directory: str | Path,
+        iteration: int,
+        state: CountState,
+        hp: Hyperparameters,
+        monitor: ConvergenceMonitor,
+        samples: list[ParameterEstimates],
+        fit_settings: dict,
+    ) -> Path:
+        """Persist the complete sampler state for sweep ``iteration``."""
+        arrays = state.to_arrays()
+        for name in ("pi", "theta", "phi", "psi", "eta"):
+            if samples:
+                arrays[f"samples_{name}"] = np.stack(
+                    [getattr(sample, name) for sample in samples]
+                )
+        meta = {
+            "model": {
+                "num_communities": self.num_communities,
+                "num_topics": self.num_topics,
+                "include_network": self.include_network,
+                "kappa": self.kappa,
+                "prior": self.prior,
+                "seed": self.seed,
+            },
+            "hyperparameters": {
+                "rho": hp.rho,
+                "alpha": hp.alpha,
+                "beta": hp.beta,
+                "epsilon": hp.epsilon,
+                "lambda0": hp.lambda0,
+                "lambda1": hp.lambda1,
+            },
+            "fit": fit_settings,
+            "rng_state": self._rng.bit_generator.state,
+            "monitor": {
+                "window": monitor.window,
+                "tolerance": monitor.tolerance,
+                "trace": list(monitor.trace),
+            },
+            "degenerate_draws": int(state.degenerate_draws),
+            "num_samples": len(samples),
+        }
+        return save_checkpoint(directory, iteration, arrays, meta)
+
+    @classmethod
+    def resume(
+        cls,
+        path: str | Path,
+        corpus: SocialCorpus | None = None,
+        callback: Callable[[int, "COLDModel"], None] | None = None,
+        check_invariants: bool = False,
+    ) -> "COLDModel":
+        """Continue a checkpointed fit to completion; returns the fitted model.
+
+        ``path`` may be a checkpoint directory (the newest *valid*
+        checkpoint is used — corrupted or truncated ones are skipped), a
+        manifest file, or a data file.  The resumed chain is bit-identical
+        to the uninterrupted fit: the checkpoint carries the full count
+        state, the RNG bit-generator state, the likelihood trace, and all
+        collected estimate samples.  Checkpoints keep being written to the
+        same directory with the original cadence.
+
+        ``corpus`` is optional (the checkpoint is self-contained) and only
+        attaches the corpus to the returned model for downstream analysis.
+        """
+        arrays, meta, iteration = load_checkpoint(path)
+        try:
+            model_cfg = dict(meta["model"])
+            hp = Hyperparameters(**meta["hyperparameters"])
+            fit_settings = dict(meta["fit"])
+            rng_state = meta["rng_state"]
+            monitor_cfg = dict(meta["monitor"])
+            num_samples = int(meta["num_samples"])
+            degenerate_draws = int(meta.get("degenerate_draws", 0))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"{path}: malformed checkpoint meta: {exc}") from exc
+
+        try:
+            model = cls(hyperparameters=hp, **model_cfg)
+        except (TypeError, ModelError) as exc:
+            raise CheckpointError(f"{path}: invalid model config: {exc}") from exc
+        try:
+            model._rng = np.random.default_rng()
+            model._rng.bit_generator.state = rng_state
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"{path}: invalid RNG state: {exc}") from exc
+
+        try:
+            state = CountState.from_arrays(
+                arrays,
+                model.num_communities,
+                model.num_topics,
+                degenerate_draws=degenerate_draws,
+            )
+        except StateError as exc:
+            raise CheckpointError(f"{path}: inconsistent state arrays: {exc}") from exc
+
+        samples = []
+        if num_samples:
+            try:
+                stacks = {
+                    name: arrays[f"samples_{name}"]
+                    for name in ("pi", "theta", "phi", "psi", "eta")
+                }
+            except KeyError as exc:
+                raise CheckpointError(
+                    f"{path}: checkpoint missing sample array {exc}"
+                ) from exc
+            if any(len(stack) != num_samples for stack in stacks.values()):
+                raise CheckpointError(f"{path}: sample stack lengths disagree")
+            samples = [
+                ParameterEstimates(
+                    **{name: stack[i].copy() for name, stack in stacks.items()}
+                )
+                for i in range(num_samples)
+            ]
+
+        monitor = ConvergenceMonitor(
+            window=int(monitor_cfg.get("window", 5)),
+            tolerance=float(monitor_cfg.get("tolerance", 1e-4)),
+            trace=[float(v) for v in monitor_cfg.get("trace", [])],
+            degenerate_draws=degenerate_draws,
+        )
+
+        checkpoint_dir = Path(path)
+        if not checkpoint_dir.is_dir():
+            checkpoint_dir = checkpoint_dir.parent
+        try:
+            model._fit_loop(
+                state=state,
+                hp=hp,
+                monitor=monitor,
+                samples=samples,
+                start_iteration=iteration,
+                num_iterations=int(fit_settings["num_iterations"]),
+                burn_in=int(fit_settings["burn_in"]),
+                sample_interval=int(fit_settings["sample_interval"]),
+                likelihood_interval=int(fit_settings["likelihood_interval"]),
+                callback=callback,
+                check_invariants=check_invariants,
+                checkpoint_every=int(fit_settings["checkpoint_every"]),
+                checkpoint_dir=checkpoint_dir,
+            )
+        except KeyError as exc:
+            raise CheckpointError(
+                f"{path}: checkpoint missing fit setting {exc}"
+            ) from exc
+        model.corpus_ = corpus
+        return model
 
     def _resolve_hyperparameters(self, corpus: SocialCorpus) -> Hyperparameters:
         if self.hyperparameters is not None:
@@ -209,10 +439,14 @@ class COLDModel:
     # -- persistence ---------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Persist configuration + estimates (two files: .json and .npz)."""
+        """Persist configuration + estimates (two files: .json and .npz).
+
+        Both files are written atomically (temp file + ``os.replace``), so
+        a crash mid-save leaves any previous artefact intact rather than a
+        half-written one.
+        """
         estimates = self._require_fit()
         path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
         hp = self.hyperparameters
         config = {
             "num_communities": self.num_communities,
@@ -232,17 +466,28 @@ class COLDModel:
                 "lambda1": hp.lambda1,
             },
         }
-        path.with_suffix(".json").write_text(json.dumps(config, indent=2))
+        atomic_write_text(path.with_suffix(".json"), json.dumps(config, indent=2))
         estimates.save(path.with_suffix(".npz"))
 
     @classmethod
     def load(cls, path: str | Path) -> "COLDModel":
-        """Load a model written by :meth:`save` (fitted, ready to predict)."""
+        """Load a model written by :meth:`save` (fitted, ready to predict).
+
+        Raises :class:`ModelError` on corrupt or incomplete config files
+        (never a bare ``KeyError``); missing files surface as
+        ``FileNotFoundError``.
+        """
         path = Path(path)
-        config = json.loads(path.with_suffix(".json").read_text())
-        hp_dict = config.pop("hyperparameters")
-        hyperparameters = None if hp_dict is None else Hyperparameters(**hp_dict)
-        model = cls(hyperparameters=hyperparameters, **config)
+        config_path = path.with_suffix(".json")
+        if not config_path.is_file():
+            raise FileNotFoundError(f"no model config at {config_path}")
+        try:
+            config = json.loads(config_path.read_text())
+            hp_dict = config.pop("hyperparameters")
+            hyperparameters = None if hp_dict is None else Hyperparameters(**hp_dict)
+            model = cls(hyperparameters=hyperparameters, **config)
+        except (json.JSONDecodeError, KeyError, TypeError, AttributeError) as exc:
+            raise ModelError(f"{config_path}: corrupt model config: {exc}") from exc
         model.estimates_ = ParameterEstimates.load(path.with_suffix(".npz"))
         return model
 

@@ -104,6 +104,9 @@ class CountState:
     post_topic: np.ndarray  # (D,)
     link_src_comm: np.ndarray  # (E,)
     link_dst_comm: np.ndarray  # (E,)
+    #: Number of degenerate categorical draws (all-zero/non-finite weights)
+    #: the Gibbs kernels fell back to uniform on; see repro.core.gibbs.
+    degenerate_draws: int = 0
 
     # -- construction --------------------------------------------------------
 
@@ -249,6 +252,83 @@ class CountState:
             "n_topic_total": n_topic_total,
             "n_link_comm": n_link_comm,
         }
+
+    # -- serialisation --------------------------------------------------------
+
+    #: Arrays that fully determine a CountState (with the scalar dims).
+    _ARRAY_FIELDS = (
+        "n_user_comm",
+        "n_comm_topic",
+        "n_comm_topic_time",
+        "n_topic_word",
+        "n_topic_total",
+        "n_link_comm",
+        "post_comm",
+        "post_topic",
+        "link_src_comm",
+        "link_dst_comm",
+        "links",
+    )
+    _POST_FIELDS = (
+        "authors",
+        "times",
+        "lengths",
+        "offsets",
+        "unique_words",
+        "unique_counts",
+    )
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Every array needed to reconstruct this state, flat by name.
+
+        Together with ``num_communities``/``num_topics`` (carried in the
+        checkpoint manifest) this is a complete, self-contained snapshot:
+        the post table is included, so resuming needs no corpus reload.
+        """
+        arrays = {name: getattr(self, name) for name in self._ARRAY_FIELDS}
+        for name in self._POST_FIELDS:
+            arrays[f"posts_{name}"] = getattr(self.posts, name)
+        return arrays
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: dict[str, np.ndarray],
+        num_communities: int,
+        num_topics: int,
+        degenerate_draws: int = 0,
+    ) -> "CountState":
+        """Rebuild a state saved by :meth:`to_arrays`.
+
+        Raises :class:`StateError` on missing arrays, then verifies the
+        counters against a recount so a tampered checkpoint payload cannot
+        smuggle in inconsistent state.
+        """
+        missing = [
+            name
+            for name in (
+                *cls._ARRAY_FIELDS,
+                *(f"posts_{field_name}" for field_name in cls._POST_FIELDS),
+            )
+            if name not in arrays
+        ]
+        if missing:
+            raise StateError(f"state arrays missing: {', '.join(missing)}")
+        posts = PostTable(
+            **{name: np.asarray(arrays[f"posts_{name}"]) for name in cls._POST_FIELDS}
+        )
+        state = cls(
+            num_communities=num_communities,
+            num_topics=num_topics,
+            posts=posts,
+            degenerate_draws=degenerate_draws,
+            **{
+                name: np.asarray(arrays[name]).copy()
+                for name in cls._ARRAY_FIELDS
+            },
+        )
+        state.check_invariants()
+        return state
 
     # -- sizes ----------------------------------------------------------------
 

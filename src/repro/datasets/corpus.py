@@ -22,6 +22,17 @@ class CorpusError(ValueError):
     """Raised for structurally invalid corpora (bad ids, empty posts...)."""
 
 
+class CorpusValidationError(CorpusError):
+    """Raised when corpus *contents* fail validation: out-of-range word,
+    user, or time ids; dangling link endpoints; negative counts.
+
+    A subclass of :class:`CorpusError`, so existing ``except CorpusError``
+    handlers keep working; ingest paths raise it at construction time so
+    bad data fails loudly instead of crashing samplers with an
+    ``IndexError`` deep in a sweep.
+    """
+
+
 @dataclass(frozen=True)
 class Post:
     """One time-stamped post (paper's :math:`d_{ij}`).
@@ -43,13 +54,13 @@ class Post:
 
     def __post_init__(self) -> None:
         if self.author < 0:
-            raise CorpusError(f"author id must be >= 0, got {self.author}")
+            raise CorpusValidationError(f"author id must be >= 0, got {self.author}")
         if self.timestamp < 0:
-            raise CorpusError(f"timestamp must be >= 0, got {self.timestamp}")
+            raise CorpusValidationError(f"timestamp must be >= 0, got {self.timestamp}")
         if len(self.words) == 0:
             raise CorpusError("posts must contain at least one word")
         if any(w < 0 for w in self.words):
-            raise CorpusError("word ids must be >= 0")
+            raise CorpusValidationError("word ids must be >= 0")
 
     def __len__(self) -> int:
         return len(self.words)
@@ -112,16 +123,16 @@ class SocialCorpus:
     def _validate_posts(self) -> None:
         for idx, post in enumerate(self.posts):
             if post.author >= self.num_users:
-                raise CorpusError(
+                raise CorpusValidationError(
                     f"post {idx}: author {post.author} >= num_users {self.num_users}"
                 )
             if post.timestamp >= self.num_time_slices:
-                raise CorpusError(
+                raise CorpusValidationError(
                     f"post {idx}: timestamp {post.timestamp} >= "
                     f"num_time_slices {self.num_time_slices}"
                 )
             if self.vocab_size and max(post.words) >= self.vocab_size:
-                raise CorpusError(
+                raise CorpusValidationError(
                     f"post {idx}: word id {max(post.words)} >= "
                     f"vocab_size {self.vocab_size}"
                 )
@@ -133,7 +144,10 @@ class SocialCorpus:
         unique: list[tuple[int, int]] = []
         for src, dst in links:
             if not (0 <= src < self.num_users and 0 <= dst < self.num_users):
-                raise CorpusError(f"link ({src}, {dst}) has out-of-range user id")
+                raise CorpusValidationError(
+                    f"link ({src}, {dst}) has dangling endpoint: user ids must "
+                    f"lie in [0, {self.num_users})"
+                )
             if src == dst:
                 raise CorpusError(f"self-link ({src}, {dst}) is not allowed")
             edge = (int(src), int(dst))

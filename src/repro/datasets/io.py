@@ -9,6 +9,14 @@ A corpus is stored as one JSON-lines file with typed records::
 
 The format is line-appendable and streams well, which is how real crawl
 pipelines (the paper's Weibo streaming-API sampler) persist data.
+
+Robustness contract: writers are atomic (temp file + ``os.replace`` via
+:func:`repro.resilience.checkpoint.atomic_write`, so a crash mid-save never
+leaves a half-written file), and loaders raise typed errors —
+:class:`CorpusIOError` for malformed records,
+:class:`~repro.datasets.corpus.CorpusValidationError` (a
+:class:`~repro.datasets.corpus.CorpusError`) for out-of-range ids or
+dangling link endpoints — never a bare ``KeyError``/``IndexError``.
 """
 
 from __future__ import annotations
@@ -16,8 +24,9 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from ..resilience.checkpoint import atomic_write
 from .cascades import RetweetTuple
-from .corpus import CorpusError, Post, SocialCorpus
+from .corpus import CorpusError, CorpusValidationError, Post, SocialCorpus
 from .vocabulary import Vocabulary
 
 
@@ -25,36 +34,81 @@ class CorpusIOError(ValueError):
     """Raised when a corpus file is malformed."""
 
 
+class CorpusIOValidationError(CorpusIOError, CorpusValidationError):
+    """A readable corpus file whose *contents* fail validation.
+
+    Raised when the JSONL parses fine but carries out-of-range ids,
+    dangling link endpoints, or similar; catchable both as an I/O problem
+    (:class:`CorpusIOError`) and as a data problem
+    (:class:`~repro.datasets.corpus.CorpusValidationError`).
+    """
+
+
+def _wrap_corpus_error(exc: CorpusError, message: str) -> CorpusIOError:
+    """Preserve the validation flavour of ``exc`` while adding file context."""
+    if isinstance(exc, CorpusValidationError):
+        return CorpusIOValidationError(message)
+    return CorpusIOError(message)
+
+
+def _require_field(record: dict, key: str, path: Path, line_number: int):
+    try:
+        return record[key]
+    except KeyError:
+        raise CorpusIOError(
+            f"{path}:{line_number}: {record.get('type', '?')} record "
+            f"missing field {key!r}"
+        ) from None
+
+
+def _as_int(value, key: str, path: Path, line_number: int) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise CorpusIOError(
+            f"{path}:{line_number}: field {key!r} is not an integer: {value!r}"
+        ) from None
+
+
 def save_corpus(corpus: SocialCorpus, path: str | Path) -> None:
-    """Write ``corpus`` to ``path`` in the JSONL format above."""
+    """Atomically write ``corpus`` to ``path`` in the JSONL format above."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
-        header = {
-            "type": "header",
-            "num_users": corpus.num_users,
-            "num_time_slices": corpus.num_time_slices,
-            "vocab_size": corpus.vocab_size,
-        }
-        handle.write(json.dumps(header) + "\n")
-        if corpus.vocabulary is not None:
-            record = {"type": "vocab", "tokens": corpus.vocabulary.to_list()}
-            handle.write(json.dumps(record) + "\n")
-        for post in corpus.posts:
-            record = {
-                "type": "post",
-                "author": post.author,
-                "words": list(post.words),
-                "timestamp": post.timestamp,
+    with atomic_write(path) as tmp:
+        with tmp.open("w", encoding="utf-8") as handle:
+            header = {
+                "type": "header",
+                "num_users": corpus.num_users,
+                "num_time_slices": corpus.num_time_slices,
+                "vocab_size": corpus.vocab_size,
             }
-            handle.write(json.dumps(record) + "\n")
-        for src, dst in corpus.links:
-            handle.write(json.dumps({"type": "link", "src": src, "dst": dst}) + "\n")
+            handle.write(json.dumps(header) + "\n")
+            if corpus.vocabulary is not None:
+                record = {"type": "vocab", "tokens": corpus.vocabulary.to_list()}
+                handle.write(json.dumps(record) + "\n")
+            for post in corpus.posts:
+                record = {
+                    "type": "post",
+                    "author": post.author,
+                    "words": list(post.words),
+                    "timestamp": post.timestamp,
+                }
+                handle.write(json.dumps(record) + "\n")
+            for src, dst in corpus.links:
+                handle.write(
+                    json.dumps({"type": "link", "src": src, "dst": dst}) + "\n"
+                )
 
 
 def load_corpus(path: str | Path) -> SocialCorpus:
-    """Read a corpus written by :func:`save_corpus`."""
+    """Read a corpus written by :func:`save_corpus`.
+
+    Raises :class:`CorpusIOError` for malformed/truncated files and
+    :class:`CorpusIOValidationError` for readable files whose ids are out
+    of range (dangling links, bad word/user/time ids).
+    """
     path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"no corpus file at {path}")
     header: dict | None = None
     vocabulary: Vocabulary | None = None
     posts: list[Post] = []
@@ -68,60 +122,112 @@ def load_corpus(path: str | Path) -> SocialCorpus:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
                 raise CorpusIOError(f"{path}:{line_number}: invalid JSON") from exc
+            if not isinstance(record, dict):
+                raise CorpusIOError(
+                    f"{path}:{line_number}: record is not a JSON object"
+                )
             kind = record.get("type")
             if kind == "header":
                 if header is not None:
                     raise CorpusIOError(f"{path}:{line_number}: duplicate header")
                 header = record
+                header_line = line_number
             elif kind == "vocab":
-                vocabulary = Vocabulary.from_list(record["tokens"])
+                tokens = _require_field(record, "tokens", path, line_number)
+                if not isinstance(tokens, list):
+                    raise CorpusIOError(
+                        f"{path}:{line_number}: vocab tokens must be a list"
+                    )
+                vocabulary = Vocabulary.from_list(tokens)
             elif kind == "post":
-                posts.append(
-                    Post(
-                        author=int(record["author"]),
-                        words=tuple(int(w) for w in record["words"]),
-                        timestamp=int(record["timestamp"]),
+                words = _require_field(record, "words", path, line_number)
+                if not isinstance(words, list):
+                    raise CorpusIOError(
+                        f"{path}:{line_number}: post words must be a list"
+                    )
+                try:
+                    posts.append(
+                        Post(
+                            author=_as_int(
+                                _require_field(record, "author", path, line_number),
+                                "author", path, line_number,
+                            ),
+                            words=tuple(
+                                _as_int(w, "words", path, line_number) for w in words
+                            ),
+                            timestamp=_as_int(
+                                _require_field(
+                                    record, "timestamp", path, line_number
+                                ),
+                                "timestamp", path, line_number,
+                            ),
+                        )
+                    )
+                except CorpusError as exc:
+                    raise _wrap_corpus_error(
+                        exc, f"{path}:{line_number}: {exc}"
+                    ) from exc
+            elif kind == "link":
+                links.append(
+                    (
+                        _as_int(
+                            _require_field(record, "src", path, line_number),
+                            "src", path, line_number,
+                        ),
+                        _as_int(
+                            _require_field(record, "dst", path, line_number),
+                            "dst", path, line_number,
+                        ),
                     )
                 )
-            elif kind == "link":
-                links.append((int(record["src"]), int(record["dst"])))
             else:
                 raise CorpusIOError(
                     f"{path}:{line_number}: unknown record type {kind!r}"
                 )
     if header is None:
         raise CorpusIOError(f"{path}: missing header record")
+    for key in ("num_users", "num_time_slices"):
+        if key not in header:
+            raise CorpusIOError(f"{path}:{header_line}: header missing {key!r}")
     try:
         return SocialCorpus(
-            num_users=int(header["num_users"]),
-            num_time_slices=int(header["num_time_slices"]),
+            num_users=_as_int(header["num_users"], "num_users", path, header_line),
+            num_time_slices=_as_int(
+                header["num_time_slices"], "num_time_slices", path, header_line
+            ),
             posts=posts,
             links=links,
             vocabulary=vocabulary,
-            vocab_size=int(header.get("vocab_size", 0)),
+            vocab_size=_as_int(
+                header.get("vocab_size", 0), "vocab_size", path, header_line
+            ),
         )
-    except (KeyError, CorpusError) as exc:
-        raise CorpusIOError(f"{path}: invalid corpus: {exc}") from exc
+    except CorpusError as exc:
+        # Add file context; id-range/dangling-link failures stay catchable
+        # as CorpusValidationError via CorpusIOValidationError.
+        raise _wrap_corpus_error(exc, f"{path}: invalid corpus: {exc}") from exc
 
 
 def save_retweet_tuples(tuples: list[RetweetTuple], path: str | Path) -> None:
-    """Write retweet tuples as JSONL."""
+    """Atomically write retweet tuples as JSONL."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
-        for t in tuples:
-            record = {
-                "author": t.author,
-                "post_index": t.post_index,
-                "retweeters": list(t.retweeters),
-                "ignorers": list(t.ignorers),
-            }
-            handle.write(json.dumps(record) + "\n")
+    with atomic_write(path) as tmp:
+        with tmp.open("w", encoding="utf-8") as handle:
+            for t in tuples:
+                record = {
+                    "author": t.author,
+                    "post_index": t.post_index,
+                    "retweeters": list(t.retweeters),
+                    "ignorers": list(t.ignorers),
+                }
+                handle.write(json.dumps(record) + "\n")
 
 
 def load_retweet_tuples(path: str | Path) -> list[RetweetTuple]:
     """Read retweet tuples written by :func:`save_retweet_tuples`."""
     path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"no retweet-tuple file at {path}")
     tuples: list[RetweetTuple] = []
     with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
@@ -132,12 +238,26 @@ def load_retweet_tuples(path: str | Path) -> list[RetweetTuple]:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
                 raise CorpusIOError(f"{path}:{line_number}: invalid JSON") from exc
+            if not isinstance(record, dict):
+                raise CorpusIOError(
+                    f"{path}:{line_number}: record is not a JSON object"
+                )
+            for key in ("author", "post_index", "retweeters", "ignorers"):
+                _require_field(record, key, path, line_number)
             tuples.append(
                 RetweetTuple(
-                    author=int(record["author"]),
-                    post_index=int(record["post_index"]),
-                    retweeters=tuple(int(u) for u in record["retweeters"]),
-                    ignorers=tuple(int(u) for u in record["ignorers"]),
+                    author=_as_int(record["author"], "author", path, line_number),
+                    post_index=_as_int(
+                        record["post_index"], "post_index", path, line_number
+                    ),
+                    retweeters=tuple(
+                        _as_int(u, "retweeters", path, line_number)
+                        for u in record["retweeters"]
+                    ),
+                    ignorers=tuple(
+                        _as_int(u, "ignorers", path, line_number)
+                        for u in record["ignorers"]
+                    ),
                 )
             )
     return tuples

@@ -16,6 +16,25 @@ approximation relative to the serial sampler is counter staleness *within*
 a superstep — the standard approximate-parallel-Gibbs (AD-LDA-style)
 trade-off that the GraphLab implementation also makes.
 
+Fault tolerance and the superstep-replay guarantee
+--------------------------------------------------
+The engine accepts a pluggable :class:`~repro.resilience.faults.FaultPlan`
+(node crashes — possibly mid-shard, straggler delays, merge failures), a
+per-node ``node_timeout``, and a bounded exponential-backoff
+:class:`~repro.resilience.retry.RetryPolicy`.  When a node task raises
+:class:`~repro.resilience.faults.FaultError` or overruns its timeout, the
+engine invokes the caller's ``reset`` hook — which must roll the node back
+to the **pre-barrier snapshot** — waits out the (simulated) backoff, and
+replays the node's work from scratch.  Because failed attempts are rolled
+back to the snapshot and the barrier merge only applies complete node
+deltas, *a failed node can never corrupt the merged counters*: after any
+recovered superstep the merged state equals a from-scratch recount of the
+assignments, which ``CountState.check_invariants()`` verifies in the
+sampler.  Merge failures are retried the same way (the merge is
+idempotent — it recomputes from the snapshot each attempt).  Retries,
+injected delays, and backoff waits are all recorded in the
+:class:`SuperstepReport`.
+
 An optional thread-pool executor runs shards concurrently for real; on
 CPython the GIL limits its gains, so the simulated mode is the default for
 the scalability benches (and is documented as such in EXPERIMENTS.md).
@@ -28,6 +47,9 @@ from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from ..resilience.faults import FaultError, FaultPlan
+from ..resilience.retry import RetryError, RetryPolicy
+
 
 class EngineError(ValueError):
     """Raised for invalid engine configurations."""
@@ -35,29 +57,50 @@ class EngineError(ValueError):
 
 @dataclass(frozen=True)
 class NodeTiming:
-    """Wall time one simulated node spent on its shard in one superstep."""
+    """Wall time one simulated node spent on its shard in one superstep.
+
+    ``seconds`` accumulates every attempt (including failed ones) plus any
+    injected straggler delay; ``retry_wait_seconds`` is the simulated
+    backoff spent between attempts.
+    """
 
     node_id: int
     seconds: float
+    attempts: int = 1
+    retry_wait_seconds: float = 0.0
+
+    @property
+    def retries(self) -> int:
+        return self.attempts - 1
 
 
 @dataclass(frozen=True)
 class SuperstepReport:
-    """Timing of one superstep across all nodes."""
+    """Timing and recovery record of one superstep across all nodes."""
 
     node_timings: tuple[NodeTiming, ...]
     merge_seconds: float
+    merge_attempts: int = 1
 
     @property
     def cluster_seconds(self) -> float:
         """Simulated synchronous-cluster time: slowest node + merge."""
-        slowest = max((t.seconds for t in self.node_timings), default=0.0)
+        slowest = max(
+            (t.seconds + t.retry_wait_seconds for t in self.node_timings),
+            default=0.0,
+        )
         return slowest + self.merge_seconds
 
     @property
     def serial_seconds(self) -> float:
         """Total work time (what one node would have spent)."""
         return sum(t.seconds for t in self.node_timings) + self.merge_seconds
+
+    @property
+    def retries(self) -> int:
+        """Node retries plus merge retries recovered in this superstep."""
+        node_retries = sum(t.retries for t in self.node_timings)
+        return node_retries + (self.merge_attempts - 1)
 
 
 @dataclass
@@ -81,6 +124,11 @@ class ClusterReport:
             return 1.0
         return self.serial_seconds / self.cluster_seconds
 
+    @property
+    def total_retries(self) -> int:
+        """Recovered node/merge retries across the whole run."""
+        return sum(s.retries for s in self.supersteps)
+
 
 class SimulatedCluster:
     """Runs node tasks and reports simulated synchronous-cluster timing.
@@ -94,52 +142,157 @@ class SimulatedCluster:
         ``"simulated"`` runs tasks sequentially and *reports* parallel time
         (deterministic, GIL-free measurement); ``"threads"`` actually runs
         them on a thread pool.
+    fault_plan:
+        Optional fault-injection schedule; consulted for straggler delays
+        and merge failures (node crashes are injected inside the caller's
+        tasks, which raise :class:`FaultError`).
+    retry:
+        Backoff policy for failed/timed-out nodes and failed merges.
+        Delays are *simulated* (recorded, never slept).
+    node_timeout:
+        Per-node, per-attempt limit in (simulated) seconds; an attempt
+        exceeding it is rolled back via ``reset`` and replayed, exactly
+        like a crash.
     """
 
-    def __init__(self, num_nodes: int, executor: str = "simulated") -> None:
+    def __init__(
+        self,
+        num_nodes: int,
+        executor: str = "simulated",
+        fault_plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        node_timeout: float | None = None,
+    ) -> None:
         if num_nodes <= 0:
             raise EngineError(f"num_nodes must be positive, got {num_nodes}")
         if executor not in ("simulated", "threads"):
             raise EngineError(f"unknown executor {executor!r}")
+        if node_timeout is not None and node_timeout <= 0:
+            raise EngineError(f"node_timeout must be positive, got {node_timeout}")
         self.num_nodes = num_nodes
         self.executor = executor
+        self.fault_plan = fault_plan
+        self.retry = retry or RetryPolicy()
+        self.node_timeout = node_timeout
+
+    def _run_node(
+        self,
+        node_id: int,
+        task: Callable[[], None],
+        reset: Callable[[int], None] | None,
+        superstep_index: int,
+    ) -> NodeTiming:
+        """One node's work with crash/timeout recovery.
+
+        Each failed attempt is rolled back through ``reset`` before the
+        replay, so a retried node always starts from the pre-barrier
+        snapshot.
+        """
+        attempts = 0
+        elapsed = 0.0
+        wait = 0.0
+        while True:
+            if attempts > 0 and reset is not None:
+                reset(node_id)
+            start = time.perf_counter()
+            failure: str | None = None
+            try:
+                task()
+            except FaultError as exc:
+                failure = f"crashed: {exc}"
+            seconds = time.perf_counter() - start
+            if self.fault_plan is not None:
+                seconds += self.fault_plan.straggler_delay(
+                    superstep_index, node_id, attempts
+                )
+            elapsed += seconds
+            attempts += 1
+            if failure is None and (
+                self.node_timeout is None or seconds <= self.node_timeout
+            ):
+                return NodeTiming(node_id, elapsed, attempts, wait)
+            if failure is None:
+                failure = (
+                    f"timed out after {seconds:.3f}s "
+                    f"(limit {self.node_timeout:.3f}s)"
+                )
+                # Timed-out work completed but is treated as lost (a real
+                # cluster reschedules the straggler); roll it back too.
+            if attempts >= self.retry.max_attempts:
+                raise RetryError(
+                    f"node {node_id} failed superstep {superstep_index} "
+                    f"after {attempts} attempts: {failure}"
+                )
+            if reset is None:
+                raise EngineError(
+                    f"node {node_id} failed ({failure}) but no reset hook was "
+                    "given; cannot replay safely"
+                )
+            wait += self.retry.delay(attempts - 1)
+
+    def _run_merge(
+        self, merge: Callable[[], None] | None, superstep_index: int
+    ) -> tuple[float, float]:
+        """Run the barrier merge with failure injection + retry.
+
+        Returns ``(merge_seconds, merge_attempts)``; injected failures add
+        simulated backoff to the merge time.  Safe because the merge
+        recomputes the global counters from the snapshot each attempt.
+        """
+        attempts = 0
+        extra = 0.0
+        while True:
+            if self.fault_plan is not None and self.fault_plan.merge_fails(
+                superstep_index, attempts
+            ):
+                attempts += 1
+                if attempts >= self.retry.max_attempts:
+                    raise RetryError(
+                        f"merge of superstep {superstep_index} failed after "
+                        f"{attempts} attempts"
+                    )
+                extra += self.retry.delay(attempts - 1)
+                continue
+            start = time.perf_counter()
+            if merge is not None:
+                merge()
+            return time.perf_counter() - start + extra, attempts + 1
 
     def superstep(
         self,
         node_tasks: Sequence[Callable[[], None]],
         merge: Callable[[], None] | None = None,
+        reset: Callable[[int], None] | None = None,
+        superstep_index: int = 0,
     ) -> SuperstepReport:
         """Run one barrier-synchronised superstep and time it.
 
         ``node_tasks[n]`` is node ``n``'s shard work; ``merge`` runs once at
-        the barrier (delta application).
+        the barrier (delta application); ``reset(n)`` must restore node
+        ``n`` to its pre-superstep snapshot and is invoked before every
+        replay of a crashed or timed-out node.
         """
         if len(node_tasks) != self.num_nodes:
             raise EngineError(
                 f"expected {self.num_nodes} node tasks, got {len(node_tasks)}"
             )
-        timings: list[NodeTiming] = []
+        timings: list[NodeTiming]
         if self.executor == "threads" and self.num_nodes > 1:
-            def timed(node_id: int, task: Callable[[], None]) -> NodeTiming:
-                start = time.perf_counter()
-                task()
-                return NodeTiming(node_id, time.perf_counter() - start)
-
             with ThreadPoolExecutor(max_workers=self.num_nodes) as pool:
                 futures = [
-                    pool.submit(timed, n, task) for n, task in enumerate(node_tasks)
+                    pool.submit(self._run_node, n, task, reset, superstep_index)
+                    for n, task in enumerate(node_tasks)
                 ]
                 timings = [f.result() for f in futures]
         else:
-            for node_id, task in enumerate(node_tasks):
-                start = time.perf_counter()
-                task()
-                timings.append(NodeTiming(node_id, time.perf_counter() - start))
+            timings = [
+                self._run_node(n, task, reset, superstep_index)
+                for n, task in enumerate(node_tasks)
+            ]
 
-        merge_start = time.perf_counter()
-        if merge is not None:
-            merge()
-        merge_seconds = time.perf_counter() - merge_start
+        merge_seconds, merge_attempts = self._run_merge(merge, superstep_index)
         return SuperstepReport(
-            node_timings=tuple(timings), merge_seconds=merge_seconds
+            node_timings=tuple(timings),
+            merge_seconds=merge_seconds,
+            merge_attempts=merge_attempts,
         )

@@ -27,6 +27,8 @@ from ..core.likelihood import ConvergenceMonitor, joint_log_likelihood
 from ..core.params import Hyperparameters
 from ..core.state import CountState
 from ..datasets.corpus import SocialCorpus
+from ..resilience.faults import FaultError, FaultPlan
+from ..resilience.retry import RetryPolicy
 from .engine import ClusterReport, EngineError, SimulatedCluster
 from .graph import ComputationGraph
 from .partition import PartitionStats, Shard, partition_graph
@@ -42,21 +44,50 @@ _COUNTER_FIELDS = (
 )
 
 
+#: Shared assignment arrays captured for superstep replay: a crashed node
+#: has partially rewritten its shard's slots, and the replay must restore
+#: them to the pre-barrier values before resampling from scratch.
+_ASSIGNMENT_FIELDS = ("post_comm", "post_topic", "link_src_comm", "link_dst_comm")
+
+
 @dataclass
 class _Snapshot:
-    """Frozen copies of the global counters at a superstep boundary."""
+    """Frozen pre-barrier state: counters, assignments, degeneracy tally."""
 
     arrays: dict[str, np.ndarray]
+    assignments: dict[str, np.ndarray]
+    degenerate_draws: int
 
     @classmethod
     def of(cls, state: CountState) -> "_Snapshot":
-        return cls({name: getattr(state, name).copy() for name in _COUNTER_FIELDS})
+        return cls(
+            arrays={name: getattr(state, name).copy() for name in _COUNTER_FIELDS},
+            assignments={
+                name: getattr(state, name).copy() for name in _ASSIGNMENT_FIELDS
+            },
+            degenerate_draws=state.degenerate_draws,
+        )
 
     def local_state(self, state: CountState) -> CountState:
         """A node-private state: copied counters, shared data/assignments."""
         return replace(
             state, **{name: array.copy() for name, array in self.arrays.items()}
         )
+
+    def restore_shard(self, state: CountState, shard: Shard) -> None:
+        """Roll one shard's shared assignments back to the snapshot.
+
+        Shards own disjoint posts/links, so this never touches slots that
+        surviving nodes have already resampled this superstep.
+        """
+        posts = shard.post_order()
+        if len(posts):
+            state.post_comm[posts] = self.assignments["post_comm"][posts]
+            state.post_topic[posts] = self.assignments["post_topic"][posts]
+        links = shard.link_order()
+        if len(links):
+            state.link_src_comm[links] = self.assignments["link_src_comm"][links]
+            state.link_dst_comm[links] = self.assignments["link_dst_comm"][links]
 
     def merge_into(self, state: CountState, locals_: list[CountState]) -> None:
         """``global = snapshot + sum_n (local_n - snapshot)`` per counter."""
@@ -66,6 +97,9 @@ class _Snapshot:
             for local in locals_:
                 merged += getattr(local, name) - base
             getattr(state, name)[...] = merged
+        state.degenerate_draws = self.degenerate_draws + sum(
+            local.degenerate_draws - self.degenerate_draws for local in locals_
+        )
 
 
 class ParallelCOLDSampler:
@@ -87,6 +121,10 @@ class ParallelCOLDSampler:
         kappa: float = 1.0,
         prior: str = "paper",
         seed: int = 0,
+        fault_plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        node_timeout: float | None = None,
+        verify_recovery: bool = True,
     ) -> None:
         if num_communities <= 0 or num_topics <= 0:
             raise EngineError("num_communities and num_topics must be positive")
@@ -101,6 +139,12 @@ class ParallelCOLDSampler:
         self.kappa = kappa
         self.prior = prior
         self.seed = seed
+        self.fault_plan = fault_plan
+        self.retry = retry
+        self.node_timeout = node_timeout
+        #: When true, run ``CountState.check_invariants()`` after every
+        #: superstep that recovered from a fault — the replay guarantee.
+        self.verify_recovery = verify_recovery
         self.state_: CountState | None = None
         self.estimates_: ParameterEstimates | None = None
         self.report_: ClusterReport | None = None
@@ -138,7 +182,13 @@ class ParallelCOLDSampler:
         if not self.include_network:
             graph.user_user_edges = []
         shards, stats = partition_graph(graph, self.num_nodes)
-        cluster = SimulatedCluster(self.num_nodes, executor=self.executor)
+        cluster = SimulatedCluster(
+            self.num_nodes,
+            executor=self.executor,
+            fault_plan=self.fault_plan,
+            retry=self.retry,
+            node_timeout=self.node_timeout,
+        )
         node_rngs = [
             np.random.default_rng(child) for child in seed_seq.spawn(self.num_nodes)
         ]
@@ -147,8 +197,12 @@ class ParallelCOLDSampler:
         samples: list[ParameterEstimates] = []
         supersteps = []
         for iteration in range(1, num_iterations + 1):
-            report = self._superstep(state, hp, shards, cluster, node_rngs)
+            report = self._superstep(state, hp, shards, cluster, node_rngs, iteration)
             supersteps.append(report)
+            if self.verify_recovery and report.retries:
+                # The superstep replayed at least one node (or re-ran the
+                # merge); prove the recovery corrupted nothing.
+                state.check_invariants()
             if likelihood_interval and iteration % likelihood_interval == 0:
                 monitor.record(joint_log_likelihood(state, hp))
             if iteration > burn_in and (iteration - burn_in) % sample_interval == 0:
@@ -156,6 +210,7 @@ class ParallelCOLDSampler:
 
         if not samples:
             samples.append(estimate_from_state(state, hp))
+        monitor.degenerate_draws = state.degenerate_draws
         self.state_ = state
         self.estimates_ = average_estimates(samples)
         self.report_ = ClusterReport(supersteps=supersteps)
@@ -171,28 +226,60 @@ class ParallelCOLDSampler:
         shards: list[Shard],
         cluster: SimulatedCluster,
         node_rngs: list[np.random.Generator],
+        iteration: int,
     ):
         snapshot = _Snapshot.of(state)
         locals_ = [snapshot.local_state(state) for _ in shards]
+        attempt_counters = [0] * len(shards)
+        plan = cluster.fault_plan
 
         def make_task(node: int):
             shard = shards[node]
-            local = locals_[node]
             rng = node_rngs[node]
 
             def task() -> None:
-                sweep(
-                    local,
-                    hp,
-                    rng,
-                    post_order=shard.post_order(),
-                    link_order=shard.link_order(),
+                attempt = attempt_counters[node]
+                attempt_counters[node] += 1
+                local = locals_[node]  # re-read: reset() swaps in a fresh copy
+                post_order = shard.post_order()
+                link_order = shard.link_order()
+                crash = (
+                    plan.crash_for(iteration, node, attempt)
+                    if plan is not None
+                    else None
                 )
+                if crash is not None:
+                    # Die mid-shard: do a fraction of the work (corrupting
+                    # local counters and this shard's shared assignment
+                    # slots), then fail.  The engine rolls it back via
+                    # reset() and replays the full shard.
+                    done = int(len(post_order) * crash.progress)
+                    sweep(
+                        local,
+                        hp,
+                        rng,
+                        post_order=post_order[:done],
+                        link_order=link_order[:0],
+                    )
+                    raise FaultError(
+                        f"injected crash of node {node} at superstep "
+                        f"{iteration} ({done}/{len(post_order)} posts done)"
+                    )
+                sweep(local, hp, rng, post_order=post_order, link_order=link_order)
 
             return task
 
+        def reset(node: int) -> None:
+            locals_[node] = snapshot.local_state(state)
+            snapshot.restore_shard(state, shards[node])
+
         tasks = [make_task(n) for n in range(len(shards))]
-        return cluster.superstep(tasks, merge=lambda: snapshot.merge_into(state, locals_))
+        return cluster.superstep(
+            tasks,
+            merge=lambda: snapshot.merge_into(state, locals_),
+            reset=reset,
+            superstep_index=iteration,
+        )
 
     def _resolve_hyperparameters(self, corpus: SocialCorpus) -> Hyperparameters:
         if self.hyperparameters is not None:

@@ -1,0 +1,46 @@
+"""Crash-safety layer: checkpoints, fault injection, and retry policies.
+
+Long COLD fits (the paper runs 400 sweeps over 11M+ posts on a GraphLab
+cluster, §5) live in a regime where node failures and preemptions are
+routine.  This package makes the reproduction resilient end to end:
+
+* :mod:`~repro.resilience.checkpoint` — atomic file writes and versioned,
+  checksummed sampler checkpoints with newest-valid fallback on load;
+* :mod:`~repro.resilience.faults` — a pluggable :class:`FaultPlan` that
+  injects node crashes, straggler delays, and merge failures into the
+  simulated cluster at chosen supersteps;
+* :mod:`~repro.resilience.retry` — bounded exponential-backoff retry
+  policies shared by the parallel engine and any flaky I/O path.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    atomic_write,
+    atomic_write_bytes,
+    atomic_write_text,
+    list_checkpoints,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .faults import FaultError, FaultPlan, MergeFailure, NodeCrash, StragglerDelay
+from .retry import RetryError, RetryPolicy, execute_with_retry
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointError",
+    "FaultError",
+    "FaultPlan",
+    "MergeFailure",
+    "NodeCrash",
+    "RetryError",
+    "RetryPolicy",
+    "StragglerDelay",
+    "atomic_write",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "execute_with_retry",
+    "list_checkpoints",
+    "load_checkpoint",
+    "save_checkpoint",
+]

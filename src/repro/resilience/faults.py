@@ -1,0 +1,131 @@
+"""Declarative fault injection for the simulated cluster.
+
+A :class:`FaultPlan` schedules failures at chosen supersteps: node crashes
+(optionally mid-shard, after a fraction of the work), straggler delays, and
+merge failures at the barrier.  The plan is consulted with an *attempt*
+number so each fault fires for a bounded number of consecutive attempts
+(``times``), after which the retried operation succeeds — mirroring a
+transient cluster failure.  The plan also tallies every injection so tests
+and reports can assert on what was actually exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class FaultError(RuntimeError):
+    """The injected failure raised inside a simulated node task."""
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Crash node ``node`` at superstep ``superstep``.
+
+    ``progress`` is the fraction of the shard's posts the node processes
+    before dying, so a crash genuinely corrupts the node-local counters and
+    partially updates shared assignments — the state the engine's replay
+    must be able to roll back.  ``times`` consecutive attempts fail.
+    """
+
+    superstep: int
+    node: int
+    progress: float = 0.5
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.progress <= 1.0:
+            raise ValueError(f"progress must lie in [0, 1], got {self.progress}")
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+
+
+@dataclass(frozen=True)
+class StragglerDelay:
+    """Add ``seconds`` of simulated wall time to one node's superstep."""
+
+    superstep: int
+    node: int
+    seconds: float
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+
+
+@dataclass(frozen=True)
+class MergeFailure:
+    """Fail the barrier merge of superstep ``superstep`` ``times`` times."""
+
+    superstep: int
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+
+
+@dataclass
+class FaultPlan:
+    """A schedule of injected faults, queried by (superstep, node, attempt).
+
+    Attempt numbers are 0-based per superstep: a fault with ``times=2``
+    fires on attempts 0 and 1 and lets attempt 2 through, so a retry policy
+    with enough attempts always recovers.
+    """
+
+    crashes: tuple[NodeCrash, ...] = ()
+    stragglers: tuple[StragglerDelay, ...] = ()
+    merge_failures: tuple[MergeFailure, ...] = ()
+    injected_crashes: int = field(default=0, init=False)
+    injected_delays: int = field(default=0, init=False)
+    injected_merge_failures: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.crashes = tuple(self.crashes)
+        self.stragglers = tuple(self.stragglers)
+        self.merge_failures = tuple(self.merge_failures)
+
+    def crash_for(self, superstep: int, node: int, attempt: int) -> NodeCrash | None:
+        """The crash to inject for this (superstep, node, attempt), if any."""
+        for crash in self.crashes:
+            if (
+                crash.superstep == superstep
+                and crash.node == node
+                and attempt < crash.times
+            ):
+                self.injected_crashes += 1
+                return crash
+        return None
+
+    def straggler_delay(self, superstep: int, node: int, attempt: int) -> float:
+        """Total injected delay (seconds) for this node attempt."""
+        total = 0.0
+        for straggler in self.stragglers:
+            if (
+                straggler.superstep == superstep
+                and straggler.node == node
+                and attempt < straggler.times
+            ):
+                self.injected_delays += 1
+                total += straggler.seconds
+        return total
+
+    def merge_fails(self, superstep: int, attempt: int) -> bool:
+        """Whether the merge of ``superstep`` fails on this attempt."""
+        for failure in self.merge_failures:
+            if failure.superstep == superstep and attempt < failure.times:
+                self.injected_merge_failures += 1
+                return True
+        return False
+
+    @property
+    def total_injected(self) -> int:
+        return (
+            self.injected_crashes
+            + self.injected_delays
+            + self.injected_merge_failures
+        )

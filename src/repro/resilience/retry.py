@@ -1,0 +1,90 @@
+"""Bounded exponential-backoff retry policies.
+
+A single :class:`RetryPolicy` value object describes how often and how
+patiently an operation is retried; the parallel engine uses it for failed
+or timed-out node tasks and merge failures, and :func:`execute_with_retry`
+applies the same policy to arbitrary callables (e.g. flaky filesystem
+writes).  Backoff delays are deterministic — ``base_delay * multiplier**i``
+capped at ``max_delay`` — because the simulated cluster accounts for them
+as simulated wall time and tests must be reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+class RetryError(RuntimeError):
+    """Raised when an operation still fails after all retry attempts."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff: at most ``max_attempts`` tries.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first one; must be >= 1.
+    base_delay:
+        Backoff before the first retry, in (simulated) seconds.
+    multiplier:
+        Growth factor applied per retry.
+    max_delay:
+        Upper bound on any single backoff delay.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+
+    def delay(self, retry_index: int) -> float:
+        """Backoff before retry ``retry_index`` (0-based), capped at max."""
+        if retry_index < 0:
+            raise ValueError(f"retry_index must be >= 0, got {retry_index}")
+        return min(self.base_delay * self.multiplier**retry_index, self.max_delay)
+
+    def delays(self) -> Iterator[float]:
+        """The full backoff schedule (one delay per possible retry)."""
+        for i in range(self.max_attempts - 1):
+            yield self.delay(i)
+
+
+def execute_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy | None = None,
+    retry_on: tuple[type[BaseException], ...] = (OSError,),
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` under ``policy``, sleeping between failed attempts.
+
+    Only exceptions in ``retry_on`` are retried; anything else propagates
+    immediately.  After the final attempt the last exception is wrapped in
+    :class:`RetryError` (chained, so the cause stays inspectable).
+    """
+    policy = policy or RetryPolicy()
+    last: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            last = exc
+            if attempt + 1 < policy.max_attempts:
+                sleep(policy.delay(attempt))
+    raise RetryError(
+        f"operation failed after {policy.max_attempts} attempts: {last}"
+    ) from last

@@ -1,0 +1,133 @@
+"""CLI hardening: exit code 2 + one-line typed errors, checkpoint flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.resilience.checkpoint import list_checkpoints
+
+
+@pytest.fixture(scope="module")
+def corpus_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "corpus.jsonl"
+    assert main([
+        "generate", str(path),
+        "--users", "20", "--communities", "3", "--topics", "4",
+        "--time-slices", "6", "--vocab", "80", "--seed", "1",
+    ]) == 0
+    return path
+
+
+def _one_line_error(capsys):
+    err = capsys.readouterr().err.strip()
+    assert "\n" not in err
+    assert err.startswith("error: ")
+    return err
+
+
+class TestTypedFailures:
+    def test_missing_corpus_exits_2(self, tmp_path, capsys):
+        code = main([
+            "train", str(tmp_path / "nope.jsonl"), str(tmp_path / "model"),
+            "--iterations", "2",
+        ])
+        assert code == 2
+        assert "FileNotFoundError" in _one_line_error(capsys)
+
+    def test_corrupt_corpus_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "header", "num_users": 2\n')
+        code = main([
+            "train", str(bad), str(tmp_path / "model"), "--iterations", "2",
+        ])
+        assert code == 2
+        assert "CorpusIOError" in _one_line_error(capsys)
+
+    def test_out_of_range_ids_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        records = [
+            {"type": "header", "num_users": 2, "num_time_slices": 3,
+             "vocab_size": 4},
+            {"type": "post", "author": 9, "words": [0], "timestamp": 0},
+        ]
+        bad.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        code = main([
+            "train", str(bad), str(tmp_path / "model"), "--iterations", "2",
+        ])
+        assert code == 2
+        assert "CorpusIOValidationError" in _one_line_error(capsys)
+
+    def test_missing_model_exits_2(self, corpus_path, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "missing"), str(corpus_path)])
+        assert code == 2
+        _one_line_error(capsys)
+
+    def test_corrupt_checkpoint_exits_2(self, corpus_path, tmp_path, capsys):
+        ckdir = tmp_path / "ck"
+        ckdir.mkdir()
+        (ckdir / "cold-00000001.manifest.json").write_text("{nope")
+        code = main([
+            "train", str(corpus_path), str(tmp_path / "model"),
+            "--resume", str(ckdir),
+        ])
+        assert code == 2
+        assert "CheckpointError" in _one_line_error(capsys)
+
+    def test_resume_with_parallel_nodes_rejected(
+        self, corpus_path, tmp_path, capsys
+    ):
+        code = main([
+            "train", str(corpus_path), str(tmp_path / "model"),
+            "--resume", str(tmp_path / "ck"), "--nodes", "2",
+        ])
+        assert code == 2
+        assert "EngineError" in _one_line_error(capsys)
+
+    def test_checkpointing_with_parallel_nodes_rejected(
+        self, corpus_path, tmp_path, capsys
+    ):
+        code = main([
+            "train", str(corpus_path), str(tmp_path / "model"),
+            "--iterations", "2", "--checkpoint-every", "1", "--nodes", "2",
+        ])
+        assert code == 2
+        assert "EngineError" in _one_line_error(capsys)
+
+
+class TestCheckpointFlags:
+    def test_train_checkpoint_resume_roundtrip(
+        self, corpus_path, tmp_path, capsys
+    ):
+        model = tmp_path / "model"
+        ckdir = tmp_path / "ck"
+        assert main([
+            "train", str(corpus_path), str(model),
+            "--communities", "3", "--topics", "4", "--iterations", "6",
+            "--checkpoint-every", "2", "--checkpoint-dir", str(ckdir),
+        ]) == 0
+        assert model.with_suffix(".json").exists()
+        names = [p.name for p in list_checkpoints(ckdir)]
+        assert names[0] == "cold-00000006.manifest.json"
+        assert len(names) == 3
+
+        # Resuming a finished fit reloads it and re-saves the model.
+        resumed = tmp_path / "resumed"
+        assert main([
+            "train", str(corpus_path), str(resumed), "--resume", str(ckdir),
+        ]) == 0
+        assert resumed.with_suffix(".json").exists()
+        assert "resuming from" in capsys.readouterr().out
+
+    def test_checkpoint_dir_defaults_next_to_model(
+        self, corpus_path, tmp_path
+    ):
+        model = tmp_path / "model"
+        assert main([
+            "train", str(corpus_path), str(model),
+            "--communities", "3", "--topics", "4", "--iterations", "4",
+            "--checkpoint-every", "2",
+        ]) == 0
+        assert list_checkpoints(tmp_path / "model.ckpt")

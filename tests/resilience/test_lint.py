@@ -1,0 +1,44 @@
+"""Lint gate: ``ruff check src tests benchmarks`` must be clean.
+
+Runs ruff (configured in ``pyproject.toml``) as part of the test suite so
+CI fails on unused imports, undefined names, and similar defects.  Skips
+when ruff is not installed — the gate is advisory in minimal environments
+and enforced wherever the ``lint`` extra is available.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_ruff_check_is_clean():
+    if shutil.which("ruff") is None:
+        pytest.skip("ruff is not installed (pip install .[lint] to enable)")
+    result = subprocess.run(
+        ["ruff", "check", "src", "tests", "benchmarks"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_sources_compile():
+    """Cheap always-on fallback for the lint gate: everything byte-compiles."""
+    targets = [
+        str(REPO_ROOT / name) for name in ("src", "tests", "benchmarks")
+        if (REPO_ROOT / name).is_dir()
+    ]
+    result = subprocess.run(
+        [sys.executable, "-m", "compileall", "-q", *targets],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

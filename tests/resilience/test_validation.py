@@ -1,0 +1,196 @@
+"""Strict ingest validation: typed errors, never bare KeyError/IndexError."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.estimates import EstimateError, ParameterEstimates
+from repro.core.gibbs import categorical_checked
+from repro.core.model import COLDModel, ModelError
+from repro.datasets.corpus import (
+    CorpusError,
+    CorpusValidationError,
+    Post,
+    SocialCorpus,
+)
+from repro.datasets.io import (
+    CorpusIOError,
+    CorpusIOValidationError,
+    load_corpus,
+    load_retweet_tuples,
+    save_corpus,
+)
+
+
+def _valid_lines():
+    return [
+        {"type": "header", "num_users": 2, "num_time_slices": 4, "vocab_size": 5},
+        {"type": "post", "author": 0, "words": [0, 1], "timestamp": 1},
+        {"type": "post", "author": 1, "words": [2], "timestamp": 3},
+        {"type": "link", "src": 0, "dst": 1},
+    ]
+
+
+def _write(tmp_path, lines, name="corpus.jsonl"):
+    path = tmp_path / name
+    path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+    return path
+
+
+class TestCorpusValidationErrors:
+    def test_negative_author_is_typed(self):
+        with pytest.raises(CorpusValidationError, match="author"):
+            Post(author=-1, words=(0,), timestamp=0)
+
+    def test_negative_timestamp_is_typed(self):
+        with pytest.raises(CorpusValidationError, match="timestamp"):
+            Post(author=0, words=(0,), timestamp=-1)
+
+    def test_negative_word_id_is_typed(self):
+        with pytest.raises(CorpusValidationError, match="word ids"):
+            Post(author=0, words=(0, -3), timestamp=0)
+
+    def test_dangling_link_is_typed(self):
+        posts = [Post(author=0, words=(0,), timestamp=0)]
+        with pytest.raises(CorpusValidationError, match="dangling"):
+            SocialCorpus(
+                num_users=2, num_time_slices=2, posts=posts,
+                links=[(0, 7)], vocab_size=3,
+            )
+
+    def test_validation_error_is_a_corpus_error(self):
+        # Existing `except CorpusError` call sites keep working.
+        assert issubclass(CorpusValidationError, CorpusError)
+
+
+class TestLoadCorpusErrors:
+    def test_truncated_file_mid_record(self, tmp_path):
+        path = _write(tmp_path, _valid_lines())
+        path.write_text(path.read_text()[:-15])  # chop inside the last record
+        with pytest.raises(CorpusIOError, match="invalid JSON"):
+            load_corpus(path)
+
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_corpus(tmp_path / "nope.jsonl")
+
+    def test_missing_header(self, tmp_path):
+        path = _write(tmp_path, _valid_lines()[1:])
+        with pytest.raises(CorpusIOError, match="missing header"):
+            load_corpus(path)
+
+    def test_missing_post_field_names_line(self, tmp_path):
+        lines = _valid_lines()
+        del lines[1]["timestamp"]
+        path = _write(tmp_path, lines)
+        with pytest.raises(CorpusIOError, match=r"corpus\.jsonl:2.*timestamp"):
+            load_corpus(path)
+
+    def test_non_integer_field_is_typed(self, tmp_path):
+        lines = _valid_lines()
+        lines[3]["dst"] = "one"
+        path = _write(tmp_path, lines)
+        with pytest.raises(CorpusIOError, match="not an integer"):
+            load_corpus(path)
+
+    def test_non_list_words_is_typed(self, tmp_path):
+        lines = _valid_lines()
+        lines[1]["words"] = "0 1"
+        path = _write(tmp_path, lines)
+        with pytest.raises(CorpusIOError, match="must be a list"):
+            load_corpus(path)
+
+    def test_unknown_record_type_is_typed(self, tmp_path):
+        path = _write(tmp_path, _valid_lines() + [{"type": "mystery"}])
+        with pytest.raises(CorpusIOError, match="unknown record type"):
+            load_corpus(path)
+
+    def test_out_of_range_ids_raise_dual_typed_error(self, tmp_path):
+        lines = _valid_lines()
+        lines[2]["author"] = 99  # >= num_users
+        path = _write(tmp_path, lines)
+        with pytest.raises(CorpusIOValidationError) as excinfo:
+            load_corpus(path)
+        assert isinstance(excinfo.value, CorpusIOError)
+        assert isinstance(excinfo.value, CorpusValidationError)
+
+    def test_dangling_link_in_file_is_validation_error(self, tmp_path):
+        lines = _valid_lines()
+        lines[3]["dst"] = 42
+        path = _write(tmp_path, lines)
+        with pytest.raises(CorpusValidationError, match="dangling"):
+            load_corpus(path)
+
+    def test_roundtrip_still_works(self, tmp_path, tiny_corpus):
+        path = tmp_path / "tiny.jsonl"
+        save_corpus(tiny_corpus, path)
+        loaded = load_corpus(path)
+        assert loaded.num_posts == tiny_corpus.num_posts
+        assert loaded.links == tiny_corpus.links
+
+
+class TestRetweetTupleErrors:
+    def test_missing_field_is_typed(self, tmp_path):
+        path = tmp_path / "tuples.jsonl"
+        path.write_text(json.dumps({"author": 0, "post_index": 1}) + "\n")
+        with pytest.raises(CorpusIOError, match="missing field"):
+            load_retweet_tuples(path)
+
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_retweet_tuples(tmp_path / "nope.jsonl")
+
+
+class TestModelAndEstimateLoadErrors:
+    def test_missing_model_config(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            COLDModel.load(tmp_path / "missing")
+
+    def test_corrupt_model_config_is_typed(self, tmp_path, fitted_model):
+        fitted_model.save(tmp_path / "m")
+        (tmp_path / "m.json").write_text("{broken")
+        with pytest.raises(ModelError):
+            COLDModel.load(tmp_path / "m")
+
+    def test_corrupt_estimate_npz_is_typed(self, tmp_path, fitted_model):
+        fitted_model.save(tmp_path / "m")
+        (tmp_path / "m.npz").write_bytes(b"not an npz")
+        with pytest.raises(EstimateError):
+            COLDModel.load(tmp_path / "m")
+
+    def test_estimate_npz_missing_array_is_typed(self, tmp_path, estimates):
+        estimates.save(tmp_path / "e.npz")
+        with np.load(tmp_path / "e.npz") as data:
+            partial = {k: data[k] for k in list(data.files)[:-1]}
+        np.savez(tmp_path / "e.npz", **partial)
+        with pytest.raises(EstimateError, match="missing estimate array"):
+            ParameterEstimates.load(tmp_path / "e.npz")
+
+
+class TestDegenerateDraws:
+    def test_all_zero_weights_flagged(self):
+        rng = np.random.default_rng(0)
+        index, degenerate = categorical_checked(np.zeros(3), rng)
+        assert 0 <= index < 3
+        assert degenerate
+
+    def test_positive_weights_not_flagged(self):
+        rng = np.random.default_rng(0)
+        _, degenerate = categorical_checked(np.array([0.2, 0.8]), rng)
+        assert not degenerate
+
+    def test_nan_weights_flagged(self):
+        rng = np.random.default_rng(0)
+        _, degenerate = categorical_checked(np.array([np.nan, 1.0]), rng)
+        assert degenerate
+
+    def test_monitor_mirrors_state_tally(self, fitted_model):
+        assert fitted_model.monitor_ is not None
+        assert (
+            fitted_model.monitor_.degenerate_draws
+            == fitted_model.state_.degenerate_draws
+        )
+        assert "degenerate_draws" in fitted_model.monitor_.summary()
