@@ -49,7 +49,7 @@ def truth(world) -> GroundTruth:
 @pytest.fixture(scope="session")
 def cold_model(corpus) -> COLDModel:
     """The reference COLD fit shared by the analysis benches."""
-    model = COLDModel(BENCH_C, BENCH_K, prior="scaled", seed=0)
+    model = COLDModel(num_communities=BENCH_C, num_topics=BENCH_K, prior="scaled", seed=0)
     return model.fit(corpus, num_iterations=FULL_ITERS)
 
 
@@ -102,10 +102,10 @@ def sensitivity_grid(corpus, truth):
     results: dict[tuple[int, int], dict[str, float]] = {}
     for C in grid_c:
         for K in grid_k:
-            text_fit = COLDModel(C, K, prior="scaled", seed=0).fit(
+            text_fit = COLDModel(num_communities=C, num_topics=K, prior="scaled", seed=0).fit(
                 post_split.train, num_iterations=SWEEP_ITERS
             )
-            link_fit = COLDModel(C, K, prior="scaled", seed=0).fit(
+            link_fit = COLDModel(num_communities=C, num_topics=K, prior="scaled", seed=0).fit(
                 link_split.train, num_iterations=SWEEP_ITERS
             )
             predictor = DiffusionPredictor(text_fit.estimates_)

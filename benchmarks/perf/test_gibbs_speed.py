@@ -1,0 +1,37 @@
+"""Opt-in perf gate: the fast Gibbs path must beat reference by >= 3x.
+
+Run with ``pytest benchmarks/perf -m perf``.  Excluded from the default
+suite (``-m 'not perf'`` in pyproject) because the medium case costs a
+couple of minutes of wall time and asserts on machine-dependent timings.
+
+The methodology mirrors the committed ``BENCH_gibbs.json`` artefact:
+warmed chains, best-of-reps min per sweep (single-shot sweep timings on
+a busy box swing by 30%+, the min is the stable statistic).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import MEDIUM, run_case
+
+pytestmark = pytest.mark.perf
+
+
+def test_medium_case_speedup_and_exactness():
+    record = run_case(MEDIUM, warmup=10, reps=5, sweeps_per_rep=2)
+    assert record["draws_match"], "fast path diverged from reference draws"
+    assert record["speedup"] >= 3.0, (
+        f"fast path only {record['speedup']:.2f}x over reference "
+        f"({record['reference_seconds_per_sweep']:.4f}s -> "
+        f"{record['fast_seconds_per_sweep']:.4f}s per sweep)"
+    )
+
+
+def test_medium_case_reports_occupancy():
+    record = run_case(MEDIUM, warmup=1, reps=1, sweeps_per_rep=1)
+    occupancy = record["occupancy"]
+    assert 0 < occupancy["active_cells"] <= occupancy["total_cells"]
+    assert len(occupancy["top_cells"]) == 10
+    counts = [n for _c, _k, n in occupancy["top_cells"]]
+    assert counts == sorted(counts, reverse=True)

@@ -114,7 +114,7 @@ def test_ablation_multimodal_time_vs_tot_beta(benchmark, corpus):
     tolerances = [0, 1, 2, 4]
 
     def run():
-        cold = COLDModel(BENCH_C, BENCH_K, prior="scaled", seed=0).fit(
+        cold = COLDModel(num_communities=BENCH_C, num_topics=BENCH_K, prior="scaled", seed=0).fit(
             split.train, num_iterations=SWEEP_ITERS
         )
         tot = TOTModel(BENCH_K, alpha=0.5, seed=0).fit(
@@ -155,7 +155,7 @@ def test_ablation_per_post_vs_per_word_topics(benchmark, corpus):
 
     def run():
         start = time.perf_counter()
-        per_post = COLDModel(BENCH_C, BENCH_K, prior="scaled", seed=0).fit(
+        per_post = COLDModel(num_communities=BENCH_C, num_topics=BENCH_K, prior="scaled", seed=0).fit(
             split.train, num_iterations=iters
         )
         per_post_seconds = time.perf_counter() - start

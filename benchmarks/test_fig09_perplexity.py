@@ -23,7 +23,7 @@ def _sweep(corpus):
     split = post_splits(corpus, num_folds=5, seed=0)[0]
     results: dict[str, list[float]] = {"COLD": [], "EUTB": [], "PMTLM": []}
     for K in K_SWEEP:
-        cold = COLDModel(BENCH_C, K, prior="scaled", seed=0).fit(
+        cold = COLDModel(num_communities=BENCH_C, num_topics=K, prior="scaled", seed=0).fit(
             split.train, num_iterations=SWEEP_ITERS
         )
         results["COLD"].append(cold_perplexity(cold.estimates_, split.test))

@@ -22,7 +22,7 @@ def _evaluate(corpus) -> dict[str, float]:
     split = link_splits(corpus, num_folds=5, negative_fraction=0.05, seed=0)[0]
     train = split.train
 
-    cold = COLDModel(BENCH_C, BENCH_K, prior="scaled", seed=0).fit(
+    cold = COLDModel(num_communities=BENCH_C, num_topics=BENCH_K, prior="scaled", seed=0).fit(
         train, num_iterations=SWEEP_ITERS
     )
     pmtlm = PMTLMModel(BENCH_K, rho=0.5, seed=0).fit(

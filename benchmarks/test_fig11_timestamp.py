@@ -28,7 +28,7 @@ def _evaluate(corpus) -> dict[str, np.ndarray]:
     split = post_splits(corpus, num_folds=5, seed=0)[0]
     train, test = split.train, split.test
 
-    cold = COLDModel(BENCH_C, BENCH_K, prior="scaled", seed=0).fit(
+    cold = COLDModel(num_communities=BENCH_C, num_topics=BENCH_K, prior="scaled", seed=0).fit(
         train, num_iterations=SWEEP_ITERS
     )
     nolink = COLDNoLinkModel(BENCH_C, BENCH_K, prior="scaled", seed=0).fit(

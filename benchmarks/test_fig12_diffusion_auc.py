@@ -20,7 +20,7 @@ from benchmarks.conftest import BENCH_C, BENCH_K, FULL_ITERS, print_series
 def _evaluate(corpus, cascade_split) -> dict[str, float]:
     train_tuples, test_tuples = cascade_split
 
-    cold = COLDModel(BENCH_C, BENCH_K, prior="scaled", seed=0).fit(
+    cold = COLDModel(num_communities=BENCH_C, num_topics=BENCH_K, prior="scaled", seed=0).fit(
         corpus, num_iterations=FULL_ITERS
     )
     predictor = DiffusionPredictor(cold.estimates_)

@@ -33,7 +33,7 @@ def _subset_fractions_time(corpus) -> list[tuple[float, int, float]]:
         )
         subset = subset.subset_links(sorted(int(i) for i in keep_links))
         sampler = ParallelCOLDSampler(
-            BENCH_C, BENCH_K, num_nodes=4, prior="scaled", seed=0
+            num_communities=BENCH_C, num_topics=BENCH_K, num_nodes=4, prior="scaled", seed=0
         ).fit(subset, num_iterations=SCALING_ITERS)
         work = subset.num_words + subset.num_links
         rows.append((fraction, work, sampler.training_seconds()))
@@ -44,7 +44,8 @@ def _node_sweep_time(corpus) -> list[tuple[int, float, float]]:
     rows = []
     for num_nodes in (1, 2, 4, 8):
         sampler = ParallelCOLDSampler(
-            BENCH_C, BENCH_K, num_nodes=num_nodes, prior="scaled", seed=0
+            num_communities=BENCH_C, num_topics=BENCH_K, num_nodes=num_nodes,
+            prior="scaled", seed=0,
         ).fit(corpus, num_iterations=SCALING_ITERS)
         rows.append((num_nodes, sampler.training_seconds(), sampler.speedup()))
     return rows

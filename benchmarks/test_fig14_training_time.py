@@ -47,7 +47,7 @@ def _time_all(corpus) -> dict[str, float]:
     times["Pipeline"] = sw.seconds
 
     with Stopwatch() as sw:
-        COLDModel(BENCH_C, BENCH_K, prior="scaled", seed=0).fit(
+        COLDModel(num_communities=BENCH_C, num_topics=BENCH_K, prior="scaled", seed=0).fit(
             corpus, num_iterations=TRAIN_ITERS
         )
     times["COLD"] = sw.seconds

@@ -21,7 +21,7 @@ NUM_QUERIES = 100
 
 def _prepare(corpus, cascade_split):
     train_tuples, test_tuples = cascade_split
-    cold = COLDModel(BENCH_C, BENCH_K, prior="scaled", seed=0).fit(
+    cold = COLDModel(num_communities=BENCH_C, num_topics=BENCH_K, prior="scaled", seed=0).fit(
         corpus, num_iterations=SWEEP_ITERS
     )
     predictor = DiffusionPredictor(cold.estimates_)

@@ -55,7 +55,7 @@ def main() -> None:
     print(bar_chart(list(times), list(times.values())))
 
     # Quality check: parallel vs serial perplexity on the training corpus.
-    serial = COLDModel(4, 8, prior="scaled", seed=0).fit(
+    serial = COLDModel(num_communities=4, num_topics=8, prior="scaled", seed=0).fit(
         corpus, num_iterations=iterations
     )
     serial_perplexity = cold_perplexity(serial.estimates_, corpus)

@@ -12,7 +12,7 @@ Runs in well under a minute:
 
 from __future__ import annotations
 
-from repro import COLDModel, DiffusionPredictor, generate_corpus
+from repro import DiffusionPredictor, api, generate_corpus
 from repro.core.patterns import top_words
 from repro.core.diffusion import extract_diffusion_graph
 from repro.datasets import SyntheticConfig
@@ -33,10 +33,18 @@ def main() -> None:
     corpus, _truth = generate_corpus(config)
     print(f"corpus: {corpus}")
 
-    # 2. Fit COLD.  `prior="scaled"` applies laptop-scale prior strengths;
-    #    see Hyperparameters.scaled for when to prefer the paper's rules.
-    model = COLDModel(num_communities=4, num_topics=6, prior="scaled", seed=0)
-    model.fit(corpus, num_iterations=80, likelihood_interval=20)
+    # 2. Fit COLD through the stable facade: one frozen config, one verb.
+    #    `prior="scaled"` applies laptop-scale prior strengths; see
+    #    Hyperparameters.scaled for when to prefer the paper's rules.
+    run = api.COLDConfig(
+        num_communities=4,
+        num_topics=6,
+        prior="scaled",
+        seed=0,
+        num_iterations=80,
+        likelihood_interval=20,
+    )
+    model = api.fit(corpus, run)
     assert model.monitor_ is not None
     print(f"fitted; likelihood trace: {[round(v) for v in model.monitor_.trace]}")
 

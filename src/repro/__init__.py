@@ -1,12 +1,24 @@
 """repro: reproduction of "Community Level Diffusion Extraction" (SIGMOD'15).
 
-Public API highlights::
+The stable day-to-day surface is :mod:`repro.api` — one frozen config
+object and three verbs::
 
-    from repro import COLDModel, DiffusionPredictor, generate_corpus
+    from repro import api, generate_corpus
 
     corpus, truth = generate_corpus()
+    config = api.COLDConfig(num_communities=4, num_topics=6, seed=0)
+    model = api.fit(corpus, config)
+    api.save(model, "runs/demo")
+
+The classes behind it stay public for advanced use::
+
+    from repro import COLDModel, DiffusionPredictor
+
     model = COLDModel(num_communities=4, num_topics=6, seed=0).fit(corpus)
     predictor = DiffusionPredictor(model.estimates_)
+
+Constructor arguments are keyword-only across the package; positional
+use still works but emits a one-time :class:`DeprecationWarning`.
 
 Subpackages: ``repro.datasets`` (corpora + synthetic generation),
 ``repro.core`` (the COLD model and analyses), ``repro.parallel`` (the
@@ -14,8 +26,11 @@ GraphLab-substitute GAS engine), ``repro.baselines`` (comparison systems),
 ``repro.eval`` (metrics and protocols).
 """
 
+from . import api
 from .core import (
+    COLDConfig,
     COLDModel,
+    ConfigError,
     CommunityDiffusionGraph,
     DiffusionPredictor,
     Hyperparameters,
@@ -48,8 +63,10 @@ from .parallel import ParallelCOLDSampler
 __version__ = "1.0.0"
 
 __all__ = [
+    "COLDConfig",
     "COLDModel",
     "CommunityDiffusionGraph",
+    "ConfigError",
     "DiffusionPredictor",
     "GroundTruth",
     "Hyperparameters",
@@ -61,6 +78,7 @@ __all__ = [
     "SyntheticConfig",
     "Vocabulary",
     "__version__",
+    "api",
     "benchmark_world",
     "community_influence",
     "dataset1",

@@ -1,0 +1,80 @@
+"""Deprecation shims that freeze the public constructor surface.
+
+The public entry points (:class:`~repro.core.model.COLDModel`,
+:class:`~repro.parallel.sampler.ParallelCOLDSampler`,
+:class:`~repro.parallel.engine.SimulatedCluster`,
+:class:`~repro.datasets.synthetic.SyntheticConfig`) take keyword-only
+arguments so the argument order can never become load-bearing as the API
+grows.  Old positional call sites keep working through
+:func:`keyword_only`, which maps positionals onto the declared parameter
+order and emits a :class:`DeprecationWarning` once per class per process.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import warnings
+
+#: Classes that have already emitted their positional-use warning.
+_warned: set[str] = set()
+
+
+def reset_positional_warnings() -> None:
+    """Forget which classes warned already (test isolation hook)."""
+    _warned.clear()
+
+
+def warn_positional_use(qualname: str, hint: str) -> None:
+    """Emit the once-per-class positional-arguments DeprecationWarning."""
+    if qualname in _warned:
+        return
+    _warned.add(qualname)
+    warnings.warn(
+        f"passing positional arguments to {qualname} is deprecated; "
+        f"use keyword arguments instead ({hint})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def keyword_only(cls: type) -> type:
+    """Class decorator: positional ``__init__`` use warns once, then maps.
+
+    The wrapped ``__init__`` binds any positional arguments to the original
+    signature's parameter order, so existing call sites behave identically
+    apart from the warning.  Duplicate positional/keyword bindings raise
+    ``TypeError`` exactly as the unwrapped constructor would.
+    """
+    original = cls.__init__
+    parameters = [
+        name
+        for name, param in inspect.signature(original).parameters.items()
+        if name != "self"
+        and param.kind
+        in (param.POSITIONAL_OR_KEYWORD, param.POSITIONAL_ONLY)
+    ]
+    hint = ", ".join(parameters[:3]) + ", ..." if len(parameters) > 3 else ", ".join(
+        parameters
+    )
+
+    @functools.wraps(original)
+    def __init__(self, *args, **kwargs):
+        if args:
+            warn_positional_use(cls.__qualname__, f"e.g. {hint}")
+            if len(args) > len(parameters):
+                raise TypeError(
+                    f"{cls.__qualname__}() takes at most {len(parameters)} "
+                    f"arguments ({len(args)} given)"
+                )
+            for name, value in zip(parameters, args):
+                if name in kwargs:
+                    raise TypeError(
+                        f"{cls.__qualname__}() got multiple values for "
+                        f"argument {name!r}"
+                    )
+                kwargs[name] = value
+        original(self, **kwargs)
+
+    cls.__init__ = __init__
+    return cls

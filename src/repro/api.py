@@ -1,0 +1,91 @@
+"""The stable high-level API: one config object, three verbs.
+
+Everything a COLD study needs day to day lives here::
+
+    from repro import api
+
+    config = api.COLDConfig(num_communities=8, num_topics=12, seed=0)
+    model = api.fit(corpus, config)
+    api.save(model, "runs/weibo")
+    model = api.load("runs/weibo")
+
+:class:`COLDConfig` is a frozen, validated value object — build one per
+study, derive variants with :meth:`COLDConfig.evolve`, and every entry
+point (this module, the CLI, the benchmark harness) consumes it the same
+way.  :func:`fit` runs the cached vectorised Gibbs kernels by default
+(``config.fast``); draws are bit-identical to the reference kernels, so
+seeded results do not depend on the switch.
+
+The classes behind these functions (:class:`repro.COLDModel` and
+friends) remain public for advanced use — callbacks, checkpointing,
+resume, the parallel engine — this module is the stable subset that will
+not churn underneath scripts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .core.config import COLDConfig, ConfigError
+from .core.model import COLDModel, ModelError
+from .datasets.corpus import SocialCorpus
+
+__all__ = [
+    "COLDConfig",
+    "ConfigError",
+    "fit",
+    "load",
+    "save",
+]
+
+
+def fit(
+    corpus: SocialCorpus,
+    config: COLDConfig | None = None,
+    **overrides: object,
+) -> COLDModel:
+    """Fit a COLD model to ``corpus`` and return it.
+
+    ``config`` defaults to ``COLDConfig()``; keyword ``overrides`` are
+    applied on top via :meth:`COLDConfig.evolve`, so quick experiments
+    don't need an explicit config::
+
+        model = api.fit(corpus, seed=3, num_topics=30)
+
+    Raises :class:`ConfigError` for invalid settings — including a corpus
+    whose time grid disagrees with ``config.num_time_slices`` (a common
+    silent mistake when mixing hourly and daily exports).
+    """
+    if config is None:
+        config = COLDConfig()
+    if overrides:
+        config = config.evolve(**overrides)
+    if (
+        config.num_time_slices is not None
+        and corpus.num_time_slices != config.num_time_slices
+    ):
+        raise ConfigError(
+            f"corpus has {corpus.num_time_slices} time slices, config expects "
+            f"{config.num_time_slices}"
+        )
+    model = COLDModel(config)
+    model.fit(corpus, **config.fit_kwargs())
+    return model
+
+
+def save(model: COLDModel, path: str | Path) -> None:
+    """Persist a fitted model (config + estimates) at ``path``.
+
+    Writes ``path.json`` and ``path.npz`` atomically; a crash mid-save
+    leaves any previous artefact intact.
+    """
+    model.save(path)
+
+
+def load(path: str | Path) -> COLDModel:
+    """Load a model written by :func:`save`, fitted and ready to use.
+
+    Raises :class:`~repro.core.model.ModelError` on corrupt or incomplete
+    artefacts, ``FileNotFoundError`` when they are missing.
+    """
+    return COLDModel.load(path)

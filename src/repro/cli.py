@@ -8,7 +8,14 @@ Subcommands mirror the lifecycle of a COLD study:
   influential-community summary for a trained model;
 * ``report``    — the full analysis report (all Fig. 5-16 analyses);
 * ``predict``   — time-stamp prediction accuracy of a trained model on a
-  held-out corpus slice.
+  held-out corpus slice;
+* ``bench``     — the Gibbs sweep benchmark (reference vs fast kernels),
+  written as ``BENCH_gibbs.json``.
+
+Model-dimension flags are shared across subcommands via parent parsers:
+``--communities``/``--topics`` everywhere, with ``--num-communities`` /
+``--num-topics`` accepted as aliases so scripts can use the same spelling
+as :class:`repro.api.COLDConfig`.
 """
 
 from __future__ import annotations
@@ -53,27 +60,58 @@ _CLI_ERRORS = (
 )
 
 
+def _seed_parent(default: int = 0) -> argparse.ArgumentParser:
+    """Parent parser providing the shared ``--seed`` flag."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=default)
+    return parent
+
+
+def _dims_parent(communities: int, topics: int) -> argparse.ArgumentParser:
+    """Parent parser for model dimensions, with per-command defaults.
+
+    ``--num-communities``/``--num-topics`` are accepted as aliases so CLI
+    invocations can mirror :class:`repro.api.COLDConfig` field names.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--communities", "--num-communities", type=int, default=communities,
+        dest="communities",
+    )
+    parent.add_argument(
+        "--topics", "--num-topics", type=int, default=topics, dest="topics",
+    )
+    return parent
+
+
 def _add_generate(subparsers: argparse._SubParsersAction) -> None:
-    parser = subparsers.add_parser("generate", help="synthesise a corpus")
+    parser = subparsers.add_parser(
+        "generate",
+        help="synthesise a corpus",
+        parents=[_dims_parent(communities=4, topics=6), _seed_parent()],
+    )
     parser.add_argument("output", type=Path, help="output JSONL path")
     parser.add_argument("--users", type=int, default=60)
-    parser.add_argument("--communities", type=int, default=4)
-    parser.add_argument("--topics", type=int, default=6)
     parser.add_argument("--time-slices", type=int, default=24)
     parser.add_argument("--vocab", type=int, default=400)
-    parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--themed", action="store_true", help="readable tokens")
 
 
 def _add_train(subparsers: argparse._SubParsersAction) -> None:
-    parser = subparsers.add_parser("train", help="fit COLD on a corpus")
+    parser = subparsers.add_parser(
+        "train",
+        help="fit COLD on a corpus",
+        parents=[_dims_parent(communities=10, topics=10), _seed_parent()],
+    )
     parser.add_argument("corpus", type=Path, help="JSONL corpus path")
     parser.add_argument("model", type=Path, help="output model path (no suffix)")
-    parser.add_argument("--communities", type=int, default=10)
-    parser.add_argument("--topics", type=int, default=10)
     parser.add_argument("--iterations", type=int, default=100)
-    parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--no-network", action="store_true")
+    parser.add_argument(
+        "--reference-kernels", action="store_true",
+        help="use the uncached reference Gibbs kernels (draws are "
+        "bit-identical either way; this only trades speed for simplicity)",
+    )
     parser.add_argument(
         "--nodes", type=int, default=1,
         help="simulated cluster nodes (>1 uses the parallel sampler)",
@@ -114,13 +152,33 @@ def _add_report(subparsers: argparse._SubParsersAction) -> None:
 
 def _add_predict(subparsers: argparse._SubParsersAction) -> None:
     parser = subparsers.add_parser(
-        "predict", help="time-stamp prediction accuracy on a holdout"
+        "predict",
+        help="time-stamp prediction accuracy on a holdout",
+        parents=[_seed_parent()],
     )
     parser.add_argument("model", type=Path)
     parser.add_argument("corpus", type=Path)
     parser.add_argument("--folds", type=int, default=5)
     parser.add_argument("--tolerances", type=int, nargs="+", default=[0, 1, 2, 4])
-    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_bench(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "bench",
+        help="benchmark the Gibbs kernels (reference vs fast)",
+    )
+    parser.add_argument(
+        "output", type=Path, nargs="?", default=Path("BENCH_gibbs.json"),
+        help="output JSON path (default: BENCH_gibbs.json)",
+    )
+    parser.add_argument(
+        "--cases", nargs="+", choices=["smoke", "medium"],
+        default=["smoke", "medium"],
+        help="which benchmark cases to run",
+    )
+    parser.add_argument("--warmup", type=int, default=10)
+    parser.add_argument("--reps", type=int, default=5)
+    parser.add_argument("--sweeps-per-rep", type=int, default=2)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -134,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_analyze(subparsers)
     _add_report(subparsers)
     _add_predict(subparsers)
+    _add_bench(subparsers)
     return parser
 
 
@@ -175,6 +234,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         raise EngineError(
             "--checkpoint-every only supports serial fits (--nodes 1)"
         )
+    fast = not args.reference_kernels
     if args.nodes > 1:
         sampler = ParallelCOLDSampler(
             num_communities=args.communities,
@@ -182,12 +242,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
             num_nodes=args.nodes,
             include_network=not args.no_network,
             seed=args.seed,
+            fast=fast,
         ).fit(corpus, num_iterations=args.iterations)
         model = COLDModel(
             num_communities=args.communities,
             num_topics=args.topics,
             include_network=not args.no_network,
             seed=args.seed,
+            fast=fast,
         )
         model.estimates_ = sampler.estimates_
         model.hyperparameters = sampler.hyperparameters
@@ -204,6 +266,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             num_topics=args.topics,
             include_network=not args.no_network,
             seed=args.seed,
+            fast=fast,
         ).fit(
             corpus,
             num_iterations=args.iterations,
@@ -281,12 +344,37 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import MEDIUM, SMOKE, write_benchmark
+
+    available = {"smoke": SMOKE, "medium": MEDIUM}
+    cases = tuple(available[name] for name in dict.fromkeys(args.cases))
+    print(f"benchmarking {len(cases)} case(s): {', '.join(c.name for c in cases)}")
+    payload = write_benchmark(
+        args.output,
+        cases=cases,
+        warmup=args.warmup,
+        reps=args.reps,
+        sweeps_per_rep=args.sweeps_per_rep,
+    )
+    for record in payload["cases"]:
+        print(
+            f"{record['name']:>8}: {record['reference_seconds_per_sweep']*1e3:.1f}ms"
+            f" -> {record['fast_seconds_per_sweep']*1e3:.1f}ms per sweep, "
+            f"speedup {record['speedup']:.2f}x, "
+            f"draws_match={record['draws_match']}"
+        )
+    print(f"wrote benchmark -> {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
     "analyze": _cmd_analyze,
     "report": _cmd_report,
     "predict": _cmd_predict,
+    "bench": _cmd_bench,
 }
 
 

@@ -4,6 +4,9 @@ Layout mirrors the paper:
 
 * ``params`` / ``state`` / ``gibbs`` / ``likelihood`` — collapsed Gibbs
   inference (§4, Appendix A);
+* ``fastgibbs`` — the cached vectorised sweep kernels (bit-identical to
+  ``gibbs``, benchmarked by ``repro.perf``);
+* ``config`` — the frozen :class:`COLDConfig` consumed by every entry point;
 * ``estimates`` / ``model`` — the fitted model facade (§3);
 * ``diffusion`` — topic-sensitive community influence, Eq. (4) / Fig. 5;
 * ``prediction`` — diffusion, time-stamp and link prediction (§5.2, §6.2–3);
@@ -19,12 +22,14 @@ from .diffusion import (
     zeta,
     zeta_for_topic,
 )
+from .config import COLDConfig, ConfigError
 from .estimates import (
     EstimateError,
     ParameterEstimates,
     average_estimates,
     estimate_from_state,
 )
+from .fastgibbs import SweepCache, fast_sweep
 from .gibbs import (
     categorical,
     categorical_checked,
@@ -73,10 +78,12 @@ from .prediction import (
 from .state import CountState, PostTable, StateError
 
 __all__ = [
+    "COLDConfig",
     "COLDModel",
     "COLDPerWordModel",
     "CommunityDiffusionGraph",
     "CommunityInfluence",
+    "ConfigError",
     "ConvergenceMonitor",
     "CountState",
     "DiffusionEdge",
@@ -95,6 +102,7 @@ __all__ = [
     "PostTable",
     "PredictionError",
     "StateError",
+    "SweepCache",
     "TimeLagAnalysis",
     "all_word_clouds",
     "average_estimates",
@@ -104,6 +112,7 @@ __all__ = [
     "estimate_from_state",
     "expected_spread",
     "extract_diffusion_graph",
+    "fast_sweep",
     "fluctuation_analysis",
     "greedy_seed_selection",
     "independent_cascade",

@@ -17,10 +17,15 @@ Numerical notes
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from .params import Hyperparameters
 from .state import CountState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fastgibbs uses us)
+    from .fastgibbs import SweepCache
 
 #: Floor applied to weight vectors before normalisation, guarding against
 #: fully-zero rows from numerical underflow.
@@ -185,19 +190,36 @@ def sweep(
     rng: np.random.Generator,
     post_order: np.ndarray | None = None,
     link_order: np.ndarray | None = None,
+    cache: SweepCache | None = None,
 ) -> None:
     """One full Gibbs sweep: every post, then every link.
 
     Optional orders let callers (the parallel engine, tests) control the
     visitation schedule; defaults are a fresh random permutation each call,
     which improves mixing over fixed scans.
+
+    ``cache`` selects the fast path: a
+    :class:`~repro.core.fastgibbs.SweepCache` bound to ``state``/``hp``
+    routes every draw through the cached vectorised kernels, which are
+    bit-identical to the reference kernels (same weights, same RNG
+    consumption) but several times faster.  Without a cache the reference
+    kernels run — they remain the correctness oracle.
     """
     if post_order is None:
         post_order = rng.permutation(state.num_posts)
-    for post in post_order:
+    if cache is not None:
+        from .fastgibbs import fast_sweep
+
+        # fast_sweep draws the link permutation itself (after the post
+        # loop, where this function draws it) so the RNG stream matches.
+        fast_sweep(state, hp, rng, post_order, link_order, cache)
+        return
+    posts = post_order.tolist() if isinstance(post_order, np.ndarray) else post_order
+    for post in posts:
         resample_post(state, hp, int(post), rng)
     if state.num_links:
         if link_order is None:
             link_order = rng.permutation(state.num_links)
-        for link in link_order:
+        links = link_order.tolist() if isinstance(link_order, np.ndarray) else link_order
+        for link in links:
             resample_link(state, hp, int(link), rng)

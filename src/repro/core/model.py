@@ -9,8 +9,10 @@ sklearn-style object::
     model.theta_        # community interests
     model.estimates_    # all five distributions
 
-``include_network=False`` yields the paper's COLD-NoLink ablation (§6.1
-baseline 4): the network component is simply never sampled.
+A :class:`~repro.core.config.COLDConfig` can be passed instead of loose
+keywords (``COLDModel(config)``); that is what :func:`repro.api.fit`
+does.  ``include_network=False`` yields the paper's COLD-NoLink ablation
+(§6.1 baseline 4): the network component is simply never sampled.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .._compat import warn_positional_use
 from ..datasets.corpus import SocialCorpus
 from ..resilience.checkpoint import (
     CheckpointError,
@@ -28,6 +31,7 @@ from ..resilience.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from .config import COLDConfig
 from .estimates import ParameterEstimates, average_estimates, estimate_from_state
 from .gibbs import sweep
 from .likelihood import ConvergenceMonitor, joint_log_likelihood
@@ -63,9 +67,62 @@ class COLDModel:
         explicit ``hyperparameters`` are given.
     seed:
         Seed of the sampler's RNG; fits are reproducible given a seed.
+    fast:
+        Run sweeps through the cached vectorised Gibbs kernels
+        (:mod:`repro.core.fastgibbs`).  The fast path is bit-identical to
+        the reference kernels — same weights, same RNG consumption, so
+        the same seed yields the same chain — just several times faster;
+        ``fast=False`` selects the reference kernels, kept as the
+        correctness oracle.
+
+    A single :class:`~repro.core.config.COLDConfig` may be passed instead
+    of the keywords above: ``COLDModel(config)``.  Arguments are otherwise
+    keyword-only; positional use is deprecated (it warns once per process
+    and will stop working in a future release).
     """
 
-    def __init__(
+    #: Pre-keyword-only positional parameter order, honoured (with a
+    #: DeprecationWarning) for legacy call sites.
+    _LEGACY_ORDER = (
+        "num_communities",
+        "num_topics",
+        "hyperparameters",
+        "include_network",
+        "kappa",
+        "prior",
+        "seed",
+    )
+
+    def __init__(self, config: COLDConfig | None = None, *args, **kwargs) -> None:
+        if config is not None and not isinstance(config, COLDConfig):
+            # Legacy positional style: the first positional argument was
+            # num_communities, not a config.
+            args = (config, *args)
+            config = None
+        if args:
+            warn_positional_use(
+                "COLDModel", "e.g. num_communities, num_topics, ..."
+            )
+            if len(args) > len(self._LEGACY_ORDER):
+                raise TypeError(
+                    f"COLDModel() takes at most {len(self._LEGACY_ORDER)} "
+                    f"positional arguments ({len(args)} given)"
+                )
+            for name, value in zip(self._LEGACY_ORDER, args):
+                if name in kwargs:
+                    raise TypeError(
+                        f"COLDModel() got multiple values for argument {name!r}"
+                    )
+                kwargs[name] = value
+        if config is not None:
+            if kwargs:
+                raise ModelError(
+                    "pass either a COLDConfig or keyword arguments, not both"
+                )
+            kwargs = config.model_kwargs()
+        self._init_fields(**kwargs)
+
+    def _init_fields(
         self,
         num_communities: int = 20,
         num_topics: int = 20,
@@ -74,6 +131,7 @@ class COLDModel:
         kappa: float = 1.0,
         prior: str = "paper",
         seed: int = 0,
+        fast: bool = True,
     ) -> None:
         if num_communities <= 0 or num_topics <= 0:
             raise ModelError("num_communities and num_topics must be positive")
@@ -86,6 +144,7 @@ class COLDModel:
         self.kappa = kappa
         self.prior = prior
         self.seed = seed
+        self.fast = fast
         self._rng = np.random.default_rng(seed)
         self.state_: CountState | None = None
         self.estimates_: ParameterEstimates | None = None
@@ -196,12 +255,21 @@ class COLDModel:
         Shared by :meth:`fit` (``start_iteration=0``) and :meth:`resume`;
         checkpoints are written *after* all per-iteration bookkeeping, so a
         resumed chain replays the exact remaining suffix of an
-        uninterrupted run.
+        uninterrupted run.  The fast-path sweep cache is derived entirely
+        from the count state, so building it fresh here keeps resumed
+        chains bit-identical too.
         """
+        cache = None
+        if self.fast:
+            from .fastgibbs import SweepCache
+
+            cache = SweepCache(state, hp)
         for iteration in range(start_iteration + 1, num_iterations + 1):
-            sweep(state, hp, self._rng)
+            sweep(state, hp, self._rng, cache=cache)
             if check_invariants:
                 state.check_invariants()
+                if cache is not None:
+                    cache.check_consistency(state)
             if likelihood_interval and iteration % likelihood_interval == 0:
                 monitor.record(joint_log_likelihood(state, hp))
             if iteration > burn_in and (iteration - burn_in) % sample_interval == 0:
@@ -261,6 +329,7 @@ class COLDModel:
                 "kappa": self.kappa,
                 "prior": self.prior,
                 "seed": self.seed,
+                "fast": self.fast,
             },
             "hyperparameters": {
                 "rho": hp.rho,
@@ -455,6 +524,7 @@ class COLDModel:
             "kappa": self.kappa,
             "prior": self.prior,
             "seed": self.seed,
+            "fast": self.fast,
             "hyperparameters": None
             if hp is None
             else {

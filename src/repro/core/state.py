@@ -161,7 +161,9 @@ class CountState:
         self.n_comm_topic[c, k] -= 1
         self.n_comm_topic_time[c, k, t] -= 1
         words, counts = self.posts.words_of(post)
-        np.subtract.at(self.n_topic_word[k], words, counts)
+        # Unique-word indices (PostTable is a unique-word CSR), so plain
+        # fancy-index updates are exact and much cheaper than ufunc.at.
+        self.n_topic_word[k, words] -= counts
         self.n_topic_total[k] -= self.posts.lengths[post]
         return c, k
 
@@ -175,8 +177,39 @@ class CountState:
         self.n_comm_topic[c, k] += 1
         self.n_comm_topic_time[c, k, t] += 1
         words, counts = self.posts.words_of(post)
-        np.add.at(self.n_topic_word[k], words, counts)
+        self.n_topic_word[k, words] += counts
         self.n_topic_total[k] += self.posts.lengths[post]
+
+    def move_post(self, post: int, c: int, k: int) -> tuple[int, int]:
+        """Reassign ``post`` to (c, k), applying only the net counter deltas.
+
+        Exactly equivalent to ``remove_post`` followed by ``add_post(post,
+        c, k)`` — all counters are integers, so skipping the cancelled
+        updates (same community, same topic) changes nothing — but
+        substantially cheaper on the sampler hot path.  Returns the old
+        ``(c, k)``.
+        """
+        old_c = int(self.post_comm[post])
+        old_k = int(self.post_topic[post])
+        author = self.posts.authors[post]
+        t = self.posts.times[post]
+        self.post_comm[post] = c
+        self.post_topic[post] = k
+        if c != old_c:
+            self.n_user_comm[author, old_c] -= 1
+            self.n_user_comm[author, c] += 1
+        self.n_comm_topic[old_c, old_k] -= 1
+        self.n_comm_topic[c, k] += 1
+        self.n_comm_topic_time[old_c, old_k, t] -= 1
+        self.n_comm_topic_time[c, k, t] += 1
+        if k != old_k:
+            words, counts = self.posts.words_of(post)
+            self.n_topic_word[old_k, words] -= counts
+            self.n_topic_word[k, words] += counts
+            length = self.posts.lengths[post]
+            self.n_topic_total[old_k] -= length
+            self.n_topic_total[k] += length
+        return old_c, old_k
 
     # -- link bookkeeping -----------------------------------------------------
 
@@ -198,6 +231,65 @@ class CountState:
         self.n_user_comm[src, c] += 1
         self.n_user_comm[dst, c_prime] += 1
         self.n_link_comm[c, c_prime] += 1
+
+    def move_link(self, link: int, c: int, c_prime: int) -> tuple[int, int]:
+        """Relabel ``link`` to (c, c'), applying only the net counter deltas.
+
+        Exactly equivalent to ``remove_link`` followed by ``add_link(link,
+        c, c_prime)`` (integer counters, cancelled updates skipped).
+        Returns the old ``(c, c')``.
+        """
+        src, dst = self.links[link]
+        old_c = int(self.link_src_comm[link])
+        old_c_prime = int(self.link_dst_comm[link])
+        self.link_src_comm[link] = c
+        self.link_dst_comm[link] = c_prime
+        if c != old_c:
+            self.n_user_comm[src, old_c] -= 1
+            self.n_user_comm[src, c] += 1
+        if c_prime != old_c_prime:
+            self.n_user_comm[dst, old_c_prime] -= 1
+            self.n_user_comm[dst, c_prime] += 1
+        self.n_link_comm[old_c, old_c_prime] -= 1
+        self.n_link_comm[c, c_prime] += 1
+        return old_c, old_c_prime
+
+    # -- sparse iteration -----------------------------------------------------
+
+    def active_comm_topic_cells(self) -> tuple[np.ndarray, np.ndarray]:
+        """Indices ``(cs, ks)`` of (community, topic) cells holding posts.
+
+        On mixed chains most of the ``C x K`` grid is cold (zero posts);
+        consumers that precompute per-cell quantities (the fast-sweep
+        caches, occupancy reports) iterate only these cells and fill the
+        cold ones with the shared zero-count value.
+        """
+        return np.nonzero(self.n_comm_topic)
+
+    def active_topic_words(self) -> tuple[np.ndarray, np.ndarray]:
+        """Indices ``(ks, vs)`` of (topic, word) cells with nonzero counts.
+
+        The ``K x V`` word-count matrix is overwhelmingly sparse for real
+        vocabularies; per-cell precomputation touches only these entries.
+        """
+        return np.nonzero(self.n_topic_word)
+
+    def top_comm_topic_cells(
+        self, limit: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The ``limit`` hottest (community, topic) cells by post count.
+
+        Returns ``(cs, ks, counts)`` sorted by descending count; cold
+        (zero) cells are never included, so fewer than ``limit`` rows come
+        back on sparse states.  Used for top-K occupancy summaries (the
+        perf harness reports these) without scanning the full grid.
+        """
+        if limit <= 0:
+            raise StateError("limit must be positive")
+        cs, ks = self.active_comm_topic_cells()
+        counts = self.n_comm_topic[cs, ks]
+        order = np.argsort(counts, kind="stable")[::-1][:limit]
+        return cs[order], ks[order], counts[order]
 
     # -- invariants -----------------------------------------------------------
 

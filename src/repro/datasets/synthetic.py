@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from .._compat import keyword_only
 from .corpus import Post, SocialCorpus
 from .vocabulary import Vocabulary
 
@@ -101,6 +102,7 @@ class SyntheticError(ValueError):
     """Raised for invalid synthetic-corpus configurations."""
 
 
+@keyword_only
 @dataclass(frozen=True)
 class SyntheticConfig:
     """Knobs of the planted COLD process.

@@ -47,6 +47,7 @@ from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from .._compat import keyword_only
 from ..resilience.faults import FaultError, FaultPlan
 from ..resilience.retry import RetryError, RetryPolicy
 
@@ -130,6 +131,7 @@ class ClusterReport:
         return sum(s.retries for s in self.supersteps)
 
 
+@keyword_only
 class SimulatedCluster:
     """Runs node tasks and reports simulated synchronous-cluster timing.
 

@@ -21,7 +21,9 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from .._compat import keyword_only
 from ..core.estimates import ParameterEstimates, average_estimates, estimate_from_state
+from ..core.fastgibbs import SweepCache
 from ..core.gibbs import sweep
 from ..core.likelihood import ConvergenceMonitor, joint_log_likelihood
 from ..core.params import Hyperparameters
@@ -102,12 +104,17 @@ class _Snapshot:
         )
 
 
+@keyword_only
 class ParallelCOLDSampler:
     """COLD inference over ``num_nodes`` simulated cluster nodes.
 
     Mirrors :class:`~repro.core.model.COLDModel`'s interface; after
     :meth:`fit`, ``estimates_`` holds the averaged parameter estimates and
     ``report_`` the per-superstep cluster timings that Figures 13–14 use.
+    Arguments are keyword-only; positional use is deprecated (warns once
+    per process).  ``fast`` selects the cached vectorised Gibbs kernels
+    per node — draws are bit-identical to the reference kernels, so a
+    seeded parallel fit produces the same chain either way.
     """
 
     def __init__(
@@ -121,6 +128,7 @@ class ParallelCOLDSampler:
         kappa: float = 1.0,
         prior: str = "paper",
         seed: int = 0,
+        fast: bool = True,
         fault_plan: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
         node_timeout: float | None = None,
@@ -139,6 +147,7 @@ class ParallelCOLDSampler:
         self.kappa = kappa
         self.prior = prior
         self.seed = seed
+        self.fast = fast
         self.fault_plan = fault_plan
         self.retry = retry
         self.node_timeout = node_timeout
@@ -183,7 +192,7 @@ class ParallelCOLDSampler:
             graph.user_user_edges = []
         shards, stats = partition_graph(graph, self.num_nodes)
         cluster = SimulatedCluster(
-            self.num_nodes,
+            num_nodes=self.num_nodes,
             executor=self.executor,
             fault_plan=self.fault_plan,
             retry=self.retry,
@@ -241,6 +250,9 @@ class ParallelCOLDSampler:
                 attempt = attempt_counters[node]
                 attempt_counters[node] += 1
                 local = locals_[node]  # re-read: reset() swaps in a fresh copy
+                # The cache is derived entirely from the local snapshot, so
+                # building it per attempt keeps crash replays exact.
+                cache = SweepCache(local, hp) if self.fast else None
                 post_order = shard.post_order()
                 link_order = shard.link_order()
                 crash = (
@@ -260,12 +272,20 @@ class ParallelCOLDSampler:
                         rng,
                         post_order=post_order[:done],
                         link_order=link_order[:0],
+                        cache=cache,
                     )
                     raise FaultError(
                         f"injected crash of node {node} at superstep "
                         f"{iteration} ({done}/{len(post_order)} posts done)"
                     )
-                sweep(local, hp, rng, post_order=post_order, link_order=link_order)
+                sweep(
+                    local,
+                    hp,
+                    rng,
+                    post_order=post_order,
+                    link_order=link_order,
+                    cache=cache,
+                )
 
             return task
 

@@ -1,0 +1,237 @@
+"""Gibbs sweep benchmark harness: reference kernels vs the fast path.
+
+``cold bench`` (see :mod:`repro.cli`) runs this suite and writes
+``BENCH_gibbs.json``, the committed perf artefact EXPERIMENTS.md
+documents.  Each case builds a planted synthetic corpus, warms a chain
+per kernel path, and reports the best-of-``reps`` per-sweep wall time —
+warmed chains and min-of-reps because single-shot sweep timings on a
+busy machine swing by 30%+.
+
+Two things keep the numbers honest:
+
+* **equivalence first** — every case replays a few sweeps through both
+  paths from the same seed and records ``draws_match``; a speedup over
+  kernels that draw a *different* chain would be meaningless.
+* **occupancy alongside** — the fast path's sparse cell iteration gains
+  depend on how concentrated the chain is, so each case reports its
+  (community, topic) occupancy summary via
+  :meth:`~repro.core.state.CountState.top_comm_topic_cells`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .core.fastgibbs import SweepCache
+from .core.gibbs import sweep
+from .core.params import Hyperparameters
+from .core.state import CountState
+from .datasets.corpus import SocialCorpus
+from .datasets.synthetic import SyntheticConfig, generate_corpus
+from .resilience.checkpoint import atomic_write_text
+
+__all__ = [
+    "MEDIUM",
+    "SMOKE",
+    "BenchCase",
+    "draws_match",
+    "run_benchmark",
+    "run_case",
+    "write_benchmark",
+]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark scenario: a synthetic corpus plus model dimensions.
+
+    The planted generator uses half the model's latent dimensions (floored
+    at 4), so the chain has real structure to find without being handed
+    the answer — occupancy then concentrates the way fitted chains do,
+    which is what the fast path's sparse iteration is built for.
+    """
+
+    name: str
+    num_users: int
+    num_communities: int
+    num_topics: int
+    num_time_slices: int
+    vocab_size: int
+    mean_posts_per_user: float
+    mean_words_per_post: float
+    mean_links_per_user: float
+    seed: int = 7
+
+    def build_corpus(self) -> SocialCorpus:
+        config = SyntheticConfig(
+            num_users=self.num_users,
+            num_communities=max(4, self.num_communities // 2),
+            num_topics=max(4, self.num_topics // 2),
+            num_time_slices=self.num_time_slices,
+            vocab_size=self.vocab_size,
+            mean_posts_per_user=self.mean_posts_per_user,
+            mean_words_per_post=self.mean_words_per_post,
+            mean_links_per_user=self.mean_links_per_user,
+            seed=self.seed,
+        )
+        corpus, _truth = generate_corpus(config)
+        return corpus
+
+
+#: Lint-gate scale: a few hundred draws, finishes in seconds.
+SMOKE = BenchCase(
+    name="smoke",
+    num_users=40,
+    num_communities=4,
+    num_topics=6,
+    num_time_slices=6,
+    vocab_size=300,
+    mean_posts_per_user=4.0,
+    mean_words_per_post=8.0,
+    mean_links_per_user=2.0,
+)
+
+#: The headline case BENCH_gibbs.json is about: a medium corpus (600
+#: users, ~4.8K posts of ~40 words, ~1.8K links) fitted with C=20, K=40.
+MEDIUM = BenchCase(
+    name="medium",
+    num_users=600,
+    num_communities=20,
+    num_topics=40,
+    num_time_slices=12,
+    vocab_size=2000,
+    mean_posts_per_user=8.0,
+    mean_words_per_post=40.0,
+    mean_links_per_user=3.0,
+)
+
+
+def draws_match(
+    corpus: SocialCorpus,
+    hp: Hyperparameters,
+    case: BenchCase,
+    num_sweeps: int = 3,
+) -> bool:
+    """True iff both kernel paths draw the identical chain from one seed."""
+    states = []
+    for fast in (False, True):
+        rng = np.random.default_rng(case.seed + 1)
+        state = CountState.initialize(
+            corpus, case.num_communities, case.num_topics, rng
+        )
+        cache = SweepCache(state, hp) if fast else None
+        for _ in range(num_sweeps):
+            sweep(state, hp, rng, cache=cache)
+        states.append(state)
+    reference, fast_state = states
+    return (
+        np.array_equal(reference.post_comm, fast_state.post_comm)
+        and np.array_equal(reference.post_topic, fast_state.post_topic)
+        and np.array_equal(reference.link_src_comm, fast_state.link_src_comm)
+        and np.array_equal(reference.link_dst_comm, fast_state.link_dst_comm)
+        and reference.degenerate_draws == fast_state.degenerate_draws
+    )
+
+
+def run_case(
+    case: BenchCase,
+    warmup: int = 10,
+    reps: int = 5,
+    sweeps_per_rep: int = 2,
+    equivalence_sweeps: int = 3,
+) -> dict:
+    """Benchmark one case; returns its JSON-ready result record."""
+    corpus = case.build_corpus()
+    hp = Hyperparameters.default(
+        case.num_communities, case.num_topics, corpus
+    )
+    seconds: dict[str, float] = {}
+    occupancy: dict | None = None
+    for mode in ("reference", "fast"):
+        rng = np.random.default_rng(case.seed)
+        state = CountState.initialize(
+            corpus, case.num_communities, case.num_topics, rng
+        )
+        cache = SweepCache(state, hp) if mode == "fast" else None
+        for _ in range(warmup):
+            sweep(state, hp, rng, cache=cache)
+        best = math.inf
+        for _ in range(reps):
+            start = time.perf_counter()
+            for _ in range(sweeps_per_rep):
+                sweep(state, hp, rng, cache=cache)
+            best = min(best, (time.perf_counter() - start) / sweeps_per_rep)
+        seconds[mode] = best
+        if mode == "fast":
+            cs, ks, counts = state.top_comm_topic_cells(10)
+            occupancy = {
+                "active_cells": int(len(state.active_comm_topic_cells()[0])),
+                "total_cells": case.num_communities * case.num_topics,
+                "top_cells": [
+                    [int(c), int(k), int(n)]
+                    for c, k, n in zip(cs, ks, counts)
+                ],
+            }
+    return {
+        "name": case.name,
+        "config": asdict(case),
+        "corpus": {
+            "num_posts": corpus.num_posts,
+            "num_links": len(corpus.links),
+            "mean_post_length": round(
+                float(np.mean([len(post) for post in corpus.posts])), 2
+            ),
+        },
+        "reference_seconds_per_sweep": round(seconds["reference"], 5),
+        "fast_seconds_per_sweep": round(seconds["fast"], 5),
+        "speedup": round(seconds["reference"] / seconds["fast"], 2),
+        "draws_match": draws_match(corpus, hp, case, equivalence_sweeps),
+        "occupancy": occupancy,
+    }
+
+
+def run_benchmark(
+    cases: tuple[BenchCase, ...] = (SMOKE, MEDIUM),
+    warmup: int = 10,
+    reps: int = 5,
+    sweeps_per_rep: int = 2,
+) -> dict:
+    """Run every case; returns the full JSON-ready payload."""
+    return {
+        "benchmark": "collapsed Gibbs sweep, reference vs fast kernels",
+        "harness": "repro.perf",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "method": {
+            "warmup_sweeps": warmup,
+            "reps": reps,
+            "sweeps_per_rep": sweeps_per_rep,
+            "statistic": "min over reps of mean seconds per sweep",
+        },
+        "cases": [
+            run_case(case, warmup=warmup, reps=reps, sweeps_per_rep=sweeps_per_rep)
+            for case in cases
+        ],
+    }
+
+
+def write_benchmark(
+    path: str | Path,
+    cases: tuple[BenchCase, ...] = (SMOKE, MEDIUM),
+    warmup: int = 10,
+    reps: int = 5,
+    sweeps_per_rep: int = 2,
+) -> dict:
+    """Run the benchmark and atomically write its JSON to ``path``."""
+    payload = run_benchmark(
+        cases, warmup=warmup, reps=reps, sweeps_per_rep=sweeps_per_rep
+    )
+    atomic_write_text(Path(path), json.dumps(payload, indent=2) + "\n")
+    return payload

@@ -93,7 +93,7 @@ class TestEngineRecovery:
             if calls["task"] == 1:
                 raise FaultError("boom")
 
-        cluster = SimulatedCluster(1, retry=RetryPolicy(max_attempts=3))
+        cluster = SimulatedCluster(num_nodes=1, retry=RetryPolicy(max_attempts=3))
         report = cluster.superstep(
             [task], reset=lambda node: calls.__setitem__("reset", calls["reset"] + 1)
         )
@@ -105,7 +105,7 @@ class TestEngineRecovery:
         def task():
             raise FaultError("always")
 
-        cluster = SimulatedCluster(1, retry=RetryPolicy(max_attempts=2))
+        cluster = SimulatedCluster(num_nodes=1, retry=RetryPolicy(max_attempts=2))
         with pytest.raises(RetryError, match="after 2 attempts"):
             cluster.superstep([task], reset=lambda node: None)
 
@@ -113,14 +113,14 @@ class TestEngineRecovery:
         def task():
             raise FaultError("boom")
 
-        cluster = SimulatedCluster(1, retry=RetryPolicy(max_attempts=3))
+        cluster = SimulatedCluster(num_nodes=1, retry=RetryPolicy(max_attempts=3))
         with pytest.raises(EngineError, match="reset"):
             cluster.superstep([task])
 
     def test_straggler_timeout_forces_replay(self):
         plan = FaultPlan(stragglers=(StragglerDelay(superstep=0, node=0, seconds=9.0),))
         cluster = SimulatedCluster(
-            1, fault_plan=plan, node_timeout=1.0, retry=RetryPolicy(max_attempts=2)
+            num_nodes=1, fault_plan=plan, node_timeout=1.0, retry=RetryPolicy(max_attempts=2)
         )
         report = cluster.superstep([lambda: None], reset=lambda node: None)
         assert report.node_timings[0].attempts == 2
@@ -129,7 +129,7 @@ class TestEngineRecovery:
     def test_merge_failure_is_retried(self):
         plan = FaultPlan(merge_failures=(MergeFailure(superstep=0),))
         merges = []
-        cluster = SimulatedCluster(1, fault_plan=plan, retry=RetryPolicy())
+        cluster = SimulatedCluster(num_nodes=1, fault_plan=plan, retry=RetryPolicy())
         report = cluster.superstep([lambda: None], merge=lambda: merges.append(1))
         assert merges == [1]
         assert report.merge_attempts == 2
@@ -137,7 +137,7 @@ class TestEngineRecovery:
 
     def test_invalid_node_timeout_rejected(self):
         with pytest.raises(EngineError, match="node_timeout"):
-            SimulatedCluster(1, node_timeout=0.0)
+            SimulatedCluster(num_nodes=1, node_timeout=0.0)
 
 
 class TestSamplerRecovery:

@@ -22,7 +22,7 @@ def test_ruff_check_is_clean():
     if shutil.which("ruff") is None:
         pytest.skip("ruff is not installed (pip install .[lint] to enable)")
     result = subprocess.run(
-        ["ruff", "check", "src", "tests", "benchmarks"],
+        ["ruff", "check", "src", "tests", "benchmarks", "examples"],
         cwd=REPO_ROOT,
         capture_output=True,
         text=True,
@@ -33,7 +33,7 @@ def test_ruff_check_is_clean():
 def test_sources_compile():
     """Cheap always-on fallback for the lint gate: everything byte-compiles."""
     targets = [
-        str(REPO_ROOT / name) for name in ("src", "tests", "benchmarks")
+        str(REPO_ROOT / name) for name in ("src", "tests", "benchmarks", "examples")
         if (REPO_ROOT / name).is_dir()
     ]
     result = subprocess.run(

@@ -37,7 +37,7 @@ class TestEndToEndPipeline:
         """Generate -> split -> fit -> all predictions -> all analyses ->
         persist -> reload -> predict again."""
         split = post_splits(tiny_corpus, num_folds=5, seed=0)[0]
-        model = COLDModel(3, 4, prior="scaled", seed=0).fit(
+        model = COLDModel(num_communities=3, num_topics=4, prior="scaled", seed=0).fit(
             split.train, num_iterations=30
         )
         estimates = model.estimates_
@@ -98,7 +98,7 @@ class TestRecovery:
 
         corpus, truth = benchmark_world(seed=3, num_users=60, vocab_size=1500,
                                         anchors_per_topic=60)
-        model = COLDModel(4, 8, prior="scaled", seed=0).fit(
+        model = COLDModel(num_communities=4, num_topics=8, prior="scaled", seed=0).fit(
             corpus, num_iterations=80
         )
         return corpus, truth, model
@@ -133,7 +133,7 @@ class TestRecovery:
     def test_link_prediction_beats_chance(self, recovered):
         corpus, _truth, model = recovered
         split = link_splits(corpus, num_folds=5, seed=0)[0]
-        refit = COLDModel(4, 8, prior="scaled", seed=0).fit(
+        refit = COLDModel(num_communities=4, num_topics=8, prior="scaled", seed=0).fit(
             split.train, num_iterations=40
         )
         auc = link_prediction_auc(
@@ -147,11 +147,11 @@ class TestRecovery:
 class TestSerialVsParallel:
     def test_parallel_estimates_close_to_serial_in_quality(self, tiny_corpus):
         """Perplexity of parallel-fit estimates within 15% of serial."""
-        serial = COLDModel(3, 4, prior="scaled", seed=0).fit(
+        serial = COLDModel(num_communities=3, num_topics=4, prior="scaled", seed=0).fit(
             tiny_corpus, num_iterations=25
         )
         parallel = ParallelCOLDSampler(
-            3, 4, num_nodes=4, prior="scaled", seed=0
+            num_communities=3, num_topics=4, num_nodes=4, prior="scaled", seed=0
         ).fit(tiny_corpus, num_iterations=25)
         serial_perp = cold_perplexity(serial.estimates_, tiny_corpus)
         parallel_perp = cold_perplexity(parallel.estimates_, tiny_corpus)
@@ -160,10 +160,11 @@ class TestSerialVsParallel:
 
 class TestNoLinkAblation:
     def test_network_component_changes_memberships(self, tiny_corpus):
-        full = COLDModel(3, 4, prior="scaled", seed=0).fit(
+        full = COLDModel(num_communities=3, num_topics=4, prior="scaled", seed=0).fit(
             tiny_corpus, num_iterations=20
         )
         nolink = COLDModel(
-            3, 4, prior="scaled", include_network=False, seed=0
+            num_communities=3, num_topics=4, prior="scaled",
+            include_network=False, seed=0,
         ).fit(tiny_corpus, num_iterations=20)
         assert not np.allclose(full.pi_, nolink.pi_)

@@ -26,7 +26,7 @@ class TestConstruction:
 
 class TestFitValidation:
     def test_rejects_bad_iteration_counts(self, tiny_corpus):
-        model = COLDModel(3, 4)
+        model = COLDModel(num_communities=3, num_topics=4)
         with pytest.raises(ModelError):
             model.fit(tiny_corpus, num_iterations=0)
         with pytest.raises(ModelError):
@@ -44,7 +44,7 @@ class TestFitValidation:
 
 class TestFitResults:
     def test_fit_returns_self(self, tiny_corpus):
-        model = COLDModel(2, 2, prior="scaled", seed=1)
+        model = COLDModel(num_communities=2, num_topics=2, prior="scaled", seed=1)
         assert model.fit(tiny_corpus, num_iterations=4) is model
 
     def test_estimate_shapes(self, fitted_model, tiny_corpus):
@@ -71,19 +71,19 @@ class TestFitResults:
         assert hp.rho == 0.5  # scaled prior
 
     def test_deterministic_given_seed(self, tiny_corpus):
-        a = COLDModel(3, 4, prior="scaled", seed=9).fit(tiny_corpus, 6)
-        b = COLDModel(3, 4, prior="scaled", seed=9).fit(tiny_corpus, 6)
+        a = COLDModel(num_communities=3, num_topics=4, prior="scaled", seed=9).fit(tiny_corpus, 6)
+        b = COLDModel(num_communities=3, num_topics=4, prior="scaled", seed=9).fit(tiny_corpus, 6)
         np.testing.assert_allclose(a.pi_, b.pi_)
         np.testing.assert_allclose(a.phi_, b.phi_)
 
     def test_different_seeds_differ(self, tiny_corpus):
-        a = COLDModel(3, 4, prior="scaled", seed=1).fit(tiny_corpus, 6)
-        b = COLDModel(3, 4, prior="scaled", seed=2).fit(tiny_corpus, 6)
+        a = COLDModel(num_communities=3, num_topics=4, prior="scaled", seed=1).fit(tiny_corpus, 6)
+        b = COLDModel(num_communities=3, num_topics=4, prior="scaled", seed=2).fit(tiny_corpus, 6)
         assert not np.allclose(a.pi_, b.pi_)
 
     def test_callback_invoked_every_iteration(self, tiny_corpus):
         calls = []
-        COLDModel(2, 2, prior="scaled").fit(
+        COLDModel(num_communities=2, num_topics=2, prior="scaled").fit(
             tiny_corpus,
             num_iterations=5,
             callback=lambda it, model: calls.append(it),
@@ -91,7 +91,7 @@ class TestFitResults:
         assert calls == [1, 2, 3, 4, 5]
 
     def test_check_invariants_mode(self, tiny_corpus):
-        model = COLDModel(2, 2, prior="scaled")
+        model = COLDModel(num_communities=2, num_topics=2, prior="scaled")
         model.fit(tiny_corpus, num_iterations=2, check_invariants=True)
         assert model.fitted
 
@@ -99,13 +99,13 @@ class TestFitResults:
         hp = Hyperparameters(
             rho=0.3, alpha=0.3, beta=0.02, epsilon=0.02, lambda0=4.0, lambda1=0.2
         )
-        model = COLDModel(2, 2, hyperparameters=hp).fit(tiny_corpus, 3)
+        model = COLDModel(num_communities=2, num_topics=2, hyperparameters=hp).fit(tiny_corpus, 3)
         assert model.hyperparameters is hp
 
 
 class TestNoLinkVariant:
     def test_no_link_fit_ignores_network(self, tiny_corpus):
-        model = COLDModel(3, 4, include_network=False, prior="scaled", seed=0)
+        model = COLDModel(num_communities=3, num_topics=4, include_network=False, prior="scaled", seed=0)
         model.fit(tiny_corpus, num_iterations=5)
         assert model.state_ is not None
         assert model.state_.num_links == 0

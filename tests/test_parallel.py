@@ -95,7 +95,7 @@ class TestPartition:
 
 class TestSimulatedCluster:
     def test_superstep_runs_all_tasks(self):
-        cluster = SimulatedCluster(3)
+        cluster = SimulatedCluster(num_nodes=3)
         hits = []
         report = cluster.superstep([lambda i=i: hits.append(i) for i in range(3)])
         assert sorted(hits) == [0, 1, 2]
@@ -115,7 +115,7 @@ class TestSimulatedCluster:
 
     def test_merge_callback_runs_after_tasks(self):
         order = []
-        cluster = SimulatedCluster(2)
+        cluster = SimulatedCluster(num_nodes=2)
         cluster.superstep(
             [lambda: order.append("a"), lambda: order.append("b")],
             merge=lambda: order.append("merge"),
@@ -123,28 +123,28 @@ class TestSimulatedCluster:
         assert order[-1] == "merge"
 
     def test_task_count_must_match_nodes(self):
-        cluster = SimulatedCluster(2)
+        cluster = SimulatedCluster(num_nodes=2)
         with pytest.raises(EngineError):
             cluster.superstep([lambda: None])
 
     def test_threads_executor_runs_tasks(self):
-        cluster = SimulatedCluster(2, executor="threads")
+        cluster = SimulatedCluster(num_nodes=2, executor="threads")
         hits = []
         cluster.superstep([lambda: hits.append(1), lambda: hits.append(2)])
         assert sorted(hits) == [1, 2]
 
     def test_rejects_unknown_executor(self):
         with pytest.raises(EngineError):
-            SimulatedCluster(2, executor="mpi")
+            SimulatedCluster(num_nodes=2, executor="mpi")
 
     def test_rejects_nonpositive_nodes(self):
         with pytest.raises(EngineError):
-            SimulatedCluster(0)
+            SimulatedCluster(num_nodes=0)
 
 
 class TestParallelSampler:
     def test_fit_produces_valid_estimates(self, tiny_corpus):
-        sampler = ParallelCOLDSampler(3, 4, num_nodes=3, prior="scaled", seed=0)
+        sampler = ParallelCOLDSampler(num_communities=3, num_topics=4, num_nodes=3, prior="scaled", seed=0)
         sampler.fit(tiny_corpus, num_iterations=8)
         assert sampler.fitted
         assert sampler.estimates_ is not None
@@ -153,18 +153,18 @@ class TestParallelSampler:
     def test_merged_counters_are_exact(self, tiny_corpus):
         """After every superstep merge, the global counters must equal a
         from-scratch recount of the shared assignments."""
-        sampler = ParallelCOLDSampler(3, 4, num_nodes=4, prior="scaled", seed=1)
+        sampler = ParallelCOLDSampler(num_communities=3, num_topics=4, num_nodes=4, prior="scaled", seed=1)
         sampler.fit(tiny_corpus, num_iterations=5)
         assert sampler.state_ is not None
         sampler.state_.check_invariants()
 
     def test_single_node_keeps_invariants(self, tiny_corpus):
-        sampler = ParallelCOLDSampler(3, 4, num_nodes=1, prior="scaled", seed=0)
+        sampler = ParallelCOLDSampler(num_communities=3, num_topics=4, num_nodes=1, prior="scaled", seed=0)
         sampler.fit(tiny_corpus, num_iterations=4)
         sampler.state_.check_invariants()
 
     def test_timing_report_populated(self, tiny_corpus):
-        sampler = ParallelCOLDSampler(3, 4, num_nodes=2, prior="scaled", seed=0)
+        sampler = ParallelCOLDSampler(num_communities=3, num_topics=4, num_nodes=2, prior="scaled", seed=0)
         sampler.fit(tiny_corpus, num_iterations=6)
         assert sampler.report_ is not None
         assert len(sampler.report_.supersteps) == 6
@@ -172,21 +172,21 @@ class TestParallelSampler:
         assert sampler.speedup() >= 1.0
 
     def test_speedup_grows_with_nodes(self, tiny_corpus):
-        slow = ParallelCOLDSampler(3, 4, num_nodes=1, prior="scaled", seed=0)
+        slow = ParallelCOLDSampler(num_communities=3, num_topics=4, num_nodes=1, prior="scaled", seed=0)
         slow.fit(tiny_corpus, num_iterations=4)
-        fast = ParallelCOLDSampler(3, 4, num_nodes=4, prior="scaled", seed=0)
+        fast = ParallelCOLDSampler(num_communities=3, num_topics=4, num_nodes=4, prior="scaled", seed=0)
         fast.fit(tiny_corpus, num_iterations=4)
         assert fast.speedup() > slow.speedup()
 
     def test_partition_stats_exposed(self, tiny_corpus):
-        sampler = ParallelCOLDSampler(3, 4, num_nodes=3, prior="scaled", seed=0)
+        sampler = ParallelCOLDSampler(num_communities=3, num_topics=4, num_nodes=3, prior="scaled", seed=0)
         sampler.fit(tiny_corpus, num_iterations=3)
         assert sampler.partition_stats_ is not None
         assert sampler.partition_stats_.imbalance < 1.5
 
     def test_no_network_mode(self, tiny_corpus):
         sampler = ParallelCOLDSampler(
-            3, 4, num_nodes=2, include_network=False, prior="scaled", seed=0
+            num_communities=3, num_topics=4, num_nodes=2, include_network=False, prior="scaled", seed=0
         )
         sampler.fit(tiny_corpus, num_iterations=4)
         assert sampler.state_ is not None
@@ -198,10 +198,10 @@ class TestParallelSampler:
         from repro.core.likelihood import joint_log_likelihood
         from repro.core.model import COLDModel
 
-        serial = COLDModel(3, 4, prior="scaled", seed=0).fit(
+        serial = COLDModel(num_communities=3, num_topics=4, prior="scaled", seed=0).fit(
             tiny_corpus, num_iterations=25
         )
-        parallel = ParallelCOLDSampler(3, 4, num_nodes=4, prior="scaled", seed=0)
+        parallel = ParallelCOLDSampler(num_communities=3, num_topics=4, num_nodes=4, prior="scaled", seed=0)
         parallel.fit(tiny_corpus, num_iterations=25)
         ll_serial = joint_log_likelihood(serial.state_, serial.hyperparameters)
         ll_parallel = joint_log_likelihood(
@@ -212,18 +212,18 @@ class TestParallelSampler:
 
     def test_errors(self, tiny_corpus):
         with pytest.raises(EngineError):
-            ParallelCOLDSampler(0, 4)
+            ParallelCOLDSampler(num_communities=0, num_topics=4)
         with pytest.raises(EngineError):
-            ParallelCOLDSampler(3, 4, prior="bogus")
-        sampler = ParallelCOLDSampler(3, 4, prior="scaled")
+            ParallelCOLDSampler(num_communities=3, num_topics=4, prior="bogus")
+        sampler = ParallelCOLDSampler(num_communities=3, num_topics=4, prior="scaled")
         with pytest.raises(EngineError):
             sampler.fit(tiny_corpus, num_iterations=0)
         with pytest.raises(EngineError):
             sampler.training_seconds()
 
     def test_deterministic_given_seed(self, tiny_corpus):
-        a = ParallelCOLDSampler(3, 4, num_nodes=2, prior="scaled", seed=5)
+        a = ParallelCOLDSampler(num_communities=3, num_topics=4, num_nodes=2, prior="scaled", seed=5)
         a.fit(tiny_corpus, num_iterations=5)
-        b = ParallelCOLDSampler(3, 4, num_nodes=2, prior="scaled", seed=5)
+        b = ParallelCOLDSampler(num_communities=3, num_topics=4, num_nodes=2, prior="scaled", seed=5)
         b.fit(tiny_corpus, num_iterations=5)
         np.testing.assert_allclose(a.estimates_.pi, b.estimates_.pi)

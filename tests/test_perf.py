@@ -1,0 +1,63 @@
+"""Smoke coverage for the benchmark harness (:mod:`repro.perf`).
+
+Runs the SMOKE case at minimal settings so the harness itself — corpus
+construction, both kernel paths, the equivalence replay, occupancy
+reporting, JSON serialisation — is exercised on every test run.  Timing
+*ratios* are asserted only in the opt-in perf gate
+(``benchmarks/perf/``); here we require only that both paths ran and the
+draws matched.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf import MEDIUM, SMOKE, run_benchmark, run_case, write_benchmark
+
+
+class TestRunCase:
+    def test_smoke_case_record(self):
+        record = run_case(SMOKE, warmup=1, reps=1, sweeps_per_rep=1,
+                          equivalence_sweeps=2)
+        assert record["name"] == "smoke"
+        assert record["draws_match"] is True
+        assert record["reference_seconds_per_sweep"] > 0
+        assert record["fast_seconds_per_sweep"] > 0
+        assert record["speedup"] > 0
+        assert record["corpus"]["num_posts"] > 0
+        assert record["corpus"]["num_links"] > 0
+
+    def test_occupancy_summary_is_consistent(self):
+        record = run_case(SMOKE, warmup=1, reps=1, sweeps_per_rep=1,
+                          equivalence_sweeps=1)
+        occupancy = record["occupancy"]
+        assert occupancy["total_cells"] == (
+            SMOKE.num_communities * SMOKE.num_topics
+        )
+        assert 0 < occupancy["active_cells"] <= occupancy["total_cells"]
+        counts = [n for _c, _k, n in occupancy["top_cells"]]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_medium_case_dimensions_meet_floors(self):
+        # The acceptance floors for the headline benchmark config.
+        assert MEDIUM.num_users >= 500
+        assert MEDIUM.num_topics >= 20
+
+
+class TestWriteBenchmark:
+    def test_writes_valid_json(self, tmp_path):
+        path = tmp_path / "bench.json"
+        payload = write_benchmark(
+            path, cases=(SMOKE,), warmup=1, reps=1, sweeps_per_rep=1
+        )
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+        assert on_disk["cases"][0]["name"] == "smoke"
+        assert on_disk["method"]["reps"] == 1
+
+    def test_payload_records_environment(self):
+        payload = run_benchmark(cases=(SMOKE,), warmup=1, reps=1,
+                                sweeps_per_rep=1)
+        assert payload["python"]
+        assert payload["numpy"]
+        assert payload["harness"] == "repro.perf"

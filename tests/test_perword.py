@@ -89,7 +89,7 @@ class TestFit:
             block_mass = phi[:, :3].sum(axis=1)
             return float(max(block_mass.max(), 1 - block_mass.min()))
 
-        per_post = COLDModel(1, 2, prior="scaled", seed=0).fit(
+        per_post = COLDModel(num_communities=1, num_topics=2, prior="scaled", seed=0).fit(
             corpus, num_iterations=40
         )
         per_word = COLDPerWordModel(1, 2, prior="scaled", seed=0).fit(

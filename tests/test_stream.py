@@ -96,7 +96,7 @@ class TestBuild:
         builder.add_link("user0", "user1", time=3.0)
         builder.add_link("user1", "user2", time=4.0)
         corpus = builder.build()
-        model = COLDModel(2, 2, prior="scaled", seed=0).fit(
+        model = COLDModel(num_communities=2, num_topics=2, prior="scaled", seed=0).fit(
             corpus, num_iterations=5
         )
         assert model.fitted
