@@ -1,0 +1,38 @@
+"""Opt-in perf gate: parallel sampling must scale on the medium case.
+
+Run with ``pytest benchmarks/perf -m perf``.  Excluded from the default
+suite (``-m 'not perf'`` in pyproject) because the medium case costs
+minutes of wall time and asserts on machine-dependent timings.
+
+The methodology mirrors the committed ``BENCH_parallel.json`` artefact:
+per node count, the best per-sweep simulated-cluster time (slowest node
++ merge) over a short fit, with node seconds self-reported by the worker
+processes as CPU time — so the scaling holds even on hosts with fewer
+cores than workers.  Executor equivalence (``draws_match``) is asserted
+alongside: a speedup over an executor that draws a different chain would
+be meaningless.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import MEDIUM, run_parallel_case
+
+pytestmark = pytest.mark.perf
+
+
+def test_medium_case_scaling_and_exactness():
+    record = run_parallel_case(
+        MEDIUM, node_counts=(1, 4), executor="processes", sweeps=5
+    )
+    assert record["draws_match"], (
+        "processes executor diverged from the simulated oracle"
+    )
+    by_nodes = {point["nodes"]: point for point in record["scaling"]}
+    speedup = by_nodes[4]["speedup_vs_1_node"]
+    assert speedup >= 2.5, (
+        f"4-node processes fit only {speedup:.2f}x over 1 node "
+        f"({by_nodes[1]['cluster_seconds_per_sweep']:.4f}s -> "
+        f"{by_nodes[4]['cluster_seconds_per_sweep']:.4f}s per sweep)"
+    )

@@ -10,7 +10,9 @@ Subcommands mirror the lifecycle of a COLD study:
 * ``predict``   — time-stamp prediction accuracy of a trained model on a
   held-out corpus slice;
 * ``bench``     — the Gibbs sweep benchmark (reference vs fast kernels),
-  written as ``BENCH_gibbs.json``.
+  written as ``BENCH_gibbs.json``; with ``--parallel``, the parallel
+  scaling benchmark over cluster nodes, written as
+  ``BENCH_parallel.json``.
 
 Model-dimension flags are shared across subcommands via parent parsers:
 ``--communities``/``--topics`` everywhere, with ``--num-communities`` /
@@ -117,6 +119,19 @@ def _add_train(subparsers: argparse._SubParsersAction) -> None:
         help="simulated cluster nodes (>1 uses the parallel sampler)",
     )
     parser.add_argument(
+        "--executor", choices=["simulated", "threads", "processes"],
+        default="simulated",
+        help="how parallel node work runs: 'simulated' (sequential, "
+        "simulated-cluster timing), 'threads' (GIL-limited), or "
+        "'processes' (shared-memory worker processes, true multi-core); "
+        "draws are identical across executors for a given seed",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for --executor processes "
+        "(default: one per node)",
+    )
+    parser.add_argument(
         "--checkpoint-every", type=int, default=None, metavar="N",
         help="write an atomic checkpoint every N sweeps (serial fits only)",
     )
@@ -165,20 +180,49 @@ def _add_predict(subparsers: argparse._SubParsersAction) -> None:
 def _add_bench(subparsers: argparse._SubParsersAction) -> None:
     parser = subparsers.add_parser(
         "bench",
-        help="benchmark the Gibbs kernels (reference vs fast)",
+        help="benchmark the Gibbs kernels, or parallel scaling (--parallel)",
     )
     parser.add_argument(
-        "output", type=Path, nargs="?", default=Path("BENCH_gibbs.json"),
-        help="output JSON path (default: BENCH_gibbs.json)",
+        "output", type=Path, nargs="?", default=None,
+        help="output JSON path (default: BENCH_gibbs.json, or "
+        "BENCH_parallel.json with --parallel)",
     )
     parser.add_argument(
         "--cases", nargs="+", choices=["smoke", "medium"],
-        default=["smoke", "medium"],
-        help="which benchmark cases to run",
+        default=None,
+        help="which benchmark cases to run (default: smoke medium, or "
+        "just medium with --parallel)",
     )
     parser.add_argument("--warmup", type=int, default=10)
     parser.add_argument("--reps", type=int, default=5)
     parser.add_argument("--sweeps-per-rep", type=int, default=2)
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help="benchmark parallel sampling scaling over cluster nodes "
+        "instead of the serial Gibbs kernels",
+    )
+    parser.add_argument(
+        "--nodes", type=int, nargs="+", default=[1, 2, 4, 8],
+        help="node counts for the --parallel scaling curve",
+    )
+    parser.add_argument(
+        "--executor", choices=["simulated", "threads", "processes"],
+        default="processes",
+        help="executor under test for --parallel (default: processes)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes per fit for --parallel with the "
+        "processes executor (default: one per node)",
+    )
+    parser.add_argument(
+        "--sweeps", type=int, default=5,
+        help="Gibbs sweeps per --parallel fit",
+    )
+    parser.add_argument(
+        "--equivalence-sweeps", type=int, default=2,
+        help="sweeps of the --parallel draws_match equivalence check",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -213,9 +257,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    parallel = args.nodes > 1 or args.executor != "simulated"
     if args.resume is not None:
-        if args.nodes > 1:
-            raise EngineError("--resume only supports serial fits (--nodes 1)")
+        if parallel:
+            raise EngineError(
+                "--resume only supports serial fits "
+                "(--nodes 1, --executor simulated)"
+            )
         corpus = load_corpus(args.corpus)
         print(f"resuming from {args.resume}")
         model = COLDModel.resume(args.resume, corpus=corpus)
@@ -230,12 +278,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
     checkpoint_dir = args.checkpoint_dir
     if checkpoint_every is not None and checkpoint_dir is None:
         checkpoint_dir = args.model.with_suffix(".ckpt")
-    if checkpoint_every is not None and args.nodes > 1:
+    if checkpoint_every is not None and parallel:
         raise EngineError(
-            "--checkpoint-every only supports serial fits (--nodes 1)"
+            "--checkpoint-every only supports serial fits "
+            "(--nodes 1, --executor simulated)"
         )
     fast = not args.reference_kernels
-    if args.nodes > 1:
+    if parallel:
         sampler = ParallelCOLDSampler(
             num_communities=args.communities,
             num_topics=args.topics,
@@ -243,6 +292,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
             include_network=not args.no_network,
             seed=args.seed,
             fast=fast,
+            executor=args.executor,
+            num_workers=args.workers,
         ).fit(corpus, num_iterations=args.iterations)
         model = COLDModel(
             num_communities=args.communities,
@@ -250,11 +301,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
             include_network=not args.no_network,
             seed=args.seed,
             fast=fast,
+            executor=args.executor,
+            num_nodes=args.nodes,
+            num_workers=args.workers,
         )
         model.estimates_ = sampler.estimates_
         model.hyperparameters = sampler.hyperparameters
+        model.cluster_report_ = sampler.report_
         print(
-            f"parallel fit on {args.nodes} nodes: "
+            f"parallel fit on {args.nodes} node(s) "
+            f"[{args.executor} executor]: "
             f"{sampler.training_seconds():.2f}s cluster time, "
             f"speedup {sampler.speedup():.2f}x"
         )
@@ -345,13 +401,46 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .perf import MEDIUM, SMOKE, write_benchmark
+    from .perf import MEDIUM, SMOKE, write_benchmark, write_parallel_benchmark
 
     available = {"smoke": SMOKE, "medium": MEDIUM}
-    cases = tuple(available[name] for name in dict.fromkeys(args.cases))
+    case_names = args.cases
+    if case_names is None:
+        case_names = ["medium"] if args.parallel else ["smoke", "medium"]
+    cases = tuple(available[name] for name in dict.fromkeys(case_names))
+    output = args.output
+    if output is None:
+        output = Path("BENCH_parallel.json" if args.parallel else "BENCH_gibbs.json")
     print(f"benchmarking {len(cases)} case(s): {', '.join(c.name for c in cases)}")
+
+    if args.parallel:
+        payload = write_parallel_benchmark(
+            output,
+            cases=cases,
+            node_counts=tuple(args.nodes),
+            executor=args.executor,
+            num_workers=args.workers,
+            sweeps=args.sweeps,
+            equivalence_sweeps=args.equivalence_sweeps,
+        )
+        for record in payload["cases"]:
+            for point in record["scaling"]:
+                print(
+                    f"{record['name']:>8} @ {point['nodes']} node(s): "
+                    f"{point['cluster_seconds_per_sweep']*1e3:.1f}ms cluster "
+                    f"time per sweep, "
+                    f"speedup {point['speedup_vs_1_node']:.2f}x"
+                )
+            print(
+                f"{record['name']:>8}: draws_match={record['draws_match']} "
+                f"({record['executor']} vs simulated at "
+                f"{record['draws_match_nodes']} nodes)"
+            )
+        print(f"wrote benchmark -> {output}")
+        return 0
+
     payload = write_benchmark(
-        args.output,
+        output,
         cases=cases,
         warmup=args.warmup,
         reps=args.reps,
@@ -364,7 +453,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"speedup {record['speedup']:.2f}x, "
             f"draws_match={record['draws_match']}"
         )
-    print(f"wrote benchmark -> {args.output}")
+    print(f"wrote benchmark -> {output}")
     return 0
 
 

@@ -47,6 +47,19 @@ class COLDConfig:
         Use the cached vectorised Gibbs kernels (bit-identical draws to
         the reference kernels, several times faster); ``False`` selects
         the reference kernels, kept as the correctness oracle.
+    executor:
+        How parallel node work runs when ``num_nodes > 1``:
+        ``"simulated"`` (sequential with simulated-cluster timing),
+        ``"threads"`` (thread pool), or ``"processes"`` (shared-memory
+        worker processes; true multi-core).  All three draw the identical
+        chain for a given seed and node count.
+    num_nodes:
+        Cluster nodes (shards) of the parallel sampler; ``1`` keeps the
+        serial sampler.
+    num_workers:
+        Worker processes for the ``processes`` executor (defaults to
+        ``num_nodes``); fewer workers multiplexes shards over the pool
+        without changing the draws.
     num_iterations, burn_in, sample_interval, likelihood_interval:
         The Gibbs schedule, as in :meth:`repro.COLDModel.fit`.
     """
@@ -60,6 +73,9 @@ class COLDConfig:
     prior: str = "paper"
     seed: int = 0
     fast: bool = True
+    executor: str = "simulated"
+    num_nodes: int = 1
+    num_workers: int | None = None
     num_iterations: int = 100
     burn_in: int | None = None
     sample_interval: int = 5
@@ -75,6 +91,9 @@ class COLDConfig:
         "prior",
         "seed",
         "fast",
+        "executor",
+        "num_nodes",
+        "num_workers",
     )
 
     def __post_init__(self) -> None:
@@ -86,6 +105,19 @@ class COLDConfig:
             raise ConfigError(f"prior must be 'paper' or 'scaled', got {self.prior!r}")
         if self.kappa <= 0:
             raise ConfigError("kappa must be positive")
+        if self.executor not in ("simulated", "threads", "processes"):
+            raise ConfigError(
+                "executor must be 'simulated', 'threads', or 'processes', "
+                f"got {self.executor!r}"
+            )
+        if self.num_nodes <= 0:
+            raise ConfigError("num_nodes must be positive")
+        if self.num_workers is not None and self.num_workers <= 0:
+            raise ConfigError("num_workers must be positive when given")
+        if self.num_workers is not None and self.executor != "processes":
+            raise ConfigError(
+                "num_workers only applies to the 'processes' executor"
+            )
         if self.num_iterations <= 0:
             raise ConfigError("num_iterations must be positive")
         if self.burn_in is not None and not 0 <= self.burn_in < self.num_iterations:

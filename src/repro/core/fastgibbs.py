@@ -75,6 +75,7 @@ class SweepCache:
         self.hp = hp
         C = state.num_communities
         K = state.num_topics
+        self.C = C
         self.K = K
         self.T = state.n_comm_topic_time.shape[2]
         self.V = state.n_topic_word.shape[1]
@@ -83,6 +84,66 @@ class SweepCache:
         self._arange_ext = np.arange(
             -self.max_len, self.max_len, dtype=np.int64
         )
+        self._bind_counters(state)
+
+        # -- per-post metadata and scratch buffers -----------------------------
+        # Posts whose words are all distinct take the batched word path; the
+        # rest get precomputed (word-column, ascending-q) expansions so the
+        # Polya loop runs as one sequential np.add.accumulate (the same
+        # left-to-right accumulation order as the reference loop).
+        self._all_distinct = self._distinct_word_flags(state).tolist()
+        self._expanded = self._expand_repeated_posts(state)
+        # Per-post/link metadata as plain Python lists (and the current
+        # assignments mirrored alongside them): list indexing is several
+        # times cheaper than NumPy scalar reads on the per-draw hot path.
+        # The mirrors are maintained by post_moved / the link kernel, which
+        # every fast kernel already routes through.
+        posts = state.posts
+        self._times = posts.times.tolist()
+        self._authors = posts.authors.tolist()
+        self._lengths = posts.lengths.tolist()
+        self._post_words = [posts.words_of(p) for p in range(len(posts))]
+        self._link_users = state.links.tolist()
+        self._bind_assignments(state)
+        self._cum_comm = np.empty(C, dtype=np.float64)
+        self._cum_topic = np.empty(K, dtype=np.float64)
+        self._topic_buf = np.empty(K, dtype=np.float64)
+        self._cum_pair = np.empty(C * C, dtype=np.float64)
+        self._denom_int = np.empty(2 * self.max_len, dtype=np.int64)
+        self._log3 = np.empty(3, dtype=np.float64)
+        self._kw_bufs: dict[int, np.ndarray] = {}
+        self._int_bufs: dict[int, np.ndarray] = {}
+        self._flt_bufs: dict[int, np.ndarray] = {}
+        self._comm_buf = np.empty(C, dtype=np.float64)
+        self._factor_buf = np.empty(C, dtype=np.float64)
+        self._pair_buf = np.empty((C, C), dtype=np.float64)
+        self._K_alpha = K * hp.alpha
+        self._T_eps = self.T * hp.epsilon
+        self._V_beta = self.V * hp.beta
+
+    def refresh(self, state: CountState) -> None:
+        """Rebind to ``state``'s current counters and assignments.
+
+        ``state`` must hold the same corpus (post table and links) the
+        cache was built from; only its counters and assignment arrays may
+        differ.  Every corpus-static structure — the repeated-word
+        expansions, per-post metadata lists, scratch buffers — is reused,
+        and the counter-derived factor caches are recomputed with the
+        exact operation sequence of a fresh build, so the refreshed cache
+        is bit-identical to ``SweepCache(state, hp)`` at roughly a tenth
+        of the cost.  The parallel workers call this once per superstep
+        after resetting their private counters to the merged snapshot,
+        which is what makes per-shard dispatch overhead scale with the
+        shard instead of the corpus.
+        """
+        self._bind_counters(state)
+        self._bind_assignments(state)
+
+    def _bind_counters(self, state: CountState) -> None:
+        """(Re)compute every counter-derived factor cache from ``state``."""
+        hp = self.hp
+        C = self.C
+        K = self.K
 
         # -- Eq. (1) factors ---------------------------------------------------
         # n_c^(.) totals as exact integers, plus the interest denominator
@@ -141,43 +202,12 @@ class SweepCache:
             state.n_link_comm + hp.lambda0 + hp.lambda1
         )
 
-        # -- per-post metadata and scratch buffers -----------------------------
-        # Posts whose words are all distinct take the batched word path; the
-        # rest get precomputed (word-column, ascending-q) expansions so the
-        # Polya loop runs as one sequential np.add.accumulate (the same
-        # left-to-right accumulation order as the reference loop).
-        self._all_distinct = self._distinct_word_flags(state).tolist()
-        self._expanded = self._expand_repeated_posts(state)
-        # Per-post/link metadata as plain Python lists (and the current
-        # assignments mirrored alongside them): list indexing is several
-        # times cheaper than NumPy scalar reads on the per-draw hot path.
-        # The mirrors are maintained by post_moved / the link kernel, which
-        # every fast kernel already routes through.
-        posts = state.posts
-        self._times = posts.times.tolist()
-        self._authors = posts.authors.tolist()
-        self._lengths = posts.lengths.tolist()
-        self._post_words = [posts.words_of(p) for p in range(len(posts))]
+    def _bind_assignments(self, state: CountState) -> None:
+        """Remirror the current assignments into the hot-path lists."""
         self._post_c = state.post_comm.tolist()
         self._post_k = state.post_topic.tolist()
-        self._link_users = state.links.tolist()
         self._link_c = state.link_src_comm.tolist()
         self._link_cp = state.link_dst_comm.tolist()
-        self._cum_comm = np.empty(C, dtype=np.float64)
-        self._cum_topic = np.empty(K, dtype=np.float64)
-        self._topic_buf = np.empty(K, dtype=np.float64)
-        self._cum_pair = np.empty(C * C, dtype=np.float64)
-        self._denom_int = np.empty(2 * self.max_len, dtype=np.int64)
-        self._log3 = np.empty(3, dtype=np.float64)
-        self._kw_bufs: dict[int, np.ndarray] = {}
-        self._int_bufs: dict[int, np.ndarray] = {}
-        self._flt_bufs: dict[int, np.ndarray] = {}
-        self._comm_buf = np.empty(C, dtype=np.float64)
-        self._factor_buf = np.empty(C, dtype=np.float64)
-        self._pair_buf = np.empty((C, C), dtype=np.float64)
-        self._K_alpha = K * hp.alpha
-        self._T_eps = self.T * hp.epsilon
-        self._V_beta = self.V * hp.beta
 
     @staticmethod
     def _distinct_word_flags(state: CountState) -> np.ndarray:

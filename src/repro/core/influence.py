@@ -23,6 +23,48 @@ class InfluenceError(ValueError):
     """Raised for invalid influence computations."""
 
 
+def _validated_seeds(
+    probabilities: np.ndarray, seeds: list[int] | np.ndarray
+) -> np.ndarray:
+    """Validate the IC inputs once; returns the seed indices as int64."""
+    n = probabilities.shape[0]
+    if probabilities.shape != (n, n):
+        raise InfluenceError("probability matrix must be square")
+    if ((probabilities < 0) | (probabilities > 1)).any():
+        raise InfluenceError("activation probabilities must lie in [0, 1]")
+    seed_idx = np.asarray(seeds, dtype=np.int64).reshape(-1)
+    if len(seed_idx) and not (
+        0 <= int(seed_idx.min()) and int(seed_idx.max()) < n
+    ):
+        bad = seed_idx[(seed_idx < 0) | (seed_idx >= n)][0]
+        raise InfluenceError(f"seed {int(bad)} out of range [0, {n})")
+    return seed_idx
+
+
+def _cascade(
+    probabilities: np.ndarray,
+    active: np.ndarray,
+    frontier: np.ndarray,
+    rng: np.random.Generator,
+) -> None:
+    """Run one IC realisation in place from ``frontier`` (validated inputs).
+
+    Each BFS level draws one ``(len(frontier), n)`` uniform block and
+    reduces it against the frontier's probability rows — node ``v``
+    activates iff any newly-active ``u`` fires the ``u -> v`` edge, which
+    is exactly the per-edge semantics of the scalar loop (every edge out
+    of an activated node is tried once).
+    """
+    while frontier.size:
+        flips = (
+            rng.random((frontier.size, probabilities.shape[0]))
+            < probabilities[frontier]
+        )
+        newly = flips.any(axis=0) & ~active
+        active |= newly
+        frontier = np.flatnonzero(newly)
+
+
 def independent_cascade(
     probabilities: np.ndarray,
     seeds: list[int] | np.ndarray,
@@ -33,26 +75,20 @@ def independent_cascade(
     ``probabilities[u, v]`` is the chance that newly-activated ``u``
     activates ``v`` (each edge fires at most once).  Returns the boolean
     activation vector.
+
+    .. note:: RNG stream (changed when the loop was vectorised)
+
+       Each BFS level now consumes one batched ``(len(frontier), n)``
+       uniform draw, with the frontier in ascending node order and
+       duplicate seeds collapsed — instead of the original per-node
+       ``rng.random(n)`` calls in insertion order.  A fixed seed therefore
+       yields a *different* (equally valid) realisation than earlier
+       versions; the spread distribution is unchanged.
     """
-    n = probabilities.shape[0]
-    if probabilities.shape != (n, n):
-        raise InfluenceError("probability matrix must be square")
-    if ((probabilities < 0) | (probabilities > 1)).any():
-        raise InfluenceError("activation probabilities must lie in [0, 1]")
-    active = np.zeros(n, dtype=bool)
-    frontier = [int(s) for s in seeds]
-    for s in frontier:
-        if not 0 <= s < n:
-            raise InfluenceError(f"seed {s} out of range [0, {n})")
-        active[s] = True
-    while frontier:
-        next_frontier: list[int] = []
-        for u in frontier:
-            flips = rng.random(n) < probabilities[u]
-            newly = np.where(flips & ~active)[0]
-            active[newly] = True
-            next_frontier.extend(int(v) for v in newly)
-        frontier = next_frontier
+    seed_idx = _validated_seeds(probabilities, seeds)
+    active = np.zeros(probabilities.shape[0], dtype=bool)
+    active[seed_idx] = True
+    _cascade(probabilities, active, np.flatnonzero(active), rng)
     return active
 
 
@@ -62,14 +98,27 @@ def expected_spread(
     num_simulations: int = 200,
     rng: np.random.Generator | None = None,
 ) -> float:
-    """Monte-Carlo estimate of IC expected spread from ``seeds``."""
+    """Monte-Carlo estimate of IC expected spread from ``seeds``.
+
+    Validation happens once up front (not per realisation), and the
+    per-realisation spreads accumulate into one vector whose mean is
+    returned.  Shares :func:`independent_cascade`'s batched RNG stream —
+    see its note on the stream change.
+    """
     if num_simulations <= 0:
         raise InfluenceError("num_simulations must be positive")
-    rng = rng or np.random.default_rng(0)
-    total = 0
-    for _ in range(num_simulations):
-        total += int(independent_cascade(probabilities, seeds, rng).sum())
-    return total / num_simulations
+    if rng is None:
+        rng = np.random.default_rng(0)
+    seed_idx = _validated_seeds(probabilities, seeds)
+    seed_mask = np.zeros(probabilities.shape[0], dtype=bool)
+    seed_mask[seed_idx] = True
+    seed_frontier = np.flatnonzero(seed_mask)
+    sizes = np.empty(num_simulations, dtype=np.int64)
+    for index in range(num_simulations):
+        active = seed_mask.copy()
+        _cascade(probabilities, active, seed_frontier, rng)
+        sizes[index] = np.count_nonzero(active)
+    return float(sizes.mean())
 
 
 @dataclass

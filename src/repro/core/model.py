@@ -74,6 +74,15 @@ class COLDModel:
         the same seed yields the same chain — just several times faster;
         ``fast=False`` selects the reference kernels, kept as the
         correctness oracle.
+    executor, num_nodes, num_workers:
+        ``num_nodes > 1`` routes :meth:`fit` through the parallel sampler
+        (:class:`~repro.parallel.sampler.ParallelCOLDSampler`) on that
+        many shards; ``executor`` picks how shard work runs
+        (``"simulated"``, ``"threads"``, or ``"processes"`` — the
+        shared-memory multi-core pool), and ``num_workers`` caps the
+        worker processes of the ``processes`` executor.  Parallel fits do
+        not yet support callbacks or checkpointing; their per-superstep
+        timings land in ``cluster_report_``.
 
     A single :class:`~repro.core.config.COLDConfig` may be passed instead
     of the keywords above: ``COLDModel(config)``.  Arguments are otherwise
@@ -132,11 +141,27 @@ class COLDModel:
         prior: str = "paper",
         seed: int = 0,
         fast: bool = True,
+        executor: str = "simulated",
+        num_nodes: int = 1,
+        num_workers: int | None = None,
     ) -> None:
         if num_communities <= 0 or num_topics <= 0:
             raise ModelError("num_communities and num_topics must be positive")
         if prior not in ("paper", "scaled"):
             raise ModelError(f"prior must be 'paper' or 'scaled', got {prior!r}")
+        if executor not in ("simulated", "threads", "processes"):
+            raise ModelError(
+                "executor must be 'simulated', 'threads', or 'processes', "
+                f"got {executor!r}"
+            )
+        if num_nodes <= 0:
+            raise ModelError("num_nodes must be positive")
+        if num_workers is not None and num_workers <= 0:
+            raise ModelError("num_workers must be positive when given")
+        if num_workers is not None and executor != "processes":
+            raise ModelError(
+                "num_workers only applies to the 'processes' executor"
+            )
         self.num_communities = num_communities
         self.num_topics = num_topics
         self.hyperparameters = hyperparameters
@@ -145,11 +170,17 @@ class COLDModel:
         self.prior = prior
         self.seed = seed
         self.fast = fast
+        self.executor = executor
+        self.num_nodes = num_nodes
+        self.num_workers = num_workers
         self._rng = np.random.default_rng(seed)
         self.state_: CountState | None = None
         self.estimates_: ParameterEstimates | None = None
         self.monitor_: ConvergenceMonitor | None = None
         self.corpus_: SocialCorpus | None = None
+        #: Per-superstep cluster timings of the last parallel fit
+        #: (``num_nodes > 1``); ``None`` for serial fits.
+        self.cluster_report_ = None
 
     # -- fitting ---------------------------------------------------------------
 
@@ -207,6 +238,23 @@ class COLDModel:
             )
         if checkpoint_every is not None and checkpoint_every <= 0:
             raise ModelError("checkpoint_every must be positive")
+        if self.num_nodes > 1:
+            if callback is not None:
+                raise ModelError(
+                    "parallel fits (num_nodes > 1) do not support callback"
+                )
+            if checkpoint_every is not None:
+                raise ModelError(
+                    "parallel fits (num_nodes > 1) do not support checkpointing"
+                )
+            return self._fit_parallel(
+                corpus,
+                num_iterations=num_iterations,
+                burn_in=burn_in,
+                sample_interval=sample_interval,
+                likelihood_interval=likelihood_interval,
+                check_invariants=check_invariants,
+            )
 
         hp = self._resolve_hyperparameters(corpus)
         state = CountState.initialize(
@@ -231,6 +279,55 @@ class COLDModel:
             checkpoint_every=checkpoint_every,
             checkpoint_dir=checkpoint_dir,
         )
+        self.corpus_ = corpus
+        return self
+
+    def _fit_parallel(
+        self,
+        corpus: SocialCorpus,
+        num_iterations: int,
+        burn_in: int,
+        sample_interval: int,
+        likelihood_interval: int,
+        check_invariants: bool,
+    ) -> "COLDModel":
+        """Delegate the fit to the parallel sampler (``num_nodes > 1``).
+
+        The sampler owns sharding, the per-superstep snapshot/merge cycle,
+        and (for ``executor="processes"``) the shared-memory worker pool;
+        its fitted state, estimates, monitor, and cluster timing report
+        are adopted wholesale.
+        """
+        from ..parallel.sampler import ParallelCOLDSampler
+
+        sampler = ParallelCOLDSampler(
+            num_communities=self.num_communities,
+            num_topics=self.num_topics,
+            num_nodes=self.num_nodes,
+            executor=self.executor,
+            num_workers=self.num_workers,
+            hyperparameters=self.hyperparameters,
+            include_network=self.include_network,
+            kappa=self.kappa,
+            prior=self.prior,
+            seed=self.seed,
+            fast=self.fast,
+        )
+        sampler.fit(
+            corpus,
+            num_iterations=num_iterations,
+            burn_in=burn_in,
+            sample_interval=sample_interval,
+            likelihood_interval=likelihood_interval,
+        )
+        assert sampler.state_ is not None
+        if check_invariants:
+            sampler.state_.check_invariants()
+        self.state_ = sampler.state_
+        self.monitor_ = sampler.monitor_
+        self.hyperparameters = sampler.hyperparameters
+        self.estimates_ = sampler.estimates_
+        self.cluster_report_ = sampler.report_
         self.corpus_ = corpus
         return self
 
@@ -330,6 +427,9 @@ class COLDModel:
                 "prior": self.prior,
                 "seed": self.seed,
                 "fast": self.fast,
+                "executor": self.executor,
+                "num_nodes": self.num_nodes,
+                "num_workers": self.num_workers,
             },
             "hyperparameters": {
                 "rho": hp.rho,
@@ -525,6 +625,9 @@ class COLDModel:
             "prior": self.prior,
             "seed": self.seed,
             "fast": self.fast,
+            "executor": self.executor,
+            "num_nodes": self.num_nodes,
+            "num_workers": self.num_workers,
             "hyperparameters": None
             if hp is None
             else {

@@ -14,6 +14,8 @@ from .engine import (
 from .graph import ComputationGraph, GraphError, UserTimeEdge, UserUserEdge
 from .partition import PartitionError, PartitionStats, Shard, partition_graph
 from .sampler import ParallelCOLDSampler
+from .shm import SharedArrayBlock, SharedMemoryError
+from .worker import ProcessWorkerPool, WorkerCrashError
 
 __all__ = [
     "ClusterReport",
@@ -24,10 +26,14 @@ __all__ = [
     "ParallelCOLDSampler",
     "PartitionError",
     "PartitionStats",
+    "ProcessWorkerPool",
     "Shard",
+    "SharedArrayBlock",
+    "SharedMemoryError",
     "SimulatedCluster",
     "SuperstepReport",
     "UserTimeEdge",
     "UserUserEdge",
+    "WorkerCrashError",
     "partition_graph",
 ]

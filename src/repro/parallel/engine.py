@@ -35,9 +35,24 @@ idempotent — it recomputes from the snapshot each attempt).  Retries,
 injected delays, and backoff waits are all recorded in the
 :class:`SuperstepReport`.
 
-An optional thread-pool executor runs shards concurrently for real; on
-CPython the GIL limits its gains, so the simulated mode is the default for
-the scalability benches (and is documented as such in EXPERIMENTS.md).
+Executors
+---------
+``"simulated"`` runs tasks sequentially and *reports* parallel time —
+deterministic, contention-free measurement.  ``"threads"`` runs tasks on a
+thread pool (GIL-limited for pure-Python kernels).  ``"processes"`` is the
+true multi-core mode: the caller's tasks dispatch shards to a
+:class:`~repro.parallel.worker.ProcessWorkerPool` whose workers share the
+corpus/snapshot/assignment arrays via shared memory.  The engine drives
+``"processes"`` with the same thread-pool dispatch as ``"threads"`` — each
+dispatch thread blocks on a worker pipe with the GIL released — so the
+retry/timeout/fault machinery is identical across executors; a worker
+process dying mid-shard surfaces as a :class:`FaultError` exactly like an
+injected crash.
+
+Node tasks may *return* their own measured seconds (a float): remote
+workers self-report the compute time of the sweep they ran, which excludes
+dispatch overhead and idle-queue waits.  Tasks returning ``None`` are
+timed by the engine's own wall clock, as before.
 """
 
 from __future__ import annotations
@@ -143,7 +158,9 @@ class SimulatedCluster:
     executor:
         ``"simulated"`` runs tasks sequentially and *reports* parallel time
         (deterministic, GIL-free measurement); ``"threads"`` actually runs
-        them on a thread pool.
+        them on a thread pool; ``"processes"`` dispatches them the same
+        way but the tasks hand shards to out-of-process workers (see
+        :class:`~repro.parallel.worker.ProcessWorkerPool`).
     fault_plan:
         Optional fault-injection schedule; consulted for straggler delays
         and merge failures (node crashes are injected inside the caller's
@@ -167,7 +184,7 @@ class SimulatedCluster:
     ) -> None:
         if num_nodes <= 0:
             raise EngineError(f"num_nodes must be positive, got {num_nodes}")
-        if executor not in ("simulated", "threads"):
+        if executor not in ("simulated", "threads", "processes"):
             raise EngineError(f"unknown executor {executor!r}")
         if node_timeout is not None and node_timeout <= 0:
             raise EngineError(f"node_timeout must be positive, got {node_timeout}")
@@ -180,7 +197,7 @@ class SimulatedCluster:
     def _run_node(
         self,
         node_id: int,
-        task: Callable[[], None],
+        task: Callable[[], float | None],
         reset: Callable[[int], None] | None,
         superstep_index: int,
     ) -> NodeTiming:
@@ -188,7 +205,9 @@ class SimulatedCluster:
 
         Each failed attempt is rolled back through ``reset`` before the
         replay, so a retried node always starts from the pre-barrier
-        snapshot.
+        snapshot.  A task returning a float supplies its own measured
+        seconds (remote workers self-report compute time); ``None`` keeps
+        the engine's wall-clock measurement.
         """
         attempts = 0
         elapsed = 0.0
@@ -198,11 +217,14 @@ class SimulatedCluster:
                 reset(node_id)
             start = time.perf_counter()
             failure: str | None = None
+            reported: float | None = None
             try:
-                task()
+                reported = task()
             except FaultError as exc:
                 failure = f"crashed: {exc}"
             seconds = time.perf_counter() - start
+            if reported is not None:
+                seconds = float(reported)
             if self.fault_plan is not None:
                 seconds += self.fault_plan.straggler_delay(
                     superstep_index, node_id, attempts
@@ -262,7 +284,7 @@ class SimulatedCluster:
 
     def superstep(
         self,
-        node_tasks: Sequence[Callable[[], None]],
+        node_tasks: Sequence[Callable[[], float | None]],
         merge: Callable[[], None] | None = None,
         reset: Callable[[int], None] | None = None,
         superstep_index: int = 0,
@@ -279,7 +301,7 @@ class SimulatedCluster:
                 f"expected {self.num_nodes} node tasks, got {len(node_tasks)}"
             )
         timings: list[NodeTiming]
-        if self.executor == "threads" and self.num_nodes > 1:
+        if self.executor in ("threads", "processes") and self.num_nodes > 1:
             with ThreadPoolExecutor(max_workers=self.num_nodes) as pool:
                 futures = [
                     pool.submit(self._run_node, n, task, reset, superstep_index)

@@ -13,6 +13,15 @@ Because shards partition the posts and links exactly, the merged counters
 equal a from-scratch recount of the new assignments; staleness only affects
 *which* conditional each draw used, the standard approximate-parallel-Gibbs
 trade-off (the GraphLab implementation shares it).
+
+``executor="processes"`` runs the same superstep through a
+:class:`~repro.parallel.worker.ProcessWorkerPool`: snapshot, corpus, and
+assignment arrays live in shared memory, each node's sweep executes in a
+real worker process, and the barrier merge sums per-node delta buffers in
+fixed node order.  Per-node RNG streams stay parent-owned (shipped with
+each dispatch, returned advanced), so a fault-free ``processes`` fit draws
+the identical chain to ``simulated``/``threads`` at equal ``num_nodes``,
+for any ``num_workers``.
 """
 
 from __future__ import annotations
@@ -34,22 +43,12 @@ from ..resilience.retry import RetryPolicy
 from .engine import ClusterReport, EngineError, SimulatedCluster
 from .graph import ComputationGraph
 from .partition import PartitionStats, Shard, partition_graph
-
-#: Counter array attributes that are snapshotted/merged each superstep.
-_COUNTER_FIELDS = (
-    "n_user_comm",
-    "n_comm_topic",
-    "n_comm_topic_time",
-    "n_topic_word",
-    "n_topic_total",
-    "n_link_comm",
-)
-
-
-#: Shared assignment arrays captured for superstep replay: a crashed node
-#: has partially rewritten its shard's slots, and the replay must restore
-#: them to the pre-barrier values before resampling from scratch.
-_ASSIGNMENT_FIELDS = ("post_comm", "post_topic", "link_src_comm", "link_dst_comm")
+# The counter fields snapshotted/merged each superstep and the shared
+# assignment fields captured for replay are defined canonically in
+# repro.parallel.worker, which shares them with the process executor.
+from .worker import ASSIGNMENT_FIELDS as _ASSIGNMENT_FIELDS
+from .worker import COUNTER_FIELDS as _COUNTER_FIELDS
+from .worker import ProcessWorkerPool
 
 
 @dataclass
@@ -115,6 +114,14 @@ class ParallelCOLDSampler:
     per process).  ``fast`` selects the cached vectorised Gibbs kernels
     per node — draws are bit-identical to the reference kernels, so a
     seeded parallel fit produces the same chain either way.
+
+    ``executor`` picks how node work runs: ``"simulated"`` (sequential,
+    deterministic timing), ``"threads"`` (thread pool, GIL-limited), or
+    ``"processes"`` (a shared-memory worker pool; true multi-core).  All
+    three draw the identical chain for a given ``seed`` and ``num_nodes``.
+    ``num_workers`` (``processes`` only) caps the worker processes;
+    fewer workers than nodes multiplexes shards over the pool without
+    changing the draws.
     """
 
     def __init__(
@@ -123,6 +130,7 @@ class ParallelCOLDSampler:
         num_topics: int = 20,
         num_nodes: int = 4,
         executor: str = "simulated",
+        num_workers: int | None = None,
         hyperparameters: Hyperparameters | None = None,
         include_network: bool = True,
         kappa: float = 1.0,
@@ -138,10 +146,17 @@ class ParallelCOLDSampler:
             raise EngineError("num_communities and num_topics must be positive")
         if prior not in ("paper", "scaled"):
             raise EngineError(f"prior must be 'paper' or 'scaled', got {prior!r}")
+        if num_workers is not None and num_workers <= 0:
+            raise EngineError(f"num_workers must be positive, got {num_workers}")
+        if num_workers is not None and executor != "processes":
+            raise EngineError(
+                "num_workers only applies to the 'processes' executor"
+            )
         self.num_communities = num_communities
         self.num_topics = num_topics
         self.num_nodes = num_nodes
         self.executor = executor
+        self.num_workers = num_workers
         self.hyperparameters = hyperparameters
         self.include_network = include_network
         self.kappa = kappa
@@ -202,20 +217,39 @@ class ParallelCOLDSampler:
             np.random.default_rng(child) for child in seed_seq.spawn(self.num_nodes)
         ]
 
+        pool: ProcessWorkerPool | None = None
+        if self.executor == "processes":
+            pool = ProcessWorkerPool(
+                state,
+                hp,
+                shards,
+                fast=self.fast,
+                num_workers=self.num_workers,
+            )
+
         monitor = ConvergenceMonitor()
         samples: list[ParameterEstimates] = []
         supersteps = []
-        for iteration in range(1, num_iterations + 1):
-            report = self._superstep(state, hp, shards, cluster, node_rngs, iteration)
-            supersteps.append(report)
-            if self.verify_recovery and report.retries:
-                # The superstep replayed at least one node (or re-ran the
-                # merge); prove the recovery corrupted nothing.
-                state.check_invariants()
-            if likelihood_interval and iteration % likelihood_interval == 0:
-                monitor.record(joint_log_likelihood(state, hp))
-            if iteration > burn_in and (iteration - burn_in) % sample_interval == 0:
-                samples.append(estimate_from_state(state, hp))
+        try:
+            for iteration in range(1, num_iterations + 1):
+                report = self._superstep(
+                    state, hp, shards, cluster, node_rngs, iteration, pool
+                )
+                supersteps.append(report)
+                if self.verify_recovery and report.retries:
+                    # The superstep replayed at least one node (or re-ran the
+                    # merge); prove the recovery corrupted nothing.
+                    state.check_invariants()
+                if likelihood_interval and iteration % likelihood_interval == 0:
+                    monitor.record(joint_log_likelihood(state, hp))
+                if (
+                    iteration > burn_in
+                    and (iteration - burn_in) % sample_interval == 0
+                ):
+                    samples.append(estimate_from_state(state, hp))
+        finally:
+            if pool is not None:
+                pool.close()
 
         if not samples:
             samples.append(estimate_from_state(state, hp))
@@ -236,7 +270,12 @@ class ParallelCOLDSampler:
         cluster: SimulatedCluster,
         node_rngs: list[np.random.Generator],
         iteration: int,
+        pool: ProcessWorkerPool | None = None,
     ):
+        if pool is not None:
+            return self._process_superstep(
+                state, shards, cluster, node_rngs, iteration, pool
+            )
         snapshot = _Snapshot.of(state)
         locals_ = [snapshot.local_state(state) for _ in shards]
         attempt_counters = [0] * len(shards)
@@ -297,6 +336,71 @@ class ParallelCOLDSampler:
         return cluster.superstep(
             tasks,
             merge=lambda: snapshot.merge_into(state, locals_),
+            reset=reset,
+            superstep_index=iteration,
+        )
+
+    def _process_superstep(
+        self,
+        state: CountState,
+        shards: list[Shard],
+        cluster: SimulatedCluster,
+        node_rngs: list[np.random.Generator],
+        iteration: int,
+        pool: ProcessWorkerPool,
+    ):
+        """One superstep through the shared-memory worker pool.
+
+        Same structure as the in-process path — snapshot, scatter, merge —
+        but the shard sweeps execute in worker processes against the
+        shared snapshot, and the merge sums the preallocated per-node
+        delta buffers.  RNG streams stay parent-owned: each dispatch
+        ships the node's generator state and stores the advanced state
+        from the reply, so draws match the ``simulated`` executor exactly
+        in fault-free supersteps.  An injected crash becomes real worker
+        death (the pool raises :class:`~repro.parallel.worker.WorkerCrashError`,
+        a ``FaultError``), and the engine's reset/replay path restores
+        the shard's shared assignment slots from the snapshot; the dead
+        worker's consumed draws are lost, so the replay restarts from the
+        pre-attempt RNG state.
+        """
+        snapshot = _Snapshot.of(state)
+        pool.begin_superstep(state)
+        plan = cluster.fault_plan
+        attempt_counters = [0] * len(shards)
+        node_degenerates = [0] * len(shards)
+
+        def make_task(node: int):
+            rng = node_rngs[node]
+
+            def task() -> float:
+                attempt = attempt_counters[node]
+                attempt_counters[node] += 1
+                crash = (
+                    plan.crash_for(iteration, node, attempt)
+                    if plan is not None
+                    else None
+                )
+                result = pool.run_shard(
+                    node,
+                    rng.bit_generator.state,
+                    crash_progress=None if crash is None else crash.progress,
+                )
+                rng.bit_generator.state = result["rng_state"]
+                node_degenerates[node] = result["degenerate_draws"]
+                return result["seconds"]
+
+            return task
+
+        def reset(node: int) -> None:
+            snapshot.restore_shard(state, shards[node])
+
+        tasks = [make_task(n) for n in range(len(shards))]
+        return cluster.superstep(
+            tasks,
+            merge=lambda: pool.merge_into(
+                state, snapshot.degenerate_draws, node_degenerates
+            ),
             reset=reset,
             superstep_index=iteration,
         )

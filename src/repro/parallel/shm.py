@@ -1,0 +1,140 @@
+"""Shared-memory array blocks for the ``processes`` executor.
+
+A :class:`SharedArrayBlock` packs a set of named numpy arrays into one
+``multiprocessing.shared_memory`` segment.  The owner process calls
+:meth:`SharedArrayBlock.create` once; workers re-open the segment by name
+via :meth:`SharedArrayBlock.attach` using the picklable :meth:`spec` — so
+dispatching work across processes ships only a name plus the array layout,
+never the array contents.
+
+Cleanup notes: workers are always ``multiprocessing`` children of the
+creating process, so they share its ``resource_tracker`` — attaching from
+a worker registers nothing new (the tracker cache is a set) and only the
+owner's :meth:`close` unlinks the name.  ``SharedMemory.close()`` raises
+``BufferError`` while numpy views are still exported; :meth:`close` drops
+its own views first and treats a remaining pin as "leave the mapping to
+process exit" — the name is always unlinked by the owner, so nothing
+leaks in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+class SharedMemoryError(RuntimeError):
+    """Raised on invalid shared-memory block usage."""
+
+
+#: Per-array alignment inside a block; generous enough for any numpy dtype
+#: and keeps arrays on separate cache lines.
+_ALIGNMENT = 64
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Placement of one array inside a block (picklable)."""
+
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+
+class SharedArrayBlock:
+    """Named numpy arrays backed by one shared-memory segment.
+
+    ``block.arrays[name]`` is a live view into the segment: writes made by
+    any attached process are immediately visible to all others.  The
+    creating process owns the segment and must :meth:`close` it (which
+    unlinks); attached processes just :meth:`close` their mapping.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        layout: dict[str, ArraySpec],
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._layout = layout
+        self._owner = owner
+        self._closed = False
+        self.arrays: dict[str, np.ndarray] = {
+            name: np.ndarray(
+                spec.shape,
+                dtype=np.dtype(spec.dtype),
+                buffer=shm.buf,
+                offset=spec.offset,
+            )
+            for name, spec in layout.items()
+        }
+
+    @classmethod
+    def create(cls, arrays: dict[str, np.ndarray]) -> "SharedArrayBlock":
+        """Allocate a segment sized for ``arrays`` and copy them in."""
+        if not arrays:
+            raise SharedMemoryError("cannot create an empty shared block")
+        layout: dict[str, ArraySpec] = {}
+        offset = 0
+        for name, array in arrays.items():
+            array = np.asarray(array)
+            offset = -(-offset // _ALIGNMENT) * _ALIGNMENT
+            layout[name] = ArraySpec(
+                offset=offset,
+                shape=tuple(array.shape),
+                dtype=np.dtype(array.dtype).str,
+            )
+            offset += array.nbytes
+        # A zero-size segment is illegal; pad so empty arrays (e.g. the
+        # link table of a no-network fit) still get a valid mapping.
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        block = cls(shm, layout, owner=True)
+        for name, array in arrays.items():
+            block.arrays[name][...] = array
+        return block
+
+    def spec(self) -> dict:
+        """Everything a worker needs to :meth:`attach` (picklable)."""
+        return {"name": self._shm.name, "layout": self._layout}
+
+    @classmethod
+    def attach(cls, spec: dict) -> "SharedArrayBlock":
+        """Open an existing block from another process by its spec."""
+        try:
+            shm = shared_memory.SharedMemory(name=spec["name"])
+        except FileNotFoundError as exc:
+            raise SharedMemoryError(
+                f"shared block {spec.get('name')!r} no longer exists"
+            ) from exc
+        return cls(shm, spec["layout"], owner=False)
+
+    def close(self) -> None:
+        """Release this process's mapping; the owner also unlinks the name.
+
+        Idempotent.  If an external numpy view (e.g. a ``CountState``
+        field re-homed into the block) still pins the buffer, the unmap is
+        deferred to process exit — the name is unlinked regardless, so the
+        segment cannot leak.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.arrays = {}
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,418 @@
+"""Persistent worker processes for the ``processes`` executor.
+
+:class:`ProcessWorkerPool` gives :class:`~repro.parallel.sampler.ParallelCOLDSampler`
+true multi-core sweep execution while preserving the simulated engine's
+exact semantics:
+
+* **Zero-copy dispatch.**  The corpus arrays (post table, links), the
+  concatenated shard orders, the current assignment arrays, the
+  per-superstep counter snapshot, and one delta buffer per node all live
+  in :class:`~repro.parallel.shm.SharedArrayBlock` segments created once
+  per fit.  Dispatching a shard sends a node id plus an RNG state over a
+  pipe — no counters or corpus are ever pickled per superstep.
+* **Exact merge.**  A worker builds a private
+  :class:`~repro.core.state.CountState` whose counters are copies of the
+  shared snapshot and whose assignment arrays are the shared views (shards
+  own disjoint posts/links, so concurrent writes never collide), runs the
+  ordinary :func:`repro.core.gibbs.sweep` (fast kernels by default), and
+  writes ``local - snapshot`` into its delta row.  The barrier merge sums
+  delta rows in fixed node order on top of the snapshot — bit-identical
+  to the in-process ``_Snapshot.merge_into`` arithmetic (integer adds).
+* **Draw identity.**  Per-node RNG streams remain parent-owned: each
+  dispatch ships ``rng.bit_generator.state`` and each reply returns the
+  advanced state.  Workers carry no *chain* state between commands —
+  their private counters (and the bit-identical
+  :meth:`~repro.core.fastgibbs.SweepCache.refresh`-ed cache) are reset to
+  the shared snapshot on every run — so a fault-free ``processes`` fit is
+  draw-identical to ``simulated`` and ``threads`` at equal ``num_nodes``,
+  regardless of ``num_workers`` or which worker runs which shard.
+* **Real crashes.**  An injected :class:`~repro.resilience.faults.NodeCrash`
+  makes the worker resample a *fraction* of its shard (corrupting its
+  shard's shared assignment slots) and then die via ``os._exit`` — actual
+  process death, not an exception.  The pool respawns a replacement and
+  raises :class:`WorkerCrashError` (a ``FaultError``), so the engine's
+  rollback-and-replay machinery works unchanged.  The draws a dead worker
+  consumed are lost with it; the replay restarts from the pre-attempt RNG
+  state, which keeps the chain valid (the replayed shard is resampled
+  from the restored snapshot) even though a *faulted* run's draws then
+  differ from the ``simulated`` executor's replay draws.
+
+Node timing: workers self-report their sweep's CPU seconds
+(``time.process_time``), which the engine uses as the node's compute time.
+Uncontended, CPU time equals wall time; oversubscribed (more workers than
+cores), it still measures each shard's actual work, keeping the simulated
+synchronous-cluster metric (``max(node seconds) + merge``) meaningful.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import time
+import traceback
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..core.fastgibbs import SweepCache
+from ..core.gibbs import sweep
+from ..core.params import Hyperparameters
+from ..core.state import CountState, PostTable
+from ..resilience.faults import FaultError
+from .engine import EngineError
+from .partition import Shard
+from .shm import SharedArrayBlock
+
+#: Counter arrays snapshotted/merged each superstep (CountState attributes).
+COUNTER_FIELDS = (
+    "n_user_comm",
+    "n_comm_topic",
+    "n_comm_topic_time",
+    "n_topic_word",
+    "n_topic_total",
+    "n_link_comm",
+)
+
+#: Latent assignment arrays shared across processes (disjoint shard slots).
+ASSIGNMENT_FIELDS = ("post_comm", "post_topic", "link_src_comm", "link_dst_comm")
+
+#: Exit code of a worker dying from an injected mid-shard crash.
+_CRASH_EXIT = 3
+
+
+class WorkerCrashError(FaultError):
+    """A worker process died mid-shard (real process death)."""
+
+
+def worker_main(worker_id: int, init: dict, conn) -> None:
+    """Worker loop: attach the shared blocks, then serve shard commands.
+
+    Commands are ``("run", node, crash_progress, rng_state)`` or
+    ``("stop",)``.  Replies are ``("ok", payload)`` with the advanced RNG
+    state, timing, and degeneracy tally, or ``("error", traceback)``.  An
+    injected crash never replies — the process exits mid-shard and the
+    parent observes the dead pipe.
+    """
+    blocks = {
+        key: SharedArrayBlock.attach(spec) for key, spec in init["blocks"].items()
+    }
+    data = blocks["data"].arrays
+    snapshot = blocks["snapshot"].arrays
+    deltas = blocks["deltas"].arrays
+    hp = Hyperparameters(**init["hyperparameters"])
+    posts = PostTable(
+        **{name: data[f"posts_{name}"] for name in CountState._POST_FIELDS}
+    )
+    post_offsets = data["shard_post_offsets"]
+    link_offsets = data["shard_link_offsets"]
+    rng = np.random.default_rng()
+    # The private state and its SweepCache persist across commands: the
+    # corpus-static cache structures (word expansions, metadata lists) are
+    # built once, and each run resets the counters to the fresh snapshot
+    # and calls the bit-identical ``SweepCache.refresh`` — so per-dispatch
+    # overhead scales with the shard, not the corpus.
+    local: CountState | None = None
+    cache: SweepCache | None = None
+    while True:
+        try:
+            command = conn.recv()
+        except EOFError:
+            break
+        if command[0] == "stop":
+            break
+        _, node, crash_progress, rng_state = command
+        try:
+            rng.bit_generator.state = rng_state
+            cpu_start = time.process_time()
+            wall_start = time.perf_counter()
+            if local is None:
+                local = CountState(
+                    num_communities=init["num_communities"],
+                    num_topics=init["num_topics"],
+                    posts=posts,
+                    links=data["links"],
+                    **{name: snapshot[name].copy() for name in COUNTER_FIELDS},
+                    **{name: data[name] for name in ASSIGNMENT_FIELDS},
+                )
+                cache = SweepCache(local, hp) if init["fast"] else None
+            else:
+                for name in COUNTER_FIELDS:
+                    np.copyto(getattr(local, name), snapshot[name])
+                local.degenerate_draws = 0
+                if cache is not None:
+                    cache.refresh(local)
+            post_order = data["shard_posts"][post_offsets[node] : post_offsets[node + 1]]
+            link_order = data["shard_links"][link_offsets[node] : link_offsets[node + 1]]
+            if crash_progress is not None:
+                # Die for real mid-shard: resample a fraction of the posts
+                # (corrupting this shard's shared assignment slots exactly
+                # like the in-process fault injection), then exit without
+                # replying.  The parent sees the broken pipe.
+                done = int(len(post_order) * crash_progress)
+                sweep(
+                    local,
+                    hp,
+                    rng,
+                    post_order=post_order[:done],
+                    link_order=link_order[:0],
+                    cache=cache,
+                )
+                os._exit(_CRASH_EXIT)
+            sweep(
+                local,
+                hp,
+                rng,
+                post_order=post_order,
+                link_order=link_order,
+                cache=cache,
+            )
+            for name in COUNTER_FIELDS:
+                np.subtract(
+                    getattr(local, name), snapshot[name], out=deltas[name][node]
+                )
+            conn.send(
+                (
+                    "ok",
+                    {
+                        "node": node,
+                        "seconds": time.process_time() - cpu_start,
+                        "wall_seconds": time.perf_counter() - wall_start,
+                        "degenerate_draws": int(local.degenerate_draws),
+                        "rng_state": rng.bit_generator.state,
+                    },
+                )
+            )
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+    for block in blocks.values():
+        block.close()
+
+
+@dataclass
+class _WorkerHandle:
+    worker_id: int
+    process: multiprocessing.Process
+    conn: object  # multiprocessing.connection.Connection
+
+
+class ProcessWorkerPool:
+    """A fixed pool of worker processes executing shard sweeps.
+
+    Parameters
+    ----------
+    state:
+        The global :class:`CountState`.  Its assignment arrays are
+        *re-homed* into shared memory (values preserved) so parent-side
+        rollbacks and worker-side resampling act on the same storage;
+        :meth:`close` copies them back into private memory.
+    hp, shards, fast:
+        The sweep configuration; shards fix the (node -> posts/links)
+        orders, concatenated once into shared index arrays.
+    num_workers:
+        Worker processes to spawn; defaults to ``len(shards)``.  Fewer
+        workers than shards multiplexes shards over the pool (any worker
+        can run any shard — all data is shared and RNG streams travel
+        with the dispatch), trading parallelism for memory/cores.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (cheap spawns), else ``spawn``.
+    """
+
+    def __init__(
+        self,
+        state: CountState,
+        hp: Hyperparameters,
+        shards: list[Shard],
+        fast: bool = True,
+        num_workers: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        self._closed = False
+        self._workers: queue.Queue[_WorkerHandle] = queue.Queue()
+        self._blocks: list[SharedArrayBlock] = []
+        self._state: CountState | None = None
+        self.num_nodes = len(shards)
+        if num_workers is None:
+            num_workers = self.num_nodes
+        if num_workers < 1:
+            raise EngineError(f"num_workers must be positive, got {num_workers}")
+        self.num_workers = min(num_workers, self.num_nodes)
+
+        post_orders = [shard.post_order() for shard in shards]
+        link_orders = [shard.link_order() for shard in shards]
+        data_arrays: dict[str, np.ndarray] = {
+            f"posts_{name}": getattr(state.posts, name)
+            for name in CountState._POST_FIELDS
+        }
+        data_arrays["links"] = state.links
+        data_arrays["shard_posts"] = np.concatenate(post_orders)
+        data_arrays["shard_links"] = np.concatenate(link_orders)
+        data_arrays["shard_post_offsets"] = np.cumsum(
+            [0] + [len(order) for order in post_orders], dtype=np.int64
+        )
+        data_arrays["shard_link_offsets"] = np.cumsum(
+            [0] + [len(order) for order in link_orders], dtype=np.int64
+        )
+        for name in ASSIGNMENT_FIELDS:
+            data_arrays[name] = getattr(state, name)
+        self._data = SharedArrayBlock.create(data_arrays)
+        self._snapshot = SharedArrayBlock.create(
+            {name: np.zeros_like(getattr(state, name)) for name in COUNTER_FIELDS}
+        )
+        self._deltas = SharedArrayBlock.create(
+            {
+                name: np.zeros(
+                    (self.num_nodes, *getattr(state, name).shape), dtype=np.int64
+                )
+                for name in COUNTER_FIELDS
+            }
+        )
+        self._blocks = [self._deltas, self._snapshot, self._data]
+        # Re-home the live assignment arrays into the shared block so the
+        # parent's snapshot/rollback and the workers' resampling share
+        # storage.  close() restores private copies.
+        for name in ASSIGNMENT_FIELDS:
+            setattr(state, name, self._data.arrays[name])
+        self._state = state
+
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._init = {
+            "blocks": {
+                "data": self._data.spec(),
+                "snapshot": self._snapshot.spec(),
+                "deltas": self._deltas.spec(),
+            },
+            "hyperparameters": asdict(hp),
+            "num_communities": state.num_communities,
+            "num_topics": state.num_topics,
+            "fast": fast,
+        }
+        try:
+            for worker_id in range(self.num_workers):
+                self._workers.put(self._spawn(worker_id))
+        except Exception:
+            self.close()
+            raise
+
+    def _spawn(self, worker_id: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, self._init, child_conn),
+            name=f"cold-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(worker_id, process, parent_conn)
+
+    def _reap(self, handle: _WorkerHandle) -> None:
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        handle.process.join(timeout=5)
+        if handle.process.is_alive():  # pragma: no cover - stuck worker
+            handle.process.terminate()
+            handle.process.join(timeout=5)
+
+    # -- superstep protocol ------------------------------------------------
+
+    def begin_superstep(self, state: CountState) -> None:
+        """Freeze the current counters into the shared snapshot block."""
+        for name in COUNTER_FIELDS:
+            self._snapshot.arrays[name][...] = getattr(state, name)
+
+    def run_shard(
+        self,
+        node: int,
+        rng_state: dict,
+        crash_progress: float | None = None,
+    ) -> dict:
+        """Execute one shard on any idle worker; returns the reply payload.
+
+        Thread-safe (the engine dispatches from one thread per node; the
+        idle queue serialises worker checkout).  A worker that dies
+        mid-shard is replaced and :class:`WorkerCrashError` is raised so
+        the engine's reset/replay path takes over.
+        """
+        if self._closed:
+            raise EngineError("worker pool is closed")
+        handle = self._workers.get()
+        try:
+            handle.conn.send(("run", node, crash_progress, rng_state))
+            status, payload = handle.conn.recv()
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+            self._reap(handle)
+            self._workers.put(self._spawn(handle.worker_id))
+            raise WorkerCrashError(
+                f"worker process died while sampling shard {node} "
+                f"({type(exc).__name__})"
+            ) from exc
+        self._workers.put(handle)
+        if status != "ok":
+            raise EngineError(f"worker failed on shard {node}:\n{payload}")
+        return payload
+
+    def merge_into(
+        self,
+        state: CountState,
+        snapshot_degenerate_draws: int,
+        node_degenerate_draws: list[int],
+    ) -> None:
+        """``global = snapshot + sum_n delta_n``, summed in fixed node order.
+
+        Identical integer arithmetic to the in-process merge, and
+        idempotent: the snapshot block is immutable during a superstep and
+        every node's delta row is complete before the barrier, so a
+        retried merge recomputes the same result regardless of the order
+        in which nodes finished.
+        """
+        for name in COUNTER_FIELDS:
+            target = getattr(state, name)
+            np.copyto(target, self._snapshot.arrays[name])
+            target += self._deltas.arrays[name].sum(axis=0)
+        state.degenerate_draws = snapshot_degenerate_draws + int(
+            sum(node_degenerate_draws)
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop workers, detach the state, release shared memory (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        while True:
+            try:
+                handle = self._workers.get_nowait()
+            except queue.Empty:
+                break
+            try:
+                handle.conn.send(("stop",))
+            except (BrokenPipeError, OSError):  # pragma: no cover - dead worker
+                pass
+            self._reap(handle)
+        if self._state is not None:
+            for name in ASSIGNMENT_FIELDS:
+                setattr(self._state, name, getattr(self._state, name).copy())
+            self._state = None
+        for block in self._blocks:
+            block.close()
+        self._blocks = []
+
+    def __enter__(self) -> "ProcessWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

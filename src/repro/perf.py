@@ -16,12 +16,19 @@ Two things keep the numbers honest:
   depend on how concentrated the chain is, so each case reports its
   (community, topic) occupancy summary via
   :meth:`~repro.core.state.CountState.top_comm_topic_cells`.
+
+A second suite (``cold bench --parallel``, written as
+``BENCH_parallel.json``) measures the parallel sampler's scaling over
+cluster nodes with a chosen executor, applying the same discipline:
+executor equivalence against the sequential ``simulated`` oracle is
+re-checked on every run and recorded as ``draws_match``.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 import platform
 import time
 from dataclasses import asdict, dataclass
@@ -35,6 +42,7 @@ from .core.params import Hyperparameters
 from .core.state import CountState
 from .datasets.corpus import SocialCorpus
 from .datasets.synthetic import SyntheticConfig, generate_corpus
+from .parallel.sampler import ParallelCOLDSampler
 from .resilience.checkpoint import atomic_write_text
 
 __all__ = [
@@ -42,9 +50,13 @@ __all__ = [
     "SMOKE",
     "BenchCase",
     "draws_match",
+    "parallel_draws_match",
     "run_benchmark",
     "run_case",
+    "run_parallel_benchmark",
+    "run_parallel_case",
     "write_benchmark",
+    "write_parallel_benchmark",
 ]
 
 
@@ -232,6 +244,179 @@ def write_benchmark(
     """Run the benchmark and atomically write its JSON to ``path``."""
     payload = run_benchmark(
         cases, warmup=warmup, reps=reps, sweeps_per_rep=sweeps_per_rep
+    )
+    atomic_write_text(Path(path), json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def parallel_draws_match(
+    corpus: SocialCorpus,
+    case: BenchCase,
+    num_nodes: int,
+    executor: str,
+    num_workers: int | None = None,
+    num_sweeps: int = 2,
+) -> bool:
+    """True iff ``executor`` draws the identical chain as ``simulated``.
+
+    Runs two parallel fits from the same seed at equal ``num_nodes`` — one
+    with the sequential ``simulated`` executor (the oracle) and one with
+    the executor under test — and compares every assignment array bitwise
+    plus the degenerate-draw tally.  A parallel "speedup" over an executor
+    that draws a *different* chain would be meaningless, so the scaling
+    harness records this with every run.
+    """
+    states = []
+    for run_executor, run_workers in (("simulated", None), (executor, num_workers)):
+        sampler = ParallelCOLDSampler(
+            num_communities=case.num_communities,
+            num_topics=case.num_topics,
+            num_nodes=num_nodes,
+            executor=run_executor,
+            num_workers=run_workers,
+            seed=case.seed + 1,
+            fast=True,
+        ).fit(corpus, num_iterations=num_sweeps)
+        states.append(sampler.state_)
+    reference, candidate = states
+    assert reference is not None and candidate is not None
+    return (
+        np.array_equal(reference.post_comm, candidate.post_comm)
+        and np.array_equal(reference.post_topic, candidate.post_topic)
+        and np.array_equal(reference.link_src_comm, candidate.link_src_comm)
+        and np.array_equal(reference.link_dst_comm, candidate.link_dst_comm)
+        and reference.degenerate_draws == candidate.degenerate_draws
+    )
+
+
+def run_parallel_case(
+    case: BenchCase,
+    node_counts: tuple[int, ...] = (1, 2, 4, 8),
+    executor: str = "processes",
+    num_workers: int | None = None,
+    sweeps: int = 5,
+    equivalence_sweeps: int = 2,
+) -> dict:
+    """Scaling curve of one case across ``node_counts``; JSON-ready record.
+
+    Per node count this fits the parallel sampler for ``sweeps`` sweeps and
+    reports the best per-sweep *cluster* time (slowest node + merge, the
+    Fig. 13/14 metric) plus its speedup over the 1-node baseline.  For the
+    ``processes`` executor each node's seconds are the worker's
+    self-reported CPU time for its shard, so the curve measures per-shard
+    work even when the host has fewer cores than workers (wall time per
+    sweep is recorded alongside for honesty on such hosts).
+    """
+    if not node_counts:
+        raise ValueError("node_counts must not be empty")
+    corpus = case.build_corpus()
+    scaling = []
+    base: float | None = None
+    for nodes in node_counts:
+        start = time.perf_counter()
+        sampler = ParallelCOLDSampler(
+            num_communities=case.num_communities,
+            num_topics=case.num_topics,
+            num_nodes=nodes,
+            executor=executor,
+            num_workers=num_workers,
+            seed=case.seed,
+            fast=True,
+        ).fit(corpus, num_iterations=sweeps)
+        wall = time.perf_counter() - start
+        report = sampler.report_
+        assert report is not None
+        per_sweep = min(step.cluster_seconds for step in report.supersteps)
+        if base is None:
+            base = per_sweep
+        scaling.append(
+            {
+                "nodes": nodes,
+                "cluster_seconds_per_sweep": round(per_sweep, 5),
+                "wall_seconds_per_sweep": round(wall / sweeps, 5),
+                "speedup_vs_1_node": round(base / per_sweep, 2),
+                "work_over_cluster_time": round(report.speedup, 2),
+            }
+        )
+    match_nodes = max(node_counts)
+    return {
+        "name": case.name,
+        "config": asdict(case),
+        "corpus": {
+            "num_posts": corpus.num_posts,
+            "num_links": len(corpus.links),
+        },
+        "executor": executor,
+        "num_workers": num_workers,
+        "sweeps": sweeps,
+        "scaling": scaling,
+        "draws_match": parallel_draws_match(
+            corpus,
+            case,
+            match_nodes,
+            executor,
+            num_workers=num_workers,
+            num_sweeps=equivalence_sweeps,
+        ),
+        "draws_match_nodes": match_nodes,
+    }
+
+
+def run_parallel_benchmark(
+    cases: tuple[BenchCase, ...] = (MEDIUM,),
+    node_counts: tuple[int, ...] = (1, 2, 4, 8),
+    executor: str = "processes",
+    num_workers: int | None = None,
+    sweeps: int = 5,
+    equivalence_sweeps: int = 2,
+) -> dict:
+    """Run the parallel scaling suite; returns the full JSON-ready payload."""
+    return {
+        "benchmark": "parallel COLD sampling, scaling over cluster nodes",
+        "harness": "repro.perf",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "method": {
+            "sweeps": sweeps,
+            "equivalence_sweeps": equivalence_sweeps,
+            "statistic": "min over supersteps of cluster seconds per sweep",
+            "node_seconds": (
+                "worker-reported CPU seconds per shard for the 'processes' "
+                "executor; engine wall clock otherwise"
+            ),
+        },
+        "cases": [
+            run_parallel_case(
+                case,
+                node_counts=node_counts,
+                executor=executor,
+                num_workers=num_workers,
+                sweeps=sweeps,
+                equivalence_sweeps=equivalence_sweeps,
+            )
+            for case in cases
+        ],
+    }
+
+
+def write_parallel_benchmark(
+    path: str | Path,
+    cases: tuple[BenchCase, ...] = (MEDIUM,),
+    node_counts: tuple[int, ...] = (1, 2, 4, 8),
+    executor: str = "processes",
+    num_workers: int | None = None,
+    sweeps: int = 5,
+    equivalence_sweeps: int = 2,
+) -> dict:
+    """Run the scaling suite and atomically write its JSON to ``path``."""
+    payload = run_parallel_benchmark(
+        cases,
+        node_counts=node_counts,
+        executor=executor,
+        num_workers=num_workers,
+        sweeps=sweeps,
+        equivalence_sweeps=equivalence_sweeps,
     )
     atomic_write_text(Path(path), json.dumps(payload, indent=2) + "\n")
     return payload

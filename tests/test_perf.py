@@ -12,7 +12,15 @@ from __future__ import annotations
 
 import json
 
-from repro.perf import MEDIUM, SMOKE, run_benchmark, run_case, write_benchmark
+from repro.perf import (
+    MEDIUM,
+    SMOKE,
+    run_benchmark,
+    run_case,
+    run_parallel_case,
+    write_benchmark,
+    write_parallel_benchmark,
+)
 
 
 class TestRunCase:
@@ -61,3 +69,34 @@ class TestWriteBenchmark:
         assert payload["python"]
         assert payload["numpy"]
         assert payload["harness"] == "repro.perf"
+
+
+class TestParallelHarness:
+    def test_smoke_scaling_record_with_two_workers(self):
+        # Tier-1 smoke of the processes executor: 2 worker processes
+        # sampling the smoke case, with the simulated-oracle equivalence
+        # check exercised on every run.
+        record = run_parallel_case(
+            SMOKE, node_counts=(1, 2), executor="processes",
+            num_workers=2, sweeps=2, equivalence_sweeps=2,
+        )
+        assert record["name"] == "smoke"
+        assert record["executor"] == "processes"
+        assert record["draws_match"] is True
+        assert record["draws_match_nodes"] == 2
+        assert [point["nodes"] for point in record["scaling"]] == [1, 2]
+        for point in record["scaling"]:
+            assert point["cluster_seconds_per_sweep"] > 0
+            assert point["wall_seconds_per_sweep"] > 0
+        assert record["scaling"][0]["speedup_vs_1_node"] == 1.0
+
+    def test_write_parallel_benchmark_round_trips(self, tmp_path):
+        path = tmp_path / "bench_parallel.json"
+        payload = write_parallel_benchmark(
+            path, cases=(SMOKE,), node_counts=(1, 2),
+            executor="simulated", sweeps=1, equivalence_sweeps=1,
+        )
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+        assert on_disk["cpu_count"] >= 1
+        assert on_disk["cases"][0]["draws_match"] is True
