@@ -23,10 +23,11 @@ use still works but emits a one-time :class:`DeprecationWarning`.
 Subpackages: ``repro.datasets`` (corpora + synthetic generation),
 ``repro.core`` (the COLD model and analyses), ``repro.parallel`` (the
 GraphLab-substitute GAS engine), ``repro.baselines`` (comparison systems),
-``repro.eval`` (metrics and protocols).
+``repro.eval`` (metrics and protocols), ``repro.telemetry`` (metrics,
+tracing, structured logging, run manifests).
 """
 
-from . import api
+from . import api, telemetry
 from .core import (
     COLDConfig,
     COLDModel,

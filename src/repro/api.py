@@ -27,13 +27,18 @@ from __future__ import annotations
 from pathlib import Path
 
 from .core.config import COLDConfig, ConfigError
+from .core.likelihood import ConvergenceMonitor, joint_log_likelihood
 from .core.model import COLDModel, ModelError
 from .datasets.corpus import SocialCorpus
+from .telemetry.logconfig import configure_logging
 
 __all__ = [
     "COLDConfig",
     "ConfigError",
+    "ConvergenceMonitor",
+    "configure_logging",
     "fit",
+    "joint_log_likelihood",
     "load",
     "save",
 ]
@@ -68,6 +73,8 @@ def fit(
             f"corpus has {corpus.num_time_slices} time slices, config expects "
             f"{config.num_time_slices}"
         )
+    if config.log_level is not None:
+        configure_logging(level=config.log_level)
     model = COLDModel(config)
     model.fit(corpus, **config.fit_kwargs())
     return model

@@ -12,7 +12,13 @@ Subcommands mirror the lifecycle of a COLD study:
 * ``bench``     — the Gibbs sweep benchmark (reference vs fast kernels),
   written as ``BENCH_gibbs.json``; with ``--parallel``, the parallel
   scaling benchmark over cluster nodes, written as
-  ``BENCH_parallel.json``.
+  ``BENCH_parallel.json``;
+* ``monitor``   — tail a (live or finished) run's ``metrics.jsonl``:
+  sweep rate, log-likelihood trend, ETA.
+
+``train`` takes ``--metrics-out``/``--trace-out`` (the telemetry streams
+of :mod:`repro.telemetry`) and ``--log-level``/``--log-format`` to turn
+on structured logging.
 
 Model-dimension flags are shared across subcommands via parent parsers:
 ``--communities``/``--topics`` everywhere, with ``--num-communities`` /
@@ -42,6 +48,9 @@ from .parallel.engine import EngineError
 from .parallel.sampler import ParallelCOLDSampler
 from .resilience.checkpoint import CheckpointError
 from .resilience.retry import RetryError
+from .telemetry.logconfig import configure_logging
+from .telemetry.metrics import TelemetryError
+from .telemetry.monitor import monitor as _monitor_metrics
 from .viz import diffusion_graph_summary, pentagon_summary, word_cloud
 
 #: Typed failures the CLI converts into a one-line message + exit code 2
@@ -55,6 +64,7 @@ _CLI_ERRORS = (
     EngineError,
     StateError,
     RetryError,
+    TelemetryError,
     FileNotFoundError,
     IsADirectoryError,
     NotADirectoryError,
@@ -99,11 +109,40 @@ def _add_generate(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument("--themed", action="store_true", help="readable tokens")
 
 
+def _telemetry_parent() -> argparse.ArgumentParser:
+    """Parent parser for the observability flags (see repro.telemetry)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="JSONL",
+        help="append per-sweep metric records to this JSONL file "
+        "(tail it live with 'cold monitor')",
+    )
+    parent.add_argument(
+        "--trace-out", type=Path, default=None, metavar="JSON",
+        help="write a Chrome trace_event JSON of the fit "
+        "(load in chrome://tracing or Perfetto)",
+    )
+    parent.add_argument(
+        "--log-level", default=None,
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="enable structured logging at this level",
+    )
+    parent.add_argument(
+        "--log-format", default="plain", choices=["plain", "json"],
+        help="log line format for --log-level (default: plain)",
+    )
+    return parent
+
+
 def _add_train(subparsers: argparse._SubParsersAction) -> None:
     parser = subparsers.add_parser(
         "train",
         help="fit COLD on a corpus",
-        parents=[_dims_parent(communities=10, topics=10), _seed_parent()],
+        parents=[
+            _dims_parent(communities=10, topics=10),
+            _seed_parent(),
+            _telemetry_parent(),
+        ],
     )
     parser.add_argument("corpus", type=Path, help="JSONL corpus path")
     parser.add_argument("model", type=Path, help="output model path (no suffix)")
@@ -225,6 +264,36 @@ def _add_bench(subparsers: argparse._SubParsersAction) -> None:
     )
 
 
+def _add_monitor(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "monitor",
+        help="tail a run's metrics.jsonl: sweep rate, loglik trend, ETA",
+    )
+    parser.add_argument(
+        "metrics", type=Path,
+        help="metrics.jsonl written by 'cold train --metrics-out' "
+        "(or a checkpointed fit's default <ckpt-dir>/metrics.jsonl)",
+    )
+    parser.add_argument(
+        "--follow", "-f", action="store_true",
+        help="keep polling until the run's fit_end record appears "
+        "(default: print one summary and exit)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll interval for --follow (default: 2s)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=20, metavar="N",
+        help="trailing sweep window for rate/trend estimates (default: 20)",
+    )
+    parser.add_argument(
+        "--max-updates", type=int, default=None, metavar="N",
+        help="stop --follow after N render cycles even if the run "
+        "has not finished (for scripts)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cold",
@@ -237,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_report(subparsers)
     _add_predict(subparsers)
     _add_bench(subparsers)
+    _add_monitor(subparsers)
     return parser
 
 
@@ -257,6 +327,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    if args.log_level is not None:
+        configure_logging(level=args.log_level, fmt=args.log_format)
     parallel = args.nodes > 1 or args.executor != "simulated"
     if args.resume is not None:
         if parallel:
@@ -294,6 +366,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
             fast=fast,
             executor=args.executor,
             num_workers=args.workers,
+            metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
         ).fit(corpus, num_iterations=args.iterations)
         model = COLDModel(
             num_communities=args.communities,
@@ -323,6 +397,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
             include_network=not args.no_network,
             seed=args.seed,
             fast=fast,
+            metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
         ).fit(
             corpus,
             num_iterations=args.iterations,
@@ -457,6 +533,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    if args.interval <= 0:
+        raise TelemetryError("--interval must be positive")
+    if not args.follow and not args.metrics.exists():
+        raise FileNotFoundError(f"no metrics file at {args.metrics}")
+    _monitor_metrics(
+        args.metrics,
+        follow=args.follow,
+        interval=args.interval,
+        window=args.window,
+        max_updates=args.max_updates,
+    )
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
@@ -464,6 +555,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "predict": _cmd_predict,
     "bench": _cmd_bench,
+    "monitor": _cmd_monitor,
 }
 
 

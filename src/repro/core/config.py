@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
 
+from ..telemetry.logconfig import parse_level
 from .params import Hyperparameters
 
 
@@ -62,6 +63,15 @@ class COLDConfig:
         without changing the draws.
     num_iterations, burn_in, sample_interval, likelihood_interval:
         The Gibbs schedule, as in :meth:`repro.COLDModel.fit`.
+    metrics_out, trace_out:
+        Telemetry destinations (see :mod:`repro.telemetry`): a JSONL
+        metrics stream (tailable with ``cold monitor``) and a Chrome
+        ``trace_event`` JSON file.  ``None`` keeps instrumentation a
+        no-op; draws are bit-identical either way.
+    log_level:
+        When set (``"debug"``/``"info"``/...), :func:`repro.api.fit`
+        configures the package's structured logging at this level before
+        fitting; ``None`` leaves logging untouched.
     """
 
     num_communities: int = 20
@@ -80,6 +90,9 @@ class COLDConfig:
     burn_in: int | None = None
     sample_interval: int = 5
     likelihood_interval: int = 10
+    metrics_out: str | None = None
+    trace_out: str | None = None
+    log_level: str | None = None
 
     #: Fields consumed by ``COLDModel.__init__`` (the rest schedule ``fit``).
     _MODEL_FIELDS = (
@@ -94,6 +107,8 @@ class COLDConfig:
         "executor",
         "num_nodes",
         "num_workers",
+        "metrics_out",
+        "trace_out",
     )
 
     def __post_init__(self) -> None:
@@ -126,6 +141,11 @@ class COLDConfig:
             raise ConfigError("sample_interval must be positive")
         if self.likelihood_interval < 0:
             raise ConfigError("likelihood_interval must be >= 0")
+        if self.log_level is not None:
+            try:
+                parse_level(self.log_level)
+            except ValueError as exc:
+                raise ConfigError(str(exc)) from exc
 
     def model_kwargs(self) -> dict:
         """The subset of fields ``COLDModel.__init__`` consumes."""

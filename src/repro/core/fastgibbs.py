@@ -52,6 +52,7 @@ import math
 
 import numpy as np
 
+from ..telemetry import tracing as trace
 from .gibbs import _WEIGHT_FLOOR
 from .params import Hyperparameters
 from .state import CountState
@@ -72,6 +73,10 @@ class SweepCache:
     """
 
     def __init__(self, state: CountState, hp: Hyperparameters) -> None:
+        with trace.span("sweepcache.build"):
+            self._build(state, hp)
+
+    def _build(self, state: CountState, hp: Hyperparameters) -> None:
         self.hp = hp
         C = state.num_communities
         K = state.num_topics
@@ -136,8 +141,9 @@ class SweepCache:
         which is what makes per-shard dispatch overhead scale with the
         shard instead of the corpus.
         """
-        self._bind_counters(state)
-        self._bind_assignments(state)
+        with trace.span("sweepcache.refresh"):
+            self._bind_counters(state)
+            self._bind_assignments(state)
 
     def _bind_counters(self, state: CountState) -> None:
         """(Re)compute every counter-derived factor cache from ``state``."""

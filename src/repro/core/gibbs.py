@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..telemetry import tracing as trace
 from .params import Hyperparameters
 from .state import CountState
 
@@ -212,7 +213,8 @@ def sweep(
 
         # fast_sweep draws the link permutation itself (after the post
         # loop, where this function draws it) so the RNG stream matches.
-        fast_sweep(state, hp, rng, post_order, link_order, cache)
+        with trace.span("fast_sweep", posts=len(post_order)):
+            fast_sweep(state, hp, rng, post_order, link_order, cache)
         return
     posts = post_order.tolist() if isinstance(post_order, np.ndarray) else post_order
     for post in posts:

@@ -17,6 +17,7 @@ with ``A = dim * conc`` and ``N = counts.sum()``.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -88,11 +89,28 @@ class ConvergenceMonitor:
     #: fit loop mirrors ``CountState.degenerate_draws`` here so numerical
     #: collapse is visible in the convergence report, not just the state.
     degenerate_draws: int = 0
+    #: Telemetry sinks invoked with every recorded value (see
+    #: :meth:`attach`); excluded from equality so monitors restored from
+    #: checkpoints compare equal to fresh ones.
+    _sinks: list[Callable[[float], None]] = field(
+        default_factory=list, repr=False, compare=False
+    )
+
+    def attach(self, sink: Callable[[float], None]) -> None:
+        """Forward every future :meth:`record` value to ``sink``.
+
+        This is how the telemetry pipeline reuses the monitor's periodic
+        evaluation — the likelihood lands in ``metrics.jsonl`` without a
+        second :func:`joint_log_likelihood` pass.
+        """
+        self._sinks.append(sink)
 
     def record(self, value: float) -> None:
         if not np.isfinite(value):
             raise ValueError(f"non-finite likelihood {value}")
         self.trace.append(float(value))
+        for sink in self._sinks:
+            sink(value)
 
     def summary(self) -> dict[str, float | int | bool]:
         """Convergence report: trace length, best value, degeneracy tally."""

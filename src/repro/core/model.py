@@ -18,6 +18,7 @@ does.  ``include_network=False`` yields the paper's COLD-NoLink ablation
 from __future__ import annotations
 
 import json
+import time
 from collections.abc import Callable
 from pathlib import Path
 
@@ -31,12 +32,17 @@ from ..resilience.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from ..telemetry import tracing as trace
+from ..telemetry.logconfig import get_logger
+from ..telemetry.session import TelemetrySession
 from .config import COLDConfig
 from .estimates import ParameterEstimates, average_estimates, estimate_from_state
 from .gibbs import sweep
 from .likelihood import ConvergenceMonitor, joint_log_likelihood
 from .params import Hyperparameters
 from .state import CountState, StateError
+
+_log = get_logger(__name__)
 
 
 class ModelError(RuntimeError):
@@ -144,6 +150,8 @@ class COLDModel:
         executor: str = "simulated",
         num_nodes: int = 1,
         num_workers: int | None = None,
+        metrics_out: str | Path | None = None,
+        trace_out: str | Path | None = None,
     ) -> None:
         if num_communities <= 0 or num_topics <= 0:
             raise ModelError("num_communities and num_topics must be positive")
@@ -173,6 +181,12 @@ class COLDModel:
         self.executor = executor
         self.num_nodes = num_nodes
         self.num_workers = num_workers
+        #: Telemetry destinations (see :mod:`repro.telemetry`): a JSONL
+        #: metrics stream and/or a Chrome trace_event file.  ``None`` keeps
+        #: instrumentation a no-op, except that checkpointed fits default
+        #: ``metrics_out`` to ``<checkpoint_dir>/metrics.jsonl``.
+        self.metrics_out = None if metrics_out is None else str(metrics_out)
+        self.trace_out = None if trace_out is None else str(trace_out)
         self._rng = np.random.default_rng(seed)
         self.state_: CountState | None = None
         self.estimates_: ParameterEstimates | None = None
@@ -312,6 +326,8 @@ class COLDModel:
             prior=self.prior,
             seed=self.seed,
             fast=self.fast,
+            metrics_out=self.metrics_out,
+            trace_out=self.trace_out,
         )
         sampler.fit(
             corpus,
@@ -356,40 +372,129 @@ class COLDModel:
         from the count state, so building it fresh here keeps resumed
         chains bit-identical too.
         """
-        cache = None
-        if self.fast:
-            from .fastgibbs import SweepCache
+        metrics_out = self.metrics_out
+        if metrics_out is None and checkpoint_dir is not None:
+            # Checkpointed fits are the long ones worth watching; default
+            # the metrics stream to live next to the checkpoints.
+            metrics_out = str(Path(checkpoint_dir) / "metrics.jsonl")
+        telemetry = TelemetrySession.create(
+            metrics_path=metrics_out, trace_path=self.trace_out
+        )
+        telemetry.begin(
+            config={
+                "num_communities": self.num_communities,
+                "num_topics": self.num_topics,
+                "include_network": self.include_network,
+                "kappa": self.kappa,
+                "prior": self.prior,
+                "fast": self.fast,
+                "num_iterations": num_iterations,
+                "burn_in": burn_in,
+                "sample_interval": sample_interval,
+                "likelihood_interval": likelihood_interval,
+            },
+            seed=self.seed,
+            executor="serial",
+            num_nodes=1,
+            num_workers=None,
+            num_iterations=num_iterations,
+            start_iteration=start_iteration,
+        )
+        if telemetry.enabled:
+            monitor.attach(
+                telemetry.likelihood_sink(int(state.posts.lengths.sum()))
+            )
+            _log.info(
+                "serial fit: sweeps %d..%d", start_iteration + 1, num_iterations
+            )
+        draws_per_sweep = state.num_posts + state.num_links
 
-            cache = SweepCache(state, hp)
-        for iteration in range(start_iteration + 1, num_iterations + 1):
-            sweep(state, hp, self._rng, cache=cache)
-            if check_invariants:
-                state.check_invariants()
-                if cache is not None:
-                    cache.check_consistency(state)
-            if likelihood_interval and iteration % likelihood_interval == 0:
-                monitor.record(joint_log_likelihood(state, hp))
-            if iteration > burn_in and (iteration - burn_in) % sample_interval == 0:
-                samples.append(estimate_from_state(state, hp))
-            if callback is not None:
-                callback(iteration, self)
-            if checkpoint_every is not None and iteration % checkpoint_every == 0:
-                assert checkpoint_dir is not None
-                self._write_checkpoint(
-                    checkpoint_dir,
-                    iteration,
-                    state,
-                    hp,
-                    monitor,
-                    samples,
-                    fit_settings={
-                        "num_iterations": num_iterations,
-                        "burn_in": burn_in,
-                        "sample_interval": sample_interval,
-                        "likelihood_interval": likelihood_interval,
-                        "checkpoint_every": checkpoint_every,
-                    },
-                )
+        telemetry.activate()
+        try:
+            cache = None
+            if self.fast:
+                from .fastgibbs import SweepCache
+
+                cache = SweepCache(state, hp)
+            for iteration in range(start_iteration + 1, num_iterations + 1):
+                before = None
+                if telemetry.enabled:
+                    before = (state.post_comm.copy(), state.post_topic.copy())
+                wall_start = time.perf_counter()
+                cpu_start = time.process_time()
+                with trace.span("sweep", sweep=iteration):
+                    sweep(state, hp, self._rng, cache=cache)
+                wall_seconds = time.perf_counter() - wall_start
+                cpu_seconds = time.process_time() - cpu_start
+                if check_invariants:
+                    state.check_invariants()
+                    if cache is not None:
+                        cache.check_consistency(state)
+                likelihood = None
+                if likelihood_interval and iteration % likelihood_interval == 0:
+                    likelihood = joint_log_likelihood(state, hp)
+                    monitor.record(likelihood)
+                if (
+                    iteration > burn_in
+                    and (iteration - burn_in) % sample_interval == 0
+                ):
+                    samples.append(estimate_from_state(state, hp))
+                if callback is not None:
+                    callback(iteration, self)
+                if telemetry.enabled:
+                    metrics = telemetry.metrics
+                    metrics.counter("sweeps_total").inc()
+                    metrics.counter("gibbs_draws_total").inc(draws_per_sweep)
+                    metrics.histogram("sweep_seconds").observe(wall_seconds)
+                    metrics.gauge("sweep").set(iteration)
+                    record = {
+                        "sweep": iteration,
+                        "total_sweeps": num_iterations,
+                        "wall_seconds": wall_seconds,
+                        "cpu_seconds": cpu_seconds,
+                        "rng_draws": draws_per_sweep,
+                        "churn": {
+                            "post_comm": int(
+                                np.count_nonzero(state.post_comm != before[0])
+                            ),
+                            "post_topic": int(
+                                np.count_nonzero(state.post_topic != before[1])
+                            ),
+                        },
+                    }
+                    if likelihood is not None:
+                        record["log_likelihood"] = likelihood
+                        perplexity = metrics.gauge("perplexity").value
+                        if perplexity is not None:
+                            record["perplexity"] = perplexity
+                    telemetry.emit("sweep", **record)
+                if (
+                    checkpoint_every is not None
+                    and iteration % checkpoint_every == 0
+                ):
+                    assert checkpoint_dir is not None
+                    with trace.span("checkpoint_write", sweep=iteration):
+                        path = self._write_checkpoint(
+                            checkpoint_dir,
+                            iteration,
+                            state,
+                            hp,
+                            monitor,
+                            samples,
+                            fit_settings={
+                                "num_iterations": num_iterations,
+                                "burn_in": burn_in,
+                                "sample_interval": sample_interval,
+                                "likelihood_interval": likelihood_interval,
+                                "checkpoint_every": checkpoint_every,
+                            },
+                        )
+                    if telemetry.enabled:
+                        telemetry.metrics.counter("checkpoints_total").inc()
+                    _log.debug("checkpoint at sweep %d: %s", iteration, path)
+            telemetry.end(sweeps=num_iterations - start_iteration)
+        finally:
+            telemetry.close()
 
         if not samples:
             samples.append(estimate_from_state(state, hp))
@@ -430,6 +535,8 @@ class COLDModel:
                 "executor": self.executor,
                 "num_nodes": self.num_nodes,
                 "num_workers": self.num_workers,
+                "metrics_out": self.metrics_out,
+                "trace_out": self.trace_out,
             },
             "hyperparameters": {
                 "rho": hp.rho,

@@ -65,6 +65,10 @@ from dataclasses import dataclass
 from .._compat import keyword_only
 from ..resilience.faults import FaultError, FaultPlan
 from ..resilience.retry import RetryError, RetryPolicy
+from ..telemetry import tracing as trace
+from ..telemetry.logconfig import get_logger
+
+_log = get_logger(__name__)
 
 
 class EngineError(ValueError):
@@ -77,26 +81,53 @@ class NodeTiming:
 
     ``seconds`` accumulates every attempt (including failed ones) plus any
     injected straggler delay; ``retry_wait_seconds`` is the simulated
-    backoff spent between attempts.
+    backoff spent between attempts.  ``attempt_seconds`` breaks the total
+    down per attempt (in attempt order) so recovered supersteps attribute
+    compute honestly: the *last* attempt is the one whose work survived
+    the barrier, everything before it is lost time.
     """
 
     node_id: int
     seconds: float
     attempts: int = 1
     retry_wait_seconds: float = 0.0
+    attempt_seconds: tuple[float, ...] = ()
 
     @property
     def retries(self) -> int:
         return self.attempts - 1
 
+    @property
+    def compute_seconds(self) -> float:
+        """Seconds of the successful (final) attempt — the merged work."""
+        if self.attempt_seconds:
+            return self.attempt_seconds[-1]
+        return self.seconds
+
+    @property
+    def lost_seconds(self) -> float:
+        """Seconds burned by crashed/timed-out attempts that were rolled back."""
+        if self.attempt_seconds:
+            return self.seconds - self.attempt_seconds[-1]
+        return 0.0
+
 
 @dataclass(frozen=True)
 class SuperstepReport:
-    """Timing and recovery record of one superstep across all nodes."""
+    """Timing and recovery record of one superstep across all nodes.
+
+    ``dispatch_wall_seconds`` is the engine's wall clock around the whole
+    node phase; ``barrier_seconds`` is the synchronisation overhead beyond
+    the slowest node's own compute (dispatch, idle waiting at the barrier,
+    pipe turnaround) — ``0.0`` for the ``simulated`` executor, whose node
+    phase is sequential by construction.
+    """
 
     node_timings: tuple[NodeTiming, ...]
     merge_seconds: float
     merge_attempts: int = 1
+    dispatch_wall_seconds: float = 0.0
+    barrier_seconds: float = 0.0
 
     @property
     def cluster_seconds(self) -> float:
@@ -212,16 +243,20 @@ class SimulatedCluster:
         attempts = 0
         elapsed = 0.0
         wait = 0.0
+        attempt_seconds: list[float] = []
         while True:
             if attempts > 0 and reset is not None:
                 reset(node_id)
             start = time.perf_counter()
             failure: str | None = None
             reported: float | None = None
-            try:
-                reported = task()
-            except FaultError as exc:
-                failure = f"crashed: {exc}"
+            with trace.span(
+                "node", node=node_id, superstep=superstep_index, attempt=attempts
+            ):
+                try:
+                    reported = task()
+                except FaultError as exc:
+                    failure = f"crashed: {exc}"
             seconds = time.perf_counter() - start
             if reported is not None:
                 seconds = float(reported)
@@ -230,11 +265,23 @@ class SimulatedCluster:
                     superstep_index, node_id, attempts
                 )
             elapsed += seconds
+            attempt_seconds.append(seconds)
             attempts += 1
             if failure is None and (
                 self.node_timeout is None or seconds <= self.node_timeout
             ):
-                return NodeTiming(node_id, elapsed, attempts, wait)
+                if attempts > 1:
+                    _log.info(
+                        "node %d recovered superstep %d on attempt %d "
+                        "(%.3fs lost to rolled-back attempts)",
+                        node_id,
+                        superstep_index,
+                        attempts,
+                        elapsed - seconds,
+                    )
+                return NodeTiming(
+                    node_id, elapsed, attempts, wait, tuple(attempt_seconds)
+                )
             if failure is None:
                 failure = (
                     f"timed out after {seconds:.3f}s "
@@ -243,6 +290,13 @@ class SimulatedCluster:
                 # Timed-out work completed but is treated as lost (a real
                 # cluster reschedules the straggler); roll it back too.
             if attempts >= self.retry.max_attempts:
+                _log.error(
+                    "node %d failed superstep %d after %d attempts: %s",
+                    node_id,
+                    superstep_index,
+                    attempts,
+                    failure,
+                )
                 raise RetryError(
                     f"node {node_id} failed superstep {superstep_index} "
                     f"after {attempts} attempts: {failure}"
@@ -252,6 +306,14 @@ class SimulatedCluster:
                     f"node {node_id} failed ({failure}) but no reset hook was "
                     "given; cannot replay safely"
                 )
+            _log.warning(
+                "node %d superstep %d attempt %d failed (%s); rolling back "
+                "and replaying",
+                node_id,
+                superstep_index,
+                attempts,
+                failure,
+            )
             wait += self.retry.delay(attempts - 1)
 
     def _run_merge(
@@ -271,15 +333,26 @@ class SimulatedCluster:
             ):
                 attempts += 1
                 if attempts >= self.retry.max_attempts:
+                    _log.error(
+                        "merge of superstep %d failed after %d attempts",
+                        superstep_index,
+                        attempts,
+                    )
                     raise RetryError(
                         f"merge of superstep {superstep_index} failed after "
                         f"{attempts} attempts"
                     )
+                _log.warning(
+                    "merge of superstep %d failed (attempt %d); retrying",
+                    superstep_index,
+                    attempts,
+                )
                 extra += self.retry.delay(attempts - 1)
                 continue
             start = time.perf_counter()
             if merge is not None:
-                merge()
+                with trace.span("barrier_merge", superstep=superstep_index):
+                    merge()
             return time.perf_counter() - start + extra, attempts + 1
 
     def superstep(
@@ -301,22 +374,41 @@ class SimulatedCluster:
                 f"expected {self.num_nodes} node tasks, got {len(node_tasks)}"
             )
         timings: list[NodeTiming]
-        if self.executor in ("threads", "processes") and self.num_nodes > 1:
-            with ThreadPoolExecutor(max_workers=self.num_nodes) as pool:
-                futures = [
-                    pool.submit(self._run_node, n, task, reset, superstep_index)
+        parallel_dispatch = (
+            self.executor in ("threads", "processes") and self.num_nodes > 1
+        )
+        with trace.span(
+            "superstep", superstep=superstep_index, executor=self.executor
+        ):
+            dispatch_start = time.perf_counter()
+            if parallel_dispatch:
+                with ThreadPoolExecutor(max_workers=self.num_nodes) as pool:
+                    futures = [
+                        pool.submit(
+                            self._run_node, n, task, reset, superstep_index
+                        )
+                        for n, task in enumerate(node_tasks)
+                    ]
+                    timings = [f.result() for f in futures]
+            else:
+                timings = [
+                    self._run_node(n, task, reset, superstep_index)
                     for n, task in enumerate(node_tasks)
                 ]
-                timings = [f.result() for f in futures]
-        else:
-            timings = [
-                self._run_node(n, task, reset, superstep_index)
-                for n, task in enumerate(node_tasks)
-            ]
-
-        merge_seconds, merge_attempts = self._run_merge(merge, superstep_index)
+            dispatch_wall = time.perf_counter() - dispatch_start
+            merge_seconds, merge_attempts = self._run_merge(
+                merge, superstep_index
+            )
+        barrier = 0.0
+        if parallel_dispatch:
+            slowest = max(
+                (t.seconds + t.retry_wait_seconds for t in timings), default=0.0
+            )
+            barrier = max(0.0, dispatch_wall - slowest)
         return SuperstepReport(
             node_timings=tuple(timings),
             merge_seconds=merge_seconds,
             merge_attempts=merge_attempts,
+            dispatch_wall_seconds=dispatch_wall,
+            barrier_seconds=barrier,
         )

@@ -26,7 +26,9 @@ for any ``num_workers``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 import numpy as np
 
@@ -40,6 +42,8 @@ from ..core.state import CountState
 from ..datasets.corpus import SocialCorpus
 from ..resilience.faults import FaultError, FaultPlan
 from ..resilience.retry import RetryPolicy
+from ..telemetry.logconfig import get_logger
+from ..telemetry.session import TelemetrySession
 from .engine import ClusterReport, EngineError, SimulatedCluster
 from .graph import ComputationGraph
 from .partition import PartitionStats, Shard, partition_graph
@@ -49,6 +53,8 @@ from .partition import PartitionStats, Shard, partition_graph
 from .worker import ASSIGNMENT_FIELDS as _ASSIGNMENT_FIELDS
 from .worker import COUNTER_FIELDS as _COUNTER_FIELDS
 from .worker import ProcessWorkerPool
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -141,6 +147,8 @@ class ParallelCOLDSampler:
         retry: RetryPolicy | None = None,
         node_timeout: float | None = None,
         verify_recovery: bool = True,
+        metrics_out: str | Path | None = None,
+        trace_out: str | Path | None = None,
     ) -> None:
         if num_communities <= 0 or num_topics <= 0:
             raise EngineError("num_communities and num_topics must be positive")
@@ -169,6 +177,12 @@ class ParallelCOLDSampler:
         #: When true, run ``CountState.check_invariants()`` after every
         #: superstep that recovered from a fault — the replay guarantee.
         self.verify_recovery = verify_recovery
+        #: Telemetry destinations (see :mod:`repro.telemetry`): a JSONL
+        #: metrics stream and/or a Chrome trace_event file; ``None`` keeps
+        #: the instrumentation a no-op.
+        self.metrics_out = None if metrics_out is None else str(metrics_out)
+        self.trace_out = None if trace_out is None else str(trace_out)
+        self._telemetry = TelemetrySession.disabled()
         self.state_: CountState | None = None
         self.estimates_: ParameterEstimates | None = None
         self.report_: ClusterReport | None = None
@@ -217,39 +231,95 @@ class ParallelCOLDSampler:
             np.random.default_rng(child) for child in seed_seq.spawn(self.num_nodes)
         ]
 
-        pool: ProcessWorkerPool | None = None
-        if self.executor == "processes":
-            pool = ProcessWorkerPool(
-                state,
-                hp,
-                shards,
-                fast=self.fast,
-                num_workers=self.num_workers,
-            )
+        telemetry = TelemetrySession.create(
+            metrics_path=self.metrics_out, trace_path=self.trace_out
+        )
+        self._telemetry = telemetry
+        telemetry.begin(
+            config={
+                "num_communities": self.num_communities,
+                "num_topics": self.num_topics,
+                "include_network": self.include_network,
+                "kappa": self.kappa,
+                "prior": self.prior,
+                "fast": self.fast,
+                "num_iterations": num_iterations,
+                "burn_in": burn_in,
+                "sample_interval": sample_interval,
+                "likelihood_interval": likelihood_interval,
+            },
+            seed=self.seed,
+            executor=self.executor,
+            num_nodes=self.num_nodes,
+            num_workers=self.num_workers,
+            num_iterations=num_iterations,
+        )
 
+        pool: ProcessWorkerPool | None = None
         monitor = ConvergenceMonitor()
+        if telemetry.enabled:
+            monitor.attach(
+                telemetry.likelihood_sink(int(state.posts.lengths.sum()))
+            )
+            _log.info(
+                "parallel fit: %d node(s), executor=%s, %d sweep(s)",
+                self.num_nodes,
+                self.executor,
+                num_iterations,
+            )
         samples: list[ParameterEstimates] = []
         supersteps = []
         try:
-            for iteration in range(1, num_iterations + 1):
-                report = self._superstep(
-                    state, hp, shards, cluster, node_rngs, iteration, pool
-                )
-                supersteps.append(report)
-                if self.verify_recovery and report.retries:
-                    # The superstep replayed at least one node (or re-ran the
-                    # merge); prove the recovery corrupted nothing.
-                    state.check_invariants()
-                if likelihood_interval and iteration % likelihood_interval == 0:
-                    monitor.record(joint_log_likelihood(state, hp))
-                if (
-                    iteration > burn_in
-                    and (iteration - burn_in) % sample_interval == 0
-                ):
-                    samples.append(estimate_from_state(state, hp))
+            with telemetry:
+                if self.executor == "processes":
+                    pool = ProcessWorkerPool(
+                        state,
+                        hp,
+                        shards,
+                        fast=self.fast,
+                        num_workers=self.num_workers,
+                        telemetry=telemetry,
+                    )
+                for iteration in range(1, num_iterations + 1):
+                    sweep_start = time.perf_counter()
+                    report, churn = self._superstep(
+                        state, hp, shards, cluster, node_rngs, iteration, pool
+                    )
+                    sweep_wall = time.perf_counter() - sweep_start
+                    supersteps.append(report)
+                    if self.verify_recovery and report.retries:
+                        # The superstep replayed at least one node (or re-ran
+                        # the merge); prove the recovery corrupted nothing.
+                        state.check_invariants()
+                    likelihood = None
+                    if (
+                        likelihood_interval
+                        and iteration % likelihood_interval == 0
+                    ):
+                        likelihood = joint_log_likelihood(state, hp)
+                        monitor.record(likelihood)
+                    if (
+                        iteration > burn_in
+                        and (iteration - burn_in) % sample_interval == 0
+                    ):
+                        samples.append(estimate_from_state(state, hp))
+                    if telemetry.enabled:
+                        self._record_superstep(
+                            telemetry,
+                            state,
+                            iteration,
+                            num_iterations,
+                            report,
+                            sweep_wall,
+                            churn,
+                            likelihood,
+                        )
+                telemetry.end(sweeps=num_iterations)
         finally:
             if pool is not None:
                 pool.close()
+            telemetry.close()
+            self._telemetry = TelemetrySession.disabled()
 
         if not samples:
             samples.append(estimate_from_state(state, hp))
@@ -333,12 +403,13 @@ class ParallelCOLDSampler:
             snapshot.restore_shard(state, shards[node])
 
         tasks = [make_task(n) for n in range(len(shards))]
-        return cluster.superstep(
+        report = cluster.superstep(
             tasks,
             merge=lambda: snapshot.merge_into(state, locals_),
             reset=reset,
             superstep_index=iteration,
         )
+        return report, self._compute_churn(state, snapshot)
 
     def _process_superstep(
         self,
@@ -396,7 +467,7 @@ class ParallelCOLDSampler:
             snapshot.restore_shard(state, shards[node])
 
         tasks = [make_task(n) for n in range(len(shards))]
-        return cluster.superstep(
+        report = cluster.superstep(
             tasks,
             merge=lambda: pool.merge_into(
                 state, snapshot.degenerate_draws, node_degenerates
@@ -404,6 +475,89 @@ class ParallelCOLDSampler:
             reset=reset,
             superstep_index=iteration,
         )
+        return report, self._compute_churn(state, snapshot)
+
+    def _compute_churn(self, state: CountState, snapshot: _Snapshot):
+        """Post-merge assignment churn vs the superstep's snapshot.
+
+        The snapshot already copies every assignment array (the replay
+        path needs them), so churn costs only the comparisons — and only
+        when telemetry is on.
+        """
+        if not self._telemetry.enabled:
+            return None
+        before = snapshot.assignments
+        churn = {
+            "post_comm": int(
+                np.count_nonzero(state.post_comm != before["post_comm"])
+            ),
+            "post_topic": int(
+                np.count_nonzero(state.post_topic != before["post_topic"])
+            ),
+        }
+        if state.num_links:
+            churn["link"] = int(
+                np.count_nonzero(
+                    (state.link_src_comm != before["link_src_comm"])
+                    | (state.link_dst_comm != before["link_dst_comm"])
+                )
+            )
+        return churn
+
+    def _record_superstep(
+        self,
+        telemetry: TelemetrySession,
+        state: CountState,
+        iteration: int,
+        num_iterations: int,
+        report,
+        sweep_wall: float,
+        churn,
+        likelihood: float | None,
+    ) -> None:
+        """Feed the registry and emit one ``kind="sweep"`` JSONL record."""
+        metrics = telemetry.metrics
+        draws = state.num_posts + state.num_links
+        metrics.counter("supersteps_total").inc()
+        metrics.counter("gibbs_draws_total").inc(draws)
+        retries = sum(t.retries for t in report.node_timings)
+        if retries:
+            metrics.counter("node_replays_total").inc(retries)
+        if report.merge_attempts > 1:
+            metrics.counter("merge_retries_total").inc(report.merge_attempts - 1)
+        metrics.histogram("sweep_seconds").observe(sweep_wall)
+        metrics.histogram("merge_seconds").observe(report.merge_seconds)
+        node_hist = metrics.histogram("node_compute_seconds")
+        for timing in report.node_timings:
+            node_hist.observe(timing.compute_seconds)
+        if report.barrier_seconds:
+            metrics.histogram("barrier_seconds").observe(report.barrier_seconds)
+        metrics.gauge("sweep").set(iteration)
+
+        record = {
+            "sweep": iteration,
+            "total_sweeps": num_iterations,
+            "wall_seconds": sweep_wall,
+            "cluster_seconds": report.cluster_seconds,
+            "node_seconds": [t.seconds for t in report.node_timings],
+            "node_compute_seconds": [
+                t.compute_seconds for t in report.node_timings
+            ],
+            "merge_seconds": report.merge_seconds,
+            "barrier_seconds": report.barrier_seconds,
+            "dispatch_wall_seconds": report.dispatch_wall_seconds,
+            "retries": retries,
+            "merge_attempts": report.merge_attempts,
+            "rng_draws": draws,
+        }
+        if churn is not None:
+            record["churn"] = churn
+        if likelihood is not None:
+            record["log_likelihood"] = likelihood
+            perplexity = telemetry.metrics.gauge("perplexity").value
+            if perplexity is not None:
+                record["perplexity"] = perplexity
+        telemetry.emit("sweep", **record)
 
     def _resolve_hyperparameters(self, corpus: SocialCorpus) -> Hyperparameters:
         if self.hyperparameters is not None:

@@ -60,9 +60,14 @@ from ..core.gibbs import sweep
 from ..core.params import Hyperparameters
 from ..core.state import CountState, PostTable
 from ..resilience.faults import FaultError
+from ..telemetry import tracing
+from ..telemetry.logconfig import ROOT_LOGGER_NAME, BufferingLogHandler, get_logger
+from ..telemetry.session import NULL_SESSION, TelemetrySession
 from .engine import EngineError
 from .partition import Shard
 from .shm import SharedArrayBlock
+
+_log = get_logger(__name__)
 
 #: Counter arrays snapshotted/merged each superstep (CountState attributes).
 COUNTER_FIELDS = (
@@ -93,7 +98,30 @@ def worker_main(worker_id: int, init: dict, conn) -> None:
     state, timing, and degeneracy tally, or ``("error", traceback)``.  An
     injected crash never replies — the process exits mid-shard and the
     parent observes the dead pipe.
+
+    Telemetry (``init["telemetry"]``): when the parent's session is
+    enabled, the worker buffers its own log records
+    (:class:`~repro.telemetry.logconfig.BufferingLogHandler`) and — when
+    tracing is on — runs a private span tracer around the shard sweep;
+    both buffers are drained into every ``ok`` reply, so logs and spans
+    travel home over the existing pipe with no extra channel.  A crashed
+    worker's buffers die with it, exactly like its draws.
     """
+    import logging
+
+    telemetry_cfg = init.get("telemetry") or {}
+    log_buffer: BufferingLogHandler | None = None
+    tracer: tracing.Tracer | None = None
+    if telemetry_cfg.get("enabled"):
+        log_buffer = BufferingLogHandler()
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        root.addHandler(log_buffer)
+        root.setLevel(telemetry_cfg.get("log_level", logging.WARNING))
+        root.propagate = False
+        if telemetry_cfg.get("trace"):
+            tracer = tracing.Tracer()
+            tracing.set_tracer(tracer)
+        _log.debug("worker %d ready (pid %d)", worker_id, os.getpid())
     blocks = {
         key: SharedArrayBlock.attach(spec) for key, spec in init["blocks"].items()
     }
@@ -144,6 +172,14 @@ def worker_main(worker_id: int, init: dict, conn) -> None:
                     cache.refresh(local)
             post_order = data["shard_posts"][post_offsets[node] : post_offsets[node + 1]]
             link_order = data["shard_links"][link_offsets[node] : link_offsets[node + 1]]
+            if log_buffer is not None:
+                _log.debug(
+                    "worker %d: shard %d (%d posts, %d links)",
+                    worker_id,
+                    node,
+                    len(post_order),
+                    len(link_order),
+                )
             if crash_progress is not None:
                 # Die for real mid-shard: resample a fraction of the posts
                 # (corrupting this shard's shared assignment slots exactly
@@ -159,30 +195,32 @@ def worker_main(worker_id: int, init: dict, conn) -> None:
                     cache=cache,
                 )
                 os._exit(_CRASH_EXIT)
-            sweep(
-                local,
-                hp,
-                rng,
-                post_order=post_order,
-                link_order=link_order,
-                cache=cache,
-            )
+            with tracing.span("worker_shard", node=node, worker=worker_id):
+                sweep(
+                    local,
+                    hp,
+                    rng,
+                    post_order=post_order,
+                    link_order=link_order,
+                    cache=cache,
+                )
             for name in COUNTER_FIELDS:
                 np.subtract(
                     getattr(local, name), snapshot[name], out=deltas[name][node]
                 )
-            conn.send(
-                (
-                    "ok",
-                    {
-                        "node": node,
-                        "seconds": time.process_time() - cpu_start,
-                        "wall_seconds": time.perf_counter() - wall_start,
-                        "degenerate_draws": int(local.degenerate_draws),
-                        "rng_state": rng.bit_generator.state,
-                    },
-                )
-            )
+            payload = {
+                "node": node,
+                "seconds": time.process_time() - cpu_start,
+                "wall_seconds": time.perf_counter() - wall_start,
+                "degenerate_draws": int(local.degenerate_draws),
+                "rng_state": rng.bit_generator.state,
+                "rng_draws": int(len(post_order)) + int(len(link_order)),
+            }
+            if log_buffer is not None:
+                payload["logs"] = log_buffer.drain()
+            if tracer is not None:
+                payload["spans"] = tracer.drain()
+            conn.send(("ok", payload))
         except Exception:
             conn.send(("error", traceback.format_exc()))
     for block in blocks.values():
@@ -217,6 +255,12 @@ class ProcessWorkerPool:
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (cheap spawns), else ``spawn``.
+    telemetry:
+        The fit's :class:`~repro.telemetry.session.TelemetrySession`.
+        When enabled, workers mirror the parent's log level into a
+        buffered handler and (if tracing) a private tracer, and every
+        reply's drained logs/spans are folded back into the session;
+        worker crashes and respawns are counted on its registry.
     """
 
     def __init__(
@@ -227,8 +271,10 @@ class ProcessWorkerPool:
         fast: bool = True,
         num_workers: int | None = None,
         start_method: str | None = None,
+        telemetry: TelemetrySession | None = None,
     ) -> None:
         self._closed = False
+        self._telemetry = telemetry if telemetry is not None else NULL_SESSION
         self._workers: queue.Queue[_WorkerHandle] = queue.Queue()
         self._blocks: list[SharedArrayBlock] = []
         self._state: CountState | None = None
@@ -290,6 +336,7 @@ class ProcessWorkerPool:
             "num_communities": state.num_communities,
             "num_topics": state.num_topics,
             "fast": fast,
+            "telemetry": self._telemetry.worker_config(),
         }
         try:
             for worker_id in range(self.num_workers):
@@ -308,6 +355,7 @@ class ProcessWorkerPool:
         )
         process.start()
         child_conn.close()
+        _log.debug("spawned worker %d (pid %s)", worker_id, process.pid)
         return _WorkerHandle(worker_id, process, parent_conn)
 
     def _reap(self, handle: _WorkerHandle) -> None:
@@ -347,8 +395,20 @@ class ProcessWorkerPool:
             handle.conn.send(("run", node, crash_progress, rng_state))
             status, payload = handle.conn.recv()
         except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+            dead_pid = handle.process.pid
             self._reap(handle)
             self._workers.put(self._spawn(handle.worker_id))
+            if self._telemetry.enabled:
+                self._telemetry.metrics.counter("worker_crashes_total").inc()
+                self._telemetry.metrics.counter("worker_respawns_total").inc()
+            _log.warning(
+                "worker %d (pid %s) died while sampling shard %d (%s); "
+                "respawned a replacement",
+                handle.worker_id,
+                dead_pid,
+                node,
+                type(exc).__name__,
+            )
             raise WorkerCrashError(
                 f"worker process died while sampling shard {node} "
                 f"({type(exc).__name__})"
@@ -356,6 +416,7 @@ class ProcessWorkerPool:
         self._workers.put(handle)
         if status != "ok":
             raise EngineError(f"worker failed on shard {node}:\n{payload}")
+        self._telemetry.absorb_worker_payload(payload)
         return payload
 
     def merge_into(

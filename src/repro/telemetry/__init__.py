@@ -1,0 +1,80 @@
+"""``repro.telemetry``: zero-dependency observability for COLD training.
+
+The layer has four pieces, all importable from this package root:
+
+* **Metrics** — :class:`MetricsRegistry` (counters / gauges / fixed-bucket
+  histograms) with per-sweep JSONL emission to ``metrics.jsonl``;
+* **Tracing** — ``trace.span("sweep", sweep=i)`` markers buffered by a
+  :class:`Tracer` and exported as Chrome ``trace_event`` JSON for
+  ``chrome://tracing``;
+* **Logging** — module loggers under the ``repro.`` hierarchy,
+  :func:`configure_logging` with plain/JSON formatters, and worker-process
+  log forwarding over the pool's reply pipe;
+* **Attribution** — a :func:`write_run_manifest` ``run.json`` stamped at
+  fit start (config hash, seed, git describe, executor topology).
+
+Everything is stdlib-only and off-by-default-cheap: with no
+``metrics_out`` / ``trace_out`` configured the instrumentation in the
+samplers amounts to an attribute check per sweep, and enabling it never
+touches the RNG — telemetry-on and telemetry-off fits draw bit-identical
+chains (enforced by the ``benchmarks/perf`` overhead gate).
+"""
+
+from . import tracing as trace
+from .logconfig import (
+    BufferingLogHandler,
+    JsonFormatter,
+    PlainFormatter,
+    configure_logging,
+    get_logger,
+    parse_level,
+    replay_records,
+    reset_logging,
+)
+from .manifest import build_run_manifest, config_hash, git_describe, write_run_manifest
+from .metrics import (
+    TIMING_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    JsonlWriter,
+    MetricsRegistry,
+    TelemetryError,
+    read_jsonl,
+)
+from .monitor import monitor, render_summary, summarize
+from .session import NULL_SESSION, TelemetrySession
+from .tracing import Tracer, get_tracer, set_tracer, span
+
+__all__ = [
+    "NULL_SESSION",
+    "TIMING_BUCKETS",
+    "BufferingLogHandler",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "JsonlWriter",
+    "MetricsRegistry",
+    "PlainFormatter",
+    "TelemetryError",
+    "TelemetrySession",
+    "Tracer",
+    "build_run_manifest",
+    "config_hash",
+    "configure_logging",
+    "get_logger",
+    "get_tracer",
+    "git_describe",
+    "monitor",
+    "parse_level",
+    "read_jsonl",
+    "render_summary",
+    "replay_records",
+    "reset_logging",
+    "set_tracer",
+    "span",
+    "summarize",
+    "trace",
+    "write_run_manifest",
+]

@@ -1,0 +1,211 @@
+"""Structured logging for the ``repro`` package.
+
+Every module logs through ``logging.getLogger(__name__)`` (all names live
+under the ``repro.`` hierarchy); :func:`configure_logging` attaches one
+stream handler to the ``repro`` root with either a human ``plain``
+formatter or a machine-parseable ``json`` formatter.  Calling it again
+reconfigures in place (the previous handler is replaced, never stacked),
+so the CLI, tests, and notebooks can all call it freely.
+
+Worker processes cannot share the parent's handlers, so they buffer
+records with :class:`BufferingLogHandler` and ship them home serialised
+(:func:`serialize_record`) over the pool's existing reply pipe; the
+parent replays them with :func:`replay_records` through its own logger
+hierarchy, tagged with the worker's pid so interleaved output stays
+attributable.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+#: The package root logger every module logger descends from.
+ROOT_LOGGER_NAME = "repro"
+
+#: Attribute marking handlers installed by configure_logging.
+_MANAGED_FLAG = "_repro_telemetry_managed"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+class PlainFormatter(logging.Formatter):
+    """``HH:MM:SS.mmm LEVEL logger: message`` — terse, grep-friendly."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            fmt="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            datefmt="%H:%M:%S",
+        )
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line, mirroring the metrics.jsonl record shape."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+            "pid": record.process,
+        }
+        worker = getattr(record, "worker_pid", None)
+        if worker is not None:
+            payload["worker_pid"] = worker
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, separators=(",", ":"))
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (idempotent convenience)."""
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def parse_level(level: int | str) -> int:
+    """Accept logging ints or case-insensitive names ('info', 'DEBUG')."""
+    if isinstance(level, int):
+        return level
+    try:
+        return _LEVELS[level.strip().lower()]
+    except (KeyError, AttributeError):
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {sorted(_LEVELS)}"
+        ) from None
+
+
+def configure_logging(
+    level: int | str = "info",
+    fmt: str = "plain",
+    stream=None,
+) -> logging.Logger:
+    """Install (or reconfigure) the package log handler; returns the root.
+
+    Parameters
+    ----------
+    level:
+        Threshold for the ``repro`` hierarchy — an int or a name.
+    fmt:
+        ``"plain"`` for human-readable lines, ``"json"`` for one JSON
+        object per line.
+    stream:
+        Destination stream; defaults to ``sys.stderr`` so structured logs
+        never mix with CLI stdout output.
+    """
+    if fmt not in ("plain", "json"):
+        raise ValueError(f"fmt must be 'plain' or 'json', got {fmt!r}")
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(parse_level(level))
+    for handler in list(root.handlers):
+        if getattr(handler, _MANAGED_FLAG, False):
+            root.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if fmt == "json" else PlainFormatter())
+    setattr(handler, _MANAGED_FLAG, True)
+    root.addHandler(handler)
+    # Keep records inside the configured handler rather than bubbling to
+    # the (possibly unconfigured) global root, which double-prints.
+    root.propagate = False
+    return root
+
+
+def reset_logging() -> None:
+    """Remove managed handlers and restore propagation (test hygiene)."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, _MANAGED_FLAG, False):
+            root.removeHandler(handler)
+            handler.close()
+    root.propagate = True
+    root.setLevel(logging.NOTSET)
+
+
+# -- worker-process log forwarding ----------------------------------------
+
+
+class BufferingLogHandler(logging.Handler):
+    """Collects records in memory for shipment over a pipe.
+
+    Workers attach one of these to the ``repro`` root; after each shard
+    run they :meth:`drain` the buffer into the reply payload.  Records are
+    reduced to plain dicts immediately (``record.getMessage()`` resolves
+    %-args) so nothing unpicklable ever crosses the pipe.
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        super().__init__()
+        self.capacity = capacity
+        self.dropped = 0
+        self._records: list[dict] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        if len(self._records) >= self.capacity:
+            self.dropped += 1
+            return
+        self._records.append(serialize_record(record))
+
+    def drain(self) -> list[dict]:
+        records, self._records = self._records, []
+        if self.dropped:
+            records.append(
+                {
+                    "name": ROOT_LOGGER_NAME + ".telemetry",
+                    "levelno": logging.WARNING,
+                    "message": f"worker dropped {self.dropped} buffered "
+                    "log records (buffer full)",
+                    "created": 0.0,
+                    "process": None,
+                }
+            )
+            self.dropped = 0
+        return records
+
+
+def serialize_record(record: logging.LogRecord) -> dict:
+    """The picklable subset of a log record the parent needs to replay it."""
+    return {
+        "name": record.name,
+        "levelno": record.levelno,
+        "message": record.getMessage(),
+        "created": record.created,
+        "process": record.process,
+    }
+
+
+def replay_records(records: list[dict]) -> None:
+    """Re-emit serialised worker records through the parent's loggers.
+
+    Each record goes through the named logger's normal ``handle`` path —
+    level filters and the configured handler apply exactly as for local
+    records — with ``worker_pid`` attached for the JSON formatter.
+    """
+    for payload in records:
+        logger = logging.getLogger(str(payload.get("name", ROOT_LOGGER_NAME)))
+        level = int(payload.get("levelno", logging.INFO))
+        if not logger.isEnabledFor(level):
+            continue
+        record = logger.makeRecord(
+            logger.name,
+            level,
+            fn="(worker)",
+            lno=0,
+            msg=str(payload.get("message", "")),
+            args=(),
+            exc_info=None,
+        )
+        created = payload.get("created")
+        if created:
+            record.created = float(created)
+        record.worker_pid = payload.get("process")
+        logger.handle(record)

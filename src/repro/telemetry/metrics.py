@@ -1,0 +1,294 @@
+"""Counters, gauges, fixed-bucket histograms, and JSONL emission.
+
+:class:`MetricsRegistry` is the in-process metrics store the training
+loops write into: named :class:`Counter`\\ s (monotone tallies — draws,
+replays, crashes), :class:`Gauge`\\ s (latest-value signals — the joint
+log-likelihood, perplexity), and :class:`Histogram`\\ s with *fixed*
+bucket bounds (timing distributions — per-sweep wall time, per-node
+compute seconds, merge seconds).  Fixed buckets keep observation O(log
+buckets) with zero allocation, and make snapshots mergeable across
+emissions the way Prometheus-style histograms are.
+
+Emission is line-delimited JSON (:class:`JsonlWriter`): every record is
+one self-contained ``{"ts": ..., "kind": ..., ...}`` object, so a live
+run's ``metrics.jsonl`` can be tailed (``cold monitor``), grepped, or
+loaded with one ``json.loads`` per line — no framing, no schema server.
+All classes are thread-safe; the parallel engine's dispatch threads
+record into the same registry the fit loop emits from.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import threading
+import time
+from pathlib import Path
+
+
+class TelemetryError(ValueError):
+    """Raised for invalid telemetry configurations."""
+
+
+#: Default histogram bounds for second-denominated timings: ~100µs to
+#: ~2 minutes in roughly x4 steps, wide enough for smoke corpora and
+#: medium benchmark sweeps alike.
+TIMING_BUCKETS = (
+    0.0001,
+    0.0005,
+    0.002,
+    0.01,
+    0.05,
+    0.2,
+    1.0,
+    5.0,
+    20.0,
+    120.0,
+)
+
+
+class Counter:
+    """A monotonically-increasing tally."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise TelemetryError(f"counter {self.name}: cannot inc by {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def snapshot(self) -> int | float:
+        return self._value
+
+
+class Gauge:
+    """A last-value-wins signal (may go up or down)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: float | None = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float | None:
+        return self._value
+
+    def snapshot(self) -> float | None:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max alongside.
+
+    ``buckets`` are ascending upper bounds; observations above the last
+    bound land in the implicit overflow bucket (``+inf``).  The snapshot
+    carries cumulative-style per-bucket counts plus the scalar summary,
+    which is enough to reconstruct rates and tail percentile estimates
+    offline without storing raw samples.
+    """
+
+    __slots__ = ("name", "bounds", "_counts", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(
+        self, name: str, buckets: tuple[float, ...] = TIMING_BUCKETS
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise TelemetryError(
+                f"histogram {name}: buckets must be ascending and non-empty"
+            )
+        self.name = name
+        self.bounds = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else math.nan
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            buckets = {}
+            for bound, count in zip(self.bounds, self._counts):
+                buckets[f"le_{bound:g}"] = count
+            buckets["le_inf"] = self._counts[-1]
+            return {
+                "count": self._count,
+                "sum": round(self._sum, 9),
+                "min": round(self._min, 9) if self._count else None,
+                "max": round(self._max, 9) if self._count else None,
+                "mean": round(self._sum / self._count, 9) if self._count else None,
+                "buckets": buckets,
+            }
+
+
+class MetricsRegistry:
+    """Named metric store; get-or-create semantics per metric kind.
+
+    Asking for an existing name with a different kind (or different
+    histogram buckets) is a configuration bug and raises
+    :class:`TelemetryError` rather than silently aliasing.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind: type, factory) -> object:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise TelemetryError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = TIMING_BUCKETS
+    ) -> Histogram:
+        histogram = self._get_or_create(
+            name, Histogram, lambda: Histogram(name, buckets)
+        )
+        if histogram.bounds != tuple(float(b) for b in buckets):
+            raise TelemetryError(
+                f"histogram {name!r} already registered with buckets "
+                f"{histogram.bounds}"
+            )
+        return histogram
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> dict:
+        """JSON-ready state of every metric, grouped by kind."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, metric in sorted(metrics.items()):
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.snapshot()
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.snapshot()
+            else:
+                out["histograms"][name] = metric.snapshot()
+        return out
+
+
+class JsonlWriter:
+    """Append-only line-delimited JSON emitter with per-record flush.
+
+    The file is opened lazily on the first record and flushed after every
+    write so ``cold monitor`` (or a crash post-mortem) always sees whole
+    lines.  One record per call; timestamps are stamped here so callers
+    never disagree about the clock.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file = None
+        self._lock = threading.Lock()
+
+    def write(self, kind: str, **fields: object) -> dict:
+        record = {"ts": round(time.time(), 6), "kind": kind, **fields}
+        line = json.dumps(record, separators=(",", ":"), default=_json_default)
+        with self._lock:
+            if self._file is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._file = self.path.open("a", encoding="utf-8")
+            self._file.write(line + "\n")
+            self._file.flush()
+        return record
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _json_default(value: object) -> object:
+    """Serialise numpy scalars and paths without importing numpy here."""
+    for attribute in ("item",):  # numpy scalar protocol
+        if hasattr(value, attribute):
+            return value.item()
+    if isinstance(value, Path):
+        return str(value)
+    raise TypeError(f"not JSON serialisable: {type(value).__name__}")
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load every complete record of a JSONL file; skip torn final lines.
+
+    A run killed mid-write can leave a truncated last line; monitoring and
+    tests should see everything before it rather than an exception.
+    """
+    records: list[dict] = []
+    path = Path(path)
+    if not path.exists():
+        return records
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records

@@ -1,0 +1,151 @@
+"""Live run monitoring: tail a ``metrics.jsonl`` and render progress.
+
+``cold monitor RUN/metrics.jsonl`` reads the per-sweep records the
+training loop emits and prints sweep rate, the log-likelihood trend, and
+an ETA; ``--follow`` keeps polling the file until the run's terminal
+``fit_end`` record appears.  The analysis functions are pure (records in,
+summary dict / text out) so tests and notebooks can reuse them without a
+terminal.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from .metrics import read_jsonl
+
+#: Record kinds produced by the training loops.
+SWEEP_KIND = "sweep"
+END_KIND = "fit_end"
+
+
+def sweep_records(records: list[dict]) -> list[dict]:
+    return [r for r in records if r.get("kind") == SWEEP_KIND]
+
+
+def run_finished(records: list[dict]) -> bool:
+    return any(r.get("kind") == END_KIND for r in records)
+
+
+def summarize(records: list[dict], window: int = 20) -> dict:
+    """Progress summary over the last ``window`` sweep records.
+
+    Returns a JSON-able dict: last/total sweeps, sweeps/s over the recent
+    window (wall-clock, from record timestamps), mean sweep seconds, the
+    latest log-likelihood with its delta over the window, perplexity, and
+    the ETA in seconds (``None`` until a rate is measurable or when the
+    total is unknown).
+    """
+    sweeps = sweep_records(records)
+    if not sweeps:
+        return {"sweeps": 0, "total_sweeps": None, "finished": run_finished(records)}
+    recent = sweeps[-max(window, 2):]
+    last = sweeps[-1]
+    total = last.get("total_sweeps")
+    rate = None
+    if len(recent) >= 2:
+        elapsed = float(recent[-1]["ts"]) - float(recent[0]["ts"])
+        if elapsed > 0:
+            rate = (len(recent) - 1) / elapsed
+    eta = None
+    if rate and total is not None:
+        remaining = int(total) - int(last.get("sweep", 0))
+        eta = max(remaining, 0) / rate
+    likelihoods = [
+        (r.get("sweep"), r["log_likelihood"])
+        for r in recent
+        if r.get("log_likelihood") is not None
+    ]
+    ll = likelihoods[-1][1] if likelihoods else None
+    ll_delta = (
+        likelihoods[-1][1] - likelihoods[0][1] if len(likelihoods) >= 2 else None
+    )
+    wall = [
+        float(r["wall_seconds"]) for r in recent if r.get("wall_seconds") is not None
+    ]
+    return {
+        "sweeps": int(last.get("sweep", len(sweeps))),
+        "total_sweeps": None if total is None else int(total),
+        "finished": run_finished(records),
+        "sweeps_per_second": rate,
+        "mean_sweep_seconds": sum(wall) / len(wall) if wall else None,
+        "log_likelihood": ll,
+        "log_likelihood_delta": ll_delta,
+        "perplexity": last.get("perplexity"),
+        "eta_seconds": eta,
+    }
+
+
+def _fmt_duration(seconds: float) -> str:
+    seconds = int(round(seconds))
+    hours, rest = divmod(seconds, 3600)
+    minutes, secs = divmod(rest, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m{secs:02d}s"
+    if minutes:
+        return f"{minutes}m{secs:02d}s"
+    return f"{secs}s"
+
+
+def render_summary(summary: dict) -> str:
+    """One status line for the terminal (stable field order for tests)."""
+    if not summary.get("sweeps"):
+        return "no sweep records yet"
+    total = summary.get("total_sweeps")
+    progress = f"sweep {summary['sweeps']}"
+    if total:
+        percent = 100.0 * summary["sweeps"] / total
+        progress += f"/{total} ({percent:.0f}%)"
+    parts = [progress]
+    rate = summary.get("sweeps_per_second")
+    if rate:
+        parts.append(f"{rate:.2f} sweeps/s")
+    ll = summary.get("log_likelihood")
+    if ll is not None:
+        trend = ""
+        delta = summary.get("log_likelihood_delta")
+        if delta is not None:
+            arrow = "+" if delta >= 0 else ""
+            trend = f" ({arrow}{delta:.1f} over window)"
+        parts.append(f"loglik {ll:.1f}{trend}")
+    perplexity = summary.get("perplexity")
+    if perplexity is not None:
+        parts.append(f"perplexity {perplexity:.1f}")
+    if summary.get("finished"):
+        parts.append("run finished")
+    elif summary.get("eta_seconds") is not None:
+        parts.append(f"ETA {_fmt_duration(summary['eta_seconds'])}")
+    return " | ".join(parts)
+
+
+def monitor(
+    path: str | Path,
+    follow: bool = False,
+    interval: float = 2.0,
+    window: int = 20,
+    max_updates: int | None = None,
+    out=None,
+) -> dict:
+    """Print progress for ``path``; returns the final summary dict.
+
+    One-shot by default; with ``follow`` it polls every ``interval``
+    seconds until the run emits ``fit_end`` (or ``max_updates`` render
+    cycles elapse — the testing/cron escape hatch).  ``out`` is a
+    ``print``-like callable, defaulting to ``print``.
+    """
+    emit = print if out is None else out
+    path = Path(path)
+    updates = 0
+    summary: dict = {}
+    while True:
+        records = read_jsonl(path)
+        summary = summarize(records, window=window)
+        emit(render_summary(summary))
+        updates += 1
+        if not follow or summary.get("finished"):
+            break
+        if max_updates is not None and updates >= max_updates:
+            break
+        time.sleep(interval)
+    return summary

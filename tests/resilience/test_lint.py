@@ -42,3 +42,34 @@ def test_sources_compile():
         text=True,
     )
     assert result.returncode == 0, result.stdout + result.stderr
+
+
+#: src/repro files allowed to call print(): terminal front-ends only.
+#: Everything else must log through repro.telemetry (ruff rule T20
+#: enforces the same ban where ruff is installed; this AST scan is the
+#: always-on fallback).
+PRINT_ALLOWLIST = frozenset({
+    "src/repro/cli.py",
+})
+
+
+def test_no_bare_print_in_library():
+    import ast
+
+    offenders = []
+    for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+        rel = path.relative_to(REPO_ROOT).as_posix()
+        if rel in PRINT_ALLOWLIST:
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=rel)
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                offenders.append(f"{rel}:{node.lineno}")
+    assert not offenders, (
+        "bare print() in library code (use repro.telemetry logging, or add "
+        f"a deliberate exemption to PRINT_ALLOWLIST): {offenders}"
+    )

@@ -1,0 +1,203 @@
+"""Structured logging: formatters, reconfiguration, worker forwarding."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.telemetry.logconfig import (
+    ROOT_LOGGER_NAME,
+    BufferingLogHandler,
+    JsonFormatter,
+    PlainFormatter,
+    configure_logging,
+    get_logger,
+    parse_level,
+    replay_records,
+    reset_logging,
+    serialize_record,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_logging():
+    reset_logging()
+    yield
+    reset_logging()
+
+
+class TestParseLevel:
+    def test_names_case_insensitive(self):
+        assert parse_level("info") == logging.INFO
+        assert parse_level("DEBUG") == logging.DEBUG
+        assert parse_level(" Warning ") == logging.WARNING
+
+    def test_ints_pass_through(self):
+        assert parse_level(logging.ERROR) == logging.ERROR
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            parse_level("chatty")
+        with pytest.raises(ValueError, match="unknown log level"):
+            parse_level(None)
+
+
+class TestGetLogger:
+    def test_prefixes_into_repro_hierarchy(self):
+        assert get_logger("core.model").name == "repro.core.model"
+        assert get_logger("repro.core.model").name == "repro.core.model"
+        assert get_logger("repro").name == "repro"
+
+
+class TestConfigureLogging:
+    def test_plain_format(self):
+        stream = io.StringIO()
+        configure_logging(level="info", fmt="plain", stream=stream)
+        get_logger("test").info("hello %s", "world")
+        line = stream.getvalue().strip()
+        assert "INFO" in line
+        assert "repro.test" in line
+        assert line.endswith("hello world")
+
+    def test_json_format(self):
+        stream = io.StringIO()
+        configure_logging(level="debug", fmt="json", stream=stream)
+        get_logger("test").debug("count=%d", 3)
+        payload = json.loads(stream.getvalue())
+        assert payload["level"] == "debug"
+        assert payload["logger"] == "repro.test"
+        assert payload["message"] == "count=3"
+        assert payload["pid"] > 0
+        assert "worker_pid" not in payload
+
+    def test_level_threshold_applies(self):
+        stream = io.StringIO()
+        configure_logging(level="warning", stream=stream)
+        get_logger("test").info("quiet")
+        get_logger("test").warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_reconfigure_replaces_handler_not_stacks(self):
+        root = configure_logging(level="info", stream=io.StringIO())
+        configure_logging(level="debug", stream=io.StringIO())
+        managed = [
+            h for h in root.handlers if getattr(h, "_repro_telemetry_managed", False)
+        ]
+        assert len(managed) == 1
+        assert root.level == logging.DEBUG
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="fmt"):
+            configure_logging(fmt="xml")
+
+    def test_reset_restores_propagation(self):
+        root = configure_logging(level="info", stream=io.StringIO())
+        assert root.propagate is False
+        reset_logging()
+        assert root.propagate is True
+        assert root.level == logging.NOTSET
+        assert not [
+            h for h in root.handlers if getattr(h, "_repro_telemetry_managed", False)
+        ]
+
+    def test_formatters_exported(self):
+        assert isinstance(PlainFormatter(), logging.Formatter)
+        assert isinstance(JsonFormatter(), logging.Formatter)
+
+
+class TestWorkerForwarding:
+    def _record(self, message: str, level: int = logging.INFO) -> logging.LogRecord:
+        return logging.LogRecord(
+            name="repro.parallel.worker",
+            level=level,
+            pathname=__file__,
+            lineno=1,
+            msg=message,
+            args=(),
+            exc_info=None,
+        )
+
+    def test_serialize_resolves_args_to_plain_dict(self):
+        record = logging.LogRecord(
+            name="repro.x",
+            level=logging.INFO,
+            pathname=__file__,
+            lineno=1,
+            msg="shard %d done",
+            args=(3,),
+            exc_info=None,
+        )
+        payload = serialize_record(record)
+        assert payload["message"] == "shard 3 done"
+        assert payload["name"] == "repro.x"
+        assert payload["levelno"] == logging.INFO
+        assert payload["process"] == record.process
+        json.dumps(payload)  # nothing unpicklable / unserialisable
+
+    def test_buffer_drains_and_empties(self):
+        handler = BufferingLogHandler()
+        handler.emit(self._record("one"))
+        handler.emit(self._record("two"))
+        drained = handler.drain()
+        assert [r["message"] for r in drained] == ["one", "two"]
+        assert handler.drain() == []
+
+    def test_buffer_overflow_adds_drop_marker(self):
+        handler = BufferingLogHandler(capacity=2)
+        for index in range(5):
+            handler.emit(self._record(f"r{index}"))
+        drained = handler.drain()
+        assert len(drained) == 3  # 2 kept + 1 marker
+        assert "dropped 3" in drained[-1]["message"]
+        assert drained[-1]["levelno"] == logging.WARNING
+        # Counter reset after draining: the next batch is clean.
+        handler.emit(self._record("next"))
+        assert [r["message"] for r in handler.drain()] == ["next"]
+
+    def test_replay_tags_worker_pid_and_respects_levels(self):
+        stream = io.StringIO()
+        configure_logging(level="info", fmt="json", stream=stream)
+        records = [
+            {
+                "name": "repro.parallel.worker",
+                "levelno": logging.INFO,
+                "message": "from worker",
+                "created": 123.5,
+                "process": 4242,
+            },
+            {
+                "name": "repro.parallel.worker",
+                "levelno": logging.DEBUG,
+                "message": "filtered out",
+                "created": 123.6,
+                "process": 4242,
+            },
+        ]
+        replay_records(records)
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert len(lines) == 1  # DEBUG filtered by the parent's INFO threshold
+        assert lines[0]["message"] == "from worker"
+        assert lines[0]["worker_pid"] == 4242
+        assert lines[0]["ts"] == 123.5
+
+    def test_round_trip_through_real_logger(self):
+        # Worker side: buffer a record emitted through the hierarchy.
+        handler = BufferingLogHandler()
+        worker_root = logging.getLogger(ROOT_LOGGER_NAME)
+        worker_root.addHandler(handler)
+        worker_root.setLevel(logging.DEBUG)
+        try:
+            get_logger("parallel.worker").info("superstep %d ok", 7)
+        finally:
+            worker_root.removeHandler(handler)
+        shipped = handler.drain()
+        # Parent side: replay through a configured plain handler.
+        stream = io.StringIO()
+        configure_logging(level="info", fmt="plain", stream=stream)
+        replay_records(shipped)
+        assert "superstep 7 ok" in stream.getvalue()
+        assert "repro.parallel.worker" in stream.getvalue()

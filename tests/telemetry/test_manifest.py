@@ -1,0 +1,91 @@
+"""Run manifest: stable config hashes and attributable run.json files."""
+
+from __future__ import annotations
+
+import json
+
+import repro
+from repro.telemetry.manifest import (
+    MANIFEST_NAME,
+    build_run_manifest,
+    config_hash,
+    git_describe,
+    write_run_manifest,
+)
+
+
+class TestConfigHash:
+    def test_stable_and_order_insensitive(self):
+        a = config_hash({"k": 4, "seed": 0})
+        b = config_hash({"seed": 0, "k": 4})
+        assert a == b
+        assert len(a) == 16
+        assert a == config_hash({"k": 4, "seed": 0})  # deterministic
+
+    def test_different_configs_differ(self):
+        assert config_hash({"k": 4}) != config_hash({"k": 5})
+
+
+class TestBuildManifest:
+    def test_payload_fields(self):
+        config = {"num_communities": 3, "num_topics": 4}
+        manifest = build_run_manifest(
+            config,
+            seed=7,
+            executor="processes",
+            num_nodes=2,
+            num_workers=2,
+        )
+        assert manifest["kind"] == "run_manifest"
+        assert manifest["config"] == config
+        assert manifest["config_hash"] == config_hash(config)
+        assert manifest["seed"] == 7
+        assert manifest["executor"] == "processes"
+        assert manifest["num_nodes"] == 2
+        assert manifest["num_workers"] == 2
+        assert manifest["package"] == {"name": "repro", "version": repro.__version__}
+        assert manifest["python"].count(".") == 2
+        assert manifest["created"] > 0
+        json.dumps(manifest)  # fully JSON-able
+
+    def test_extra_fields_merged(self):
+        manifest = build_run_manifest(
+            {}, seed=0, executor="serial", num_nodes=1, num_workers=None,
+            extra={"start_iteration": 5},
+        )
+        assert manifest["start_iteration"] == 5
+
+
+class TestWriteManifest:
+    def test_directory_target_gets_run_json(self, tmp_path):
+        path = write_run_manifest(tmp_path, {"k": 1}, seed=0)
+        assert path == tmp_path / MANIFEST_NAME
+        payload = json.loads(path.read_text())
+        assert payload["config_hash"] == config_hash({"k": 1})
+        assert payload["executor"] == "simulated"  # default topology
+
+    def test_explicit_file_target_used_verbatim(self, tmp_path):
+        target = tmp_path / "custom.json"
+        path = write_run_manifest(target, {}, seed=1)
+        assert path == target
+        assert json.loads(path.read_text())["seed"] == 1
+
+    def test_creates_missing_parents(self, tmp_path):
+        path = write_run_manifest(tmp_path / "a" / "b", {}, seed=0)
+        assert path.exists()
+
+    def test_overwrite_is_atomic_replacement(self, tmp_path):
+        write_run_manifest(tmp_path, {"k": 1}, seed=0)
+        path = write_run_manifest(tmp_path, {"k": 2}, seed=0)
+        assert json.loads(path.read_text())["config"] == {"k": 2}
+        # No temp files left behind by the atomic write.
+        assert [p.name for p in tmp_path.iterdir()] == [MANIFEST_NAME]
+
+
+def test_git_describe_is_string_or_none():
+    described = git_describe()
+    assert described is None or (isinstance(described, str) and described)
+
+
+def test_git_describe_outside_repo_is_none(tmp_path):
+    assert git_describe(cwd=tmp_path) is None

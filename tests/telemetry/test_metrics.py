@@ -1,0 +1,196 @@
+"""Registry semantics and JSONL round-trips for repro.telemetry.metrics."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.telemetry.metrics import (
+    TIMING_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    JsonlWriter,
+    MetricsRegistry,
+    TelemetryError,
+    read_jsonl,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("draws")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+        assert counter.snapshot() == 42
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("draws")
+        with pytest.raises(TelemetryError, match="cannot inc"):
+            counter.inc(-1)
+        assert counter.value == 0
+
+    def test_float_amounts_allowed(self):
+        counter = Counter("seconds")
+        counter.inc(0.25)
+        counter.inc(0.75)
+        assert counter.value == pytest.approx(1.0)
+
+
+class TestGauge:
+    def test_none_until_set_then_last_value_wins(self):
+        gauge = Gauge("loglik")
+        assert gauge.value is None
+        gauge.set(-100.0)
+        gauge.set(-90.5)
+        assert gauge.value == -90.5
+        assert gauge.snapshot() == -90.5
+
+    def test_coerces_to_float(self):
+        gauge = Gauge("sweep")
+        gauge.set(np.int64(7))
+        assert isinstance(gauge.value, float)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(TelemetryError, match="ascending"):
+            Histogram("t", buckets=(1.0, 0.5))
+        with pytest.raises(TelemetryError, match="ascending"):
+            Histogram("t", buckets=())
+
+    def test_bucketing_and_summary(self):
+        hist = Histogram("t", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(56.05)
+        assert snap["min"] == pytest.approx(0.05)
+        assert snap["max"] == pytest.approx(50.0)
+        assert snap["mean"] == pytest.approx(56.05 / 5)
+        assert snap["buckets"] == {
+            "le_0.1": 1,
+            "le_1": 2,
+            "le_10": 1,
+            "le_inf": 1,  # 50.0 overflows the last bound
+        }
+
+    def test_empty_snapshot_has_no_extrema(self):
+        snap = Histogram("t").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None
+        assert snap["max"] is None
+        assert snap["mean"] is None
+
+    def test_mean_property(self):
+        hist = Histogram("t")
+        assert math.isnan(hist.mean)
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.mean == pytest.approx(3.0)
+
+    def test_default_buckets_cover_timing_range(self):
+        assert TIMING_BUCKETS[0] <= 1e-4
+        assert TIMING_BUCKETS[-1] >= 60.0
+        assert list(TIMING_BUCKETS) == sorted(TIMING_BUCKETS)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert "a" in registry
+        assert "missing" not in registry
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.gauge("a")
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.histogram("a")
+
+    def test_histogram_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("t", buckets=(1.0, 2.0))
+        with pytest.raises(TelemetryError, match="buckets"):
+            registry.histogram("t", buckets=(1.0, 3.0))
+
+    def test_snapshot_groups_by_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("sweeps_total").inc(3)
+        registry.gauge("log_likelihood").set(-12.5)
+        registry.histogram("sweep_seconds").observe(0.01)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"sweeps_total": 3}
+        assert snap["gauges"] == {"log_likelihood": -12.5}
+        assert snap["histograms"]["sweep_seconds"]["count"] == 1
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        with JsonlWriter(path) as writer:
+            first = writer.write("sweep", sweep=1, wall_seconds=0.5)
+            writer.write("fit_end", sweeps=1)
+        assert first["kind"] == "sweep"
+        assert first["ts"] > 0
+        records = read_jsonl(path)
+        assert [r["kind"] for r in records] == ["sweep", "fit_end"]
+        assert records[0]["sweep"] == 1
+        assert records[0]["wall_seconds"] == 0.5
+
+    def test_lazy_open(self, tmp_path):
+        path = tmp_path / "sub" / "metrics.jsonl"
+        writer = JsonlWriter(path)
+        assert not path.exists()  # nothing written yet -> no file, no dir
+        writer.write("sweep", sweep=0)
+        assert path.exists()
+        writer.close()
+
+    def test_numpy_and_path_values_serialise(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        with JsonlWriter(path) as writer:
+            writer.write(
+                "sweep",
+                draws=np.int64(12),
+                wall=np.float64(0.25),
+                where=tmp_path,
+            )
+        (record,) = read_jsonl(path)
+        assert record["draws"] == 12
+        assert record["wall"] == 0.25
+        assert record["where"] == str(tmp_path)
+
+    def test_flushes_every_record(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        writer = JsonlWriter(path)
+        writer.write("sweep", sweep=0)
+        # Readable before close: the live-tailing contract cold monitor uses.
+        assert len(read_jsonl(path)) == 1
+        writer.close()
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_jsonl(tmp_path / "nope.jsonl") == []
+
+    def test_torn_final_line_skipped(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        good = json.dumps({"kind": "sweep", "sweep": 1})
+        path.write_text(good + "\n" + '{"kind": "sweep", "swe')
+        records = read_jsonl(path)
+        assert len(records) == 1
+        assert records[0]["sweep"] == 1
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text('\n{"kind": "a"}\n\n{"kind": "b"}\n')
+        assert [r["kind"] for r in read_jsonl(path)] == ["a", "b"]

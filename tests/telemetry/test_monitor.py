@@ -1,0 +1,144 @@
+"""cold monitor analytics: summarize, render, and tailing behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.metrics import JsonlWriter
+from repro.telemetry.monitor import (
+    monitor,
+    render_summary,
+    run_finished,
+    summarize,
+    sweep_records,
+)
+
+
+def _sweeps(count: int, total: int = 10, t0: float = 1000.0, dt: float = 0.5):
+    """Synthetic sweep records with evenly spaced wall-clock stamps."""
+    records = []
+    for index in range(1, count + 1):
+        records.append(
+            {
+                "ts": t0 + index * dt,
+                "kind": "sweep",
+                "sweep": index,
+                "total_sweeps": total,
+                "wall_seconds": dt,
+                "log_likelihood": -1000.0 + 10.0 * index,
+                "perplexity": 50.0 - index,
+            }
+        )
+    return records
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize([])
+        assert summary == {"sweeps": 0, "total_sweeps": None, "finished": False}
+        assert render_summary(summary) == "no sweep records yet"
+
+    def test_progress_rate_and_eta(self):
+        summary = summarize(_sweeps(5, total=10, dt=0.5))
+        assert summary["sweeps"] == 5
+        assert summary["total_sweeps"] == 10
+        assert not summary["finished"]
+        assert summary["sweeps_per_second"] == pytest.approx(2.0)
+        assert summary["mean_sweep_seconds"] == pytest.approx(0.5)
+        # 5 sweeps left at 2/s -> 2.5 s
+        assert summary["eta_seconds"] == pytest.approx(2.5)
+        assert summary["log_likelihood"] == pytest.approx(-950.0)
+        assert summary["log_likelihood_delta"] == pytest.approx(40.0)
+        assert summary["perplexity"] == pytest.approx(45.0)
+
+    def test_window_limits_rate_and_delta(self):
+        records = _sweeps(20, total=20, dt=1.0)
+        summary = summarize(records, window=5)
+        # Rate still 1/s but the delta only spans the 5-record window.
+        assert summary["sweeps_per_second"] == pytest.approx(1.0)
+        assert summary["log_likelihood_delta"] == pytest.approx(40.0)
+
+    def test_finished_flag_from_fit_end(self):
+        records = _sweeps(10, total=10) + [{"ts": 2000.0, "kind": "fit_end"}]
+        summary = summarize(records)
+        assert summary["finished"]
+        assert run_finished(records)
+        assert not run_finished(_sweeps(2))
+
+    def test_non_sweep_records_ignored(self):
+        records = [{"ts": 1.0, "kind": "fit_start"}] + _sweeps(3) + [
+            {"ts": 99.0, "kind": "metrics"}
+        ]
+        assert len(sweep_records(records)) == 3
+        assert summarize(records)["sweeps"] == 3
+
+    def test_missing_likelihood_tolerated(self):
+        records = _sweeps(3)
+        for record in records:
+            record["log_likelihood"] = None
+        summary = summarize(records)
+        assert summary["log_likelihood"] is None
+        assert summary["log_likelihood_delta"] is None
+
+
+class TestRenderSummary:
+    def test_in_flight_line(self):
+        line = render_summary(summarize(_sweeps(5, total=10, dt=0.5)))
+        assert line.startswith("sweep 5/10 (50%)")
+        assert "sweeps/s" in line
+        assert "loglik -950.0 (+40.0 over window)" in line
+        assert "perplexity 45.0" in line
+        assert "ETA" in line
+
+    def test_finished_line(self):
+        records = _sweeps(10, total=10) + [{"ts": 2000.0, "kind": "fit_end"}]
+        line = render_summary(summarize(records))
+        assert "sweep 10/10 (100%)" in line
+        assert "run finished" in line
+        assert "ETA" not in line
+
+    def test_duration_formatting_for_long_eta(self):
+        summary = summarize(_sweeps(2, total=10_000, dt=2.0))
+        line = render_summary(summary)
+        assert "ETA" in line
+        assert "h" in line or "m" in line  # long remainders use h/m units
+
+
+class TestMonitor:
+    def _write(self, path, records):
+        with JsonlWriter(path) as writer:
+            for record in records:
+                fields = {k: v for k, v in record.items() if k not in ("ts", "kind")}
+                writer.write(record["kind"], **fields)
+
+    def test_one_shot(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        self._write(path, _sweeps(3, total=6))
+        lines = []
+        summary = monitor(path, out=lines.append)
+        assert len(lines) == 1
+        assert summary["sweeps"] == 3
+        assert "sweep 3/6" in lines[0]
+
+    def test_follow_stops_on_fit_end(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        self._write(path, _sweeps(6, total=6) + [{"ts": 0.0, "kind": "fit_end"}])
+        lines = []
+        summary = monitor(path, follow=True, interval=0.01, out=lines.append)
+        assert summary["finished"]
+        assert len(lines) == 1  # terminal record present on the first poll
+
+    def test_follow_respects_max_updates(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        self._write(path, _sweeps(2, total=100))  # never finishes
+        lines = []
+        monitor(
+            path, follow=True, interval=0.01, max_updates=3, out=lines.append
+        )
+        assert len(lines) == 3
+
+    def test_missing_file_reports_no_records(self, tmp_path):
+        lines = []
+        summary = monitor(tmp_path / "absent.jsonl", out=lines.append)
+        assert summary["sweeps"] == 0
+        assert lines == ["no sweep records yet"]

@@ -131,7 +131,12 @@ class TestCOLDConfig:
 
         config = COLDConfig()
         covered = set(config.model_kwargs()) | set(config.fit_kwargs())
-        declared = {f.name for f in fields(config)} - {"num_time_slices"}
+        # num_time_slices describes the corpus, log_level is consumed by
+        # api.fit itself (configure_logging); neither reaches the model.
+        declared = {f.name for f in fields(config)} - {
+            "num_time_slices",
+            "log_level",
+        }
         assert covered == declared
 
 
