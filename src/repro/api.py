@@ -16,6 +16,11 @@ way.  :func:`fit` runs the cached vectorised Gibbs kernels by default
 (``config.fast``); draws are bit-identical to the reference kernels, so
 seeded results do not depend on the switch.
 
+Convergence tooling is re-exported here too: :func:`run_chains` fits
+several independently seeded chains concurrently and :func:`diagnose`
+turns their metrics into a :class:`DiagnosticsReport` verdict (the
+``cold train --chains`` / ``cold diagnose`` pair, as a library call).
+
 The classes behind these functions (:class:`repro.COLDModel` and
 friends) remain public for advanced use — callbacks, checkpointing,
 resume, the parallel engine — this module is the stable subset that will
@@ -30,16 +35,28 @@ from .core.config import COLDConfig, ConfigError
 from .core.likelihood import ConvergenceMonitor, joint_log_likelihood
 from .core.model import COLDModel, ModelError
 from .datasets.corpus import SocialCorpus
+from .diagnostics import (
+    DiagnosticsReport,
+    MultiChainResult,
+    QualityStream,
+    diagnose,
+    run_chains,
+)
 from .telemetry.logconfig import configure_logging
 
 __all__ = [
     "COLDConfig",
     "ConfigError",
     "ConvergenceMonitor",
+    "DiagnosticsReport",
+    "MultiChainResult",
+    "QualityStream",
     "configure_logging",
+    "diagnose",
     "fit",
     "joint_log_likelihood",
     "load",
+    "run_chains",
     "save",
 ]
 

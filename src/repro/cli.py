@@ -14,7 +14,15 @@ Subcommands mirror the lifecycle of a COLD study:
   scaling benchmark over cluster nodes, written as
   ``BENCH_parallel.json``;
 * ``monitor``   — tail a (live or finished) run's ``metrics.jsonl``:
-  sweep rate, log-likelihood trend, ETA.
+  sweep rate, log-likelihood trend, ETA;
+* ``diagnose``  — convergence verdict for a run: split-R̂ / ESS across
+  chains, Geweke for single chains, quality trajectories (see
+  :mod:`repro.diagnostics`).
+
+``train --chains N`` fits N independently seeded chains concurrently
+(each streaming quality metrics into its own ``metrics.jsonl``), saves
+the best chain as the model, and leaves a chains directory ready for
+``cold diagnose``.
 
 ``train`` takes ``--metrics-out``/``--trace-out`` (the telemetry streams
 of :mod:`repro.telemetry`) and ``--log-level``/``--log-format`` to turn
@@ -43,6 +51,7 @@ from .datasets.corpus import CorpusError
 from .datasets.io import CorpusIOError, load_corpus, save_corpus
 from .datasets.splits import post_splits
 from .datasets.synthetic import SyntheticConfig, generate_corpus
+from .diagnostics.stats import DiagnosticsError
 from .eval.timestamp import accuracy_curve
 from .parallel.engine import EngineError
 from .parallel.sampler import ParallelCOLDSampler
@@ -59,6 +68,7 @@ _CLI_ERRORS = (
     CorpusError,
     CorpusIOError,
     CheckpointError,
+    DiagnosticsError,
     ModelError,
     EstimateError,
     EngineError,
@@ -184,6 +194,22 @@ def _add_train(subparsers: argparse._SubParsersAction) -> None:
         "(falls back to the newest valid checkpoint; ignores --iterations "
         "etc., which are restored from the checkpoint)",
     )
+    parser.add_argument(
+        "--chains", type=int, default=None, metavar="K",
+        help="fit K independently seeded chains concurrently (seeds "
+        "SEED..SEED+K-1), stream per-chain quality metrics, and save the "
+        "best chain as MODEL; inspect with 'cold diagnose <chains-dir>'",
+    )
+    parser.add_argument(
+        "--chains-dir", type=Path, default=None,
+        help="directory for per-chain metrics/estimates and the "
+        "chains.json manifest (default: MODEL.chains)",
+    )
+    parser.add_argument(
+        "--diag-stride", type=int, default=5, metavar="N",
+        help="evaluate streaming quality diagnostics (coherence, "
+        "likelihood chains) every N sweeps of a --chains fit (default: 5)",
+    )
 
 
 def _add_analyze(subparsers: argparse._SubParsersAction) -> None:
@@ -241,6 +267,15 @@ def _add_bench(subparsers: argparse._SubParsersAction) -> None:
         "instead of the serial Gibbs kernels",
     )
     parser.add_argument(
+        "--diagnostics", action="store_true",
+        help="benchmark quality-streaming overhead (diagnostics on vs "
+        "off) instead of the serial Gibbs kernels",
+    )
+    parser.add_argument(
+        "--stride", type=int, default=10,
+        help="quality-streaming stride for --diagnostics (default: 10)",
+    )
+    parser.add_argument(
         "--nodes", type=int, nargs="+", default=[1, 2, 4, 8],
         help="node counts for the --parallel scaling curve",
     )
@@ -255,8 +290,9 @@ def _add_bench(subparsers: argparse._SubParsersAction) -> None:
         "processes executor (default: one per node)",
     )
     parser.add_argument(
-        "--sweeps", type=int, default=5,
-        help="Gibbs sweeps per --parallel fit",
+        "--sweeps", type=int, default=None,
+        help="Gibbs sweeps per timed fit (default: 5 for --parallel, "
+        "20 for --diagnostics)",
     )
     parser.add_argument(
         "--equivalence-sweeps", type=int, default=2,
@@ -294,6 +330,50 @@ def _add_monitor(subparsers: argparse._SubParsersAction) -> None:
     )
 
 
+def _add_diagnose(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "diagnose",
+        help="convergence verdict for a run (R-hat, ESS, Geweke, quality)",
+        description="Read per-chain metrics (a chains directory written "
+        "by 'cold train --chains', or one or more metrics.jsonl files) "
+        "and print a convergence report.  Exits 0 when every tracked "
+        "quantity is converged, 1 otherwise, 2 on bad inputs.",
+    )
+    parser.add_argument(
+        "source", type=Path, nargs="+",
+        help="a chains directory / chains.json manifest, or metrics.jsonl "
+        "file(s) — one per chain",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the report as JSON instead of text",
+    )
+    parser.add_argument(
+        "--discard", type=float, default=0.5, metavar="FRACTION",
+        help="warm-up fraction dropped from the front of every chain "
+        "before computing statistics (default: 0.5)",
+    )
+    parser.add_argument(
+        "--rhat-threshold", type=float, default=1.1, metavar="X",
+        help="split-R-hat above this flags 'not converged' (default: 1.1)",
+    )
+    parser.add_argument(
+        "--ess-min", type=float, default=10.0, metavar="N",
+        help="effective sample size below this is 'inconclusive' "
+        "(default: 10)",
+    )
+    parser.add_argument(
+        "--geweke-threshold", type=float, default=2.0, metavar="Z",
+        help="single-chain Geweke |z| above this flags 'not converged' "
+        "(default: 2)",
+    )
+    parser.add_argument(
+        "--min-samples", type=int, default=8, metavar="N",
+        help="fewer post-warm-up samples than this is itself "
+        "'not converged' (default: 8)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cold",
@@ -307,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_predict(subparsers)
     _add_bench(subparsers)
     _add_monitor(subparsers)
+    _add_diagnose(subparsers)
     return parser
 
 
@@ -330,6 +411,17 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if args.log_level is not None:
         configure_logging(level=args.log_level, fmt=args.log_format)
     parallel = args.nodes > 1 or args.executor != "simulated"
+    if args.chains is not None:
+        if args.resume is not None or args.checkpoint_every is not None:
+            raise ModelError(
+                "--chains does not combine with --resume/--checkpoint-every"
+            )
+        if args.nodes > 1:
+            raise ModelError(
+                "--chains runs serial per-chain fits; drop --nodes "
+                "(chains already run concurrently across processes)"
+            )
+        return _train_chains(args)
     if args.resume is not None:
         if parallel:
             raise EngineError(
@@ -413,6 +505,67 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _train_chains(args: argparse.Namespace) -> int:
+    """``cold train --chains K``: multi-chain fit + best-chain model."""
+    from .core.config import COLDConfig
+    from .diagnostics import run_chains
+
+    corpus = load_corpus(args.corpus)
+    chains_dir = args.chains_dir
+    if chains_dir is None:
+        chains_dir = args.model.with_suffix(".chains")
+    config = COLDConfig(
+        num_communities=args.communities,
+        num_topics=args.topics,
+        include_network=not args.no_network,
+        seed=args.seed,
+        fast=not args.reference_kernels,
+        num_iterations=args.iterations,
+    )
+    print(f"training {args.chains} chain(s) on {corpus}")
+    result = run_chains(
+        corpus,
+        config,
+        num_chains=args.chains,
+        out_dir=chains_dir,
+        executor="serial" if args.chains == 1 else "processes",
+        num_workers=args.workers,
+        stride=args.diag_stride,
+    )
+    for chain in result.chains:
+        likelihood = chain.final_log_likelihood
+        shown = "n/a" if likelihood is None else f"{likelihood:.1f}"
+        print(
+            f"chain {chain.chain_id} (seed {chain.seed}): "
+            f"final log-likelihood {shown}, "
+            f"{chain.quality_records} quality record(s) -> {chain.metrics}"
+        )
+    best = result.best_chain()
+    model = COLDModel(config.evolve(seed=best.seed))
+    model.estimates_ = best.load_estimates()
+    model.save(args.model)
+    print(f"saved best chain (chain {best.chain_id}) -> {args.model}.json / .npz")
+    print(f"chains manifest -> {result.manifest}")
+    print(f"next: cold diagnose {result.directory}")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from .diagnostics import diagnose
+
+    source = args.source[0] if len(args.source) == 1 else list(args.source)
+    report = diagnose(
+        source,
+        discard=args.discard,
+        rhat_threshold=args.rhat_threshold,
+        ess_min=args.ess_min,
+        geweke_threshold=args.geweke_threshold,
+        min_samples=args.min_samples,
+    )
+    print(report.to_json() if args.as_json else report.render())
+    return 0 if report.verdict == "converged" else 1
+
+
 def _report_degeneracy(model: COLDModel) -> None:
     """Surface the uniform-fallback tally so numerical collapse is visible."""
     monitor = model.monitor_
@@ -477,17 +630,54 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .perf import MEDIUM, SMOKE, write_benchmark, write_parallel_benchmark
+    from .perf import (
+        MEDIUM,
+        SMOKE,
+        write_benchmark,
+        write_diagnostics_benchmark,
+        write_parallel_benchmark,
+    )
 
+    if args.parallel and args.diagnostics:
+        raise TelemetryError("--parallel and --diagnostics are exclusive")
     available = {"smoke": SMOKE, "medium": MEDIUM}
     case_names = args.cases
     if case_names is None:
-        case_names = ["medium"] if args.parallel else ["smoke", "medium"]
+        case_names = (
+            ["medium"] if args.parallel or args.diagnostics
+            else ["smoke", "medium"]
+        )
     cases = tuple(available[name] for name in dict.fromkeys(case_names))
     output = args.output
     if output is None:
-        output = Path("BENCH_parallel.json" if args.parallel else "BENCH_gibbs.json")
+        if args.parallel:
+            output = Path("BENCH_parallel.json")
+        elif args.diagnostics:
+            output = Path("BENCH_diagnostics.json")
+        else:
+            output = Path("BENCH_gibbs.json")
     print(f"benchmarking {len(cases)} case(s): {', '.join(c.name for c in cases)}")
+
+    if args.diagnostics:
+        payload = write_diagnostics_benchmark(
+            output,
+            cases=cases,
+            sweeps=args.sweeps if args.sweeps is not None else 20,
+            reps=args.reps,
+            stride=args.stride,
+            equivalence_sweeps=args.equivalence_sweeps,
+        )
+        for record in payload["cases"]:
+            print(
+                f"{record['name']:>8}: "
+                f"{record['off_seconds_per_sweep']*1e3:.1f}ms plain -> "
+                f"{record['on_seconds_per_sweep']*1e3:.1f}ms streaming "
+                f"at stride {record['stride']}, "
+                f"overhead {record['overhead_fraction']:+.1%}, "
+                f"draws_match={record['draws_match']}"
+            )
+        print(f"wrote benchmark -> {output}")
+        return 0
 
     if args.parallel:
         payload = write_parallel_benchmark(
@@ -496,7 +686,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             node_counts=tuple(args.nodes),
             executor=args.executor,
             num_workers=args.workers,
-            sweeps=args.sweeps,
+            sweeps=args.sweeps if args.sweeps is not None else 5,
             equivalence_sweeps=args.equivalence_sweeps,
         )
         for record in payload["cases"]:
@@ -556,6 +746,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "bench": _cmd_bench,
     "monitor": _cmd_monitor,
+    "diagnose": _cmd_diagnose,
 }
 
 

@@ -73,6 +73,40 @@ def joint_log_likelihood(state: CountState, hp: Hyperparameters) -> float:
     return total
 
 
+def diagnostic_scalars(
+    state: CountState,
+    hp: Hyperparameters,
+    log_likelihood: float | None = None,
+) -> dict:
+    """The scalar chains convergence diagnostics track, from one sample.
+
+    Returns a JSON-able dict with the joint log-likelihood (reused when
+    the fit loop already computed it this sweep), the per-topic token
+    counts (the occupancy vector whose stability signals topic mixing;
+    label-switching-aware comparisons align it across chains first), and
+    smoothed ``eta`` link-strength summaries (posterior-mean diagonal and
+    off-diagonal averages — both invariant under community relabelling,
+    so they compare across chains without alignment).
+    """
+    if log_likelihood is None:
+        log_likelihood = joint_log_likelihood(state, hp)
+    scalars: dict = {
+        "log_likelihood": float(log_likelihood),
+        "topic_tokens": [int(v) for v in state.n_topic_total],
+    }
+    if state.num_links:
+        eta = (state.n_link_comm + hp.lambda1) / (
+            state.n_link_comm + hp.lambda0 + hp.lambda1
+        )
+        diagonal = np.diagonal(eta)
+        off_mask = ~np.eye(eta.shape[0], dtype=bool)
+        scalars["eta_diag_mean"] = float(diagonal.mean())
+        scalars["eta_offdiag_mean"] = (
+            float(eta[off_mask].mean()) if off_mask.any() else 0.0
+        )
+    return scalars
+
+
 @dataclass
 class ConvergenceMonitor:
     """Tracks the likelihood trace and flags convergence.

@@ -209,6 +209,7 @@ class COLDModel:
         check_invariants: bool = False,
         checkpoint_every: int | None = None,
         checkpoint_dir: str | Path | None = None,
+        diagnostics=None,
     ) -> "COLDModel":
         """Run the collapsed Gibbs sampler and store averaged estimates.
 
@@ -237,6 +238,15 @@ class COLDModel:
         checkpoint_dir:
             Directory for checkpoints; required iff ``checkpoint_every``
             is set.
+        diagnostics:
+            An inference-quality hook — typically a
+            :class:`repro.diagnostics.QualityStream` — whose
+            ``maybe_record(iteration, state, hp, telemetry,
+            log_likelihood)`` is invoked after every sweep.  Hooks are
+            read-only over the sampler state and never consume RNG, so
+            draws are bit-identical with or without one (enforced by the
+            diagnostics perf gate).  ``None`` (the default) keeps the fit
+            loop free of any diagnostic work.
         """
         if num_iterations <= 0:
             raise ModelError("num_iterations must be positive")
@@ -256,6 +266,12 @@ class COLDModel:
             if callback is not None:
                 raise ModelError(
                     "parallel fits (num_nodes > 1) do not support callback"
+                )
+            if diagnostics is not None:
+                raise ModelError(
+                    "parallel fits (num_nodes > 1) do not support diagnostics "
+                    "hooks; run per-chain serial fits via "
+                    "repro.diagnostics.run_chains instead"
                 )
             if checkpoint_every is not None:
                 raise ModelError(
@@ -292,6 +308,7 @@ class COLDModel:
             check_invariants=check_invariants,
             checkpoint_every=checkpoint_every,
             checkpoint_dir=checkpoint_dir,
+            diagnostics=diagnostics,
         )
         self.corpus_ = corpus
         return self
@@ -362,6 +379,7 @@ class COLDModel:
         check_invariants: bool,
         checkpoint_every: int | None,
         checkpoint_dir: str | Path | None,
+        diagnostics=None,
     ) -> None:
         """Sweeps ``start_iteration+1 .. num_iterations`` plus finalisation.
 
@@ -434,6 +452,11 @@ class COLDModel:
                 if likelihood_interval and iteration % likelihood_interval == 0:
                     likelihood = joint_log_likelihood(state, hp)
                     monitor.record(likelihood)
+                if diagnostics is not None:
+                    with trace.span("diagnostics", sweep=iteration):
+                        diagnostics.maybe_record(
+                            iteration, state, hp, telemetry, likelihood
+                        )
                 if (
                     iteration > burn_in
                     and (iteration - burn_in) % sample_interval == 0
@@ -565,6 +588,7 @@ class COLDModel:
         corpus: SocialCorpus | None = None,
         callback: Callable[[int, "COLDModel"], None] | None = None,
         check_invariants: bool = False,
+        diagnostics=None,
     ) -> "COLDModel":
         """Continue a checkpointed fit to completion; returns the fitted model.
 
@@ -656,6 +680,7 @@ class COLDModel:
                 check_invariants=check_invariants,
                 checkpoint_every=int(fit_settings["checkpoint_every"]),
                 checkpoint_dir=checkpoint_dir,
+                diagnostics=diagnostics,
             )
         except KeyError as exc:
             raise CheckpointError(

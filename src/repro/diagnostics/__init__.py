@@ -1,0 +1,64 @@
+"""Inference-quality observability for COLD fits.
+
+The ``repro.diagnostics`` package answers the question the raw
+likelihood trace cannot: *did the sampler converge, and is the fitted
+model any good?*  Three layers:
+
+* :mod:`~repro.diagnostics.stats` — the MCMC statistics themselves
+  (split-R̂, effective sample size, Geweke z-scores, stationarity
+  windows), dependency-free NumPy.
+* :mod:`~repro.diagnostics.quality` + :mod:`~repro.diagnostics.chains`
+  — data collection: stride-gated quality streaming inside a fit
+  (coherence / NMI / held-out perplexity) and the multi-chain runner
+  behind ``cold train --chains N``.
+* :mod:`~repro.diagnostics.report` — ``cold diagnose``: verdicts per
+  quantity ("converged" / "not converged" / "inconclusive") rendered as
+  terminal text or JSON.
+
+Everything here is strictly read-only over sampler state and never
+touches the RNG: draws are bit-identical with diagnostics on or off.
+"""
+
+from .chains import (
+    ChainResult,
+    MultiChainResult,
+    fit_chain,
+    load_chains,
+    run_chains,
+)
+from .quality import QUALITY_KIND, QualityStream, load_quality_records
+from .report import (
+    DiagnosticsReport,
+    QualityTrajectory,
+    QuantityDiagnostic,
+    diagnose,
+)
+from .stats import (
+    DiagnosticsError,
+    effective_sample_size,
+    geweke_zscore,
+    potential_scale_reduction,
+    split_rhat,
+    stationarity_start,
+)
+
+__all__ = [
+    "QUALITY_KIND",
+    "ChainResult",
+    "DiagnosticsError",
+    "DiagnosticsReport",
+    "MultiChainResult",
+    "QualityStream",
+    "QualityTrajectory",
+    "QuantityDiagnostic",
+    "diagnose",
+    "effective_sample_size",
+    "fit_chain",
+    "geweke_zscore",
+    "load_chains",
+    "load_quality_records",
+    "potential_scale_reduction",
+    "run_chains",
+    "split_rhat",
+    "stationarity_start",
+]

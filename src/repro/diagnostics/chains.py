@@ -1,0 +1,346 @@
+"""Multi-chain fitting: K independent seeded Gibbs chains, one corpus.
+
+Convergence of a single Gibbs chain is unfalsifiable from the inside —
+the related reproductions (Hu & Xing; Henry et al.) both run several
+independently-seeded chains and compare them.  :func:`run_chains` does
+exactly that for COLD:
+
+* chain ``c`` is an ordinary serial :class:`repro.COLDModel` fit with
+  seed ``base_seed + c`` — chain 0 is bit-identical to the equivalent
+  single fit;
+* every chain streams per-sweep metrics and stride-gated quality signals
+  (:class:`~repro.diagnostics.quality.QualityStream`) into its own
+  ``chain-XX/metrics.jsonl`` via the existing telemetry session, and
+  saves its final estimates as ``chain-XX/estimates.npz`` (the material
+  ``cold diagnose`` aligns topics with);
+* chains run concurrently on the parallel package's process pool
+  (:class:`repro.parallel.worker.TaskWorkerPool`) — or sequentially
+  in-process with ``executor="serial"`` — with identical results either
+  way (each chain is self-contained and seeded);
+* a ``chains.json`` manifest ties the run together so ``cold diagnose
+  <dir>`` needs a single argument.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.config import COLDConfig
+from ..core.estimates import ParameterEstimates
+from ..core.model import COLDModel
+from ..datasets.corpus import SocialCorpus
+from ..resilience.checkpoint import atomic_write_text
+from ..telemetry.logconfig import get_logger
+from .quality import QualityStream
+from .stats import DiagnosticsError
+
+_log = get_logger(__name__)
+
+#: Manifest file name written at the root of a chains directory.
+MANIFEST_NAME = "chains.json"
+
+
+def fit_chain(
+    corpus: SocialCorpus,
+    chain_id: int,
+    seed: int,
+    chain_dir: str,
+    model_kwargs: dict,
+    fit_kwargs: dict,
+    quality_kwargs: dict,
+    truth_labels=None,
+    holdout: SocialCorpus | None = None,
+) -> dict:
+    """Fit one seeded chain; returns its JSON-able summary record.
+
+    Runs in the parent (``executor="serial"``) or inside a
+    :class:`~repro.parallel.worker.TaskWorkerPool` worker process — the
+    chain's metrics stream and estimates are written where it runs, so
+    only this small summary crosses the process boundary.
+    """
+    chain_path = Path(chain_dir)
+    chain_path.mkdir(parents=True, exist_ok=True)
+    metrics_path = chain_path / "metrics.jsonl"
+    estimates_path = chain_path / "estimates.npz"
+    stream = QualityStream(
+        corpus,
+        truth_labels=truth_labels,
+        holdout=holdout,
+        **quality_kwargs,
+    )
+    model = COLDModel(
+        **{**model_kwargs, "seed": seed, "metrics_out": str(metrics_path)}
+    )
+    model.fit(corpus, **fit_kwargs, diagnostics=stream)
+    assert model.estimates_ is not None and model.monitor_ is not None
+    model.estimates_.save(estimates_path)
+    trace = model.monitor_.trace
+    return {
+        "chain_id": chain_id,
+        "seed": seed,
+        "dir": str(chain_path),
+        "metrics": str(metrics_path),
+        "estimates": str(estimates_path),
+        "final_log_likelihood": trace[-1] if trace else None,
+        "monitor_converged": bool(model.monitor_.converged),
+        "degenerate_draws": int(model.monitor_.degenerate_draws),
+        "quality_records": len(stream.history),
+    }
+
+
+@dataclass
+class ChainResult:
+    """One fitted chain's artefact locations and headline numbers."""
+
+    chain_id: int
+    seed: int
+    dir: Path
+    metrics: Path
+    estimates: Path
+    final_log_likelihood: float | None
+    monitor_converged: bool
+    degenerate_draws: int
+    quality_records: int
+
+    @classmethod
+    def from_record(cls, record: dict, base: Path | None = None) -> "ChainResult":
+        """Rebuild from a manifest record.
+
+        ``base`` anchors relative artefact paths (the manifest's own
+        directory), so a chains directory diagnoses identically from any
+        working directory.  Paths that do not resolve under ``base`` are
+        kept verbatim for manifests written before paths were stored
+        manifest-relative.
+        """
+
+        def _resolve(raw: str) -> Path:
+            path = Path(raw)
+            if base is None or path.is_absolute():
+                return path
+            anchored = base / path
+            return anchored if anchored.exists() else path
+
+        return cls(
+            chain_id=int(record["chain_id"]),
+            seed=int(record["seed"]),
+            dir=_resolve(record["dir"]),
+            metrics=_resolve(record["metrics"]),
+            estimates=_resolve(record["estimates"]),
+            final_log_likelihood=record.get("final_log_likelihood"),
+            monitor_converged=bool(record.get("monitor_converged", False)),
+            degenerate_draws=int(record.get("degenerate_draws", 0)),
+            quality_records=int(record.get("quality_records", 0)),
+        )
+
+    def to_record(self, relative_to: Path | None = None) -> dict:
+        """JSON-able record; ``relative_to`` relativises artefact paths
+        under that directory (how the manifest stores them)."""
+
+        def _fmt(path: Path) -> str:
+            if relative_to is not None:
+                try:
+                    return str(
+                        path.resolve().relative_to(Path(relative_to).resolve())
+                    )
+                except ValueError:
+                    return str(path)
+            return str(path)
+
+        return {
+            "chain_id": self.chain_id,
+            "seed": self.seed,
+            "dir": _fmt(self.dir),
+            "metrics": _fmt(self.metrics),
+            "estimates": _fmt(self.estimates),
+            "final_log_likelihood": self.final_log_likelihood,
+            "monitor_converged": self.monitor_converged,
+            "degenerate_draws": self.degenerate_draws,
+            "quality_records": self.quality_records,
+        }
+
+    def load_estimates(self) -> ParameterEstimates:
+        return ParameterEstimates.load(self.estimates)
+
+
+@dataclass
+class MultiChainResult:
+    """Everything :func:`run_chains` produced, plus the manifest path."""
+
+    directory: Path
+    chains: list[ChainResult] = field(default_factory=list)
+    manifest: Path | None = None
+
+    @property
+    def num_chains(self) -> int:
+        return len(self.chains)
+
+    def metrics_paths(self) -> list[Path]:
+        return [chain.metrics for chain in self.chains]
+
+    def best_chain(self) -> ChainResult:
+        """The chain with the highest final joint log-likelihood."""
+        scored = [c for c in self.chains if c.final_log_likelihood is not None]
+        if not scored:
+            return self.chains[0]
+        return max(scored, key=lambda c: c.final_log_likelihood)
+
+    def diagnose(self, **kwargs):
+        """Convenience: run ``cold diagnose`` analytics on this result."""
+        from .report import diagnose
+
+        return diagnose(self.directory, **kwargs)
+
+
+def load_chains(path: str | Path) -> MultiChainResult:
+    """Load a ``chains.json`` manifest (or the directory containing one)."""
+    path = Path(path)
+    manifest = path / MANIFEST_NAME if path.is_dir() else path
+    if not manifest.is_file():
+        raise DiagnosticsError(f"no {MANIFEST_NAME} manifest at {path}")
+    try:
+        payload = json.loads(manifest.read_text())
+        chains = [
+            ChainResult.from_record(r, base=manifest.parent)
+            for r in payload["chains"]
+        ]
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise DiagnosticsError(f"{manifest}: corrupt chains manifest: {exc}") from exc
+    if not chains:
+        raise DiagnosticsError(f"{manifest}: manifest lists no chains")
+    return MultiChainResult(
+        directory=manifest.parent, chains=chains, manifest=manifest
+    )
+
+
+def run_chains(
+    corpus: SocialCorpus,
+    config: COLDConfig | None = None,
+    *,
+    num_chains: int = 3,
+    out_dir: str | Path,
+    executor: str = "processes",
+    num_workers: int | None = None,
+    stride: int = 5,
+    top_n: int = 10,
+    coherence: bool = True,
+    truth_labels: np.ndarray | None = None,
+    holdout: SocialCorpus | None = None,
+    **overrides: object,
+) -> MultiChainResult:
+    """Fit ``num_chains`` independent seeded chains and write a manifest.
+
+    Parameters
+    ----------
+    corpus:
+        The training corpus, shared by every chain.
+    config:
+        Base :class:`repro.COLDConfig` (``COLDConfig()`` when omitted);
+        keyword ``overrides`` are applied via :meth:`COLDConfig.evolve`.
+        Chain ``c`` runs with ``seed = config.seed + c``; parallel-fit
+        fields (``num_nodes``/``executor``/``num_workers``) and telemetry
+        paths are ignored — every chain is a serial fit with its own
+        per-chain metrics stream under ``out_dir``.
+    num_chains:
+        Independent chains (2+ enable cross-chain R̂; 1 still streams
+        quality and supports single-chain Geweke diagnostics).
+    out_dir:
+        Destination directory; gains ``chain-XX/`` subdirectories and the
+        ``chains.json`` manifest.
+    executor:
+        ``"processes"`` runs chains concurrently on a
+        :class:`~repro.parallel.worker.TaskWorkerPool`; ``"serial"`` runs
+        them one after another in-process.  Results are identical.
+    num_workers:
+        Concurrent worker processes for ``"processes"`` (default:
+        ``min(num_chains, os.cpu_count())``).
+    stride, top_n, coherence:
+        Quality-streaming knobs (see
+        :class:`~repro.diagnostics.quality.QualityStream`).
+    truth_labels:
+        Planted per-user community labels for NMI streaming.
+    holdout:
+        Held-out corpus for perplexity streaming.
+    """
+    if num_chains < 1:
+        raise DiagnosticsError("num_chains must be >= 1")
+    if executor not in ("processes", "serial"):
+        raise DiagnosticsError(
+            f"executor must be 'processes' or 'serial', got {executor!r}"
+        )
+    if num_workers is not None and num_workers < 1:
+        raise DiagnosticsError("num_workers must be positive when given")
+    if config is None:
+        config = COLDConfig()
+    if overrides:
+        config = config.evolve(**overrides)
+
+    model_kwargs = config.model_kwargs()
+    # Chains are serial per-chain fits with their own telemetry streams.
+    model_kwargs.update(
+        executor="simulated", num_nodes=1, num_workers=None,
+        metrics_out=None, trace_out=None,
+    )
+    base_seed = int(model_kwargs.pop("seed"))
+    fit_kwargs = config.fit_kwargs()
+    quality_kwargs = {"stride": stride, "top_n": top_n, "coherence": coherence}
+
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    common = {
+        "corpus": corpus,
+        "model_kwargs": model_kwargs,
+        "fit_kwargs": fit_kwargs,
+        "quality_kwargs": quality_kwargs,
+        "truth_labels": truth_labels,
+        "holdout": holdout,
+    }
+    payloads = [
+        {
+            "chain_id": chain,
+            "seed": base_seed + chain,
+            "chain_dir": str(out_path / f"chain-{chain:02d}"),
+        }
+        for chain in range(num_chains)
+    ]
+
+    if executor == "serial":
+        records = [fit_chain(**common, **payload) for payload in payloads]
+    else:
+        import os
+
+        from ..parallel.worker import TaskWorkerPool
+
+        workers = num_workers
+        if workers is None:
+            workers = min(num_chains, os.cpu_count() or 1)
+        _log.info(
+            "fitting %d chains on %d worker process(es)", num_chains, workers
+        )
+        with TaskWorkerPool(
+            "repro.diagnostics.chains:fit_chain", workers, common=common
+        ) as pool:
+            records = pool.run_all(payloads)
+
+    chains = [ChainResult.from_record(record) for record in records]
+    manifest_payload = {
+        "kind": "cold-chains",
+        "num_chains": num_chains,
+        "base_seed": base_seed,
+        "executor": executor,
+        "quality": quality_kwargs,
+        "fit": fit_kwargs,
+        "model": {
+            key: value
+            for key, value in model_kwargs.items()
+            if isinstance(value, (int, float, str, bool, type(None)))
+        },
+        "chains": [chain.to_record(relative_to=out_path) for chain in chains],
+    }
+    manifest = out_path / MANIFEST_NAME
+    atomic_write_text(manifest, json.dumps(manifest_payload, indent=2) + "\n")
+    _log.info("wrote chains manifest -> %s", manifest)
+    return MultiChainResult(directory=out_path, chains=chains, manifest=manifest)

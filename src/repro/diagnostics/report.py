@@ -1,0 +1,540 @@
+"""``cold diagnose``: turn chain metrics into a convergence verdict.
+
+:func:`diagnose` reads one or more metrics JSONL streams (preferably the
+``chains.json`` directory :func:`repro.diagnostics.run_chains` writes),
+extracts the scalar diagnostic chains recorded during fitting, and
+renders a :class:`DiagnosticsReport`:
+
+* **split-R̂** (Vehtari et al. 2021) and **effective sample size**
+  (Geyer initial-monotone-sequence estimator) across chains for the
+  joint log-likelihood, the eta link-strength summaries, and the
+  per-topic token occupancies — the latter aligned across chains first
+  (:func:`repro.eval.clustering.topic_alignment` on the saved ``phi``
+  estimates) because Gibbs chains identify topics only up to a
+  permutation;
+* **Geweke z-scores** per chain (the only cross-check available for a
+  single chain) plus an estimated stationarity window;
+* first→last trajectories of the streamed quality signals (coherence,
+  NMI, held-out perplexity) with their cross-chain spread at the end.
+
+Each quantity gets a verdict — ``converged`` / ``not converged`` /
+``inconclusive`` — under explicit thresholds (R̂ ≤ 1.1, ESS ≥ 10,
+|z| ≤ 2 by default), and the report aggregates them into an overall
+verdict.  The first ``discard`` fraction of every chain (default half)
+is treated as warm-up and excluded from the statistics, mirroring
+standard MCMC practice; too few post-warm-up samples is itself a
+``not converged`` verdict, so a 5-sweep smoke run is flagged rather
+than blessed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..telemetry.metrics import read_jsonl
+from .chains import MANIFEST_NAME, MultiChainResult, load_chains
+from .quality import QUALITY_KIND
+from .stats import (
+    DiagnosticsError,
+    effective_sample_size,
+    geweke_zscore,
+    split_rhat,
+    stationarity_start,
+)
+
+#: Quality signals summarised as trajectories (not R̂ quantities).
+QUALITY_SIGNALS = ("coherence", "nmi", "holdout_perplexity")
+
+VERDICT_CONVERGED = "converged"
+VERDICT_NOT_CONVERGED = "not converged"
+VERDICT_INCONCLUSIVE = "inconclusive"
+
+
+@dataclass
+class QuantityDiagnostic:
+    """Convergence statistics and verdict for one scalar quantity."""
+
+    name: str
+    verdict: str
+    rhat: float = float("nan")
+    ess: float = float("nan")
+    geweke_z: float = float("nan")
+    #: First sweep from which the chains look stationary (worst chain),
+    #: or ``None`` when no suffix passes the Geweke scan.
+    stationary_from: int | None = None
+    samples: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        def _num(value: float) -> float | None:
+            return None if np.isnan(value) else float(value)
+
+        return {
+            "name": self.name,
+            "verdict": self.verdict,
+            "rhat": _num(self.rhat),
+            "ess": _num(self.ess),
+            "geweke_z": _num(self.geweke_z),
+            "stationary_from": self.stationary_from,
+            "samples": self.samples,
+            "notes": list(self.notes),
+        }
+
+
+@dataclass
+class QualityTrajectory:
+    """First→last summary of one streamed quality signal."""
+
+    name: str
+    #: ``(first, last)`` per chain, in chain order.
+    per_chain: list[tuple[float, float]]
+    #: Max-minus-min of the final values across chains.
+    final_spread: float
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "per_chain": [
+                {"first": first, "last": last} for first, last in self.per_chain
+            ],
+            "final_spread": self.final_spread,
+        }
+
+
+@dataclass
+class DiagnosticsReport:
+    """Everything ``cold diagnose`` concluded about a run."""
+
+    num_chains: int
+    samples_per_chain: int
+    used_samples: int
+    discard: float
+    rhat_threshold: float
+    ess_min: float
+    geweke_threshold: float
+    quantities: list[QuantityDiagnostic] = field(default_factory=list)
+    quality: list[QualityTrajectory] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def verdict(self) -> str:
+        """Overall verdict: worst of the per-quantity verdicts."""
+        verdicts = {q.verdict for q in self.quantities}
+        if VERDICT_NOT_CONVERGED in verdicts:
+            return VERDICT_NOT_CONVERGED
+        if VERDICT_INCONCLUSIVE in verdicts or not verdicts:
+            return VERDICT_INCONCLUSIVE
+        return VERDICT_CONVERGED
+
+    def quantity(self, name: str) -> QuantityDiagnostic:
+        for q in self.quantities:
+            if q.name == name:
+                return q
+        raise DiagnosticsError(f"no diagnostic quantity named {name!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "num_chains": self.num_chains,
+            "samples_per_chain": self.samples_per_chain,
+            "used_samples": self.used_samples,
+            "discard": self.discard,
+            "thresholds": {
+                "rhat": self.rhat_threshold,
+                "ess_min": self.ess_min,
+                "geweke_z": self.geweke_threshold,
+            },
+            "quantities": [q.to_dict() for q in self.quantities],
+            "quality": [q.to_dict() for q in self.quality],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        """Terminal-friendly report text."""
+        lines = [
+            "COLD convergence diagnostics — "
+            f"{self.num_chains} chain(s), "
+            f"{self.samples_per_chain} recorded sample(s)/chain, "
+            f"{self.used_samples} used after discarding the first "
+            f"{self.discard:.0%}",
+            "",
+            f"{'quantity':<28} {'R-hat':>7} {'ESS':>7} {'|z|':>6} "
+            f"{'from':>6}  verdict",
+        ]
+
+        def _fmt(value: float, width: int, places: int) -> str:
+            if np.isnan(value):
+                return "-".rjust(width)
+            return f"{value:.{places}f}".rjust(width)
+
+        for q in self.quantities:
+            start = "-" if q.stationary_from is None else str(q.stationary_from)
+            flag = f"  [{'; '.join(q.notes)}]" if q.notes else ""
+            lines.append(
+                f"{q.name:<28} {_fmt(q.rhat, 7, 3)} {_fmt(q.ess, 7, 1)} "
+                f"{_fmt(q.geweke_z, 6, 2)} {start:>6}  {q.verdict}{flag}"
+            )
+        if self.quality:
+            lines += ["", "quality trajectories (first -> last per chain):"]
+            for signal in self.quality:
+                journey = " | ".join(
+                    f"{first:.4g} -> {last:.4g}"
+                    for first, last in signal.per_chain
+                )
+                lines.append(
+                    f"  {signal.name:<20} {journey}  "
+                    f"(final spread {signal.final_spread:.4g})"
+                )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        lines += [
+            "",
+            f"overall: {self.verdict} "
+            f"(thresholds: R-hat <= {self.rhat_threshold}, "
+            f"ESS >= {self.ess_min:g}, |z| <= {self.geweke_threshold:g})",
+        ]
+        return "\n".join(lines)
+
+
+# -- loading ---------------------------------------------------------------
+
+
+def _resolve_sources(
+    source,
+) -> tuple[list[Path], list[Path | None]]:
+    """Normalise ``diagnose``'s input into metrics + optional estimates paths.
+
+    Accepts a :class:`MultiChainResult`, a chains directory (or its
+    ``chains.json``), a single metrics JSONL path, or a list of metrics
+    paths.  Estimates are taken from the manifest when available, else
+    from an ``estimates.npz`` sibling of each metrics file.
+    """
+    if isinstance(source, MultiChainResult):
+        for chain in source.chains:
+            if not Path(chain.metrics).is_file():
+                raise DiagnosticsError(
+                    f"metrics file not found: {chain.metrics} "
+                    f"(chain {chain.chain_id} of {source.manifest})"
+                )
+        return (
+            [Path(c.metrics) for c in source.chains],
+            [Path(c.estimates) for c in source.chains],
+        )
+    if isinstance(source, (list, tuple)):
+        metrics = [Path(p) for p in source]
+        if not metrics:
+            raise DiagnosticsError("need at least one metrics file")
+    else:
+        path = Path(source)
+        if path.is_dir() or path.name == MANIFEST_NAME:
+            return _resolve_sources(load_chains(path))
+        metrics = [path]
+    estimates: list[Path | None] = []
+    for metric_path in metrics:
+        if not metric_path.is_file():
+            raise DiagnosticsError(f"metrics file not found: {metric_path}")
+        sibling = metric_path.parent / "estimates.npz"
+        estimates.append(sibling if sibling.is_file() else None)
+    return metrics, estimates
+
+
+def _extract_series(records: list[dict]) -> dict[str, np.ndarray]:
+    """Pull the diagnostic chains out of one metrics stream.
+
+    Prefers ``quality`` records (written when quality streaming is on);
+    falls back to the likelihood values embedded in plain ``sweep``
+    records, which any telemetry-enabled fit emits.
+    """
+    quality = [r for r in records if r.get("kind") == QUALITY_KIND]
+    series: dict[str, list] = {}
+    if quality:
+        rows = quality
+    else:
+        rows = [
+            r
+            for r in records
+            if r.get("kind") == "sweep" and "log_likelihood" in r
+        ]
+    for row in rows:
+        for key in (
+            "sweep",
+            "log_likelihood",
+            "eta_diag_mean",
+            "eta_offdiag_mean",
+            "topic_tokens",
+            *QUALITY_SIGNALS,
+        ):
+            if key in row and row[key] is not None:
+                series.setdefault(key, []).append(row[key])
+    out: dict[str, np.ndarray] = {}
+    for key, values in series.items():
+        if len(values) != len(rows):
+            # Present in some records only (e.g. perplexity warming up):
+            # too ragged to form a chain — drop it.
+            continue
+        out[key] = np.asarray(values, dtype=np.float64)
+    return out
+
+
+def _aligned_topic_tokens(
+    per_chain: list[dict[str, np.ndarray]],
+    estimates_paths: list[Path | None],
+    notes: list[str],
+) -> list[np.ndarray] | None:
+    """Per-chain ``(n, K)`` token series, topic-aligned to chain 0."""
+    if any("topic_tokens" not in s for s in per_chain):
+        return None
+    tokens = [s["topic_tokens"] for s in per_chain]
+    if len(tokens) == 1:
+        return tokens
+    if any(path is None for path in estimates_paths):
+        notes.append(
+            "topic_tokens compared without label-switching alignment "
+            "(no estimates.npz next to every metrics file)"
+        )
+        return tokens
+    from ..core.estimates import ParameterEstimates
+    from ..eval.clustering import topic_alignment
+
+    reference = ParameterEstimates.load(estimates_paths[0]).phi
+    aligned = [tokens[0]]
+    for path, chain_tokens in zip(estimates_paths[1:], tokens[1:]):
+        phi = ParameterEstimates.load(path).phi
+        permutation, _ = topic_alignment(reference, phi)
+        # permutation[k] = this chain's topic matched to reference topic k.
+        aligned.append(chain_tokens[:, permutation])
+    return aligned
+
+
+# -- verdicts --------------------------------------------------------------
+
+
+def _judge(
+    name: str,
+    chains: np.ndarray,
+    sweeps: np.ndarray | None,
+    *,
+    rhat_threshold: float,
+    ess_min: float,
+    geweke_threshold: float,
+    min_samples: int,
+) -> QuantityDiagnostic:
+    """Statistics + verdict for one ``(num_chains, n)`` scalar array."""
+    chains = np.asarray(chains, dtype=np.float64)
+    m, n = chains.shape
+    q = QuantityDiagnostic(name=name, verdict=VERDICT_INCONCLUSIVE, samples=n)
+    if n < min_samples:
+        q.verdict = VERDICT_NOT_CONVERGED
+        q.notes.append(
+            f"only {n} post-warm-up sample(s) (< {min_samples}): "
+            "run more sweeps"
+        )
+        return q
+
+    z_scores = [geweke_zscore(chains[c]) for c in range(m)]
+    finite_z = [z for z in z_scores if not np.isnan(z)]
+    if finite_z:
+        q.geweke_z = float(max(abs(z) for z in finite_z))
+    starts = []
+    for c in range(m):
+        start = stationarity_start(chains[c], threshold=geweke_threshold)
+        if start is None:
+            starts = None
+            break
+        starts.append(start)
+    if starts is not None:
+        offset = max(starts)
+        if sweeps is not None and len(sweeps) == n:
+            q.stationary_from = int(sweeps[offset])
+        else:
+            q.stationary_from = int(offset)
+
+    if np.ptp(chains) == 0.0:
+        q.verdict = VERDICT_CONVERGED
+        q.notes.append("constant across chains")
+        q.rhat = 1.0 if m > 1 else float("nan")
+        return q
+
+    if m > 1:
+        q.rhat = split_rhat(chains)
+        q.ess = effective_sample_size(chains)
+        if np.isnan(q.rhat):
+            q.notes.append("R-hat undefined (degenerate chains)")
+            return q
+        if q.rhat > rhat_threshold:
+            q.verdict = VERDICT_NOT_CONVERGED
+            q.notes.append("chains disagree (R-hat above threshold)")
+        elif np.isnan(q.ess) or q.ess < ess_min:
+            q.notes.append("low effective sample size")
+        else:
+            q.verdict = VERDICT_CONVERGED
+        return q
+
+    # Single chain: Geweke is the only arbiter.
+    q.ess = effective_sample_size(chains)
+    if np.isnan(q.geweke_z):
+        q.notes.append("Geweke undefined (chain too short or constant)")
+        return q
+    if q.geweke_z > geweke_threshold:
+        q.verdict = VERDICT_NOT_CONVERGED
+        q.notes.append("start/end means differ (Geweke)")
+    elif not np.isnan(q.ess) and q.ess < ess_min:
+        q.notes.append("low effective sample size")
+    else:
+        q.verdict = VERDICT_CONVERGED
+    q.notes.append("single chain: rerun with --chains >= 2 for R-hat")
+    return q
+
+
+def diagnose(
+    source,
+    *,
+    discard: float = 0.5,
+    rhat_threshold: float = 1.1,
+    ess_min: float = 10.0,
+    geweke_threshold: float = 2.0,
+    min_samples: int = 8,
+) -> DiagnosticsReport:
+    """Analyse chain metrics and produce a :class:`DiagnosticsReport`.
+
+    Parameters
+    ----------
+    source:
+        A chains directory / ``chains.json`` manifest (as written by
+        :func:`repro.diagnostics.run_chains`), a
+        :class:`MultiChainResult`, a single metrics JSONL path, or a
+        list of metrics paths (one per chain).
+    discard:
+        Warm-up fraction dropped from the front of every chain before
+        computing statistics (default: first half).
+    rhat_threshold, ess_min, geweke_threshold:
+        Verdict thresholds; the defaults follow Vehtari et al. (2021)
+        practice (R̂ ≤ 1.1 is the looser classic cut, suited to the
+        short chains of a reproduction study).
+    min_samples:
+        Fewer post-warm-up samples than this is itself a
+        ``not converged`` verdict — short smoke runs must not pass.
+    """
+    if not 0.0 <= discard < 1.0:
+        raise DiagnosticsError("discard must lie in [0, 1)")
+    if rhat_threshold <= 1.0:
+        raise DiagnosticsError("rhat_threshold must exceed 1.0")
+    if min_samples < 4:
+        raise DiagnosticsError("min_samples must be >= 4")
+
+    metrics_paths, estimates_paths = _resolve_sources(source)
+    per_chain = [_extract_series(read_jsonl(p)) for p in metrics_paths]
+    notes: list[str] = []
+    for path, series in zip(metrics_paths, per_chain):
+        if "log_likelihood" not in series:
+            raise DiagnosticsError(
+                f"{path}: no log-likelihood records — fit with telemetry "
+                "enabled (metrics_out) and likelihood_interval > 0"
+            )
+    lengths = [len(s["log_likelihood"]) for s in per_chain]
+    n_total = min(lengths)
+    if len(set(lengths)) > 1:
+        notes.append(
+            f"chains have unequal record counts {lengths}; "
+            f"truncated to {n_total}"
+        )
+    start = int(n_total * discard)
+    used = n_total - start
+
+    def _tail(values: np.ndarray) -> np.ndarray:
+        return values[:n_total][start:]
+
+    sweeps = None
+    if all("sweep" in s for s in per_chain):
+        sweeps = _tail(per_chain[0]["sweep"])
+
+    judge_kwargs = {
+        "rhat_threshold": rhat_threshold,
+        "ess_min": ess_min,
+        "geweke_threshold": geweke_threshold,
+        "min_samples": min_samples,
+    }
+    quantities: list[QuantityDiagnostic] = []
+    quantities.append(
+        _judge(
+            "joint log-likelihood",
+            np.stack([_tail(s["log_likelihood"]) for s in per_chain]),
+            sweeps,
+            **judge_kwargs,
+        )
+    )
+    for key, label in (
+        ("eta_diag_mean", "eta diagonal mean"),
+        ("eta_offdiag_mean", "eta off-diagonal mean"),
+    ):
+        if all(key in s for s in per_chain):
+            quantities.append(
+                _judge(
+                    label,
+                    np.stack([_tail(s[key]) for s in per_chain]),
+                    sweeps,
+                    **judge_kwargs,
+                )
+            )
+    aligned = _aligned_topic_tokens(per_chain, estimates_paths, notes)
+    if aligned is not None:
+        stacked = np.stack([_tail(tokens) for tokens in aligned])
+        # (m, n, K): judge every topic, report the worst one.
+        per_topic = [
+            _judge(
+                f"topic {k}", stacked[:, :, k], sweeps, **judge_kwargs
+            )
+            for k in range(stacked.shape[2])
+        ]
+        rank = {
+            VERDICT_NOT_CONVERGED: 2,
+            VERDICT_INCONCLUSIVE: 1,
+            VERDICT_CONVERGED: 0,
+        }
+        worst = max(
+            range(len(per_topic)),
+            key=lambda k: (
+                rank[per_topic[k].verdict],
+                per_topic[k].rhat if not np.isnan(per_topic[k].rhat) else -1.0,
+            ),
+        )
+        summary = per_topic[worst]
+        summary.name = f"topic tokens (worst: topic {worst})"
+        quantities.append(summary)
+
+    quality: list[QualityTrajectory] = []
+    for signal in QUALITY_SIGNALS:
+        if not all(signal in s for s in per_chain):
+            continue
+        journeys = [
+            (float(s[signal][0]), float(s[signal][n_total - 1]))
+            for s in per_chain
+        ]
+        finals = [last for _, last in journeys]
+        quality.append(
+            QualityTrajectory(
+                name=signal,
+                per_chain=journeys,
+                final_spread=float(max(finals) - min(finals)),
+            )
+        )
+
+    return DiagnosticsReport(
+        num_chains=len(per_chain),
+        samples_per_chain=n_total,
+        used_samples=used,
+        discard=discard,
+        rhat_threshold=rhat_threshold,
+        ess_min=ess_min,
+        geweke_threshold=geweke_threshold,
+        quantities=quantities,
+        quality=quality,
+        notes=notes,
+    )

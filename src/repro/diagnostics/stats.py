@@ -1,0 +1,221 @@
+"""MCMC convergence statistics: split-R̂, effective sample size, Geweke.
+
+The paper monitors convergence with a single likelihood trace; the related
+reproductions (Hu & Xing; Henry et al.) stress that a single chain cannot
+distinguish "converged" from "stuck", so this module implements the
+standard cross-chain diagnostics on *scalar* chains:
+
+* :func:`split_rhat` — the split potential scale reduction factor
+  [Gelman & Rubin 1992; Vehtari et al. 2021].  Each chain is split in
+  half (catching within-chain drift), and the between/within variance
+  ratio is folded into one number: ``1.0`` means the chains are
+  indistinguishable, values above ~1.1 mean they have not mixed.
+* :func:`effective_sample_size` — Geyer's initial-monotone-sequence
+  estimator of the number of independent draws the autocorrelated chains
+  are worth.
+* :func:`geweke_zscore` — the single-chain fallback: a z-test comparing
+  the mean of the early part of a chain against the late part.
+* :func:`stationarity_start` — the earliest cutoff from which the
+  remaining trace passes the Geweke test (the data-driven burn-in).
+
+Everything operates on plain ``(num_chains, num_samples)`` float arrays —
+the scalar streams (joint log-likelihood, per-topic token counts, eta
+summaries) that :mod:`repro.diagnostics.chains` extracts from per-chain
+metrics files.  No RNG is consumed anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class DiagnosticsError(ValueError):
+    """Raised for invalid diagnostic computations."""
+
+
+def _as_chains(chains: np.ndarray) -> np.ndarray:
+    array = np.asarray(chains, dtype=np.float64)
+    if array.ndim == 1:
+        array = array[None, :]
+    if array.ndim != 2:
+        raise DiagnosticsError(
+            f"chains must be 1-D or 2-D (chains x samples), got shape {array.shape}"
+        )
+    if not np.isfinite(array).all():
+        raise DiagnosticsError("chains contain non-finite values")
+    return array
+
+
+def split_chains(chains: np.ndarray) -> np.ndarray:
+    """Split every chain into equal halves: ``(m, n) -> (2m, n // 2)``.
+
+    An odd trailing sample is dropped (standard practice), so the halves
+    stay directly comparable.
+    """
+    array = _as_chains(chains)
+    half = array.shape[1] // 2
+    if half < 1:
+        raise DiagnosticsError("need at least 2 samples per chain to split")
+    return np.concatenate([array[:, :half], array[:, half : 2 * half]], axis=0)
+
+
+def potential_scale_reduction(chains: np.ndarray) -> float:
+    """R̂ over the chains as given (no splitting); see :func:`split_rhat`.
+
+    Returns ``nan`` with fewer than 2 chains or fewer than 2 samples; a
+    set of *constant, identical* chains returns exactly 1.0 (they agree
+    perfectly), while constant chains stuck at different values return
+    ``inf`` (they will never agree).
+    """
+    array = _as_chains(chains)
+    m, n = array.shape
+    if m < 2 or n < 2:
+        return math.nan
+    within = float(np.mean(np.var(array, axis=1, ddof=1)))
+    between = float(n * np.var(np.mean(array, axis=1), ddof=1))
+    if within == 0.0:
+        return 1.0 if between == 0.0 else math.inf
+    var_plus = (n - 1) / n * within + between / n
+    return math.sqrt(var_plus / within)
+
+
+def split_rhat(chains: np.ndarray) -> float:
+    """Split potential scale reduction factor R̂ [Vehtari et al. 2021].
+
+    ``chains`` is ``(num_chains, num_samples)``; each chain is split in
+    half first, so a single drifting chain is detected too (a lone chain
+    still yields a meaningful value).  Values near 1.0 indicate the
+    chains sample the same distribution; > ~1.1 flags non-convergence.
+    Returns ``nan`` when there are fewer than 4 samples per chain.
+    """
+    array = _as_chains(chains)
+    if array.shape[1] < 4:
+        return math.nan
+    return potential_scale_reduction(split_chains(array))
+
+
+def effective_sample_size(chains: np.ndarray) -> float:
+    """Effective sample size via Geyer's initial monotone sequence.
+
+    Combines within-chain autocovariances across chains the way Stan does
+    (Vehtari et al. 2021, Eq. 10): lag-``t`` correlation is estimated
+    from the multi-chain variance estimate ``var_plus``, and lags are
+    accumulated in positive, monotonically decreasing pairs.  Returns a
+    value in ``(0, m * n]``; ``nan`` with fewer than 4 samples per chain.
+    Constant chains have no information and return ``nan``.
+    """
+    array = _as_chains(chains)
+    m, n = array.shape
+    if n < 4:
+        return math.nan
+    within = float(np.mean(np.var(array, axis=1, ddof=1)))
+    between = float(n * np.var(np.mean(array, axis=1), ddof=1)) if m > 1 else 0.0
+    var_plus = (n - 1) / n * within + (between / n if m > 1 else 0.0)
+    if var_plus == 0.0 or within == 0.0:
+        return math.nan
+
+    centered = array - array.mean(axis=1, keepdims=True)
+    # Per-lag autocovariance averaged across chains, lags 0..n-1.
+    max_lag = n - 1
+    autocov = np.empty((m, max_lag + 1))
+    for lag in range(max_lag + 1):
+        autocov[:, lag] = (
+            np.sum(centered[:, : n - lag] * centered[:, lag:], axis=1) / n
+        )
+    mean_autocov = autocov.mean(axis=0)
+
+    rho = 1.0 - (within - mean_autocov) / var_plus
+    rho[0] = 1.0
+
+    # Geyer: sum consecutive lag pairs while the pair sums stay positive
+    # and non-increasing.
+    tau = 0.0
+    previous_pair = math.inf
+    lag = 1
+    while lag + 1 <= max_lag:
+        pair = float(rho[lag] + rho[lag + 1])
+        if pair < 0:
+            break
+        pair = min(pair, previous_pair)
+        tau += pair
+        previous_pair = pair
+        lag += 2
+    ess = m * n / (1.0 + 2.0 * tau)
+    return float(min(ess, m * n))
+
+
+def adaptive_first_fraction(n: int) -> float:
+    """Early-segment fraction for Geweke that still holds 4 samples.
+
+    Geweke's canonical 10% head segment needs 40+ samples; diagnostic
+    chains here are often shorter (stride-thinned quality records), so
+    widen the head up to 40% when necessary — segments stay disjoint
+    against the canonical 50% tail.
+    """
+    if n <= 0:
+        return 0.1
+    return min(0.4, max(0.1, 4.0 / n))
+
+
+def geweke_zscore(
+    chain: np.ndarray, first: float | None = None, last: float = 0.5
+) -> float:
+    """Geweke (1992) z-score comparing early vs late means of one chain.
+
+    The chain is stationary when the mean of the first ``first`` fraction
+    equals the mean of the final ``last`` fraction; the z-score is their
+    difference scaled by the combined standard error (sample variances —
+    the zero-dependency simplification of Geweke's spectral estimate,
+    adequate at the trace lengths diagnostics see).  ``|z| <= 2`` is the
+    usual pass.  ``first`` defaults to
+    :func:`adaptive_first_fraction` (10%, widened on short chains).
+    Returns ``nan`` for chains too short to compare (fewer than 4
+    samples in either segment).
+    """
+    array = np.asarray(chain, dtype=np.float64)
+    if array.ndim != 1:
+        raise DiagnosticsError("geweke_zscore takes a single 1-D chain")
+    if first is None:
+        first = adaptive_first_fraction(array.size)
+    if not 0 < first < 1 or not 0 < last < 1 or first + last > 1:
+        raise DiagnosticsError(
+            "first and last must be fractions with first + last <= 1"
+        )
+    n = array.size
+    head = array[: max(int(n * first), 1)]
+    tail = array[n - max(int(n * last), 1):]
+    if head.size < 4 or tail.size < 4:
+        return math.nan
+    var_head = float(np.var(head, ddof=1))
+    var_tail = float(np.var(tail, ddof=1))
+    denom = math.sqrt(var_head / head.size + var_tail / tail.size)
+    if denom == 0.0:
+        return 0.0 if float(head.mean()) == float(tail.mean()) else math.inf
+    return float((head.mean() - tail.mean()) / denom)
+
+
+def stationarity_start(
+    chain: np.ndarray,
+    fractions: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5),
+    threshold: float = 2.0,
+) -> int | None:
+    """Earliest sample index from which the trace looks stationary.
+
+    Tries discarding each candidate warmup ``fraction`` in order and
+    returns the first start index whose remaining suffix passes the
+    Geweke test (``|z| <= threshold``).  ``None`` means no candidate
+    suffix is stationary — the chain is still drifting at its end.
+    """
+    array = np.asarray(chain, dtype=np.float64)
+    if array.ndim != 1:
+        raise DiagnosticsError("stationarity_start takes a single 1-D chain")
+    for fraction in fractions:
+        if not 0 <= fraction < 1:
+            raise DiagnosticsError("fractions must lie in [0, 1)")
+        start = int(array.size * fraction)
+        z = geweke_zscore(array[start:]) if array.size - start >= 8 else math.nan
+        if not math.isnan(z) and abs(z) <= threshold:
+            return start
+    return None

@@ -6,8 +6,10 @@ from .clustering import (
     best_matching_accuracy,
     community_recovery_report,
     contingency_table,
+    distribution_alignment,
     membership_alignment,
     normalized_mutual_information,
+    topic_alignment,
 )
 from .coherence import (
     CoherenceError,
@@ -52,6 +54,7 @@ __all__ = [
     "contingency_table",
     "cross_validate_links",
     "cross_validate_posts",
+    "distribution_alignment",
     "link_prediction_auc",
     "mean_coherence",
     "membership_alignment",
@@ -60,6 +63,7 @@ __all__ = [
     "prediction_errors",
     "roc_auc",
     "time_callable",
+    "topic_alignment",
     "topic_coherences",
     "umass_coherence",
 ]

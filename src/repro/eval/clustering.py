@@ -84,6 +84,70 @@ def best_matching_accuracy(predicted: np.ndarray, truth: np.ndarray) -> float:
     return float(matched) / float(table.sum())
 
 
+def distribution_alignment(
+    reference: np.ndarray,
+    candidate: np.ndarray,
+    method: str = "hungarian",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Match the *rows* of two stacked distributions (label switching).
+
+    Gibbs chains identify the same topics/communities up to a permutation
+    of the latent indices; before any cross-chain comparison the rows of
+    one chain's ``phi``/``theta`` must be mapped onto the other's.  The
+    similarity is the Pearson correlation between rows; ``"hungarian"``
+    solves the optimal one-to-one assignment, ``"greedy"`` takes the best
+    remaining pair repeatedly (linear-log cost, and what the dynamic
+    topic-network reproductions use — kept as the cheap cross-check).
+
+    Returns ``(permutation, correlations)``: ``permutation[i]`` is the
+    candidate row matched to reference row ``i``, ``correlations[i]`` the
+    matched Pearson correlation.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if reference.shape != candidate.shape or reference.ndim != 2:
+        raise ClusteringError("alignment inputs must be equal-shape 2-D arrays")
+    R = reference.shape[0]
+    if R < 1:
+        raise ClusteringError("need at least one row to align")
+    if method not in ("hungarian", "greedy"):
+        raise ClusteringError(f"method must be 'hungarian' or 'greedy', got {method!r}")
+    correlation = np.corrcoef(reference, candidate)[:R, R:]
+    correlation = np.nan_to_num(correlation)
+    permutation = np.empty(R, dtype=np.int64)
+    matched = np.empty(R, dtype=np.float64)
+    if method == "hungarian":
+        rows, cols = linear_sum_assignment(-correlation)
+        for r, c in zip(rows, cols):
+            permutation[r] = c
+            matched[r] = correlation[r, c]
+    else:
+        remaining = correlation.copy()
+        for _ in range(R):
+            r, c = np.unravel_index(np.argmax(remaining), remaining.shape)
+            permutation[r] = c
+            matched[r] = correlation[r, c]
+            remaining[r, :] = -np.inf
+            remaining[:, c] = -np.inf
+    return permutation, matched
+
+
+def topic_alignment(
+    reference_phi: np.ndarray,
+    candidate_phi: np.ndarray,
+    method: str = "hungarian",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Align a chain's topics to a reference chain's via their ``phi`` rows.
+
+    The topic-space twin of :func:`membership_alignment`: cross-chain
+    convergence statistics on per-topic quantities are meaningless until
+    topic ``k`` of every chain denotes the same topic, which this mapping
+    provides.  ``permutation[k]`` is the candidate topic matched to
+    reference topic ``k``.
+    """
+    return distribution_alignment(reference_phi, candidate_phi, method=method)
+
+
 def membership_alignment(
     estimated_pi: np.ndarray, true_pi: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -95,18 +159,9 @@ def membership_alignment(
     """
     if estimated_pi.shape != true_pi.shape:
         raise ClusteringError("membership matrices must share a shape")
-    C = estimated_pi.shape[1]
-    if C < 1:
+    if estimated_pi.ndim != 2 or estimated_pi.shape[1] < 1:
         raise ClusteringError("need at least one community")
-    correlation = np.corrcoef(estimated_pi.T, true_pi.T)[:C, C:]
-    correlation = np.nan_to_num(correlation)
-    rows, cols = linear_sum_assignment(-correlation)
-    permutation = np.empty(C, dtype=np.int64)
-    matched = np.empty(C, dtype=np.float64)
-    for r, c in zip(rows, cols):
-        permutation[r] = c
-        matched[r] = correlation[r, c]
-    return permutation, matched
+    return distribution_alignment(estimated_pi.T, true_pi.T)
 
 
 def community_recovery_report(

@@ -234,6 +234,192 @@ class _WorkerHandle:
     conn: object  # multiprocessing.connection.Connection
 
 
+def _resolve_target(spec: str):
+    """Import ``"package.module:function"`` inside a worker process.
+
+    Targets are addressed by name rather than pickled so the pool can
+    run functions from modules that themselves import this one (the
+    multi-chain runner) without a circular import at spawn time.
+    """
+    import importlib
+
+    module_name, _, function_name = spec.partition(":")
+    if not module_name or not function_name:
+        raise EngineError(f"invalid worker target {spec!r}; expected 'module:func'")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, function_name)
+    except AttributeError as exc:
+        raise EngineError(f"worker target {spec!r} does not exist") from exc
+
+
+def task_worker_main(worker_id: int, init: dict, conn) -> None:
+    """Generic task-worker loop: call ``init['target']`` per command.
+
+    Commands are ``("run", task_id, payload)`` or ``("stop",)``; replies
+    are ``("ok", task_id, result)`` or ``("error", task_id, traceback)``.
+    ``init['common']`` holds keyword arguments shared by every task (the
+    corpus, fit settings) so they cross the process boundary once per
+    worker instead of once per task.
+    """
+    target = _resolve_target(init["target"])
+    common = init.get("common") or {}
+    _log.debug("task worker %d ready (pid %d)", worker_id, os.getpid())
+    while True:
+        try:
+            command = conn.recv()
+        except EOFError:
+            break
+        if command[0] == "stop":
+            break
+        _, task_id, payload = command
+        try:
+            result = target(**common, **payload)
+            conn.send(("ok", task_id, result))
+        except Exception:
+            conn.send(("error", task_id, traceback.format_exc()))
+
+
+class TaskWorkerPool:
+    """A small process pool running a named function over task payloads.
+
+    The multi-chain diagnostics runner
+    (:func:`repro.diagnostics.chains.run_chains`) uses this to fit K
+    independent chains concurrently.  It shares the shard pool's process
+    plumbing (spawn/reap lifecycle, pipe protocol, fork-where-available
+    start method) but dispatches *whole independent tasks* instead of
+    shared-memory shard sweeps: tasks exchange only their payload and
+    result, so no shared blocks are created and any worker can run any
+    task.
+
+    Parameters
+    ----------
+    target:
+        ``"module:function"`` resolved inside each worker.
+    num_workers:
+        Worker processes; capped by the number of submitted tasks in
+        :meth:`run_all`.
+    common:
+        Keyword arguments merged into every task's payload, shipped once
+        per worker at spawn.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available, else ``spawn``.
+    """
+
+    def __init__(
+        self,
+        target: str,
+        num_workers: int,
+        common: dict | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise EngineError(f"num_workers must be positive, got {num_workers}")
+        self._closed = False
+        self.num_workers = num_workers
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._init = {"target": target, "common": common or {}}
+        self._handles: list[_WorkerHandle] = []
+
+    def _spawn(self, worker_id: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=task_worker_main,
+            args=(worker_id, self._init, child_conn),
+            name=f"cold-task-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        _log.debug("spawned task worker %d (pid %s)", worker_id, process.pid)
+        return _WorkerHandle(worker_id, process, parent_conn)
+
+    def _reap(self, handle: _WorkerHandle) -> None:
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        handle.process.join(timeout=5)
+        if handle.process.is_alive():  # pragma: no cover - stuck worker
+            handle.process.terminate()
+            handle.process.join(timeout=5)
+
+    def run_all(self, payloads: list[dict]) -> list:
+        """Run every payload; returns results in submission order.
+
+        Tasks are dispatched to at most ``num_workers`` concurrent
+        workers, multiplexed over the reply pipes.  A worker that dies
+        mid-task raises :class:`WorkerCrashError`; a task that raises
+        re-raises as :class:`EngineError` with the worker's traceback.
+        Either way the pool is closed before raising — independent tasks
+        have no replay semantics to preserve.
+        """
+        from multiprocessing import connection as mp_connection
+
+        if self._closed:
+            raise EngineError("task pool is closed")
+        if not payloads:
+            return []
+        workers = min(self.num_workers, len(payloads))
+        try:
+            while len(self._handles) < workers:
+                self._handles.append(self._spawn(len(self._handles)))
+            results: list = [None] * len(payloads)
+            pending = list(enumerate(payloads))
+            idle = list(self._handles[:workers])
+            busy: dict = {}
+            while pending or busy:
+                while pending and idle:
+                    handle = idle.pop()
+                    task_id, payload = pending.pop(0)
+                    handle.conn.send(("run", task_id, payload))
+                    busy[handle.conn] = (handle, task_id)
+                ready = mp_connection.wait(list(busy))
+                for conn in ready:
+                    handle, task_id = busy.pop(conn)
+                    try:
+                        status, reply_id, result = conn.recv()
+                    except (EOFError, BrokenPipeError, OSError) as exc:
+                        raise WorkerCrashError(
+                            f"task worker {handle.worker_id} died running "
+                            f"task {task_id} ({type(exc).__name__})"
+                        ) from exc
+                    if status != "ok":
+                        raise EngineError(
+                            f"task {reply_id} failed in worker "
+                            f"{handle.worker_id}:\n{result}"
+                        )
+                    results[reply_id] = result
+                    idle.append(handle)
+            return results
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Stop and reap every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            try:
+                handle.conn.send(("stop",))
+            except (BrokenPipeError, OSError):  # pragma: no cover - dead worker
+                pass
+            self._reap(handle)
+        self._handles = []
+
+    def __enter__(self) -> "TaskWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 class ProcessWorkerPool:
     """A fixed pool of worker processes executing shard sweeps.
 

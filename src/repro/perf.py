@@ -29,6 +29,16 @@ layer's off-by-default-cheap contract: per-sweep wall time with
 ``metrics_out``/``trace_out`` enabled must stay within a few percent of
 a dark fit, and the drawn chain must be bit-identical either way
 (telemetry never consumes RNG).
+
+A fourth harness (:func:`run_diagnostics_overhead_case`, gated by
+``benchmarks/perf/test_diagnostics_overhead.py``, written as
+``BENCH_diagnostics.json`` by ``cold bench --diagnostics``) does the
+same for the quality-streaming diagnostics of :mod:`repro.diagnostics`:
+a stride-10 :class:`~repro.diagnostics.quality.QualityStream` must cost
+under 5% per sweep *amortised* — the statistic is the mean (not min)
+per-sweep time, because the stride concentrates the cost on every tenth
+sweep and a min would simply land on an unmetered one — and the drawn
+chain must again be bit-identical with the stream attached or not.
 """
 
 from __future__ import annotations
@@ -58,16 +68,19 @@ __all__ = [
     "MEDIUM",
     "SMOKE",
     "BenchCase",
+    "diagnostics_draws_match",
     "draws_match",
     "parallel_draws_match",
     "run_benchmark",
     "run_case",
+    "run_diagnostics_overhead_case",
     "run_parallel_benchmark",
     "run_parallel_case",
     "run_telemetry_overhead_case",
     "telemetry_draws_match",
     "write_benchmark",
     "write_parallel_benchmark",
+    "write_diagnostics_benchmark",
 ]
 
 
@@ -379,6 +392,196 @@ def run_telemetry_overhead_case(
             corpus, case, num_sweeps=equivalence_sweeps
         ),
     }
+
+
+def diagnostics_draws_match(
+    corpus: SocialCorpus,
+    case: BenchCase,
+    num_sweeps: int = 3,
+    stride: int = 1,
+) -> bool:
+    """True iff a fit with quality streaming draws the identical chain.
+
+    The diagnostics layer's contract is the same as telemetry's: strictly
+    read-only over the sampler state, zero RNG consumption.  Replays a
+    short telemetry-enabled fit with a stride-1
+    :class:`~repro.diagnostics.quality.QualityStream` attached (every
+    sweep evaluated — the worst case) and one without, from the same
+    seed, and compares every assignment array bitwise.
+    """
+    from .diagnostics.quality import QualityStream
+
+    states = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for enabled in (False, True):
+            run_dir = Path(tmp) / ("on" if enabled else "off")
+            model = COLDModel(
+                num_communities=case.num_communities,
+                num_topics=case.num_topics,
+                seed=case.seed + 1,
+                metrics_out=run_dir / "metrics.jsonl",
+            )
+            stream = QualityStream(corpus, stride=stride) if enabled else None
+            model.fit(
+                corpus,
+                num_iterations=num_sweeps,
+                likelihood_interval=1,
+                diagnostics=stream,
+            )
+            assert model.state_ is not None
+            states.append(model.state_)
+    return _states_identical(*states)
+
+
+def _timed_fit_mean_sweep_seconds(
+    model: COLDModel,
+    corpus: SocialCorpus,
+    sweeps: int,
+    diagnostics=None,
+) -> float:
+    """Fit ``model`` and return its mean inter-sweep wall time.
+
+    The mean — not the min of :func:`_timed_fit_min_sweep_seconds` — is
+    the right statistic for stride-gated work: quality streaming spends
+    its budget on every ``stride``-th sweep, so the min would land on an
+    unmetered sweep and report zero overhead regardless of the true
+    amortised cost.
+    """
+    times: list[float] = []
+    last: float | None = None
+
+    def clock(_iteration: int, _model: COLDModel) -> None:
+        nonlocal last
+        now = time.perf_counter()
+        if last is not None:
+            times.append(now - last)
+        last = now
+
+    model.fit(
+        corpus,
+        num_iterations=sweeps,
+        burn_in=sweeps - 1,
+        sample_interval=1,
+        likelihood_interval=0,
+        callback=clock,
+        diagnostics=diagnostics,
+    )
+    return sum(times) / len(times)
+
+
+def run_diagnostics_overhead_case(
+    case: BenchCase,
+    sweeps: int = 20,
+    reps: int = 4,
+    stride: int = 10,
+    equivalence_sweeps: int = 3,
+) -> dict:
+    """Amortised per-sweep cost of quality streaming; JSON-ready record.
+
+    Both modes fit with telemetry enabled (so the measured delta is the
+    quality stream itself, not the JSONL plumbing the telemetry gate
+    already covers); the "on" mode attaches a
+    :class:`~repro.diagnostics.quality.QualityStream` at ``stride``.
+    Reps alternate mode order (ABBA) and the statistic per mode is the
+    min over reps of the *mean* per-sweep wall time (see
+    :func:`_timed_fit_mean_sweep_seconds`).  ``sweeps`` should cover at
+    least two stride periods so the amortisation is real.
+    ``overhead_fraction`` is ``on/off - 1`` — the *steady-state* cost:
+    the one-time coherence co-occurrence index build is warmed outside
+    the timed fits (it would dominate at bench-scale sweep counts while
+    vanishing over a real run's hundreds of sweeps) and reported
+    separately as ``index_build_seconds``.  The perf gate asserts the
+    steady-state fraction stays under 5%.
+    """
+    from .diagnostics.quality import QualityStream
+    from .eval.coherence import CooccurrenceIndex
+
+    corpus = case.build_corpus()
+    best = {"off": math.inf, "on": math.inf}
+    # The coherence co-occurrence index is a one-time corpus scan that
+    # would otherwise land inside the first metered sweep and swamp the
+    # amortised statistic at bench-scale sweep counts; build it outside
+    # the timed region, share it across reps, report its cost separately.
+    index_start = time.perf_counter()
+    warm_index = CooccurrenceIndex(corpus)
+    index_build_seconds = time.perf_counter() - index_start
+    with tempfile.TemporaryDirectory() as tmp:
+        for rep in range(reps):
+            order = ("off", "on") if rep % 2 == 0 else ("on", "off")
+            for mode in order:
+                run_dir = Path(tmp) / f"{mode}_{rep}"
+                model = COLDModel(
+                    num_communities=case.num_communities,
+                    num_topics=case.num_topics,
+                    seed=case.seed,
+                    metrics_out=run_dir / "metrics.jsonl",
+                )
+                stream = None
+                if mode == "on":
+                    stream = QualityStream(
+                        corpus, stride=stride, index=warm_index
+                    )
+                best[mode] = min(
+                    best[mode],
+                    _timed_fit_mean_sweep_seconds(
+                        model, corpus, sweeps, diagnostics=stream
+                    ),
+                )
+    return {
+        "name": case.name,
+        "config": asdict(case),
+        "sweeps": sweeps,
+        "reps": reps,
+        "stride": stride,
+        "off_seconds_per_sweep": round(best["off"], 5),
+        "on_seconds_per_sweep": round(best["on"], 5),
+        "overhead_fraction": round(best["on"] / best["off"] - 1.0, 4),
+        "index_build_seconds": round(index_build_seconds, 3),
+        "draws_match": diagnostics_draws_match(
+            corpus, case, num_sweeps=equivalence_sweeps
+        ),
+    }
+
+
+def write_diagnostics_benchmark(
+    path: str | Path,
+    cases: tuple[BenchCase, ...] = (MEDIUM,),
+    sweeps: int = 20,
+    reps: int = 4,
+    stride: int = 10,
+    equivalence_sweeps: int = 3,
+) -> dict:
+    """Run the diagnostics overhead suite and atomically write its JSON."""
+    payload = {
+        "benchmark": "quality-streaming diagnostics overhead per Gibbs sweep",
+        "harness": "repro.perf",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "method": {
+            "sweeps": sweeps,
+            "reps": reps,
+            "stride": stride,
+            "statistic": (
+                "min over ABBA reps of mean seconds per sweep "
+                "(mean, not min: stride-gated cost is non-uniform); "
+                "one-time co-occurrence index build excluded, "
+                "reported as index_build_seconds"
+            ),
+            "baseline": "telemetry-enabled fit without a QualityStream",
+        },
+        "cases": [
+            run_diagnostics_overhead_case(
+                case,
+                sweeps=sweeps,
+                reps=reps,
+                stride=stride,
+                equivalence_sweeps=equivalence_sweeps,
+            )
+            for case in cases
+        ],
+    }
+    atomic_write_text(Path(path), json.dumps(payload, indent=2) + "\n")
+    return payload
 
 
 def parallel_draws_match(

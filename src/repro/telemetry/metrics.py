@@ -244,10 +244,31 @@ class JsonlWriter:
         with self._lock:
             if self._file is None:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
+                fresh_line = self._needs_fresh_line()
                 self._file = self.path.open("a", encoding="utf-8")
+                if fresh_line:
+                    self._file.write("\n")
             self._file.write(line + "\n")
             self._file.flush()
         return record
+
+    def _needs_fresh_line(self) -> bool:
+        """True when the file ends mid-line (a previous writer was killed).
+
+        Appending straight after a torn fragment would glue this session's
+        first record onto invalid JSON and lose it; starting on a fresh
+        line confines the damage to the fragment itself, which
+        :func:`read_jsonl` already skips.
+        """
+        try:
+            with self.path.open("rb") as existing:
+                existing.seek(0, 2)
+                if existing.tell() == 0:
+                    return False
+                existing.seek(-1, 2)
+                return existing.read(1) != b"\n"
+        except FileNotFoundError:
+            return False
 
     def close(self) -> None:
         with self._lock:
@@ -276,7 +297,10 @@ def read_jsonl(path: str | Path) -> list[dict]:
     """Load every complete record of a JSONL file; skip torn final lines.
 
     A run killed mid-write can leave a truncated last line; monitoring and
-    tests should see everything before it rather than an exception.
+    tests should see everything before it rather than an exception.  Only
+    dict records are returned — a corrupt line that happens to parse as a
+    bare JSON scalar is noise, not a record, and consumers index records
+    by key.
     """
     records: list[dict] = []
     path = Path(path)
@@ -288,7 +312,9 @@ def read_jsonl(path: str | Path) -> list[dict]:
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                record = json.loads(line)
             except json.JSONDecodeError:
                 continue
+            if isinstance(record, dict):
+                records.append(record)
     return records

@@ -24,6 +24,30 @@ def sweep_records(records: list[dict]) -> list[dict]:
     return [r for r in records if r.get("kind") == SWEEP_KIND]
 
 
+def trailing_segment(sweeps: list[dict]) -> list[dict]:
+    """The sweep records of the latest fit segment in a metrics file.
+
+    A resumed fit (``cold train --resume``) appends to the same
+    ``metrics.jsonl`` it was writing before the crash, restarting sweep
+    numbering at the checkpoint — so the file can hold several
+    overlapping sweep sequences separated by arbitrary downtime.  Rate,
+    trend, and ETA are only meaningful within the newest sequence; a
+    window that straddles the restart counts the crash's downtime as
+    sweep time and mixes duplicate sweep numbers into the trend.  A new
+    segment starts wherever the sweep number fails to increase.
+    """
+    start = 0
+    previous: int | None = None
+    for index, record in enumerate(sweeps):
+        sweep = record.get("sweep")
+        if sweep is None:
+            continue
+        if previous is not None and int(sweep) <= previous:
+            start = index
+        previous = int(sweep)
+    return sweeps[start:]
+
+
 def run_finished(records: list[dict]) -> bool:
     return any(r.get("kind") == END_KIND for r in records)
 
@@ -36,8 +60,12 @@ def summarize(records: list[dict], window: int = 20) -> dict:
     latest log-likelihood with its delta over the window, perplexity, and
     the ETA in seconds (``None`` until a rate is measurable or when the
     total is unknown).
+
+    Only the newest fit segment is analysed (see
+    :func:`trailing_segment`), so a resumed run's rate and ETA reflect
+    the live fit rather than averaging across the crash.
     """
-    sweeps = sweep_records(records)
+    sweeps = trailing_segment(sweep_records(records))
     if not sweeps:
         return {"sweeps": 0, "total_sweeps": None, "finished": run_finished(records)}
     recent = sweeps[-max(window, 2):]

@@ -162,6 +162,18 @@ class TelemetrySession:
         if self._writer is not None:
             self._writer.write("metrics", **fields, **self.metrics.snapshot())
 
+    def set_gauges(self, **values: object) -> None:
+        """Set several registry gauges at once, skipping ``None`` values.
+
+        The convenience behind stride-gated quality streaming
+        (:mod:`repro.diagnostics.quality`): its signals are optional per
+        record — ``None`` means "not measured this sweep" and leaves the
+        gauge at its previous value.
+        """
+        for name, value in values.items():
+            if value is not None:
+                self.metrics.gauge(name).set(float(value))  # type: ignore[arg-type]
+
     def end(self, **fields: object) -> None:
         """Emit the terminal ``fit_end`` record (monitor's stop signal)."""
         if not self.enabled:

@@ -1,0 +1,193 @@
+"""run_chains: multi-chain fitting, manifests, and executor equivalence."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import COLDConfig
+from repro.core.model import COLDModel
+from repro.diagnostics.chains import (
+    ChainResult,
+    MultiChainResult,
+    load_chains,
+    run_chains,
+)
+from repro.diagnostics.quality import load_quality_records
+from repro.diagnostics.stats import DiagnosticsError
+
+
+def _config(**overrides) -> COLDConfig:
+    base = dict(
+        num_communities=3,
+        num_topics=4,
+        seed=0,
+        num_iterations=10,
+        likelihood_interval=5,
+    )
+    base.update(overrides)
+    return COLDConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def serial_result(tiny_corpus, tmp_path_factory) -> MultiChainResult:
+    out = tmp_path_factory.mktemp("chains-serial")
+    return run_chains(
+        tiny_corpus,
+        _config(),
+        num_chains=2,
+        out_dir=out,
+        executor="serial",
+        stride=2,
+    )
+
+
+class TestRunChains:
+    def test_artifacts_per_chain(self, serial_result):
+        assert serial_result.num_chains == 2
+        for chain in serial_result.chains:
+            assert chain.metrics.is_file()
+            assert chain.estimates.is_file()
+            assert chain.quality_records == 5  # sweeps 2,4,6,8,10
+        seeds = [chain.seed for chain in serial_result.chains]
+        assert seeds == [0, 1]
+
+    def test_quality_streams_written(self, serial_result):
+        records = load_quality_records(serial_result.chains[0].metrics)
+        assert [r["sweep"] for r in records] == [2, 4, 6, 8, 10]
+        assert all("log_likelihood" in r for r in records)
+
+    def test_chain_zero_matches_single_fit(self, tiny_corpus, serial_result):
+        """Chain 0 is bit-identical to the equivalent plain fit."""
+        config = _config()
+        model = COLDModel(**config.model_kwargs())
+        model.fit(tiny_corpus, **config.fit_kwargs())
+        chain0 = serial_result.chains[0].load_estimates()
+        for name in ("pi", "theta", "phi", "psi", "eta"):
+            np.testing.assert_array_equal(
+                getattr(model.estimates_, name), getattr(chain0, name)
+            )
+
+    def test_chains_actually_differ(self, serial_result):
+        phi0 = serial_result.chains[0].load_estimates().phi
+        phi1 = serial_result.chains[1].load_estimates().phi
+        assert not np.array_equal(phi0, phi1)
+
+    def test_processes_executor_identical(self, tiny_corpus, tmp_path, serial_result):
+        pooled = run_chains(
+            tiny_corpus,
+            _config(),
+            num_chains=2,
+            out_dir=tmp_path / "pooled",
+            executor="processes",
+            num_workers=2,
+            stride=2,
+        )
+        for serial_chain, pooled_chain in zip(
+            serial_result.chains, pooled.chains
+        ):
+            a = serial_chain.load_estimates()
+            b = pooled_chain.load_estimates()
+            for name in ("pi", "theta", "phi", "psi", "eta"):
+                np.testing.assert_array_equal(
+                    getattr(a, name), getattr(b, name)
+                )
+
+    def test_validation(self, tiny_corpus, tmp_path):
+        with pytest.raises(DiagnosticsError):
+            run_chains(tiny_corpus, num_chains=0, out_dir=tmp_path)
+        with pytest.raises(DiagnosticsError):
+            run_chains(tiny_corpus, out_dir=tmp_path, executor="bogus")
+        with pytest.raises(DiagnosticsError):
+            run_chains(tiny_corpus, out_dir=tmp_path, num_workers=0)
+
+
+class TestManifest:
+    def test_round_trip(self, serial_result):
+        loaded = load_chains(serial_result.directory)
+        assert loaded.num_chains == serial_result.num_chains
+        assert [c.to_record() for c in loaded.chains] == [
+            c.to_record() for c in serial_result.chains
+        ]
+        # The manifest path itself also resolves.
+        assert load_chains(serial_result.manifest).num_chains == 2
+
+    def test_manifest_payload(self, serial_result):
+        payload = json.loads(serial_result.manifest.read_text())
+        assert payload["kind"] == "cold-chains"
+        assert payload["num_chains"] == 2
+        assert payload["base_seed"] == 0
+        assert payload["quality"]["stride"] == 2
+
+    def test_manifest_paths_are_directory_relative(self, serial_result):
+        payload = json.loads(serial_result.manifest.read_text())
+        record = payload["chains"][0]
+        assert record["dir"] == "chain-00"
+        assert record["metrics"] == "chain-00/metrics.jsonl"
+        assert record["estimates"] == "chain-00/estimates.npz"
+
+    def test_loaded_paths_anchor_to_manifest_directory(self, serial_result):
+        # A chains directory must diagnose identically from any working
+        # directory: loaded artefact paths resolve against the manifest's
+        # own location, not the loader's cwd.
+        loaded = load_chains(serial_result.directory)
+        for chain in loaded.chains:
+            assert chain.metrics.is_file()
+            assert chain.estimates.is_file()
+            assert chain.metrics.is_absolute() == (
+                serial_result.directory.is_absolute()
+            )
+        loaded.diagnose()  # resolves every artefact
+
+    def test_missing_chain_metrics_reported_by_path(self, serial_result):
+        from repro.diagnostics.report import diagnose
+
+        loaded = load_chains(serial_result.directory)
+        loaded.chains[1].metrics = loaded.chains[1].metrics.parent / "gone.jsonl"
+        with pytest.raises(DiagnosticsError, match="metrics file not found"):
+            diagnose(loaded)
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(DiagnosticsError):
+            load_chains(tmp_path)
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        (tmp_path / "chains.json").write_text("{not json")
+        with pytest.raises(DiagnosticsError):
+            load_chains(tmp_path)
+
+    def test_empty_manifest_rejected(self, tmp_path):
+        (tmp_path / "chains.json").write_text('{"chains": []}')
+        with pytest.raises(DiagnosticsError):
+            load_chains(tmp_path)
+
+
+class TestMultiChainResult:
+    def test_best_chain_by_final_likelihood(self, tmp_path):
+        chains = [
+            ChainResult(
+                chain_id=i,
+                seed=i,
+                dir=tmp_path,
+                metrics=tmp_path / "m.jsonl",
+                estimates=tmp_path / "e.npz",
+                final_log_likelihood=value,
+                monitor_converged=False,
+                degenerate_draws=0,
+                quality_records=0,
+            )
+            for i, value in enumerate([-100.0, -50.0, -75.0])
+        ]
+        result = MultiChainResult(directory=tmp_path, chains=chains)
+        assert result.best_chain().chain_id == 1
+
+    def test_diagnose_flags_short_run(self, serial_result):
+        """5 quality records with default discard: too short to bless."""
+        report = serial_result.diagnose()
+        assert report.num_chains == 2
+        loglik = report.quantity("joint log-likelihood")
+        assert loglik.verdict == "not converged"
+        assert any("run more sweeps" in note for note in loglik.notes)
+        assert report.verdict == "not converged"

@@ -1,0 +1,145 @@
+"""`cold train --chains` and `cold diagnose` end to end."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def corpus_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "corpus.jsonl"
+    code = main(
+        [
+            "generate",
+            str(path),
+            "--users", "25",
+            "--communities", "3",
+            "--topics", "4",
+            "--time-slices", "6",
+            "--vocab", "100",
+            "--seed", "5",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def chains_run(tmp_path_factory, corpus_path):
+    model = tmp_path_factory.mktemp("cli-chains") / "model"
+    code = main(
+        [
+            "train",
+            str(corpus_path),
+            str(model),
+            "--communities", "3",
+            "--topics", "4",
+            "--iterations", "10",
+            "--chains", "2",
+            "--diag-stride", "2",
+        ]
+    )
+    assert code == 0
+    return model
+
+
+class TestTrainChains:
+    def test_writes_chains_and_best_model(self, chains_run, capsys):
+        chains_dir = chains_run.with_suffix(".chains")
+        assert (chains_dir / "chains.json").is_file()
+        for chain in ("chain-00", "chain-01"):
+            assert (chains_dir / chain / "metrics.jsonl").is_file()
+            assert (chains_dir / chain / "estimates.npz").is_file()
+        # The best chain is exported as a normal loadable model.
+        assert chains_run.with_suffix(".json").is_file()
+        assert chains_run.with_suffix(".npz").is_file()
+        from repro.core.model import COLDModel
+
+        model = COLDModel.load(chains_run)
+        assert model.estimates_ is not None
+
+    def test_chains_incompatible_with_resume(self, corpus_path, tmp_path):
+        code = main(
+            [
+                "train",
+                str(corpus_path),
+                str(tmp_path / "model"),
+                "--chains", "2",
+                "--resume", str(tmp_path / "ckpt"),
+            ]
+        )
+        assert code == 2
+
+    def test_chains_incompatible_with_checkpointing(
+        self, corpus_path, tmp_path
+    ):
+        code = main(
+            [
+                "train",
+                str(corpus_path),
+                str(tmp_path / "model"),
+                "--chains", "2",
+                "--checkpoint-every", "5",
+            ]
+        )
+        assert code == 2
+
+
+class TestDiagnose:
+    def test_short_run_flagged_not_converged(self, chains_run, capsys):
+        code = main(["diagnose", str(chains_run.with_suffix(".chains"))])
+        out = capsys.readouterr().out
+        assert code == 1  # not converged -> exit 1
+        assert "joint log-likelihood" in out
+        assert "not converged" in out
+        assert "run more sweeps" in out
+
+    def test_json_output(self, chains_run, capsys):
+        code = main(
+            ["diagnose", str(chains_run.with_suffix(".chains")), "--json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "not converged"
+        assert payload["num_chains"] == 2
+        assert payload["thresholds"]["rhat"] == 1.1
+
+    def test_single_metrics_file(self, chains_run, capsys):
+        metrics = (
+            chains_run.with_suffix(".chains") / "chain-00" / "metrics.jsonl"
+        )
+        code = main(["diagnose", str(metrics)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "1 chain(s)" in out
+
+    def test_multiple_metrics_files(self, chains_run, capsys):
+        chains_dir = chains_run.with_suffix(".chains")
+        code = main(
+            [
+                "diagnose",
+                str(chains_dir / "chain-00" / "metrics.jsonl"),
+                str(chains_dir / "chain-01" / "metrics.jsonl"),
+            ]
+        )
+        assert code == 1
+        assert "2 chain(s)" in capsys.readouterr().out
+
+    def test_missing_source_is_typed_error(self, tmp_path, capsys):
+        code = main(["diagnose", str(tmp_path / "nope")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_threshold_is_typed_error(self, chains_run, capsys):
+        code = main(
+            [
+                "diagnose",
+                str(chains_run.with_suffix(".chains")),
+                "--rhat-threshold", "0.9",
+            ]
+        )
+        assert code == 2

@@ -1,0 +1,316 @@
+"""diagnose(): verdict rules, label-switching alignment, and rendering.
+
+These tests feed hand-written metrics JSONL streams (the same shape a
+:class:`~repro.diagnostics.quality.QualityStream` emits) to
+:func:`repro.diagnostics.diagnose`, so every verdict branch is exercised
+with exactly known chains instead of slow Gibbs fits.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.diagnostics.report import (
+    VERDICT_CONVERGED,
+    VERDICT_INCONCLUSIVE,
+    VERDICT_NOT_CONVERGED,
+    diagnose,
+)
+from repro.diagnostics.stats import DiagnosticsError
+
+
+def _write_chain(
+    path,
+    loglik,
+    tokens=None,
+    eta_diag=0.6,
+    eta_offdiag=0.2,
+    coherence=-1.5,
+):
+    """A synthetic quality stream: one record per loglik sample."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for index, value in enumerate(loglik):
+            record = {
+                "ts": float(index),
+                "kind": "quality",
+                "sweep": (index + 1) * 5,
+                "log_likelihood": float(value),
+                "eta_diag_mean": eta_diag,
+                "eta_offdiag_mean": eta_offdiag,
+                "coherence": coherence,
+            }
+            if tokens is not None:
+                record["topic_tokens"] = [int(v) for v in tokens[index]]
+            handle.write(json.dumps(record) + "\n")
+
+
+def _noise(n, loc=0.0, scale=1.0, seed=0):
+    return np.random.default_rng(seed).normal(loc, scale, size=n)
+
+
+class TestVerdicts:
+    def test_well_mixed_chains_converge(self, tmp_path):
+        paths = []
+        for chain in range(3):
+            path = tmp_path / f"chain-{chain}" / "metrics.jsonl"
+            _write_chain(path, _noise(40, loc=-500.0, seed=chain))
+            paths.append(path)
+        report = diagnose(paths)
+        loglik = report.quantity("joint log-likelihood")
+        assert loglik.verdict == VERDICT_CONVERGED
+        assert loglik.rhat == pytest.approx(1.0, abs=0.1)
+        assert loglik.ess >= 10
+        assert report.verdict == VERDICT_CONVERGED
+
+    def test_stuck_chains_disagree(self, tmp_path):
+        paths = []
+        for chain, loc in enumerate([-500.0, -500.0, -800.0]):
+            path = tmp_path / f"chain-{chain}" / "metrics.jsonl"
+            _write_chain(path, _noise(40, loc=loc, seed=chain))
+            paths.append(path)
+        report = diagnose(paths)
+        loglik = report.quantity("joint log-likelihood")
+        assert loglik.verdict == VERDICT_NOT_CONVERGED
+        assert loglik.rhat > 1.1
+        assert any("chains disagree" in note for note in loglik.notes)
+        assert report.verdict == VERDICT_NOT_CONVERGED
+
+    def test_short_run_flagged_not_blessed(self, tmp_path):
+        """A smoke run must come back 'not converged', never 'converged'."""
+        paths = []
+        for chain in range(3):
+            path = tmp_path / f"chain-{chain}" / "metrics.jsonl"
+            _write_chain(path, _noise(5, loc=-500.0, seed=chain))
+            paths.append(path)
+        report = diagnose(paths)
+        loglik = report.quantity("joint log-likelihood")
+        assert loglik.verdict == VERDICT_NOT_CONVERGED
+        assert any("run more sweeps" in note for note in loglik.notes)
+
+    def test_single_stationary_chain_uses_geweke(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        _write_chain(path, _noise(60, loc=-500.0, seed=5))
+        report = diagnose(path)
+        loglik = report.quantity("joint log-likelihood")
+        assert loglik.verdict == VERDICT_CONVERGED
+        assert np.isnan(loglik.rhat)
+        assert any("--chains" in note for note in loglik.notes)
+
+    def test_single_drifting_chain_not_converged(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        drift = np.linspace(-900.0, -500.0, 60) + _noise(60, scale=0.5)
+        _write_chain(path, drift)
+        report = diagnose(path)
+        loglik = report.quantity("joint log-likelihood")
+        assert loglik.verdict == VERDICT_NOT_CONVERGED
+        assert loglik.geweke_z > 2.0
+
+    def test_low_ess_is_inconclusive(self, tmp_path):
+        # Chains agree in level but are so autocorrelated the draws carry
+        # almost no information: R-hat passes, ESS fails.
+        paths = []
+        for chain in range(2):
+            rng = np.random.default_rng(chain + 10)
+            values = np.empty(300)
+            values[0] = -500.0
+            for t in range(1, 300):  # mean-reverting AR(1), rho = 0.9
+                values[t] = -500.0 + 0.9 * (values[t - 1] + 500.0) + (
+                    rng.normal(0.0, 0.4)
+                )
+            path = tmp_path / f"chain-{chain}" / "metrics.jsonl"
+            _write_chain(path, values)
+            paths.append(path)
+        report = diagnose(paths, ess_min=80.0, rhat_threshold=2.0)
+        loglik = report.quantity("joint log-likelihood")
+        assert loglik.verdict == VERDICT_INCONCLUSIVE
+        assert any("effective sample size" in note for note in loglik.notes)
+
+    def test_discard_drops_warmup(self, tmp_path):
+        # First half is a violent transient; the kept half is clean, so
+        # the default 50% discard rescues the verdict.
+        paths = []
+        for chain in range(3):
+            transient = np.linspace(-5000.0, -520.0, 30)
+            settled = _noise(30, loc=-500.0, seed=chain)
+            path = tmp_path / f"chain-{chain}" / "metrics.jsonl"
+            _write_chain(path, np.concatenate([transient, settled]))
+            paths.append(path)
+        assert (
+            diagnose(paths).quantity("joint log-likelihood").verdict
+            == VERDICT_CONVERGED
+        )
+        assert (
+            diagnose(paths, discard=0.0)
+            .quantity("joint log-likelihood")
+            .verdict
+            == VERDICT_NOT_CONVERGED
+        )
+
+    def test_unequal_chains_truncated_with_note(self, tmp_path):
+        paths = []
+        for chain, n in enumerate([40, 30]):
+            path = tmp_path / f"chain-{chain}" / "metrics.jsonl"
+            _write_chain(path, _noise(n, loc=-500.0, seed=chain))
+            paths.append(path)
+        report = diagnose(paths)
+        assert report.samples_per_chain == 30
+        assert any("unequal record counts" in note for note in report.notes)
+
+
+class TestTopicAlignment:
+    C, K, V = 2, 3, 6
+
+    def _estimates(self, sigma=None):
+        from repro.core.estimates import ParameterEstimates
+
+        phi = np.full((self.K, self.V), 0.02)
+        for k in range(self.K):
+            phi[k, 2 * k] = 0.5
+        phi /= phi.sum(axis=1, keepdims=True)
+        if sigma is not None:
+            phi = phi[sigma]
+        return ParameterEstimates(
+            pi=np.full((4, self.C), 0.5),
+            theta=np.full((self.C, self.K), 1.0 / self.K),
+            phi=phi,
+            psi=np.full((self.K, self.C, 2), 0.5),
+            eta=np.full((self.C, self.C), 0.5),
+        )
+
+    def _chain_dir(self, tmp_path, name, tokens, sigma=None):
+        path = tmp_path / name / "metrics.jsonl"
+        _write_chain(path, _noise(40, loc=-500.0, seed=hash(name) % 100), tokens)
+        self._estimates(sigma).save(path.parent / "estimates.npz")
+        return path
+
+    def test_permuted_topics_realigned(self, tmp_path):
+        # Chain 1 found the same topics under a permuted labelling; the
+        # per-topic token counts only agree after phi-based alignment.
+        base = np.array([100, 200, 300])
+        sigma = np.array([2, 0, 1])  # chain 1's topic j is topic sigma[j]
+        tokens0 = np.tile(base, (40, 1))
+        tokens1 = np.tile(base[sigma], (40, 1))
+        paths = [
+            self._chain_dir(tmp_path, "chain-0", tokens0),
+            self._chain_dir(tmp_path, "chain-1", tokens1, sigma),
+        ]
+        report = diagnose(paths)
+        topic = next(
+            q for q in report.quantities if q.name.startswith("topic tokens")
+        )
+        assert topic.verdict == VERDICT_CONVERGED
+        assert any("constant across chains" in note for note in topic.notes)
+
+    def test_without_estimates_alignment_skipped_with_note(self, tmp_path):
+        base = np.array([100, 200, 300])
+        sigma = np.array([2, 0, 1])
+        paths = []
+        for name, tokens in (
+            ("chain-0", np.tile(base, (40, 1))),
+            ("chain-1", np.tile(base[sigma], (40, 1))),
+        ):
+            path = tmp_path / name / "metrics.jsonl"
+            _write_chain(path, _noise(40, loc=-500.0, seed=len(paths)), tokens)
+            paths.append(path)
+        report = diagnose(paths)
+        topic = next(
+            q for q in report.quantities if q.name.startswith("topic tokens")
+        )
+        # Unaligned constant-but-permuted counts can never agree.
+        assert topic.verdict == VERDICT_NOT_CONVERGED
+        assert any("without label-switching" in note for note in report.notes)
+
+
+class TestReportSurface:
+    def _converged_report(self, tmp_path):
+        paths = []
+        for chain in range(2):
+            path = tmp_path / f"chain-{chain}" / "metrics.jsonl"
+            _write_chain(path, _noise(40, loc=-500.0, seed=chain))
+            paths.append(path)
+        return diagnose(paths)
+
+    def test_render_contains_table_and_overall(self, tmp_path):
+        text = self._converged_report(tmp_path).render()
+        assert "quantity" in text and "R-hat" in text
+        assert "joint log-likelihood" in text
+        assert "overall:" in text
+        assert "R-hat <= 1.1" in text
+
+    def test_quality_trajectories_rendered(self, tmp_path):
+        report = self._converged_report(tmp_path)
+        assert [q.name for q in report.quality] == ["coherence"]
+        assert report.quality[0].final_spread == 0.0
+        assert "quality trajectories" in report.render()
+
+    def test_json_round_trip_maps_nan_to_null(self, tmp_path):
+        report = self._converged_report(tmp_path)
+        payload = json.loads(report.to_json())
+        assert payload["verdict"] == report.verdict
+        assert payload["num_chains"] == 2
+        names = [q["name"] for q in payload["quantities"]]
+        assert "joint log-likelihood" in names
+        for quantity in payload["quantities"]:
+            for key in ("rhat", "ess", "geweke_z"):
+                assert quantity[key] is None or isinstance(
+                    quantity[key], float
+                )
+
+    def test_unknown_quantity_lookup_rejected(self, tmp_path):
+        with pytest.raises(DiagnosticsError):
+            self._converged_report(tmp_path).quantity("nonsense")
+
+
+class TestValidation:
+    def test_bad_discard(self, tmp_path):
+        with pytest.raises(DiagnosticsError):
+            diagnose([tmp_path / "x.jsonl"], discard=1.0)
+
+    def test_bad_rhat_threshold(self, tmp_path):
+        with pytest.raises(DiagnosticsError):
+            diagnose([tmp_path / "x.jsonl"], rhat_threshold=1.0)
+
+    def test_bad_min_samples(self, tmp_path):
+        with pytest.raises(DiagnosticsError):
+            diagnose([tmp_path / "x.jsonl"], min_samples=2)
+
+    def test_missing_metrics_file(self, tmp_path):
+        with pytest.raises(DiagnosticsError):
+            diagnose([tmp_path / "absent.jsonl"])
+
+    def test_empty_source_list(self):
+        with pytest.raises(DiagnosticsError):
+            diagnose([])
+
+    def test_metrics_without_likelihood_rejected(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text('{"kind": "fit_start", "ts": 0.0}\n')
+        with pytest.raises(DiagnosticsError, match="log-likelihood"):
+            diagnose(path)
+
+    def test_sweep_record_fallback(self, tmp_path):
+        # No quality stream, but a telemetry-enabled fit still embeds the
+        # likelihood in its sweep records — diagnose works from those.
+        path = tmp_path / "metrics.jsonl"
+        values = _noise(60, loc=-500.0, seed=9)
+        with path.open("w") as handle:
+            for index, value in enumerate(values):
+                handle.write(
+                    json.dumps(
+                        {
+                            "ts": float(index),
+                            "kind": "sweep",
+                            "sweep": index + 1,
+                            "log_likelihood": float(value),
+                        }
+                    )
+                    + "\n"
+                )
+        report = diagnose(path)
+        assert report.quantity("joint log-likelihood").verdict == (
+            VERDICT_CONVERGED
+        )

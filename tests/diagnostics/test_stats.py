@@ -1,0 +1,165 @@
+"""Known-answer and edge-case tests for the convergence statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.diagnostics.stats import (
+    DiagnosticsError,
+    adaptive_first_fraction,
+    effective_sample_size,
+    geweke_zscore,
+    potential_scale_reduction,
+    split_chains,
+    split_rhat,
+    stationarity_start,
+)
+
+
+def _iid_chains(m: int, n: int, loc: float = 0.0, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).normal(loc, 1.0, size=(m, n))
+
+
+def _ar1(n: int, rho: float, seed: int = 0) -> np.ndarray:
+    """A strongly autocorrelated (AR(1)) chain."""
+    rng = np.random.default_rng(seed)
+    chain = np.empty(n)
+    chain[0] = rng.normal()
+    for t in range(1, n):
+        chain[t] = rho * chain[t - 1] + math.sqrt(1 - rho**2) * rng.normal()
+    return chain
+
+
+class TestSplitChains:
+    def test_halves_even_length(self):
+        array = np.arange(20, dtype=float).reshape(2, 10)
+        halves = split_chains(array)
+        assert halves.shape == (4, 5)
+        np.testing.assert_array_equal(halves[0], array[0, :5])
+        np.testing.assert_array_equal(halves[2], array[0, 5:])
+
+    def test_odd_trailing_sample_dropped(self):
+        halves = split_chains(np.arange(7, dtype=float))
+        assert halves.shape == (2, 3)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(DiagnosticsError):
+            split_chains(np.array([1.0]))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(DiagnosticsError):
+            split_chains(np.array([1.0, np.nan, 2.0, 3.0]))
+
+    def test_three_dimensional_rejected(self):
+        with pytest.raises(DiagnosticsError):
+            split_chains(np.zeros((2, 3, 4)))
+
+
+class TestRhat:
+    def test_mixed_chains_near_one(self):
+        chains = _iid_chains(4, 500)
+        assert split_rhat(chains) == pytest.approx(1.0, abs=0.05)
+
+    def test_offset_chains_flagged(self):
+        chains = _iid_chains(3, 200)
+        chains[0] += 5.0
+        assert split_rhat(chains) > 2.0
+
+    def test_within_chain_drift_flagged_even_alone(self):
+        # A lone drifting chain: splitting in half exposes the trend.
+        drift = np.linspace(0.0, 10.0, 200) + _iid_chains(1, 200)[0] * 0.1
+        assert split_rhat(drift) > 1.5
+
+    def test_identical_constant_chains_agree_perfectly(self):
+        assert potential_scale_reduction(np.full((3, 10), 2.5)) == 1.0
+
+    def test_distinct_constant_chains_never_agree(self):
+        chains = np.stack([np.full(10, 1.0), np.full(10, 2.0)])
+        assert potential_scale_reduction(chains) == math.inf
+
+    def test_single_chain_unsplit_is_nan(self):
+        assert math.isnan(potential_scale_reduction(np.arange(10.0)))
+
+    def test_too_few_samples_is_nan(self):
+        assert math.isnan(split_rhat(np.zeros((3, 3))))
+
+
+class TestEffectiveSampleSize:
+    def test_iid_chains_near_total(self):
+        chains = _iid_chains(4, 400)
+        ess = effective_sample_size(chains)
+        assert 800 <= ess <= 1600
+
+    def test_autocorrelated_chain_shrinks(self):
+        chain = _ar1(1000, rho=0.95)
+        ess = effective_sample_size(chain)
+        assert ess < 200  # iid would be ~1000
+
+    def test_capped_at_total_draws(self):
+        chains = _iid_chains(2, 50, seed=3)
+        assert effective_sample_size(chains) <= 100
+
+    def test_constant_chains_nan(self):
+        assert math.isnan(effective_sample_size(np.full((2, 20), 1.0)))
+
+    def test_too_short_nan(self):
+        assert math.isnan(effective_sample_size(np.zeros((2, 3))))
+
+
+class TestGeweke:
+    def test_stationary_chain_small_z(self):
+        chain = _iid_chains(1, 400, seed=1)[0]
+        assert abs(geweke_zscore(chain)) < 2.5
+
+    def test_trending_chain_large_z(self):
+        chain = np.linspace(0.0, 10.0, 200) + _iid_chains(1, 200)[0] * 0.1
+        assert abs(geweke_zscore(chain)) > 4.0
+
+    def test_constant_chain_is_zero(self):
+        assert geweke_zscore(np.full(40, 3.0)) == 0.0
+
+    def test_short_chain_nan(self):
+        assert math.isnan(geweke_zscore(np.arange(5.0)))
+
+    def test_adaptive_first_fraction(self):
+        assert adaptive_first_fraction(100) == pytest.approx(0.1)
+        assert adaptive_first_fraction(20) == pytest.approx(0.2)
+        assert adaptive_first_fraction(10) == pytest.approx(0.4)
+        assert adaptive_first_fraction(4) == pytest.approx(0.4)
+        assert adaptive_first_fraction(0) == pytest.approx(0.1)
+
+    def test_overlapping_segments_rejected(self):
+        with pytest.raises(DiagnosticsError):
+            geweke_zscore(np.arange(100.0), first=0.7, last=0.5)
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(DiagnosticsError):
+            geweke_zscore(np.zeros((2, 10)))
+
+
+class TestStationarityStart:
+    def test_stationary_from_the_start(self):
+        chain = _iid_chains(1, 300, seed=2)[0]
+        assert stationarity_start(chain) == 0
+
+    def test_transient_then_flat_finds_cutoff(self):
+        transient = np.linspace(20.0, 0.0, 100)
+        flat = _iid_chains(1, 200, seed=4)[0] * 0.5
+        start = stationarity_start(np.concatenate([transient, flat]))
+        assert start is not None
+        assert start > 0
+
+    def test_endless_drift_has_no_start(self):
+        chain = np.linspace(0.0, 50.0, 300) + _iid_chains(1, 300)[0] * 0.01
+        assert stationarity_start(chain) is None
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(DiagnosticsError):
+            stationarity_start(np.arange(100.0), fractions=(1.5,))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(DiagnosticsError):
+            stationarity_start(np.zeros((2, 10)))

@@ -11,6 +11,7 @@ from repro.telemetry.monitor import (
     run_finished,
     summarize,
     sweep_records,
+    trailing_segment,
 )
 
 
@@ -79,6 +80,50 @@ class TestSummarize:
         summary = summarize(records)
         assert summary["log_likelihood"] is None
         assert summary["log_likelihood_delta"] is None
+
+
+class TestResumedRuns:
+    """A resumed fit appends to the same metrics file, restarting sweep
+    numbering at the checkpoint — rate/ETA must come from the live
+    segment only, not average across the crash."""
+
+    def _resumed_records(self):
+        # Crash at sweep 12 after checkpointing at 10; the resumed fit
+        # starts an hour later and re-runs sweeps 11+ twice as fast.
+        before = _sweeps(12, total=20, t0=1000.0, dt=1.0)
+        after = _sweeps(20, total=20, t0=5000.0, dt=0.5)[10:]
+        return before + after
+
+    def test_trailing_segment_detection(self):
+        records = self._resumed_records()
+        segment = trailing_segment(records)
+        assert [r["sweep"] for r in segment] == list(range(11, 21))
+        # No restart: the whole sequence is one segment.
+        assert trailing_segment(_sweeps(5)) == _sweeps(5)
+        assert trailing_segment([]) == []
+
+    def test_rate_and_eta_use_live_segment(self):
+        summary = summarize(self._resumed_records(), window=50)
+        assert summary["sweeps"] == 20
+        # 2 sweeps/s from the post-resume records; averaging across the
+        # pre-crash hour would give a rate ~1000x smaller.
+        assert summary["sweeps_per_second"] == pytest.approx(2.0)
+        assert summary["mean_sweep_seconds"] == pytest.approx(0.5)
+
+    def test_eta_ignores_crash_downtime(self):
+        before = _sweeps(12, total=20, t0=1000.0, dt=1.0)
+        after = _sweeps(16, total=20, t0=5000.0, dt=0.5)[10:]
+        summary = summarize(before + after, window=50)
+        assert summary["sweeps"] == 16
+        # 4 sweeps left at 2/s.
+        assert summary["eta_seconds"] == pytest.approx(2.0)
+
+    def test_likelihood_trend_not_polluted_by_duplicates(self):
+        # Pre-crash sweeps 11-12 duplicate post-resume sweeps 11-12; the
+        # window must not mix the two sequences.
+        summary = summarize(self._resumed_records(), window=50)
+        assert summary["log_likelihood"] == pytest.approx(-800.0)
+        assert summary["log_likelihood_delta"] == pytest.approx(90.0)
 
 
 class TestRenderSummary:

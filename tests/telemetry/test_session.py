@@ -190,3 +190,21 @@ class TestWorkerGlue:
         session = TelemetrySession.create(metrics_path=tmp_path / "m.jsonl")
         session.absorb_worker_payload({})  # no logs, no spans, no tracer
         session.close()
+
+
+class TestSetGauges:
+    def test_sets_all_non_none_values(self, tmp_path):
+        session = TelemetrySession.create(metrics_path=tmp_path / "m.jsonl")
+        session.set_gauges(coherence=-1.5, nmi=0.8, holdout_perplexity=None)
+        snapshot = session.metrics.snapshot()["gauges"]
+        assert snapshot["coherence"] == -1.5
+        assert snapshot["nmi"] == 0.8
+        assert "holdout_perplexity" not in snapshot
+        session.close()
+
+    def test_none_preserves_previous_value(self, tmp_path):
+        session = TelemetrySession.create(metrics_path=tmp_path / "m.jsonl")
+        session.set_gauges(coherence=-2.0)
+        session.set_gauges(coherence=None)
+        assert session.metrics.snapshot()["gauges"]["coherence"] == -2.0
+        session.close()
