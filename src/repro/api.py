@@ -21,6 +21,12 @@ several independently seeded chains concurrently and :func:`diagnose`
 turns their metrics into a :class:`DiagnosticsReport` verdict (the
 ``cold train --chains`` / ``cold diagnose`` pair, as a library call).
 
+The serving layer's stable surface is re-exported as well:
+:class:`ModelServer` answers the four query families in-process over a
+saved model's tensors, and :class:`ColdHTTPServer` +
+:class:`ServerConfig` are the ``cold serve`` HTTP front end (deadlines,
+load shedding, hot-swap reload) for embedding in your own process.
+
 The classes behind these functions (:class:`repro.COLDModel` and
 friends) remain public for advanced use — callbacks, checkpointing,
 resume, the parallel engine — this module is the stable subset that will
@@ -42,15 +48,20 @@ from .diagnostics import (
     diagnose,
     run_chains,
 )
+from .serving import ColdHTTPServer, ModelServer, ServerConfig, ServingError
 from .telemetry.logconfig import configure_logging
 
 __all__ = [
     "COLDConfig",
+    "ColdHTTPServer",
     "ConfigError",
     "ConvergenceMonitor",
     "DiagnosticsReport",
+    "ModelServer",
     "MultiChainResult",
     "QualityStream",
+    "ServerConfig",
+    "ServingError",
     "configure_logging",
     "diagnose",
     "fit",

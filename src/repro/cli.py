@@ -17,7 +17,14 @@ Subcommands mirror the lifecycle of a COLD study:
   sweep rate, log-likelihood trend, ETA;
 * ``diagnose``  — convergence verdict for a run: split-R̂ / ESS across
   chains, Geweke for single chains, quality trajectories (see
-  :mod:`repro.diagnostics`).
+  :mod:`repro.diagnostics`);
+* ``serve``     — the resilient prediction server (see
+  :mod:`repro.serving`): retweet/link/timestamp/influential queries over
+  HTTP with deadlines, load shedding, health probes, and hot-swap reload.
+
+``train`` handles SIGINT/SIGTERM gracefully: the fit stops at the next
+sweep boundary, writes a final checkpoint when checkpointing is enabled,
+and exits with code 3 (instead of a KeyboardInterrupt traceback).
 
 ``train --chains N`` fits N independently seeded chains concurrently
 (each streaming quality metrics into its own ``metrics.jsonl``), saves
@@ -37,13 +44,17 @@ as :class:`repro.api.COLDConfig`.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
+import threading
+from collections.abc import Callable, Iterator
 from pathlib import Path
 
 from .core.diffusion import extract_diffusion_graph
 from .core.estimates import EstimateError
 from .core.influence import community_influence, pentagon_embedding
-from .core.model import COLDModel, ModelError
+from .core.model import COLDModel, ModelError, TrainingInterrupted
 from .core.patterns import top_words
 from .core.prediction import predict_timestamp
 from .core.state import StateError
@@ -57,6 +68,7 @@ from .parallel.engine import EngineError
 from .parallel.sampler import ParallelCOLDSampler
 from .resilience.checkpoint import CheckpointError
 from .resilience.retry import RetryError
+from .serving.robustness import ServingError
 from .telemetry.logconfig import configure_logging
 from .telemetry.metrics import TelemetryError
 from .telemetry.monitor import monitor as _monitor_metrics
@@ -74,6 +86,7 @@ _CLI_ERRORS = (
     EngineError,
     StateError,
     RetryError,
+    ServingError,
     TelemetryError,
     FileNotFoundError,
     IsADirectoryError,
@@ -272,6 +285,19 @@ def _add_bench(subparsers: argparse._SubParsersAction) -> None:
         "off) instead of the serial Gibbs kernels",
     )
     parser.add_argument(
+        "--serving", action="store_true",
+        help="benchmark the prediction serving layer (QPS and client-side "
+        "p50/p99 over a live loopback server) instead of the Gibbs kernels",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=600,
+        help="timed requests per --serving case (default: 600)",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=4,
+        help="client threads for --serving (default: 4)",
+    )
+    parser.add_argument(
         "--stride", type=int, default=10,
         help="quality-streaming stride for --diagnostics (default: 10)",
     )
@@ -327,6 +353,60 @@ def _add_monitor(subparsers: argparse._SubParsersAction) -> None:
         "--max-updates", type=int, default=None, metavar="N",
         help="stop --follow after N render cycles even if the run "
         "has not finished (for scripts)",
+    )
+
+
+def _add_serve(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="serve a trained model's predictions over HTTP",
+        description="Boot the resilient prediction server on a saved "
+        "model: JSON endpoints for retweet/link/timestamp/influential "
+        "queries plus /healthz, /readyz, and /metrics; every request gets "
+        "a deadline and a bounded admission queue (overload sheds with "
+        "503 + Retry-After).  SIGHUP or POST /admin/reload hot-swaps the "
+        "model after validating it (rolls back on failure); "
+        "SIGTERM/SIGINT drain in-flight requests and exit cleanly.",
+    )
+    parser.add_argument("model", type=Path, help="model path (no suffix)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="TCP port (0 picks a free one)"
+    )
+    parser.add_argument(
+        "--deadline-ms", type=int, default=2000, metavar="MS",
+        help="default per-request deadline; clients may lower it per "
+        "request via a deadline_ms body field or X-Deadline-Ms header",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="concurrent requests executing (default: 8)",
+    )
+    parser.add_argument(
+        "--max-waiting", type=int, default=16, metavar="N",
+        help="requests allowed to wait for a slot; beyond this they are "
+        "shed immediately (default: 16)",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive degenerate results that open the circuit "
+        "breaker (default: 3)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown", type=float, default=5.0, metavar="SECONDS",
+        help="cooldown before the open breaker lets a probe through",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=1024, metavar="N",
+        help="hot-user fold cache entries (default: 1024)",
+    )
+    parser.add_argument(
+        "--top-comm", type=int, default=5, metavar="S",
+        help="TopComm truncation of retweet scoring (default: 5)",
+    )
+    parser.add_argument(
+        "--ic-simulations", type=int, default=100, metavar="N",
+        help="Monte-Carlo runs per influential-community query",
     )
 
 
@@ -388,7 +468,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_bench(subparsers)
     _add_monitor(subparsers)
     _add_diagnose(subparsers)
+    _add_serve(subparsers)
     return parser
+
+
+@contextlib.contextmanager
+def _graceful_interrupts() -> Iterator[Callable[[], bool]]:
+    """SIGINT/SIGTERM set a stop flag instead of raising mid-sweep.
+
+    Yields the flag poll; the fit loop checks it at sweep boundaries and
+    raises :class:`TrainingInterrupted` with consistent state (writing a
+    final checkpoint when enabled).  Previous handlers are restored on
+    exit so a hung post-interrupt phase can still be killed normally.
+    """
+    stop = threading.Event()
+
+    def handler(signum: int, frame: object) -> None:
+        stop.set()
+
+    previous = [
+        (sig, signal.signal(sig, handler))
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    ]
+    try:
+        yield stop.is_set
+    finally:
+        for sig, old in previous:
+            signal.signal(sig, old)
+
+
+def _report_interrupt(exc: TrainingInterrupted, args: argparse.Namespace) -> int:
+    """One-line interrupt report + resume hint; exit code 3."""
+    print(f"interrupted: {exc}", file=sys.stderr)
+    if exc.checkpoint is not None:
+        print(
+            f"resume with: cold train {args.corpus} {args.model} "
+            f"--resume {exc.checkpoint}",
+            file=sys.stderr,
+        )
+    return 3
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -430,7 +548,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
             )
         corpus = load_corpus(args.corpus)
         print(f"resuming from {args.resume}")
-        model = COLDModel.resume(args.resume, corpus=corpus)
+        with _graceful_interrupts() as stop_requested:
+            try:
+                model = COLDModel.resume(
+                    args.resume, corpus=corpus, stop_requested=stop_requested
+                )
+            except TrainingInterrupted as exc:
+                return _report_interrupt(exc, args)
         _report_degeneracy(model)
         model.save(args.model)
         print(f"saved model -> {args.model}.json / .npz")
@@ -483,20 +607,25 @@ def _cmd_train(args: argparse.Namespace) -> int:
         model.monitor_ = sampler.monitor_
         _report_degeneracy(model)
     else:
-        model = COLDModel(
-            num_communities=args.communities,
-            num_topics=args.topics,
-            include_network=not args.no_network,
-            seed=args.seed,
-            fast=fast,
-            metrics_out=args.metrics_out,
-            trace_out=args.trace_out,
-        ).fit(
-            corpus,
-            num_iterations=args.iterations,
-            checkpoint_every=checkpoint_every,
-            checkpoint_dir=checkpoint_dir,
-        )
+        with _graceful_interrupts() as stop_requested:
+            try:
+                model = COLDModel(
+                    num_communities=args.communities,
+                    num_topics=args.topics,
+                    include_network=not args.no_network,
+                    seed=args.seed,
+                    fast=fast,
+                    metrics_out=args.metrics_out,
+                    trace_out=args.trace_out,
+                ).fit(
+                    corpus,
+                    num_iterations=args.iterations,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_dir=checkpoint_dir,
+                    stop_requested=stop_requested,
+                )
+            except TrainingInterrupted as exc:
+                return _report_interrupt(exc, args)
         if checkpoint_every is not None:
             print(f"checkpoints every {checkpoint_every} sweeps -> {checkpoint_dir}")
         _report_degeneracy(model)
@@ -636,10 +765,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_benchmark,
         write_diagnostics_benchmark,
         write_parallel_benchmark,
+        write_serving_benchmark,
     )
 
-    if args.parallel and args.diagnostics:
-        raise TelemetryError("--parallel and --diagnostics are exclusive")
+    exclusive = [args.parallel, args.diagnostics, args.serving]
+    if sum(exclusive) > 1:
+        raise TelemetryError(
+            "--parallel, --diagnostics, and --serving are exclusive"
+        )
     available = {"smoke": SMOKE, "medium": MEDIUM}
     case_names = args.cases
     if case_names is None:
@@ -654,9 +787,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             output = Path("BENCH_parallel.json")
         elif args.diagnostics:
             output = Path("BENCH_diagnostics.json")
+        elif args.serving:
+            output = Path("BENCH_serving.json")
         else:
             output = Path("BENCH_gibbs.json")
     print(f"benchmarking {len(cases)} case(s): {', '.join(c.name for c in cases)}")
+
+    if args.serving:
+        payload = write_serving_benchmark(
+            output,
+            cases=cases,
+            num_requests=args.requests,
+            concurrency=args.concurrency,
+        )
+        for record in payload["cases"]:
+            print(
+                f"{record['name']:>8}: {record['qps']:.0f} qps, "
+                f"p50 {record['p50_ms']:.2f}ms, p99 {record['p99_ms']:.2f}ms, "
+                f"{record['completed']}/{record['num_requests']} ok, "
+                f"{record['errors']} errors"
+            )
+        print(f"wrote benchmark -> {output}")
+        return 0
 
     if args.diagnostics:
         payload = write_diagnostics_benchmark(
@@ -738,6 +890,32 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import ColdHTTPServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        deadline_ms=args.deadline_ms,
+        max_inflight=args.max_inflight,
+        max_waiting=args.max_waiting,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_seconds=args.breaker_cooldown,
+        cache_size=args.cache_size,
+        top_comm_size=args.top_comm,
+        ic_simulations=args.ic_simulations,
+    )
+    server = ColdHTTPServer(config, model_path=args.model)
+    checks = server.engine.self_check()
+    print(f"model {args.model}: self-check ok {checks}", flush=True)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port}", flush=True)
+    server.install_signal_handlers()
+    server.serve_until_shutdown()
+    print("drained cleanly")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
@@ -747,6 +925,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "monitor": _cmd_monitor,
     "diagnose": _cmd_diagnose,
+    "serve": _cmd_serve,
 }
 
 
@@ -760,6 +939,15 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except TrainingInterrupted as exc:
+        # Fallback for interrupts surfacing outside _cmd_train's handler.
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 3
+    except KeyboardInterrupt:
+        # Paths without cooperative stop support (parallel fits, chains):
+        # a clean one-liner instead of a traceback.
+        print("error: interrupted", file=sys.stderr)
+        return 130
     except _CLI_ERRORS as exc:
         message = " ".join(str(exc).split())
         print(f"error: {type(exc).__name__}: {message}", file=sys.stderr)

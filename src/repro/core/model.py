@@ -49,6 +49,24 @@ class ModelError(RuntimeError):
     """Raised on invalid model usage (e.g. estimates before fit)."""
 
 
+class TrainingInterrupted(ModelError):
+    """A fit stopped early at a sweep boundary on an external stop request.
+
+    Raised only between sweeps — never mid-sweep — so the sampler state is
+    always consistent when it propagates.  When checkpointing is enabled
+    the final state has already been written; ``checkpoint`` says where,
+    so ``cold train`` can print a resume hint and exit cleanly.
+    """
+
+    def __init__(self, iteration: int, checkpoint: Path | None = None) -> None:
+        detail = f"training interrupted at sweep {iteration}"
+        if checkpoint is not None:
+            detail += f"; checkpoint written to {checkpoint}"
+        super().__init__(detail)
+        self.iteration = iteration
+        self.checkpoint = checkpoint
+
+
 class COLDModel:
     """COmmunity Level Diffusion model (paper §3) with Gibbs inference (§4).
 
@@ -210,6 +228,7 @@ class COLDModel:
         checkpoint_every: int | None = None,
         checkpoint_dir: str | Path | None = None,
         diagnostics=None,
+        stop_requested: Callable[[], bool] | None = None,
     ) -> "COLDModel":
         """Run the collapsed Gibbs sampler and store averaged estimates.
 
@@ -247,6 +266,12 @@ class COLDModel:
             draws are bit-identical with or without one (enforced by the
             diagnostics perf gate).  ``None`` (the default) keeps the fit
             loop free of any diagnostic work.
+        stop_requested:
+            Polled after every sweep; returning ``True`` stops the fit at
+            that sweep boundary with :class:`TrainingInterrupted` (after
+            writing a final checkpoint when checkpointing is enabled).
+            The CLI wires a SIGINT/SIGTERM flag into this for graceful
+            Ctrl-C.  Serial fits only.
         """
         if num_iterations <= 0:
             raise ModelError("num_iterations must be positive")
@@ -309,6 +334,7 @@ class COLDModel:
             checkpoint_every=checkpoint_every,
             checkpoint_dir=checkpoint_dir,
             diagnostics=diagnostics,
+            stop_requested=stop_requested,
         )
         self.corpus_ = corpus
         return self
@@ -380,6 +406,7 @@ class COLDModel:
         checkpoint_every: int | None,
         checkpoint_dir: str | Path | None,
         diagnostics=None,
+        stop_requested: Callable[[], bool] | None = None,
     ) -> None:
         """Sweeps ``start_iteration+1 .. num_iterations`` plus finalisation.
 
@@ -426,6 +453,14 @@ class COLDModel:
                 "serial fit: sweeps %d..%d", start_iteration + 1, num_iterations
             )
         draws_per_sweep = state.num_posts + state.num_links
+        fit_settings = {
+            "num_iterations": num_iterations,
+            "burn_in": burn_in,
+            "sample_interval": sample_interval,
+            "likelihood_interval": likelihood_interval,
+            "checkpoint_every": checkpoint_every,
+        }
+        last_checkpoint: tuple[int, Path] | None = None
 
         telemetry.activate()
         try:
@@ -504,17 +539,49 @@ class COLDModel:
                             hp,
                             monitor,
                             samples,
-                            fit_settings={
-                                "num_iterations": num_iterations,
-                                "burn_in": burn_in,
-                                "sample_interval": sample_interval,
-                                "likelihood_interval": likelihood_interval,
-                                "checkpoint_every": checkpoint_every,
-                            },
+                            fit_settings=fit_settings,
                         )
+                    last_checkpoint = (iteration, path)
                     if telemetry.enabled:
                         telemetry.metrics.counter("checkpoints_total").inc()
                     _log.debug("checkpoint at sweep %d: %s", iteration, path)
+                if (
+                    stop_requested is not None
+                    and iteration < num_iterations
+                    and stop_requested()
+                ):
+                    # Stop at this sweep boundary: the count state is
+                    # consistent here, so the final checkpoint (when
+                    # enabled) resumes bit-identically.
+                    final = None
+                    if checkpoint_every is not None:
+                        assert checkpoint_dir is not None
+                        if (
+                            last_checkpoint is not None
+                            and last_checkpoint[0] == iteration
+                        ):
+                            final = last_checkpoint[1]
+                        else:
+                            with trace.span("checkpoint_write", sweep=iteration):
+                                final = self._write_checkpoint(
+                                    checkpoint_dir,
+                                    iteration,
+                                    state,
+                                    hp,
+                                    monitor,
+                                    samples,
+                                    fit_settings=fit_settings,
+                                )
+                            if telemetry.enabled:
+                                telemetry.metrics.counter(
+                                    "checkpoints_total"
+                                ).inc()
+                    if telemetry.enabled:
+                        telemetry.emit("interrupt", sweep=iteration)
+                    _log.info(
+                        "stop requested: interrupting at sweep %d", iteration
+                    )
+                    raise TrainingInterrupted(iteration, final)
             telemetry.end(sweeps=num_iterations - start_iteration)
         finally:
             telemetry.close()
@@ -589,6 +656,7 @@ class COLDModel:
         callback: Callable[[int, "COLDModel"], None] | None = None,
         check_invariants: bool = False,
         diagnostics=None,
+        stop_requested: Callable[[], bool] | None = None,
     ) -> "COLDModel":
         """Continue a checkpointed fit to completion; returns the fitted model.
 
@@ -681,6 +749,7 @@ class COLDModel:
                 checkpoint_every=int(fit_settings["checkpoint_every"]),
                 checkpoint_dir=checkpoint_dir,
                 diagnostics=diagnostics,
+                stop_requested=stop_requested,
             )
         except KeyError as exc:
             raise CheckpointError(

@@ -134,23 +134,46 @@ class DiffusionPredictor:
         influence = self.topic_influence(source, target)
         return float(posterior @ influence)
 
+    def source_fold(self, source: int) -> np.ndarray:
+        """The source's community profile folded into zeta, ``(K, C)``.
+
+        ``source_fold[k, c'] = sum_{c in TopComm(i)} pi_ic zeta_kcc'`` —
+        the per-source half of :meth:`score_candidates`, exposed so a
+        serving layer can cache it per hot user and amortise it across
+        requests (it depends only on the source, not the post or the
+        candidates).
+        """
+        if not 0 <= source < self.estimates.num_users:
+            raise PredictionError(f"source {source} out of range")
+        src = self._profiles[source]
+        return np.einsum(
+            "a,kad->kd", src.memberships, self._zeta[:, src.communities, :]
+        )
+
     def score_candidates(
-        self, source: int, candidates: list[int], words: tuple[int, ...] | list[int]
+        self,
+        source: int,
+        candidates: list[int],
+        words: tuple[int, ...] | list[int],
+        source_fold: np.ndarray | None = None,
     ) -> np.ndarray:
         """Diffusion scores of one post against many candidate retweeters.
 
         The online path whose cost Figure 15 measures: the Eq. (5)
         posterior is computed once, the source's community profile is
-        folded into zeta once, and every candidate reduces to a gather plus
-        a weighted linear combination — ``O(K |w_d| + N K S)`` total.
+        folded into zeta once (or passed in precomputed via
+        ``source_fold`` — see :meth:`source_fold`), and every candidate
+        reduces to a gather plus a weighted linear combination —
+        ``O(K |w_d| + N K S)`` total.
         """
         posterior = self.topic_posterior(words, source)
-        src = self._profiles[source]
-        # source_fold[k, c'] = sum_{c in TopComm(i)} pi_ic zeta_kcc'
-        source_fold = np.einsum(
-            "a,kad->kd", src.memberships, self._zeta[:, src.communities, :]
-        )
+        if source_fold is None:
+            source_fold = self.source_fold(source)
         targets = np.asarray(candidates, dtype=np.int64)
+        if targets.size and (
+            targets.min() < 0 or targets.max() >= self.estimates.num_users
+        ):
+            raise PredictionError("candidate index out of range")
         dst_comms = self._top_communities[targets]  # (N, S)
         dst_weights = self._top_memberships[targets]  # (N, S)
         # influence[n, k] = sum_b dst_weights[n, b] source_fold[k, dst_comms[n, b]]
@@ -197,6 +220,47 @@ def timestamp_scores(estimates: ParameterEstimates, post: Post) -> np.ndarray:
     mixture = pi_row[:, None] * estimates.theta * word_like[None, :]
     # scores[t] = sum_{c,k} mixture[c, k] * psi[k, c, t]
     return np.einsum("ck,kct->t", mixture, estimates.psi)
+
+
+def batch_timestamp_scores(
+    estimates: ParameterEstimates,
+    authors: list[int] | np.ndarray,
+    words_per_post: list[tuple[int, ...] | list[int]],
+) -> np.ndarray:
+    """Per-slice likelihoods for a batch of unseen posts, ``(N, T)``.
+
+    The vectorised batch form of :func:`timestamp_scores`: the per-word
+    log-likelihoods of every post are computed in one ``(K, total_words)``
+    gather and reduced per post with ``np.add.reduceat``, then the
+    ``pi``/``theta``/``psi`` mixture contracts over the whole batch in a
+    single einsum.  Row ``n`` equals ``timestamp_scores`` on post ``n`` up
+    to the per-post positive rescaling that ``argmax`` ignores.
+    """
+    authors = np.asarray(authors, dtype=np.int64)
+    if authors.ndim != 1 or len(authors) != len(words_per_post):
+        raise PredictionError("authors and words_per_post lengths must match")
+    if len(authors) == 0:
+        return np.zeros((0, estimates.num_time_slices))
+    if authors.min() < 0 or authors.max() >= estimates.num_users:
+        raise PredictionError("author index out of range")
+    lengths = [len(words) for words in words_per_post]
+    if min(lengths) == 0:
+        raise PredictionError("every post must contain at least one word")
+    flat = np.concatenate([np.asarray(w, dtype=np.int64) for w in words_per_post])
+    if flat.min() < 0 or flat.max() >= estimates.vocab_size:
+        raise PredictionError("word id out of range")
+    offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    log_words = np.log(estimates.phi[:, flat] + 1e-300)  # (K, total)
+    per_post = np.add.reduceat(log_words, offsets, axis=1)  # (K, N)
+    word_like = np.exp(per_post - per_post.max(axis=0, keepdims=True))
+    return np.einsum(
+        "nc,ck,kn,kct->nt",
+        estimates.pi[authors],
+        estimates.theta,
+        word_like,
+        estimates.psi,
+        optimize=True,
+    )
 
 
 def post_probability(

@@ -90,6 +90,31 @@ class WorkerCrashError(FaultError):
     """A worker process died mid-shard (real process death)."""
 
 
+#: How often an idle worker re-checks that its parent is still alive.
+_ORPHAN_POLL_SECONDS = 1.0
+
+
+def _next_command(conn, parent_pid: int, poll_seconds: float):
+    """Receive the next pipe command, or ``None`` to shut down.
+
+    Blocks in ``poll(poll_seconds)`` increments instead of a bare
+    ``recv()`` so the worker notices a *dead parent*: a SIGKILLed parent
+    never sends ``("stop",)``, and with forked siblings holding inherited
+    parent-side pipe ends the EOF may never arrive either.  Reparenting
+    (``os.getppid()`` no longer the spawning pid) means the parent is
+    gone — return ``None`` so the loop exits instead of orphan-spinning.
+    """
+    while True:
+        try:
+            if conn.poll(poll_seconds):
+                return conn.recv()
+        except (EOFError, OSError):
+            return None
+        if os.getppid() != parent_pid:
+            _log.debug("parent %d gone; worker exiting", parent_pid)
+            return None
+
+
 def worker_main(worker_id: int, init: dict, conn) -> None:
     """Worker loop: attach the shared blocks, then serve shard commands.
 
@@ -142,12 +167,11 @@ def worker_main(worker_id: int, init: dict, conn) -> None:
     # overhead scales with the shard, not the corpus.
     local: CountState | None = None
     cache: SweepCache | None = None
+    parent_pid = int(init.get("parent_pid", os.getppid()))
+    poll_seconds = float(init.get("orphan_poll_seconds", _ORPHAN_POLL_SECONDS))
     while True:
-        try:
-            command = conn.recv()
-        except EOFError:
-            break
-        if command[0] == "stop":
+        command = _next_command(conn, parent_pid, poll_seconds)
+        if command is None or command[0] == "stop":
             break
         _, node, crash_progress, rng_state = command
         try:
@@ -265,12 +289,11 @@ def task_worker_main(worker_id: int, init: dict, conn) -> None:
     target = _resolve_target(init["target"])
     common = init.get("common") or {}
     _log.debug("task worker %d ready (pid %d)", worker_id, os.getpid())
+    parent_pid = int(init.get("parent_pid", os.getppid()))
+    poll_seconds = float(init.get("orphan_poll_seconds", _ORPHAN_POLL_SECONDS))
     while True:
-        try:
-            command = conn.recv()
-        except EOFError:
-            break
-        if command[0] == "stop":
+        command = _next_command(conn, parent_pid, poll_seconds)
+        if command is None or command[0] == "stop":
             break
         _, task_id, payload = command
         try:
@@ -322,7 +345,11 @@ class TaskWorkerPool:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         self._ctx = multiprocessing.get_context(start_method)
-        self._init = {"target": target, "common": common or {}}
+        self._init = {
+            "target": target,
+            "common": common or {},
+            "parent_pid": os.getpid(),
+        }
         self._handles: list[_WorkerHandle] = []
 
     def _spawn(self, worker_id: int) -> _WorkerHandle:
@@ -523,6 +550,7 @@ class ProcessWorkerPool:
             "num_topics": state.num_topics,
             "fast": fast,
             "telemetry": self._telemetry.worker_config(),
+            "parent_pid": os.getpid(),
         }
         try:
             for worker_id in range(self.num_workers):

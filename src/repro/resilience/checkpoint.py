@@ -32,7 +32,7 @@ import os
 import re
 import tempfile
 from collections.abc import Iterator
-from contextlib import contextmanager
+from contextlib import contextmanager, suppress
 from pathlib import Path
 
 import numpy as np
@@ -59,6 +59,13 @@ def atomic_write(path: str | Path) -> Iterator[Path]:
     The temp file lives next to the destination (same suffix, so writers
     like ``np.savez`` that key on the extension behave identically); on any
     exception it is removed and the destination is left untouched.
+
+    I/O failures anywhere in the write — a full disk (``ENOSPC``) while
+    the caller writes the temp file, a failed fsync, a failed rename —
+    surface as :class:`CheckpointError` naming the *target* path, so a
+    caller's error report points at the artefact that was lost, not at an
+    anonymous temp file.  Non-I/O exceptions from the caller's write code
+    propagate unchanged (the temp file is still cleaned up).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -72,6 +79,13 @@ def atomic_write(path: str | Path) -> Iterator[Path]:
         with open(tmp, "rb") as handle:
             os.fsync(handle.fileno())
         os.replace(tmp, path)
+    except OSError as exc:
+        with suppress(OSError):
+            tmp.unlink(missing_ok=True)
+        raise CheckpointError(
+            f"atomic write to {path} failed ({type(exc).__name__}: {exc}); "
+            "temp file removed, destination untouched"
+        ) from exc
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise

@@ -1,0 +1,72 @@
+"""Resilient prediction serving: the query side of the reproduction.
+
+Training extracts community-level diffusion patterns; this package serves
+them.  The paper's §5.2 motivates the split — offline precomputation plus
+a cheap online scoring path — and this package wraps that online path in
+production discipline:
+
+* :mod:`~repro.serving.engine` — :class:`ModelServer`, the in-process
+  query engine: a saved model loaded into contiguous precomputed tensors,
+  batched vectorised scoring for the four query families (retweet, link,
+  timestamp, influential communities), LRU caches for hot users and hot
+  topics, and degenerate-score guards;
+* :mod:`~repro.serving.robustness` — the per-request discipline:
+  cooperative :class:`Deadline` budgets, the bounded :class:`AdmissionGate`
+  (load shedding), a :class:`CircuitBreaker`, and the :class:`LRUCache`;
+* :mod:`~repro.serving.server` — the zero-dependency HTTP front end
+  behind ``cold serve``: JSON endpoints, health/readiness probes, atomic
+  hot-swap reload with self-check validation and rollback, graceful
+  drain on SIGTERM;
+* :mod:`~repro.serving.chaos` — the chaos harness: a declarative
+  :class:`ServingFaultPlan` injecting slow handlers and in-handler
+  failures while reloads (valid and corrupt) race live traffic, plus the
+  invariant checks (no torn responses, no unstructured 500s, no wedged
+  threads).
+"""
+
+from .chaos import (
+    ChaosError,
+    ChaosReport,
+    FailRequest,
+    ServingFaultPlan,
+    SlowRequest,
+    corrupt_model_copy,
+    run_chaos,
+)
+from .engine import ModelServer
+from .robustness import (
+    AdmissionGate,
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    DegenerateScoreError,
+    LRUCache,
+    QueueFullError,
+    ReloadError,
+    ServingError,
+)
+from .server import ColdHTTPServer, ServerConfig
+
+__all__ = [
+    "AdmissionGate",
+    "ChaosError",
+    "ChaosReport",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "ColdHTTPServer",
+    "Deadline",
+    "DeadlineExceeded",
+    "DegenerateScoreError",
+    "FailRequest",
+    "LRUCache",
+    "ModelServer",
+    "QueueFullError",
+    "ReloadError",
+    "ServerConfig",
+    "ServingError",
+    "ServingFaultPlan",
+    "SlowRequest",
+    "corrupt_model_copy",
+    "run_chaos",
+]

@@ -1,0 +1,342 @@
+"""Robustness primitives wrapped around every serving request.
+
+The query path applies the same discipline PR 1 applied to training: every
+failure mode is *typed*, bounded, and observable.
+
+* :class:`Deadline` — a per-request time budget.  The engine and the fault
+  hooks check it cooperatively at stage boundaries, so an expired request
+  surfaces as a structured :class:`DeadlineExceeded` (an HTTP 504) instead
+  of a thread stuck inside numpy.
+* :class:`AdmissionGate` — a bounded admission queue.  ``max_inflight``
+  requests execute concurrently and at most ``max_waiting`` wait for a
+  slot; everything beyond that is *shed immediately* with
+  :class:`QueueFullError` (an HTTP 503 + ``Retry-After``) — the server
+  never queues unboundedly and never makes a client wait for a response it
+  cannot produce in time.
+* :class:`CircuitBreaker` — trips after ``failure_threshold`` consecutive
+  degenerate results (NaN/out-of-range scores).  An open breaker fails
+  requests fast with :class:`CircuitOpenError` instead of emitting garbage,
+  turns ``/readyz`` red, and lets one probe through per ``cooldown``
+  period (half-open) so a recovered model closes it again.
+* :class:`LRUCache` — the bounded hot-entry cache behind the engine's
+  per-user fold and per-topic influence caches, with hit/miss counters.
+
+Everything is thread-safe (the HTTP front end is a thread-per-request
+server) and clock-injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+class ServingError(RuntimeError):
+    """Base class for typed serving failures."""
+
+
+class DeadlineExceeded(ServingError):
+    """The request's time budget ran out before the result was ready."""
+
+
+class QueueFullError(ServingError):
+    """The admission queue is full; the request was shed, not queued.
+
+    ``retry_after`` is the suggested client backoff in seconds (surfaced
+    as the HTTP ``Retry-After`` header).
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class CircuitOpenError(ServingError):
+    """The circuit breaker is open; requests fail fast instead of scoring."""
+
+
+class DegenerateScoreError(ServingError):
+    """A scoring kernel produced NaN/inf/out-of-range values."""
+
+
+class ReloadError(ServingError):
+    """A candidate model failed validation; the serving model was kept."""
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A cooperative per-request time budget on a monotonic clock.
+
+    Stages of work call :meth:`check` at their boundaries; injected delays
+    (the chaos harness) sleep through :meth:`sleep` so a slow handler still
+    honours the budget.  ``clock`` is injectable for tests.
+    """
+
+    expires_at: float
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+
+    @classmethod
+    def after(
+        cls, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        if seconds <= 0:
+            raise ServingError(f"deadline budget must be positive, got {seconds}")
+        return cls(expires_at=clock() + seconds, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self.expires_at - self.clock()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, stage: str = "request") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired():
+            raise DeadlineExceeded(
+                f"deadline exceeded during {stage} "
+                f"(over budget by {-self.remaining():.3f}s)"
+            )
+
+    def sleep(self, seconds: float, stage: str = "injected delay") -> None:
+        """Sleep up to ``seconds``, but never past the deadline.
+
+        Sleeps in short increments and raises :class:`DeadlineExceeded`
+        the moment the budget runs out — an injected slow handler cannot
+        wedge a request beyond its deadline.
+        """
+        end = self.clock() + seconds
+        while True:
+            self.check(stage)
+            left = end - self.clock()
+            if left <= 0:
+                return
+            time.sleep(min(left, 0.01, max(self.remaining(), 0.001)))
+
+
+class AdmissionGate:
+    """Bounded concurrency + bounded waiting room; everything else sheds.
+
+    ``max_inflight`` requests hold execution slots.  When all slots are
+    busy, up to ``max_waiting`` callers wait (each at most
+    ``max_wait_seconds`` or its own deadline, whichever is sooner); any
+    caller beyond the waiting room — or whose wait times out — gets
+    :class:`QueueFullError` immediately.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_waiting: int = 0,
+        max_wait_seconds: float = 0.5,
+    ) -> None:
+        if max_inflight < 1:
+            raise ServingError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_waiting < 0:
+            raise ServingError(f"max_waiting must be >= 0, got {max_waiting}")
+        self.max_inflight = max_inflight
+        self.max_waiting = max_waiting
+        self.max_wait_seconds = max_wait_seconds
+        self._lock = threading.Lock()
+        self._slot_freed = threading.Condition(self._lock)
+        self._inflight = 0
+        self._waiting = 0
+        self.shed_total = 0
+        self.admitted_total = 0
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def waiting(self) -> int:
+        return self._waiting
+
+    def acquire(self, deadline: Deadline | None = None) -> None:
+        """Take an execution slot or raise :class:`QueueFullError`."""
+        with self._lock:
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                self.admitted_total += 1
+                return
+            if self._waiting >= self.max_waiting:
+                self.shed_total += 1
+                raise QueueFullError(
+                    f"admission queue full ({self._inflight} in flight, "
+                    f"{self._waiting} waiting)",
+                    retry_after=self.max_wait_seconds,
+                )
+            budget = self.max_wait_seconds
+            if deadline is not None:
+                budget = min(budget, max(deadline.remaining(), 0.0))
+            self._waiting += 1
+            try:
+                end = time.monotonic() + budget
+                while self._inflight >= self.max_inflight:
+                    left = end - time.monotonic()
+                    if left <= 0 or not self._slot_freed.wait(timeout=left):
+                        if self._inflight < self.max_inflight:
+                            break
+                        self.shed_total += 1
+                        raise QueueFullError(
+                            "timed out waiting for an execution slot",
+                            retry_after=self.max_wait_seconds,
+                        )
+            finally:
+                self._waiting -= 1
+            self._inflight += 1
+            self.admitted_total += 1
+
+    def release(self) -> None:
+        with self._lock:
+            if self._inflight <= 0:  # pragma: no cover - misuse guard
+                raise ServingError("release() without a matching acquire()")
+            self._inflight -= 1
+            self._slot_freed.notify()
+
+    def __enter__(self) -> "AdmissionGate":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe after cooldown.
+
+    * **closed** — requests flow; ``failure_threshold`` *consecutive*
+      failures open the breaker (any success resets the streak).
+    * **open** — requests fail fast via :meth:`guard`; after
+      ``cooldown_seconds`` one probe request is allowed through
+      (**half-open**).
+    * **half-open** — the probe's success closes the breaker, its failure
+      re-opens it for another cooldown.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ServingError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probe_inflight = False
+        self.opened_total = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._clock() - self._opened_at >= self.cooldown_seconds:
+            return "half-open"
+        return "open"
+
+    def guard(self) -> None:
+        """Raise :class:`CircuitOpenError` unless a request may proceed.
+
+        In half-open state exactly one caller (the probe) passes; others
+        keep failing fast until the probe reports back.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return
+            if state == "half-open" and not self._probe_inflight:
+                self._probe_inflight = True
+                return
+            raise CircuitOpenError(
+                f"circuit breaker is {state} after "
+                f"{self._consecutive_failures} consecutive degenerate results"
+            )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probe_inflight = False
+            if self._opened_at is not None:
+                # A failed half-open probe restarts the cooldown.
+                self._opened_at = self._clock()
+            elif self._consecutive_failures >= self.failure_threshold:
+                self._opened_at = self._clock()
+                self.opened_total += 1
+
+    def reset(self) -> None:
+        """Force-close (a successful hot-swap reload installs a fresh model)."""
+        self.record_success()
+
+
+class LRUCache:
+    """A small thread-safe LRU map with hit/miss counters.
+
+    Backs the engine's hot-user fold cache and hot-community influence
+    cache; eviction is strict LRU so sustained skew keeps the hot set
+    resident.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 0:
+            raise ServingError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+            }

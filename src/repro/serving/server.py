@@ -1,0 +1,560 @@
+"""Zero-dependency HTTP front end: deadline-aware, load-shedding, hot-swap.
+
+:class:`ColdHTTPServer` is a stdlib ``ThreadingHTTPServer`` exposing the
+:class:`~repro.serving.engine.ModelServer` query families as JSON-over-HTTP
+(the ``cold serve`` CLI).  Endpoints:
+
+====================  ======  ====================================================
+``/healthz``          GET     liveness: process is up (200 even while draining)
+``/readyz``           GET     readiness: model loaded, breaker closed, not draining
+``/metrics``          GET     telemetry registry snapshot (QPS counters, latency
+                              histograms, cache stats)
+``/predict/retweet``  POST    ``{"source", "candidates", "words"}`` -> scores
+``/predict/link``     POST    ``{"sources", "targets"}`` -> scores
+``/predict/timestamp``POST    ``{"author", "words"}`` (or batched ``"authors"``/
+                              ``"words_per_post"``) -> slices + confidences
+``/query/influential``POST    ``{"topic", ...}`` -> community ranking + top users
+``/admin/reload``     POST    ``{"path"?}`` -> validate candidate, swap or roll back
+====================  ======  ====================================================
+
+Every request runs the robustness pipeline: *admission* (bounded queue;
+beyond it a 503 shed with ``Retry-After``), *circuit breaker* (degenerate
+scores trip it; open means fail-fast 503 and a red ``/readyz``),
+*deadline* (default budget, per-request override via ``deadline_ms`` in
+the body or an ``X-Deadline-Ms`` header; expiry is a structured 504), and
+*typed error mapping* (bad input 400, unknown path 404, injected or
+unexpected handler failures a **structured** 500 — never a default HTML
+error page, never a torn connection).
+
+Hot-swap reload (``/admin/reload`` or ``SIGHUP``) builds a candidate
+engine off to the side, runs its self-check queries, and atomically swaps
+the engine reference only on success; failures (missing file, corrupt
+archive, degenerate scores) roll back to the serving engine with
+``/readyz`` staying green.  ``SIGTERM``/``SIGINT`` begin a graceful
+drain: readiness goes red, in-flight requests finish, then the listener
+closes.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+import numpy as np
+
+from ..core.estimates import EstimateError
+from ..core.influence import InfluenceError
+from ..core.model import ModelError
+from ..core.prediction import PredictionError
+from ..telemetry.logconfig import get_logger
+from ..telemetry.metrics import LATENCY_BUCKETS, MetricsRegistry
+from .chaos import ChaosError, ServingFaultPlan
+from .engine import ModelServer
+from .robustness import (
+    AdmissionGate,
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    DegenerateScoreError,
+    QueueFullError,
+    ReloadError,
+    ServingError,
+)
+
+_log = get_logger(__name__)
+
+#: Input mistakes mapped to a structured 400 (client bugs, not ours).
+_BAD_REQUEST_ERRORS = (
+    PredictionError,
+    InfluenceError,
+    KeyError,
+    TypeError,
+    ValueError,
+)
+
+#: Loader failures a reload candidate may exhibit; all roll back.
+_RELOAD_ERRORS = (
+    ModelError,
+    EstimateError,
+    ServingError,
+    FileNotFoundError,
+    IsADirectoryError,
+    PermissionError,
+    OSError,
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of the serving front end (all have production defaults)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    deadline_ms: int = 2000
+    max_inflight: int = 8
+    max_waiting: int = 16
+    max_wait_seconds: float = 0.5
+    breaker_threshold: int = 3
+    breaker_cooldown_seconds: float = 5.0
+    cache_size: int = 1024
+    top_comm_size: int = 5
+    ic_simulations: int = 100
+
+    def __post_init__(self) -> None:
+        if self.deadline_ms <= 0:
+            raise ServingError(f"deadline_ms must be positive, got {self.deadline_ms}")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Per-request handler; all state lives on ``self.server``."""
+
+    protocol_version = "HTTP/1.1"
+    # TCP_NODELAY: headers and body go out as separate writes, and with
+    # Nagle enabled the body segment stalls behind the client's delayed
+    # ACK — a flat ~40ms per request on loopback (the serving benchmark
+    # is what catches this regressing).
+    disable_nagle_algorithm = True
+    server: "ColdHTTPServer"
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        _log.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(
+        self, status: int, payload: dict, headers: dict[str, str] | None = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        payload = json.loads(raw)
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _deadline(self, body: dict) -> Deadline:
+        ms = body.get("deadline_ms")
+        if ms is None:
+            header = self.headers.get("X-Deadline-Ms")
+            ms = int(header) if header else self.server.config.deadline_ms
+        ms = int(ms)
+        if ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+        return Deadline.after(ms / 1000.0)
+
+    # -- routing ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, self.server.health_payload())
+            elif self.path == "/readyz":
+                status, payload = self.server.ready_payload()
+                self._send_json(status, payload)
+            elif self.path == "/metrics":
+                self._send_json(200, self.server.registry.snapshot())
+            else:
+                self._send_json(404, {"error": "not_found", "path": self.path})
+        except Exception:
+            self._internal_error()
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        endpoint = self.path
+        server = self.server
+        if endpoint == "/admin/reload":
+            self._handle_reload()
+            return
+        method = server.query_methods().get(endpoint)
+        if method is None:
+            self._send_json(404, {"error": "not_found", "path": endpoint})
+            return
+        metrics = server.registry
+        label = method.__name__
+        metrics.counter(f"serving_requests_total_{label}").inc()
+        index = server.next_request_index(label)
+        try:
+            body = self._read_body()
+            deadline = self._deadline(body)
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError, TypeError) as exc:
+            metrics.counter(f"serving_bad_requests_total_{label}").inc()
+            self._send_json(400, {"error": "bad_request", "detail": str(exc)})
+            return
+        try:
+            if server.draining:
+                raise QueueFullError("server is draining", retry_after=5.0)
+            server.breaker.guard()
+            server.gate.acquire(deadline)
+            try:
+                self._inject_chaos(label, index, deadline)
+                start = server.clock()
+                # Grab the engine reference once: a concurrent hot-swap
+                # never changes the model under a request's feet.
+                engine = server.engine
+                result = method(engine, body, deadline)
+                elapsed = server.clock() - start
+            finally:
+                server.gate.release()
+            server.breaker.record_success()
+            metrics.counter(f"serving_responses_total_{label}").inc()
+            metrics.histogram(
+                f"serving_latency_seconds_{label}", LATENCY_BUCKETS
+            ).observe(elapsed)
+            result["generation"] = server.generation
+            result["elapsed_ms"] = round(elapsed * 1e3, 3)
+            self._send_json(200, result)
+        except DeadlineExceededResponse as response:
+            metrics.counter(f"serving_timeouts_total_{label}").inc()
+            self._send_json(504, response.payload)
+        except QueueFullError as exc:
+            metrics.counter("serving_shed_total").inc()
+            self._send_json(
+                503,
+                {"error": "shed", "detail": str(exc),
+                 "retry_after_seconds": exc.retry_after},
+                headers={"Retry-After": f"{max(int(exc.retry_after), 1)}"},
+            )
+        except CircuitOpenError as exc:
+            metrics.counter("serving_circuit_rejections_total").inc()
+            self._send_json(503, {"error": "circuit_open", "detail": str(exc)})
+        except DegenerateScoreError as exc:
+            server.breaker.record_failure()
+            metrics.counter("serving_degenerate_total").inc()
+            self._send_json(503, {"error": "degenerate", "detail": str(exc)})
+        except _BAD_REQUEST_ERRORS as exc:
+            metrics.counter(f"serving_bad_requests_total_{label}").inc()
+            self._send_json(
+                400, {"error": "bad_request", "detail": f"{type(exc).__name__}: {exc}"}
+            )
+        except Exception:
+            self._internal_error()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _inject_chaos(self, label: str, index: int, deadline: Deadline) -> None:
+        """Apply the fault plan: deadline-honouring delays, then failures."""
+        plan = self.server.chaos
+        if plan is None:
+            return
+        delay = plan.delay_for(label, index)
+        if delay > 0:
+            try:
+                deadline.sleep(delay, stage=f"injected {label} delay")
+            except ServingError as exc:
+                raise DeadlineExceededResponse(
+                    {"error": "deadline_exceeded", "detail": str(exc)}
+                ) from exc
+        if plan.should_fail(label, index):
+            raise ChaosError(f"injected failure in {label} request {index}")
+
+    def _handle_reload(self) -> None:
+        try:
+            body = self._read_body()
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+            self._send_json(400, {"error": "bad_request", "detail": str(exc)})
+            return
+        path = body.get("path")
+        try:
+            generation = self.server.reload(path)
+        except ReloadError as exc:
+            self._send_json(
+                409,
+                {"error": "reload_failed", "detail": str(exc),
+                 "generation": self.server.generation},
+            )
+        except Exception:
+            self._internal_error()
+        else:
+            self._send_json(
+                200, {"status": "reloaded", "generation": generation}
+            )
+
+    def _internal_error(self) -> None:
+        """Last-resort structured 500 — the 'no unstructured 500s' guarantee."""
+        _log.exception("unhandled error serving %s", self.path)
+        self.server.registry.counter("serving_internal_errors_total").inc()
+        try:
+            self._send_json(500, {"error": "internal"})
+        except OSError:  # pragma: no cover - client already gone
+            pass
+
+
+class DeadlineExceededResponse(Exception):
+    """Internal control flow: carry a prepared 504 payload to the sender."""
+
+    def __init__(self, payload: dict) -> None:
+        super().__init__(payload.get("detail", "deadline exceeded"))
+        self.payload = payload
+
+
+def _as_timeout_response(fn):
+    """Convert engine DeadlineExceeded into the prepared 504 payload."""
+
+    def wrapped(engine: ModelServer, body: dict, deadline: Deadline) -> dict:
+        try:
+            return fn(engine, body, deadline)
+        except DeadlineExceeded as exc:
+            raise DeadlineExceededResponse(
+                {"error": "deadline_exceeded", "detail": str(exc)}
+            ) from exc
+
+    wrapped.__name__ = fn.__name__
+    return wrapped
+
+
+# -- query adapters (body dict -> engine call -> JSON-ready dict) --------------
+
+
+@_as_timeout_response
+def retweet(engine: ModelServer, body: dict, deadline: Deadline) -> dict:
+    scores = engine.retweet(
+        int(body["source"]),
+        list(body["candidates"]),
+        list(body["words"]),
+        deadline=deadline,
+    )
+    return {"scores": [round(float(s), 9) for s in scores]}
+
+
+@_as_timeout_response
+def link(engine: ModelServer, body: dict, deadline: Deadline) -> dict:
+    sources = body["sources"] if "sources" in body else body["source"]
+    targets = body["targets"] if "targets" in body else body["target"]
+    sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+    targets = np.atleast_1d(np.asarray(targets, dtype=np.int64))
+    if sources.size == 1 and targets.size > 1:
+        sources = np.repeat(sources, targets.size)
+    if targets.size == 1 and sources.size > 1:
+        targets = np.repeat(targets, sources.size)
+    scores = engine.link(sources, targets, deadline=deadline)
+    return {"scores": [round(float(s), 9) for s in scores]}
+
+
+@_as_timeout_response
+def timestamp(engine: ModelServer, body: dict, deadline: Deadline) -> dict:
+    if "authors" in body:
+        authors = list(body["authors"])
+        words_per_post = [list(words) for words in body["words_per_post"]]
+    else:
+        authors = [int(body["author"])]
+        words_per_post = [list(body["words"])]
+    slices, confidences = engine.timestamp(authors, words_per_post, deadline=deadline)
+    return {
+        "slices": [int(s) for s in slices],
+        "confidences": [
+            [round(float(p), 6) for p in row] for row in confidences
+        ],
+    }
+
+
+@_as_timeout_response
+def influential(engine: ModelServer, body: dict, deadline: Deadline) -> dict:
+    return engine.influential(
+        int(body["topic"]),
+        size=int(body.get("size", 4)),
+        top_users=int(body.get("top_users", 10)),
+        num_simulations=(
+            None
+            if body.get("num_simulations") is None
+            else int(body["num_simulations"])
+        ),
+        deadline=deadline,
+    )
+
+
+_QUERY_METHODS = {
+    "/predict/retweet": retweet,
+    "/predict/link": link,
+    "/predict/timestamp": timestamp,
+    "/query/influential": influential,
+}
+
+
+class ColdHTTPServer(ThreadingHTTPServer):
+    """The serving front end; see the module docstring for the contract."""
+
+    # Join handler threads on server_close so a drain is genuinely graceful.
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        engine: ModelServer | None = None,
+        model_path: str | Path | None = None,
+        chaos: ServingFaultPlan | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if engine is None:
+            if model_path is None:
+                raise ServingError("need an engine or a model_path to serve")
+            engine = self._build_engine(model_path, config)
+        self.config = config
+        self.engine = engine
+        self.model_path = None if model_path is None else Path(model_path)
+        self.generation = 1
+        self.chaos = chaos
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.gate = AdmissionGate(
+            max_inflight=config.max_inflight,
+            max_waiting=config.max_waiting,
+            max_wait_seconds=config.max_wait_seconds,
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_threshold,
+            cooldown_seconds=config.breaker_cooldown_seconds,
+        )
+        self.draining = False
+        self._reload_lock = threading.Lock()
+        self._request_indices: dict[str, int] = {}
+        self._index_lock = threading.Lock()
+        self._drain_thread: threading.Thread | None = None
+        self.clock = time.perf_counter
+        super().__init__((config.host, config.port), _Handler)
+
+    @staticmethod
+    def _build_engine(path: str | Path, config: ServerConfig) -> ModelServer:
+        return ModelServer.from_path(
+            path,
+            top_comm_size=config.top_comm_size,
+            cache_size=config.cache_size,
+            ic_simulations=config.ic_simulations,
+        )
+
+    # -- handler support -------------------------------------------------------
+
+    def query_methods(self) -> dict:
+        return _QUERY_METHODS
+
+    def next_request_index(self, endpoint: str) -> int:
+        """Per-endpoint request sequence number (drives the fault plan)."""
+        with self._index_lock:
+            index = self._request_indices.get(endpoint, 0)
+            self._request_indices[endpoint] = index + 1
+            return index
+
+    def health_payload(self) -> dict:
+        payload = {
+            "status": "ok",
+            "generation": self.generation,
+            "draining": self.draining,
+            "breaker": self.breaker.state,
+            "inflight": self.gate.inflight,
+        }
+        payload.update(self.engine.describe())
+        return payload
+
+    def ready_payload(self) -> tuple[int, dict]:
+        if self.draining:
+            return 503, {"error": "draining", "status": "draining"}
+        state = self.breaker.state
+        if state == "open":
+            return 503, {"error": "circuit_open", "status": "not_ready",
+                         "breaker": state}
+        return 200, {"status": "ready", "generation": self.generation,
+                     "breaker": state}
+
+    # -- hot-swap reload -------------------------------------------------------
+
+    def reload(self, path: str | Path | None = None) -> int:
+        """Validate a candidate model and atomically swap it in.
+
+        Returns the new generation on success.  On any failure —
+        unreadable file, corrupt archive, shape mismatch, degenerate
+        self-check scores — raises :class:`ReloadError` and the serving
+        engine keeps answering (rollback is simply *not swapping*).
+        Reloads serialise on a lock; requests never take it (they read the
+        ``engine`` attribute once, which Python guarantees is atomic).
+        """
+        with self._reload_lock:
+            target = Path(path) if path is not None else self.model_path
+            if target is None:
+                raise ReloadError("no model path to reload from")
+            self.registry.counter("serving_reload_attempts_total").inc()
+            try:
+                candidate = self._build_engine(target, self.config)
+                checks = candidate.self_check()
+            except _RELOAD_ERRORS as exc:
+                self.registry.counter("serving_reload_failures_total").inc()
+                _log.warning("reload of %s rolled back: %s", target, exc)
+                raise ReloadError(
+                    f"candidate model {target} rejected "
+                    f"({type(exc).__name__}: {exc}); "
+                    f"kept serving generation {self.generation}"
+                ) from exc
+            self.engine = candidate
+            self.generation += 1
+            if path is not None:
+                self.model_path = target
+            self.breaker.reset()
+            self.registry.counter("serving_reloads_total").inc()
+            _log.info(
+                "hot-swapped model from %s (generation %d, self-check %s)",
+                target,
+                self.generation,
+                checks,
+            )
+            return self.generation
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop accepting, finish in-flight work, then shut down (async)."""
+        if self.draining:
+            return
+        self.draining = True
+        # shutdown() blocks until serve_forever exits, so it cannot run on
+        # the serving thread (or inside a signal handler) — hand it off.
+        self._drain_thread = threading.Thread(target=self.shutdown, daemon=True)
+        self._drain_thread.start()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT -> graceful drain; SIGHUP -> hot-swap reload.
+
+        Only callable from the main thread (signal API restriction); the
+        CLI uses it, tests drive :meth:`begin_drain`/:meth:`reload`
+        directly.
+        """
+
+        def drain(signum, frame) -> None:
+            _log.info("signal %d: draining", signum)
+            self.begin_drain()
+
+        def reload_handler(signum, frame) -> None:
+            def try_reload() -> None:
+                try:
+                    self.reload()
+                except ReloadError as exc:
+                    _log.warning("SIGHUP reload failed: %s", exc)
+
+            threading.Thread(target=try_reload, daemon=True).start()
+
+        signal.signal(signal.SIGTERM, drain)
+        signal.signal(signal.SIGINT, drain)
+        if hasattr(signal, "SIGHUP"):
+            signal.signal(signal.SIGHUP, reload_handler)
+
+    def serve_until_shutdown(self) -> None:
+        """``serve_forever`` + graceful close (joins in-flight handlers)."""
+        try:
+            self.serve_forever(poll_interval=0.1)
+        finally:
+            self.server_close()
+            if self._drain_thread is not None:
+                self._drain_thread.join(timeout=5)

@@ -48,6 +48,27 @@ TIMING_BUCKETS = (
 )
 
 
+#: Histogram bounds for request latencies: ~0.5ms to 30s, dense through the
+#: interactive range so serving p50/p99 land in distinct buckets.
+LATENCY_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+
 class Counter:
     """A monotonically-increasing tally."""
 

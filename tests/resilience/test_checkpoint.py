@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import errno
 import json
+import os
 
 import numpy as np
 import pytest
@@ -86,6 +88,71 @@ class TestAtomicWrite:
         target = tmp_path / "deep" / "down" / "a.txt"
         atomic_write_text(target, "x")
         assert target.read_text() == "x"
+
+
+class TestAtomicWriteDiskFull:
+    """ENOSPC anywhere in the write -> CheckpointError naming the target,
+    temp file removed, previous artefact untouched."""
+
+    @staticmethod
+    def _enospc(*args, **kwargs):
+        raise OSError(errno.ENOSPC, "No space left on device")
+
+    def test_enospc_on_rename_is_wrapped(self, tmp_path, monkeypatch):
+        target = tmp_path / "model.npz"
+        atomic_write_bytes(target, b"previous")
+        monkeypatch.setattr(os, "replace", self._enospc)
+        with pytest.raises(CheckpointError) as excinfo:
+            with atomic_write(target) as tmp:
+                tmp.write_bytes(b"next")
+        message = str(excinfo.value)
+        assert str(target) in message, "error must name the target artefact"
+        assert "ENOSPC" in message or "No space left" in message
+        assert isinstance(excinfo.value.__cause__, OSError)
+        # Previous artefact intact, no temp residue.
+        assert target.read_bytes() == b"previous"
+        assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+
+    def test_enospc_in_caller_write_is_wrapped(self, tmp_path):
+        target = tmp_path / "model.npz"
+        atomic_write_bytes(target, b"previous")
+
+        class FullDisk:
+            def write(self, data):
+                raise OSError(errno.ENOSPC, "No space left on device")
+
+        with pytest.raises(CheckpointError) as excinfo:
+            with atomic_write(target):
+                FullDisk().write(b"next")
+        assert str(target) in str(excinfo.value)
+        assert target.read_bytes() == b"previous"
+        assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+
+    def test_enospc_on_fsync_is_wrapped(self, tmp_path, monkeypatch):
+        target = tmp_path / "model.npz"
+        atomic_write_bytes(target, b"previous")
+        monkeypatch.setattr(os, "fsync", self._enospc)
+        with pytest.raises(CheckpointError):
+            with atomic_write(target) as tmp:
+                tmp.write_bytes(b"next")
+        assert target.read_bytes() == b"previous"
+        assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+
+    def test_save_checkpoint_surfaces_disk_full(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(os, "replace", self._enospc)
+        with pytest.raises(CheckpointError):
+            save_checkpoint(
+                tmp_path, 1, {"a": np.zeros(3, dtype=np.int64)}, {"k": "v"}
+            )
+        # Nothing half-written: no data file without a manifest, no temps.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_non_io_errors_propagate_unwrapped(self, tmp_path):
+        # The contract from test_crash_mid_write...: only OSError is
+        # wrapped; caller bugs keep their own type.
+        with pytest.raises(ValueError, match="caller bug"):
+            with atomic_write(tmp_path / "a.txt"):
+                raise ValueError("caller bug")
 
 
 class TestCheckpointStore:

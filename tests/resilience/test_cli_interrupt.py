@@ -1,0 +1,123 @@
+"""Graceful ``cold train`` interrupts: final checkpoint + distinct exit code."""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.resilience.checkpoint import list_checkpoints, load_checkpoint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+pytestmark = pytest.mark.skipif(
+    sys.platform == "win32", reason="POSIX signals required"
+)
+
+
+@pytest.fixture(scope="module")
+def corpus_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("interrupt") / "corpus.jsonl"
+    assert main([
+        "generate", str(path),
+        "--users", "20", "--communities", "3", "--topics", "4",
+        "--time-slices", "6", "--vocab", "80", "--seed", "1",
+    ]) == 0
+    return path
+
+
+def _spawn_train(corpus_path, model_path, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "train",
+            str(corpus_path), str(model_path),
+            "--communities", "3", "--topics", "4", "--seed", "0", *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+def _wait_for_checkpoint(directory: Path, process, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if list_checkpoints(directory):
+            return
+        if process.poll() is not None:
+            raise AssertionError(
+                f"train exited early ({process.returncode}): "
+                f"{process.stderr.read()}"
+            )
+        time.sleep(0.1)
+    raise AssertionError(f"no checkpoint appeared in {directory} within {timeout}s")
+
+
+def test_sigint_mid_train_writes_final_checkpoint(corpus_path, tmp_path):
+    """SIGINT mid-fit: exit code 3, no traceback, resumable final checkpoint."""
+    model = tmp_path / "model"
+    checkpoint_dir = model.parent / (model.name + ".ckpt")
+    process = _spawn_train(
+        corpus_path, model,
+        # Far more sweeps than can finish before the signal lands.
+        "--iterations", "500000", "--checkpoint-every", "200",
+        "--checkpoint-dir", str(checkpoint_dir),
+    )
+    try:
+        _wait_for_checkpoint(checkpoint_dir, process)
+        process.send_signal(signal.SIGINT)
+        stdout, stderr = process.communicate(timeout=120)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate(timeout=10)
+
+    assert process.returncode == 3, f"stdout={stdout!r} stderr={stderr!r}"
+    assert "interrupted: training interrupted at sweep" in stderr
+    assert "resume with:" in stderr
+    assert "Traceback" not in stderr
+    # The model artefact was NOT written (training did not complete)...
+    assert not model.with_suffix(".npz").exists()
+    # ...but a valid, loadable checkpoint was.
+    manifests = list_checkpoints(checkpoint_dir)
+    assert manifests
+    arrays, meta, iteration = load_checkpoint(manifests[0])
+    assert iteration >= 1
+    assert arrays
+    # The interrupt checkpoint carries everything resume() needs.
+    for key in ("model", "hyperparameters", "fit", "rng_state", "monitor"):
+        assert key in meta
+    # The stderr resume hint points at the checkpoint that was written.
+    assert str(checkpoint_dir) in stderr
+
+
+def test_sigterm_behaves_like_sigint(corpus_path, tmp_path):
+    """SIGTERM takes the same graceful path (deploy systems send TERM)."""
+    model = tmp_path / "model"
+    checkpoint_dir = model.parent / (model.name + ".ckpt")
+    process = _spawn_train(
+        corpus_path, model,
+        "--iterations", "500000", "--checkpoint-every", "200",
+        "--checkpoint-dir", str(checkpoint_dir),
+    )
+    try:
+        _wait_for_checkpoint(checkpoint_dir, process)
+        process.send_signal(signal.SIGTERM)
+        stdout, stderr = process.communicate(timeout=120)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate(timeout=10)
+    assert process.returncode == 3, f"stdout={stdout!r} stderr={stderr!r}"
+    assert "interrupted" in stderr
+    assert list_checkpoints(checkpoint_dir)

@@ -1,0 +1,134 @@
+"""Property-based tests for RetryPolicy (hypothesis).
+
+The backoff schedule is load-bearing in two places — simulated cluster
+timing and the serving layer's Retry-After hints — so its algebraic
+properties are pinned down over the whole parameter space, not just a few
+hand-picked examples.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.resilience.retry import RetryError, RetryPolicy, execute_with_retry  # noqa: E402
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=50),
+    base_delay=st.floats(
+        min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+    ),
+    multiplier=st.floats(
+        min_value=1.0, max_value=10.0, allow_nan=False, allow_infinity=False
+    ),
+    max_delay=st.floats(
+        min_value=0.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+class TestScheduleProperties:
+    @given(policy=policies)
+    def test_schedule_length_is_retries(self, policy):
+        assert len(list(policy.delays())) == policy.max_attempts - 1
+
+    @given(policy=policies)
+    def test_delays_are_finite_and_non_negative(self, policy):
+        for delay in policy.delays():
+            assert math.isfinite(delay)
+            assert delay >= 0.0
+
+    @given(policy=policies)
+    def test_delays_are_capped(self, policy):
+        for delay in policy.delays():
+            assert delay <= policy.max_delay
+
+    @given(policy=policies)
+    def test_delays_are_monotone_non_decreasing(self, policy):
+        schedule = list(policy.delays())
+        assert all(a <= b for a, b in zip(schedule, schedule[1:]))
+
+    @given(policy=policies, index=st.integers(min_value=0, max_value=200))
+    def test_delay_closed_form(self, policy, index):
+        expected = min(
+            policy.base_delay * policy.multiplier**index, policy.max_delay
+        )
+        assert policy.delay(index) == expected
+
+    @given(policy=policies)
+    def test_first_delay_is_base_or_cap(self, policy):
+        if policy.max_attempts > 1:
+            first = next(iter(policy.delays()))
+            assert first == min(policy.base_delay, policy.max_delay)
+
+    @given(policy=policies, index=st.integers(max_value=-1))
+    def test_negative_index_rejected(self, policy, index):
+        with pytest.raises(ValueError):
+            policy.delay(index)
+
+
+class TestConstructionProperties:
+    @given(attempts=st.integers(max_value=0))
+    def test_non_positive_attempts_rejected(self, attempts):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=attempts)
+
+    @given(multiplier=st.floats(max_value=1.0, exclude_max=True, allow_nan=False))
+    def test_shrinking_multiplier_rejected(self, multiplier):
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=multiplier)
+
+    @given(delay=st.floats(max_value=0.0, exclude_max=True, allow_nan=False))
+    def test_negative_delays_rejected(self, delay):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=delay)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_delay=delay)
+
+
+class TestExecutionProperties:
+    @given(
+        policy=policies.filter(lambda p: p.max_attempts <= 20),
+        failures=st.integers(min_value=0, max_value=25),
+    )
+    @settings(max_examples=50)
+    def test_attempt_count_and_sleep_schedule(self, policy, failures):
+        """fn is called min(failures+1, max_attempts) times, and the sleeps
+        between attempts are exactly the policy's schedule prefix."""
+        calls = []
+        slept = []
+
+        def flaky():
+            calls.append(None)
+            if len(calls) <= failures:
+                raise OSError("transient")
+            return "ok"
+
+        if failures >= policy.max_attempts:
+            with pytest.raises(RetryError) as excinfo:
+                execute_with_retry(flaky, policy, sleep=slept.append)
+            assert isinstance(excinfo.value.__cause__, OSError)
+            assert len(calls) == policy.max_attempts
+        else:
+            assert execute_with_retry(flaky, policy, sleep=slept.append) == "ok"
+            assert len(calls) == failures + 1
+        expected_sleeps = list(policy.delays())[: len(calls) - 1]
+        assert slept == expected_sleeps
+
+    @given(policy=policies.filter(lambda p: p.max_attempts <= 20))
+    @settings(max_examples=25)
+    def test_non_retryable_errors_propagate_immediately(self, policy):
+        calls = []
+
+        def boom():
+            calls.append(None)
+            raise ValueError("not retryable")
+
+        with pytest.raises(ValueError):
+            execute_with_retry(boom, policy, sleep=lambda s: None)
+        assert len(calls) == 1

@@ -1,0 +1,146 @@
+"""Workers must not outlive a SIGKILLed parent (orphan detection)."""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.parallel.worker import _next_command
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class _NeverReady:
+    """A pipe end that never has data and never EOFs (forked-sibling case)."""
+
+    def poll(self, timeout):
+        time.sleep(min(timeout, 0.01))
+        return False
+
+    def recv(self):  # pragma: no cover - poll never returns True
+        raise AssertionError("recv without poll")
+
+
+class TestNextCommand:
+    def test_dead_parent_returns_none(self):
+        # Any pid that is not our actual parent makes the reparenting
+        # check fire on the first idle poll.
+        dead_parent = 2**22 + os.getpid()
+        start = time.monotonic()
+        command = _next_command(_NeverReady(), dead_parent, poll_seconds=0.01)
+        assert command is None
+        assert time.monotonic() - start < 5.0
+
+    def test_live_parent_keeps_waiting_then_delivers(self):
+        class OneCommand:
+            def __init__(self):
+                self.polls = 0
+
+            def poll(self, timeout):
+                self.polls += 1
+                return self.polls >= 3
+
+            def recv(self):
+                return ("run", 0)
+
+        conn = OneCommand()
+        assert _next_command(conn, os.getppid(), poll_seconds=0.01) == ("run", 0)
+        assert conn.polls == 3
+
+    def test_eof_returns_none(self):
+        class EOFConn:
+            def poll(self, timeout):
+                raise EOFError
+
+        assert _next_command(EOFConn(), os.getppid(), poll_seconds=0.01) is None
+
+
+_PARENT_SCRIPT = """
+import os, sys, time
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {helper_dir!r})
+from repro.parallel.worker import TaskWorkerPool
+
+pool = TaskWorkerPool(
+    "orphan_helper:echo", num_workers=2,
+)
+pool._init["orphan_poll_seconds"] = 0.2
+# Warm up so both workers exist and are idle in their command loops.
+pool.run_all([{{"value": 1}}, {{"value": 2}}])
+pids = [handle.process.pid for handle in pool._handles]
+print("WORKERS", *pids, flush=True)
+# Hold the pool open (pipes alive) until the parent is killed.
+time.sleep(120)
+"""
+
+_HELPER = """
+def echo(value):
+    return value
+"""
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals required")
+def test_workers_exit_after_parent_sigkill(tmp_path):
+    """SIGKILL the parent mid-pool: workers notice and exit on their own.
+
+    A SIGKILLed parent never sends ("stop",), and the surviving sibling
+    worker holds an inherited copy of the parent-side pipe end, so EOF
+    alone cannot be relied on — the getppid() check must fire.
+    """
+    helper_dir = tmp_path / "helpers"
+    helper_dir.mkdir()
+    (helper_dir / "orphan_helper.py").write_text(_HELPER)
+    script = _PARENT_SCRIPT.format(
+        src=str(REPO_ROOT / "src"), helper_dir=str(helper_dir)
+    )
+    pids: list[int] = []
+    process = subprocess.Popen(
+        [sys.executable, "-c", script],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and not pids:
+            line = process.stdout.readline()
+            if line.startswith("WORKERS"):
+                pids = [int(p) for p in line.split()[1:]]
+            elif not line and process.poll() is not None:
+                raise AssertionError(
+                    f"parent died early: {process.stderr.read()}"
+                )
+        assert len(pids) == 2, "parent never reported worker pids"
+        for pid in pids:
+            os.kill(pid, 0)  # workers are alive
+
+        process.kill()  # SIGKILL: no cleanup, no ("stop",) commands
+        process.wait(timeout=10)
+
+        deadline = time.monotonic() + 30
+        survivors = set(pids)
+        while time.monotonic() < deadline and survivors:
+            for pid in list(survivors):
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    survivors.discard(pid)
+            if survivors:
+                time.sleep(0.2)
+        assert not survivors, f"orphaned workers still alive: {survivors}"
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+        # Best-effort cleanup if the assertion above failed.
+        for pid in pids:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass

@@ -1,0 +1,134 @@
+"""Chaos harness: faults + mid-request reloads, robustness invariants hold."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving import (
+    ColdHTTPServer,
+    FailRequest,
+    ServerConfig,
+    ServingFaultPlan,
+    SlowRequest,
+)
+from repro.serving.chaos import ChaosReport, corrupt_model_copy, run_chaos
+
+
+class TestFaultPlan:
+    def test_delay_windows_by_endpoint_and_index(self):
+        plan = ServingFaultPlan(
+            slow_requests=[SlowRequest(endpoint="retweet", seconds=0.5, start=2, times=3)]
+        )
+        assert plan.delay_for("retweet", 1) == 0.0
+        assert plan.delay_for("retweet", 2) == 0.5
+        assert plan.delay_for("retweet", 4) == 0.5
+        assert plan.delay_for("retweet", 5) == 0.0
+        assert plan.delay_for("link", 3) == 0.0
+        assert plan.injected_delays == 2
+
+    def test_failure_windows(self):
+        plan = ServingFaultPlan(failures=[FailRequest(endpoint="link", start=1, times=2)])
+        assert not plan.should_fail("link", 0)
+        assert plan.should_fail("link", 1)
+        assert plan.should_fail("link", 2)
+        assert not plan.should_fail("link", 3)
+        assert not plan.should_fail("retweet", 1)
+        assert plan.injected_failures == 2
+
+    def test_invalid_faults_rejected(self):
+        with pytest.raises(ValueError):
+            SlowRequest(endpoint="retweet", seconds=-1.0)
+        with pytest.raises(ValueError):
+            FailRequest(endpoint="retweet", times=0)
+
+
+class TestChaosReport:
+    def test_classification(self):
+        report = ChaosReport()
+        report.classify(200, {"scores": [0.5]})
+        report.classify(504, {"error": "deadline_exceeded"})
+        report.classify(503, {"error": "shed"})
+        report.classify(500, {"error": "internal"})
+        report.classify(500, {"error": "what is this"})
+        report.classify(0, None)
+        assert report.ok == 1
+        assert report.timeout == 1
+        assert report.shed == 1
+        assert report.internal == 1
+        assert report.unstructured == 1
+        assert report.torn == 1
+        assert report.total == 6
+        assert report.structured_total == 4
+
+
+class TestChaosRun:
+    """The headline harness test: slow handlers, injected failures, corrupt
+    reloads and genuine reloads all at once — and the contract still holds."""
+
+    def test_invariants_under_chaos(self, model_path, tmp_path, estimates):
+        chaos = ServingFaultPlan(
+            slow_requests=[
+                # A burst of slow retweet handlers that overrun the budget...
+                SlowRequest(endpoint="retweet", seconds=30.0, start=2, times=2),
+                # ...and some sub-budget delays to hold slots (shedding).
+                SlowRequest(endpoint="link", seconds=0.2, start=0, times=4),
+            ],
+            failures=[FailRequest(endpoint="timestamp", start=1, times=2)],
+        )
+        config = ServerConfig(
+            port=0,
+            deadline_ms=500,
+            max_inflight=4,
+            max_waiting=4,
+            max_wait_seconds=0.2,
+            breaker_threshold=100,  # chaos faults should not trip the breaker
+            ic_simulations=20,
+        )
+        server = ColdHTTPServer(config, model_path=model_path, chaos=chaos)
+        thread = threading.Thread(target=server.serve_until_shutdown, daemon=True)
+        thread.start()
+        corrupt = corrupt_model_copy(model_path, tmp_path)
+        try:
+            report = run_chaos(
+                "127.0.0.1",
+                server.server_address[1],
+                num_requests=40,
+                concurrency=6,
+                model_path=model_path,
+                corrupt_candidate=corrupt,
+                reload_every=8,
+                num_users=estimates.num_users,
+                vocab_size=estimates.vocab_size,
+            )
+        finally:
+            server.begin_drain()
+            thread.join(timeout=15)
+        assert not thread.is_alive(), "server wedged after chaos"
+
+        # The robustness contract, verbatim from the issue:
+        assert report.total == 40
+        assert report.torn == 0, "torn responses observed"
+        assert report.unstructured == 0, "unstructured errors observed"
+        assert report.wedged_threads == 0, "client threads wedged"
+        assert report.structured_total == report.total
+        # The injected faults were actually exercised and surfaced typed.
+        assert chaos.total_injected > 0
+        assert report.timeout >= 1, "30s handlers under a 500ms budget must 504"
+        assert report.internal >= 1, "injected failures must surface as typed 500s"
+        assert report.ok > 0, "healthy requests must still succeed under chaos"
+        # Reloads: genuine ones swapped, corrupt ones rolled back.
+        assert report.reloads_ok + report.reloads_rolled_back >= 1
+        if report.reloads_rolled_back:
+            # A rollback never leaves the server unready.
+            assert report.ready_after
+        assert report.ready_after, "server not ready after chaos"
+        assert report.generation_after >= report.generation_before
+
+    def test_corrupt_model_copy_is_rejected_by_loader(self, model_path, tmp_path):
+        from repro.serving import ModelServer
+
+        corrupt = corrupt_model_copy(model_path, tmp_path)
+        with pytest.raises(Exception):  # noqa: B017 - any typed loader error
+            ModelServer.from_path(corrupt)

@@ -1,0 +1,207 @@
+"""Unit tests for the per-request robustness primitives (injected clocks)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving.robustness import (
+    AdmissionGate,
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    LRUCache,
+    QueueFullError,
+    ServingError,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_remaining_and_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        assert not deadline.expired()
+        clock.advance(2.5)
+        assert deadline.expired()
+        assert deadline.remaining() == pytest.approx(-0.5)
+
+    def test_check_raises_with_stage_name(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        deadline.check("scoring")  # within budget: no raise
+        clock.advance(1.5)
+        with pytest.raises(DeadlineExceeded, match="scoring"):
+            deadline.check("scoring")
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ServingError):
+            Deadline.after(0.0)
+        with pytest.raises(ServingError):
+            Deadline.after(-1.0)
+
+    def test_sleep_honours_real_deadline(self):
+        # A 10s injected delay under a 50ms budget must raise quickly,
+        # not sleep out the full delay.
+        import time
+
+        deadline = Deadline.after(0.05)
+        start = time.monotonic()
+        with pytest.raises(DeadlineExceeded):
+            deadline.sleep(10.0, stage="slow handler")
+        assert time.monotonic() - start < 2.0
+
+    def test_sleep_within_budget_completes(self):
+        deadline = Deadline.after(5.0)
+        deadline.sleep(0.01)  # no raise
+
+
+class TestAdmissionGate:
+    def test_inflight_bound_and_shed(self):
+        gate = AdmissionGate(max_inflight=2, max_waiting=0)
+        gate.acquire()
+        gate.acquire()
+        with pytest.raises(QueueFullError) as excinfo:
+            gate.acquire()
+        assert excinfo.value.retry_after > 0
+        assert gate.shed_total == 1
+        gate.release()
+        gate.acquire()  # freed slot admits again
+        assert gate.admitted_total == 3
+
+    def test_waiting_room_admits_when_slot_frees(self):
+        gate = AdmissionGate(max_inflight=1, max_waiting=1, max_wait_seconds=5.0)
+        gate.acquire()
+        admitted = threading.Event()
+
+        def waiter():
+            gate.acquire()
+            admitted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        # The waiter parks in the waiting room...
+        assert not admitted.wait(0.1)
+        gate.release()
+        # ...and is admitted once the slot frees.
+        assert admitted.wait(2.0)
+        thread.join(timeout=2)
+
+    def test_wait_timeout_sheds(self):
+        gate = AdmissionGate(max_inflight=1, max_waiting=1, max_wait_seconds=0.05)
+        gate.acquire()
+        with pytest.raises(QueueFullError):
+            gate.acquire()
+        assert gate.shed_total == 1
+
+    def test_context_manager_releases(self):
+        gate = AdmissionGate(max_inflight=1)
+        with gate:
+            assert gate.inflight == 1
+        assert gate.inflight == 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ServingError):
+            AdmissionGate(max_inflight=0)
+        with pytest.raises(ServingError):
+            AdmissionGate(max_inflight=1, max_waiting=-1)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_seconds=10, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opened_total == 1
+        with pytest.raises(CircuitOpenError):
+            breaker.guard()
+
+    def test_success_resets_the_streak(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_seconds=10, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_allows_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=5, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(6)
+        assert breaker.state == "half-open"
+        breaker.guard()  # the probe passes
+        with pytest.raises(CircuitOpenError):
+            breaker.guard()  # everyone else keeps failing fast
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.guard()
+
+    def test_failed_probe_restarts_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=5, clock=clock)
+        breaker.record_failure()
+        clock.advance(6)
+        breaker.guard()  # probe
+        breaker.record_failure()  # probe failed
+        assert breaker.state == "open"
+        clock.advance(4)
+        assert breaker.state == "open"
+        clock.advance(2)
+        assert breaker.state == "half-open"
+
+    def test_reset_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, clock=clock)
+        breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == "closed"
+
+
+class TestLRUCache:
+    def test_hit_miss_counters(self):
+        cache = LRUCache(max_entries=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now least-recent
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(max_entries=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ServingError):
+            LRUCache(max_entries=-1)

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.parallel",
     "repro.baselines",
     "repro.eval",
+    "repro.serving",
 ]
 
 
