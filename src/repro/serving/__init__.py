@@ -42,6 +42,7 @@ from .robustness import (
     DeadlineExceeded,
     DegenerateScoreError,
     LRUCache,
+    PayloadTooLarge,
     QueueFullError,
     ReloadError,
     ServingError,
@@ -61,6 +62,7 @@ __all__ = [
     "FailRequest",
     "LRUCache",
     "ModelServer",
+    "PayloadTooLarge",
     "QueueFullError",
     "ReloadError",
     "ServerConfig",

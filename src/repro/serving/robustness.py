@@ -62,6 +62,10 @@ class DegenerateScoreError(ServingError):
     """A scoring kernel produced NaN/inf/out-of-range values."""
 
 
+class PayloadTooLarge(ServingError):
+    """The declared request body exceeds the server's size cap (HTTP 413)."""
+
+
 class ReloadError(ServingError):
     """A candidate model failed validation; the serving model was kept."""
 
@@ -248,19 +252,23 @@ class CircuitBreaker:
             return "half-open"
         return "open"
 
-    def guard(self) -> None:
+    def guard(self) -> bool:
         """Raise :class:`CircuitOpenError` unless a request may proceed.
 
         In half-open state exactly one caller (the probe) passes; others
-        keep failing fast until the probe reports back.
+        keep failing fast until the probe reports back.  Returns ``True``
+        iff the caller now holds the probe slot — that caller **must**
+        resolve it via :meth:`record_success`, :meth:`record_failure`, or
+        :meth:`abort_probe`, or the slot stays taken and every later
+        request fails fast forever.
         """
         with self._lock:
             state = self._state_locked()
             if state == "closed":
-                return
+                return False
             if state == "half-open" and not self._probe_inflight:
                 self._probe_inflight = True
-                return
+                return True
             raise CircuitOpenError(
                 f"circuit breaker is {state} after "
                 f"{self._consecutive_failures} consecutive degenerate results"
@@ -282,6 +290,19 @@ class CircuitBreaker:
             elif self._consecutive_failures >= self.failure_threshold:
                 self._opened_at = self._clock()
                 self.opened_total += 1
+
+    def abort_probe(self) -> None:
+        """Release the half-open probe slot without recording a verdict.
+
+        A probe request can end without ever scoring — shed by the
+        admission gate, expired deadline, malformed input, or an
+        unexpected handler error.  None of those say anything about
+        whether the model recovered, so the slot is simply freed (the
+        failure streak and cooldown are untouched) and the next request
+        becomes the new probe.
+        """
+        with self._lock:
+            self._probe_inflight = False
 
     def reset(self) -> None:
         """Force-close (a successful hot-swap reload installs a fresh model)."""

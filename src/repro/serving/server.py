@@ -62,6 +62,7 @@ from .robustness import (
     Deadline,
     DeadlineExceeded,
     DegenerateScoreError,
+    PayloadTooLarge,
     QueueFullError,
     ReloadError,
     ServingError,
@@ -105,10 +106,15 @@ class ServerConfig:
     cache_size: int = 1024
     top_comm_size: int = 5
     ic_simulations: int = 100
+    max_body_bytes: int = 1 << 20
 
     def __post_init__(self) -> None:
         if self.deadline_ms <= 0:
             raise ServingError(f"deadline_ms must be positive, got {self.deadline_ms}")
+        if self.max_body_bytes <= 0:
+            raise ServingError(
+                f"max_body_bytes must be positive, got {self.max_body_bytes}"
+            )
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -127,10 +133,18 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         _log.debug("%s %s", self.address_string(), format % args)
 
+    def handle_one_request(self) -> None:
+        # Fresh exchange on a (possibly keep-alive) connection: nothing
+        # has been written yet.  _internal_error consults this flag to
+        # avoid emitting a second status line on the same connection.
+        self._response_started = False
+        super().handle_one_request()
+
     def _send_json(
         self, status: int, payload: dict, headers: dict[str, str] | None = None
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._response_started = True
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -141,6 +155,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
+        if length > self.server.config.max_body_bytes:
+            raise PayloadTooLarge(
+                f"declared body of {length} bytes exceeds the "
+                f"{self.server.config.max_body_bytes}-byte limit"
+            )
         raw = self.rfile.read(length) if length else b""
         if not raw:
             return {}
@@ -148,6 +167,15 @@ class _Handler(BaseHTTPRequestHandler):
         if not isinstance(payload, dict):
             raise ValueError("request body must be a JSON object")
         return payload
+
+    def _payload_too_large(self, exc: PayloadTooLarge) -> None:
+        """413 without reading the oversized body; the unread bytes would
+        be parsed as the next request, so the connection must close."""
+        self.close_connection = True
+        self._send_json(
+            413, {"error": "payload_too_large", "detail": str(exc)},
+            headers={"Connection": "close"},
+        )
 
     def _deadline(self, body: dict) -> Deadline:
         ms = body.get("deadline_ms")
@@ -192,14 +220,25 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             body = self._read_body()
             deadline = self._deadline(body)
+        except PayloadTooLarge as exc:
+            metrics.counter(f"serving_bad_requests_total_{label}").inc()
+            self._payload_too_large(exc)
+            return
         except (json.JSONDecodeError, UnicodeDecodeError, ValueError, TypeError) as exc:
             metrics.counter(f"serving_bad_requests_total_{label}").inc()
             self._send_json(400, {"error": "bad_request", "detail": str(exc)})
             return
+        # A half-open probe must always report back: any exit that is not
+        # record_success/record_failure releases the probe slot in the
+        # ``finally`` below, otherwise a probe shed by the gate (or ended
+        # by a deadline, bad input, or an unexpected error) would leave
+        # the slot taken forever and wedge the server in fail-fast 503s.
+        is_probe = False
+        probe_resolved = False
         try:
             if server.draining:
                 raise QueueFullError("server is draining", retry_after=5.0)
-            server.breaker.guard()
+            is_probe = server.breaker.guard()
             server.gate.acquire(deadline)
             try:
                 self._inject_chaos(label, index, deadline)
@@ -212,6 +251,7 @@ class _Handler(BaseHTTPRequestHandler):
             finally:
                 server.gate.release()
             server.breaker.record_success()
+            probe_resolved = True
             metrics.counter(f"serving_responses_total_{label}").inc()
             metrics.histogram(
                 f"serving_latency_seconds_{label}", LATENCY_BUCKETS
@@ -235,6 +275,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(503, {"error": "circuit_open", "detail": str(exc)})
         except DegenerateScoreError as exc:
             server.breaker.record_failure()
+            probe_resolved = True
             metrics.counter("serving_degenerate_total").inc()
             self._send_json(503, {"error": "degenerate", "detail": str(exc)})
         except _BAD_REQUEST_ERRORS as exc:
@@ -244,6 +285,9 @@ class _Handler(BaseHTTPRequestHandler):
             )
         except Exception:
             self._internal_error()
+        finally:
+            if is_probe and not probe_resolved:
+                server.breaker.abort_probe()
 
     # -- helpers ---------------------------------------------------------------
 
@@ -266,6 +310,9 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle_reload(self) -> None:
         try:
             body = self._read_body()
+        except PayloadTooLarge as exc:
+            self._payload_too_large(exc)
+            return
         except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
             self._send_json(400, {"error": "bad_request", "detail": str(exc)})
             return
@@ -289,10 +336,17 @@ class _Handler(BaseHTTPRequestHandler):
         """Last-resort structured 500 — the 'no unstructured 500s' guarantee."""
         _log.exception("unhandled error serving %s", self.path)
         self.server.registry.counter("serving_internal_errors_total").inc()
+        if getattr(self, "_response_started", False):
+            # A response (possibly partial — e.g. wfile.write failed
+            # mid-body) already went out on this connection.  A second
+            # status line would corrupt HTTP/1.1 framing for the next
+            # pipelined request, so drop the connection instead.
+            self.close_connection = True
+            return
         try:
             self._send_json(500, {"error": "internal"})
         except OSError:  # pragma: no cover - client already gone
-            pass
+            self.close_connection = True
 
 
 class DeadlineExceededResponse(Exception):
@@ -467,6 +521,12 @@ class ColdHTTPServer(ThreadingHTTPServer):
         if state == "open":
             return 503, {"error": "circuit_open", "status": "not_ready",
                          "breaker": state}
+        if state == "half-open":
+            # Still 200 — routing all traffic away would starve the probe
+            # that closes the breaker — but flagged degraded so
+            # orchestrators can prefer fully-ready replicas.
+            return 200, {"status": "degraded", "degraded": True,
+                         "generation": self.generation, "breaker": state}
         return 200, {"status": "ready", "generation": self.generation,
                      "breaker": state}
 

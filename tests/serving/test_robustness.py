@@ -168,6 +168,28 @@ class TestCircuitBreaker:
         clock.advance(2)
         assert breaker.state == "half-open"
 
+    def test_guard_reports_probe_ownership(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=5, clock=clock)
+        assert breaker.guard() is False  # closed: not a probe
+        breaker.record_failure()
+        clock.advance(6)
+        assert breaker.guard() is True  # half-open: this caller is the probe
+
+    def test_abort_probe_frees_the_slot_without_a_verdict(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=5, clock=clock)
+        breaker.record_failure()
+        clock.advance(6)
+        assert breaker.guard() is True
+        # The probe never scored (shed / deadline / bad input): abort must
+        # hand the slot to the next request, not wedge the breaker.
+        breaker.abort_probe()
+        assert breaker.state == "half-open"  # streak and cooldown untouched
+        assert breaker.guard() is True  # next caller becomes the probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+
     def test_reset_closes(self):
         clock = FakeClock()
         breaker = CircuitBreaker(failure_threshold=1, clock=clock)

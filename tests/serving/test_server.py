@@ -172,6 +172,45 @@ class TestErrorMapping:
         finally:
             conn.close()
 
+    def test_oversized_body_413(self, serve, engine):
+        server = serve(engine=engine, max_body_bytes=128)
+        big = {"source": 0, "candidates": list(range(500)), "words": [0]}
+        status, payload, _ = request(server, "POST", "/predict/retweet", big)
+        assert status == 413
+        assert payload["error"] == "payload_too_large"
+        # The oversized body was never buffered and the server keeps serving.
+        status, payload, _ = request(
+            server,
+            "POST",
+            "/predict/retweet",
+            {"source": 0, "candidates": [1], "words": [0]},
+        )
+        assert status == 200
+
+    def test_no_second_response_after_partial_write(self):
+        """A failure after headers went out must close the connection, not
+        emit a second status line on the same keep-alive connection."""
+        from types import SimpleNamespace
+
+        from repro.serving.server import _Handler
+        from repro.telemetry.metrics import MetricsRegistry
+
+        sent = []
+
+        class Stub:
+            path = "/predict/retweet"
+            close_connection = False
+            _response_started = True
+            server = SimpleNamespace(registry=MetricsRegistry())
+
+            def _send_json(self, *args, **kwargs):
+                sent.append(args)
+
+        stub = Stub()
+        _Handler._internal_error(stub)
+        assert stub.close_connection is True
+        assert sent == []
+
 
 class TestDeadlines:
     def test_slow_handler_times_out_504(self, serve, engine):
@@ -307,6 +346,55 @@ class TestCircuitBreaker:
         assert payload["error"] == "internal"
         _, metrics, _ = request(server, "GET", "/metrics")
         assert metrics["counters"]["serving_internal_errors_total"] == 1
+
+    class _TogglableEngine(ModelServer):
+        """Engine whose retweet path is degenerate until told otherwise."""
+
+        degenerate = True
+
+        def retweet(self, *args, **kwargs):
+            if self.degenerate:
+                raise DegenerateScoreError("retweet: scores contain NaN")
+            return super().retweet(*args, **kwargs)
+
+    def test_aborted_probe_does_not_wedge_breaker(self, serve, estimates):
+        engine = self._TogglableEngine(estimates, ic_simulations=10)
+        server = serve(
+            engine=engine, breaker_threshold=1, breaker_cooldown_seconds=0.1
+        )
+        body = {"source": 0, "candidates": [1], "words": [0]}
+        status, payload, _ = request(server, "POST", "/predict/retweet", body)
+        assert (status, payload["error"]) == (503, "degenerate")
+        assert server.breaker.state == "open"
+        time.sleep(0.15)
+        assert server.breaker.state == "half-open"
+        # The probe request dies on bad input (missing "source" -> 400)
+        # without ever recording a verdict; the probe slot must be freed.
+        status, payload, _ = request(
+            server, "POST", "/predict/retweet", {"candidates": [1], "words": [0]}
+        )
+        assert (status, payload["error"]) == (400, "bad_request")
+        # The model has recovered: the next request becomes the new probe,
+        # scores cleanly, and closes the breaker (a leaked slot would pin
+        # every request here to 503 circuit_open forever).
+        engine.degenerate = False
+        status, payload, _ = request(server, "POST", "/predict/retweet", body)
+        assert status == 200, payload
+        assert server.breaker.state == "closed"
+
+    def test_readyz_flags_half_open_as_degraded(self, serve, engine):
+        server = serve(
+            engine=engine, breaker_threshold=1, breaker_cooldown_seconds=0.05
+        )
+        server.breaker.record_failure()
+        status, ready, _ = request(server, "GET", "/readyz")
+        assert status == 503
+        time.sleep(0.1)
+        status, ready, _ = request(server, "GET", "/readyz")
+        assert status == 200
+        assert ready["status"] == "degraded"
+        assert ready["degraded"] is True
+        assert ready["breaker"] == "half-open"
 
 
 class TestReload:
