@@ -32,6 +32,7 @@ from .core import (
     COLDConfig,
     COLDModel,
     ConfigError,
+    StreamConfig,
     CommunityDiffusionGraph,
     DiffusionPredictor,
     Hyperparameters,
@@ -76,6 +77,7 @@ __all__ = [
     "Post",
     "RetweetTuple",
     "SocialCorpus",
+    "StreamConfig",
     "SyntheticConfig",
     "Vocabulary",
     "__version__",

@@ -38,6 +38,25 @@ def warn_positional_use(qualname: str, hint: str) -> None:
     )
 
 
+def warn_renamed_field(old: str, new: str) -> None:
+    """Emit the once-per-rename DeprecationWarning for a moved config field.
+
+    Shares the :data:`_warned` registry (and thus
+    :func:`reset_positional_warnings`) with the positional-use shim, so
+    each rename warns once per process no matter how many call sites hit
+    it.
+    """
+    key = f"{old}->{new}"
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def keyword_only(cls: type) -> type:
     """Class decorator: positional ``__init__`` use warns once, then maps.
 

@@ -9,6 +9,13 @@ Everything a COLD study needs day to day lives here::
     api.save(model, "runs/weibo")
     model = api.load("runs/weibo")
 
+Continuous operation joins the same verb set: :func:`update` folds new
+stream events into a fitted model (windowed incremental Gibbs),
+:func:`serve` builds the versioned ``/v1/`` HTTP front end over a model,
+and :func:`watch` wires a publish directory to the server's validated
+hot-swap reload.  All three are keyword-only past their subjects, like
+``fit``/``save``/``load``.
+
 :class:`COLDConfig` is a frozen, validated value object — build one per
 study, derive variants with :meth:`COLDConfig.evolve`, and every entry
 point (this module, the CLI, the benchmark harness) consumes it the same
@@ -35,11 +42,12 @@ not churn underneath scripts.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 
-from .core.config import COLDConfig, ConfigError
+from .core.config import COLDConfig, ConfigError, StreamConfig
 from .core.likelihood import ConvergenceMonitor, joint_log_likelihood
-from .core.model import COLDModel, ModelError
+from .core.model import COLDModel, ModelError, UpdateReport
 from .datasets.corpus import SocialCorpus
 from .diagnostics import (
     DiagnosticsReport,
@@ -62,6 +70,8 @@ __all__ = [
     "QualityStream",
     "ServerConfig",
     "ServingError",
+    "StreamConfig",
+    "UpdateReport",
     "configure_logging",
     "diagnose",
     "fit",
@@ -69,6 +79,9 @@ __all__ = [
     "load",
     "run_chains",
     "save",
+    "serve",
+    "update",
+    "watch",
 ]
 
 
@@ -124,3 +137,81 @@ def load(path: str | Path) -> COLDModel:
     artefacts, ``FileNotFoundError`` when they are missing.
     """
     return COLDModel.load(path)
+
+
+def update(
+    model: COLDModel,
+    events,
+    *,
+    stream: StreamConfig | None = None,
+) -> UpdateReport:
+    """Fold new stream events into a fitted ``model`` incrementally.
+
+    The function form of :meth:`COLDModel.update`: ``events`` is a
+    :class:`~repro.datasets.stream.CorpusIncrement` or raw
+    ``PostEvent``/``LinkEvent`` items (the latter require the model's
+    ``stream_builder_`` — attach one via
+    :class:`repro.streaming.OnlineTrainer` or by hand).  ``stream``
+    overrides the model's :class:`StreamConfig` for this call.
+    """
+    return model.update(events, stream=stream)
+
+
+def serve(
+    model: COLDModel | str | Path,
+    *,
+    config: ServerConfig | None = None,
+    **overrides: object,
+) -> ColdHTTPServer:
+    """Build the versioned HTTP front end over ``model`` (not yet running).
+
+    ``model`` is a fitted model or a saved-model path; ``config``
+    defaults to ``ServerConfig()`` with keyword ``overrides`` applied on
+    top (``serve(model, port=0, deadline_ms=500)``).  The returned
+    :class:`ColdHTTPServer` is bound but not serving — call
+    :meth:`~repro.serving.server.ColdHTTPServer.serve_until_shutdown`
+    (typically on a thread) and
+    :meth:`~repro.serving.server.ColdHTTPServer.begin_drain` to stop;
+    pair with :func:`watch` for hot-swap on publish.
+    """
+    if config is None:
+        config = ServerConfig()
+    if overrides:
+        try:
+            config = replace(config, **overrides)  # type: ignore[arg-type]
+        except TypeError as exc:
+            raise ServingError(f"unknown ServerConfig field: {exc}") from exc
+    if isinstance(model, (str, Path)):
+        return ColdHTTPServer(config, model_path=model)
+    estimates = model._require_fit()
+    engine = ModelServer(
+        estimates,
+        top_comm_size=config.top_comm_size,
+        cache_size=config.cache_size,
+        ic_simulations=config.ic_simulations,
+    )
+    return ColdHTTPServer(config, engine=engine)
+
+
+def watch(
+    server: ColdHTTPServer,
+    publish_dir: str | Path,
+    *,
+    poll_interval: float = 1.0,
+    start: bool = True,
+):
+    """Reload ``server`` whenever ``publish_dir``'s manifest advances.
+
+    Returns a started :class:`repro.streaming.ModelWatcher` polling every
+    ``poll_interval`` seconds (``start=False`` leaves it stopped — drive
+    :meth:`~repro.streaming.watcher.ModelWatcher.poke` yourself, e.g.
+    from an :meth:`OnlineTrainer.subscribe
+    <repro.streaming.trainer.OnlineTrainer.subscribe>` callback for
+    event-driven, sleep-free reloads).
+    """
+    from .streaming.watcher import ModelWatcher
+
+    watcher = ModelWatcher(server, publish_dir, poll_interval=poll_interval)
+    if start:
+        watcher.start()
+    return watcher

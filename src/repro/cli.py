@@ -20,7 +20,13 @@ Subcommands mirror the lifecycle of a COLD study:
   :mod:`repro.diagnostics`);
 * ``serve``     — the resilient prediction server (see
   :mod:`repro.serving`): retweet/link/timestamp/influential queries over
-  HTTP with deadlines, load shedding, health probes, and hot-swap reload.
+  HTTP with deadlines, load shedding, health probes, and hot-swap reload;
+* ``stream``    — continuous operation (see :mod:`repro.streaming`):
+  bootstrap-fit on the head of an event JSONL, then fold the remainder
+  in incremental batches, publishing model generations to a directory
+  (and, with ``--serve``, hot-swapping an in-process server on every
+  publish).  ``cold bench --streaming`` measures per-update cost against
+  a full batch refit (``BENCH_streaming.json``).
 
 ``train`` handles SIGINT/SIGTERM gracefully: the fit stops at the next
 sweep boundary, writes a final checkpoint when checkpointing is enabled,
@@ -61,6 +67,7 @@ from .core.state import StateError
 from .datasets.corpus import CorpusError
 from .datasets.io import CorpusIOError, load_corpus, save_corpus
 from .datasets.splits import post_splits
+from .datasets.stream import StreamError
 from .datasets.synthetic import SyntheticConfig, generate_corpus
 from .diagnostics.stats import DiagnosticsError
 from .eval.timestamp import accuracy_curve
@@ -87,6 +94,7 @@ _CLI_ERRORS = (
     StateError,
     RetryError,
     ServingError,
+    StreamError,
     TelemetryError,
     FileNotFoundError,
     IsADirectoryError,
@@ -130,6 +138,11 @@ def _add_generate(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument("--time-slices", type=int, default=24)
     parser.add_argument("--vocab", type=int, default=400)
     parser.add_argument("--themed", action="store_true", help="readable tokens")
+    parser.add_argument(
+        "--events", action="store_true",
+        help="write an event JSONL (post/link records with wall-clock "
+        "stamps, 'cold stream' input) instead of a corpus JSONL",
+    )
 
 
 def _telemetry_parent() -> argparse.ArgumentParser:
@@ -290,6 +303,20 @@ def _add_bench(subparsers: argparse._SubParsersAction) -> None:
         "p50/p99 over a live loopback server) instead of the Gibbs kernels",
     )
     parser.add_argument(
+        "--streaming", action="store_true",
+        help="benchmark incremental updates against a full batch refit "
+        "(per-update latency, speedup, statistical equivalence) instead "
+        "of the Gibbs kernels",
+    )
+    parser.add_argument(
+        "--updates", type=int, default=5,
+        help="incremental updates per --streaming case (default: 5)",
+    )
+    parser.add_argument(
+        "--bootstrap-fraction", type=float, default=0.6, metavar="F",
+        help="event fraction for the --streaming bootstrap fit",
+    )
+    parser.add_argument(
         "--requests", type=int, default=600,
         help="timed requests per --serving case (default: 600)",
     )
@@ -410,6 +437,95 @@ def _add_serve(subparsers: argparse._SubParsersAction) -> None:
     )
 
 
+def _add_stream(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "stream",
+        help="continuous operation: bootstrap fit + incremental updates",
+        description="Read an event JSONL (see 'cold generate --events'), "
+        "bootstrap-fit COLD on its head, then fold the remaining events "
+        "in batches via windowed incremental Gibbs.  Every publish "
+        "interval the current model is published atomically to "
+        "--publish-dir (MANIFEST.json written last); with --serve an "
+        "in-process prediction server hot-swaps on every publish, "
+        "event-driven (no polling).",
+        parents=[
+            _dims_parent(communities=4, topics=6),
+            _seed_parent(),
+            _telemetry_parent(),
+        ],
+    )
+    parser.add_argument("events", type=Path, help="event JSONL path")
+    parser.add_argument(
+        "model", type=Path, help="final model output path (no suffix)"
+    )
+    parser.add_argument(
+        "--publish-dir", type=Path, default=None,
+        help="directory for published model generations "
+        "(default: MODEL.pub)",
+    )
+    parser.add_argument(
+        "--bootstrap-fraction", type=float, default=0.5, metavar="F",
+        help="fraction of events used for the initial batch fit "
+        "(default: 0.5)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=200, metavar="N",
+        help="events folded per incremental update (default: 200)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=100,
+        help="Gibbs sweeps for the bootstrap fit (default: 100)",
+    )
+    parser.add_argument(
+        "--update-sweeps", type=int, default=8, metavar="N",
+        help="windowed sweeps per incremental update (default: 8)",
+    )
+    parser.add_argument(
+        "--window-posts", type=int, default=512, metavar="N",
+        help="recent-post tail resampled alongside new posts",
+    )
+    parser.add_argument(
+        "--window-links", type=int, default=512, metavar="N",
+        help="recent-link tail resampled alongside new links",
+    )
+    parser.add_argument(
+        "--publish-interval", type=int, default=1, metavar="N",
+        help="publish a model generation every N updates (default: 1)",
+    )
+    parser.add_argument(
+        "--rollover", choices=["grow", "clamp", "error"], default="grow",
+        help="time-grid policy for events past the fitted span: 'grow' "
+        "appends slices (psi gets prior-mass columns), 'clamp' bins "
+        "into the last slice, 'error' rejects the increment",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", type=Path, default=None,
+        help="directory for streaming checkpoints "
+        "(default: MODEL.ckpt when checkpointing is on)",
+    )
+    parser.add_argument(
+        "--checkpoint-every-updates", type=int, default=None, metavar="N",
+        help="write an atomic lineage checkpoint every N updates",
+    )
+    parser.add_argument(
+        "--time-slices", type=int, default=24,
+        help="time-grid resolution of the bootstrap corpus (default: 24)",
+    )
+    parser.add_argument(
+        "--min-posts", type=int, default=1, metavar="N",
+        help="bootstrap low-activity filter: drop users with fewer posts",
+    )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="also serve predictions in-process, hot-swapping on publish",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port for --serve (0 picks a free one)",
+    )
+
+
 def _add_diagnose(subparsers: argparse._SubParsersAction) -> None:
     parser = subparsers.add_parser(
         "diagnose",
@@ -469,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_monitor(subparsers)
     _add_diagnose(subparsers)
     _add_serve(subparsers)
+    _add_stream(subparsers)
     return parser
 
 
@@ -520,6 +637,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     corpus, _truth = generate_corpus(config)
+    if args.events:
+        from .streaming import corpus_to_events, write_events
+
+        count = write_events(args.output, corpus_to_events(corpus))
+        print(f"wrote {count} event(s) from {corpus} -> {args.output}")
+        return 0
     save_corpus(corpus, args.output)
     print(f"wrote {corpus} -> {args.output}")
     return 0
@@ -766,18 +889,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_diagnostics_benchmark,
         write_parallel_benchmark,
         write_serving_benchmark,
+        write_streaming_benchmark,
     )
 
-    exclusive = [args.parallel, args.diagnostics, args.serving]
+    exclusive = [args.parallel, args.diagnostics, args.serving, args.streaming]
     if sum(exclusive) > 1:
         raise TelemetryError(
-            "--parallel, --diagnostics, and --serving are exclusive"
+            "--parallel, --diagnostics, --serving, and --streaming are "
+            "exclusive"
         )
     available = {"smoke": SMOKE, "medium": MEDIUM}
     case_names = args.cases
     if case_names is None:
         case_names = (
-            ["medium"] if args.parallel or args.diagnostics
+            ["medium"] if args.parallel or args.diagnostics or args.streaming
             else ["smoke", "medium"]
         )
     cases = tuple(available[name] for name in dict.fromkeys(case_names))
@@ -789,9 +914,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             output = Path("BENCH_diagnostics.json")
         elif args.serving:
             output = Path("BENCH_serving.json")
+        elif args.streaming:
+            output = Path("BENCH_streaming.json")
         else:
             output = Path("BENCH_gibbs.json")
     print(f"benchmarking {len(cases)} case(s): {', '.join(c.name for c in cases)}")
+
+    if args.streaming:
+        payload = write_streaming_benchmark(
+            output,
+            cases=cases,
+            num_updates=args.updates,
+            bootstrap_fraction=args.bootstrap_fraction,
+        )
+        for record in payload["cases"]:
+            print(
+                f"{record['name']:>8}: "
+                f"{record['mean_update_seconds']*1e3:.1f}ms per update vs "
+                f"{record['refit_seconds']*1e3:.1f}ms full refit, "
+                f"speedup {record['speedup']:.1f}x, "
+                f"equivalent={record['equivalent']}"
+            )
+        print(f"wrote benchmark -> {output}")
+        return 0
 
     if args.serving:
         payload = write_serving_benchmark(
@@ -916,6 +1061,131 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .core.config import StreamConfig
+    from .datasets.stream import CorpusStreamBuilder, PostEvent
+    from .streaming import ModelWatcher, OnlineTrainer, read_events, split_events
+
+    if args.log_level is not None:
+        configure_logging(level=args.log_level, fmt=args.log_format)
+    events = read_events(args.events)
+    bootstrap, remainder = split_events(events, args.bootstrap_fraction)
+    builder = CorpusStreamBuilder(
+        num_time_slices=args.time_slices, min_posts_per_user=args.min_posts
+    )
+    for event in bootstrap:
+        if isinstance(event, PostEvent):
+            builder.add_post(event.author_key, event.tokens, event.time)
+        else:
+            builder.add_link(event.source_key, event.target_key, event.time)
+    corpus = builder.build(incremental=True)
+    print(f"bootstrap: {len(bootstrap)}/{len(events)} event(s) -> {corpus}")
+
+    checkpoint_interval = args.checkpoint_every_updates
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_interval is not None and checkpoint_dir is None:
+        checkpoint_dir = args.model.with_suffix(".ckpt")
+    stream_config = StreamConfig(
+        window_posts=args.window_posts,
+        window_links=args.window_links,
+        update_sweeps=args.update_sweeps,
+        publish_interval=args.publish_interval,
+        rollover=args.rollover,
+        checkpoint_interval=checkpoint_interval,
+    )
+    model = COLDModel(
+        num_communities=args.communities,
+        num_topics=args.topics,
+        seed=args.seed,
+        trace_out=args.trace_out,
+        stream=stream_config,
+    )
+    with _graceful_interrupts() as stop_requested:
+        try:
+            model.fit(
+                corpus,
+                num_iterations=args.iterations,
+                stop_requested=stop_requested,
+            )
+        except TrainingInterrupted as exc:
+            return _report_interrupt(exc, args)
+    _report_degeneracy(model)
+
+    publish_dir = args.publish_dir
+    if publish_dir is None:
+        publish_dir = args.model.with_suffix(".pub")
+    trainer = OnlineTrainer(
+        model,
+        builder,
+        publish_dir=publish_dir,
+        checkpoint_dir=checkpoint_dir,
+        metrics_out=args.metrics_out,
+    )
+    trainer.subscribe(
+        lambda generation, path: print(
+            f"published generation {generation} -> {path.name}", flush=True
+        )
+    )
+    trainer.publish()
+
+    server = None
+    server_thread = None
+    if args.serve:
+        from .serving import ColdHTTPServer, ServerConfig
+
+        server_config = ServerConfig(host=args.host, port=args.port)
+        stem = publish_dir / f"model-{trainer.generation:06d}"
+        server = ColdHTTPServer(server_config, model_path=stem)
+        watcher = ModelWatcher(server, publish_dir)
+        # The boot generation is already live; only later publishes swap.
+        watcher.seen_generation = trainer.generation
+
+        def hot_swap(generation: int, path: Path) -> None:
+            if watcher.poke():
+                print(f"reloaded generation {generation}", flush=True)
+
+        trainer.subscribe(hot_swap)
+        server_thread = threading.Thread(
+            target=server.serve_until_shutdown,
+            name="cold-stream-serve",
+            daemon=True,
+        )
+        server_thread.start()
+        host, port = server.server_address[:2]
+        print(f"serving on http://{host}:{port}", flush=True)
+
+    exit_code = 0
+    with _graceful_interrupts() as stop_requested:
+        for start in range(0, len(remainder), args.batch_size):
+            if stop_requested():
+                print("interrupted: stopping at batch boundary", file=sys.stderr)
+                exit_code = 3
+                break
+            trainer.feed(remainder[start:start + args.batch_size])
+            report = trainer.step()
+            if report is not None:
+                print(
+                    f"update {report.update_index}: "
+                    f"+{report.new_posts} post(s) +{report.new_links} link(s) "
+                    f"+{report.new_users} user(s) +{report.new_terms} term(s) "
+                    f"+{report.new_slices} slice(s), "
+                    f"window {report.window_posts}, "
+                    f"{report.seconds:.2f}s, "
+                    f"loglik {report.log_likelihood:.1f}"
+                )
+        else:
+            trainer.drain()
+    trainer.close()
+    model.save(args.model)
+    print(f"saved model -> {args.model}.json / .npz")
+    if server is not None:
+        server.begin_drain()
+        assert server_thread is not None
+        server_thread.join(timeout=10)
+    print("drained cleanly")
+    return exit_code
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
@@ -926,6 +1196,7 @@ _COMMANDS = {
     "monitor": _cmd_monitor,
     "diagnose": _cmd_diagnose,
     "serve": _cmd_serve,
+    "stream": _cmd_stream,
 }
 
 

@@ -22,7 +22,7 @@ from .diffusion import (
     zeta,
     zeta_for_topic,
 )
-from .config import COLDConfig, ConfigError
+from .config import COLDConfig, ConfigError, StreamConfig
 from .estimates import (
     EstimateError,
     ParameterEstimates,
@@ -102,6 +102,7 @@ __all__ = [
     "PostTable",
     "PredictionError",
     "StateError",
+    "StreamConfig",
     "SweepCache",
     "TimeLagAnalysis",
     "all_word_clouds",

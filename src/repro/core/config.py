@@ -12,12 +12,97 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
 
+from .._compat import warn_renamed_field
 from ..telemetry.logconfig import parse_level
 from .params import Hyperparameters
 
 
 class ConfigError(ValueError):
     """Raised for invalid COLD run configurations."""
+
+
+@dataclass(frozen=True, kw_only=True)
+class StreamConfig:
+    """Knobs of online incremental inference (:meth:`repro.COLDModel.update`).
+
+    Streaming settings are nested here instead of growing more flat
+    top-level :class:`COLDConfig` fields; pass one as ``COLDConfig(
+    stream=StreamConfig(...))`` or per-update via ``model.update(events,
+    stream=...)``.
+
+    Attributes
+    ----------
+    window_posts, window_links:
+        How many of the most recent *pre-existing* posts/links are
+        resampled alongside the new ones on each update.  Everything
+        older keeps its converged assignments (but still contributes its
+        counts to every conditional).
+    resample_fraction:
+        Additionally resample this fraction of the frozen region,
+        uniformly at random, each update — a slow defrost that keeps
+        long-frozen state from ossifying as the posterior drifts.  ``0``
+        (the default) freezes it completely.
+    update_sweeps:
+        Restricted Gibbs sweeps per update batch.
+    sample_last:
+        Estimates are averaged from the last this-many update sweeps
+        (grown dimensions make pre-update samples unaveragable).
+    rollover:
+        What to do with events whose wall-clock time falls beyond the
+        fitted time grid: ``"grow"`` appends new slices (psi gains
+        columns initialised with prior mass), ``"clamp"`` maps them into
+        the last slice, ``"error"`` raises.
+    publish_interval:
+        An :class:`~repro.streaming.OnlineTrainer` publishes the model
+        (for serving hot-swap) every this many updates.
+    checkpoint_interval:
+        The trainer writes an atomic checkpoint every this many updates;
+        ``None`` disables streaming checkpoints.
+    max_new_slices:
+        Upper bound on time-grid growth in one update; a stream whose
+        stamps jump far past the fitted span (clock bugs, wrong units)
+        fails loudly instead of allocating an absurd grid.
+    """
+
+    window_posts: int = 512
+    window_links: int = 512
+    resample_fraction: float = 0.0
+    update_sweeps: int = 8
+    sample_last: int = 3
+    rollover: str = "grow"
+    publish_interval: int = 1
+    checkpoint_interval: int | None = None
+    max_new_slices: int = 256
+
+    def __post_init__(self) -> None:
+        if self.window_posts < 0 or self.window_links < 0:
+            raise ConfigError("window_posts and window_links must be >= 0")
+        if not 0.0 <= self.resample_fraction <= 1.0:
+            raise ConfigError(
+                f"resample_fraction must lie in [0, 1], "
+                f"got {self.resample_fraction}"
+            )
+        if self.update_sweeps <= 0:
+            raise ConfigError("update_sweeps must be positive")
+        if not 1 <= self.sample_last <= self.update_sweeps:
+            raise ConfigError(
+                "sample_last must lie in [1, update_sweeps]"
+            )
+        if self.rollover not in ("grow", "clamp", "error"):
+            raise ConfigError(
+                "rollover must be 'grow', 'clamp', or 'error', "
+                f"got {self.rollover!r}"
+            )
+        if self.publish_interval <= 0:
+            raise ConfigError("publish_interval must be positive")
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ConfigError("checkpoint_interval must be positive when given")
+        if self.max_new_slices <= 0:
+            raise ConfigError("max_new_slices must be positive")
+
+
+#: StreamConfig field names, for the deprecated flat-alias path below.
+_STREAM_FIELDS = frozenset(f.name for f in fields(StreamConfig))
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -93,6 +178,7 @@ class COLDConfig:
     metrics_out: str | None = None
     trace_out: str | None = None
     log_level: str | None = None
+    stream: StreamConfig | None = None
 
     #: Fields consumed by ``COLDModel.__init__`` (the rest schedule ``fit``).
     _MODEL_FIELDS = (
@@ -109,6 +195,7 @@ class COLDConfig:
         "num_workers",
         "metrics_out",
         "trace_out",
+        "stream",
     )
 
     def __post_init__(self) -> None:
@@ -146,6 +233,21 @@ class COLDConfig:
                 parse_level(self.log_level)
             except ValueError as exc:
                 raise ConfigError(str(exc)) from exc
+        if self.stream is not None:
+            if isinstance(self.stream, dict):
+                # Round-tripped configs (saved models, checkpoints) carry
+                # the nested StreamConfig as a plain mapping.
+                try:
+                    object.__setattr__(
+                        self, "stream", StreamConfig(**self.stream)
+                    )
+                except TypeError as exc:
+                    raise ConfigError(f"invalid stream config: {exc}") from exc
+            elif not isinstance(self.stream, StreamConfig):
+                raise ConfigError(
+                    "stream must be a StreamConfig (or None), "
+                    f"got {type(self.stream).__name__}"
+                )
 
     def model_kwargs(self) -> dict:
         """The subset of fields ``COLDModel.__init__`` consumes."""
@@ -161,7 +263,37 @@ class COLDConfig:
         }
 
     def evolve(self, **changes: object) -> "COLDConfig":
-        """A copy with ``changes`` applied (validated like a fresh config)."""
+        """A copy with ``changes`` applied (validated like a fresh config).
+
+        Flat ``stream_<field>`` keywords (the pre-:class:`StreamConfig`
+        spelling) are still accepted but deprecated: each warns once per
+        process and folds into the nested ``stream`` config.  Use
+        ``evolve(stream=StreamConfig(...))`` going forward.
+        """
+        flat = {
+            name: changes.pop(name)
+            for name in list(changes)
+            if name.startswith("stream_")
+            and name[len("stream_"):] in _STREAM_FIELDS
+        }
+        if flat:
+            stream = changes.get("stream", self.stream)
+            if stream is None:
+                stream = StreamConfig()
+            if not isinstance(stream, StreamConfig):
+                raise ConfigError(
+                    "stream must be a StreamConfig when combining with "
+                    "deprecated stream_* keywords"
+                )
+            for name in flat:
+                warn_renamed_field(
+                    f"COLDConfig.{name}",
+                    f"COLDConfig.stream.{name[len('stream_'):]}",
+                )
+            changes["stream"] = replace(
+                stream,
+                **{name[len("stream_"):]: value for name, value in flat.items()},
+            )
         known = {f.name for f in fields(self)}
         unknown = set(changes) - known
         if unknown:

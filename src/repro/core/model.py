@@ -19,13 +19,15 @@ from __future__ import annotations
 
 import json
 import time
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 import numpy as np
 
 from .._compat import warn_positional_use
 from ..datasets.corpus import SocialCorpus
+from ..datasets.stream import CorpusIncrement, LinkEvent, PostEvent
 from ..resilience.checkpoint import (
     CheckpointError,
     atomic_write_text,
@@ -35,7 +37,7 @@ from ..resilience.checkpoint import (
 from ..telemetry import tracing as trace
 from ..telemetry.logconfig import get_logger
 from ..telemetry.session import TelemetrySession
-from .config import COLDConfig
+from .config import COLDConfig, StreamConfig
 from .estimates import ParameterEstimates, average_estimates, estimate_from_state
 from .gibbs import sweep
 from .likelihood import ConvergenceMonitor, joint_log_likelihood
@@ -65,6 +67,28 @@ class TrainingInterrupted(ModelError):
         super().__init__(detail)
         self.iteration = iteration
         self.checkpoint = checkpoint
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """What one :meth:`COLDModel.update` call did, for logs and telemetry.
+
+    ``new_slices`` counts time-grid growth (psi gained that many columns,
+    initialised with prior mass); ``window_posts``/``window_links`` are
+    the total resampled set sizes (new + recent tail + defrost sample).
+    """
+
+    update_index: int
+    new_posts: int
+    new_links: int
+    new_users: int
+    new_terms: int
+    new_slices: int
+    window_posts: int
+    window_links: int
+    sweeps: int
+    seconds: float
+    log_likelihood: float
 
 
 class COLDModel:
@@ -170,6 +194,7 @@ class COLDModel:
         num_workers: int | None = None,
         metrics_out: str | Path | None = None,
         trace_out: str | Path | None = None,
+        stream: StreamConfig | dict | None = None,
     ) -> None:
         if num_communities <= 0 or num_topics <= 0:
             raise ModelError("num_communities and num_topics must be positive")
@@ -205,6 +230,27 @@ class COLDModel:
         #: ``metrics_out`` to ``<checkpoint_dir>/metrics.jsonl``.
         self.metrics_out = None if metrics_out is None else str(metrics_out)
         self.trace_out = None if trace_out is None else str(trace_out)
+        if isinstance(stream, dict):
+            # Round-tripped configs (saved models, checkpoints) carry the
+            # nested StreamConfig as a plain mapping.
+            try:
+                stream = StreamConfig(**stream)
+            except TypeError as exc:
+                raise ModelError(f"invalid stream config: {exc}") from exc
+        if stream is not None and not isinstance(stream, StreamConfig):
+            raise ModelError(
+                f"stream must be a StreamConfig (or None), got "
+                f"{type(stream).__name__}"
+            )
+        #: Default knobs of :meth:`update`; overridable per call.
+        self.stream = stream
+        #: An incremental :class:`~repro.datasets.stream.CorpusStreamBuilder`
+        #: attached by :class:`repro.streaming.OnlineTrainer` (or by hand)
+        #: so :meth:`update` can accept raw events.
+        self.stream_builder_ = None
+        #: Incremental updates applied so far (the model *generation*).
+        self.update_count_ = 0
+        self._checkpoint_parent: str | None = None
         self._rng = np.random.default_rng(seed)
         self.state_: CountState | None = None
         self.estimates_: ParameterEstimates | None = None
@@ -594,6 +640,182 @@ class COLDModel:
         self.hyperparameters = hp
         self.estimates_ = average_estimates(samples)
 
+    # -- incremental updates -----------------------------------------------------
+
+    def update(
+        self,
+        events: CorpusIncrement | Iterable[PostEvent | LinkEvent],
+        *,
+        stream: StreamConfig | None = None,
+    ) -> UpdateReport:
+        """Fold new events into the live sampler and resample a window.
+
+        The streaming counterpart of :meth:`fit`: new posts/links join the
+        Gibbs counters with random initial assignments, then
+        ``update_sweeps`` restricted sweeps resample only the *window* —
+        the new items, a tail of the ``window_posts``/``window_links``
+        most recent pre-existing ones, and (``resample_fraction``) a
+        random defrost sample of the frozen region.  Frozen assignments
+        keep contributing their counts to every conditional, so this is
+        windowed resampling over converged state, not a cold start.
+        Estimates are re-averaged from the last ``sample_last`` sweeps
+        (grown dimensions make pre-update samples unaveragable) and the
+        joint likelihood is appended to ``monitor_``.
+
+        ``events`` is either a ready-made
+        :class:`~repro.datasets.stream.CorpusIncrement` (in the model's
+        global id space) or raw :class:`PostEvent`/:class:`LinkEvent`
+        items — the latter require an incremental builder on
+        ``stream_builder_`` (an :class:`repro.streaming.OnlineTrainer`
+        attaches one).  Vocabulary/user/time-grid growth is append-only;
+        new psi columns start with prior mass.  ``stream`` overrides the
+        model-level :class:`StreamConfig` for this call.
+        """
+        if self.state_ is None or self.hyperparameters is None:
+            raise ModelError(
+                "update() requires a fitted sampler state; fit() first "
+                "(load()ed models carry estimates only)"
+            )
+        cfg = stream or self.stream or StreamConfig()
+        if isinstance(events, CorpusIncrement):
+            increment = events
+        else:
+            builder = self.stream_builder_
+            if builder is None or not builder.incremental:
+                raise ModelError(
+                    "raw events need an incremental CorpusStreamBuilder on "
+                    "stream_builder_; pass a CorpusIncrement or use "
+                    "repro.streaming.OnlineTrainer"
+                )
+            for event in events:
+                if isinstance(event, PostEvent):
+                    builder.add_post(event.author_key, event.tokens, event.time)
+                elif isinstance(event, LinkEvent):
+                    builder.add_link(
+                        event.source_key, event.target_key, event.time
+                    )
+                else:
+                    raise ModelError(
+                        f"expected PostEvent or LinkEvent, got "
+                        f"{type(event).__name__}"
+                    )
+            increment = builder.pop_increment(
+                rollover=cfg.rollover, max_new_slices=cfg.max_new_slices
+            )
+
+        state = self.state_
+        hp = self.hyperparameters
+        start = time.perf_counter()
+        users_before = state.n_user_comm.shape[0]
+        vocab_before = state.n_topic_word.shape[1]
+        slices_before = state.n_comm_topic_time.shape[2]
+        posts_before = state.num_posts
+        links_before = state.num_links
+
+        new_posts, new_links = state.fold_increment(
+            increment.posts,
+            increment.links,
+            max(increment.num_users, users_before),
+            max(increment.vocab_size, vocab_before),
+            max(increment.num_time_slices, slices_before),
+            self._rng,
+            include_network=self.include_network,
+        )
+
+        # The corpus grew, so the fast-path cache is rebuilt wholesale —
+        # SweepCache.refresh() only covers same-shape assignment churn.
+        cache = None
+        if self.fast:
+            from .fastgibbs import SweepCache
+
+            cache = SweepCache(state, hp)
+
+        post_window = self._resample_window(
+            new_posts, posts_before, cfg.window_posts, cfg.resample_fraction
+        )
+        link_window = self._resample_window(
+            new_links, links_before, cfg.window_links, cfg.resample_fraction
+        )
+
+        samples: list[ParameterEstimates] = []
+        for sweep_index in range(cfg.update_sweeps):
+            with trace.span("update_sweep", sweep=sweep_index + 1):
+                sweep(
+                    state,
+                    hp,
+                    self._rng,
+                    post_order=self._rng.permutation(post_window),
+                    link_order=self._rng.permutation(link_window),
+                    cache=cache,
+                )
+            if sweep_index >= cfg.update_sweeps - cfg.sample_last:
+                samples.append(estimate_from_state(state, hp))
+        self.estimates_ = average_estimates(samples)
+        log_likelihood = joint_log_likelihood(state, hp)
+        if self.monitor_ is not None:
+            self.monitor_.record(log_likelihood)
+            self.monitor_.degenerate_draws = state.degenerate_draws
+        self._fold_into_corpus(increment)
+        self.update_count_ += 1
+        return UpdateReport(
+            update_index=self.update_count_,
+            new_posts=len(new_posts),
+            new_links=len(new_links),
+            new_users=state.n_user_comm.shape[0] - users_before,
+            new_terms=state.n_topic_word.shape[1] - vocab_before,
+            new_slices=state.n_comm_topic_time.shape[2] - slices_before,
+            window_posts=len(post_window),
+            window_links=len(link_window),
+            sweeps=cfg.update_sweeps,
+            seconds=time.perf_counter() - start,
+            log_likelihood=log_likelihood,
+        )
+
+    def _resample_window(
+        self,
+        new_indices: np.ndarray,
+        size_before: int,
+        tail: int,
+        resample_fraction: float,
+    ) -> np.ndarray:
+        """New indices + recent tail + a random defrost of the frozen rest."""
+        tail = min(tail, size_before)
+        parts = [new_indices, np.arange(size_before - tail, size_before)]
+        frozen = size_before - tail
+        defrost = int(frozen * resample_fraction)
+        if defrost > 0:
+            parts.append(
+                self._rng.choice(frozen, size=defrost, replace=False)
+            )
+        return np.concatenate(parts)
+
+    def _fold_into_corpus(self, increment: CorpusIncrement) -> None:
+        """Mirror an applied increment onto the attached ``corpus_``."""
+        corpus = self.corpus_
+        if corpus is None:
+            return
+        corpus.num_users = max(corpus.num_users, increment.num_users)
+        corpus.num_time_slices = max(
+            corpus.num_time_slices, increment.num_time_slices
+        )
+        corpus.posts.extend(increment.posts)
+        existing = corpus.link_set()
+        corpus.links.extend(
+            edge
+            for edge in increment.links
+            if edge not in existing and edge[0] != edge[1]
+        )
+        if increment.vocab_size > corpus.vocab_size:
+            if corpus.vocabulary is not None and increment.new_tokens:
+                from ..datasets.vocabulary import Vocabulary
+
+                corpus.vocabulary = Vocabulary(
+                    corpus.vocabulary.to_list() + list(increment.new_tokens)
+                ).freeze()
+            else:
+                corpus.vocabulary = None
+            corpus.vocab_size = increment.vocab_size
+
     # -- checkpoint/resume -----------------------------------------------------
 
     def _write_checkpoint(
@@ -627,6 +849,7 @@ class COLDModel:
                 "num_workers": self.num_workers,
                 "metrics_out": self.metrics_out,
                 "trace_out": self.trace_out,
+                "stream": None if self.stream is None else asdict(self.stream),
             },
             "hyperparameters": {
                 "rho": hp.rho,
@@ -645,8 +868,50 @@ class COLDModel:
             },
             "degenerate_draws": int(state.degenerate_draws),
             "num_samples": len(samples),
+            # Streaming lineage: which incremental generation this state
+            # is, and which checkpoint it grew from (None for the first).
+            "lineage": {
+                "generation": self.update_count_,
+                "parent": self._checkpoint_parent,
+            },
         }
-        return save_checkpoint(directory, iteration, arrays, meta)
+        path = save_checkpoint(directory, iteration, arrays, meta)
+        self._checkpoint_parent = path.name
+        return path
+
+    def checkpoint(self, directory: str | Path, iteration: int) -> Path:
+        """Write an atomic checkpoint of the current fitted state.
+
+        The streaming counterpart of ``fit(checkpoint_every=...)``: an
+        :class:`~repro.streaming.OnlineTrainer` calls this between
+        updates, so a killed stream restarts from the latest fold instead
+        of the initial batch fit.  The checkpoint rides the existing
+        validated format (checksums, newest-valid-first recovery) plus
+        lineage metadata — ``meta["lineage"]`` records the incremental
+        generation and the parent checkpoint file.  ``iteration`` is the
+        checkpoint's sequence stamp (monotonically increasing per
+        directory; the trainer uses the update index).
+        """
+        if self.state_ is None or self.hyperparameters is None:
+            raise ModelError(
+                "checkpoint() requires a fitted sampler state; fit() first"
+            )
+        monitor = self.monitor_ or ConvergenceMonitor()
+        return self._write_checkpoint(
+            directory,
+            iteration,
+            self.state_,
+            self.hyperparameters,
+            monitor,
+            samples=[],
+            fit_settings={
+                "num_iterations": iteration,
+                "burn_in": 0,
+                "sample_interval": 1,
+                "likelihood_interval": 0,
+                "checkpoint_every": 1,
+            },
+        )
 
     @classmethod
     def resume(
@@ -687,6 +952,9 @@ class COLDModel:
             model = cls(hyperparameters=hp, **model_cfg)
         except (TypeError, ModelError) as exc:
             raise CheckpointError(f"{path}: invalid model config: {exc}") from exc
+        lineage = meta.get("lineage") or {}
+        model.update_count_ = int(lineage.get("generation", 0))
+        model._checkpoint_parent = lineage.get("parent")
         try:
             model._rng = np.random.default_rng()
             model._rng.bit_generator.state = rng_state
@@ -829,6 +1097,7 @@ class COLDModel:
             "executor": self.executor,
             "num_nodes": self.num_nodes,
             "num_workers": self.num_workers,
+            "stream": None if self.stream is None else asdict(self.stream),
             "hyperparameters": None
             if hp is None
             else {

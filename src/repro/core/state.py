@@ -254,6 +254,138 @@ class CountState:
         self.n_link_comm[c, c_prime] += 1
         return old_c, old_c_prime
 
+    # -- incremental growth ---------------------------------------------------
+
+    def fold_increment(
+        self,
+        posts: "Sequence",
+        links: "Sequence[tuple[int, int]]",
+        num_users: int,
+        vocab_size: int,
+        num_time_slices: int,
+        rng: np.random.Generator,
+        include_network: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Grow the state for new corpus content and fold it into the counters.
+
+        Dimensions are append-only: ``num_users`` / ``vocab_size`` /
+        ``num_time_slices`` are the new totals and must not shrink (new
+        rows/columns/slices start at zero counts — for psi that is exactly
+        the prior-mass initialisation, since estimation smooths every
+        count with epsilon).  New posts and links get random initial
+        assignments from ``rng`` (mirroring :meth:`initialize`) and their
+        counts are added in O(new data).  Links already present in the
+        state (or duplicated within the increment) are dropped, matching
+        corpus-construction dedup.  Returns ``(new_post_indices,
+        new_link_indices)`` into the grown tables.
+
+        Raises :class:`StateError` on shrinking dimensions or on a post
+        that references an out-of-range user/word/time id.
+        """
+        U, C = self.n_user_comm.shape
+        K, V = self.n_topic_word.shape
+        T = self.n_comm_topic_time.shape[2]
+        if num_users < U or vocab_size < V or num_time_slices < T:
+            raise StateError(
+                "increment shrinks a dimension: "
+                f"users {U}->{num_users}, vocab {V}->{vocab_size}, "
+                f"slices {T}->{num_time_slices}"
+            )
+        for post in posts:
+            if not 0 <= post.author < num_users:
+                raise StateError(f"post author {post.author} out of range")
+            if not 0 <= post.timestamp < num_time_slices:
+                raise StateError(f"post timestamp {post.timestamp} out of range")
+            if any(not 0 <= w < vocab_size for w in post.words):
+                raise StateError("post word id out of range")
+
+        if num_users > U:
+            self.n_user_comm = np.concatenate(
+                [self.n_user_comm, np.zeros((num_users - U, C), np.int64)]
+            )
+        if vocab_size > V:
+            self.n_topic_word = np.concatenate(
+                [self.n_topic_word, np.zeros((K, vocab_size - V), np.int64)],
+                axis=1,
+            )
+        if num_time_slices > T:
+            grown = np.zeros((C, K, num_time_slices), np.int64)
+            grown[:, :, :T] = self.n_comm_topic_time
+            self.n_comm_topic_time = grown
+
+        # Append the new posts to the struct-of-arrays table.
+        table = self.posts
+        D = len(table)
+        if posts:
+            authors = np.fromiter(
+                (p.author for p in posts), np.int64, count=len(posts)
+            )
+            times = np.fromiter(
+                (p.timestamp for p in posts), np.int64, count=len(posts)
+            )
+            lengths = np.fromiter(
+                (len(p) for p in posts), np.int64, count=len(posts)
+            )
+            offsets = np.empty(len(posts), np.int64)
+            words_flat: list[int] = []
+            counts_flat: list[int] = []
+            running = int(table.offsets[-1])
+            for i, post in enumerate(posts):
+                counts = post.word_counts()
+                words_flat.extend(counts.keys())
+                counts_flat.extend(counts.values())
+                running += len(counts)
+                offsets[i] = running
+            table.authors = np.concatenate([table.authors, authors])
+            table.times = np.concatenate([table.times, times])
+            table.lengths = np.concatenate([table.lengths, lengths])
+            table.offsets = np.concatenate([table.offsets, offsets])
+            table.unique_words = np.concatenate(
+                [table.unique_words, np.asarray(words_flat, np.int64)]
+            )
+            table.unique_counts = np.concatenate(
+                [table.unique_counts, np.asarray(counts_flat, np.int64)]
+            )
+        new_post_indices = np.arange(D, D + len(posts))
+        self.post_comm = np.concatenate(
+            [self.post_comm, rng.integers(C, size=len(posts))]
+        )
+        self.post_topic = np.concatenate(
+            [self.post_topic, rng.integers(K, size=len(posts))]
+        )
+        for p in new_post_indices:
+            self.add_post(int(p), int(self.post_comm[p]), int(self.post_topic[p]))
+
+        # Dedup new links against the existing edge set (and each other).
+        fresh: list[tuple[int, int]] = []
+        if include_network and links:
+            seen = {(int(s), int(d)) for s, d in self.links}
+            for source, target in links:
+                edge = (int(source), int(target))
+                if edge[0] == edge[1] or edge in seen:
+                    continue
+                if not (0 <= edge[0] < num_users and 0 <= edge[1] < num_users):
+                    raise StateError(f"link endpoint {edge} out of range")
+                seen.add(edge)
+                fresh.append(edge)
+        E = len(self.links)
+        new_link_indices = np.arange(E, E + len(fresh))
+        if fresh:
+            self.links = np.concatenate(
+                [self.links, np.asarray(fresh, np.int64).reshape(-1, 2)]
+            )
+            self.link_src_comm = np.concatenate(
+                [self.link_src_comm, rng.integers(C, size=len(fresh))]
+            )
+            self.link_dst_comm = np.concatenate(
+                [self.link_dst_comm, rng.integers(C, size=len(fresh))]
+            )
+            for e in new_link_indices:
+                self.add_link(
+                    int(e), int(self.link_src_comm[e]), int(self.link_dst_comm[e])
+                )
+        return new_post_indices, new_link_indices
+
     # -- sparse iteration -----------------------------------------------------
 
     def active_comm_topic_cells(self) -> tuple[np.ndarray, np.ndarray]:

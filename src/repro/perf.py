@@ -77,12 +77,15 @@ __all__ = [
     "run_parallel_benchmark",
     "run_parallel_case",
     "run_serving_case",
+    "run_streaming_benchmark",
+    "run_streaming_case",
     "run_telemetry_overhead_case",
     "telemetry_draws_match",
     "write_benchmark",
     "write_parallel_benchmark",
     "write_diagnostics_benchmark",
     "write_serving_benchmark",
+    "write_streaming_benchmark",
 ]
 
 
@@ -981,6 +984,209 @@ def write_parallel_benchmark(
         executor=executor,
         num_workers=num_workers,
         sweeps=sweeps,
+        equivalence_sweeps=equivalence_sweeps,
+    )
+    atomic_write_text(Path(path), json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def run_streaming_case(
+    case: BenchCase,
+    *,
+    num_updates: int = 5,
+    bootstrap_fraction: float = 0.6,
+    fit_iterations: int = 60,
+    update_sweeps: int = 8,
+    equivalence_sweeps: int = 24,
+) -> dict:
+    """Measure incremental updates against a full batch refit for one case.
+
+    The case's corpus is round-tripped to a wall-clock event stream; the
+    head ``bootstrap_fraction`` is batch-fitted, the tail is folded in
+    ``num_updates`` incremental :meth:`~repro.core.model.COLDModel.update`
+    calls (windowed Gibbs).  The comparison baseline is a from-scratch
+    refit of the *final accumulated corpus* at the same iteration budget
+    — exactly what continuous operation would otherwise have to run per
+    batch — and ``speedup`` is refit wall time over mean update wall
+    time.  The statistical-equivalence gate
+    (:func:`repro.streaming.equivalence.equivalence_report`) rides along
+    so a speedup over a *diverged* incremental chain can't pass silently.
+
+    At this scale the posterior is multimodal and independently seeded
+    batch refits land in different modes (their pairwise split R-hat is
+    huge even though each chain is individually stationary) — so the
+    gate cannot demand the strict two-chain criterion against a single
+    arbitrary refit.  Instead *two* refits establish a seed-to-seed
+    noise floor, and the incremental model passes if it is strictly
+    equivalent to its closest refit or no further from the refit
+    ensemble than the refits are from each other.  The top-level
+    ``equivalent`` field is that verdict; ``equivalence`` holds the
+    closest-refit report and ``baseline`` the refit-vs-refit one.
+    """
+    from .core.config import StreamConfig
+    from .datasets.stream import CorpusStreamBuilder, PostEvent
+    from .streaming.equivalence import equivalence_report
+    from .streaming.events import corpus_to_events, split_events
+
+    corpus = case.build_corpus()
+    events = corpus_to_events(corpus)
+    bootstrap, remainder = split_events(events, bootstrap_fraction)
+    builder = CorpusStreamBuilder(num_time_slices=case.num_time_slices)
+    for event in bootstrap:
+        if isinstance(event, PostEvent):
+            builder.add_post(event.author_key, event.tokens, event.time)
+        else:
+            builder.add_link(event.source_key, event.target_key, event.time)
+    boot_corpus = builder.build(incremental=True)
+
+    stream_config = StreamConfig(update_sweeps=update_sweeps)
+    model = COLDModel(
+        num_communities=case.num_communities,
+        num_topics=case.num_topics,
+        seed=case.seed,
+        stream=stream_config,
+    )
+    model.stream_builder_ = builder
+    start = time.perf_counter()
+    model.fit(boot_corpus, num_iterations=fit_iterations)
+    bootstrap_seconds = time.perf_counter() - start
+
+    chunk = max(1, math.ceil(len(remainder) / num_updates))
+    updates = []
+    for index in range(0, len(remainder), chunk):
+        report = model.update(remainder[index:index + chunk])
+        updates.append(
+            {
+                "update_index": report.update_index,
+                "new_posts": report.new_posts,
+                "new_links": report.new_links,
+                "new_users": report.new_users,
+                "new_terms": report.new_terms,
+                "new_slices": report.new_slices,
+                "window_posts": report.window_posts,
+                "window_links": report.window_links,
+                "seconds": report.seconds,
+            }
+        )
+    update_seconds = [record["seconds"] for record in updates]
+    mean_update_seconds = float(np.mean(update_seconds))
+
+    final_corpus = model.corpus_
+    assert final_corpus is not None
+    refits = []
+    refit_seconds = None
+    for offset in (1, 2):
+        refit = COLDModel(
+            num_communities=case.num_communities,
+            num_topics=case.num_topics,
+            seed=case.seed + offset,
+            stream=stream_config,
+        )
+        start = time.perf_counter()
+        refit.fit(final_corpus, num_iterations=fit_iterations)
+        if refit_seconds is None:
+            refit_seconds = time.perf_counter() - start
+        refits.append(refit)
+
+    reports = [
+        equivalence_report(
+            model, refit, sweeps=equivalence_sweeps, seed=17 * (index + 1)
+        )
+        for index, refit in enumerate(refits)
+    ]
+    equivalence = min(reports, key=lambda report: report["split_rhat"])
+    baseline = equivalence_report(
+        refits[1], refits[0], sweeps=equivalence_sweeps, seed=51
+    )
+    within_noise = (
+        equivalence["split_rhat"]
+        <= max(equivalence["rhat_threshold"], baseline["split_rhat"])
+        and equivalence["relative_loglik_gap"]
+        <= max(equivalence["loglik_tolerance"], baseline["relative_loglik_gap"])
+    )
+    equivalent = bool(equivalence["equivalent"] or within_noise)
+
+    assert model.state_ is not None
+    return {
+        "name": case.name,
+        "num_events": len(events),
+        "bootstrap_events": len(bootstrap),
+        "streamed_events": len(remainder),
+        "bootstrap_fraction": bootstrap_fraction,
+        "fit_iterations": fit_iterations,
+        "update_sweeps": update_sweeps,
+        "bootstrap_seconds": bootstrap_seconds,
+        "updates": updates,
+        "mean_update_seconds": mean_update_seconds,
+        "refit_seconds": refit_seconds,
+        "speedup": refit_seconds / mean_update_seconds,
+        "final_posts": model.state_.num_posts,
+        "final_links": model.state_.num_links,
+        "final_vocab": int(model.state_.n_topic_word.shape[1]),
+        "final_slices": int(model.state_.n_comm_topic_time.shape[2]),
+        "equivalence": equivalence,
+        "baseline": baseline,
+        "equivalent": equivalent,
+    }
+
+
+def run_streaming_benchmark(
+    cases: tuple[BenchCase, ...] = (MEDIUM,),
+    num_updates: int = 5,
+    bootstrap_fraction: float = 0.6,
+    fit_iterations: int = 60,
+    update_sweeps: int = 8,
+    equivalence_sweeps: int = 24,
+) -> dict:
+    """Run the streaming suite; returns the full JSON-ready payload."""
+    return {
+        "benchmark": "incremental stream updates vs full batch refit",
+        "harness": "repro.perf",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "method": {
+            "num_updates": num_updates,
+            "bootstrap_fraction": bootstrap_fraction,
+            "fit_iterations": fit_iterations,
+            "update_sweeps": update_sweeps,
+            "equivalence_sweeps": equivalence_sweeps,
+            "statistic": "refit wall seconds over mean update wall seconds",
+            "equivalence": (
+                "strict split R-hat + loglik gap vs the closest of two "
+                "independent refits, or within the refit-vs-refit seed "
+                "noise floor (the posterior is multimodal at this scale)"
+            ),
+        },
+        "cases": [
+            run_streaming_case(
+                case,
+                num_updates=num_updates,
+                bootstrap_fraction=bootstrap_fraction,
+                fit_iterations=fit_iterations,
+                update_sweeps=update_sweeps,
+                equivalence_sweeps=equivalence_sweeps,
+            )
+            for case in cases
+        ],
+    }
+
+
+def write_streaming_benchmark(
+    path: str | Path,
+    cases: tuple[BenchCase, ...] = (MEDIUM,),
+    num_updates: int = 5,
+    bootstrap_fraction: float = 0.6,
+    fit_iterations: int = 60,
+    update_sweeps: int = 8,
+    equivalence_sweeps: int = 24,
+) -> dict:
+    """Run the streaming suite and atomically write its JSON to ``path``."""
+    payload = run_streaming_benchmark(
+        cases,
+        num_updates=num_updates,
+        bootstrap_fraction=bootstrap_fraction,
+        fit_iterations=fit_iterations,
+        update_sweeps=update_sweeps,
         equivalence_sweeps=equivalence_sweeps,
     )
     atomic_write_text(Path(path), json.dumps(payload, indent=2) + "\n")

@@ -2,20 +2,30 @@
 
 :class:`ColdHTTPServer` is a stdlib ``ThreadingHTTPServer`` exposing the
 :class:`~repro.serving.engine.ModelServer` query families as JSON-over-HTTP
-(the ``cold serve`` CLI).  Endpoints:
+(the ``cold serve`` CLI).  The query surface is versioned under ``/v1/``:
 
-====================  ======  ====================================================
-``/healthz``          GET     liveness: process is up (200 even while draining)
-``/readyz``           GET     readiness: model loaded, breaker closed, not draining
-``/metrics``          GET     telemetry registry snapshot (QPS counters, latency
-                              histograms, cache stats)
-``/predict/retweet``  POST    ``{"source", "candidates", "words"}`` -> scores
-``/predict/link``     POST    ``{"sources", "targets"}`` -> scores
-``/predict/timestamp``POST    ``{"author", "words"}`` (or batched ``"authors"``/
-                              ``"words_per_post"``) -> slices + confidences
-``/query/influential``POST    ``{"topic", ...}`` -> community ranking + top users
-``/admin/reload``     POST    ``{"path"?}`` -> validate candidate, swap or roll back
-====================  ======  ====================================================
+=========================  ======  ===============================================
+``/healthz``               GET     liveness: process is up (200 even while draining)
+``/readyz``                GET     readiness: model loaded, breaker closed, not draining
+``/metrics``               GET     telemetry registry snapshot (QPS counters,
+                                   latency histograms, cache stats)
+``/v1/query/retweet``      POST    ``{"source", "candidates", "words"}`` -> scores
+``/v1/query/link``         POST    ``{"sources", "targets"}`` -> scores
+``/v1/query/timestamp``    POST    ``{"author", "words"}`` (or batched
+                                   ``"authors"``/``"words_per_post"``)
+``/v1/query/influential``  POST    ``{"topic", ...}`` -> community ranking + users
+``/v1/admin/reload``       POST    ``{"path"?}`` -> validate candidate, swap or
+                                   roll back
+=========================  ======  ===============================================
+
+``/v1/`` responses share one envelope: ``{"result": ..., "model_generation":
+N, "api_version": "v1", "elapsed_ms": ...}`` on success, and every error
+payload carries ``api_version`` too.  The pre-versioning routes
+(``/predict/retweet``, ``/predict/link``, ``/predict/timestamp``,
+``/query/influential``, ``/admin/reload``) remain as aliases with their
+original *flat* response shape, but every legacy response carries
+``Deprecation: true``, a ``Sunset`` date, and a ``Link`` header pointing
+at the ``/v1/`` successor; migrate before the sunset.
 
 Every request runs the robustness pipeline: *admission* (bounded queue;
 beyond it a 503 shed with ``Retry-After``), *circuit breaker* (degenerate
@@ -203,15 +213,47 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception:
             self._internal_error()
 
+    def _route(self) -> tuple[str, dict[str, str] | None]:
+        """Resolve the request path to its canonical (``/v1/``) route.
+
+        Returns ``(canonical_path, deprecation_headers)`` —
+        the headers are ``None`` for native ``/v1/`` requests.
+        """
+        successor = _LEGACY_ROUTES.get(self.path)
+        if successor is None:
+            return self.path, None
+        self.server.registry.counter("serving_legacy_requests_total").inc()
+        return successor, _deprecation_headers(successor)
+
+    def _finish(
+        self,
+        status: int,
+        payload: dict,
+        deprecation: dict[str, str] | None,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        """Send a payload in the route's dialect.
+
+        ``/v1/`` responses are stamped with ``api_version``; legacy
+        responses keep their flat pre-versioning shape but carry the
+        deprecation headers.
+        """
+        if deprecation is None:
+            payload = {**payload, "api_version": "v1"}
+            merged = headers
+        else:
+            merged = {**deprecation, **(headers or {})}
+        self._send_json(status, payload, headers=merged)
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        endpoint = self.path
         server = self.server
-        if endpoint == "/admin/reload":
-            self._handle_reload()
+        endpoint, deprecation = self._route()
+        if endpoint == _RELOAD_ROUTE:
+            self._handle_reload(deprecation)
             return
         method = server.query_methods().get(endpoint)
         if method is None:
-            self._send_json(404, {"error": "not_found", "path": endpoint})
+            self._send_json(404, {"error": "not_found", "path": self.path})
             return
         metrics = server.registry
         label = method.__name__
@@ -226,7 +268,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
         except (json.JSONDecodeError, UnicodeDecodeError, ValueError, TypeError) as exc:
             metrics.counter(f"serving_bad_requests_total_{label}").inc()
-            self._send_json(400, {"error": "bad_request", "detail": str(exc)})
+            self._finish(
+                400, {"error": "bad_request", "detail": str(exc)}, deprecation
+            )
             return
         # A half-open probe must always report back: any exit that is not
         # record_success/record_failure releases the probe slot in the
@@ -256,32 +300,51 @@ class _Handler(BaseHTTPRequestHandler):
             metrics.histogram(
                 f"serving_latency_seconds_{label}", LATENCY_BUCKETS
             ).observe(elapsed)
-            result["generation"] = server.generation
-            result["elapsed_ms"] = round(elapsed * 1e3, 3)
-            self._send_json(200, result)
+            elapsed_ms = round(elapsed * 1e3, 3)
+            if deprecation is None:
+                self._finish(
+                    200,
+                    {
+                        "result": result,
+                        "model_generation": server.generation,
+                        "elapsed_ms": elapsed_ms,
+                    },
+                    deprecation,
+                )
+            else:
+                result["generation"] = server.generation
+                result["elapsed_ms"] = elapsed_ms
+                self._finish(200, result, deprecation)
         except DeadlineExceededResponse as response:
             metrics.counter(f"serving_timeouts_total_{label}").inc()
-            self._send_json(504, response.payload)
+            self._finish(504, response.payload, deprecation)
         except QueueFullError as exc:
             metrics.counter("serving_shed_total").inc()
-            self._send_json(
+            self._finish(
                 503,
                 {"error": "shed", "detail": str(exc),
                  "retry_after_seconds": exc.retry_after},
+                deprecation,
                 headers={"Retry-After": f"{max(int(exc.retry_after), 1)}"},
             )
         except CircuitOpenError as exc:
             metrics.counter("serving_circuit_rejections_total").inc()
-            self._send_json(503, {"error": "circuit_open", "detail": str(exc)})
+            self._finish(
+                503, {"error": "circuit_open", "detail": str(exc)}, deprecation
+            )
         except DegenerateScoreError as exc:
             server.breaker.record_failure()
             probe_resolved = True
             metrics.counter("serving_degenerate_total").inc()
-            self._send_json(503, {"error": "degenerate", "detail": str(exc)})
+            self._finish(
+                503, {"error": "degenerate", "detail": str(exc)}, deprecation
+            )
         except _BAD_REQUEST_ERRORS as exc:
             metrics.counter(f"serving_bad_requests_total_{label}").inc()
-            self._send_json(
-                400, {"error": "bad_request", "detail": f"{type(exc).__name__}: {exc}"}
+            self._finish(
+                400,
+                {"error": "bad_request", "detail": f"{type(exc).__name__}: {exc}"},
+                deprecation,
             )
         except Exception:
             self._internal_error()
@@ -307,30 +370,43 @@ class _Handler(BaseHTTPRequestHandler):
         if plan.should_fail(label, index):
             raise ChaosError(f"injected failure in {label} request {index}")
 
-    def _handle_reload(self) -> None:
+    def _handle_reload(self, deprecation: dict[str, str] | None) -> None:
         try:
             body = self._read_body()
         except PayloadTooLarge as exc:
             self._payload_too_large(exc)
             return
         except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
-            self._send_json(400, {"error": "bad_request", "detail": str(exc)})
+            self._finish(
+                400, {"error": "bad_request", "detail": str(exc)}, deprecation
+            )
             return
         path = body.get("path")
         try:
             generation = self.server.reload(path)
         except ReloadError as exc:
-            self._send_json(
+            self._finish(
                 409,
                 {"error": "reload_failed", "detail": str(exc),
                  "generation": self.server.generation},
+                deprecation,
             )
         except Exception:
             self._internal_error()
         else:
-            self._send_json(
-                200, {"status": "reloaded", "generation": generation}
-            )
+            if deprecation is None:
+                self._finish(
+                    200,
+                    {"result": {"status": "reloaded"},
+                     "model_generation": generation},
+                    deprecation,
+                )
+            else:
+                self._finish(
+                    200,
+                    {"status": "reloaded", "generation": generation},
+                    deprecation,
+                )
 
     def _internal_error(self) -> None:
         """Last-resort structured 500 — the 'no unstructured 500s' guarantee."""
@@ -432,12 +508,39 @@ def influential(engine: ModelServer, body: dict, deadline: Deadline) -> dict:
     )
 
 
+#: Canonical (versioned) query routes.
 _QUERY_METHODS = {
-    "/predict/retweet": retweet,
-    "/predict/link": link,
-    "/predict/timestamp": timestamp,
-    "/query/influential": influential,
+    "/v1/query/retweet": retweet,
+    "/v1/query/link": link,
+    "/v1/query/timestamp": timestamp,
+    "/v1/query/influential": influential,
 }
+
+#: The versioned admin route (canonical; ``/admin/reload`` aliases it).
+_RELOAD_ROUTE = "/v1/admin/reload"
+
+#: Pre-versioning aliases -> their ``/v1/`` successors.  Legacy responses
+#: keep the original flat payload shape (no envelope) so old clients
+#: parse unchanged, but always carry the deprecation headers below.
+_LEGACY_ROUTES = {
+    "/predict/retweet": "/v1/query/retweet",
+    "/predict/link": "/v1/query/link",
+    "/predict/timestamp": "/v1/query/timestamp",
+    "/query/influential": "/v1/query/influential",
+    "/admin/reload": _RELOAD_ROUTE,
+}
+
+#: RFC 8594 sunset date announced on every legacy response.
+_SUNSET = "Mon, 01 Mar 2027 00:00:00 GMT"
+
+
+def _deprecation_headers(successor: str) -> dict[str, str]:
+    """The RFC 8594-style headers every legacy-route response carries."""
+    return {
+        "Deprecation": "true",
+        "Sunset": _SUNSET,
+        "Link": f'<{successor}>; rel="successor-version"',
+    }
 
 
 class ColdHTTPServer(ThreadingHTTPServer):

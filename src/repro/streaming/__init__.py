@@ -1,0 +1,44 @@
+"""Online incremental inference over the event stream (continuous operation).
+
+The streaming layer turns the batch reproduction into a continuously
+operating system::
+
+    events -> OnlineTrainer.feed/step -> COLDModel.update
+           -> checkpoint (lineage)    -> publish (atomic manifest)
+           -> ModelWatcher.poke       -> ColdHTTPServer.reload (hot-swap)
+
+* :mod:`~repro.streaming.events` — JSONL event interchange
+  (``cold stream``'s input format) and corpus⇄event round-tripping;
+* :mod:`~repro.streaming.trainer` — :class:`OnlineTrainer`, the
+  update/checkpoint/publish loop;
+* :mod:`~repro.streaming.watcher` — :class:`ModelWatcher`, publish→reload
+  wiring (event-driven or polled);
+* :mod:`~repro.streaming.equivalence` — the statistical-equivalence gate
+  (incremental vs batch refit) via :mod:`repro.diagnostics`.
+"""
+
+from ..core.config import StreamConfig
+from ..core.model import UpdateReport
+from .events import (
+    corpus_to_events,
+    read_events,
+    split_events,
+    write_events,
+)
+from .equivalence import equivalence_report, posterior_chain
+from .trainer import MANIFEST_NAME, OnlineTrainer
+from .watcher import ModelWatcher
+
+__all__ = [
+    "MANIFEST_NAME",
+    "ModelWatcher",
+    "OnlineTrainer",
+    "StreamConfig",
+    "UpdateReport",
+    "corpus_to_events",
+    "equivalence_report",
+    "posterior_chain",
+    "read_events",
+    "split_events",
+    "write_events",
+]

@@ -1,0 +1,151 @@
+"""Publish-directory watcher: turns trainer publishes into serving reloads.
+
+:class:`ModelWatcher` closes the train→serve loop: it watches a
+publish directory's ``MANIFEST.json`` (written atomically, last, by
+:class:`~repro.streaming.trainer.OnlineTrainer.publish`) and drives
+:meth:`ColdHTTPServer.reload <repro.serving.server.ColdHTTPServer.reload>`
+— the validated atomic hot-swap — whenever the published generation
+advances.  Two drive modes:
+
+* **event-driven** — subscribe :meth:`poke` to the trainer
+  (``trainer.subscribe(lambda gen, path: watcher.poke())``): reloads
+  happen synchronously on publish, no polling, no sleeps (how the tests
+  and the in-process ``cold stream --serve`` mode run it);
+* **polled** — :meth:`start` a daemon thread for the cross-process case
+  (trainer and server in different processes sharing a directory).
+
+A failed reload (corrupt publish, shape mismatch) is counted, logged,
+and *skipped* — the server keeps its current engine, and the watcher
+waits for the next generation rather than hammering a broken artefact.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from ..telemetry.logconfig import get_logger
+from .trainer import MANIFEST_NAME
+
+_log = get_logger(__name__)
+
+
+class ModelWatcher:
+    """Reload ``server`` from ``publish_dir`` whenever its manifest advances.
+
+    Parameters
+    ----------
+    server:
+        Anything with a ``reload(path)`` method raising on failure —
+        in practice a :class:`~repro.serving.server.ColdHTTPServer`.
+    publish_dir:
+        The trainer's publish directory.
+    poll_interval:
+        Seconds between manifest checks in polled mode (:meth:`start`).
+    """
+
+    def __init__(
+        self,
+        server,
+        publish_dir: str | Path,
+        *,
+        poll_interval: float = 1.0,
+    ) -> None:
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        self.server = server
+        self.publish_dir = Path(publish_dir)
+        self.poll_interval = poll_interval
+        #: Highest published generation seen (reloaded or skipped).
+        self.seen_generation = 0
+        self.reloads = 0
+        self.failed_reloads = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._poke_lock = threading.Lock()
+
+    def _read_manifest(self) -> dict | None:
+        path = self.publish_dir / MANIFEST_NAME
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            # The manifest is replaced atomically, so this is a broken
+            # publisher, not a torn write; skip and keep watching.
+            _log.warning("unreadable publish manifest %s: %s", path, exc)
+            return None
+        if not isinstance(manifest, dict):
+            _log.warning("publish manifest %s is not an object", path)
+            return None
+        return manifest
+
+    def poke(self) -> bool:
+        """Check the manifest once; hot-swap if the generation advanced.
+
+        Returns ``True`` iff a reload happened.  Safe to call from any
+        thread (pokes serialise on a lock; the server's reload path has
+        its own).  This is the event-driven hook — subscribe it to an
+        :class:`~repro.streaming.trainer.OnlineTrainer` for sleep-free
+        publish→reload wiring.
+        """
+        with self._poke_lock:
+            manifest = self._read_manifest()
+            if manifest is None:
+                return False
+            try:
+                generation = int(manifest["generation"])
+                model = str(manifest["model"])
+            except (KeyError, TypeError, ValueError) as exc:
+                _log.warning("malformed publish manifest: %s", exc)
+                return False
+            if generation <= self.seen_generation:
+                return False
+            # Mark seen before attempting: a broken artefact is skipped
+            # once, not retried every poke.
+            self.seen_generation = generation
+            try:
+                server_generation = self.server.reload(self.publish_dir / model)
+            except Exception as exc:
+                self.failed_reloads += 1
+                _log.warning(
+                    "reload of published generation %d failed: %s",
+                    generation,
+                    exc,
+                )
+                return False
+            self.reloads += 1
+            _log.info(
+                "watcher reloaded published generation %d "
+                "(serving generation %d)",
+                generation,
+                server_generation,
+            )
+            return True
+
+    # -- polled mode -------------------------------------------------------
+
+    def start(self) -> "ModelWatcher":
+        """Poll :meth:`poke` on a daemon thread until :meth:`stop`."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.is_set():
+                self.poke()
+                self._stop.wait(self.poll_interval)
+
+        self._thread = threading.Thread(
+            target=loop, name="cold-model-watcher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the polling thread (idempotent; joins briefly)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

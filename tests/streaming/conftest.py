@@ -1,0 +1,67 @@
+"""Shared fixtures for the streaming tests: event streams + bootstrap worlds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import COLDModel
+from repro.datasets.stream import CorpusStreamBuilder, PostEvent
+from repro.datasets.synthetic import SyntheticConfig, generate_corpus
+from repro.streaming import corpus_to_events, split_events
+
+STREAM_CONFIG = SyntheticConfig(
+    num_users=24,
+    num_communities=3,
+    num_topics=4,
+    num_time_slices=6,
+    vocab_size=80,
+    mean_posts_per_user=6.0,
+    mean_words_per_post=6.0,
+    mean_links_per_user=3.0,
+    seed=11,
+)
+
+
+def feed(builder: CorpusStreamBuilder, events) -> None:
+    """Push raw events into a builder (what OnlineTrainer.feed does)."""
+    for event in events:
+        if isinstance(event, PostEvent):
+            builder.add_post(event.author_key, event.tokens, event.time)
+        else:
+            builder.add_link(event.source_key, event.target_key, event.time)
+
+
+@pytest.fixture(scope="session")
+def stream_corpus():
+    """The small synthetic corpus behind the event-stream fixtures."""
+    corpus, _truth = generate_corpus(STREAM_CONFIG)
+    return corpus
+
+
+@pytest.fixture(scope="session")
+def event_stream(stream_corpus):
+    """That corpus round-tripped to a time-ordered event list."""
+    return corpus_to_events(stream_corpus)
+
+
+@pytest.fixture()
+def stream_world(event_stream):
+    """Factory: bootstrap-fitted model + live incremental builder + tail."""
+
+    def build(fraction=0.6, iterations=25, stream=None, seed=0):
+        bootstrap, remainder = split_events(event_stream, fraction)
+        builder = CorpusStreamBuilder(num_time_slices=6)
+        feed(builder, bootstrap)
+        corpus = builder.build(incremental=True)
+        model = COLDModel(
+            num_communities=3,
+            num_topics=4,
+            prior="scaled",
+            seed=seed,
+            stream=stream,
+        )
+        model.fit(corpus, num_iterations=iterations)
+        model.stream_builder_ = builder
+        return model, builder, remainder
+
+    return build

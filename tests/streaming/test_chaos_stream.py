@@ -1,0 +1,114 @@
+"""Chaos load against a live server while the trainer publishes mid-stream.
+
+The acceptance scenario for continuous operation: queries keep flowing
+(and keep their structured-response guarantees) while an
+:class:`OnlineTrainer` folds new events in and a subscribed
+:class:`ModelWatcher` hot-swaps the serving model after every publish.
+The load runs as two bursts bracketing a watcher swap, so the test
+proves a reload genuinely happened mid-stream rather than hoping the
+timing works out.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serving import ColdHTTPServer, ServerConfig
+from repro.serving.chaos import run_chaos
+from repro.streaming import ModelWatcher, OnlineTrainer
+
+
+class TestChaosWithMidStreamReloads:
+    def test_invariants_hold_while_watcher_swaps(self, stream_world, tmp_path):
+        model, builder, remainder = stream_world(fraction=0.5, iterations=20)
+        publish_dir = tmp_path / "pub"
+        trainer = OnlineTrainer(model, builder, publish_dir=publish_dir)
+        trainer.publish()
+
+        # Query ids must stay valid against every generation the chaos run
+        # might see, so size them to the bootstrap (smallest) model.
+        num_users = model.state_.n_user_comm.shape[0]
+        vocab_size = model.state_.n_topic_word.shape[1]
+
+        config = ServerConfig(
+            port=0, ic_simulations=10, breaker_threshold=1000, deadline_ms=2000
+        )
+        server = ColdHTTPServer(
+            config, model_path=publish_dir / f"model-{trainer.generation:06d}"
+        )
+        thread = threading.Thread(target=server.serve_until_shutdown, daemon=True)
+        thread.start()
+
+        watcher = ModelWatcher(server, publish_dir)
+        watcher.seen_generation = trainer.generation
+        swaps = threading.Condition()
+        swapped: list[int] = []
+
+        def hot_swap(generation: int, path) -> None:
+            watcher.poke()
+            with swaps:
+                swapped.append(generation)
+                swaps.notify_all()
+
+        trainer.subscribe(hot_swap)
+
+        def wait_for_swaps(count: int) -> bool:
+            with swaps:
+                return swaps.wait_for(
+                    lambda: len(swapped) >= count, timeout=180
+                )
+
+        def stream_updates() -> None:
+            chunk = max(1, len(remainder) // 3)
+            for start in range(0, len(remainder), chunk):
+                trainer.feed(remainder[start : start + chunk])
+                trainer.step()
+            trainer.drain()
+
+        def burst():
+            # The harness's own reload schedule is disabled: every swap
+            # the report observes came from the watcher.
+            return run_chaos(
+                "127.0.0.1",
+                server.server_address[1],
+                num_requests=20,
+                concurrency=6,
+                reload_every=10**9,
+                num_users=num_users,
+                vocab_size=vocab_size,
+            )
+
+        streamer = threading.Thread(target=stream_updates)
+        streamer.start()
+        try:
+            assert wait_for_swaps(1), "no mid-stream publish"
+            first = burst()
+            assert wait_for_swaps(2), "stream stalled before second publish"
+            second = burst()
+        finally:
+            streamer.join(timeout=180)
+            trainer.close()
+            server.begin_drain()
+            thread.join(timeout=15)
+        assert not streamer.is_alive(), "trainer thread wedged"
+        assert not thread.is_alive(), "server wedged after chaos"
+
+        # The serving robustness contract holds under concurrent swaps.
+        for report in (first, second):
+            assert report.total == 20
+            assert report.torn == 0, "torn responses observed"
+            assert report.unstructured == 0, "unstructured errors observed"
+            assert report.wedged_threads == 0, "client threads wedged"
+            assert report.structured_total == report.total
+            assert report.ok > 0, "healthy requests must succeed during swaps"
+            assert report.ready_after
+
+        # A watcher-triggered reload landed between the two bursts while
+        # the stream was still running.
+        assert second.generation_before > first.generation_before
+
+        # Every publish after the bootstrap one was hot-swapped in.
+        assert trainer.generation >= 3
+        assert watcher.reloads == trainer.generation - 1
+        assert watcher.failed_reloads == 0
+        assert server.generation == 1 + watcher.reloads

@@ -1,0 +1,73 @@
+"""The statistical-equivalence gate: incremental updates vs a batch refit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import COLDModel, ModelError
+from repro.streaming import equivalence_report, posterior_chain
+
+
+@pytest.fixture(scope="module")
+def grown_pair(event_stream):
+    """(incremental, batch-refit) models over the same final corpus."""
+    from repro.datasets.stream import CorpusStreamBuilder, PostEvent
+    from repro.streaming import split_events
+
+    bootstrap, remainder = split_events(event_stream, 0.6)
+    builder = CorpusStreamBuilder(num_time_slices=6)
+    for event in bootstrap:
+        if isinstance(event, PostEvent):
+            builder.add_post(event.author_key, event.tokens, event.time)
+        else:
+            builder.add_link(event.source_key, event.target_key, event.time)
+    corpus = builder.build(incremental=True)
+    model = COLDModel(num_communities=3, num_topics=4, prior="scaled", seed=3)
+    model.fit(corpus, num_iterations=40)
+    model.stream_builder_ = builder
+    half = len(remainder) // 2
+    for chunk in (remainder[:half], remainder[half:]):
+        model.update(chunk)
+    # The refit needs to be genuinely converged: a still-warming batch
+    # chain trends during the comparison window and inflates R-hat for
+    # reasons that have nothing to do with the incremental path.
+    batch = COLDModel(num_communities=3, num_topics=4, prior="scaled", seed=9)
+    batch.fit(model.corpus_, num_iterations=60)
+    return model, batch
+
+
+class TestPosteriorChain:
+    def test_does_not_perturb_the_model(self, grown_pair):
+        model, _batch = grown_pair
+        before = model.state_.post_comm.copy()
+        trace = posterior_chain(model, sweeps=4, seed=0)
+        np.testing.assert_array_equal(model.state_.post_comm, before)
+        assert trace.shape == (4,)
+        assert np.isfinite(trace).all()
+
+    def test_requires_fitted_state(self):
+        with pytest.raises(ModelError, match="fitted"):
+            posterior_chain(COLDModel(num_communities=3, num_topics=4))
+
+    def test_rejects_nonpositive_sweeps(self, grown_pair):
+        with pytest.raises(ModelError, match="positive"):
+            posterior_chain(grown_pair[0], sweeps=0)
+
+
+class TestEquivalenceGate:
+    def test_incremental_matches_batch_refit(self, grown_pair):
+        """The acceptance gate: same posterior after the same events."""
+        model, batch = grown_pair
+        report = equivalence_report(model, batch, sweeps=48, seed=0)
+        assert report["split_rhat"] <= report["rhat_threshold"], report
+        assert (
+            report["relative_loglik_gap"] <= report["loglik_tolerance"]
+        ), report
+        assert report["equivalent"] is True
+
+    def test_dimension_mismatch_rejected(self, grown_pair, stream_world):
+        model, _batch = grown_pair
+        smaller, _builder, _remainder = stream_world(iterations=5)
+        with pytest.raises(ModelError, match="disagree"):
+            equivalence_report(model, smaller, sweeps=4)

@@ -1,0 +1,156 @@
+"""Incremental CorpusStreamBuilder edge cases: ordering, rollover, new users."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.stream import (
+    CorpusStreamBuilder,
+    RolloverError,
+    StaleEventError,
+    StreamError,
+)
+
+
+def incremental_builder(num_time_slices: int = 4) -> CorpusStreamBuilder:
+    """A builder frozen on a [0, 8) span with `num_time_slices` slices."""
+    builder = CorpusStreamBuilder(num_time_slices=num_time_slices)
+    builder.add_post("alice", ["a", "b"], time=0.0)
+    builder.add_post("bob", ["c"], time=8.0)
+    builder.build(incremental=True)
+    return builder
+
+
+class TestIncrementalMode:
+    def test_pop_requires_incremental_mode(self):
+        builder = CorpusStreamBuilder()
+        builder.add_post("alice", ["a"], time=0.0)
+        with pytest.raises(StreamError, match="incremental"):
+            builder.pop_increment()
+
+    def test_double_build_rejected(self):
+        builder = incremental_builder()
+        builder.add_post("alice", ["a"], time=1.0)
+        with pytest.raises(StreamError, match="already incremental"):
+            builder.build(incremental=True)
+
+    def test_empty_pop_yields_empty_increment(self):
+        builder = incremental_builder()
+        increment = builder.pop_increment()
+        assert increment.empty
+        assert increment.posts == ()
+        assert increment.links == ()
+
+
+class TestOrderingAcrossSliceBoundaries:
+    def test_out_of_order_stamps_bin_like_batch(self):
+        """Arrival order must not affect slice assignment on the frozen grid."""
+        builder = incremental_builder(num_time_slices=4)
+        # Span [0, 8), 4 slices of width 2 — fed newest-first on purpose.
+        builder.add_post("alice", ["x"], time=7.5)
+        builder.add_post("alice", ["x"], time=0.5)
+        builder.add_post("alice", ["x"], time=4.1)
+        increment = builder.pop_increment()
+        assert [post.timestamp for post in increment.posts] == [3, 0, 2]
+
+    def test_boundary_stamp_lands_in_upper_slice(self):
+        builder = incremental_builder(num_time_slices=4)
+        builder.add_post("alice", ["x"], time=2.0)  # exactly slice 0/1 edge
+        builder.add_post("alice", ["x"], time=8.0)  # exactly the span high
+        increment = builder.pop_increment()
+        assert [post.timestamp for post in increment.posts] == [1, 3]
+
+    def test_stale_event_raises_and_preserves_buffers(self):
+        builder = incremental_builder()
+        builder.add_post("alice", ["x"], time=3.0)
+        builder.add_post("alice", ["x"], time=-1.0)  # predates the origin
+        with pytest.raises(StaleEventError, match="predates"):
+            builder.pop_increment()
+        # Buffers intact: the caller can repair (drop the stale event) and
+        # retry without losing the good one.
+        assert builder.num_events == 2
+
+
+class TestLinkFirstUsers:
+    def test_link_only_users_are_interned(self):
+        builder = incremental_builder()
+        users_before = len(builder._user_ids)
+        builder.add_link("carol", "dave", time=1.0)
+        increment = builder.pop_increment()
+        assert increment.num_users == users_before + 2
+        (source, target) = increment.links[0]
+        assert {source, target} == {users_before, users_before + 1}
+
+    def test_link_first_user_keeps_id_when_posting_later(self):
+        builder = incremental_builder()
+        builder.add_link("carol", "alice", time=1.0)
+        first = builder.pop_increment()
+        carol = first.links[0][0]
+        builder.add_post("carol", ["hello"], time=2.0)
+        second = builder.pop_increment()
+        assert second.posts[0].author == carol
+        assert second.num_users == first.num_users
+
+    def test_no_min_posts_filter_on_increments(self):
+        # The batch build filters low-activity users; increments must not.
+        builder = CorpusStreamBuilder(num_time_slices=4, min_posts_per_user=2)
+        builder.add_post("alice", ["a"], time=0.0)
+        builder.add_post("alice", ["b"], time=4.0)
+        builder.build(incremental=True)
+        builder.add_post("oneshot", ["c"], time=1.0)
+        increment = builder.pop_increment()
+        assert len(increment.posts) == 1
+        assert increment.num_users == 2
+
+
+class TestRollover:
+    def test_grow_appends_slices(self):
+        builder = incremental_builder(num_time_slices=4)  # width 2 over [0,8)
+        builder.add_post("alice", ["x"], time=13.0)  # raw slice 6
+        increment = builder.pop_increment(rollover="grow")
+        assert increment.posts[0].timestamp == 6
+        assert increment.num_time_slices == 7
+
+    def test_grow_bound_by_max_new_slices(self):
+        builder = incremental_builder(num_time_slices=4)
+        builder.add_post("alice", ["x"], time=100.0)
+        with pytest.raises(RolloverError, match="max_new_slices"):
+            builder.pop_increment(rollover="grow", max_new_slices=3)
+        assert builder.num_events == 1  # intact for repair + retry
+
+    def test_clamp_maps_into_last_slice(self):
+        builder = incremental_builder(num_time_slices=4)
+        builder.add_post("alice", ["x"], time=100.0)
+        increment = builder.pop_increment(rollover="clamp")
+        assert increment.posts[0].timestamp == 3
+        assert increment.num_time_slices == 4
+
+    def test_error_mode_raises(self):
+        builder = incremental_builder(num_time_slices=4)
+        builder.add_post("alice", ["x"], time=9.0)
+        with pytest.raises(RolloverError, match="rollover='error'"):
+            builder.pop_increment(rollover="error")
+
+    def test_unknown_mode_rejected(self):
+        builder = incremental_builder()
+        with pytest.raises(StreamError, match="rollover"):
+            builder.pop_increment(rollover="wrap")
+
+    def test_grown_grid_persists_across_pops(self):
+        builder = incremental_builder(num_time_slices=4)
+        builder.add_post("alice", ["x"], time=13.0)
+        assert builder.pop_increment().num_time_slices == 7
+        builder.add_post("alice", ["x"], time=1.0)
+        assert builder.pop_increment().num_time_slices == 7
+
+
+class TestVocabularyGrowth:
+    def test_new_tokens_are_append_only(self):
+        builder = incremental_builder()
+        vocab_before = len(builder._vocabulary)
+        builder.add_post("alice", ["a", "zeta", "omega"], time=1.0)
+        increment = builder.pop_increment()
+        assert increment.new_tokens == ("zeta", "omega")
+        assert increment.vocab_size == vocab_before + 2
+        # Existing ids never move: "a" keeps its bootstrap id.
+        assert increment.posts[0].words[0] < vocab_before

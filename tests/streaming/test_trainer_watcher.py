@@ -1,0 +1,248 @@
+"""OnlineTrainer + ModelWatcher: publish, prune, lineage, hot-swap — no sleeps."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.model import COLDModel, ModelError
+from repro.streaming import MANIFEST_NAME, ModelWatcher, OnlineTrainer, StreamConfig
+from repro.streaming.trainer import KEEP_GENERATIONS
+
+
+def batched(events, size):
+    return [events[i:i + size] for i in range(0, len(events), size)]
+
+
+class RecordingServer:
+    """Stub with the reload(path) contract of ColdHTTPServer."""
+
+    def __init__(self, fail: bool = False):
+        self.generation = 1
+        self.paths = []
+        self.fail = fail
+
+    def reload(self, path):
+        if self.fail:
+            raise RuntimeError("injected reload failure")
+        self.paths.append(path)
+        self.generation += 1
+        return self.generation
+
+
+class TestTrainer:
+    def test_requires_fitted_model_and_incremental_builder(
+        self, stream_world, tmp_path
+    ):
+        model, builder, _remainder = stream_world(iterations=5)
+        with pytest.raises(ModelError, match="fitted"):
+            OnlineTrainer(
+                COLDModel(num_communities=3, num_topics=4),
+                builder,
+                publish_dir=tmp_path,
+            )
+        from repro.datasets.stream import CorpusStreamBuilder, StreamError
+
+        with pytest.raises(StreamError, match="incremental"):
+            OnlineTrainer(
+                model, CorpusStreamBuilder(), publish_dir=tmp_path
+            )
+
+    def test_checkpoint_interval_needs_directory(self, stream_world, tmp_path):
+        stream = StreamConfig(checkpoint_interval=1)
+        model, builder, _remainder = stream_world(iterations=5, stream=stream)
+        with pytest.raises(ModelError, match="checkpoint_dir"):
+            OnlineTrainer(model, builder, publish_dir=tmp_path / "pub")
+
+    def test_step_returns_none_on_empty_buffer(self, stream_world, tmp_path):
+        model, builder, _remainder = stream_world(iterations=5)
+        trainer = OnlineTrainer(model, builder, publish_dir=tmp_path / "pub")
+        assert trainer.step() is None
+        assert trainer.generation == 0
+
+    def test_publish_writes_manifest_last_and_prunes(
+        self, stream_world, tmp_path
+    ):
+        model, builder, remainder = stream_world(iterations=10)
+        publish_dir = tmp_path / "pub"
+        trainer = OnlineTrainer(model, builder, publish_dir=publish_dir)
+        for batch in batched(remainder, max(1, len(remainder) // 4)):
+            trainer.feed(batch)
+            trainer.step()
+        trainer.drain()
+        manifest = json.loads((publish_dir / MANIFEST_NAME).read_text())
+        assert manifest["generation"] == trainer.generation
+        assert manifest["updates"] == model.update_count_
+        stem = publish_dir / manifest["model"]
+        assert stem.with_suffix(".json").exists()
+        assert stem.with_suffix(".npz").exists()
+        # Only the last KEEP_GENERATIONS artefact pairs survive.
+        kept = sorted(p.name for p in publish_dir.glob("model-*.json"))
+        assert len(kept) <= KEEP_GENERATIONS
+        assert f"model-{trainer.generation:06d}.json" in kept
+        # The published artefact loads as a fitted model.
+        published = COLDModel.load(stem)
+        assert published.estimates_ is not None
+        trainer.close()
+
+    def test_publish_interval_batches_publishes(self, stream_world, tmp_path):
+        stream = StreamConfig(publish_interval=2)
+        model, builder, remainder = stream_world(iterations=10, stream=stream)
+        trainer = OnlineTrainer(model, builder, publish_dir=tmp_path / "pub")
+        chunks = batched(remainder, max(1, len(remainder) // 3))
+        for batch in chunks[:1]:
+            trainer.feed(batch)
+            trainer.step()
+        assert trainer.generation == 0  # update 1 of 2: not yet published
+        assert trainer.generation_behind()
+        trainer.drain()  # flushes the partial cadence
+        assert trainer.generation >= 1
+        assert not trainer.generation_behind()
+
+    def test_streaming_checkpoints_carry_lineage(self, stream_world, tmp_path):
+        stream = StreamConfig(checkpoint_interval=1)
+        model, builder, remainder = stream_world(iterations=10, stream=stream)
+        checkpoint_dir = tmp_path / "ckpt"
+        trainer = OnlineTrainer(
+            model,
+            builder,
+            publish_dir=tmp_path / "pub",
+            checkpoint_dir=checkpoint_dir,
+        )
+        for batch in batched(remainder, max(1, len(remainder) // 2)):
+            trainer.feed(batch)
+            trainer.step()
+        manifests = sorted(checkpoint_dir.glob("*.manifest.json"))
+        assert manifests
+        meta = json.loads(manifests[-1].read_text())["meta"]
+        assert meta["lineage"]["generation"] == model.update_count_
+        if len(manifests) > 1:
+            assert meta["lineage"]["parent"] is not None
+        # Resume restores the lineage counters bit-for-bit.
+        resumed = COLDModel.resume(checkpoint_dir, corpus=model.corpus_)
+        assert resumed.update_count_ == model.update_count_
+
+
+class TestWatcher:
+    def test_event_driven_reloads_without_polling(self, stream_world, tmp_path):
+        model, builder, remainder = stream_world(iterations=10)
+        publish_dir = tmp_path / "pub"
+        trainer = OnlineTrainer(model, builder, publish_dir=publish_dir)
+        server = RecordingServer()
+        watcher = ModelWatcher(server, publish_dir)
+        trainer.subscribe(lambda generation, path: watcher.poke())
+        chunks = batched(remainder, max(1, len(remainder) // 3))
+        for batch in chunks:
+            trainer.feed(batch)
+            trainer.step()
+        assert trainer.generation >= 2
+        assert watcher.reloads == trainer.generation
+        assert watcher.failed_reloads == 0
+        assert server.paths[-1] == publish_dir / f"model-{trainer.generation:06d}"
+
+    def test_no_manifest_means_no_reload(self, tmp_path):
+        watcher = ModelWatcher(RecordingServer(), tmp_path)
+        assert watcher.poke() is False
+        assert watcher.reloads == 0
+
+    def test_corrupt_manifest_is_skipped(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        watcher = ModelWatcher(RecordingServer(), tmp_path)
+        assert watcher.poke() is False
+        assert watcher.failed_reloads == 0
+
+    def test_failed_reload_counted_and_not_retried(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps({"generation": 3, "model": "model-000003"})
+        )
+        server = RecordingServer(fail=True)
+        watcher = ModelWatcher(server, tmp_path)
+        assert watcher.poke() is False
+        assert watcher.failed_reloads == 1
+        # The broken generation was marked seen: no retry storm.
+        assert watcher.poke() is False
+        assert watcher.failed_reloads == 1
+
+    def test_stale_generation_ignored(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps({"generation": 2, "model": "model-000002"})
+        )
+        server = RecordingServer()
+        watcher = ModelWatcher(server, tmp_path)
+        watcher.seen_generation = 5
+        assert watcher.poke() is False
+        assert server.paths == []
+
+
+class TestContinuousOperationEndToEnd:
+    def test_stream_updates_hot_swap_a_live_server(
+        self, stream_world, tmp_path
+    ):
+        """Full loop: update -> publish -> watcher poke -> HTTP hot-swap.
+
+        Entirely event-driven: the watcher is subscribed to the trainer,
+        so there is no polling thread and no sleep anywhere.
+        """
+        import http.client
+
+        from repro.serving import ColdHTTPServer, ServerConfig
+
+        model, builder, remainder = stream_world(iterations=15)
+        publish_dir = tmp_path / "pub"
+        trainer = OnlineTrainer(model, builder, publish_dir=publish_dir)
+        trainer.publish()
+        server = ColdHTTPServer(
+            ServerConfig(port=0, ic_simulations=10),
+            model_path=publish_dir / f"model-{trainer.generation:06d}",
+        )
+        thread = threading.Thread(
+            target=server.serve_until_shutdown, daemon=True
+        )
+        thread.start()
+        watcher = ModelWatcher(server, publish_dir)
+        watcher.seen_generation = trainer.generation
+        trainer.subscribe(lambda generation, path: watcher.poke())
+
+        def query(path, body):
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.server_address[1], timeout=15
+            )
+            try:
+                conn.request(
+                    "POST",
+                    path,
+                    body=json.dumps(body).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                return response.status, json.loads(response.read())
+            finally:
+                conn.close()
+
+        try:
+            status, before = query("/v1/query/link", {"source": 0, "target": 1})
+            assert status == 200
+            generation_before = before["model_generation"]
+
+            for batch in batched(remainder, max(1, len(remainder) // 2)):
+                trainer.feed(batch)
+                trainer.step()
+
+            assert watcher.reloads >= 1
+            assert watcher.failed_reloads == 0
+            status, after = query("/v1/query/link", {"source": 0, "target": 1})
+            assert status == 200
+            assert after["model_generation"] == generation_before + watcher.reloads
+            # The swapped-in engine serves the grown model's dimensions.
+            status, influential = query(
+                "/v1/query/influential", {"topic": 0, "num_simulations": 5}
+            )
+            assert status == 200
+            assert influential["api_version"] == "v1"
+        finally:
+            trainer.close()
+            server.begin_drain()
+            thread.join(timeout=10)
+            assert not thread.is_alive()
