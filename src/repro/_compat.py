@@ -57,6 +57,19 @@ def warn_renamed_field(old: str, new: str) -> None:
     )
 
 
+def warn_deprecated(key: str, message: str) -> None:
+    """Emit a once-per-process DeprecationWarning for a legacy code path.
+
+    ``key`` identifies the path in the shared :data:`_warned` registry
+    (cleared by :func:`reset_positional_warnings`), so hot loops that hit
+    a deprecated branch warn exactly once.
+    """
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
 def keyword_only(cls: type) -> type:
     """Class decorator: positional ``__init__`` use warns once, then maps.
 

@@ -49,6 +49,7 @@ from .core.config import COLDConfig, ConfigError, StreamConfig
 from .core.likelihood import ConvergenceMonitor, joint_log_likelihood
 from .core.model import COLDModel, ModelError, UpdateReport
 from .datasets.corpus import SocialCorpus
+from .datasets.packed import PackedCorpus
 from .diagnostics import (
     DiagnosticsReport,
     MultiChainResult,
@@ -67,6 +68,7 @@ __all__ = [
     "DiagnosticsReport",
     "ModelServer",
     "MultiChainResult",
+    "PackedCorpus",
     "QualityStream",
     "ServerConfig",
     "ServingError",
@@ -86,15 +88,19 @@ __all__ = [
 
 
 def fit(
-    corpus: SocialCorpus,
+    corpus: SocialCorpus | PackedCorpus,
     config: COLDConfig | None = None,
     **overrides: object,
 ) -> COLDModel:
     """Fit a COLD model to ``corpus`` and return it.
 
-    ``config`` defaults to ``COLDConfig()``; keyword ``overrides`` are
-    applied on top via :meth:`COLDConfig.evolve`, so quick experiments
-    don't need an explicit config::
+    ``corpus`` is an in-RAM :class:`SocialCorpus` or a memory-mapped
+    :class:`~repro.datasets.packed.PackedCorpus` (open a ``.coldpack``
+    file with :func:`repro.datasets.io.load_corpus`); with the
+    ``processes`` executor a packed corpus is never copied — workers map
+    the file read-only.  ``config`` defaults to ``COLDConfig()``; keyword
+    ``overrides`` are applied on top via :meth:`COLDConfig.evolve`, so
+    quick experiments don't need an explicit config::
 
         model = api.fit(corpus, seed=3, num_topics=30)
 

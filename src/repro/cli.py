@@ -2,7 +2,10 @@
 
 Subcommands mirror the lifecycle of a COLD study:
 
-* ``generate``  — synthesise a Weibo-like corpus to JSONL;
+* ``generate``  — synthesise a Weibo-like corpus to JSONL, or stream it
+  to a packed out-of-core ``.coldpack`` with ``--packed`` (bounded RSS,
+  bit-identical draws at equal seed; every subcommand sniffs the format
+  from the file's magic bytes);
 * ``train``     — fit COLD (serial or parallel) and save estimates;
 * ``analyze``   — print word clouds, a topic's diffusion graph, and the
   influential-community summary for a trained model;
@@ -68,7 +71,7 @@ from .datasets.corpus import CorpusError
 from .datasets.io import CorpusIOError, load_corpus, save_corpus
 from .datasets.splits import post_splits
 from .datasets.stream import StreamError
-from .datasets.synthetic import SyntheticConfig, generate_corpus
+from .datasets.synthetic import SyntheticConfig, SyntheticError, generate_corpus
 from .diagnostics.stats import DiagnosticsError
 from .eval.timestamp import accuracy_curve
 from .parallel.engine import EngineError
@@ -95,6 +98,7 @@ _CLI_ERRORS = (
     RetryError,
     ServingError,
     StreamError,
+    SyntheticError,
     TelemetryError,
     FileNotFoundError,
     IsADirectoryError,
@@ -143,6 +147,24 @@ def _add_generate(subparsers: argparse._SubParsersAction) -> None:
         help="write an event JSONL (post/link records with wall-clock "
         "stamps, 'cold stream' input) instead of a corpus JSONL",
     )
+    parser.add_argument(
+        "--packed", action="store_true",
+        help="stream a packed .coldpack corpus to disk (chunked, bounded "
+        "memory — use for large --users; bit-identical to the JSONL "
+        "corpus at equal seed) instead of a corpus JSONL",
+    )
+    parser.add_argument(
+        "--posts-per-user", type=float, default=None, metavar="MEAN",
+        help="mean posts per user (default: 8.0)",
+    )
+    parser.add_argument(
+        "--words-per-post", type=float, default=None, metavar="MEAN",
+        help="mean words per post (default: 9.0)",
+    )
+    parser.add_argument(
+        "--links-per-user", type=float, default=None, metavar="MEAN",
+        help="mean links per user (default: 5.0)",
+    )
 
 
 def _telemetry_parent() -> argparse.ArgumentParser:
@@ -188,6 +210,13 @@ def _add_train(subparsers: argparse._SubParsersAction) -> None:
         "--reference-kernels", action="store_true",
         help="use the uncached reference Gibbs kernels (draws are "
         "bit-identical either way; this only trades speed for simplicity)",
+    )
+    parser.add_argument(
+        "--verify-corpus", action="store_true",
+        help="for packed .coldpack corpora: stream every column checksum "
+        "before training (exit 2 with PackedChecksumError on corruption; "
+        "open() alone only validates the header).  No-op for JSONL "
+        "corpora, which are fully parsed on load anyway",
     )
     parser.add_argument(
         "--nodes", type=int, default=1,
@@ -291,6 +320,12 @@ def _add_bench(subparsers: argparse._SubParsersAction) -> None:
         "--parallel", action="store_true",
         help="benchmark parallel sampling scaling over cluster nodes "
         "instead of the serial Gibbs kernels",
+    )
+    parser.add_argument(
+        "--packed-large", action="store_true",
+        help="with --parallel: additionally run the out-of-core packed "
+        "sweep (chunked .coldpack generation plus mmap-backed training at "
+        "1K/10K/100K users, per-point peak RSS); takes minutes",
     )
     parser.add_argument(
         "--diagnostics", action="store_true",
@@ -627,6 +662,13 @@ def _report_interrupt(exc: TrainingInterrupted, args: argparse.Namespace) -> int
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    rates = {}
+    if args.posts_per_user is not None:
+        rates["mean_posts_per_user"] = args.posts_per_user
+    if args.words_per_post is not None:
+        rates["mean_words_per_post"] = args.words_per_post
+    if args.links_per_user is not None:
+        rates["mean_links_per_user"] = args.links_per_user
     config = SyntheticConfig(
         num_users=args.users,
         num_communities=args.communities,
@@ -635,7 +677,18 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         vocab_size=args.vocab,
         themed=args.themed,
         seed=args.seed,
+        **rates,
     )
+    if args.packed:
+        if args.events:
+            raise SyntheticError("--packed and --events are mutually exclusive")
+        from .datasets.synthetic import generate_packed_corpus
+
+        corpus, _truth = generate_packed_corpus(config, path=args.output)
+        size_mb = args.output.stat().st_size / (1024 * 1024)
+        print(f"wrote {corpus} ({size_mb:.1f} MB)")
+        corpus.close()
+        return 0
     corpus, _truth = generate_corpus(config)
     if args.events:
         from .streaming import corpus_to_events, write_events
@@ -646,6 +699,19 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     save_corpus(corpus, args.output)
     print(f"wrote {corpus} -> {args.output}")
     return 0
+
+
+def _load_train_corpus(args: argparse.Namespace):
+    corpus = load_corpus(args.corpus)
+    if getattr(args, "verify_corpus", False):
+        from .datasets.packed import PackedCorpus
+
+        if isinstance(corpus, PackedCorpus):
+            corpus.verify()
+            print(f"verified {corpus.path}: all column checksums match")
+        else:
+            print("corpus is JSONL (fully parsed on load); nothing to verify")
+    return corpus
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -669,7 +735,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 "--resume only supports serial fits "
                 "(--nodes 1, --executor simulated)"
             )
-        corpus = load_corpus(args.corpus)
+        corpus = _load_train_corpus(args)
         print(f"resuming from {args.resume}")
         with _graceful_interrupts() as stop_requested:
             try:
@@ -683,7 +749,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         print(f"saved model -> {args.model}.json / .npz")
         return 0
 
-    corpus = load_corpus(args.corpus)
+    corpus = _load_train_corpus(args)
     print(f"training on {corpus}")
     checkpoint_every = args.checkpoint_every
     checkpoint_dir = args.checkpoint_dir
@@ -884,6 +950,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf import (
         MEDIUM,
+        PACKED_SCALES,
         SMOKE,
         write_benchmark,
         write_diagnostics_benchmark,
@@ -898,6 +965,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "--parallel, --diagnostics, --serving, and --streaming are "
             "exclusive"
         )
+    if args.packed_large and not args.parallel:
+        raise TelemetryError("--packed-large requires --parallel")
     available = {"smoke": SMOKE, "medium": MEDIUM}
     case_names = args.cases
     if case_names is None:
@@ -933,7 +1002,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"{record['mean_update_seconds']*1e3:.1f}ms per update vs "
                 f"{record['refit_seconds']*1e3:.1f}ms full refit, "
                 f"speedup {record['speedup']:.1f}x, "
-                f"equivalent={record['equivalent']}"
+                f"equivalent={record['equivalent']}, "
+                f"peak rss {record['peak_rss_mb']:.0f}MB"
             )
         print(f"wrote benchmark -> {output}")
         return 0
@@ -950,7 +1020,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"{record['name']:>8}: {record['qps']:.0f} qps, "
                 f"p50 {record['p50_ms']:.2f}ms, p99 {record['p99_ms']:.2f}ms, "
                 f"{record['completed']}/{record['num_requests']} ok, "
-                f"{record['errors']} errors"
+                f"{record['errors']} errors, "
+                f"peak rss {record['peak_rss_mb']:.0f}MB"
             )
         print(f"wrote benchmark -> {output}")
         return 0
@@ -971,7 +1042,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"{record['on_seconds_per_sweep']*1e3:.1f}ms streaming "
                 f"at stride {record['stride']}, "
                 f"overhead {record['overhead_fraction']:+.1%}, "
-                f"draws_match={record['draws_match']}"
+                f"draws_match={record['draws_match']}, "
+                f"peak rss {record['peak_rss_mb']:.0f}MB"
             )
         print(f"wrote benchmark -> {output}")
         return 0
@@ -985,6 +1057,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             num_workers=args.workers,
             sweeps=args.sweeps if args.sweeps is not None else 5,
             equivalence_sweeps=args.equivalence_sweeps,
+            packed_scales=PACKED_SCALES if args.packed_large else (),
         )
         for record in payload["cases"]:
             for point in record["scaling"]:
@@ -997,7 +1070,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(
                 f"{record['name']:>8}: draws_match={record['draws_match']} "
                 f"({record['executor']} vs simulated at "
-                f"{record['draws_match_nodes']} nodes)"
+                f"{record['draws_match_nodes']} nodes), "
+                f"peak rss {record['peak_rss_mb']:.0f}MB"
+            )
+        packed = payload.get("packed_scaling")
+        if packed:
+            for point in packed["scaling"]:
+                print(
+                    f"  packed @ {point['users']:>7} users "
+                    f"({point['tokens']} tokens, {point['file_mb']:.1f}MB "
+                    f"file): generate {point['generate_seconds']:.1f}s at "
+                    f"{point['generate_peak_rss_mb']:.0f}MB peak rss, train "
+                    f"{point['wall_seconds_per_sweep']:.2f}s/sweep at "
+                    f"{point['train_peak_rss_mb']:.0f}MB peak rss"
+                )
+            print(
+                f"  packed: draws_match={packed['draws_match']} "
+                f"(mmap processes vs in-RAM simulated at "
+                f"{packed['draws_match_users']} users)"
             )
         print(f"wrote benchmark -> {output}")
         return 0
@@ -1014,7 +1104,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{record['name']:>8}: {record['reference_seconds_per_sweep']*1e3:.1f}ms"
             f" -> {record['fast_seconds_per_sweep']*1e3:.1f}ms per sweep, "
             f"speedup {record['speedup']:.2f}x, "
-            f"draws_match={record['draws_match']}"
+            f"draws_match={record['draws_match']}, "
+            f"peak rss {record['peak_rss_mb']:.0f}MB"
         )
     print(f"wrote benchmark -> {output}")
     return 0

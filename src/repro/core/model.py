@@ -676,6 +676,12 @@ class COLDModel:
                 "update() requires a fitted sampler state; fit() first "
                 "(load()ed models carry estimates only)"
             )
+        if self.corpus_ is not None and getattr(self.corpus_, "packed_path", None):
+            raise ModelError(
+                "update() cannot grow a packed corpus (the .coldpack file "
+                "is immutable); fit an in-RAM SocialCorpus for streaming "
+                "updates, or rebuild the packed file with the new events"
+            )
         cfg = stream or self.stream or StreamConfig()
         if isinstance(events, CorpusIncrement):
             increment = events

@@ -49,6 +49,13 @@ class PostTable:
 
     @classmethod
     def from_corpus(cls, corpus: SocialCorpus) -> "PostTable":
+        # Packed corpora store this table's exact columns on disk
+        # (unique multisets in the same first-appearance order as
+        # Post.word_counts()), so take their zero-copy mmap views
+        # instead of looping over materialised posts.
+        table_factory = getattr(corpus, "post_table", None)
+        if callable(table_factory):
+            return table_factory()
         authors = np.empty(corpus.num_posts, dtype=np.int64)
         times = np.empty(corpus.num_posts, dtype=np.int64)
         lengths = np.empty(corpus.num_posts, dtype=np.int64)

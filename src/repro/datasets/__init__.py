@@ -21,6 +21,15 @@ from .io import (
     save_corpus,
     save_retweet_tuples,
 )
+from .packed import (
+    PackedChecksumError,
+    PackedCorpus,
+    PackedCorpusError,
+    PackedCorpusWriter,
+    PackedFormatError,
+    PackedVersionError,
+    write_packed,
+)
 from .splits import (
     LinkSplit,
     PostSplit,
@@ -39,6 +48,7 @@ from .synthetic import (
     dataset1,
     dataset2,
     generate_corpus,
+    generate_packed_corpus,
     plant_parameters,
 )
 from .vocabulary import Vocabulary, VocabularyError, build_vocabulary
@@ -51,6 +61,12 @@ __all__ = [
     "GroundTruth",
     "LinkEvent",
     "LinkSplit",
+    "PackedChecksumError",
+    "PackedCorpus",
+    "PackedCorpusError",
+    "PackedCorpusWriter",
+    "PackedFormatError",
+    "PackedVersionError",
     "Post",
     "PostEvent",
     "PostSplit",
@@ -68,6 +84,7 @@ __all__ = [
     "dataset1",
     "dataset2",
     "generate_corpus",
+    "generate_packed_corpus",
     "generate_retweet_tuples",
     "link_splits",
     "load_corpus",
@@ -79,4 +96,5 @@ __all__ = [
     "save_corpus",
     "save_retweet_tuples",
     "split_tuples",
+    "write_packed",
 ]

@@ -112,6 +112,11 @@ class SocialCorpus:
                 f"num_time_slices must be positive, got {self.num_time_slices}"
             )
         if self.vocabulary is not None:
+            if len(self.vocabulary) == 0:
+                raise CorpusError(
+                    "supplied vocabulary is empty; omit it to derive "
+                    "vocab_size from the posts"
+                )
             if self.vocab_size not in (0, len(self.vocabulary)):
                 raise CorpusError(
                     "vocab_size disagrees with the supplied vocabulary"
@@ -121,23 +126,45 @@ class SocialCorpus:
         self.links = self._validate_links(self.links)
 
     def _validate_posts(self) -> None:
-        for idx, post in enumerate(self.posts):
-            if post.author >= self.num_users:
+        # One pass building id columns, then vectorised range checks — on a
+        # large ingest this replaces three Python comparisons per post with
+        # three array comparisons, and the same maxima derive vocab_size.
+        if not self.posts:
+            return
+        count = len(self.posts)
+        authors = np.fromiter(
+            (post.author for post in self.posts), np.int64, count=count
+        )
+        times = np.fromiter(
+            (post.timestamp for post in self.posts), np.int64, count=count
+        )
+        word_maxima = np.fromiter(
+            (max(post.words) for post in self.posts), np.int64, count=count
+        )
+        bad = authors >= self.num_users
+        if bad.any():
+            idx = int(np.argmax(bad))
+            raise CorpusValidationError(
+                f"post {idx}: author {int(authors[idx])} >= "
+                f"num_users {self.num_users}"
+            )
+        bad = times >= self.num_time_slices
+        if bad.any():
+            idx = int(np.argmax(bad))
+            raise CorpusValidationError(
+                f"post {idx}: timestamp {int(times[idx])} >= "
+                f"num_time_slices {self.num_time_slices}"
+            )
+        if self.vocab_size:
+            bad = word_maxima >= self.vocab_size
+            if bad.any():
+                idx = int(np.argmax(bad))
                 raise CorpusValidationError(
-                    f"post {idx}: author {post.author} >= num_users {self.num_users}"
-                )
-            if post.timestamp >= self.num_time_slices:
-                raise CorpusValidationError(
-                    f"post {idx}: timestamp {post.timestamp} >= "
-                    f"num_time_slices {self.num_time_slices}"
-                )
-            if self.vocab_size and max(post.words) >= self.vocab_size:
-                raise CorpusValidationError(
-                    f"post {idx}: word id {max(post.words)} >= "
+                    f"post {idx}: word id {int(word_maxima[idx])} >= "
                     f"vocab_size {self.vocab_size}"
                 )
-        if not self.vocab_size and self.posts:
-            self.vocab_size = 1 + max(max(post.words) for post in self.posts)
+        else:
+            self.vocab_size = 1 + int(word_maxima.max())
 
     def _validate_links(self, links: list[tuple[int, int]]) -> list[tuple[int, int]]:
         seen: set[tuple[int, int]] = set()

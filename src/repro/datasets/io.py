@@ -99,16 +99,28 @@ def save_corpus(corpus: SocialCorpus, path: str | Path) -> None:
                 )
 
 
-def load_corpus(path: str | Path) -> SocialCorpus:
-    """Read a corpus written by :func:`save_corpus`.
+def load_corpus(path: str | Path):
+    """Read a corpus written by :func:`save_corpus` — or a packed one.
 
-    Raises :class:`CorpusIOError` for malformed/truncated files and
+    Files are sniffed by content, not extension: a file starting with the
+    ``.coldpack`` magic is opened as a memory-mapped
+    :class:`~repro.datasets.packed.PackedCorpus` (same read surface, no
+    materialisation), everything else is parsed as the JSONL format
+    above into a :class:`SocialCorpus`.  This is what lets every CLI
+    command accept either format for its corpus argument.
+
+    Raises :class:`CorpusIOError` for malformed/truncated JSONL files and
     :class:`CorpusIOValidationError` for readable files whose ids are out
-    of range (dangling links, bad word/user/time ids).
+    of range (dangling links, bad word/user/time ids); packed files raise
+    the typed errors of :mod:`repro.datasets.packed`.
     """
     path = Path(path)
     if not path.is_file():
         raise FileNotFoundError(f"no corpus file at {path}")
+    from .packed import PackedCorpus, is_packed_file
+
+    if is_packed_file(path):
+        return PackedCorpus.open(path)
     header: dict | None = None
     vocabulary: Vocabulary | None = None
     posts: list[Post] = []

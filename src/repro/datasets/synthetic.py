@@ -27,8 +27,11 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from pathlib import Path
+
 from .._compat import keyword_only
 from .corpus import Post, SocialCorpus
+from .packed import PackedCorpus, PackedCorpusWriter
 from .vocabulary import Vocabulary
 
 #: Thematic word banks used to label synthetic topics with readable tokens.
@@ -346,6 +349,7 @@ def generate_links(
     C = config.num_communities
     # Per-community user-selection weights: column-normalised memberships.
     column_weights = truth.pi / truth.pi.sum(axis=0, keepdims=True)
+    target_cdfs = _target_cdfs(column_weights)
     links: set[tuple[int, int]] = set()
     for user in range(config.num_users):
         degree = int(rng.poisson(config.mean_links_per_user))
@@ -353,10 +357,31 @@ def generate_links(
             s = rng.choice(C, p=truth.pi[user])
             row = truth.eta[s] / truth.eta[s].sum()
             c_dst = rng.choice(C, p=row)
-            target = int(rng.choice(config.num_users, p=column_weights[:, c_dst]))
+            target = _draw_target(target_cdfs, c_dst, rng)
             if target != user:
                 links.add((user, target))
     return sorted(links)
+
+
+def _target_cdfs(column_weights: np.ndarray) -> np.ndarray:
+    """Per-community target-user CDFs, precomputed once.
+
+    ``rng.choice(num_users, p=w)`` rebuilds ``w.cumsum()`` on every call —
+    O(num_users) per *link*, which turns the link pass quadratic in users.
+    Hoisting the cumsum keeps each draw O(log num_users).  The arithmetic
+    (cumsum, then divide by the last entry) replicates ``Generator.choice``
+    exactly, so draws are bit-identical to the historical per-call path.
+    """
+    cdfs = column_weights.cumsum(axis=0)
+    cdfs /= cdfs[-1, :]
+    return cdfs
+
+
+def _draw_target(target_cdfs: np.ndarray, community: int, rng) -> int:
+    """One target-user draw, bit-identical to ``rng.choice(U, p=w_c)``."""
+    return int(
+        target_cdfs[:, community].searchsorted(rng.random(), side="right")
+    )
 
 
 def generate_corpus(
@@ -388,6 +413,92 @@ def generate_corpus(
     truth.post_communities = post_communities
     truth.post_topics = post_topics
     return corpus, truth
+
+
+def generate_packed_corpus(
+    config: SyntheticConfig | None = None,
+    path: str | Path = "corpus.coldpack",
+    seed: int | None = None,
+    chunk_tokens: int = 1 << 20,
+    keep_latents: bool = False,
+) -> tuple[PackedCorpus, GroundTruth]:
+    """Stream the planted COLD process to a ``.coldpack`` file.
+
+    Runs the *same RNG call sequence* as :func:`generate_corpus` — plant,
+    then per-user posts, then per-user links — but streams every post to
+    a :class:`~repro.datasets.packed.PackedCorpusWriter` in
+    ``chunk_tokens``-sized flushes instead of materialising ``Post``
+    objects, so peak RSS is bounded by the planted parameter tensors
+    (O(users x communities)) regardless of how many tokens are
+    generated.  At equal seed the resulting corpus is bit-identical to
+    the in-RAM path: same posts, same links, same vocabulary.
+
+    Links are deduplicated per user, which equals the in-RAM path's
+    global dedup because every link's source *is* the current user, and
+    ``sorted(links)`` orders by source first — so emitting each user's
+    sorted link set in user order reproduces the global sorted order.
+
+    ``keep_latents=True`` records the drawn per-post community/topic
+    latents on the returned :class:`GroundTruth` (two O(posts) arrays —
+    leave it off at million-user scale).
+    """
+    config = config or SyntheticConfig()
+    config.validate()
+    if seed is not None:
+        config = replace(config, seed=seed)
+    rng = np.random.default_rng(config.seed)
+    truth = plant_parameters(config, rng)
+    vocabulary = (
+        _themed_vocabulary(config) if config.themed else _generic_vocabulary(config)
+    )
+    C, K = config.num_communities, config.num_topics
+    communities: list[int] = []
+    topics: list[int] = []
+    writer = PackedCorpusWriter(
+        path,
+        num_users=config.num_users,
+        num_time_slices=config.num_time_slices,
+        vocab_size=config.vocab_size,
+        vocabulary=vocabulary,
+        chunk_tokens=chunk_tokens,
+    )
+    try:
+        # Posts pass — RNG calls exactly as generate_posts().
+        for user in range(config.num_users):
+            num_posts = max(1, int(rng.poisson(config.mean_posts_per_user)))
+            cs = rng.choice(C, size=num_posts, p=truth.pi[user])
+            for c in cs:
+                k = rng.choice(K, p=truth.theta[c])
+                length = max(1, int(rng.poisson(config.mean_words_per_post)))
+                words = rng.choice(config.vocab_size, size=length, p=truth.phi[k])
+                t = rng.choice(config.num_time_slices, p=truth.psi[k, c])
+                writer.add_post(user, int(t), words)
+                if keep_latents:
+                    communities.append(int(c))
+                    topics.append(int(k))
+        # Links pass — RNG calls exactly as generate_links().
+        column_weights = truth.pi / truth.pi.sum(axis=0, keepdims=True)
+        target_cdfs = _target_cdfs(column_weights)
+        for user in range(config.num_users):
+            degree = int(rng.poisson(config.mean_links_per_user))
+            user_links: set[tuple[int, int]] = set()
+            for _ in range(degree):
+                s = rng.choice(C, p=truth.pi[user])
+                row = truth.eta[s] / truth.eta[s].sum()
+                c_dst = rng.choice(C, p=row)
+                target = _draw_target(target_cdfs, c_dst, rng)
+                if target != user:
+                    user_links.add((user, target))
+            for src, dst in sorted(user_links):
+                writer.add_link(src, dst)
+        packed_path = writer.finalize()
+    except BaseException:
+        writer.abort()
+        raise
+    if keep_latents:
+        truth.post_communities = np.asarray(communities)
+        truth.post_topics = np.asarray(topics)
+    return PackedCorpus.open(packed_path), truth
 
 
 def dataset1(scale: float = 1.0, seed: int = 11) -> tuple[SocialCorpus, GroundTruth]:

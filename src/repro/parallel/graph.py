@@ -66,13 +66,22 @@ class ComputationGraph:
     @classmethod
     def from_corpus(cls, corpus: SocialCorpus) -> "ComputationGraph":
         """Group posts by (author, time slice) and wrap links as edges."""
-        grouped: dict[tuple[int, int], list[int]] = {}
-        for post_id, post in enumerate(corpus.posts):
-            grouped.setdefault((post.author, post.timestamp), []).append(post_id)
-        user_time_edges = [
-            UserTimeEdge(user=user, time=time, post_ids=tuple(ids))
-            for (user, time), ids in sorted(grouped.items())
-        ]
+        authors = getattr(corpus, "post_authors", None)
+        times = getattr(corpus, "post_times", None)
+        if authors is not None and times is not None:
+            # Column-backed corpora (PackedCorpus) expose author/time
+            # arrays directly — group without materialising Post objects.
+            user_time_edges = cls._group_post_columns(
+                np.asarray(authors), np.asarray(times)
+            )
+        else:
+            grouped: dict[tuple[int, int], list[int]] = {}
+            for post_id, post in enumerate(corpus.posts):
+                grouped.setdefault((post.author, post.timestamp), []).append(post_id)
+            user_time_edges = [
+                UserTimeEdge(user=user, time=time, post_ids=tuple(ids))
+                for (user, time), ids in sorted(grouped.items())
+            ]
         user_user_edges = [
             UserUserEdge(link_id=link_id, src=src, dst=dst)
             for link_id, (src, dst) in enumerate(corpus.links)
@@ -83,6 +92,32 @@ class ComputationGraph:
             user_time_edges=user_time_edges,
             user_user_edges=user_user_edges,
         )
+
+    @staticmethod
+    def _group_post_columns(
+        authors: np.ndarray, times: np.ndarray
+    ) -> list[UserTimeEdge]:
+        """Vectorised (author, time) grouping, same edge/post order as the
+        dict path: edges sorted by (user, time), post ids ascending."""
+        if len(authors) == 0:
+            return []
+        order = np.lexsort((times, authors))  # stable -> post ids ascending
+        sorted_authors = authors[order]
+        sorted_times = times[order]
+        boundaries = np.flatnonzero(
+            (np.diff(sorted_authors) != 0) | (np.diff(sorted_times) != 0)
+        )
+        starts = np.concatenate(([0], boundaries + 1))
+        stops = np.concatenate((boundaries + 1, [len(order)]))
+        order_list = order.tolist()
+        return [
+            UserTimeEdge(
+                user=int(sorted_authors[lo]),
+                time=int(sorted_times[lo]),
+                post_ids=tuple(order_list[lo:hi]),
+            )
+            for lo, hi in zip(starts.tolist(), stops.tolist())
+        ]
 
     # -- sizes -----------------------------------------------------------------
 

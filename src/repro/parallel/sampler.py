@@ -32,6 +32,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .. import _compat
 from .._compat import keyword_only
 from ..core.estimates import ParameterEstimates, average_estimates, estimate_from_state
 from ..core.fastgibbs import SweepCache
@@ -272,6 +273,21 @@ class ParallelCOLDSampler:
         try:
             with telemetry:
                 if self.executor == "processes":
+                    # A packed corpus carries the path of its mmap-backed
+                    # file; workers re-open it read-only instead of having
+                    # the post/link columns copied into shared memory.
+                    packed_path = getattr(corpus, "packed_path", None)
+                    if packed_path is None and (
+                        getattr(corpus, "packed_source", None) is not None
+                    ):
+                        _compat.warn_deprecated(
+                            "pickle-corpus-dispatch",
+                            "dispatching a materialised corpus to the "
+                            "'processes' executor copies every post into "
+                            "shared memory; this corpus came from a packed "
+                            "file — fit the PackedCorpus directly so "
+                            "workers map the .coldpack instead",
+                        )
                     pool = ProcessWorkerPool(
                         state,
                         hp,
@@ -279,6 +295,7 @@ class ParallelCOLDSampler:
                         fast=self.fast,
                         num_workers=self.num_workers,
                         telemetry=telemetry,
+                        packed_path=packed_path,
                     )
                 for iteration in range(1, num_iterations + 1):
                     sweep_start = time.perf_counter()

@@ -9,7 +9,11 @@ exact semantics:
   per-superstep counter snapshot, and one delta buffer per node all live
   in :class:`~repro.parallel.shm.SharedArrayBlock` segments created once
   per fit.  Dispatching a shard sends a node id plus an RNG state over a
-  pipe — no counters or corpus are ever pickled per superstep.
+  pipe — no counters or corpus are ever pickled per superstep.  Fitting a
+  :class:`~repro.datasets.packed.PackedCorpus` goes further
+  (``packed_path``): the corpus columns never enter shared memory —
+  every worker maps the ``.coldpack`` file read-only, so N workers share
+  one page-cached copy of the data.
 * **Exact merge.**  A worker builds a private
   :class:`~repro.core.state.CountState` whose counters are copies of the
   shared snapshot and whose assignment arrays are the shared views (shards
@@ -154,9 +158,26 @@ def worker_main(worker_id: int, init: dict, conn) -> None:
     snapshot = blocks["snapshot"].arrays
     deltas = blocks["deltas"].arrays
     hp = Hyperparameters(**init["hyperparameters"])
-    posts = PostTable(
-        **{name: data[f"posts_{name}"] for name in CountState._POST_FIELDS}
-    )
+    packed = None
+    if init.get("packed_path"):
+        # Packed dispatch: the corpus never crossed the process boundary —
+        # map the .coldpack file read-only and build the post table and
+        # link pairs as views of it.  Every worker shares the kernel page
+        # cache; only counters, orders, and assignments live in shm.
+        from ..datasets.packed import PackedCorpus
+
+        packed = PackedCorpus.open(init["packed_path"])
+        posts = packed.post_table()
+        links = (
+            packed.link_array()
+            if init.get("packed_links")
+            else np.zeros((0, 2), np.int64)
+        )
+    else:
+        posts = PostTable(
+            **{name: data[f"posts_{name}"] for name in CountState._POST_FIELDS}
+        )
+        links = data["links"]
     post_offsets = data["shard_post_offsets"]
     link_offsets = data["shard_link_offsets"]
     rng = np.random.default_rng()
@@ -183,7 +204,7 @@ def worker_main(worker_id: int, init: dict, conn) -> None:
                     num_communities=init["num_communities"],
                     num_topics=init["num_topics"],
                     posts=posts,
-                    links=data["links"],
+                    links=links,
                     **{name: snapshot[name].copy() for name in COUNTER_FIELDS},
                     **{name: data[name] for name in ASSIGNMENT_FIELDS},
                 )
@@ -247,6 +268,9 @@ def worker_main(worker_id: int, init: dict, conn) -> None:
             conn.send(("ok", payload))
         except Exception:
             conn.send(("error", traceback.format_exc()))
+    if packed is not None:
+        local = cache = posts = links = None
+        packed.close()
     for block in blocks.values():
         block.close()
 
@@ -474,6 +498,13 @@ class ProcessWorkerPool:
         buffered handler and (if tracing) a private tracer, and every
         reply's drained logs/spans are folded back into the session;
         worker crashes and respawns are counted on its registry.
+    packed_path:
+        Path of the ``.coldpack`` file backing ``state.posts`` (set when
+        fitting a :class:`~repro.datasets.packed.PackedCorpus`).  The
+        post table and link pairs are then *not* copied into shared
+        memory at all — each worker maps the file read-only and shares
+        the kernel page cache, so per-worker corpus memory is zero and
+        dispatch pickles nothing but a node id and an RNG state.
     """
 
     def __init__(
@@ -485,6 +516,7 @@ class ProcessWorkerPool:
         num_workers: int | None = None,
         start_method: str | None = None,
         telemetry: TelemetrySession | None = None,
+        packed_path: "str | os.PathLike | None" = None,
     ) -> None:
         self._closed = False
         self._telemetry = telemetry if telemetry is not None else NULL_SESSION
@@ -500,11 +532,20 @@ class ProcessWorkerPool:
 
         post_orders = [shard.post_order() for shard in shards]
         link_orders = [shard.link_order() for shard in shards]
-        data_arrays: dict[str, np.ndarray] = {
-            f"posts_{name}": getattr(state.posts, name)
-            for name in CountState._POST_FIELDS
-        }
-        data_arrays["links"] = state.links
+        # With a packed corpus the post/link columns stay on disk: workers
+        # re-open the file, so the shm data block carries only the shard
+        # orders and assignments (plus an empty links array when the fit
+        # excludes the network — the file's links must not be used then).
+        packed_links = packed_path is not None and state.links.size > 0
+        data_arrays: dict[str, np.ndarray] = {}
+        if packed_path is None:
+            data_arrays.update(
+                {
+                    f"posts_{name}": getattr(state.posts, name)
+                    for name in CountState._POST_FIELDS
+                }
+            )
+            data_arrays["links"] = state.links
         data_arrays["shard_posts"] = np.concatenate(post_orders)
         data_arrays["shard_links"] = np.concatenate(link_orders)
         data_arrays["shard_post_offsets"] = np.cumsum(
@@ -551,6 +592,8 @@ class ProcessWorkerPool:
             "fast": fast,
             "telemetry": self._telemetry.worker_config(),
             "parent_pid": os.getpid(),
+            "packed_path": str(packed_path) if packed_path is not None else None,
+            "packed_links": packed_links,
         }
         try:
             for worker_id in range(self.num_workers):

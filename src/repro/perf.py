@@ -39,14 +39,25 @@ under 5% per sweep *amortised* — the statistic is the mean (not min)
 per-sweep time, because the stride concentrates the cost on every tenth
 sweep and a min would simply land on an unmetered one — and the drawn
 chain must again be bit-identical with the stream attached or not.
+
+Memory is tracked alongside wall time: every case record carries
+``peak_rss_mb`` (:func:`peak_rss_mb`, the ``getrusage`` high-water mark).
+Because ``ru_maxrss`` is a monotonic per-process maximum, the large-scale
+packed harness (:func:`run_packed_scaling_case`, gated by
+``benchmarks/perf/test_packed_scaling.py``) measures each scale point in
+a fresh *spawned* subprocess — chunked ``.coldpack`` generation and an
+mmap-backed ``processes``-executor fit per corpus size — so the reported
+peaks are per-point facts, not whichever earlier case was fattest.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import multiprocessing
 import os
 import platform
+import sys
 import tempfile
 import time
 from dataclasses import asdict, dataclass
@@ -66,14 +77,19 @@ from .resilience.checkpoint import atomic_write_text
 
 __all__ = [
     "MEDIUM",
+    "PACKED_SCALES",
     "SMOKE",
     "BenchCase",
     "diagnostics_draws_match",
     "draws_match",
+    "packed_draws_match",
+    "packed_scale_config",
     "parallel_draws_match",
+    "peak_rss_mb",
     "run_benchmark",
     "run_case",
     "run_diagnostics_overhead_case",
+    "run_packed_scaling_case",
     "run_parallel_benchmark",
     "run_parallel_case",
     "run_serving_case",
@@ -87,6 +103,28 @@ __all__ = [
     "write_serving_benchmark",
     "write_streaming_benchmark",
 ]
+
+
+def peak_rss_mb(include_children: bool = False) -> float:
+    """Peak resident set size of this process in MB (``getrusage`` high-water).
+
+    ``include_children`` folds in the max over *waited-for* child
+    processes (``RUSAGE_CHILDREN``) — the right reading for fits that ran
+    a worker pool.  Note the counter is monotonic per process: it reports
+    the fattest moment since process start, which is why the packed
+    scaling harness isolates each scale point in a fresh subprocess.
+    Returns 0.0 on platforms without ``resource`` (Windows).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if include_children:
+        peak = max(peak, resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    divisor = 1024 * 1024 if sys.platform == "darwin" else 1024
+    return round(peak / divisor, 1)
 
 
 @dataclass(frozen=True)
@@ -235,6 +273,7 @@ def run_case(
         "speedup": round(seconds["reference"] / seconds["fast"], 2),
         "draws_match": draws_match(corpus, hp, case, equivalence_sweeps),
         "occupancy": occupancy,
+        "peak_rss_mb": peak_rss_mb(),
     }
 
 
@@ -396,6 +435,7 @@ def run_telemetry_overhead_case(
         "draws_match": telemetry_draws_match(
             corpus, case, num_sweeps=equivalence_sweeps
         ),
+        "peak_rss_mb": peak_rss_mb(),
     }
 
 
@@ -545,6 +585,7 @@ def run_diagnostics_overhead_case(
         "draws_match": diagnostics_draws_match(
             corpus, case, num_sweeps=equivalence_sweeps
         ),
+        "peak_rss_mb": peak_rss_mb(),
     }
 
 
@@ -779,6 +820,7 @@ def run_serving_case(
         "p99_ms": round(float(np.percentile(all_ok, 99)) * 1e3, 3),
         "endpoints": endpoints,
         "cache": engine.describe()["fold_cache"],
+        "peak_rss_mb": peak_rss_mb(),
     }
 
 
@@ -927,6 +969,7 @@ def run_parallel_case(
             num_sweeps=equivalence_sweeps,
         ),
         "draws_match_nodes": match_nodes,
+        "peak_rss_mb": peak_rss_mb(include_children=True),
     }
 
 
@@ -976,8 +1019,15 @@ def write_parallel_benchmark(
     num_workers: int | None = None,
     sweeps: int = 5,
     equivalence_sweeps: int = 2,
+    packed_scales: tuple[int, ...] = (),
 ) -> dict:
-    """Run the scaling suite and atomically write its JSON to ``path``."""
+    """Run the scaling suite and atomically write its JSON to ``path``.
+
+    ``packed_scales`` (e.g. :data:`PACKED_SCALES`) additionally runs the
+    out-of-core sweep — :func:`run_packed_scaling_case` — and records it
+    under ``packed_scaling``; this is the ``cold bench --parallel
+    --packed-large`` path and takes minutes at the 10^5-user point.
+    """
     payload = run_parallel_benchmark(
         cases,
         node_counts=node_counts,
@@ -986,6 +1036,18 @@ def write_parallel_benchmark(
         sweeps=sweeps,
         equivalence_sweeps=equivalence_sweeps,
     )
+    if packed_scales:
+        payload["method"]["packed_scaling"] = (
+            "per scale point, chunked .coldpack generation and an "
+            "mmap-backed 'processes' fit each run in a fresh spawned "
+            "subprocess that self-reports wall time and getrusage peak "
+            "RSS (children folded in), so every peak is a per-point fact"
+        )
+        payload["packed_scaling"] = run_packed_scaling_case(
+            scales=packed_scales,
+            num_workers=num_workers if num_workers is not None else 2,
+            equivalence_sweeps=equivalence_sweeps,
+        )
     atomic_write_text(Path(path), json.dumps(payload, indent=2) + "\n")
     return payload
 
@@ -1127,6 +1189,7 @@ def run_streaming_case(
         "equivalence": equivalence,
         "baseline": baseline,
         "equivalent": equivalent,
+        "peak_rss_mb": peak_rss_mb(),
     }
 
 
@@ -1168,6 +1231,271 @@ def run_streaming_benchmark(
             )
             for case in cases
         ],
+    }
+
+
+#: Scale points (users) for the out-of-core packed sweep: 1.7x to 167x the
+#: MEDIUM corpus by user count (and ~0.1x to ~10x by token count — the
+#: packed config plants lighter per-user rates so the top point stays
+#: minutes, not hours, on a laptop).
+PACKED_SCALES = (1_000, 10_000, 100_000)
+
+
+def packed_scale_config(num_users: int, seed: int = 7) -> SyntheticConfig:
+    """Planted-parameter config for one out-of-core scale point.
+
+    Everything except ``num_users`` is fixed so posts, tokens, and links
+    all grow linearly in users — the property the packed sweep is there
+    to demonstrate.  Latent dimensions are small (C=8, K=12) because the
+    sweep measures data scaling, not model-size scaling.
+    """
+    return SyntheticConfig(
+        num_users=num_users,
+        num_communities=8,
+        num_topics=12,
+        num_time_slices=12,
+        vocab_size=2000,
+        mean_posts_per_user=4.0,
+        mean_words_per_post=8.0,
+        mean_links_per_user=2.0,
+        seed=seed,
+    )
+
+
+def _packed_generate_probe(conn, config_kwargs: dict, path: str) -> None:
+    """Subprocess body: chunk-generate a ``.coldpack`` and self-report.
+
+    Runs in a fresh *spawned* process so the reported ``peak_rss_mb`` is
+    the generation's own high-water mark, untainted by whatever the
+    parent benchmarked earlier (``ru_maxrss`` is monotonic per process).
+    """
+    from .datasets.synthetic import generate_packed_corpus
+
+    config = SyntheticConfig(**config_kwargs)
+    start = time.perf_counter()
+    corpus, _truth = generate_packed_corpus(config, path=path)
+    seconds = time.perf_counter() - start
+    try:
+        conn.send(
+            {
+                "seconds": seconds,
+                "num_posts": corpus.num_posts,
+                "num_tokens": corpus.num_words,
+                "num_links": corpus.num_links,
+                "file_mb": round(os.path.getsize(path) / 2**20, 2),
+                "peak_rss_mb": peak_rss_mb(include_children=True),
+            }
+        )
+    finally:
+        corpus.close()
+        conn.close()
+
+
+def _packed_train_probe(
+    conn,
+    path: str,
+    num_communities: int,
+    num_topics: int,
+    num_nodes: int,
+    num_workers: int | None,
+    sweeps: int,
+    seed: int,
+) -> None:
+    """Subprocess body: mmap-backed ``processes`` fit, self-reported.
+
+    Opens the ``.coldpack`` read-only and fits with the ``processes``
+    executor, so workers map the file instead of receiving pickled
+    posts; ``peak_rss_mb`` folds the worker children in.
+    """
+    from .datasets.packed import PackedCorpus
+
+    corpus = PackedCorpus.open(path)
+    try:
+        start = time.perf_counter()
+        sampler = ParallelCOLDSampler(
+            num_communities=num_communities,
+            num_topics=num_topics,
+            num_nodes=num_nodes,
+            executor="processes",
+            num_workers=num_workers,
+            seed=seed,
+            fast=True,
+        ).fit(corpus, num_iterations=sweeps)
+        wall = time.perf_counter() - start
+        report = sampler.report_
+        assert report is not None
+        per_sweep = min(step.cluster_seconds for step in report.supersteps)
+        conn.send(
+            {
+                "cluster_seconds_per_sweep": per_sweep,
+                "wall_seconds_per_sweep": wall / sweeps,
+                "peak_rss_mb": peak_rss_mb(include_children=True),
+            }
+        )
+    finally:
+        corpus.close()
+        conn.close()
+
+
+def _run_probe(ctx, target, args: tuple) -> dict:
+    """Run a probe function in a fresh process; return what it piped back."""
+    receiver, sender = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=target, args=(sender, *args))
+    proc.start()
+    sender.close()
+    try:
+        result = receiver.recv()
+    except EOFError:
+        proc.join()
+        raise RuntimeError(
+            f"{target.__name__} subprocess died (exit code {proc.exitcode}) "
+            "before reporting a result"
+        ) from None
+    proc.join()
+    receiver.close()
+    return result
+
+
+def packed_draws_match(
+    path: str | Path,
+    num_communities: int,
+    num_topics: int,
+    num_nodes: int,
+    num_workers: int | None = None,
+    num_sweeps: int = 2,
+    seed: int = 7,
+) -> bool:
+    """True iff mmap-backed and in-RAM fits draw the identical chain.
+
+    Fits the same corpus twice from one seed: once as a materialised
+    :class:`SocialCorpus` on the sequential ``simulated`` oracle, once as
+    the memory-mapped :class:`PackedCorpus` on the ``processes`` executor.
+    This is the packed format's whole correctness claim — out-of-core is
+    a storage decision, not a statistical one — so the scaling harness
+    records it with every run.
+    """
+    from .datasets.packed import PackedCorpus
+
+    packed = PackedCorpus.open(path)
+    try:
+        social = packed.to_social_corpus()
+        states = []
+        for corpus, run_executor, run_workers in (
+            (social, "simulated", None),
+            (packed, "processes", num_workers),
+        ):
+            sampler = ParallelCOLDSampler(
+                num_communities=num_communities,
+                num_topics=num_topics,
+                num_nodes=num_nodes,
+                executor=run_executor,
+                num_workers=run_workers,
+                seed=seed,
+                fast=True,
+            ).fit(corpus, num_iterations=num_sweeps)
+            states.append(sampler.state_)
+    finally:
+        packed.close()
+    reference, candidate = states
+    assert reference is not None and candidate is not None
+    return (
+        np.array_equal(reference.post_comm, candidate.post_comm)
+        and np.array_equal(reference.post_topic, candidate.post_topic)
+        and np.array_equal(reference.link_src_comm, candidate.link_src_comm)
+        and np.array_equal(reference.link_dst_comm, candidate.link_dst_comm)
+        and reference.degenerate_draws == candidate.degenerate_draws
+    )
+
+
+def run_packed_scaling_case(
+    scales: tuple[int, ...] = PACKED_SCALES,
+    num_communities: int = 8,
+    num_topics: int = 12,
+    num_nodes: int = 4,
+    num_workers: int | None = 2,
+    sweeps: int = 2,
+    equivalence_sweeps: int = 2,
+    seed: int = 7,
+) -> dict:
+    """Out-of-core scaling sweep: generate + train per scale, JSON-ready.
+
+    Per scale point, chunked ``.coldpack`` generation and an mmap-backed
+    ``processes`` fit each run in their own freshly *spawned* subprocess,
+    which self-reports wall time and its ``getrusage`` peak RSS (children
+    folded in).  Isolation is what makes the RSS column trustworthy: the
+    counter is a monotonic per-process maximum, so measuring three scales
+    in one process would report the largest one three times.  Draw
+    equivalence (mmap ``processes`` vs in-RAM ``simulated``) is checked
+    at the smallest scale, where a double fit is cheap.
+    """
+    if not scales:
+        raise ValueError("scales must not be empty")
+    ctx = multiprocessing.get_context("spawn")
+    points = []
+    draws_ok: bool | None = None
+    with tempfile.TemporaryDirectory(prefix="coldpack-bench-") as tmp:
+        for num_users in scales:
+            config = packed_scale_config(num_users, seed=seed)
+            path = os.path.join(tmp, f"scale_{num_users}.coldpack")
+            gen = _run_probe(ctx, _packed_generate_probe, (asdict(config), path))
+            train = _run_probe(
+                ctx,
+                _packed_train_probe,
+                (
+                    path,
+                    num_communities,
+                    num_topics,
+                    num_nodes,
+                    num_workers,
+                    sweeps,
+                    seed,
+                ),
+            )
+            if num_users == min(scales):
+                draws_ok = packed_draws_match(
+                    path,
+                    num_communities,
+                    num_topics,
+                    num_nodes,
+                    num_workers=num_workers,
+                    num_sweeps=equivalence_sweeps,
+                    seed=seed,
+                )
+            points.append(
+                {
+                    "users": num_users,
+                    "posts": gen["num_posts"],
+                    "tokens": gen["num_tokens"],
+                    "links": gen["num_links"],
+                    "file_mb": gen["file_mb"],
+                    "generate_seconds": round(gen["seconds"], 2),
+                    "generate_peak_rss_mb": gen["peak_rss_mb"],
+                    "cluster_seconds_per_sweep": round(
+                        train["cluster_seconds_per_sweep"], 5
+                    ),
+                    "wall_seconds_per_sweep": round(
+                        train["wall_seconds_per_sweep"], 5
+                    ),
+                    "train_peak_rss_mb": train["peak_rss_mb"],
+                }
+            )
+            os.remove(path)
+    return {
+        "name": "packed_out_of_core",
+        "config": {
+            "num_communities": num_communities,
+            "num_topics": num_topics,
+            "generator": asdict(packed_scale_config(0, seed=seed)) | {
+                "num_users": "per scale point"
+            },
+        },
+        "executor": "processes",
+        "num_nodes": num_nodes,
+        "num_workers": num_workers,
+        "sweeps": sweeps,
+        "draws_match": draws_ok,
+        "draws_match_users": min(scales),
+        "scaling": points,
     }
 
 

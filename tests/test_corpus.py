@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.datasets.corpus import CorpusError, Post, SocialCorpus
+from repro.datasets.corpus import (
+    CorpusError,
+    CorpusValidationError,
+    Post,
+    SocialCorpus,
+)
 from repro.datasets.vocabulary import Vocabulary
 
 
@@ -98,6 +103,37 @@ class TestSocialCorpusValidation:
         with pytest.raises(CorpusError):
             SocialCorpus(
                 num_users=1, num_time_slices=1, vocabulary=vocab, vocab_size=5
+            )
+
+    def test_word_out_of_vocabulary_names_offending_post(self):
+        vocab = Vocabulary(["a", "b", "c"]).freeze()
+        with pytest.raises(CorpusValidationError, match=r"post 1.*word.*3"):
+            SocialCorpus(
+                num_users=1,
+                num_time_slices=1,
+                posts=[
+                    Post(author=0, words=(0, 2), timestamp=0),
+                    Post(author=0, words=(3,), timestamp=0),
+                ],
+                vocabulary=vocab,
+            )
+
+    def test_author_error_names_offending_post(self):
+        with pytest.raises(CorpusValidationError, match=r"post 2.*author 9"):
+            SocialCorpus(
+                num_users=2,
+                num_time_slices=4,
+                posts=[
+                    Post(author=0, words=(0,), timestamp=0),
+                    Post(author=1, words=(0,), timestamp=1),
+                    Post(author=9, words=(0,), timestamp=0),
+                ],
+            )
+
+    def test_rejects_empty_vocabulary(self):
+        with pytest.raises(CorpusError, match="empty"):
+            SocialCorpus(
+                num_users=1, num_time_slices=1, vocabulary=Vocabulary().freeze()
             )
 
 

@@ -15,6 +15,8 @@ import json
 from repro.perf import (
     MEDIUM,
     SMOKE,
+    packed_scale_config,
+    peak_rss_mb,
     run_benchmark,
     run_case,
     run_parallel_case,
@@ -100,3 +102,37 @@ class TestParallelHarness:
         assert on_disk == payload
         assert on_disk["cpu_count"] >= 1
         assert on_disk["cases"][0]["draws_match"] is True
+
+
+class TestPeakRss:
+    def test_helper_reports_positive_megabytes(self):
+        # A Python process with numpy loaded sits well above 10MB; a
+        # plausibility window guards against unit slips (KiB vs bytes).
+        rss = peak_rss_mb()
+        assert 10 < rss < 1024 * 1024
+        assert peak_rss_mb(include_children=True) >= rss
+
+    def test_every_case_record_carries_peak_rss(self):
+        record = run_case(SMOKE, warmup=1, reps=1, sweeps_per_rep=1,
+                          equivalence_sweeps=1)
+        assert record["peak_rss_mb"] > 0
+        parallel = run_parallel_case(
+            SMOKE, node_counts=(1,), executor="simulated", sweeps=1,
+            equivalence_sweeps=1,
+        )
+        assert parallel["peak_rss_mb"] > 0
+
+
+class TestPackedScaleConfig:
+    def test_only_users_vary_across_scale_points(self):
+        small = packed_scale_config(1_000)
+        large = packed_scale_config(100_000)
+        assert small.num_users == 1_000
+        assert large.num_users == 100_000
+        small_rest = {
+            k: v for k, v in vars(small).items() if k != "num_users"
+        }
+        large_rest = {
+            k: v for k, v in vars(large).items() if k != "num_users"
+        }
+        assert small_rest == large_rest
