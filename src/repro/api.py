@@ -34,6 +34,14 @@ saved model's tensors, and :class:`ColdHTTPServer` +
 :class:`ServerConfig` are the ``cold serve`` HTTP front end (deadlines,
 load shedding, hot-swap reload) for embedding in your own process.
 
+So is the observability plane: :func:`render_prometheus` /
+:func:`parse_prometheus_text` convert a :class:`MetricsRegistry` to and
+from Prometheus text exposition, :class:`SLOConfig` / :class:`SLOTracker`
+track rolling availability/latency objectives and burn rate, and
+:func:`request_context` / :func:`get_request_id` /
+:func:`new_request_id` carry the per-request correlation id that the
+HTTP layer stamps into logs, spans, and response envelopes.
+
 The classes behind these functions (:class:`repro.COLDModel` and
 friends) remain public for advanced use — callbacks, checkpointing,
 resume, the parallel engine — this module is the stable subset that will
@@ -58,6 +66,15 @@ from .diagnostics import (
     run_chains,
 )
 from .serving import ColdHTTPServer, ModelServer, ServerConfig, ServingError
+from .telemetry import (
+    SLOConfig,
+    SLOTracker,
+    get_request_id,
+    new_request_id,
+    parse_prometheus_text,
+    render_prometheus,
+    request_context,
+)
 from .telemetry.logconfig import configure_logging
 
 __all__ = [
@@ -70,6 +87,8 @@ __all__ = [
     "MultiChainResult",
     "PackedCorpus",
     "QualityStream",
+    "SLOConfig",
+    "SLOTracker",
     "ServerConfig",
     "ServingError",
     "StreamConfig",
@@ -77,8 +96,13 @@ __all__ = [
     "configure_logging",
     "diagnose",
     "fit",
+    "get_request_id",
     "joint_log_likelihood",
     "load",
+    "new_request_id",
+    "parse_prometheus_text",
+    "render_prometheus",
+    "request_context",
     "run_chains",
     "save",
     "serve",

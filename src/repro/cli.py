@@ -416,6 +416,19 @@ def _add_monitor(subparsers: argparse._SubParsersAction) -> None:
         help="stop --follow after N render cycles even if the run "
         "has not finished (for scripts)",
     )
+    parser.add_argument(
+        "--serving", action="store_true",
+        help="read the file as a serving metrics stream ('cold serve "
+        "--metrics-out'): qps, latency quantiles, shed/breaker state, "
+        "staleness, SLO burn",
+    )
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="read the file as a streaming-trainer metrics stream "
+        "('cold stream --metrics-out'): update rate, publish cadence, "
+        "event-to-publish freshness; combine with --serving for the "
+        "unified train+serve dashboard over one shared file",
+    )
 
 
 def _add_serve(subparsers: argparse._SubParsersAction) -> None:
@@ -429,6 +442,7 @@ def _add_serve(subparsers: argparse._SubParsersAction) -> None:
         "503 + Retry-After).  SIGHUP or POST /admin/reload hot-swaps the "
         "model after validating it (rolls back on failure); "
         "SIGTERM/SIGINT drain in-flight requests and exit cleanly.",
+        parents=[_telemetry_parent()],
     )
     parser.add_argument("model", type=Path, help="model path (no suffix)")
     parser.add_argument("--host", default="127.0.0.1")
@@ -469,6 +483,20 @@ def _add_serve(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument(
         "--ic-simulations", type=int, default=100, metavar="N",
         help="Monte-Carlo runs per influential-community query",
+    )
+    parser.add_argument(
+        "--metrics-interval", type=float, default=2.0, metavar="SECONDS",
+        help="cadence of --metrics-out serving snapshots (default: 2s)",
+    )
+    parser.add_argument(
+        "--slo-availability", type=float, default=0.999, metavar="TARGET",
+        help="availability objective tracked on /metrics and /readyz "
+        "(default: 0.999)",
+    )
+    parser.add_argument(
+        "--slo-latency-ms", type=float, default=500.0, metavar="MS",
+        help="latency objective threshold: requests slower than this "
+        "count against the latency SLO (default: 500ms)",
     )
 
 
@@ -1116,19 +1144,35 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         raise TelemetryError("--interval must be positive")
     if not args.follow and not args.metrics.exists():
         raise FileNotFoundError(f"no metrics file at {args.metrics}")
+    if args.serving and args.stream:
+        mode = "combined"
+    elif args.serving:
+        mode = "serving"
+    elif args.stream:
+        mode = "stream"
+    else:
+        mode = "train"
     _monitor_metrics(
         args.metrics,
         follow=args.follow,
         interval=args.interval,
         window=args.window,
         max_updates=args.max_updates,
+        mode=mode,
     )
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serving import ColdHTTPServer, ServerConfig
+    from .telemetry import tracing
 
+    if args.log_level is not None:
+        configure_logging(level=args.log_level, fmt=args.log_format)
+    tracer = None
+    if args.trace_out is not None:
+        tracer = tracing.Tracer()
+        tracing.set_tracer(tracer)
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -1140,6 +1184,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         top_comm_size=args.top_comm,
         ic_simulations=args.ic_simulations,
+        metrics_out=args.metrics_out,
+        metrics_interval_seconds=args.metrics_interval,
+        slo_availability_target=args.slo_availability,
+        slo_latency_ms=args.slo_latency_ms,
     )
     server = ColdHTTPServer(config, model_path=args.model)
     checks = server.engine.self_check()
@@ -1147,7 +1195,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port}", flush=True)
     server.install_signal_handlers()
-    server.serve_until_shutdown()
+    try:
+        server.serve_until_shutdown()
+    finally:
+        if tracer is not None:
+            tracing.set_tracer(None)
+            tracer.save(args.trace_out)
+            print(f"wrote trace -> {args.trace_out}", flush=True)
     print("drained cleanly")
     return 0
 
@@ -1224,7 +1278,13 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.serve:
         from .serving import ColdHTTPServer, ServerConfig
 
-        server_config = ServerConfig(host=args.host, port=args.port)
+        # The in-process server appends to the same metrics JSONL as the
+        # trainer (full-line appends + flush keep interleavings intact),
+        # which is what 'cold monitor --serving --stream' reads back as
+        # one unified train+serve dashboard.
+        server_config = ServerConfig(
+            host=args.host, port=args.port, metrics_out=args.metrics_out
+        )
         stem = publish_dir / f"model-{trainer.generation:06d}"
         server = ColdHTTPServer(server_config, model_path=stem)
         watcher = ModelWatcher(server, publish_dir)

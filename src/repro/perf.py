@@ -644,12 +644,15 @@ def _serving_client_worker(
     Client-side latency (request sent -> body read) over a keep-alive
     HTTP/1.1 connection, which is how a real serving client measures it:
     connection setup is amortised away and every sample includes JSON
-    encode/decode plus the full server pipeline.
+    encode/decode plus the full server pipeline.  Every request carries a
+    client-supplied ``X-Request-Id`` and the sample records whether the
+    server echoed it back — exercising the correlation-id contract under
+    the same load the latency numbers come from.
     """
     import http.client
 
     conn = http.client.HTTPConnection(host, port, timeout=30)
-    local: list[tuple[str, float, int]] = []
+    local: list[tuple[str, float, int, bool]] = []
     try:
         while True:
             with cursor_lock:
@@ -659,25 +662,63 @@ def _serving_client_worker(
                 cursor[0] += 1
             path, body = requests[index]
             payload = json.dumps(body)
+            request_id = f"perf-{index:06d}"
             start = time.perf_counter()
             try:
                 conn.request(
                     "POST", path, body=payload,
-                    headers={"Content-Type": "application/json"},
+                    headers={
+                        "Content-Type": "application/json",
+                        "X-Request-Id": request_id,
+                    },
                 )
                 response = conn.getresponse()
                 response.read()
                 status = response.status
+                rid_ok = response.getheader("X-Request-Id") == request_id
             except OSError:
                 # Reconnect once (keep-alive churn), count as an error.
                 conn.close()
                 conn = http.client.HTTPConnection(host, port, timeout=30)
                 status = 0
-            local.append((path, time.perf_counter() - start, status))
+                rid_ok = False
+            local.append((path, time.perf_counter() - start, status, rid_ok))
     finally:
         conn.close()
         with samples_lock:
             samples.extend(local)
+
+
+def _scrape_prometheus(host: str, port: int) -> dict:
+    """Scrape ``/metrics`` as Prometheus text and validate the exposition.
+
+    Parses the body with the in-repo strict parser, so a malformed
+    exposition (bad escaping, torn series, duplicate samples) fails the
+    benchmark run instead of shipping silently.
+    """
+    import http.client
+
+    from .telemetry import parse_prometheus_text
+
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request("GET", "/metrics", headers={"Accept": "text/plain"})
+        response = conn.getresponse()
+        body = response.read().decode("utf-8")
+        content_type = response.getheader("Content-Type") or ""
+    finally:
+        conn.close()
+    parsed = parse_prometheus_text(body)
+    requests_total = sum(
+        sample.value for sample in parsed.series("serving_requests_total")
+    )
+    return {
+        "valid": True,
+        "content_type": content_type,
+        "samples": len(parsed.samples),
+        "families": len(parsed.types),
+        "requests_total": requests_total,
+    }
 
 
 def _serving_request_mix(
@@ -779,17 +820,21 @@ def run_serving_case(
         samples, wall = drive(
             _serving_request_mix(num_requests, num_users, vocab)
         )
+        exposition = _scrape_prometheus(host, port)
     finally:
         server.begin_drain()
         thread.join(timeout=30)
 
     by_endpoint: dict[str, list[float]] = {}
     errors = 0
-    for path, seconds, status in samples:
+    rid_mismatches = 0
+    for path, seconds, status, rid_ok in samples:
         if status == 200:
             by_endpoint.setdefault(path, []).append(seconds)
         else:
             errors += 1
+        if status and not rid_ok:
+            rid_mismatches += 1
     endpoints = {}
     for path, latencies in sorted(by_endpoint.items()):
         arr = np.asarray(latencies)
@@ -800,7 +845,7 @@ def run_serving_case(
             "mean_ms": round(float(arr.mean()) * 1e3, 3),
         }
     all_ok = np.asarray(
-        [seconds for _, seconds, status in samples if status == 200]
+        [seconds for _, seconds, status, _ in samples if status == 200]
     )
     return {
         "name": case.name,
@@ -819,6 +864,8 @@ def run_serving_case(
         "p50_ms": round(float(np.percentile(all_ok, 50)) * 1e3, 3),
         "p99_ms": round(float(np.percentile(all_ok, 99)) * 1e3, 3),
         "endpoints": endpoints,
+        "request_id_mismatches": rid_mismatches,
+        "metrics_exposition": exposition,
         "cache": engine.describe()["fold_cache"],
         "peak_rss_mb": peak_rss_mb(),
     }

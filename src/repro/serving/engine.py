@@ -47,6 +47,7 @@ from ..core.prediction import (
     batch_timestamp_scores,
     link_probability,
 )
+from ..telemetry import trace
 from .robustness import Deadline, DegenerateScoreError, LRUCache, ServingError
 
 
@@ -165,13 +166,17 @@ class ModelServer:
         words = self._validate_words(words)
         fold = self._fold_cache.get(source)
         if fold is None:
-            fold = self._predictor.source_fold(int(source))
+            with trace.span("fold_build", source=int(source)):
+                fold = self._predictor.source_fold(int(source))
             self._fold_cache.put(source, fold)
         if deadline is not None:
             deadline.check("retweet scoring")
-        scores = self._predictor.score_candidates(
-            int(source), candidates, words, source_fold=fold
-        )
+        with trace.span(
+            "score_retweet", source=int(source), candidates=len(candidates)
+        ):
+            scores = self._predictor.score_candidates(
+                int(source), candidates, words, source_fold=fold
+            )
         return self._guard("retweet", scores, lower=0.0, upper=1.0 + 1e-9)
 
     def link(
@@ -185,7 +190,8 @@ class ModelServer:
             deadline.check("link admission")
         sources = self._validate_users(sources, "sources")
         targets = self._validate_users(targets, "targets")
-        scores = link_probability(self.estimates, sources, targets)
+        with trace.span("score_link", pairs=int(sources.size)):
+            scores = link_probability(self.estimates, sources, targets)
         return self._guard("link", scores, lower=0.0, upper=1.0 + 1e-9)
 
     def timestamp(
@@ -203,7 +209,10 @@ class ModelServer:
             deadline.check("timestamp admission")
         for words in words_per_post:
             self._validate_words(words)
-        scores = batch_timestamp_scores(self.estimates, authors, words_per_post)
+        with trace.span("score_timestamp", posts=len(authors)):
+            scores = batch_timestamp_scores(
+                self.estimates, authors, words_per_post
+            )
         scores = self._guard("timestamp", scores, lower=0.0)
         totals = scores.sum(axis=1, keepdims=True)
         if scores.size and totals.min() <= 0:
@@ -241,9 +250,15 @@ class ModelServer:
                 influence = self._influence_cache.get(key)
                 cached = influence is not None
                 if not cached:
-                    influence = community_influence(
-                        self.estimates, topic, num_simulations=sims, seed=self.seed
-                    )
+                    with trace.span(
+                        "influence_mc", topic=int(topic), simulations=int(sims)
+                    ):
+                        influence = community_influence(
+                            self.estimates,
+                            topic,
+                            num_simulations=sims,
+                            seed=self.seed,
+                        )
                     self._guard("influential", influence.degree, lower=0.0)
                     self._influence_cache.put(key, influence)
         assert isinstance(influence, CommunityInfluence)

@@ -61,8 +61,21 @@ from ..core.estimates import EstimateError
 from ..core.influence import InfluenceError
 from ..core.model import ModelError
 from ..core.prediction import PredictionError
+from ..telemetry import trace
+from ..telemetry.context import (
+    new_request_id,
+    reset_request_id,
+    sanitize_request_id,
+    set_request_id,
+)
 from ..telemetry.logconfig import get_logger
-from ..telemetry.metrics import LATENCY_BUCKETS, MetricsRegistry
+from ..telemetry.metrics import JsonlWriter, MetricsRegistry, bucket_preset
+from ..telemetry.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+    wants_prometheus,
+)
+from ..telemetry.slo import SLOConfig, SLOTracker
 from .chaos import ChaosError, ServingFaultPlan
 from .engine import ModelServer
 from .robustness import (
@@ -101,6 +114,17 @@ _RELOAD_ERRORS = (
 )
 
 
+def _endpoint_counter(registry: MetricsRegistry, name: str, endpoint: str):
+    """The per-endpoint child of a labeled request counter family."""
+    return registry.counter(name, labels=("endpoint",)).labels(
+        endpoint=endpoint
+    )
+
+
+#: breaker state -> gauge value ("half-open" is the in-between on purpose).
+_BREAKER_STATES = {"closed": 0.0, "half-open": 0.5, "open": 1.0}
+
+
 @dataclass(frozen=True)
 class ServerConfig:
     """Tunables of the serving front end (all have production defaults)."""
@@ -117,6 +141,12 @@ class ServerConfig:
     top_comm_size: int = 5
     ic_simulations: int = 100
     max_body_bytes: int = 1 << 20
+    #: JSONL file for periodic registry snapshots (``cold monitor --serving``).
+    metrics_out: str | Path | None = None
+    metrics_interval_seconds: float = 2.0
+    #: SLO objectives tracked per query request (see repro.telemetry.slo).
+    slo_availability_target: float = 0.999
+    slo_latency_ms: float = 500.0
 
     def __post_init__(self) -> None:
         if self.deadline_ms <= 0:
@@ -124,6 +154,20 @@ class ServerConfig:
         if self.max_body_bytes <= 0:
             raise ServingError(
                 f"max_body_bytes must be positive, got {self.max_body_bytes}"
+            )
+        if self.metrics_interval_seconds <= 0:
+            raise ServingError(
+                f"metrics_interval_seconds must be positive, got "
+                f"{self.metrics_interval_seconds}"
+            )
+        if not 0.0 < self.slo_availability_target < 1.0:
+            raise ServingError(
+                f"slo_availability_target must be in (0, 1), got "
+                f"{self.slo_availability_target}"
+            )
+        if self.slo_latency_ms <= 0:
+            raise ServingError(
+                f"slo_latency_ms must be positive, got {self.slo_latency_ms}"
             )
 
 
@@ -148,20 +192,50 @@ class _Handler(BaseHTTPRequestHandler):
         # has been written yet.  _internal_error consults this flag to
         # avoid emitting a second status line on the same connection.
         self._response_started = False
+        self._last_status: int | None = None
         super().handle_one_request()
+
+    def _begin_request(self):
+        """Adopt the client's ``X-Request-Id`` (or mint one) for this request.
+
+        The id lives in a contextvar for the handler's duration, so every
+        log record, trace span, and breaker/deadline decision downstream
+        is stamped without threading it through call signatures.  Returns
+        the contextvar reset token; the caller restores it in a
+        ``finally``.
+        """
+        request_id = (
+            sanitize_request_id(self.headers.get("X-Request-Id"))
+            or new_request_id()
+        )
+        self.request_id = request_id
+        return set_request_id(request_id)
+
+    def _send_raw(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        self._response_started = True
+        self._last_status = status
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "request_id", None)
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
 
     def _send_json(
         self, status: int, payload: dict, headers: dict[str, str] | None = None
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self._response_started = True
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+        self._send_raw(status, body, "application/json", headers)
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -200,18 +274,29 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routing ---------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        token = self._begin_request()
         try:
-            if self.path == "/healthz":
+            path, _, query = self.path.partition("?")
+            if path == "/healthz":
                 self._send_json(200, self.server.health_payload())
-            elif self.path == "/readyz":
+            elif path == "/readyz":
                 status, payload = self.server.ready_payload()
                 self._send_json(status, payload)
-            elif self.path == "/metrics":
-                self._send_json(200, self.server.registry.snapshot())
+            elif path == "/metrics":
+                if (
+                    wants_prometheus(self.headers.get("Accept"))
+                    or "format=prometheus" in query
+                ):
+                    body = self.server.metrics_exposition().encode("utf-8")
+                    self._send_raw(200, body, PROMETHEUS_CONTENT_TYPE)
+                else:
+                    self._send_json(200, self.server.metrics_snapshot())
             else:
                 self._send_json(404, {"error": "not_found", "path": self.path})
         except Exception:
             self._internal_error()
+        finally:
+            reset_request_id(token)
 
     def _route(self) -> tuple[str, dict[str, str] | None]:
         """Resolve the request path to its canonical (``/v1/``) route.
@@ -236,16 +321,39 @@ class _Handler(BaseHTTPRequestHandler):
 
         ``/v1/`` responses are stamped with ``api_version``; legacy
         responses keep their flat pre-versioning shape but carry the
-        deprecation headers.
+        deprecation headers.  Both dialects carry the same top-level
+        ``request_id`` field (the one envelope key that is uniform across
+        shapes — correlate a response with its logs and trace by it).
         """
+        request_id = getattr(self, "request_id", None)
         if deprecation is None:
             payload = {**payload, "api_version": "v1"}
             merged = headers
         else:
+            payload = dict(payload)
             merged = {**deprecation, **(headers or {})}
+        if request_id is not None:
+            payload.setdefault("request_id", request_id)
         self._send_json(status, payload, headers=merged)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        token = self._begin_request()
+        started = time.perf_counter()
+        try:
+            with trace.span(
+                "http_request", method="POST", path=self.path
+            ):
+                self._handle_post()
+        finally:
+            _log.info(
+                "POST %s -> %s (%.1f ms)",
+                self.path,
+                self._last_status,
+                (time.perf_counter() - started) * 1e3,
+            )
+            reset_request_id(token)
+
+    def _handle_post(self) -> None:
         server = self.server
         endpoint, deprecation = self._route()
         if endpoint == _RELOAD_ROUTE:
@@ -257,17 +365,18 @@ class _Handler(BaseHTTPRequestHandler):
             return
         metrics = server.registry
         label = method.__name__
-        metrics.counter(f"serving_requests_total_{label}").inc()
+        _endpoint_counter(metrics, "serving_requests_total", label).inc()
         index = server.next_request_index(label)
         try:
-            body = self._read_body()
-            deadline = self._deadline(body)
+            with trace.span("parse", endpoint=label):
+                body = self._read_body()
+                deadline = self._deadline(body)
         except PayloadTooLarge as exc:
-            metrics.counter(f"serving_bad_requests_total_{label}").inc()
+            _endpoint_counter(metrics, "serving_bad_requests_total", label).inc()
             self._payload_too_large(exc)
             return
         except (json.JSONDecodeError, UnicodeDecodeError, ValueError, TypeError) as exc:
-            metrics.counter(f"serving_bad_requests_total_{label}").inc()
+            _endpoint_counter(metrics, "serving_bad_requests_total", label).inc()
             self._finish(
                 400, {"error": "bad_request", "detail": str(exc)}, deprecation
             )
@@ -277,49 +386,69 @@ class _Handler(BaseHTTPRequestHandler):
         # ``finally`` below, otherwise a probe shed by the gate (or ended
         # by a deadline, bad input, or an unexpected error) would leave
         # the slot taken forever and wedge the server in fail-fast 503s.
+        # Error paths release *before* writing the response: the moment
+        # the client reads the error it may retry, and that retry must be
+        # able to claim the probe slot.
         is_probe = False
         probe_resolved = False
+
+        def release_probe() -> None:
+            nonlocal probe_resolved
+            if is_probe and not probe_resolved:
+                server.breaker.abort_probe()
+                probe_resolved = True
+
         try:
             if server.draining:
                 raise QueueFullError("server is draining", retry_after=5.0)
-            is_probe = server.breaker.guard()
-            server.gate.acquire(deadline)
+            with trace.span("admission", endpoint=label):
+                is_probe = server.breaker.guard()
+                server.gate.acquire(deadline)
             try:
                 self._inject_chaos(label, index, deadline)
                 start = server.clock()
                 # Grab the engine reference once: a concurrent hot-swap
                 # never changes the model under a request's feet.
                 engine = server.engine
-                result = method(engine, body, deadline)
+                with trace.span("engine", endpoint=label):
+                    result = method(engine, body, deadline)
                 elapsed = server.clock() - start
             finally:
                 server.gate.release()
             server.breaker.record_success()
             probe_resolved = True
-            metrics.counter(f"serving_responses_total_{label}").inc()
+            _endpoint_counter(metrics, "serving_responses_total", label).inc()
             metrics.histogram(
-                f"serving_latency_seconds_{label}", LATENCY_BUCKETS
-            ).observe(elapsed)
+                "serving_latency_seconds",
+                buckets=bucket_preset("serving_latency"),
+                labels=("endpoint",),
+            ).labels(endpoint=label).observe(elapsed)
+            server.slo.record(True, elapsed)
             elapsed_ms = round(elapsed * 1e3, 3)
-            if deprecation is None:
-                self._finish(
-                    200,
-                    {
-                        "result": result,
-                        "model_generation": server.generation,
-                        "elapsed_ms": elapsed_ms,
-                    },
-                    deprecation,
-                )
-            else:
-                result["generation"] = server.generation
-                result["elapsed_ms"] = elapsed_ms
-                self._finish(200, result, deprecation)
+            with trace.span("respond", endpoint=label, status=200):
+                if deprecation is None:
+                    self._finish(
+                        200,
+                        {
+                            "result": result,
+                            "model_generation": server.generation,
+                            "elapsed_ms": elapsed_ms,
+                        },
+                        deprecation,
+                    )
+                else:
+                    result["generation"] = server.generation
+                    result["elapsed_ms"] = elapsed_ms
+                    self._finish(200, result, deprecation)
         except DeadlineExceededResponse as response:
-            metrics.counter(f"serving_timeouts_total_{label}").inc()
+            _endpoint_counter(metrics, "serving_timeouts_total", label).inc()
+            server.slo.record(False)
+            release_probe()
             self._finish(504, response.payload, deprecation)
         except QueueFullError as exc:
             metrics.counter("serving_shed_total").inc()
+            server.slo.record(False)
+            release_probe()
             self._finish(
                 503,
                 {"error": "shed", "detail": str(exc),
@@ -329,6 +458,7 @@ class _Handler(BaseHTTPRequestHandler):
             )
         except CircuitOpenError as exc:
             metrics.counter("serving_circuit_rejections_total").inc()
+            server.slo.record(False)
             self._finish(
                 503, {"error": "circuit_open", "detail": str(exc)}, deprecation
             )
@@ -336,21 +466,24 @@ class _Handler(BaseHTTPRequestHandler):
             server.breaker.record_failure()
             probe_resolved = True
             metrics.counter("serving_degenerate_total").inc()
+            server.slo.record(False)
             self._finish(
                 503, {"error": "degenerate", "detail": str(exc)}, deprecation
             )
         except _BAD_REQUEST_ERRORS as exc:
-            metrics.counter(f"serving_bad_requests_total_{label}").inc()
+            _endpoint_counter(metrics, "serving_bad_requests_total", label).inc()
+            release_probe()
             self._finish(
                 400,
                 {"error": "bad_request", "detail": f"{type(exc).__name__}: {exc}"},
                 deprecation,
             )
         except Exception:
+            server.slo.record(False)
+            release_probe()
             self._internal_error()
         finally:
-            if is_probe and not probe_resolved:
-                server.breaker.abort_probe()
+            release_probe()
 
     # -- helpers ---------------------------------------------------------------
 
@@ -383,7 +516,8 @@ class _Handler(BaseHTTPRequestHandler):
             return
         path = body.get("path")
         try:
-            generation = self.server.reload(path)
+            with trace.span("reload", path=str(path)):
+                generation = self.server.reload(path)
         except ReloadError as exc:
             self._finish(
                 409,
@@ -583,7 +717,28 @@ class ColdHTTPServer(ThreadingHTTPServer):
         self._index_lock = threading.Lock()
         self._drain_thread: threading.Thread | None = None
         self.clock = time.perf_counter
+        self.slo = SLOTracker(
+            SLOConfig(
+                availability_target=config.slo_availability_target,
+                latency_threshold_seconds=config.slo_latency_ms / 1000.0,
+            )
+        )
+        #: Lineage of the last *published* model observed by a watcher
+        #: (trainer generation, publish wall-clock, event high-watermark).
+        self._freshness: dict = {}
+        self._freshness_lock = threading.Lock()
+        self._metrics_writer: JsonlWriter | None = None
+        self._snapshot_stop = threading.Event()
+        self._snapshot_thread: threading.Thread | None = None
         super().__init__((config.host, config.port), _Handler)
+        if config.metrics_out is not None:
+            self._metrics_writer = JsonlWriter(config.metrics_out)
+            self._snapshot_thread = threading.Thread(
+                target=self._snapshot_loop,
+                name="cold-serving-metrics",
+                daemon=True,
+            )
+            self._snapshot_thread.start()
 
     @staticmethod
     def _build_engine(path: str | Path, config: ServerConfig) -> ModelServer:
@@ -629,9 +784,106 @@ class ColdHTTPServer(ThreadingHTTPServer):
             # that closes the breaker — but flagged degraded so
             # orchestrators can prefer fully-ready replicas.
             return 200, {"status": "degraded", "degraded": True,
-                         "generation": self.generation, "breaker": state}
+                         "generation": self.generation, "breaker": state,
+                         "slo": self.slo.summary()}
         return 200, {"status": "ready", "generation": self.generation,
-                     "breaker": state}
+                     "breaker": state, "slo": self.slo.summary()}
+
+    # -- observability ---------------------------------------------------------
+
+    def record_publish_freshness(
+        self,
+        *,
+        generation: int | None = None,
+        published_at: float | None = None,
+        event_high_watermark: float | None = None,
+        updates: int | None = None,
+    ) -> None:
+        """Adopt a published manifest's freshness block after a hot-swap.
+
+        Called by :class:`~repro.streaming.watcher.ModelWatcher` once the
+        reload succeeded.  ``event_to_servable_seconds`` — the headline
+        end-to-end lag from an event's ingest wall-clock to the moment a
+        model containing it answers queries — is fixed here, at swap
+        time; ``model_staleness_seconds`` keeps growing from
+        ``published_at`` until the next publish lands.
+        """
+        now = time.time()
+        with self._freshness_lock:
+            self._freshness = {
+                "trainer_generation": generation,
+                "published_at": published_at,
+                "event_high_watermark": event_high_watermark,
+                "updates": updates,
+                "swapped_at": now,
+            }
+        registry = self.registry
+        if generation is not None:
+            registry.gauge("model_trainer_generation").set(generation)
+        if updates is not None:
+            registry.gauge("model_updates_applied").set(updates)
+        if published_at is not None:
+            registry.gauge("publish_to_servable_seconds").set(
+                max(now - published_at, 0.0)
+            )
+        if event_high_watermark is not None:
+            registry.gauge("event_to_servable_seconds").set(
+                max(now - event_high_watermark, 0.0)
+            )
+
+    def freshness(self) -> dict:
+        with self._freshness_lock:
+            return dict(self._freshness)
+
+    def _refresh_gauges(self) -> None:
+        """Point-in-time gauges computed at scrape/snapshot time."""
+        registry = self.registry
+        registry.gauge("serving_inflight").set(self.gate.inflight)
+        registry.gauge("serving_draining").set(1.0 if self.draining else 0.0)
+        registry.gauge("serving_breaker_state").set(
+            _BREAKER_STATES.get(self.breaker.state, -1.0)
+        )
+        registry.gauge("model_generation").set(self.generation)
+        fresh = self.freshness()
+        published_at = fresh.get("published_at")
+        if published_at is not None:
+            registry.gauge("model_staleness_seconds").set(
+                max(time.time() - published_at, 0.0)
+            )
+        self.slo.export_gauges(registry)
+
+    def metrics_snapshot(self) -> dict:
+        """The JSON ``/metrics`` body: registry snapshot + SLO + freshness."""
+        self._refresh_gauges()
+        snapshot = self.registry.snapshot()
+        snapshot["slo"] = self.slo.snapshot()
+        snapshot["freshness"] = self.freshness()
+        return snapshot
+
+    def metrics_exposition(self) -> str:
+        """The Prometheus text ``/metrics`` body (content-negotiated)."""
+        self._refresh_gauges()
+        return render_prometheus(self.registry)
+
+    def _write_snapshot(self, kind: str) -> None:
+        writer = self._metrics_writer
+        if writer is None:
+            return
+        snapshot = self.metrics_snapshot()
+        writer.write(
+            kind,
+            breaker=self.breaker.state,
+            draining=self.draining,
+            generation=self.generation,
+            **snapshot,
+        )
+
+    def _snapshot_loop(self) -> None:
+        while not self._snapshot_stop.wait(self.config.metrics_interval_seconds):
+            try:
+                self._write_snapshot("serving")
+            except Exception:  # pragma: no cover - snapshots must not kill serving
+                _log.exception("serving metrics snapshot failed")
 
     # -- hot-swap reload -------------------------------------------------------
 
@@ -712,6 +964,21 @@ class ColdHTTPServer(ThreadingHTTPServer):
         signal.signal(signal.SIGINT, drain)
         if hasattr(signal, "SIGHUP"):
             signal.signal(signal.SIGHUP, reload_handler)
+
+    def server_close(self) -> None:
+        """Close the listener, then flush the metrics stream terminally."""
+        super().server_close()
+        if self._snapshot_thread is not None:
+            self._snapshot_stop.set()
+            self._snapshot_thread.join(timeout=5)
+            self._snapshot_thread = None
+        if self._metrics_writer is not None:
+            try:
+                self._write_snapshot("serving")
+                self._metrics_writer.write("serving_end")
+            finally:
+                self._metrics_writer.close()
+                self._metrics_writer = None
 
     def serve_until_shutdown(self) -> None:
         """``serve_forever`` + graceful close (joins in-flight handlers)."""

@@ -21,6 +21,7 @@ without any polling or sleeps.
 from __future__ import annotations
 
 import json
+import time
 from collections.abc import Callable, Iterable
 from pathlib import Path
 
@@ -29,6 +30,7 @@ from ..core.model import COLDModel, ModelError, UpdateReport
 from ..datasets.stream import CorpusStreamBuilder, LinkEvent, PostEvent, StreamError
 from ..resilience.checkpoint import atomic_write_text
 from ..telemetry.logconfig import get_logger
+from ..telemetry.metrics import bucket_preset
 from ..telemetry.session import TelemetrySession
 
 _log = get_logger(__name__)
@@ -102,6 +104,15 @@ class OnlineTrainer:
         self.generation = 0
         #: model.update_count_ as of the last publish (drain bookkeeping).
         self._published_updates = model.update_count_
+        #: Ingest wall-clock of the newest buffered event (freshness
+        #: high-watermark).  Event ``time`` fields are model-time slice
+        #: units, not wall-clock, so freshness is measured from when an
+        #: event *arrived* — which is also what a production ingest path
+        #: would stamp.
+        self._ingest_watermark: float | None = None
+        #: The ingest watermark already folded into the model state (what
+        #: a publish can truthfully claim to contain).
+        self._folded_watermark: float | None = None
         self.reports: list[UpdateReport] = []
         self._subscribers: list[Callable[[int, Path], None]] = []
         self._telemetry = TelemetrySession.create(metrics_path=metrics_out)
@@ -128,6 +139,8 @@ class OnlineTrainer:
                     f"expected PostEvent or LinkEvent, got {type(event).__name__}"
                 )
             count += 1
+        if count:
+            self._ingest_watermark = time.time()
         return count
 
     # -- the update cycle --------------------------------------------------
@@ -142,6 +155,7 @@ class OnlineTrainer:
         """
         if self.builder.num_events == 0:
             return None
+        watermark = self._ingest_watermark
         increment = self.builder.pop_increment(
             rollover=self.config.rollover,
             max_new_slices=self.config.max_new_slices,
@@ -149,6 +163,7 @@ class OnlineTrainer:
         if increment.empty:
             return None
         report = self.model.update(increment, stream=self.config)
+        self._folded_watermark = watermark
         self.reports.append(report)
         self._record(report)
         if (
@@ -194,11 +209,21 @@ class OnlineTrainer:
         generation = self.generation + 1
         stem = self.publish_dir / f"model-{generation:06d}"
         self.model.save(stem)
+        published_at = time.time()
+        event_to_publish = (
+            None
+            if self._folded_watermark is None
+            else max(0.0, published_at - self._folded_watermark)
+        )
         manifest = {
             "schema_version": PUBLISH_SCHEMA_VERSION,
             "generation": generation,
             "model": stem.name,
             "updates": self.model.update_count_,
+            "freshness": {
+                "published_at": published_at,
+                "event_high_watermark": self._folded_watermark,
+            },
         }
         atomic_write_text(
             self.publish_dir / MANIFEST_NAME, json.dumps(manifest, indent=2)
@@ -208,8 +233,16 @@ class OnlineTrainer:
         self._prune(keep_from=generation - KEEP_GENERATIONS + 1)
         if self._telemetry.enabled:
             self._telemetry.metrics.counter("stream_publishes_total").inc()
+            if event_to_publish is not None:
+                self._telemetry.metrics.gauge("event_to_publish_seconds").set(
+                    event_to_publish
+                )
             self._telemetry.emit(
-                "publish", generation=generation, model=stem.name
+                "publish",
+                generation=generation,
+                model=stem.name,
+                published_at=published_at,
+                event_to_publish_seconds=event_to_publish,
             )
         _log.info("published generation %d -> %s", generation, stem)
         for callback in self._subscribers:
@@ -244,7 +277,9 @@ class OnlineTrainer:
         metrics.counter("stream_updates_total").inc()
         metrics.counter("stream_posts_total").inc(report.new_posts)
         metrics.counter("stream_links_total").inc(report.new_links)
-        metrics.histogram("stream_update_seconds").observe(report.seconds)
+        metrics.histogram(
+            "stream_update_seconds", buckets=bucket_preset("streaming_update")
+        ).observe(report.seconds)
         metrics.gauge("stream_window_posts").set(report.window_posts)
         assert self.model.state_ is not None
         metrics.gauge("stream_vocab_size").set(

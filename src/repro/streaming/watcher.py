@@ -116,6 +116,7 @@ class ModelWatcher:
                 )
                 return False
             self.reloads += 1
+            self._forward_freshness(manifest, generation)
             _log.info(
                 "watcher reloaded published generation %d "
                 "(serving generation %d)",
@@ -123,6 +124,29 @@ class ModelWatcher:
                 server_generation,
             )
             return True
+
+    def _forward_freshness(self, manifest: dict, generation: int) -> None:
+        """Hand the manifest's freshness stamp to the server, if it takes it.
+
+        Older manifests (pre-freshness schema) and servers without the
+        hook are both fine — freshness tracking degrades to absent, it
+        never breaks a reload that already succeeded.
+        """
+        record = getattr(self.server, "record_publish_freshness", None)
+        if not callable(record):
+            return
+        freshness = manifest.get("freshness")
+        if not isinstance(freshness, dict):
+            freshness = {}
+        try:
+            record(
+                generation=generation,
+                published_at=freshness.get("published_at"),
+                event_high_watermark=freshness.get("event_high_watermark"),
+                updates=manifest.get("updates"),
+            )
+        except Exception as exc:  # freshness is best-effort telemetry
+            _log.warning("freshness forwarding failed: %s", exc)
 
     # -- polled mode -------------------------------------------------------
 

@@ -21,10 +21,19 @@ chains (enforced by the ``benchmarks/perf`` overhead gate).
 """
 
 from . import tracing as trace
+from .context import (
+    get_request_id,
+    new_request_id,
+    request_context,
+    reset_request_id,
+    sanitize_request_id,
+    set_request_id,
+)
 from .logconfig import (
     BufferingLogHandler,
     JsonFormatter,
     PlainFormatter,
+    RequestIdFilter,
     configure_logging,
     get_logger,
     parse_level,
@@ -33,48 +42,106 @@ from .logconfig import (
 )
 from .manifest import build_run_manifest, config_hash, git_describe, write_run_manifest
 from .metrics import (
+    BUCKET_PRESETS,
+    LATENCY_BUCKETS,
+    STREAM_UPDATE_BUCKETS,
     TIMING_BUCKETS,
     Counter,
+    CounterFamily,
     Gauge,
+    GaugeFamily,
     Histogram,
+    HistogramFamily,
     JsonlWriter,
     MetricsRegistry,
     TelemetryError,
+    bucket_preset,
+    format_series,
     read_jsonl,
 )
-from .monitor import monitor, render_summary, summarize
+from .monitor import (
+    MONITOR_MODES,
+    monitor,
+    render_combined_summary,
+    render_serving_summary,
+    render_stream_summary,
+    render_summary,
+    summarize,
+    summarize_combined,
+    summarize_serving,
+    summarize_stream,
+)
+from .prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    ParsedExposition,
+    Sample,
+    parse_prometheus_text,
+    render_prometheus,
+    wants_prometheus,
+)
 from .session import NULL_SESSION, TelemetrySession
+from .slo import SLOConfig, SLOTracker
 from .tracing import Tracer, get_tracer, set_tracer, span
 
 __all__ = [
+    "BUCKET_PRESETS",
+    "LATENCY_BUCKETS",
+    "MONITOR_MODES",
     "NULL_SESSION",
+    "PROMETHEUS_CONTENT_TYPE",
+    "STREAM_UPDATE_BUCKETS",
     "TIMING_BUCKETS",
     "BufferingLogHandler",
     "Counter",
+    "CounterFamily",
     "Gauge",
+    "GaugeFamily",
     "Histogram",
+    "HistogramFamily",
     "JsonFormatter",
     "JsonlWriter",
     "MetricsRegistry",
+    "ParsedExposition",
     "PlainFormatter",
+    "RequestIdFilter",
+    "SLOConfig",
+    "SLOTracker",
+    "Sample",
     "TelemetryError",
     "TelemetrySession",
     "Tracer",
+    "bucket_preset",
     "build_run_manifest",
     "config_hash",
     "configure_logging",
+    "format_series",
     "get_logger",
+    "get_request_id",
     "get_tracer",
     "git_describe",
     "monitor",
+    "new_request_id",
     "parse_level",
+    "parse_prometheus_text",
     "read_jsonl",
+    "render_combined_summary",
+    "render_prometheus",
+    "render_serving_summary",
+    "render_stream_summary",
     "render_summary",
     "replay_records",
+    "request_context",
     "reset_logging",
+    "reset_request_id",
+    "sanitize_request_id",
+    "set_request_id",
     "set_tracer",
     "span",
     "summarize",
+    "summarize_combined",
+    "summarize_serving",
+    "summarize_stream",
     "trace",
+    "wants_prometheus",
     "write_run_manifest",
 ]

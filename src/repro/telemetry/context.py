@@ -1,0 +1,82 @@
+"""Request-scoped context: the ``X-Request-Id`` contextvar.
+
+The serving layer stamps every request with an id — accepted from the
+client's ``X-Request-Id`` header when it is well-formed, generated
+otherwise — and sets it here for the duration of the handler.  Everything
+downstream reads it ambiently: structured log records
+(:mod:`~repro.telemetry.logconfig` attaches it via a handler filter),
+trace spans (:meth:`Tracer._record <repro.telemetry.tracing.Tracer>`
+stamps it into span args), and the response envelope.  One grep (or one
+Chrome-trace filter) by id reconstructs a request's full path.
+
+A contextvar — not a thread-local — so the id also flows correctly into
+any ``asyncio``/executor continuations a future handler might spawn;
+within the stdlib threading server each handler thread simply owns its
+own context.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import re
+import uuid
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+#: Longest client-supplied request id accepted verbatim.
+MAX_REQUEST_ID_LENGTH = 128
+
+#: Charset a client-supplied id must match to be trusted into logs,
+#: traces, and response headers (no whitespace, quotes, or control chars).
+_SAFE_ID = re.compile(r"[A-Za-z0-9._:-]{1,%d}$" % MAX_REQUEST_ID_LENGTH)
+
+_REQUEST_ID: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_request_id", default=None
+)
+
+
+def new_request_id() -> str:
+    """A fresh 32-hex-char request id."""
+    return uuid.uuid4().hex
+
+
+def sanitize_request_id(value: object) -> str | None:
+    """A client-supplied id when usable, else ``None`` (caller generates).
+
+    Ids are propagated into log lines, trace args, and response headers,
+    so anything outside a conservative charset (or overlong) is rejected
+    rather than escaped — the caller falls back to a generated id and the
+    client still gets it echoed back.
+    """
+    if not isinstance(value, str):
+        return None
+    value = value.strip()
+    if not value or not _SAFE_ID.match(value):
+        return None
+    return value
+
+
+def set_request_id(request_id: str | None) -> contextvars.Token:
+    """Install ``request_id`` for the current context; returns a reset token."""
+    return _REQUEST_ID.set(request_id)
+
+
+def get_request_id() -> str | None:
+    """The active request id, or ``None`` outside a request."""
+    return _REQUEST_ID.get()
+
+
+def reset_request_id(token: contextvars.Token) -> None:
+    """Restore the id that was active before :func:`set_request_id`."""
+    _REQUEST_ID.reset(token)
+
+
+@contextmanager
+def request_context(request_id: str | None = None) -> Iterator[str]:
+    """Scope a request id over a ``with`` block (generated when omitted)."""
+    rid = request_id or new_request_id()
+    token = set_request_id(rid)
+    try:
+        yield rid
+    finally:
+        reset_request_id(token)

@@ -21,6 +21,8 @@ import json
 import logging
 import sys
 
+from .context import get_request_id
+
 #: The package root logger every module logger descends from.
 ROOT_LOGGER_NAME = "repro"
 
@@ -36,14 +38,39 @@ _LEVELS = {
 }
 
 
+class RequestIdFilter(logging.Filter):
+    """Stamp the ambient request id onto every record passing the handler.
+
+    Attached to the managed handler by :func:`configure_logging`, so a
+    serving request's log lines carry its ``X-Request-Id`` without any
+    call-site changes — grep the id and get the request's whole story.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "request_id"):
+            record.request_id = get_request_id()
+        return True
+
+
 class PlainFormatter(logging.Formatter):
-    """``HH:MM:SS.mmm LEVEL logger: message`` — terse, grep-friendly."""
+    """``HH:MM:SS.mmm LEVEL logger: message`` — terse, grep-friendly.
+
+    Records carrying a request id get a trailing ``[rid=...]`` marker so
+    plain-mode logs stay greppable by request.
+    """
 
     def __init__(self) -> None:
         super().__init__(
             fmt="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
             datefmt="%H:%M:%S",
         )
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        request_id = getattr(record, "request_id", None)
+        if request_id:
+            line = f"{line} [rid={request_id}]"
+        return line
 
 
 class JsonFormatter(logging.Formatter):
@@ -60,6 +87,9 @@ class JsonFormatter(logging.Formatter):
         worker = getattr(record, "worker_pid", None)
         if worker is not None:
             payload["worker_pid"] = worker
+        request_id = getattr(record, "request_id", None)
+        if request_id:
+            payload["request_id"] = request_id
         if record.exc_info:
             payload["exc_info"] = self.formatException(record.exc_info)
         return json.dumps(payload, separators=(",", ":"))
@@ -112,6 +142,7 @@ def configure_logging(
             handler.close()
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
     handler.setFormatter(JsonFormatter() if fmt == "json" else PlainFormatter())
+    handler.addFilter(RequestIdFilter())
     setattr(handler, _MANAGED_FLAG, True)
     root.addHandler(handler)
     # Keep records inside the configured handler rather than bubbling to

@@ -69,6 +69,67 @@ LATENCY_BUCKETS = (
 )
 
 
+#: Histogram bounds for incremental streaming updates: a windowed Gibbs
+#: update is heavier than a request but lighter than a full sweep —
+#: ~5ms to ~5 minutes in roughly x3 steps.
+STREAM_UPDATE_BUCKETS = (
+    0.005,
+    0.015,
+    0.05,
+    0.15,
+    0.5,
+    1.5,
+    5.0,
+    15.0,
+    60.0,
+    300.0,
+)
+
+
+#: The per-domain bucket presets.  Call sites name the domain instead of
+#: hand-picking bounds, so every emitter of a domain's histograms agrees
+#: on bucket boundaries and snapshots stay mergeable across processes.
+BUCKET_PRESETS: dict[str, tuple[float, ...]] = {
+    "training_sweep": TIMING_BUCKETS,
+    "serving_latency": LATENCY_BUCKETS,
+    "streaming_update": STREAM_UPDATE_BUCKETS,
+}
+
+
+def bucket_preset(domain: str) -> tuple[float, ...]:
+    """The centralized histogram bounds for a metric domain."""
+    try:
+        return BUCKET_PRESETS[domain]
+    except KeyError:
+        raise TelemetryError(
+            f"unknown bucket preset {domain!r}; choose from "
+            f"{sorted(BUCKET_PRESETS)}"
+        ) from None
+
+
+def escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, double-quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def format_series(name: str, labels: dict[str, str]) -> str:
+    """The canonical ``name{label="value",...}`` series key.
+
+    Used both as the flattened key in JSON snapshots and as the sample
+    name prefix in Prometheus text exposition, so the two views of one
+    registry always agree on identity.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{inner}}}"
+
+
 class Counter:
     """A monotonically-increasing tally."""
 
@@ -167,6 +228,11 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else math.nan
 
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket observation counts (last entry is the overflow)."""
+        with self._lock:
+            return list(self._counts)
+
     def snapshot(self) -> dict:
         with self._lock:
             buckets = {}
@@ -183,16 +249,103 @@ class Histogram:
             }
 
 
+class MetricFamily:
+    """A named metric keyed by label values (Prometheus-style family).
+
+    ``family.labels(endpoint="retweet")`` returns the child metric for
+    that label combination, creating it on first use.  Children are plain
+    :class:`Counter`/:class:`Gauge`/:class:`Histogram` instances named
+    with the full ``name{label="value"}`` series key, so everything that
+    consumes snapshots sees one flat, unambiguous namespace.
+    """
+
+    __slots__ = ("name", "label_names", "_children", "_lock")
+
+    kind_name = "untyped"
+
+    def __init__(self, name: str, label_names: tuple[str, ...]) -> None:
+        if not label_names:
+            raise TelemetryError(f"family {name}: needs at least one label")
+        if len(set(label_names)) != len(label_names):
+            raise TelemetryError(f"family {name}: duplicate label names")
+        self.name = name
+        self.label_names = tuple(str(label) for label in label_names)
+        self._children: dict[tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self, labels: dict[str, str]) -> object:
+        raise NotImplementedError
+
+    def labels(self, **labels: object):
+        if set(labels) != set(self.label_names):
+            raise TelemetryError(
+                f"family {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child(dict(zip(self.label_names, key)))
+                    self._children[key] = child
+        return child
+
+    def series(self) -> list[tuple[dict[str, str], object]]:
+        """``(labels, metric)`` pairs, sorted by label values."""
+        with self._lock:
+            items = sorted(self._children.items())
+        return [
+            (dict(zip(self.label_names, key)), metric) for key, metric in items
+        ]
+
+
+class CounterFamily(MetricFamily):
+    __slots__ = ()
+    kind_name = "counter"
+
+    def _make_child(self, labels: dict[str, str]) -> Counter:
+        return Counter(format_series(self.name, labels))
+
+
+class GaugeFamily(MetricFamily):
+    __slots__ = ()
+    kind_name = "gauge"
+
+    def _make_child(self, labels: dict[str, str]) -> Gauge:
+        return Gauge(format_series(self.name, labels))
+
+
+class HistogramFamily(MetricFamily):
+    __slots__ = ("buckets",)
+    kind_name = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        label_names: tuple[str, ...],
+        buckets: tuple[float, ...] = TIMING_BUCKETS,
+    ) -> None:
+        super().__init__(name, label_names)
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def _make_child(self, labels: dict[str, str]) -> Histogram:
+        return Histogram(format_series(self.name, labels), self.buckets)
+
+
 class MetricsRegistry:
     """Named metric store; get-or-create semantics per metric kind.
 
-    Asking for an existing name with a different kind (or different
-    histogram buckets) is a configuration bug and raises
-    :class:`TelemetryError` rather than silently aliasing.
+    Asking for an existing name with a different kind, different labels,
+    or different histogram buckets is a configuration bug and raises
+    :class:`TelemetryError` rather than silently aliasing.  Passing
+    ``labels=("endpoint",)`` returns a labeled family whose
+    ``.labels(endpoint=...)`` children are the actual metrics.
     """
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[str, object] = {}
         self._lock = threading.Lock()
 
     def _get_or_create(self, name: str, kind: type, factory) -> object:
@@ -208,19 +361,60 @@ class MetricsRegistry:
                 )
             return metric
 
-    def counter(self, name: str) -> Counter:
+    @staticmethod
+    def _check_labels(family: MetricFamily, labels: tuple[str, ...]) -> None:
+        if family.label_names != tuple(labels):
+            raise TelemetryError(
+                f"family {family.name!r} already registered with labels "
+                f"{family.label_names}, not {tuple(labels)}"
+            )
+
+    def counter(
+        self, name: str, labels: tuple[str, ...] | None = None
+    ) -> Counter | CounterFamily:
+        if labels:
+            family = self._get_or_create(
+                name, CounterFamily, lambda: CounterFamily(name, tuple(labels))
+            )
+            self._check_labels(family, tuple(labels))
+            return family
         return self._get_or_create(name, Counter, lambda: Counter(name))
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(
+        self, name: str, labels: tuple[str, ...] | None = None
+    ) -> Gauge | GaugeFamily:
+        if labels:
+            family = self._get_or_create(
+                name, GaugeFamily, lambda: GaugeFamily(name, tuple(labels))
+            )
+            self._check_labels(family, tuple(labels))
+            return family
         return self._get_or_create(name, Gauge, lambda: Gauge(name))
 
     def histogram(
-        self, name: str, buckets: tuple[float, ...] = TIMING_BUCKETS
-    ) -> Histogram:
+        self,
+        name: str,
+        buckets: tuple[float, ...] = TIMING_BUCKETS,
+        labels: tuple[str, ...] | None = None,
+    ) -> Histogram | HistogramFamily:
+        bounds = tuple(float(b) for b in buckets)
+        if labels:
+            family = self._get_or_create(
+                name,
+                HistogramFamily,
+                lambda: HistogramFamily(name, tuple(labels), bounds),
+            )
+            self._check_labels(family, tuple(labels))
+            if family.buckets != bounds:
+                raise TelemetryError(
+                    f"histogram family {name!r} already registered with "
+                    f"buckets {family.buckets}"
+                )
+            return family
         histogram = self._get_or_create(
-            name, Histogram, lambda: Histogram(name, buckets)
+            name, Histogram, lambda: Histogram(name, bounds)
         )
-        if histogram.bounds != tuple(float(b) for b in buckets):
+        if histogram.bounds != bounds:
             raise TelemetryError(
                 f"histogram {name!r} already registered with buckets "
                 f"{histogram.bounds}"
@@ -230,18 +424,40 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
-    def snapshot(self) -> dict:
-        """JSON-ready state of every metric, grouped by kind."""
+    def collect(self) -> list[tuple[str, str, list[tuple[dict, object]]]]:
+        """``(name, kind, [(labels, metric), ...])`` triples, sorted by name.
+
+        The exposition-format view of the registry: plain metrics appear
+        as a single unlabeled series, families contribute one series per
+        observed label combination.
+        """
         with self._lock:
-            metrics = dict(self._metrics)
-        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
-        for name, metric in sorted(metrics.items()):
-            if isinstance(metric, Counter):
-                out["counters"][name] = metric.snapshot()
+            metrics = sorted(self._metrics.items())
+        out = []
+        for name, metric in metrics:
+            if isinstance(metric, MetricFamily):
+                out.append((name, metric.kind_name, metric.series()))
+            elif isinstance(metric, Counter):
+                out.append((name, "counter", [({}, metric)]))
             elif isinstance(metric, Gauge):
-                out["gauges"][name] = metric.snapshot()
+                out.append((name, "gauge", [({}, metric)]))
             else:
-                out["histograms"][name] = metric.snapshot()
+                out.append((name, "histogram", [({}, metric)]))
+        return out
+
+    def snapshot(self) -> dict:
+        """JSON-ready state of every metric, grouped by kind.
+
+        Family children are flattened to ``name{label="value"}`` keys in
+        the same kind group as their plain counterparts, so consumers
+        (``cold monitor``, tests, dashboards) read one flat namespace.
+        """
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        group = {"counter": "counters", "gauge": "gauges", "histogram": "histograms"}
+        for name, kind, series in self.collect():
+            for labels, metric in series:
+                key = format_series(name, labels)
+                out[group[kind]][key] = metric.snapshot()
         return out
 
 

@@ -6,10 +6,23 @@ an ETA; ``--follow`` keeps polling the file until the run's terminal
 ``fit_end`` record appears.  The analysis functions are pure (records in,
 summary dict / text out) so tests and notebooks can reuse them without a
 terminal.
+
+Three further modes tail the production paths:
+
+* ``mode="serving"`` reads the periodic ``serving`` snapshots a
+  :class:`~repro.serving.server.ColdHTTPServer` writes when configured
+  with ``metrics_out`` — qps and p50/p99 from counter/histogram deltas,
+  shed/breaker state, model staleness, and SLO burn;
+* ``mode="stream"`` reads an :class:`~repro.streaming.trainer.
+  OnlineTrainer`'s ``update``/``publish`` records — update rate, publish
+  cadence, and event-to-publish freshness;
+* ``mode="combined"`` renders both from one file (``cold stream
+  --serve --metrics-out`` interleaves trainer and server records).
 """
 
 from __future__ import annotations
 
+import math
 import time
 from pathlib import Path
 
@@ -18,6 +31,12 @@ from .metrics import read_jsonl
 #: Record kinds produced by the training loops.
 SWEEP_KIND = "sweep"
 END_KIND = "fit_end"
+
+#: Record kinds produced by the serving snapshotter and the online trainer.
+SERVING_KIND = "serving"
+SERVING_END_KIND = "serving_end"
+UPDATE_KIND = "update"
+PUBLISH_KIND = "publish"
 
 
 def sweep_records(records: list[dict]) -> list[dict]:
@@ -147,6 +166,296 @@ def render_summary(summary: dict) -> str:
     return " | ".join(parts)
 
 
+# -- serving snapshots -----------------------------------------------------
+
+
+def serving_records(records: list[dict]) -> list[dict]:
+    return [r for r in records if r.get("kind") == SERVING_KIND]
+
+
+def serving_finished(records: list[dict]) -> bool:
+    return any(r.get("kind") == SERVING_END_KIND for r in records)
+
+
+def _series_total(counters: dict, name: str) -> float:
+    """Sum a counter across its labeled series (and any unlabeled twin)."""
+    total = 0.0
+    prefix = name + "{"
+    for key, value in counters.items():
+        if key == name or key.startswith(prefix):
+            total += value
+    return total
+
+
+def _bucket_bounds(buckets: dict) -> list[float]:
+    bounds = []
+    for key in buckets:
+        if key == "le_inf":
+            bounds.append(math.inf)
+        elif key.startswith("le_"):
+            bounds.append(float(key[3:]))
+    return sorted(bounds)
+
+
+def _merged_latency_delta(first: dict, last: dict, name: str) -> tuple[
+    list[float], list[float]
+]:
+    """Per-bucket observation deltas of ``name``'s series between snapshots.
+
+    Series are merged (summed per bucket) across labels, so the quantiles
+    describe overall traffic rather than one endpoint.
+    """
+    bounds: list[float] = []
+    counts: dict[float, float] = {}
+    prefix = name + "{"
+    for key, histogram in last.get("histograms", {}).items():
+        if key != name and not key.startswith(prefix):
+            continue
+        buckets = histogram.get("buckets", {})
+        previous = (
+            first.get("histograms", {}).get(key, {}).get("buckets", {})
+        )
+        if not bounds:
+            bounds = _bucket_bounds(buckets)
+        for bucket_key, count in buckets.items():
+            if bucket_key == "le_inf":
+                bound = math.inf
+            elif bucket_key.startswith("le_"):
+                bound = float(bucket_key[3:])
+            else:
+                continue
+            delta = count - previous.get(bucket_key, 0)
+            counts[bound] = counts.get(bound, 0.0) + max(delta, 0)
+    return bounds, [counts.get(bound, 0.0) for bound in bounds]
+
+
+def _histogram_quantile(
+    bounds: list[float], counts: list[float], q: float
+) -> float | None:
+    """Linear-interpolated quantile from per-bucket counts (Prometheus-style)."""
+    total = sum(counts)
+    if total <= 0:
+        return None
+    target = q * total
+    cumulative = 0.0
+    lower = 0.0
+    for bound, count in zip(bounds, counts):
+        if count and cumulative + count >= target:
+            if math.isinf(bound):
+                return lower
+            fraction = (target - cumulative) / count
+            return lower + (bound - lower) * fraction
+        cumulative += count
+        if not math.isinf(bound):
+            lower = bound
+    return lower
+
+
+def summarize_serving(records: list[dict], window: int = 20) -> dict:
+    """Serving health over the last ``window`` snapshot records.
+
+    Rates come from counter deltas between the oldest and newest snapshot
+    in the window (not lifetime averages), quantiles from the latency
+    histogram's per-bucket deltas over the same span, and point-in-time
+    state (breaker, staleness, SLO burn) from the newest snapshot.
+    """
+    snapshots = serving_records(records)
+    if not snapshots:
+        return {"snapshots": 0, "finished": serving_finished(records)}
+    recent = snapshots[-max(window, 2):]
+    first, last = recent[0], recent[-1]
+    elapsed = float(last.get("ts", 0)) - float(first.get("ts", 0))
+    counters = last.get("counters", {})
+    requests = _series_total(counters, "serving_requests_total")
+    responses = _series_total(counters, "serving_responses_total")
+    qps = None
+    if elapsed > 0 and len(recent) >= 2:
+        delta = requests - _series_total(
+            first.get("counters", {}), "serving_requests_total"
+        )
+        qps = max(delta, 0) / elapsed
+    bounds, deltas = _merged_latency_delta(
+        first, last, "serving_latency_seconds"
+    )
+    gauges = last.get("gauges", {})
+    slo = last.get("slo", {})
+    return {
+        "snapshots": len(snapshots),
+        "finished": serving_finished(records),
+        "requests_total": requests,
+        "responses_total": responses,
+        "qps": qps,
+        "p50_seconds": _histogram_quantile(bounds, deltas, 0.50),
+        "p99_seconds": _histogram_quantile(bounds, deltas, 0.99),
+        "shed_total": _series_total(counters, "serving_shed_total"),
+        "timeouts_total": _series_total(counters, "serving_timeouts_total"),
+        "breaker": last.get("breaker"),
+        "draining": bool(last.get("draining")),
+        "generation": last.get("generation"),
+        "inflight": gauges.get("serving_inflight"),
+        "staleness_seconds": gauges.get("model_staleness_seconds"),
+        "event_to_servable_seconds": gauges.get("event_to_servable_seconds"),
+        "slo_availability": (slo.get("window") or {}).get("availability"),
+        "slo_fast_burn_rate": slo.get("fast_burn_rate"),
+    }
+
+
+def render_serving_summary(summary: dict) -> str:
+    """One serving status line (stable field order for tests)."""
+    if not summary.get("snapshots"):
+        return "no serving snapshots yet"
+    parts = [f"gen {summary.get('generation', '?')}"]
+    qps = summary.get("qps")
+    if qps is not None:
+        parts.append(f"{qps:.1f} req/s")
+    p50, p99 = summary.get("p50_seconds"), summary.get("p99_seconds")
+    if p50 is not None and p99 is not None:
+        parts.append(f"p50 {p50 * 1e3:.1f}ms p99 {p99 * 1e3:.1f}ms")
+    parts.append(f"shed {summary.get('shed_total', 0):.0f}")
+    breaker = summary.get("breaker")
+    if breaker:
+        parts.append(f"breaker {breaker}")
+    staleness = summary.get("staleness_seconds")
+    if staleness is not None:
+        parts.append(f"staleness {staleness:.1f}s")
+    availability = summary.get("slo_availability")
+    if availability is not None:
+        burn = summary.get("slo_fast_burn_rate")
+        slo = f"SLO {availability * 100:.2f}%"
+        if burn is not None:
+            slo += f" burn {burn:.1f}x"
+        parts.append(slo)
+    if summary.get("draining"):
+        parts.append("draining")
+    if summary.get("finished"):
+        parts.append("server stopped")
+    return " | ".join(parts)
+
+
+# -- streaming updates ------------------------------------------------------
+
+
+def summarize_stream(records: list[dict], window: int = 20) -> dict:
+    """Streaming-trainer progress: update rate, publish cadence, freshness."""
+    updates = [r for r in records if r.get("kind") == UPDATE_KIND]
+    publishes = [r for r in records if r.get("kind") == PUBLISH_KIND]
+    finished = run_finished(records)
+    if not updates and not publishes:
+        return {"updates": 0, "publishes": 0, "finished": finished}
+    recent = updates[-max(window, 2):]
+    rate = None
+    if len(recent) >= 2:
+        elapsed = float(recent[-1]["ts"]) - float(recent[0]["ts"])
+        if elapsed > 0:
+            rate = (len(recent) - 1) / elapsed
+    seconds = [
+        float(r["seconds"]) for r in recent if r.get("seconds") is not None
+    ]
+    likelihoods = [
+        r["log_likelihood"]
+        for r in recent
+        if r.get("log_likelihood") is not None
+    ]
+    cadence = None
+    recent_publishes = publishes[-max(window, 2):]
+    if len(recent_publishes) >= 2:
+        span = float(recent_publishes[-1]["ts"]) - float(
+            recent_publishes[0]["ts"]
+        )
+        if span > 0:
+            cadence = span / (len(recent_publishes) - 1)
+    last_publish = publishes[-1] if publishes else None
+    last_ts = float(records[-1].get("ts", 0)) if records else 0.0
+    return {
+        "updates": (
+            int(updates[-1].get("update", len(updates))) if updates else 0
+        ),
+        "publishes": len(publishes),
+        "finished": finished,
+        "updates_per_second": rate,
+        "mean_update_seconds": sum(seconds) / len(seconds) if seconds else None,
+        "log_likelihood": likelihoods[-1] if likelihoods else None,
+        "publish_cadence_seconds": cadence,
+        "last_publish_generation": (
+            last_publish.get("generation") if last_publish else None
+        ),
+        "last_publish_age_seconds": (
+            max(last_ts - float(last_publish["ts"]), 0.0)
+            if last_publish
+            else None
+        ),
+        "event_to_publish_seconds": (
+            last_publish.get("event_to_publish_seconds")
+            if last_publish
+            else None
+        ),
+    }
+
+
+def render_stream_summary(summary: dict) -> str:
+    """One streaming status line (stable field order for tests)."""
+    if not summary.get("updates") and not summary.get("publishes"):
+        return "no stream records yet"
+    parts = [f"update {summary['updates']}"]
+    rate = summary.get("updates_per_second")
+    if rate:
+        parts.append(f"{rate:.2f} updates/s")
+    ll = summary.get("log_likelihood")
+    if ll is not None:
+        parts.append(f"loglik {ll:.1f}")
+    generation = summary.get("last_publish_generation")
+    if generation is not None:
+        publish = f"published gen {generation}"
+        age = summary.get("last_publish_age_seconds")
+        if age is not None:
+            publish += f" ({_fmt_duration(age)} ago)"
+        parts.append(publish)
+    cadence = summary.get("publish_cadence_seconds")
+    if cadence is not None:
+        parts.append(f"cadence {cadence:.1f}s")
+    freshness = summary.get("event_to_publish_seconds")
+    if freshness is not None:
+        parts.append(f"event->publish {freshness:.2f}s")
+    if summary.get("finished"):
+        parts.append("stream finished")
+    return " | ".join(parts)
+
+
+# -- combined view ----------------------------------------------------------
+
+
+def summarize_combined(records: list[dict], window: int = 20) -> dict:
+    """Stream and serving summaries of one interleaved metrics file.
+
+    ``finished`` requires the trainer's ``fit_end`` *and* — when serving
+    snapshots are present at all — the server's ``serving_end``, so a
+    followed ``cold stream --serve`` dashboard survives until both halves
+    shut down.
+    """
+    stream = summarize_stream(records, window=window)
+    serving = summarize_serving(records, window=window)
+    finished = stream["finished"] and (
+        not serving.get("snapshots") or serving["finished"]
+    )
+    return {"stream": stream, "serving": serving, "finished": finished}
+
+
+def render_combined_summary(summary: dict) -> str:
+    return (
+        f"stream: {render_stream_summary(summary['stream'])}\n"
+        f"serve:  {render_serving_summary(summary['serving'])}"
+    )
+
+
+#: mode -> (summarize, render) used by :func:`monitor` and the CLI.
+MONITOR_MODES = {
+    "train": (summarize, render_summary),
+    "serving": (summarize_serving, render_serving_summary),
+    "stream": (summarize_stream, render_stream_summary),
+    "combined": (summarize_combined, render_combined_summary),
+}
+
+
 def monitor(
     path: str | Path,
     follow: bool = False,
@@ -154,22 +463,32 @@ def monitor(
     window: int = 20,
     max_updates: int | None = None,
     out=None,
+    mode: str = "train",
 ) -> dict:
     """Print progress for ``path``; returns the final summary dict.
 
     One-shot by default; with ``follow`` it polls every ``interval``
-    seconds until the run emits ``fit_end`` (or ``max_updates`` render
-    cycles elapse — the testing/cron escape hatch).  ``out`` is a
-    ``print``-like callable, defaulting to ``print``.
+    seconds until the run emits its terminal record — ``fit_end`` for
+    train/stream modes, ``serving_end`` for serving mode, both for
+    combined — or ``max_updates`` render cycles elapse (the testing/cron
+    escape hatch).  ``out`` is a ``print``-like callable, defaulting to
+    ``print``.
     """
+    try:
+        summarizer, renderer = MONITOR_MODES[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown monitor mode {mode!r}; choose from "
+            f"{sorted(MONITOR_MODES)}"
+        ) from None
     emit = print if out is None else out
     path = Path(path)
     updates = 0
     summary: dict = {}
     while True:
         records = read_jsonl(path)
-        summary = summarize(records, window=window)
-        emit(render_summary(summary))
+        summary = summarizer(records, window=window)
+        emit(renderer(summary))
         updates += 1
         if not follow or summary.get("finished"):
             break

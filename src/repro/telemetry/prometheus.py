@@ -1,0 +1,262 @@
+"""Prometheus text exposition (format 0.0.4): render and parse.
+
+:func:`render_prometheus` turns a :class:`~repro.telemetry.metrics.
+MetricsRegistry` into the plain-text format every Prometheus-compatible
+scraper understands — ``# TYPE`` metadata lines, escaped label values,
+and cumulative ``_bucket``/``_sum``/``_count`` histogram series.  The
+serving layer content-negotiates it on ``/metrics`` next to the existing
+JSON snapshot.
+
+:func:`parse_prometheus_text` is the minimal in-repo parser: enough to
+validate an exposition end-to-end (the CI smoke and the chaos-scrape
+tests use it) and to round-trip the escaping rules under property
+testing.  It is deliberately strict — a malformed line raises
+``ValueError`` with its line number rather than being skipped, because a
+scraper that silently drops samples is worse than one that fails loudly.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+)
+
+#: The Content-Type a text-format scrape response must carry.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+_UNESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an arbitrary metric name into the Prometheus charset.
+
+    Invalid characters become ``_``; a leading digit gets an underscore
+    prefix.  Registry names are already clean in practice — this is the
+    guarantee that exposition output never emits an unparseable line.
+    """
+    name = _INVALID_NAME_CHARS.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def format_sample_value(value: float | None) -> str:
+    """A sample value as Prometheus text: ``NaN``/``+Inf``/``-Inf`` literals."""
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_metric_name(str(key))}="{escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _histogram_lines(
+    name: str, labels: dict[str, str], histogram: Histogram
+) -> list[str]:
+    """Cumulative ``_bucket`` series plus ``_sum`` and ``_count``."""
+    lines = []
+    counts = histogram.bucket_counts()
+    cumulative = 0
+    for bound, count in zip(histogram.bounds, counts):
+        cumulative += count
+        bucket_labels = {**labels, "le": f"{bound:g}"}
+        lines.append(
+            f"{name}_bucket{_format_labels(bucket_labels)} {cumulative}"
+        )
+    cumulative += counts[-1]
+    lines.append(
+        f"{name}_bucket{_format_labels({**labels, 'le': '+Inf'})} {cumulative}"
+    )
+    lines.append(
+        f"{name}_sum{_format_labels(labels)} "
+        f"{format_sample_value(histogram.sum)}"
+    )
+    lines.append(f"{name}_count{_format_labels(labels)} {histogram.count}")
+    return lines
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition format 0.0.4.
+
+    Counters and gauges render one sample per series; histograms render
+    cumulative ``le``-labeled buckets the way native Prometheus
+    histograms do, so ``histogram_quantile()`` works on the scrape
+    unchanged.  Unset gauges render as ``NaN`` (explicitly absent data,
+    not zero).
+    """
+    lines: list[str] = []
+    for name, kind, series in registry.collect():
+        pname = sanitize_metric_name(name)
+        lines.append(f"# TYPE {pname} {kind}")
+        for labels, metric in series:
+            if isinstance(metric, Histogram):
+                lines.extend(_histogram_lines(pname, labels, metric))
+            elif isinstance(metric, (Counter, Gauge)):
+                lines.append(
+                    f"{pname}{_format_labels(labels)} "
+                    f"{format_sample_value(metric.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def wants_prometheus(accept: str | None) -> bool:
+    """Content negotiation: does this Accept header ask for text format?
+
+    ``application/json`` (and the default of no header) keeps the JSON
+    snapshot; ``text/plain`` or any OpenMetrics media type selects the
+    exposition format.
+    """
+    if not accept:
+        return False
+    accept = accept.lower()
+    if "application/json" in accept:
+        return False
+    return "text/plain" in accept or "openmetrics" in accept
+
+
+# -- the minimal parser ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One parsed exposition sample: ``name{labels} value``."""
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    value: float = math.nan
+
+    def key(self) -> tuple:
+        return (self.name, tuple(sorted(self.labels.items())))
+
+
+@dataclass(frozen=True)
+class ParsedExposition:
+    """Samples plus ``# TYPE`` metadata from one scrape body."""
+
+    samples: list[Sample]
+    types: dict[str, str]
+
+    def value(self, name: str, **labels: str) -> float | None:
+        """The value of the sample matching ``name`` and ``labels`` exactly."""
+        wanted = {key: str(val) for key, val in labels.items()}
+        for sample in self.samples:
+            if sample.name == name and sample.labels == wanted:
+                return sample.value
+        return None
+
+    def series(self, name: str) -> list[Sample]:
+        return [s for s in self.samples if s.name == name]
+
+
+def _parse_labels(text: str, lineno: int) -> tuple[dict[str, str], str]:
+    """Parse ``{a="x",b="y"}...`` honoring escapes; returns (labels, rest)."""
+    labels: dict[str, str] = {}
+    i = 1  # past "{"
+    while True:
+        if i >= len(text):
+            raise ValueError(f"line {lineno}: unterminated label set")
+        if text[i] == "}":
+            return labels, text[i + 1 :]
+        match = _LABEL_NAME_RE.match(text, i)
+        if match is None:
+            raise ValueError(f"line {lineno}: bad label name at {text[i:]!r}")
+        label_name = match.group(0)
+        i = match.end()
+        if text[i : i + 2] != '="':
+            raise ValueError(f"line {lineno}: expected '=\"' after {label_name}")
+        i += 2
+        out: list[str] = []
+        while True:
+            if i >= len(text):
+                raise ValueError(f"line {lineno}: unterminated label value")
+            char = text[i]
+            if char == "\\":
+                if i + 1 >= len(text):
+                    raise ValueError(f"line {lineno}: dangling escape")
+                out.append(_UNESCAPES.get(text[i + 1], "\\" + text[i + 1]))
+                i += 2
+            elif char == '"':
+                i += 1
+                break
+            else:
+                out.append(char)
+                i += 1
+        labels[label_name] = "".join(out)
+        if i < len(text) and text[i] == ",":
+            i += 1
+
+
+def parse_prometheus_text(text: str) -> ParsedExposition:
+    """Parse a text-format scrape body; raises ``ValueError`` when invalid.
+
+    Returns every sample (histogram ``_bucket``/``_sum``/``_count``
+    series appear under their suffixed names, as scraped) plus the
+    declared ``# TYPE`` map.
+    """
+    samples: list[Sample] = []
+    types: dict[str, str] = {}
+    seen: set[tuple] = set()
+    # split("\n"), not splitlines(): the format delimits samples with
+    # newlines only, and splitlines() would also break on control
+    # characters (\x1c-\x1e,  ...) that are legal inside an escaped
+    # label value's surroundings.
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _NAME_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: bad metric name in {line!r}")
+        name = match.group(0)
+        rest = line[match.end() :]
+        labels: dict[str, str] = {}
+        if rest.startswith("{"):
+            labels, rest = _parse_labels(rest, lineno)
+        rest = rest.strip()
+        if not rest:
+            raise ValueError(f"line {lineno}: missing sample value")
+        value_text = rest.split()[0]
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: bad sample value {value_text!r}"
+            ) from None
+        sample = Sample(name=name, labels=labels, value=value)
+        key = sample.key()
+        if key in seen:
+            raise ValueError(
+                f"line {lineno}: duplicate series {name}{labels!r}"
+            )
+        seen.add(key)
+        samples.append(sample)
+    return ParsedExposition(samples=samples, types=types)

@@ -1,0 +1,208 @@
+"""Rolling-window SLO tracking: availability, latency, error-budget burn.
+
+:class:`SLOTracker` watches a request stream against two objectives — an
+availability target (fraction of requests that must not fail server-side)
+and a latency objective (fraction of successful requests that must finish
+under a threshold) — over a pair of rolling windows.  The *fast* window
+(minutes) is the paging signal: a high burn rate there means the error
+budget is being spent much faster than the objective allows and the
+service will blow its SLO within hours.  The *slow* window (the SLO
+period proxy, an hour here) smooths incident noise into the compliance
+number reported on ``/metrics`` and in readiness detail.
+
+Burn rate is the standard multi-window definition::
+
+    burn = error_rate / (1 - availability_target)
+
+``burn == 1`` means the budget is being consumed exactly at the
+sustainable rate; ``burn == 14`` on the fast window is the classic
+"page now" threshold.  Everything is O(window-seconds) memory —
+per-second aggregation buckets in a deque, no raw samples retained —
+and thread-safe, matching the threading HTTP server that feeds it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from .metrics import MetricsRegistry, TelemetryError
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """The objectives; defaults are sane for an interactive scoring API."""
+
+    availability_target: float = 0.999
+    latency_threshold_seconds: float = 0.5
+    latency_target: float = 0.99
+    window_seconds: float = 3600.0
+    fast_window_seconds: float = 300.0
+
+    def __post_init__(self) -> None:
+        for name in ("availability_target", "latency_target"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise TelemetryError(
+                    f"{name} must be in (0, 1), got {value}"
+                )
+        if self.latency_threshold_seconds <= 0:
+            raise TelemetryError("latency_threshold_seconds must be positive")
+        if self.fast_window_seconds <= 0:
+            raise TelemetryError("fast_window_seconds must be positive")
+        if self.window_seconds < self.fast_window_seconds:
+            raise TelemetryError(
+                "window_seconds must be >= fast_window_seconds"
+            )
+
+
+class SLOTracker:
+    """Thread-safe rolling-window availability/latency objective tracker.
+
+    ``clock`` is injectable (tests drive a fake clock); it only needs to
+    be monotonic non-decreasing.  ``record(ok, latency_seconds)`` is the
+    single write path — cheap enough (one dict-free bucket update under a
+    lock) to sit on the serving hot path.
+    """
+
+    def __init__(
+        self,
+        config: SLOConfig | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else SLOConfig()
+        self._clock = clock
+        # Per-second buckets: [second, requests, errors, measured, under].
+        self._buckets: deque[list] = deque()
+        self._lock = threading.Lock()
+        self.total_requests = 0
+        self.total_errors = 0
+
+    # -- the write path ----------------------------------------------------
+
+    def record(self, ok: bool, latency_seconds: float | None = None) -> None:
+        """Record one request outcome (and its latency when it completed)."""
+        now = self._clock()
+        second = int(now)
+        with self._lock:
+            if self._buckets and self._buckets[-1][0] == second:
+                bucket = self._buckets[-1]
+            else:
+                bucket = [second, 0, 0, 0, 0]
+                self._buckets.append(bucket)
+                horizon = second - int(self.config.window_seconds) - 1
+                while self._buckets and self._buckets[0][0] < horizon:
+                    self._buckets.popleft()
+            bucket[1] += 1
+            self.total_requests += 1
+            if not ok:
+                bucket[2] += 1
+                self.total_errors += 1
+            if latency_seconds is not None:
+                bucket[3] += 1
+                if latency_seconds <= self.config.latency_threshold_seconds:
+                    bucket[4] += 1
+
+    # -- the read path -----------------------------------------------------
+
+    def window(self, seconds: float) -> dict:
+        """Aggregate outcomes over the trailing ``seconds``.
+
+        With no traffic in the window both compliance ratios report 1.0 —
+        an idle service is meeting its objectives, not failing them.
+        """
+        horizon = self._clock() - seconds
+        requests = errors = measured = under = 0
+        with self._lock:
+            for second, reqs, errs, meas, fast in reversed(self._buckets):
+                if second < horizon:
+                    break
+                requests += reqs
+                errors += errs
+                measured += meas
+                under += fast
+        availability = 1.0 - errors / requests if requests else 1.0
+        latency_compliance = under / measured if measured else 1.0
+        return {
+            "seconds": seconds,
+            "requests": requests,
+            "errors": errors,
+            "availability": availability,
+            "latency_compliance": latency_compliance,
+        }
+
+    def burn_rate(self, seconds: float) -> float:
+        """Error-budget burn over the trailing window (1.0 = sustainable)."""
+        stats = self.window(seconds)
+        budget = 1.0 - self.config.availability_target
+        if not stats["requests"]:
+            return 0.0
+        return (1.0 - stats["availability"]) / budget
+
+    def snapshot(self) -> dict:
+        """The full JSON-ready SLO state (the ``/metrics`` ``slo`` block)."""
+        config = self.config
+        slow = self.window(config.window_seconds)
+        fast = self.window(config.fast_window_seconds)
+        budget = 1.0 - config.availability_target
+        slow_burn = (
+            (1.0 - slow["availability"]) / budget if slow["requests"] else 0.0
+        )
+        fast_burn = (
+            (1.0 - fast["availability"]) / budget if fast["requests"] else 0.0
+        )
+        return {
+            "availability_target": config.availability_target,
+            "latency_threshold_seconds": config.latency_threshold_seconds,
+            "latency_target": config.latency_target,
+            "window": slow,
+            "fast_window": fast,
+            "burn_rate": round(slow_burn, 6),
+            "fast_burn_rate": round(fast_burn, 6),
+            "error_budget_remaining": round(max(0.0, 1.0 - slow_burn), 6),
+            "latency_objective_met": (
+                slow["latency_compliance"] >= config.latency_target
+            ),
+            "total_requests": self.total_requests,
+            "total_errors": self.total_errors,
+        }
+
+    def summary(self) -> dict:
+        """The compact readiness-detail view of :meth:`snapshot`."""
+        snapshot = self.snapshot()
+        return {
+            "availability": round(snapshot["window"]["availability"], 6),
+            "latency_compliance": round(
+                snapshot["window"]["latency_compliance"], 6
+            ),
+            "burn_rate": snapshot["burn_rate"],
+            "fast_burn_rate": snapshot["fast_burn_rate"],
+        }
+
+    def export_gauges(self, registry: MetricsRegistry) -> None:
+        """Mirror the SLO state into window-labeled registry gauges."""
+        config = self.config
+        availability = registry.gauge("slo_availability", labels=("window",))
+        compliance = registry.gauge(
+            "slo_latency_compliance", labels=("window",)
+        )
+        burn = registry.gauge("slo_burn_rate", labels=("window",))
+        for label, seconds in (
+            ("fast", config.fast_window_seconds),
+            ("slow", config.window_seconds),
+        ):
+            stats = self.window(seconds)
+            budget = 1.0 - config.availability_target
+            rate = (
+                (1.0 - stats["availability"]) / budget
+                if stats["requests"]
+                else 0.0
+            )
+            availability.labels(window=label).set(stats["availability"])
+            compliance.labels(window=label).set(stats["latency_compliance"])
+            burn.labels(window=label).set(rate)
+        registry.gauge("slo_error_budget_remaining").set(
+            max(0.0, 1.0 - self.burn_rate(config.window_seconds))
+        )

@@ -29,6 +29,8 @@ import threading
 import time
 from pathlib import Path
 
+from .context import get_request_id
+
 
 class _NullSpan:
     """Shared no-op context manager returned when tracing is off."""
@@ -116,6 +118,16 @@ class Tracer:
         return _SpanContext(self, name, args)
 
     def _record(self, span: _SpanContext, duration: float) -> None:
+        args = {
+            "id": span.span_id,
+            "parent": span.parent_id,
+            **span.args,
+        }
+        # Stamp the ambient request id so one Chrome-trace filter (or a
+        # grep of the exported JSON) reconstructs a request's whole path.
+        request_id = get_request_id()
+        if request_id is not None:
+            args.setdefault("request_id", request_id)
         event = {
             "name": span.name,
             "cat": "repro",
@@ -124,11 +136,7 @@ class Tracer:
             "dur": round(duration * 1e6, 1),
             "pid": os.getpid(),
             "tid": threading.get_ident(),
-            "args": {
-                "id": span.span_id,
-                "parent": span.parent_id,
-                **span.args,
-            },
+            "args": args,
         }
         with self._lock:
             self._events.append(event)

@@ -132,6 +132,8 @@ class TestVersionedReload:
             server, "POST", "/admin/reload", {"path": str(model_path)}
         )
         assert status == 200
+        request_id = payload.pop("request_id")
+        assert request_id == headers["X-Request-Id"]
         assert payload == {"status": "reloaded", "generation": 2}
         assert headers["Deprecation"] == "true"
 

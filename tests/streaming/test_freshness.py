@@ -1,0 +1,161 @@
+"""Publish freshness: watermarks in manifests, forwarded through the watcher."""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.streaming import MANIFEST_NAME, ModelWatcher, OnlineTrainer
+from repro.telemetry import read_jsonl
+
+
+def run_stream(trainer, remainder, batches=4):
+    size = max(1, len(remainder) // batches)
+    for start in range(0, len(remainder), size):
+        trainer.feed(remainder[start:start + size])
+        trainer.step()
+    trainer.drain()
+
+
+class FreshnessServer:
+    """Reload stub that also accepts the freshness hook."""
+
+    def __init__(self):
+        self.generation = 1
+        self.freshness_calls = []
+
+    def reload(self, path):
+        self.generation += 1
+        return self.generation
+
+    def record_publish_freshness(self, **kwargs):
+        self.freshness_calls.append(kwargs)
+
+
+class LegacyServer:
+    """Reload stub predating the freshness hook entirely."""
+
+    def __init__(self):
+        self.generation = 1
+
+    def reload(self, path):
+        self.generation += 1
+        return self.generation
+
+
+class TestManifestFreshness:
+    def test_publish_stamps_ingest_watermark(self, stream_world, tmp_path):
+        model, builder, remainder = stream_world(iterations=10)
+        publish_dir = tmp_path / "pub"
+        trainer = OnlineTrainer(model, builder, publish_dir=publish_dir)
+        before = time.time()
+        run_stream(trainer, remainder)
+        after = time.time()
+        manifest = json.loads((publish_dir / MANIFEST_NAME).read_text())
+        freshness = manifest["freshness"]
+        # The watermark is the ingest wall-clock of the newest folded
+        # event, so it must fall inside the window the stream ran in.
+        assert before <= freshness["event_high_watermark"] <= after
+        assert freshness["event_high_watermark"] <= freshness["published_at"]
+        assert freshness["published_at"] <= after + 1.0
+        trainer.close()
+
+    def test_publish_without_events_has_null_watermark(
+        self, stream_world, tmp_path
+    ):
+        model, builder, _remainder = stream_world(iterations=5)
+        trainer = OnlineTrainer(model, builder, publish_dir=tmp_path / "pub")
+        trainer.publish()  # nothing fed: nothing to claim freshness for
+        manifest = json.loads(
+            (tmp_path / "pub" / MANIFEST_NAME).read_text()
+        )
+        assert manifest["freshness"]["event_high_watermark"] is None
+        trainer.close()
+
+    def test_publish_record_carries_event_to_publish(
+        self, stream_world, tmp_path
+    ):
+        model, builder, remainder = stream_world(iterations=10)
+        out = tmp_path / "stream.jsonl"
+        trainer = OnlineTrainer(
+            model, builder, publish_dir=tmp_path / "pub", metrics_out=out
+        )
+        run_stream(trainer, remainder)
+        trainer.close()
+        publishes = [
+            r for r in read_jsonl(out) if r.get("kind") == "publish"
+        ]
+        assert publishes
+        latest = publishes[-1]
+        assert latest["generation"] == trainer.generation
+        assert latest["event_to_publish_seconds"] >= 0.0
+        assert latest["event_to_publish_seconds"] < 60.0
+
+
+class TestWatcherForwarding:
+    def test_freshness_reaches_the_server(self, stream_world, tmp_path):
+        model, builder, remainder = stream_world(iterations=10)
+        publish_dir = tmp_path / "pub"
+        trainer = OnlineTrainer(model, builder, publish_dir=publish_dir)
+        server = FreshnessServer()
+        watcher = ModelWatcher(server, publish_dir)
+        trainer.subscribe(lambda generation, path: watcher.poke())
+        run_stream(trainer, remainder)
+        assert watcher.reloads == trainer.generation
+        assert len(server.freshness_calls) == watcher.reloads
+        last = server.freshness_calls[-1]
+        assert last["generation"] == trainer.generation
+        assert last["updates"] == model.update_count_
+        assert last["event_high_watermark"] <= last["published_at"]
+        assert last["published_at"] <= time.time()
+        trainer.close()
+
+    def test_server_without_hook_still_reloads(self, stream_world, tmp_path):
+        model, builder, remainder = stream_world(iterations=10)
+        publish_dir = tmp_path / "pub"
+        trainer = OnlineTrainer(model, builder, publish_dir=publish_dir)
+        server = LegacyServer()
+        watcher = ModelWatcher(server, publish_dir)
+        trainer.subscribe(lambda generation, path: watcher.poke())
+        run_stream(trainer, remainder)
+        assert watcher.reloads == trainer.generation
+        assert watcher.failed_reloads == 0
+        trainer.close()
+
+    def test_pre_freshness_manifest_is_tolerated(self, stream_world, tmp_path):
+        model, builder, remainder = stream_world(iterations=10)
+        publish_dir = tmp_path / "pub"
+        trainer = OnlineTrainer(model, builder, publish_dir=publish_dir)
+        run_stream(trainer, remainder)
+        trainer.close()
+        # Rewrite the manifest as an older schema: no freshness block.
+        manifest_path = publish_dir / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["freshness"]
+        manifest_path.write_text(json.dumps(manifest))
+        server = FreshnessServer()
+        watcher = ModelWatcher(server, publish_dir)
+        assert watcher.poke() is True
+        (call,) = server.freshness_calls
+        assert call["generation"] == manifest["generation"]
+        assert call["published_at"] is None
+        assert call["event_high_watermark"] is None
+
+    def test_forwarding_failure_does_not_break_reload(
+        self, stream_world, tmp_path
+    ):
+        model, builder, remainder = stream_world(iterations=10)
+        publish_dir = tmp_path / "pub"
+        trainer = OnlineTrainer(model, builder, publish_dir=publish_dir)
+        run_stream(trainer, remainder)
+        trainer.close()
+
+        class ExplodingServer(FreshnessServer):
+            def record_publish_freshness(self, **kwargs):
+                raise RuntimeError("freshness hook exploded")
+
+        server = ExplodingServer()
+        watcher = ModelWatcher(server, publish_dir)
+        assert watcher.poke() is True
+        assert watcher.reloads == 1
+        assert watcher.failed_reloads == 0

@@ -1,0 +1,112 @@
+"""Request-id context: sanitization, propagation into logs and spans."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.telemetry import (
+    JsonFormatter,
+    PlainFormatter,
+    RequestIdFilter,
+    Tracer,
+    get_request_id,
+    new_request_id,
+    request_context,
+    sanitize_request_id,
+    set_tracer,
+)
+from repro.telemetry.context import MAX_REQUEST_ID_LENGTH
+
+
+class TestSanitize:
+    def test_accepts_uuid_hex(self):
+        rid = new_request_id()
+        assert sanitize_request_id(rid) == rid
+
+    def test_accepts_safe_charset(self):
+        assert sanitize_request_id("req-1.2:a_B") == "req-1.2:a_B"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            None,
+            42,
+            "",
+            "has space",
+            "new\nline",
+            'quo"te',
+            "x" * (MAX_REQUEST_ID_LENGTH + 1),
+            "über",
+        ],
+    )
+    def test_rejects_unsafe_values(self, bad):
+        assert sanitize_request_id(bad) is None
+
+
+class TestPropagation:
+    def test_context_manager_sets_and_restores(self):
+        assert get_request_id() is None
+        with request_context("rid-1") as rid:
+            assert rid == "rid-1"
+            assert get_request_id() == "rid-1"
+            with request_context() as inner:
+                assert inner != "rid-1"
+                assert get_request_id() == inner
+            assert get_request_id() == "rid-1"
+        assert get_request_id() is None
+
+    def test_minted_when_missing(self):
+        with request_context() as rid:
+            assert sanitize_request_id(rid) == rid
+
+
+class TestLogStamping:
+    def _emit(self, formatter):
+        logger = logging.getLogger("repro.test.context")
+        logger.setLevel(logging.INFO)
+        handler = logging.StreamHandler()
+        records = []
+        handler.emit = records.append
+        handler.addFilter(RequestIdFilter())
+        logger.addHandler(handler)
+        try:
+            logger.info("hello")
+        finally:
+            logger.removeHandler(handler)
+        assert len(records) == 1
+        return formatter.format(records[0])
+
+    def test_plain_formatter_appends_rid(self):
+        with request_context("rid-42"):
+            line = self._emit(PlainFormatter())
+        assert line.endswith("[rid=rid-42]")
+
+    def test_plain_formatter_omits_rid_outside_request(self):
+        line = self._emit(PlainFormatter())
+        assert "rid=" not in line
+
+    def test_json_formatter_includes_rid_field(self):
+        with request_context("rid-99"):
+            payload = json.loads(self._emit(JsonFormatter()))
+        assert payload["request_id"] == "rid-99"
+        assert payload["message"] == "hello"
+
+
+class TestSpanStamping:
+    def test_spans_carry_request_id(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        try:
+            with request_context("rid-7"):
+                with tracer.span("scoped"):
+                    pass
+            with tracer.span("unscoped"):
+                pass
+        finally:
+            set_tracer(None)
+        events = {e["name"]: e for e in tracer.to_chrome_trace()["traceEvents"]}
+        assert events["scoped"]["args"]["request_id"] == "rid-7"
+        assert "request_id" not in events["unscoped"]["args"]

@@ -1,0 +1,218 @@
+"""Monitor serving/stream/combined modes over synthetic record streams."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MONITOR_MODES,
+    monitor,
+    render_combined_summary,
+    render_serving_summary,
+    render_stream_summary,
+    summarize_combined,
+    summarize_serving,
+    summarize_stream,
+)
+
+
+def serving_snapshot(
+    ts: float,
+    requests: float,
+    *,
+    buckets: dict | None = None,
+    generation: int = 1,
+    breaker: str = "closed",
+    shed: float = 0.0,
+    staleness: float | None = None,
+    event_to_servable: float | None = None,
+    availability: float = 1.0,
+    fast_burn: float = 0.0,
+) -> dict:
+    gauges = {"serving_inflight": 0.0}
+    if staleness is not None:
+        gauges["model_staleness_seconds"] = staleness
+    if event_to_servable is not None:
+        gauges["event_to_servable_seconds"] = event_to_servable
+    return {
+        "kind": "serving",
+        "ts": ts,
+        "breaker": breaker,
+        "draining": False,
+        "generation": generation,
+        "counters": {
+            'serving_requests_total{endpoint="retweet"}': requests,
+            'serving_responses_total{endpoint="retweet"}': requests,
+            "serving_shed_total": shed,
+        },
+        "gauges": gauges,
+        "histograms": {
+            'serving_latency_seconds{endpoint="retweet"}': {
+                "count": sum((buckets or {}).values()),
+                "sum": 0.0,
+                "buckets": buckets or {"le_0.005": 0, "le_inf": 0},
+            }
+        },
+        "slo": {
+            "window": {"availability": availability},
+            "fast_burn_rate": fast_burn,
+        },
+    }
+
+
+def update_record(ts: float, index: int, seconds: float = 0.5) -> dict:
+    return {
+        "kind": "update",
+        "ts": ts,
+        "update": index,
+        "seconds": seconds,
+        "log_likelihood": -100.0 - index,
+    }
+
+
+def publish_record(
+    ts: float, generation: int, event_to_publish: float | None = None
+) -> dict:
+    return {
+        "kind": "publish",
+        "ts": ts,
+        "generation": generation,
+        "event_to_publish_seconds": event_to_publish,
+    }
+
+
+class TestServingMode:
+    def test_empty_stream(self):
+        summary = summarize_serving([])
+        assert summary == {"snapshots": 0, "finished": False}
+        assert render_serving_summary(summary) == "no serving snapshots yet"
+
+    def test_qps_from_counter_deltas(self):
+        records = [
+            serving_snapshot(100.0, 10),
+            serving_snapshot(110.0, 60),
+        ]
+        summary = summarize_serving(records)
+        assert summary["qps"] == pytest.approx(5.0)
+        assert summary["requests_total"] == 60
+        assert summary["breaker"] == "closed"
+
+    def test_quantiles_from_bucket_deltas(self):
+        first = serving_snapshot(
+            100.0, 0, buckets={"le_0.01": 0, "le_0.1": 0, "le_inf": 0}
+        )
+        last = serving_snapshot(
+            110.0, 100, buckets={"le_0.01": 90, "le_0.1": 10, "le_inf": 0}
+        )
+        summary = summarize_serving([first, last])
+        assert summary["p50_seconds"] <= 0.01
+        assert 0.01 <= summary["p99_seconds"] <= 0.1
+
+    def test_point_in_time_state_from_newest(self):
+        records = [
+            serving_snapshot(100.0, 1),
+            serving_snapshot(
+                110.0,
+                2,
+                breaker="open",
+                shed=3,
+                staleness=42.0,
+                event_to_servable=7.5,
+                availability=0.9,
+                fast_burn=14.0,
+            ),
+        ]
+        summary = summarize_serving(records)
+        assert summary["breaker"] == "open"
+        assert summary["shed_total"] == 3
+        assert summary["staleness_seconds"] == 42.0
+        assert summary["event_to_servable_seconds"] == 7.5
+        assert summary["slo_availability"] == 0.9
+        assert summary["slo_fast_burn_rate"] == 14.0
+        line = render_serving_summary(summary)
+        assert "breaker open" in line
+        assert "staleness 42.0s" in line
+        assert "burn 14.0x" in line
+
+    def test_finished_on_serving_end(self):
+        records = [serving_snapshot(100.0, 1), {"kind": "serving_end", "ts": 101.0}]
+        assert summarize_serving(records)["finished"] is True
+
+
+class TestStreamMode:
+    def test_empty_stream(self):
+        summary = summarize_stream([])
+        assert summary["updates"] == 0
+        assert render_stream_summary(summary) == "no stream records yet"
+
+    def test_update_rate_and_publish_cadence(self):
+        records = [
+            update_record(100.0, 1),
+            publish_record(100.5, 1),
+            update_record(102.0, 2),
+            publish_record(102.5, 2, event_to_publish=1.25),
+        ]
+        summary = summarize_stream(records)
+        assert summary["updates"] == 2
+        assert summary["publishes"] == 2
+        assert summary["updates_per_second"] == pytest.approx(0.5)
+        assert summary["publish_cadence_seconds"] == pytest.approx(2.0)
+        assert summary["last_publish_generation"] == 2
+        assert summary["event_to_publish_seconds"] == pytest.approx(1.25)
+        line = render_stream_summary(summary)
+        assert "published gen 2" in line
+        assert "event->publish 1.25s" in line
+
+    def test_finished_on_fit_end(self):
+        records = [update_record(100.0, 1), {"kind": "fit_end", "ts": 101.0}]
+        assert summarize_stream(records)["finished"] is True
+
+
+class TestCombinedMode:
+    def test_combined_requires_both_ends_when_serving(self):
+        records = [
+            update_record(100.0, 1),
+            serving_snapshot(100.5, 5),
+            {"kind": "fit_end", "ts": 101.0},
+        ]
+        summary = summarize_combined(records)
+        assert summary["finished"] is False
+        records.append({"kind": "serving_end", "ts": 102.0})
+        assert summarize_combined(records)["finished"] is True
+
+    def test_combined_without_serving_ends_on_fit_end(self):
+        records = [update_record(100.0, 1), {"kind": "fit_end", "ts": 101.0}]
+        assert summarize_combined(records)["finished"] is True
+
+    def test_render_two_lines(self):
+        records = [update_record(100.0, 1), serving_snapshot(100.5, 5)]
+        text = render_combined_summary(summarize_combined(records))
+        stream_line, serve_line = text.split("\n")
+        assert stream_line.startswith("stream: update 1")
+        assert serve_line.startswith("serve:  gen 1")
+
+
+class TestMonitorDispatch:
+    def test_mode_table_covers_all_modes(self):
+        assert set(MONITOR_MODES) == {"train", "serving", "stream", "combined"}
+
+    def test_monitor_unknown_mode_raises(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="unknown monitor mode"):
+            monitor(path, mode="nope")
+
+    def test_monitor_serving_mode_renders(self, tmp_path, capsys):
+        path = tmp_path / "metrics.jsonl"
+        lines = [
+            json.dumps(serving_snapshot(100.0, 10)),
+            json.dumps(serving_snapshot(110.0, 60)),
+            json.dumps({"kind": "serving_end", "ts": 111.0}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        summary = monitor(path, mode="serving")
+        captured = capsys.readouterr().out
+        assert summary["finished"] is True
+        assert "req/s" in captured

@@ -1,0 +1,165 @@
+"""Prometheus text exposition: rendering, strict parsing, escaping.
+
+The exposition is the machine-read contract of ``/metrics`` — a torn or
+mis-escaped line silently corrupts every dashboard downstream — so the
+renderer is pinned against the in-repo strict parser, including a
+hypothesis round-trip over adversarial label values (quotes, backslashes,
+newlines) and non-finite sample values.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    TelemetryError,
+    parse_prometheus_text,
+    render_prometheus,
+    wants_prometheus,
+)
+from repro.telemetry.metrics import escape_label_value
+from repro.telemetry.prometheus import format_sample_value, sanitize_metric_name
+
+
+class TestRender:
+    def test_counter_and_gauge_families(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", labels=("endpoint",)).labels(
+            endpoint="retweet"
+        ).inc(3)
+        registry.counter("requests_total", labels=("endpoint",)).labels(
+            endpoint="link"
+        ).inc()
+        registry.gauge("inflight").set(2.0)
+        parsed = parse_prometheus_text(render_prometheus(registry))
+        assert parsed.value("requests_total", endpoint="retweet") == 3.0
+        assert parsed.value("requests_total", endpoint="link") == 1.0
+        assert parsed.value("inflight") == 2.0
+        assert parsed.types["requests_total"] == "counter"
+        assert parsed.types["inflight"] == "gauge"
+
+    def test_histogram_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        parsed = parse_prometheus_text(render_prometheus(registry))
+        assert parsed.value("latency_bucket", le="0.1") == 1.0
+        assert parsed.value("latency_bucket", le="1") == 2.0
+        assert parsed.value("latency_bucket", le="+Inf") == 3.0
+        assert parsed.value("latency_count") == 3.0
+        assert parsed.value("latency_sum") == pytest.approx(5.55)
+        assert parsed.types["latency"] == "histogram"
+
+    def test_labeled_histogram_buckets_keep_endpoint_label(self):
+        registry = MetricsRegistry()
+        family = registry.histogram(
+            "lat", buckets=(1.0,), labels=("endpoint",)
+        )
+        family.labels(endpoint="retweet").observe(0.5)
+        family.labels(endpoint="link").observe(2.0)
+        parsed = parse_prometheus_text(render_prometheus(registry))
+        assert parsed.value("lat_bucket", endpoint="retweet", le="1") == 1.0
+        assert parsed.value("lat_bucket", endpoint="link", le="1") == 0.0
+        assert parsed.value("lat_count", endpoint="link") == 1.0
+
+    def test_non_finite_gauges_render_as_literals(self):
+        registry = MetricsRegistry()
+        registry.gauge("nan_gauge").set(float("nan"))
+        registry.gauge("inf_gauge").set(float("inf"))
+        parsed = parse_prometheus_text(render_prometheus(registry))
+        assert math.isnan(parsed.value("nan_gauge"))
+        assert parsed.value("inf_gauge") == math.inf
+
+    def test_unset_gauge_renders_nan(self):
+        assert format_sample_value(None) == "NaN"
+        assert format_sample_value(float("-inf")) == "-Inf"
+
+
+class TestSanitize:
+    def test_metric_name_sanitized(self):
+        assert sanitize_metric_name("ok_name") == "ok_name"
+        assert sanitize_metric_name("bad-name.x") == "bad_name_x"
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+
+class TestParserStrictness:
+    def test_rejects_unterminated_labels(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_prometheus_text('m{a="b' + "\n")
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("m not-a-number\n")
+
+    def test_rejects_duplicate_series(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_prometheus_text('m{a="b"} 1\nm{a="b"} 2\n')
+
+    def test_comments_and_blank_lines_skipped(self):
+        parsed = parse_prometheus_text("# HELP m help text\n\nm 1\n")
+        assert parsed.value("m") == 1.0
+
+
+class TestContentNegotiation:
+    def test_wants_prometheus(self):
+        assert wants_prometheus("text/plain")
+        assert wants_prometheus("application/openmetrics-text; version=1.0.0")
+        assert not wants_prometheus("application/json")
+        assert not wants_prometheus(None)
+
+    def test_content_type_is_prometheus_text(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+
+
+class TestBucketMismatch:
+    def test_histogram_family_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,), labels=("k",))
+        with pytest.raises(TelemetryError):
+            registry.histogram("h", buckets=(2.0,), labels=("k",))
+
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+label_values = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_characters="\r", max_codepoint=0x2FF
+    ),
+    max_size=40,
+)
+metric_values = st.one_of(
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.just(float("inf")),
+    st.just(float("-inf")),
+)
+
+
+class TestEscapingProperties:
+    @given(value=label_values)
+    @settings(max_examples=200, deadline=None)
+    def test_label_value_round_trips(self, value):
+        line = f'm{{v="{escape_label_value(value)}"}} 1\n'
+        parsed = parse_prometheus_text(line)
+        assert parsed.value("m", v=value) == 1.0
+
+    @given(a=label_values, b=label_values, value=metric_values)
+    @settings(max_examples=200, deadline=None)
+    def test_registry_round_trips_through_text(self, a, b, value):
+        registry = MetricsRegistry()
+        registry.gauge("g", labels=("a", "b")).labels(a=a, b=b).set(value)
+        parsed = parse_prometheus_text(render_prometheus(registry))
+        assert parsed.value("g", a=a, b=b) == pytest.approx(value)
+
+    @given(value=label_values)
+    @settings(max_examples=100, deadline=None)
+    def test_nan_sample_round_trips(self, value):
+        registry = MetricsRegistry()
+        registry.gauge("g", labels=("k",)).labels(k=value).set(float("nan"))
+        parsed = parse_prometheus_text(render_prometheus(registry))
+        assert math.isnan(parsed.value("g", k=value))

@@ -1,0 +1,145 @@
+"""SLOTracker: rolling windows, burn rate, gauges — on a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    SLOConfig,
+    SLOTracker,
+    TelemetryError,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracker(clock):
+    return SLOTracker(
+        SLOConfig(
+            availability_target=0.99,
+            latency_threshold_seconds=0.5,
+            window_seconds=3600.0,
+            fast_window_seconds=300.0,
+        ),
+        clock=clock,
+    )
+
+
+class TestConfig:
+    def test_rejects_out_of_range_targets(self):
+        with pytest.raises(TelemetryError):
+            SLOConfig(availability_target=1.0)
+        with pytest.raises(TelemetryError):
+            SLOConfig(latency_target=0.0)
+        with pytest.raises(TelemetryError):
+            SLOConfig(latency_threshold_seconds=0.0)
+        with pytest.raises(TelemetryError):
+            SLOConfig(window_seconds=10.0, fast_window_seconds=60.0)
+
+
+class TestWindows:
+    def test_idle_service_meets_objectives(self, tracker):
+        stats = tracker.window(300.0)
+        assert stats["availability"] == 1.0
+        assert stats["latency_compliance"] == 1.0
+        assert tracker.burn_rate(300.0) == 0.0
+
+    def test_availability_counts_errors(self, tracker):
+        for _ in range(9):
+            tracker.record(True, 0.01)
+        tracker.record(False)
+        stats = tracker.window(300.0)
+        assert stats["requests"] == 10
+        assert stats["errors"] == 1
+        assert stats["availability"] == pytest.approx(0.9)
+
+    def test_latency_compliance_only_counts_measured(self, tracker):
+        tracker.record(True, 0.1)
+        tracker.record(True, 2.0)
+        tracker.record(False)  # no latency: error before completion
+        stats = tracker.window(300.0)
+        assert stats["latency_compliance"] == pytest.approx(0.5)
+
+    def test_old_traffic_ages_out_of_fast_window(self, tracker, clock):
+        tracker.record(False)
+        clock.advance(301.0)
+        tracker.record(True, 0.01)
+        fast = tracker.window(300.0)
+        slow = tracker.window(3600.0)
+        assert fast["errors"] == 0
+        assert fast["availability"] == 1.0
+        assert slow["errors"] == 1
+
+    def test_buckets_pruned_past_slow_window(self, tracker, clock):
+        for _ in range(5):
+            tracker.record(True, 0.01)
+            clock.advance(1.0)
+        clock.advance(4000.0)
+        tracker.record(True, 0.01)
+        assert len(tracker._buckets) == 1
+        assert tracker.total_requests == 6
+
+
+class TestBurnRate:
+    def test_burn_rate_one_at_sustainable_error_rate(self, tracker):
+        # 1% errors against a 99% target: burning exactly at budget.
+        for index in range(100):
+            tracker.record(index != 0, 0.01)
+        assert tracker.burn_rate(300.0) == pytest.approx(1.0)
+
+    def test_total_outage_burns_at_full_rate(self, tracker):
+        for _ in range(10):
+            tracker.record(False)
+        assert tracker.burn_rate(300.0) == pytest.approx(100.0)
+
+    def test_snapshot_shape(self, tracker):
+        tracker.record(True, 0.01)
+        snap = tracker.snapshot()
+        assert snap["availability_target"] == 0.99
+        assert snap["window"]["requests"] == 1
+        assert snap["fast_window"]["requests"] == 1
+        assert snap["burn_rate"] == 0.0
+        assert snap["error_budget_remaining"] == 1.0
+        assert snap["latency_objective_met"] is True
+        assert snap["total_requests"] == 1
+
+    def test_summary_is_compact(self, tracker):
+        tracker.record(False)
+        summary = tracker.summary()
+        assert set(summary) == {
+            "availability",
+            "latency_compliance",
+            "burn_rate",
+            "fast_burn_rate",
+        }
+        assert summary["availability"] == 0.0
+
+
+class TestGauges:
+    def test_export_gauges_labeled_by_window(self, tracker):
+        tracker.record(True, 0.01)
+        tracker.record(False)
+        registry = MetricsRegistry()
+        tracker.export_gauges(registry)
+        snapshot = registry.snapshot()
+        gauges = snapshot["gauges"]
+        assert gauges['slo_availability{window="fast"}'] == pytest.approx(0.5)
+        assert gauges['slo_availability{window="slow"}'] == pytest.approx(0.5)
+        assert gauges['slo_burn_rate{window="fast"}'] == pytest.approx(50.0)
+        assert gauges["slo_error_budget_remaining"] == 0.0
