@@ -16,6 +16,10 @@ Subcommands mirror the lifecycle of a COLD study:
   written as ``BENCH_gibbs.json``; with ``--parallel``, the parallel
   scaling benchmark over cluster nodes, written as
   ``BENCH_parallel.json``;
+* ``profile``   — phase-attribute sweep wall time with the training-plane
+  performance observatory (:mod:`repro.telemetry.profiler`): attribution
+  table, collapsed-stack output for flamegraphs, worker utilization and
+  memory gauges;
 * ``monitor``   — tail a (live or finished) run's ``metrics.jsonl``:
   sweep rate, log-likelihood trend, ETA;
 * ``diagnose``  — convergence verdict for a run: split-R̂ / ESS across
@@ -386,6 +390,81 @@ def _add_bench(subparsers: argparse._SubParsersAction) -> None:
         "--equivalence-sweeps", type=int, default=2,
         help="sweeps of the --parallel draws_match equivalence check",
     )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="after the run, diff the new numbers against a baseline and "
+        "print per-metric verdicts (ok/improved/regressed)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="REF_OR_FILE",
+        help="baseline for --compare: a BENCH json file, a .jsonl ledger "
+        "(last matching record wins), or a git ref holding the committed "
+        "snapshot (default: the snapshot at the output path before this "
+        "run overwrites it)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=None, metavar="FRACTION",
+        help="relative change counted as a regression/improvement for "
+        "--compare (default: 0.10)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="with --compare: exit nonzero when any metric regressed",
+    )
+    parser.add_argument(
+        "--history", type=Path, default=None, metavar="PATH",
+        help="benchmark regression ledger to append this run to "
+        "(default: benchmarks/history.jsonl)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="skip the ledger append",
+    )
+
+
+def _add_profile(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "profile",
+        help="phase-attribute Gibbs sweep wall time (training-plane "
+        "performance observatory)",
+    )
+    parser.add_argument(
+        "--case", choices=["smoke", "medium"], default="medium",
+        help="benchmark corpus to profile (default: medium)",
+    )
+    parser.add_argument(
+        "--sweeps", type=int, default=5,
+        help="instrumented sweeps to attribute (default: 5)",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=2,
+        help="dark warmup sweeps before timing, serial executor only "
+        "(default: 2)",
+    )
+    parser.add_argument(
+        "--executor", choices=["serial", "simulated", "threads", "processes"],
+        default="serial",
+        help="profile the serial kernels directly, or a parallel "
+        "executor's full superstep loop (default: serial)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=2,
+        help="cluster nodes for a parallel executor (default: 2)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for --executor processes "
+        "(default: one per node)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the full report record as JSON",
+    )
+    parser.add_argument(
+        "--collapsed", type=Path, default=None, metavar="PATH",
+        help="also write collapsed-stack lines (flamegraph.pl / speedscope "
+        "input)",
+    )
 
 
 def _add_monitor(subparsers: argparse._SubParsersAction) -> None:
@@ -645,6 +724,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_report(subparsers)
     _add_predict(subparsers)
     _add_bench(subparsers)
+    _add_profile(subparsers)
     _add_monitor(subparsers)
     _add_diagnose(subparsers)
     _add_serve(subparsers)
@@ -1015,6 +1095,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             output = Path("BENCH_streaming.json")
         else:
             output = Path("BENCH_gibbs.json")
+    baseline = None
+    if args.compare:
+        # Read the baseline *before* the run overwrites the snapshot at
+        # the output path (the default baseline when no --baseline given).
+        from .perf import resolve_baseline
+
+        baseline = resolve_baseline(args.baseline, output)
     print(f"benchmarking {len(cases)} case(s): {', '.join(c.name for c in cases)}")
 
     if args.streaming:
@@ -1033,8 +1120,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"equivalent={record['equivalent']}, "
                 f"peak rss {record['peak_rss_mb']:.0f}MB"
             )
-        print(f"wrote benchmark -> {output}")
-        return 0
+        return _bench_finish(payload, output, args, baseline)
 
     if args.serving:
         payload = write_serving_benchmark(
@@ -1051,8 +1137,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"{record['errors']} errors, "
                 f"peak rss {record['peak_rss_mb']:.0f}MB"
             )
-        print(f"wrote benchmark -> {output}")
-        return 0
+        return _bench_finish(payload, output, args, baseline)
 
     if args.diagnostics:
         payload = write_diagnostics_benchmark(
@@ -1073,8 +1158,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"draws_match={record['draws_match']}, "
                 f"peak rss {record['peak_rss_mb']:.0f}MB"
             )
-        print(f"wrote benchmark -> {output}")
-        return 0
+        return _bench_finish(payload, output, args, baseline)
 
     if args.parallel:
         payload = write_parallel_benchmark(
@@ -1117,8 +1201,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"(mmap processes vs in-RAM simulated at "
                 f"{packed['draws_match_users']} users)"
             )
-        print(f"wrote benchmark -> {output}")
-        return 0
+        return _bench_finish(payload, output, args, baseline)
 
     payload = write_benchmark(
         output,
@@ -1135,7 +1218,97 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"draws_match={record['draws_match']}, "
             f"peak rss {record['peak_rss_mb']:.0f}MB"
         )
+    return _bench_finish(payload, output, args, baseline)
+
+
+def _bench_finish(
+    payload: dict,
+    output: Path,
+    args: argparse.Namespace,
+    baseline: dict | None,
+) -> int:
+    """Ledger append + baseline comparison shared by every bench suite."""
+    from .perf import (
+        DEFAULT_COMPARE_THRESHOLD,
+        DEFAULT_HISTORY_PATH,
+        append_history,
+        compare_benchmarks,
+        comparison_regressed,
+        machine_fingerprint,
+        render_comparison,
+    )
+
     print(f"wrote benchmark -> {output}")
+    if not args.no_history:
+        history = args.history if args.history is not None else DEFAULT_HISTORY_PATH
+        append_history(payload, history)
+        print(f"appended run to ledger -> {history}")
+    if not args.compare:
+        return 0
+    if baseline is None:
+        spec = args.baseline if args.baseline is not None else str(output)
+        print(f"no baseline found at {spec}; nothing to compare")
+        return 0
+    base_machine = baseline.get("machine")
+    if base_machine is not None and base_machine != machine_fingerprint():
+        print(
+            "warning: baseline was recorded on a different machine; "
+            "verdicts may reflect hardware, not code"
+        )
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_COMPARE_THRESHOLD
+    )
+    verdicts = compare_benchmarks(payload, baseline, threshold=threshold)
+    print(render_comparison(verdicts))
+    if args.strict and comparison_regressed(verdicts):
+        print("error: benchmark regression detected", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .perf import MEDIUM, SMOKE, run_profile_case
+    from .telemetry.profiler import render_profile_report
+
+    if args.sweeps <= 0:
+        raise TelemetryError("--sweeps must be positive")
+    case = {"smoke": SMOKE, "medium": MEDIUM}[args.case]
+    label = (
+        "serial kernels"
+        if args.executor == "serial"
+        else f"{args.executor} executor, {args.nodes} node(s)"
+    )
+    print(f"profiling {case.name} case: {args.sweeps} sweep(s), {label}")
+    record = run_profile_case(
+        case,
+        sweeps=args.sweeps,
+        warmup=args.warmup,
+        executor=args.executor,
+        nodes=args.nodes,
+        num_workers=args.workers,
+    )
+    print(render_profile_report(record))
+    if record["utilization"] is not None:
+        util = record["utilization"]
+        print(
+            f"workers: busy {util['busy_fraction']:.0%} of sweep wall, "
+            f"straggler ratio {util['straggler_ratio']:.2f}x"
+        )
+    memory = record["memory"]
+    print(
+        f"memory: peak rss {memory['rss_peak_mb']:.0f}MB, "
+        f"{memory['major_page_faults']} major page fault(s)"
+    )
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps(record, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote profile json -> {args.json}")
+    if args.collapsed is not None:
+        args.collapsed.write_text(record["collapsed"], encoding="utf-8")
+        print(f"wrote collapsed stacks -> {args.collapsed}")
     return 0
 
 
@@ -1344,6 +1517,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "predict": _cmd_predict,
     "bench": _cmd_bench,
+    "profile": _cmd_profile,
     "monitor": _cmd_monitor,
     "diagnose": _cmd_diagnose,
     "serve": _cmd_serve,

@@ -36,6 +36,7 @@ from ..resilience.checkpoint import (
 )
 from ..telemetry import tracing as trace
 from ..telemetry.logconfig import get_logger
+from ..telemetry.profiler import memory_gauges
 from ..telemetry.session import TelemetrySession
 from .config import COLDConfig, StreamConfig
 from .estimates import ParameterEstimates, average_estimates, estimate_from_state
@@ -551,12 +552,19 @@ class COLDModel:
                     metrics.counter("gibbs_draws_total").inc(draws_per_sweep)
                     metrics.histogram("sweep_seconds").observe(wall_seconds)
                     metrics.gauge("sweep").set(iteration)
+                    memory = memory_gauges()
+                    metrics.gauge("rss_peak_mb").set(memory["rss_peak_mb"])
+                    metrics.gauge("major_page_faults").set(
+                        memory["major_page_faults"]
+                    )
                     record = {
                         "sweep": iteration,
                         "total_sweeps": num_iterations,
                         "wall_seconds": wall_seconds,
                         "cpu_seconds": cpu_seconds,
                         "rng_draws": draws_per_sweep,
+                        "rss_peak_mb": memory["rss_peak_mb"],
+                        "major_page_faults": memory["major_page_faults"],
                         "churn": {
                             "post_comm": int(
                                 np.count_nonzero(state.post_comm != before[0])

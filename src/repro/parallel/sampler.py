@@ -43,7 +43,9 @@ from ..core.state import CountState
 from ..datasets.corpus import SocialCorpus
 from ..resilience.faults import FaultError, FaultPlan
 from ..resilience.retry import RetryPolicy
+from ..telemetry import profiler as profiling
 from ..telemetry.logconfig import get_logger
+from ..telemetry.profiler import memory_gauges, worker_utilization
 from ..telemetry.session import TelemetrySession
 from .engine import ClusterReport, EngineError, SimulatedCluster
 from .graph import ComputationGraph
@@ -303,6 +305,25 @@ class ParallelCOLDSampler:
                         state, hp, shards, cluster, node_rngs, iteration, pool
                     )
                     sweep_wall = time.perf_counter() - sweep_start
+                    prof = profiling.get_profiler()
+                    if prof is not None:
+                        # Parent-side phase attribution of the superstep:
+                        # the dispatch window splits into the slowest
+                        # node's compute and the synchronisation overhead
+                        # beyond it (the engine's barrier reading), so the
+                        # leaves sum to the superstep wall alongside
+                        # snapshot + merge.
+                        prof.add(("dispatch",), report.dispatch_wall_seconds)
+                        prof.add(
+                            ("dispatch", "compute"),
+                            report.dispatch_wall_seconds
+                            - report.barrier_seconds,
+                        )
+                        if report.barrier_seconds:
+                            prof.add(
+                                ("dispatch", "barrier"), report.barrier_seconds
+                            )
+                        prof.add(("merge",), report.merge_seconds)
                     supersteps.append(report)
                     if self.verify_recovery and report.retries:
                         # The superstep replayed at least one node (or re-ran
@@ -363,8 +384,9 @@ class ParallelCOLDSampler:
             return self._process_superstep(
                 state, shards, cluster, node_rngs, iteration, pool
             )
-        snapshot = _Snapshot.of(state)
-        locals_ = [snapshot.local_state(state) for _ in shards]
+        with profiling.phase("snapshot"):
+            snapshot = _Snapshot.of(state)
+            locals_ = [snapshot.local_state(state) for _ in shards]
         attempt_counters = [0] * len(shards)
         plan = cluster.fault_plan
 
@@ -452,8 +474,9 @@ class ParallelCOLDSampler:
         worker's consumed draws are lost, so the replay restarts from the
         pre-attempt RNG state.
         """
-        snapshot = _Snapshot.of(state)
-        pool.begin_superstep(state)
+        with profiling.phase("snapshot"):
+            snapshot = _Snapshot.of(state)
+            pool.begin_superstep(state)
         plan = cluster.fault_plan
         attempt_counters = [0] * len(shards)
         node_degenerates = [0] * len(shards)
@@ -550,6 +573,18 @@ class ParallelCOLDSampler:
         if report.barrier_seconds:
             metrics.histogram("barrier_seconds").observe(report.barrier_seconds)
         metrics.gauge("sweep").set(iteration)
+        utilization = worker_utilization(
+            [t.seconds for t in report.node_timings],
+            [t.compute_seconds for t in report.node_timings],
+            sweep_wall,
+        )
+        metrics.gauge("worker_busy_fraction").set(utilization["busy_fraction"])
+        metrics.gauge("worker_straggler_ratio").set(
+            utilization["straggler_ratio"]
+        )
+        memory = memory_gauges(include_children=self.executor == "processes")
+        metrics.gauge("rss_peak_mb").set(memory["rss_peak_mb"])
+        metrics.gauge("major_page_faults").set(memory["major_page_faults"])
 
         record = {
             "sweep": iteration,
@@ -566,6 +601,10 @@ class ParallelCOLDSampler:
             "retries": retries,
             "merge_attempts": report.merge_attempts,
             "rng_draws": draws,
+            "busy_fraction": utilization["busy_fraction"],
+            "straggler_ratio": utilization["straggler_ratio"],
+            "rss_peak_mb": memory["rss_peak_mb"],
+            "major_page_faults": memory["major_page_faults"],
         }
         if churn is not None:
             record["churn"] = churn

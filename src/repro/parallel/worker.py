@@ -64,6 +64,7 @@ from ..core.gibbs import sweep
 from ..core.params import Hyperparameters
 from ..core.state import CountState, PostTable
 from ..resilience.faults import FaultError
+from ..telemetry import profiler as profiling
 from ..telemetry import tracing
 from ..telemetry.logconfig import ROOT_LOGGER_NAME, BufferingLogHandler, get_logger
 from ..telemetry.session import NULL_SESSION, TelemetrySession
@@ -137,6 +138,7 @@ def worker_main(worker_id: int, init: dict, conn) -> None:
     worker's buffers die with it, exactly like its draws.
     """
     import logging
+    from contextlib import nullcontext
 
     telemetry_cfg = init.get("telemetry") or {}
     log_buffer: BufferingLogHandler | None = None
@@ -151,6 +153,19 @@ def worker_main(worker_id: int, init: dict, conn) -> None:
             tracer = tracing.Tracer()
             tracing.set_tracer(tracer)
         _log.debug("worker %d ready (pid %d)", worker_id, os.getpid())
+    # Phase profiling is independent of the metrics/trace session: a
+    # ``cold profile`` run ships ``profile: True`` with no files at all.
+    # The worker's phases travel home in every reply (``profile`` key) and
+    # the parent folds them in under a ``worker`` prefix.
+    shard_profiler: profiling.PhaseProfiler | None = None
+    if telemetry_cfg.get("profile"):
+        shard_profiler = profiling.PhaseProfiler()
+        profiling.set_profiler(shard_profiler)
+
+    def _phase(name: str):
+        if shard_profiler is None:
+            return nullcontext()
+        return shard_profiler.phase(name)
     blocks = {
         key: SharedArrayBlock.attach(spec) for key, spec in init["blocks"].items()
     }
@@ -196,63 +211,77 @@ def worker_main(worker_id: int, init: dict, conn) -> None:
             break
         _, node, crash_progress, rng_state = command
         try:
-            rng.bit_generator.state = rng_state
-            cpu_start = time.process_time()
-            wall_start = time.perf_counter()
-            if local is None:
-                local = CountState(
-                    num_communities=init["num_communities"],
-                    num_topics=init["num_topics"],
-                    posts=posts,
-                    links=links,
-                    **{name: snapshot[name].copy() for name in COUNTER_FIELDS},
-                    **{name: data[name] for name in ASSIGNMENT_FIELDS},
-                )
-                cache = SweepCache(local, hp) if init["fast"] else None
-            else:
-                for name in COUNTER_FIELDS:
-                    np.copyto(getattr(local, name), snapshot[name])
-                local.degenerate_draws = 0
-                if cache is not None:
-                    cache.refresh(local)
-            post_order = data["shard_posts"][post_offsets[node] : post_offsets[node + 1]]
-            link_order = data["shard_links"][link_offsets[node] : link_offsets[node + 1]]
-            if log_buffer is not None:
-                _log.debug(
-                    "worker %d: shard %d (%d posts, %d links)",
-                    worker_id,
-                    node,
-                    len(post_order),
-                    len(link_order),
-                )
-            if crash_progress is not None:
-                # Die for real mid-shard: resample a fraction of the posts
-                # (corrupting this shard's shared assignment slots exactly
-                # like the in-process fault injection), then exit without
-                # replying.  The parent sees the broken pipe.
-                done = int(len(post_order) * crash_progress)
-                sweep(
-                    local,
-                    hp,
-                    rng,
-                    post_order=post_order[:done],
-                    link_order=link_order[:0],
-                    cache=cache,
-                )
-                os._exit(_CRASH_EXIT)
-            with tracing.span("worker_shard", node=node, worker=worker_id):
-                sweep(
-                    local,
-                    hp,
-                    rng,
-                    post_order=post_order,
-                    link_order=link_order,
-                    cache=cache,
-                )
-            for name in COUNTER_FIELDS:
-                np.subtract(
-                    getattr(local, name), snapshot[name], out=deltas[name][node]
-                )
+            with _phase("shard"):
+                rng.bit_generator.state = rng_state
+                cpu_start = time.process_time()
+                wall_start = time.perf_counter()
+                if local is None:
+                    with _phase("reset"):
+                        local = CountState(
+                            num_communities=init["num_communities"],
+                            num_topics=init["num_topics"],
+                            posts=posts,
+                            links=links,
+                            **{
+                                name: snapshot[name].copy()
+                                for name in COUNTER_FIELDS
+                            },
+                            **{name: data[name] for name in ASSIGNMENT_FIELDS},
+                        )
+                    cache = SweepCache(local, hp) if init["fast"] else None
+                else:
+                    with _phase("reset"):
+                        for name in COUNTER_FIELDS:
+                            np.copyto(getattr(local, name), snapshot[name])
+                        local.degenerate_draws = 0
+                    if cache is not None:
+                        cache.refresh(local)
+                post_order = data["shard_posts"][
+                    post_offsets[node] : post_offsets[node + 1]
+                ]
+                link_order = data["shard_links"][
+                    link_offsets[node] : link_offsets[node + 1]
+                ]
+                if log_buffer is not None:
+                    _log.debug(
+                        "worker %d: shard %d (%d posts, %d links)",
+                        worker_id,
+                        node,
+                        len(post_order),
+                        len(link_order),
+                    )
+                if crash_progress is not None:
+                    # Die for real mid-shard: resample a fraction of the
+                    # posts (corrupting this shard's shared assignment
+                    # slots exactly like the in-process fault injection),
+                    # then exit without replying.  The parent sees the
+                    # dead pipe.
+                    done = int(len(post_order) * crash_progress)
+                    sweep(
+                        local,
+                        hp,
+                        rng,
+                        post_order=post_order[:done],
+                        link_order=link_order[:0],
+                        cache=cache,
+                    )
+                    os._exit(_CRASH_EXIT)
+                with tracing.span("worker_shard", node=node, worker=worker_id):
+                    sweep(
+                        local,
+                        hp,
+                        rng,
+                        post_order=post_order,
+                        link_order=link_order,
+                        cache=cache,
+                    )
+                with _phase("delta_write"):
+                    for name in COUNTER_FIELDS:
+                        np.subtract(
+                            getattr(local, name),
+                            snapshot[name],
+                            out=deltas[name][node],
+                        )
             payload = {
                 "node": node,
                 "seconds": time.process_time() - cpu_start,
@@ -265,6 +294,8 @@ def worker_main(worker_id: int, init: dict, conn) -> None:
                 payload["logs"] = log_buffer.drain()
             if tracer is not None:
                 payload["spans"] = tracer.drain()
+            if shard_profiler is not None:
+                payload["profile"] = shard_profiler.drain()
             conn.send(("ok", payload))
         except Exception:
             conn.send(("error", traceback.format_exc()))

@@ -76,22 +76,37 @@ from .parallel.sampler import ParallelCOLDSampler
 from .resilience.checkpoint import atomic_write_text
 
 __all__ = [
+    "DEFAULT_COMPARE_THRESHOLD",
+    "DEFAULT_HISTORY_PATH",
     "MEDIUM",
     "PACKED_SCALES",
     "SMOKE",
     "BenchCase",
+    "append_history",
+    "comparable_metrics",
+    "compare_benchmarks",
+    "comparison_regressed",
     "diagnostics_draws_match",
     "draws_match",
+    "environment_stamp",
+    "machine_fingerprint",
+    "metric_direction",
     "packed_draws_match",
     "packed_scale_config",
     "parallel_draws_match",
     "peak_rss_mb",
+    "profiler_draws_match",
+    "read_history",
+    "render_comparison",
+    "resolve_baseline",
     "run_benchmark",
     "run_case",
     "run_diagnostics_overhead_case",
     "run_packed_scaling_case",
     "run_parallel_benchmark",
     "run_parallel_case",
+    "run_profile_case",
+    "run_profiler_overhead_case",
     "run_serving_case",
     "run_streaming_benchmark",
     "run_streaming_case",
@@ -287,8 +302,7 @@ def run_benchmark(
     return {
         "benchmark": "collapsed Gibbs sweep, reference vs fast kernels",
         "harness": "repro.perf",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        **environment_stamp(),
         "method": {
             "warmup_sweeps": warmup,
             "reps": reps,
@@ -601,8 +615,7 @@ def write_diagnostics_benchmark(
     payload = {
         "benchmark": "quality-streaming diagnostics overhead per Gibbs sweep",
         "harness": "repro.perf",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        **environment_stamp(),
         "method": {
             "sweeps": sweeps,
             "reps": reps,
@@ -882,8 +895,7 @@ def write_serving_benchmark(
     payload = {
         "benchmark": "prediction serving layer, QPS and client-side latency",
         "harness": "repro.perf",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        **environment_stamp(),
         "cpu_count": os.cpu_count(),
         "method": {
             "num_requests": num_requests,
@@ -1032,8 +1044,7 @@ def run_parallel_benchmark(
     return {
         "benchmark": "parallel COLD sampling, scaling over cluster nodes",
         "harness": "repro.perf",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        **environment_stamp(),
         "cpu_count": os.cpu_count(),
         "method": {
             "sweeps": sweeps,
@@ -1252,8 +1263,7 @@ def run_streaming_benchmark(
     return {
         "benchmark": "incremental stream updates vs full batch refit",
         "harness": "repro.perf",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        **environment_stamp(),
         "method": {
             "num_updates": num_updates,
             "bootstrap_fraction": bootstrap_fraction,
@@ -1566,3 +1576,474 @@ def write_streaming_benchmark(
     )
     atomic_write_text(Path(path), json.dumps(payload, indent=2) + "\n")
     return payload
+
+
+# ---------------------------------------------------------------------------
+# environment stamping — who produced a benchmark number
+# ---------------------------------------------------------------------------
+
+
+def _cpu_model() -> str | None:
+    """Human-readable CPU model, best-effort (``/proc/cpuinfo`` on Linux)."""
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    model = platform.processor() or platform.machine()
+    return model or None
+
+
+def machine_fingerprint() -> dict:
+    """The hardware/runtime identity a benchmark number depends on.
+
+    Two ledger entries are comparable only when their fingerprints match;
+    ``cold bench --compare`` prints a warning, not a verdict, across
+    differing machines.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "cpu_model": _cpu_model(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def environment_stamp() -> dict:
+    """The block every ``BENCH_*.json`` payload and ledger entry carries.
+
+    Keeps the historical top-level ``python``/``numpy`` keys (older
+    committed snapshots have only those) and adds ``git_describe`` plus
+    the full :func:`machine_fingerprint`.
+    """
+    from .telemetry.manifest import git_describe
+
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "git_describe": git_describe(),
+        "machine": machine_fingerprint(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# benchmark regression ledger + snapshot comparison
+# ---------------------------------------------------------------------------
+
+#: Where ``cold bench`` appends one record per run (repo-relative).
+DEFAULT_HISTORY_PATH = Path("benchmarks") / "history.jsonl"
+
+#: Relative change beyond which a metric is a regression/improvement.
+DEFAULT_COMPARE_THRESHOLD = 0.10
+
+_HIGHER_BETTER_PATTERNS = ("speedup", "qps", "per_second", "throughput")
+_LOWER_BETTER_PATTERNS = ("seconds", "latency", "_ms", "rss", "overhead")
+
+
+def metric_direction(name: str) -> str | None:
+    """``"higher"``/``"lower"``-is-better classification of a metric key.
+
+    Returns ``None`` for keys that are not performance metrics (config
+    sizes, counts, booleans), which :func:`comparable_metrics` skips.
+    Higher-better patterns win ties (``events_per_second`` contains both
+    ``per_second`` and ``seconds``).
+    """
+    key = name.rsplit(".", 1)[-1].lower()
+    if any(pattern in key for pattern in _HIGHER_BETTER_PATTERNS):
+        return "higher"
+    if any(pattern in key for pattern in _LOWER_BETTER_PATTERNS):
+        return "lower"
+    return None
+
+
+def _walk_metrics(node: object, prefix: str, out: dict[str, float]) -> None:
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if isinstance(value, (dict, list)):
+                _walk_metrics(value, f"{prefix}{key}.", out)
+            elif (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and metric_direction(key)
+            ):
+                out[f"{prefix}{key}"] = float(value)
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            label: object = index
+            if isinstance(item, dict):
+                for id_key in ("name", "nodes", "users", "scale"):
+                    value = item.get(id_key)
+                    if isinstance(value, (str, int)):
+                        label = value
+                        break
+            _walk_metrics(item, f"{prefix}{label}.", out)
+
+
+def comparable_metrics(payload: dict) -> dict[str, float]:
+    """Flatten a benchmark payload into ``{dotted.metric: value}``.
+
+    Walks the ``cases``/``scaling`` structures, labelling list entries by
+    their ``name``/``nodes``/``users`` field, and keeps only keys
+    :func:`metric_direction` can classify — so config dimensions and
+    equivalence booleans never produce spurious verdicts.
+    """
+    out: dict[str, float] = {}
+    cases = payload.get("cases", payload.get("scaling"))
+    _walk_metrics(cases if cases is not None else payload, "", out)
+    return out
+
+
+def _metrics_of(obj: dict) -> dict[str, float]:
+    """Metrics of either a full payload or a ledger record."""
+    metrics = obj.get("metrics")
+    if isinstance(metrics, dict) and all(
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+        for value in metrics.values()
+    ):
+        return {key: float(value) for key, value in metrics.items()}
+    return comparable_metrics(obj)
+
+
+def append_history(
+    payload: dict, path: str | Path = DEFAULT_HISTORY_PATH
+) -> dict:
+    """Append one run's record to the benchmark regression ledger.
+
+    The ledger is append-only JSONL via the telemetry plane's
+    :class:`~repro.telemetry.metrics.JsonlWriter` — per-record flush,
+    fresh-line salvage after a torn write — so killed runs never corrupt
+    the history and readers tolerate a truncated tail.
+    """
+    from .telemetry.metrics import JsonlWriter
+
+    record = {
+        "benchmark": payload.get("benchmark"),
+        "git_describe": payload.get("git_describe"),
+        "machine": payload.get("machine"),
+        "metrics": _metrics_of(payload),
+    }
+    with JsonlWriter(path) as writer:
+        return writer.write("bench", **record)
+
+
+def read_history(
+    path: str | Path = DEFAULT_HISTORY_PATH, benchmark: str | None = None
+) -> list[dict]:
+    """Complete ledger records (torn tail skipped), optionally filtered."""
+    from .telemetry.metrics import read_jsonl
+
+    records = [
+        record
+        for record in read_jsonl(path)
+        if record.get("kind") == "bench"
+    ]
+    if benchmark is not None:
+        records = [r for r in records if r.get("benchmark") == benchmark]
+    return records
+
+
+def compare_benchmarks(
+    current: dict,
+    baseline: dict,
+    threshold: float = DEFAULT_COMPARE_THRESHOLD,
+) -> list[dict]:
+    """Per-metric verdicts of ``current`` against ``baseline``.
+
+    Both sides may be full benchmark payloads or ledger records.  Only
+    metrics present on both sides are judged; a verdict is ``regressed``
+    when the metric moved more than ``threshold`` in its bad direction,
+    ``improved`` beyond the threshold the other way, else ``ok``.
+    """
+    cur = _metrics_of(current)
+    base = _metrics_of(baseline)
+    verdicts = []
+    for name in sorted(set(cur) & set(base)):
+        direction = metric_direction(name)
+        if direction is None or base[name] <= 0:
+            continue
+        ratio = cur[name] / base[name]
+        if direction == "lower":
+            worse, better = ratio > 1.0 + threshold, ratio < 1.0 - threshold
+        else:
+            worse, better = ratio < 1.0 - threshold, ratio > 1.0 + threshold
+        verdicts.append(
+            {
+                "metric": name,
+                "current": cur[name],
+                "baseline": base[name],
+                "ratio": round(ratio, 4),
+                "direction": direction,
+                "verdict": (
+                    "regressed" if worse else "improved" if better else "ok"
+                ),
+            }
+        )
+    return verdicts
+
+
+def comparison_regressed(verdicts: list[dict]) -> bool:
+    """True when any metric regressed — the ``--strict`` exit condition."""
+    return any(row["verdict"] == "regressed" for row in verdicts)
+
+
+def render_comparison(verdicts: list[dict]) -> str:
+    """The per-metric verdict table ``cold bench --compare`` prints."""
+    if not verdicts:
+        return "no overlapping metrics to compare"
+    width = max(len(row["metric"]) for row in verdicts)
+    lines = [
+        f"{'metric':<{width}}  {'current':>12}  {'baseline':>12}  "
+        f"{'ratio':>7}  verdict"
+    ]
+    for row in verdicts:
+        lines.append(
+            f"{row['metric']:<{width}}  {row['current']:>12.5g}  "
+            f"{row['baseline']:>12.5g}  {row['ratio']:>7.3f}  {row['verdict']}"
+        )
+    counts = {"ok": 0, "improved": 0, "regressed": 0}
+    for row in verdicts:
+        counts[row["verdict"]] += 1
+    lines.append(
+        f"{counts['ok']} ok, {counts['improved']} improved, "
+        f"{counts['regressed']} regressed"
+    )
+    return "\n".join(lines)
+
+
+def resolve_baseline(
+    spec: str | None,
+    snapshot_path: str | Path,
+    benchmark: str | None = None,
+) -> dict | None:
+    """Find the baseline a run should be compared against.
+
+    ``spec`` may be a file path (a BENCH snapshot, or a ``.jsonl`` ledger
+    whose last matching record wins), a git ref (the committed snapshot
+    at that ref is read via ``git show``), or ``None`` to use whatever is
+    at ``snapshot_path`` right now — which is why the CLI loads the
+    baseline *before* overwriting the snapshot.  Returns ``None`` when no
+    baseline can be found.
+    """
+    snapshot_path = Path(snapshot_path)
+    if spec is not None:
+        candidate = Path(spec)
+        if candidate.exists():
+            if candidate.suffix == ".jsonl":
+                records = read_history(candidate, benchmark=benchmark)
+                return records[-1] if records else None
+            try:
+                return json.loads(candidate.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                return None
+        return _git_show_json(spec, snapshot_path)
+    if snapshot_path.exists():
+        try:
+            return json.loads(snapshot_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+    return None
+
+
+def _git_show_json(ref: str, path: Path) -> dict | None:
+    """``git show ref:path`` parsed as JSON; ``None`` on any failure."""
+    import subprocess
+
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=True,
+        ).stdout.strip()
+        relative = os.path.relpath(path.resolve(), top)
+        shown = subprocess.run(
+            ["git", "show", f"{ref}:{relative}"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=True,
+        ).stdout
+        return json.loads(shown)
+    except Exception:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# phase profiling harness — `cold profile`
+# ---------------------------------------------------------------------------
+
+
+def run_profile_case(
+    case: BenchCase,
+    sweeps: int = 5,
+    warmup: int = 2,
+    executor: str = "serial",
+    nodes: int = 2,
+    num_workers: int | None = None,
+) -> dict:
+    """Run ``sweeps`` instrumented sweeps and build the attribution report.
+
+    ``executor="serial"`` profiles the fast serial kernels directly
+    (``warmup`` dark sweeps first, so the report measures warmed sweeps);
+    any :class:`~repro.parallel.sampler.ParallelCOLDSampler` executor
+    profiles a parallel fit, with worker shard phases shipped home over
+    the reply pipe and the per-sweep wall read back from a throwaway
+    metrics file (which also exercises the utilization gauges).  The
+    returned record embeds the report, the collapsed-stack text, and the
+    utilization/memory summary — everything ``cold profile`` renders.
+    """
+    from .telemetry import profiler as profiling
+    from .telemetry.metrics import read_jsonl
+    from .telemetry.profiler import memory_gauges
+
+    corpus = case.build_corpus()
+    prof = profiling.PhaseProfiler()
+    utilization = None
+    if executor == "serial":
+        hp = Hyperparameters.default(
+            case.num_communities, case.num_topics, corpus
+        )
+        rng = np.random.default_rng(case.seed)
+        state = CountState.initialize(
+            corpus, case.num_communities, case.num_topics, rng
+        )
+        cache = SweepCache(state, hp)
+        for _ in range(warmup):
+            sweep(state, hp, rng, cache=cache)
+        previous = profiling.set_profiler(prof)
+        total_wall = 0.0
+        try:
+            for _ in range(sweeps):
+                start = time.perf_counter()
+                sweep(state, hp, rng, cache=cache)
+                total_wall += time.perf_counter() - start
+        finally:
+            profiling.set_profiler(previous)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            metrics_path = Path(tmp) / "metrics.jsonl"
+            previous = profiling.set_profiler(prof)
+            try:
+                ParallelCOLDSampler(
+                    num_communities=case.num_communities,
+                    num_topics=case.num_topics,
+                    num_nodes=nodes,
+                    executor=executor,
+                    num_workers=num_workers,
+                    seed=case.seed,
+                    metrics_out=metrics_path,
+                ).fit(corpus, num_iterations=sweeps)
+            finally:
+                profiling.set_profiler(previous)
+            records = [
+                r for r in read_jsonl(metrics_path) if r.get("kind") == "sweep"
+            ]
+        total_wall = sum(r["wall_seconds"] for r in records)
+        if records:
+            utilization = {
+                "busy_fraction": round(
+                    sum(r["busy_fraction"] for r in records) / len(records), 4
+                ),
+                "straggler_ratio": round(
+                    sum(r["straggler_ratio"] for r in records) / len(records),
+                    4,
+                ),
+            }
+    report = profiling.build_profile_report(prof, total_wall, sweeps)
+    return {
+        "name": case.name,
+        "config": asdict(case),
+        "executor": executor,
+        "nodes": 1 if executor == "serial" else nodes,
+        "sweeps": sweeps,
+        **report,
+        "utilization": utilization,
+        "memory": memory_gauges(include_children=executor == "processes"),
+        "collapsed": profiling.render_collapsed(prof),
+        **environment_stamp(),
+    }
+
+
+def profiler_draws_match(
+    corpus: SocialCorpus, case: BenchCase, num_sweeps: int = 3
+) -> bool:
+    """True iff profiled and dark fits draw the identical chain.
+
+    The profiled sweep variant is a separate code path
+    (:func:`~repro.core.fastgibbs.fast_sweep_profiled`), so this is the
+    strongest claim the gate makes: same weights, same RNG consumption,
+    op for op.
+    """
+    from .telemetry import profiler as profiling
+
+    states = []
+    for enabled in (False, True):
+        model = COLDModel(
+            num_communities=case.num_communities,
+            num_topics=case.num_topics,
+            seed=case.seed + 1,
+        )
+        previous = profiling.set_profiler(
+            profiling.PhaseProfiler() if enabled else None
+        )
+        try:
+            model.fit(corpus, num_iterations=num_sweeps, likelihood_interval=1)
+        finally:
+            profiling.set_profiler(previous)
+        assert model.state_ is not None
+        states.append(model.state_)
+    return _states_identical(*states)
+
+
+def run_profiler_overhead_case(
+    case: BenchCase,
+    sweeps: int = 8,
+    reps: int = 6,
+    equivalence_sweeps: int = 3,
+) -> dict:
+    """Per-sweep cost of profiling on vs off; JSON-ready record.
+
+    Same ABBA/min-floor discipline as
+    :func:`run_telemetry_overhead_case`: each rep times a dark fit and a
+    fit with an active :class:`~repro.telemetry.profiler.PhaseProfiler`
+    (which routes sweeps through the instrumented kernel twin),
+    alternating order so machine drift hits both modes equally.  The
+    perf gate asserts ``overhead_fraction`` stays under 3%.
+    """
+    from .telemetry import profiler as profiling
+
+    corpus = case.build_corpus()
+    best = {"off": math.inf, "on": math.inf}
+    for rep in range(reps):
+        order = ("off", "on") if rep % 2 == 0 else ("on", "off")
+        for mode in order:
+            model = COLDModel(
+                num_communities=case.num_communities,
+                num_topics=case.num_topics,
+                seed=case.seed,
+            )
+            previous = profiling.set_profiler(
+                profiling.PhaseProfiler() if mode == "on" else None
+            )
+            try:
+                timed = _timed_fit_min_sweep_seconds(model, corpus, sweeps)
+            finally:
+                profiling.set_profiler(previous)
+            best[mode] = min(best[mode], timed)
+    return {
+        "name": case.name,
+        "config": asdict(case),
+        "sweeps": sweeps,
+        "reps": reps,
+        "off_seconds_per_sweep": round(best["off"], 5),
+        "on_seconds_per_sweep": round(best["on"], 5),
+        "overhead_fraction": round(best["on"] / best["off"] - 1.0, 4),
+        "draws_match": profiler_draws_match(
+            corpus, case, num_sweeps=equivalence_sweeps
+        ),
+        "peak_rss_mb": peak_rss_mb(),
+    }

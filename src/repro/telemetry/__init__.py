@@ -71,6 +71,21 @@ from .monitor import (
     summarize_serving,
     summarize_stream,
 )
+from . import profiler as profiler
+from .profiler import (
+    PhaseProfiler,
+    build_profile_report,
+    compare_profiles,
+    escape_phase,
+    get_profiler,
+    memory_gauges,
+    parse_collapsed,
+    render_collapsed,
+    render_profile_report,
+    set_profiler,
+    unescape_phase,
+    worker_utilization,
+)
 from .prometheus import (
     PROMETHEUS_CONTENT_TYPE,
     ParsedExposition,
@@ -102,6 +117,7 @@ __all__ = [
     "JsonlWriter",
     "MetricsRegistry",
     "ParsedExposition",
+    "PhaseProfiler",
     "PlainFormatter",
     "RequestIdFilter",
     "SLOConfig",
@@ -111,20 +127,29 @@ __all__ = [
     "TelemetrySession",
     "Tracer",
     "bucket_preset",
+    "build_profile_report",
     "build_run_manifest",
+    "compare_profiles",
     "config_hash",
     "configure_logging",
+    "escape_phase",
     "format_series",
     "get_logger",
+    "get_profiler",
     "get_request_id",
     "get_tracer",
     "git_describe",
+    "memory_gauges",
     "monitor",
     "new_request_id",
+    "parse_collapsed",
     "parse_level",
     "parse_prometheus_text",
+    "profiler",
     "read_jsonl",
+    "render_collapsed",
     "render_combined_summary",
+    "render_profile_report",
     "render_prometheus",
     "render_serving_summary",
     "render_stream_summary",
@@ -134,6 +159,7 @@ __all__ = [
     "reset_logging",
     "reset_request_id",
     "sanitize_request_id",
+    "set_profiler",
     "set_request_id",
     "set_tracer",
     "span",
@@ -142,6 +168,8 @@ __all__ = [
     "summarize_serving",
     "summarize_stream",
     "trace",
+    "unescape_phase",
     "wants_prometheus",
+    "worker_utilization",
     "write_run_manifest",
 ]

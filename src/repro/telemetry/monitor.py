@@ -86,7 +86,14 @@ def summarize(records: list[dict], window: int = 20) -> dict:
     """
     sweeps = trailing_segment(sweep_records(records))
     if not sweeps:
-        return {"sweeps": 0, "total_sweeps": None, "finished": run_finished(records)}
+        # ``records`` distinguishes a just-created/empty metrics file from
+        # one whose run has started but not completed a sweep.
+        return {
+            "sweeps": 0,
+            "total_sweeps": None,
+            "finished": run_finished(records),
+            "records": len(records),
+        }
     recent = sweeps[-max(window, 2):]
     last = sweeps[-1]
     total = last.get("total_sweeps")
@@ -111,6 +118,14 @@ def summarize(records: list[dict], window: int = 20) -> dict:
     wall = [
         float(r["wall_seconds"]) for r in recent if r.get("wall_seconds") is not None
     ]
+    busy = [
+        float(r["busy_fraction"]) for r in recent
+        if r.get("busy_fraction") is not None
+    ]
+    straggler = [
+        float(r["straggler_ratio"]) for r in recent
+        if r.get("straggler_ratio") is not None
+    ]
     return {
         "sweeps": int(last.get("sweep", len(sweeps))),
         "total_sweeps": None if total is None else int(total),
@@ -121,6 +136,10 @@ def summarize(records: list[dict], window: int = 20) -> dict:
         "log_likelihood_delta": ll_delta,
         "perplexity": last.get("perplexity"),
         "eta_seconds": eta,
+        # Parallel-fit utilization gauges (see repro.telemetry.profiler);
+        # None for serial fits, whose records carry neither field.
+        "worker_busy_fraction": sum(busy) / len(busy) if busy else None,
+        "straggler_ratio": sum(straggler) / len(straggler) if straggler else None,
     }
 
 
@@ -138,6 +157,8 @@ def _fmt_duration(seconds: float) -> str:
 def render_summary(summary: dict) -> str:
     """One status line for the terminal (stable field order for tests)."""
     if not summary.get("sweeps"):
+        if not summary.get("records"):
+            return "no records yet (empty metrics file — run starting up?)"
         return "no sweep records yet"
     total = summary.get("total_sweeps")
     progress = f"sweep {summary['sweeps']}"
@@ -159,6 +180,13 @@ def render_summary(summary: dict) -> str:
     perplexity = summary.get("perplexity")
     if perplexity is not None:
         parts.append(f"perplexity {perplexity:.1f}")
+    busy = summary.get("worker_busy_fraction")
+    if busy is not None:
+        workers = f"workers {busy:.0%} busy"
+        straggler = summary.get("straggler_ratio")
+        if straggler is not None:
+            workers += f" (straggler {straggler:.2f}x)"
+        parts.append(workers)
     if summary.get("finished"):
         parts.append("run finished")
     elif summary.get("eta_seconds") is not None:

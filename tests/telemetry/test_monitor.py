@@ -36,8 +36,36 @@ def _sweeps(count: int, total: int = 10, t0: float = 1000.0, dt: float = 0.5):
 class TestSummarize:
     def test_empty(self):
         summary = summarize([])
-        assert summary == {"sweeps": 0, "total_sweeps": None, "finished": False}
+        assert summary == {
+            "sweeps": 0,
+            "total_sweeps": None,
+            "finished": False,
+            "records": 0,
+        }
+        # A file with zero records gets the friendlier just-created hint.
+        assert "no records yet" in render_summary(summary)
+
+    def test_started_but_no_sweeps(self):
+        summary = summarize([{"kind": "fit_start", "ts": 1.0}])
+        assert summary["sweeps"] == 0
+        assert summary["records"] == 1
         assert render_summary(summary) == "no sweep records yet"
+
+    def test_utilization_gauges_averaged(self):
+        records = _sweeps(4, total=10, dt=0.5)
+        for record in records:
+            record["busy_fraction"] = 0.5
+            record["straggler_ratio"] = 1.2
+        summary = summarize(records)
+        assert summary["worker_busy_fraction"] == pytest.approx(0.5)
+        assert summary["straggler_ratio"] == pytest.approx(1.2)
+        assert "workers 50% busy (straggler 1.20x)" in render_summary(summary)
+
+    def test_serial_records_have_no_gauges(self):
+        summary = summarize(_sweeps(3, total=10, dt=0.5))
+        assert summary["worker_busy_fraction"] is None
+        assert summary["straggler_ratio"] is None
+        assert "workers" not in render_summary(summary)
 
     def test_progress_rate_and_eta(self):
         summary = summarize(_sweeps(5, total=10, dt=0.5))
@@ -186,4 +214,4 @@ class TestMonitor:
         lines = []
         summary = monitor(tmp_path / "absent.jsonl", out=lines.append)
         assert summary["sweeps"] == 0
-        assert lines == ["no sweep records yet"]
+        assert lines == ["no records yet (empty metrics file — run starting up?)"]

@@ -1,0 +1,144 @@
+"""Property tests for the profiler's serialization surfaces.
+
+Two round-trip contracts carry the observatory's data between processes
+and tools, and both must survive adversarial names and crash-torn files:
+
+* the collapsed-stack text (``cold profile --collapsed``) — phase names
+  containing ``;``, whitespace, or ``%`` must encode unambiguously, and
+  the rendered self times must conserve the recorded root totals;
+* the benchmark regression ledger (``benchmarks/history.jsonl``) — an
+  append-crash mid-record may not corrupt earlier entries or invent new
+  ones.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf import append_history, read_history
+from repro.telemetry.profiler import (
+    PhaseProfiler,
+    escape_phase,
+    parse_collapsed,
+    parse_phase_key,
+    phase_key,
+    render_collapsed,
+    unescape_phase,
+)
+
+#: Phase names including every reserved character of the collapsed format.
+_NAMES = st.text(
+    alphabet=st.sampled_from(list("ab%; \t\n\r0")), min_size=1, max_size=8
+)
+
+_PATHS = st.lists(
+    st.lists(_NAMES, min_size=1, max_size=4).map(tuple),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(name=_NAMES)
+def test_escape_round_trips_and_reserves_nothing(name):
+    escaped = escape_phase(name)
+    assert unescape_phase(escaped) == name
+    assert ";" not in escaped
+    assert " " not in escaped
+    assert "\t" not in escaped
+    assert "\n" not in escaped
+
+
+@settings(max_examples=200, deadline=None)
+@given(path=st.lists(_NAMES, min_size=1, max_size=5).map(tuple))
+def test_phase_key_round_trips(path):
+    assert parse_phase_key(phase_key(path)) == path
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    paths=_PATHS,
+    seconds=st.lists(
+        st.floats(min_value=1e-6, max_value=100.0, allow_nan=False),
+        min_size=8,
+        max_size=8,
+    ),
+)
+def test_collapsed_conserves_root_totals(paths, seconds):
+    """Self-time lines sum back to the inclusive time of the roots.
+
+    Only *roots* (paths with no recorded ancestor) carry conserved mass:
+    descendants' inclusive time is subtracted from their nearest recorded
+    ancestor, so everything below a root redistributes within it.  Trees
+    are generated to honour the nested-timer invariant — the descendants
+    charged to one ancestor never sum past its inclusive time (real
+    phases are disjoint in time under their parent) — so no clamping
+    occurs and conservation is exact up to 1µs rounding per path.
+    """
+    prof = PhaseProfiler()
+    # Depth-first budget assignment: each node draws from its nearest
+    # recorded ancestor's *remaining* budget, so siblings can never
+    # oversubscribe the parent.
+    inclusive: dict[tuple, float] = {}
+    remaining: dict[tuple, float] = {}
+    for path, raw in zip(sorted(paths, key=len), seconds):
+        budget = raw
+        for cut in range(len(path) - 1, 0, -1):
+            ancestor = path[:cut]
+            if ancestor in inclusive:
+                budget = min(budget, remaining[ancestor])
+                remaining[ancestor] -= budget
+                break
+        inclusive[path] = budget
+        remaining[path] = budget
+        prof.add(path, budget)
+    parsed = parse_collapsed(render_collapsed(prof))
+    roots = [
+        path
+        for path in inclusive
+        if not any(path[:cut] in inclusive for cut in range(1, len(path)))
+    ]
+    root_micros = sum(int(round(inclusive[p] * 1e6)) for p in roots)
+    assert abs(sum(parsed.values()) - root_micros) <= len(inclusive)
+    for path in parsed:
+        assert path in inclusive
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    metrics=st.lists(
+        st.tuples(
+            st.sampled_from(
+                ["fast_seconds_per_sweep", "speedup", "qps", "p99_ms"]
+            ),
+            st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=4,
+        unique_by=lambda kv: kv[0],
+    ),
+    torn=st.integers(min_value=0, max_value=40),
+)
+def test_ledger_append_read_survives_torn_tail(tmp_path_factory, metrics, torn):
+    path = tmp_path_factory.mktemp("ledger") / "history.jsonl"
+    payload = {
+        "benchmark": "property",
+        "git_describe": "test",
+        "machine": {"cpu_count": 1},
+        "metrics": dict(metrics),
+    }
+    first = append_history(payload, path)
+    assert first["metrics"] == dict(metrics)
+    # Crash mid-append: a torn prefix of a would-be second record.
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write('{"kind": "bench", "benchmark": "torn"' [:torn])
+    second = append_history(payload, path)
+    records = read_history(path)
+    # Both complete records surface; the torn line never does.
+    assert len(records) == 2
+    assert all(r["benchmark"] == "property" for r in records)
+    assert records[-1]["metrics"] == second["metrics"]
+    assert read_history(path, benchmark="property") == records
+    assert read_history(path, benchmark="other") == []

@@ -133,3 +133,123 @@ class TestPredict:
         out = capsys.readouterr().out
         assert "tolerance" in out
         assert out.count("accuracy") == 2
+
+
+class TestProfile:
+    def test_smoke_profile_writes_reports(self, tmp_path, capsys):
+        json_out = tmp_path / "profile.json"
+        collapsed_out = tmp_path / "profile.collapsed"
+        code = main(
+            [
+                "profile", "--case", "smoke", "--sweeps", "2",
+                "--warmup", "1",
+                "--json", str(json_out),
+                "--collapsed", str(collapsed_out),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "attributed" in out
+        assert "sweep;posts;resample" in out
+        import json as json_module
+
+        record = json_module.loads(json_out.read_text())
+        assert record["phases"]
+        assert record["attributed_fraction"] > 0
+        assert collapsed_out.read_text().strip()
+
+    def test_rejects_nonpositive_sweeps(self, capsys):
+        assert main(["profile", "--case", "smoke", "--sweeps", "0"]) == 2
+        assert "sweeps must be positive" in capsys.readouterr().err
+
+
+class TestBenchCompare:
+    """--compare/--strict against a canned (monkeypatched) bench run."""
+
+    PAYLOAD = {
+        "benchmark": "unit",
+        "git_describe": "test-stamp",
+        "machine": {"cpu_count": 1},
+        "cases": [
+            {
+                "name": "smoke",
+                "reference_seconds_per_sweep": 0.03,
+                "fast_seconds_per_sweep": 0.01,
+                "speedup": 3.0,
+                "draws_match": True,
+                "peak_rss_mb": 80.0,
+            },
+        ],
+    }
+
+    @pytest.fixture()
+    def fake_bench(self, monkeypatch):
+        """Make `cold bench` (no suite flags) write self.PAYLOAD instantly."""
+        import copy
+        import json as json_module
+
+        state = {"payload": copy.deepcopy(self.PAYLOAD)}
+
+        def fake_write(path, **kwargs):
+            payload = copy.deepcopy(state["payload"])
+            import pathlib
+
+            pathlib.Path(path).write_text(json_module.dumps(payload))
+            return payload
+
+        monkeypatch.setattr("repro.perf.write_benchmark", fake_write)
+        return state
+
+    def test_unchanged_rerun_passes_strict(self, tmp_path, capsys, fake_bench):
+        out_path = tmp_path / "bench.json"
+        history = tmp_path / "history.jsonl"
+        base = ["bench", str(out_path), "--history", str(history)]
+        assert main(base) == 0
+        assert main(base + ["--compare", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 regressed" in out
+        assert history.exists()
+
+    def test_injected_regression_fails_strict(
+        self, tmp_path, capsys, fake_bench
+    ):
+        out_path = tmp_path / "bench.json"
+        args = [
+            "bench", str(out_path), "--no-history", "--compare", "--strict",
+        ]
+        assert main(args) == 0  # no baseline yet: nothing to compare
+        fake_bench["payload"]["cases"][0]["fast_seconds_per_sweep"] = 0.02
+        assert main(args) == 1
+        captured = capsys.readouterr()
+        assert "regressed" in captured.out
+        assert "regression" in captured.err
+
+    def test_ledger_appends_and_no_history_skips(
+        self, tmp_path, capsys, fake_bench
+    ):
+        out_path = tmp_path / "bench.json"
+        history = tmp_path / "history.jsonl"
+        assert main(["bench", str(out_path), "--history", str(history)]) == 0
+        assert main(["bench", str(out_path), "--history", str(history)]) == 0
+        from repro.perf import read_history
+
+        assert len(read_history(history)) == 2
+        assert (
+            main(["bench", str(out_path), "--no-history",
+                  "--history", str(history)])
+            == 0
+        )
+        assert len(read_history(history)) == 2
+
+    def test_baseline_ledger_spec(self, tmp_path, capsys, fake_bench):
+        out_path = tmp_path / "bench.json"
+        history = tmp_path / "history.jsonl"
+        assert main(["bench", str(out_path), "--history", str(history)]) == 0
+        fake_bench["payload"]["cases"][0]["fast_seconds_per_sweep"] = 0.02
+        code = main(
+            [
+                "bench", str(out_path), "--history", str(history),
+                "--compare", "--strict", "--baseline", str(history),
+            ]
+        )
+        assert code == 1

@@ -191,3 +191,35 @@ class TestModelDelegation:
         assert loaded.num_nodes == 3
         assert loaded.num_workers is None
         np.testing.assert_allclose(loaded.estimates_.pi, model.estimates_.pi)
+
+
+class TestUtilizationTelemetry:
+    def test_sweep_records_carry_utilization_and_memory(
+        self, tiny_corpus, tmp_path
+    ):
+        from repro.telemetry.metrics import read_jsonl
+
+        metrics = tmp_path / "metrics.jsonl"
+        _fit(tiny_corpus, "processes", num_workers=2, metrics_out=metrics)
+        sweeps = [r for r in read_jsonl(metrics) if r.get("kind") == "sweep"]
+        assert sweeps
+        for record in sweeps:
+            assert 0.0 <= record["busy_fraction"] <= 1.0
+            assert record["straggler_ratio"] >= 1.0
+            assert record["rss_peak_mb"] > 0
+            assert record["major_page_faults"] >= 0
+
+    def test_profiled_parallel_fit_matches_dark(self, tiny_corpus):
+        from repro.telemetry import profiler as profiling
+
+        dark = _fit(tiny_corpus, "processes", num_workers=2)
+        previous = profiling.set_profiler(profiling.PhaseProfiler())
+        try:
+            lit = _fit(tiny_corpus, "processes", num_workers=2)
+        finally:
+            prof = profiling.set_profiler(previous)
+        _assert_same_chain(dark, lit)
+        # Worker shard phases came home over the reply pipe.
+        assert any(
+            path[:2] == ("worker", "shard") for path, _c, _s in prof.items()
+        )
